@@ -1,0 +1,181 @@
+(* Benchmark harness: one Bechamel test per reproduced table / figure,
+   plus the ablations DESIGN.md calls out.
+
+   - table1/*        : the three Table I workloads (scaled down so each
+                       run fits a benchmarking quantum; bin/table1.exe
+                       reports the full-size numbers).
+   - scaling/*       : the Section-3 image-size series (E2) —
+                       simulation time should grow ~linearly in pixels.
+   - fig1/*          : regeneration of the infrastructure diagram (E3).
+   - ablation/*      : operator sharing on/off, golden software model vs.
+                       RTL simulation, compile front-end cost.
+
+   Each simulation benchmark builds fresh memories per run (simulation
+   mutates them) but reuses the compiled design. *)
+
+open Bechamel
+open Toolkit
+
+module Verify = Testinfra.Verify
+module Simulate = Testinfra.Simulate
+module Compile = Compiler.Compile
+
+let compile ?(share = false) ?(optimize = false) src =
+  Compile.compile ~options:{ Compile.share_operators = share; optimize; fold_branches = false }
+    (Lang.Parser.parse_string src)
+
+(* A runnable simulation of a compiled program: fresh memory environment
+   on every invocation. *)
+let sim_runner compiled prog inits () =
+  let lookup, _ = Verify.memory_env prog ~inits in
+  let run = Simulate.run_compiled ~memories:lookup compiled in
+  assert run.Simulate.all_completed
+
+let fdct_bench ?share ?optimize ~partitioned ~px () =
+  let src = Workloads.Fdct.source ~partitioned ~width_px:px ~height_px:px () in
+  let prog = Lang.Parser.parse_string src in
+  let compiled = compile ?share ?optimize src in
+  let img = Workloads.Fdct.make_image ~width_px:px ~height_px:px ~seed:1 in
+  sim_runner compiled prog [ ("input", img) ]
+
+let hamming_bench ~n () =
+  let src = Workloads.Hamming.source ~n in
+  let prog = Lang.Parser.parse_string src in
+  let compiled = compile src in
+  let codes = Workloads.Hamming.make_codewords ~n ~seed:1 in
+  sim_runner compiled prog [ ("input", codes) ]
+
+let cyclesim_bench ~px () =
+  let src = Workloads.Fdct.source ~partitioned:false ~width_px:px ~height_px:px () in
+  let prog = Lang.Parser.parse_string src in
+  let compiled = compile src in
+  let p = List.hd compiled.Compile.partitions in
+  let img = Workloads.Fdct.make_image ~width_px:px ~height_px:px ~seed:1 in
+  fun () ->
+    let lookup, _ = Verify.memory_env prog ~inits:[ ("input", img) ] in
+    let cy =
+      Cyclesim.create ~memories:lookup p.Compile.datapath p.Compile.fsm
+    in
+    assert (Cyclesim.run cy = `Done)
+
+let cosim_bench () =
+  (* Co-simulation overhead: CPU writes 4 inputs, starts the fabric,
+     waits, reads the sum back. *)
+  let compiled = compile (Workloads.Kernels.sum_source ~n:4) in
+  let p = List.hd compiled.Compile.partitions in
+  fun () ->
+    let input = Operators.Memory.create ~name:"input" ~width:32 4 in
+    let output = Operators.Memory.create ~name:"output" ~width:32 1 in
+    let lookup = function
+      | "input" -> input
+      | "output" -> output
+      | m -> failwith m
+    in
+    let program =
+      [|
+        Cosim.Cpu.Ldi 10; Cosim.Cpu.St 0; Cosim.Cpu.Addi 1; Cosim.Cpu.St 1;
+        Cosim.Cpu.Addi 1; Cosim.Cpu.St 2; Cosim.Cpu.Addi 1; Cosim.Cpu.St 3;
+        Cosim.Cpu.Start; Cosim.Cpu.Wait; Cosim.Cpu.Ld 16; Cosim.Cpu.Halt;
+      |]
+    in
+    let r =
+      Cosim.Harness.run
+        ~accelerator:(p.Compile.datapath, p.Compile.fsm)
+        ~program
+        ~memory_map:
+          [ { Cosim.Cpu.base = 0; memory = "input" };
+            { Cosim.Cpu.base = 16; memory = "output" } ]
+        ~width:32 ~memories:lookup ()
+    in
+    assert r.Cosim.Harness.cpu_halted
+
+let golden_bench ~px () =
+  let src = Workloads.Fdct.source ~width_px:px ~height_px:px () in
+  let prog = Lang.Parser.parse_string src in
+  let img = Workloads.Fdct.make_image ~width_px:px ~height_px:px ~seed:1 in
+  fun () ->
+    let lookup, _ = Verify.memory_env prog ~inits:[ ("input", img) ] in
+    ignore (Lang.Interp.run ~memories:lookup prog)
+
+let tests =
+  [
+    (* --- Table I (E1) ------------------------------------------------ *)
+    Test.make ~name:"table1/fdct1-16x16"
+      (Staged.stage (fdct_bench ~partitioned:false ~px:16 ()));
+    Test.make ~name:"table1/fdct2-16x16"
+      (Staged.stage (fdct_bench ~partitioned:true ~px:16 ()));
+    Test.make ~name:"table1/hamming-256"
+      (Staged.stage (hamming_bench ~n:256 ()));
+    (* --- image-size scaling (E2) ------------------------------------- *)
+    Test.make ~name:"scaling/fdct1-8x8"
+      (Staged.stage (fdct_bench ~partitioned:false ~px:8 ()));
+    Test.make ~name:"scaling/fdct1-16x16"
+      (Staged.stage (fdct_bench ~partitioned:false ~px:16 ()));
+    Test.make ~name:"scaling/fdct1-24x24"
+      (Staged.stage (fdct_bench ~partitioned:false ~px:24 ()));
+    Test.make ~name:"scaling/fdct1-32x32"
+      (Staged.stage (fdct_bench ~partitioned:false ~px:32 ()));
+    (* --- infrastructure diagram (E3, Figure 1) ------------------------ *)
+    Test.make ~name:"fig1/diagram"
+      (Staged.stage (fun () ->
+           ignore
+             (Dotkit.Dot.to_string (Testinfra.Flow.infrastructure_diagram ()))));
+    (* --- ablations ----------------------------------------------------- *)
+    Test.make ~name:"ablation/fdct1-16x16-shared-fus"
+      (Staged.stage (fdct_bench ~share:true ~partitioned:false ~px:16 ()));
+    Test.make ~name:"ablation/fdct1-16x16-optimized"
+      (Staged.stage (fdct_bench ~optimize:true ~partitioned:false ~px:16 ()));
+    Test.make ~name:"ablation/cyclesim-fdct1-16x16"
+      (Staged.stage (cyclesim_bench ~px:16 ()));
+    Test.make ~name:"ablation/golden-model-fdct1-16x16"
+      (Staged.stage (golden_bench ~px:16 ()));
+    Test.make ~name:"ablation/cosim-cpu-plus-sum4"
+      (Staged.stage (cosim_bench ()));
+    Test.make ~name:"ablation/compile-fdct1"
+      (Staged.stage (fun () ->
+           ignore (compile (Workloads.Fdct.source ~width_px:16 ~height_px:16 ()))));
+    Test.make ~name:"ablation/compile-fdct1-shared"
+      (Staged.stage (fun () ->
+           ignore
+             (compile ~share:true
+                (Workloads.Fdct.source ~width_px:16 ~height_px:16 ()))));
+  ]
+
+let benchmark () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) ~stabilize:true
+      ~compaction:false ()
+  in
+  List.map
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let stats = Analyze.all ols Instance.monotonic_clock results in
+      (Test.name test, stats))
+    tests
+
+let () =
+  Printf.printf "%-40s %15s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 56 '-');
+  List.iter
+    (fun (_group, stats) ->
+      Hashtbl.iter
+        (fun name ols ->
+          let estimate =
+            match Analyze.OLS.estimates ols with
+            | Some [ e ] -> e
+            | Some _ | None -> nan
+          in
+          let pretty =
+            if Float.is_nan estimate then "n/a"
+            else if estimate > 1e9 then Printf.sprintf "%8.2f  s" (estimate /. 1e9)
+            else if estimate > 1e6 then Printf.sprintf "%8.2f ms" (estimate /. 1e6)
+            else if estimate > 1e3 then Printf.sprintf "%8.2f us" (estimate /. 1e3)
+            else Printf.sprintf "%8.0f ns" estimate
+          in
+          Printf.printf "%-40s %15s\n%!" name pretty)
+        stats)
+    (benchmark ())

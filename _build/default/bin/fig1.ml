@@ -1,0 +1,7 @@
+(* Emits the paper's Figure 1 — the diagram of the test infrastructure —
+   generated from the live translation registry so it always matches the
+   implementation. Writes dot to stdout (pipe through graphviz to render). *)
+
+let () =
+  print_string
+    (Dotkit.Dot.to_string (Testinfra.Flow.infrastructure_diagram ()))

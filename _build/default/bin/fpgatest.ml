@@ -1,0 +1,394 @@
+(* Command-line driver for the test infrastructure.
+
+   Subcommands mirror the paper's flow: [compile] emits the XML dialects
+   and their translations, [simulate] runs the generated architecture over
+   memory files, [verify] compares it against the golden software run,
+   [dot]/[verilog]/[vhdl] translate existing XML documents, [metrics]
+   prints a Table-I row, and [fig1] renders the infrastructure diagram. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_program path = Lang.Parser.parse_file path
+
+let options_of share optimize fold =
+  { Compiler.Compile.share_operators = share; optimize; fold_branches = fold }
+
+(* --mem name=path arguments -> initial word lists *)
+let inits_of_specs specs =
+  List.map
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | Some i ->
+          let name = String.sub spec 0 i in
+          let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+          (name, Testinfra.Memfile.load_list path)
+      | None -> failwith (Printf.sprintf "--mem %S: expected name=path" spec))
+    specs
+
+let handle_errors f =
+  try f () with
+  | Lang.Check.Invalid errs
+  | Compiler.Compile.Error errs
+  | Netlist.Datapath.Invalid errs
+  | Fsmkit.Fsm.Invalid errs
+  | Rtg.Invalid errs ->
+      List.iter (Printf.eprintf "error: %s\n") errs;
+      exit 1
+  | Lang.Parser.Parse_error { line; message } ->
+      Printf.eprintf "parse error at line %d: %s\n" line message;
+      exit 1
+  | Lang.Lexer.Lex_error { line; message } ->
+      Printf.eprintf "lexical error at line %d: %s\n" line message;
+      exit 1
+  | Xmlkit.Xml_parser.Parse_error _ as e ->
+      Printf.eprintf "%s\n"
+        (Option.value ~default:"XML parse error"
+           (Xmlkit.Xml_parser.error_to_string e));
+      exit 1
+  | Xmlkit.Xml_query.Schema_error msg ->
+      Printf.eprintf "schema error: %s\n" msg;
+      exit 1
+  | Failure msg | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
+(* --- arguments -------------------------------------------------------- *)
+
+let src_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"Source program file.")
+
+let share_arg =
+  Arg.(value & flag & info [ "share" ] ~doc:"Bind functional units with operator sharing.")
+
+let optimize_arg =
+  Arg.(value & flag & info [ "optimize"; "O" ]
+         ~doc:"Run the source-level optimizer (folding, identities, strength reduction).")
+
+let fold_arg =
+  Arg.(value & flag & info [ "fold-branches" ]
+         ~doc:"Merge branch tests into the preceding state when safe \
+               (saves one cycle per executed branch).")
+
+let mem_arg =
+  Arg.(value & opt_all string [] & info [ "mem" ] ~docv:"NAME=FILE"
+         ~doc:"Initialize memory $(i,NAME) from memory file $(i,FILE). Repeatable.")
+
+let out_dir_arg =
+  Arg.(value & opt string "out" & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+
+let vcd_arg =
+  Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE"
+         ~doc:"Dump a VCD waveform of the (first) configuration.")
+
+let max_cycles_arg =
+  Arg.(value & opt int 10_000_000 & info [ "max-cycles" ] ~docv:"N"
+         ~doc:"Abort a configuration after N clock cycles.")
+
+(* --- compile ----------------------------------------------------------- *)
+
+let cmd_compile =
+  let run src share optimize fold dir =
+    handle_errors (fun () ->
+        let compiled =
+          Compiler.Compile.compile ~options:(options_of share optimize fold)
+            (parse_program src)
+        in
+        let artifacts = Testinfra.Flow.emit_all ~dir compiled in
+        List.iter
+          (fun (a : Testinfra.Flow.artifact) ->
+            Printf.printf "wrote %s (%s)\n" (Filename.concat dir a.Testinfra.Flow.path)
+              a.Testinfra.Flow.description)
+          artifacts)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a program and emit every artifact (XML, dot, code, HDL).")
+    Term.(const run $ src_arg $ share_arg $ optimize_arg $ fold_arg $ out_dir_arg)
+
+(* --- simulate ---------------------------------------------------------- *)
+
+let cmd_simulate =
+  let run src share optimize fold mems vcd max_cycles dir =
+    handle_errors (fun () ->
+        let prog = parse_program src in
+        let compiled =
+          Compiler.Compile.compile ~options:(options_of share optimize fold) prog
+        in
+        let inits = inits_of_specs mems in
+        let lookup, stores = Testinfra.Verify.memory_env prog ~inits in
+        let rtg_run =
+          match vcd with
+          | Some path ->
+              (* Dump the first configuration's waveform, then sequence the
+                 remaining configurations normally (memories persist). *)
+              let first = List.hd compiled.Compiler.Compile.partitions in
+              let rest = List.tl compiled.Compiler.Compile.partitions in
+              let run1 =
+                Testinfra.Simulate.run_configuration ~vcd_path:path ~max_cycles
+                  ~memories:lookup first.Compiler.Compile.datapath
+                  first.Compiler.Compile.fsm
+              in
+              Printf.printf "VCD of %s written to %s\n"
+                run1.Testinfra.Simulate.cfg_name path;
+              let rest_runs =
+                if run1.Testinfra.Simulate.completed then
+                  List.map
+                    (fun (p : Compiler.Compile.partition) ->
+                      Testinfra.Simulate.run_configuration ~max_cycles
+                        ~memories:lookup p.Compiler.Compile.datapath
+                        p.Compiler.Compile.fsm)
+                    rest
+                else []
+              in
+              let runs = run1 :: rest_runs in
+              {
+                Testinfra.Simulate.runs;
+                all_completed =
+                  List.length runs
+                  = List.length compiled.Compiler.Compile.partitions
+                  && List.for_all
+                       (fun r -> r.Testinfra.Simulate.completed)
+                       runs;
+                total_cycles =
+                  List.fold_left
+                    (fun acc r -> acc + r.Testinfra.Simulate.cycles)
+                    0 runs;
+                total_wall_seconds =
+                  List.fold_left
+                    (fun acc r -> acc +. r.Testinfra.Simulate.wall_seconds)
+                    0. runs;
+              }
+          | None ->
+              Testinfra.Simulate.run_compiled ~max_cycles ~memories:lookup compiled
+        in
+        List.iter
+          (fun (r : Testinfra.Simulate.config_run) ->
+            Printf.printf "configuration %s: %s, %d cycles (%.3fs)\n"
+              r.Testinfra.Simulate.cfg_name
+              (if r.Testinfra.Simulate.completed then "completed" else "INCOMPLETE")
+              r.Testinfra.Simulate.cycles r.Testinfra.Simulate.wall_seconds)
+          rtg_run.Testinfra.Simulate.runs;
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun (name, store) ->
+            let path = Filename.concat dir (name ^ ".mem") in
+            Testinfra.Memfile.save store path;
+            Printf.printf "memory %s -> %s\n" name path)
+          stores)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate the compiled architecture over memory files.")
+    Term.(
+      const run $ src_arg $ share_arg $ optimize_arg $ fold_arg $ mem_arg
+      $ vcd_arg $ max_cycles_arg $ out_dir_arg)
+
+(* --- verify ------------------------------------------------------------ *)
+
+let cmd_verify =
+  let run src share optimize fold mems max_cycles =
+    handle_errors (fun () ->
+        let outcome =
+          Testinfra.Verify.run_source ~options:(options_of share optimize fold)
+            ~max_cycles ~inits:(inits_of_specs mems) (read_file src)
+        in
+        print_string (Testinfra.Report.verification_to_string outcome);
+        exit (if outcome.Testinfra.Verify.passed then 0 else 1))
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Run golden software and simulated hardware, then compare memories.")
+    Term.(const run $ src_arg $ share_arg $ optimize_arg $ fold_arg $ mem_arg $ max_cycles_arg)
+
+(* --- dot / verilog / vhdl ---------------------------------------------- *)
+
+let xml_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"XML" ~doc:"Dialect document.")
+
+let load_dialect path =
+  let doc = Xmlkit.Xml_parser.parse_file path in
+  match doc with
+  | Xmlkit.Xml.Element { Xmlkit.Xml.tag = "datapath"; _ } ->
+      `Datapath (Netlist.Datapath.of_xml doc)
+  | Xmlkit.Xml.Element { Xmlkit.Xml.tag = "fsm"; _ } -> `Fsm (Fsmkit.Fsm.of_xml doc)
+  | Xmlkit.Xml.Element { Xmlkit.Xml.tag = "rtg"; _ } -> `Rtg (Rtg.of_xml doc)
+  | Xmlkit.Xml.Element { Xmlkit.Xml.tag; _ } ->
+      failwith (Printf.sprintf "unknown dialect <%s>" tag)
+  | Xmlkit.Xml.Text _ -> failwith "not an XML element"
+
+let cmd_dot =
+  let run path =
+    handle_errors (fun () ->
+        let g =
+          match load_dialect path with
+          | `Datapath dp -> Transform.To_dot.datapath dp
+          | `Fsm fsm -> Transform.To_dot.fsm fsm
+          | `Rtg rtg -> Transform.To_dot.rtg rtg
+        in
+        print_string (Dotkit.Dot.to_string g))
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Translate a dialect XML document to Graphviz dot (stdout).")
+    Term.(const run $ xml_arg)
+
+let hdl_cmd name doc dp_of fsm_of =
+  let dp_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DATAPATH_XML" ~doc:"Datapath document.")
+  in
+  let fsm_arg =
+    Arg.(value & pos 1 (some file) None & info [] ~docv:"FSM_XML" ~doc:"FSM document (optional).")
+  in
+  let run dp_path fsm_path =
+    handle_errors (fun () ->
+        let dp = Netlist.Datapath.load dp_path in
+        match fsm_path with
+        | None -> print_string (dp_of dp)
+        | Some fp ->
+            let fsm = Fsmkit.Fsm.load fp in
+            print_string (fsm_of dp fsm))
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ dp_arg $ fsm_arg)
+
+let cmd_verilog =
+  hdl_cmd "verilog" "Emit Verilog for a datapath (plus FSM and top when given)."
+    Hdl.Verilog.datapath Hdl.Verilog.system
+
+let cmd_vhdl =
+  hdl_cmd "vhdl" "Emit VHDL for a datapath (plus FSM and top when given)."
+    Hdl.Vhdl.datapath Hdl.Vhdl.system
+
+let cmd_systemc =
+  hdl_cmd "systemc" "Emit SystemC for a datapath (plus FSM and top when given)."
+    Hdl.Systemc.datapath Hdl.Systemc.system
+
+(* --- metrics ------------------------------------------------------------ *)
+
+let cmd_metrics =
+  let run src share optimize fold mems =
+    handle_errors (fun () ->
+        let source = read_file src in
+        let outcome =
+          Testinfra.Verify.run_source ~options:(options_of share optimize fold)
+            ~inits:(inits_of_specs mems) source
+        in
+        let row = Testinfra.Metrics.collect ~source outcome in
+        print_string (Testinfra.Metrics.render_table [ row ]))
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"Print the Table-I metrics row for a program.")
+    Term.(const run $ src_arg $ share_arg $ optimize_arg $ fold_arg $ mem_arg)
+
+(* --- run (simulate a bundle of XML documents) ----------------------------- *)
+
+let cmd_run =
+  let bundle_arg =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"BUNDLE_DIR"
+           ~doc:"Directory containing one *_rtg.xml plus the referenced \
+                 datapath/FSM documents (e.g. written by the compile \
+                 subcommand).")
+  in
+  let run dir mems out_dir max_cycles =
+    handle_errors (fun () ->
+        let bundle = Testinfra.Bundle.load ~dir in
+        let inits = inits_of_specs mems in
+        let stores =
+          List.map
+            (fun (name, size, width) ->
+              let store = Operators.Memory.create ~name ~width size in
+              (match List.assoc_opt name inits with
+              | Some words -> Operators.Memory.load store words
+              | None -> ());
+              (name, store))
+            (Testinfra.Bundle.memories_of_bundle bundle)
+        in
+        let lookup name =
+          match List.assoc_opt name stores with
+          | Some s -> s
+          | None -> failwith (Printf.sprintf "bundle references no memory %S" name)
+        in
+        let result =
+          Testinfra.Bundle.simulate ~max_cycles ~memories:lookup bundle
+        in
+        List.iter
+          (fun (r : Testinfra.Simulate.config_run) ->
+            Printf.printf "configuration %s: %s, %d cycles (%.3fs)\n"
+              r.Testinfra.Simulate.cfg_name
+              (if r.Testinfra.Simulate.completed then "completed" else "INCOMPLETE")
+              r.Testinfra.Simulate.cycles r.Testinfra.Simulate.wall_seconds)
+          result.Testinfra.Simulate.runs;
+        if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+        List.iter
+          (fun (name, store) ->
+            let path = Filename.concat out_dir (name ^ ".mem") in
+            Testinfra.Memfile.save store path;
+            Printf.printf "memory %s -> %s\n" name path)
+          stores;
+        exit (if result.Testinfra.Simulate.all_completed then 0 else 1))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Simulate a design straight from its XML documents (no source \
+             program needed — the dialects are the interchange format).")
+    Term.(const run $ bundle_arg $ mem_arg $ out_dir_arg $ max_cycles_arg)
+
+(* --- suite --------------------------------------------------------------- *)
+
+let cmd_suite =
+  let dir_arg =
+    Arg.(value & pos 0 (some dir) None & info [] ~docv:"DIR"
+           ~doc:"Directory of <name>.alg cases with <name>.<memory>.mem \
+                 stimuli; the built-in workload suite runs when omitted.")
+  in
+  let all_variants_arg =
+    Arg.(value & flag & info [ "all-variants" ]
+           ~doc:"Verify each case under plain, operator-sharing and \
+                 optimized compilation (default: plain only).")
+  in
+  let run dir all_variants =
+    handle_errors (fun () ->
+        let cases =
+          match dir with
+          | Some dir -> Testinfra.Suite.load_dir dir
+          | None -> Testinfra.Suite.builtin_cases ()
+        in
+        let variants =
+          if all_variants then Testinfra.Suite.default_variants
+          else [ List.hd Testinfra.Suite.default_variants ]
+        in
+        let results = Testinfra.Suite.run ~variants cases in
+        print_string (Testinfra.Suite.render results);
+        exit (if (snd results).Testinfra.Suite.failures = [] then 0 else 1))
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:"Verify a whole regression suite of programs (the paper's \
+             complete-test-suite use case).")
+    Term.(const run $ dir_arg $ all_variants_arg)
+
+(* --- fig1 ---------------------------------------------------------------- *)
+
+let cmd_fig1 =
+  let run () =
+    print_string (Dotkit.Dot.to_string (Testinfra.Flow.infrastructure_diagram ()))
+  in
+  Cmd.v
+    (Cmd.info "fig1" ~doc:"Print the infrastructure diagram (paper Figure 1) as dot.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "fpgatest" ~version:"1.0.0"
+      ~doc:"Functional-test infrastructure for compiler-generated FPGA designs."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            cmd_compile; cmd_simulate; cmd_verify; cmd_run; cmd_dot;
+            cmd_verilog; cmd_vhdl; cmd_systemc; cmd_metrics; cmd_suite;
+            cmd_fig1;
+          ]))

@@ -1,0 +1,147 @@
+(* Regenerates the paper's Table I ("Results using the test
+   infrastructure") and, with [--sweep], the Section-3 image-size scaling
+   experiment (4,096 / 65,536 / 345,600 pixels).
+
+   Absolute times differ from the paper's Pentium 4 / Hades numbers; the
+   claims that must hold are printed and checked at the end: every example
+   verifies, simulation is seconds-scale, FDCT2's partitions are each
+   smaller than FDCT1, and simulation time grows roughly linearly with
+   image size. *)
+
+let hamming_codewords = 2048
+
+let paper_rows =
+  (* example, loJava, loXML FSM, loXML datapath, loJava FSM, operators, sim s *)
+  [
+    ("FDCT1", "138", "512", "1708", "1175", "169", "6.9");
+    ("FDCT2", "138", "258+256", "860+891", "667+606", "90+90", "2.9+2.9");
+    ("Hamming", "45", "38", "322", "134", "37", "1.5");
+  ]
+
+let print_paper_table () =
+  print_endline "Paper Table I (DATE'05, Pentium 4 @ 2.8 GHz, Hades/Java):";
+  Printf.printf "  %-8s %-8s %-10s %-14s %-10s %-9s %s\n" "Example" "loJava"
+    "loXML FSM" "loXML datapath" "loJava FSM" "Operators" "Sim (s)";
+  List.iter
+    (fun (a, b, c, d, e, f, g) ->
+      Printf.printf "  %-8s %-8s %-10s %-14s %-10s %-9s %s\n" a b c d e f g)
+    paper_rows;
+  print_newline ()
+
+let verify_row ~label ~inits src =
+  let outcome = Testinfra.Verify.run_source ~inits src in
+  if not outcome.Testinfra.Verify.passed then begin
+    Printf.eprintf "FATAL: %s failed functional verification:\n%s" label
+      (Testinfra.Report.verification_to_string outcome);
+    exit 1
+  end;
+  let row = Testinfra.Metrics.collect ~source:src outcome in
+  { row with Testinfra.Metrics.example = label }
+
+let () =
+  let sweep = Array.exists (( = ) "--sweep") Sys.argv in
+  let full = Array.exists (( = ) "--full") Sys.argv in
+  print_paper_table ();
+  let img = Workloads.Fdct.make_image ~width_px:64 ~height_px:64 ~seed:2005 in
+  let fdct1 =
+    verify_row ~label:"FDCT1" ~inits:[ ("input", img) ]
+      (Workloads.Fdct.source ~width_px:64 ~height_px:64 ())
+  in
+  let fdct2 =
+    verify_row ~label:"FDCT2" ~inits:[ ("input", img) ]
+      (Workloads.Fdct.source ~partitioned:true ~width_px:64 ~height_px:64 ())
+  in
+  let hamming =
+    verify_row ~label:"Hamming"
+      ~inits:[ ("input", Workloads.Hamming.make_codewords ~n:hamming_codewords ~seed:2005) ]
+      (Workloads.Hamming.source ~n:hamming_codewords)
+  in
+  (* Supplementary: operator counts under sharing, for comparison with
+     the paper's (presumably shared) binding. *)
+  let shared_fus src =
+    let c =
+      Compiler.Compile.compile
+        ~options:
+          { Compiler.Compile.share_operators = true; optimize = false;
+            fold_branches = false }
+        (Lang.Parser.parse_string src)
+    in
+    List.map
+      (fun (p : Compiler.Compile.partition) -> p.Compiler.Compile.fu_count)
+      c.Compiler.Compile.partitions
+  in
+  print_endline
+    "Reproduced Table I (this infrastructure: OCaml event-driven simulator,";
+  Printf.printf
+    "FDCT over a 64x64 image = 4,096 pixels, Hamming over %d codewords):\n"
+    hamming_codewords;
+  print_string (Testinfra.Metrics.render_table [ fdct1; fdct2; hamming ]);
+  print_newline ();
+  (* Shape checks corresponding to the paper's observations. *)
+  let fdct1_ops = List.hd fdct1.Testinfra.Metrics.operators in
+  let partitions_smaller =
+    List.for_all (fun ops -> ops < fdct1_ops) fdct2.Testinfra.Metrics.operators
+  in
+  let total t = List.fold_left ( +. ) 0. t.Testinfra.Metrics.sim_seconds in
+  Printf.printf "shape: FDCT2 partitions each smaller than FDCT1 ... %s\n"
+    (if partitions_smaller then "yes" else "NO");
+  Printf.printf "shape: Hamming much smaller than the FDCTs ......... %s\n"
+    (if List.hd hamming.Testinfra.Metrics.operators * 2
+        < List.hd fdct1.Testinfra.Metrics.operators
+     then "yes" else "NO");
+  Printf.printf "shape: whole suite verifies in feasible time ....... %.1fs total\n"
+    (total fdct1 +. total fdct2 +. total hamming);
+  let fmt_counts l = String.concat "+" (List.map string_of_int l) in
+  Printf.printf
+    "note: with operator sharing (--share) the FU counts become FDCT1=%s, FDCT2=%s,\n"
+    (fmt_counts (shared_fus (Workloads.Fdct.source ~width_px:64 ~height_px:64 ())))
+    (fmt_counts
+       (shared_fus (Workloads.Fdct.source ~partitioned:true ~width_px:64 ~height_px:64 ())));
+  Printf.printf
+    "      Hamming=%s - closer to the paper's 169 / 90+90 / 37, which a sharing\n"
+    (fmt_counts (shared_fus (Workloads.Hamming.source ~n:hamming_codewords)));
+  print_endline "      binder would produce.";
+  if sweep then begin
+    print_newline ();
+    print_endline
+      "Image-size sweep (paper Section 3: 4,096 px in 6.9 s; 65,536 px in ~1 min;";
+    print_endline "345,600 px in ~6.5 min on 2005 hardware):";
+    let sizes =
+      [ (64, 64) ] @ [ (256, 256) ] @ (if full then [ (720, 480) ] else [])
+    in
+    let results =
+      List.map
+        (fun (w, h) ->
+          let img = Workloads.Fdct.make_image ~width_px:w ~height_px:h ~seed:1 in
+          let outcome =
+            Testinfra.Verify.run_source ~inits:[ ("input", img) ]
+              (Workloads.Fdct.source ~width_px:w ~height_px:h ())
+          in
+          if not outcome.Testinfra.Verify.passed then begin
+            Printf.eprintf "FATAL: FDCT1 %dx%d failed verification\n" w h;
+            exit 1
+          end;
+          let seconds =
+            outcome.Testinfra.Verify.hw_run.Testinfra.Simulate.total_wall_seconds
+          in
+          Printf.printf "  FDCT1 %4dx%-4d = %7d px: %8.2f s (%d cycles)\n" w h
+            (w * h) seconds
+            outcome.Testinfra.Verify.hw_run.Testinfra.Simulate.total_cycles;
+          (w * h, seconds))
+        sizes
+    in
+    (match results with
+    | (px0, s0) :: rest when s0 > 0. ->
+        List.iter
+          (fun (px, s) ->
+            Printf.printf
+              "  scaling %7d px vs %d px: data x%.1f, time x%.1f (linear ~ x%.1f)\n"
+              px px0
+              (float_of_int px /. float_of_int px0)
+              (s /. s0)
+              (float_of_int px /. float_of_int px0))
+          rest
+    | _ -> ());
+    if not full then
+      print_endline "  (run with --sweep --full to include the 720x480 = 345,600 px point)"
+  end

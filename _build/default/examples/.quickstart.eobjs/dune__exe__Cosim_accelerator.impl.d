@@ -1,0 +1,1 @@
+examples/cosim_accelerator.ml: Array Bitvec Compiler Cosim Format Lang List Operators Option Printf

@@ -1,0 +1,1 @@
+examples/edge_detect.ml: Array Lang List Operators Printf Testinfra Workloads

@@ -1,0 +1,1 @@
+examples/fdct_flow.ml: Array Compiler Filename Lang List Printf Rtg String Sys Testinfra Workloads

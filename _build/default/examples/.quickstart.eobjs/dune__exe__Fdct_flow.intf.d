@@ -1,0 +1,1 @@
+examples/fdct_flow.mli:

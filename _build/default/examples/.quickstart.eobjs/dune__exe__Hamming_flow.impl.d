@@ -1,0 +1,1 @@
+examples/hamming_flow.ml: Bitvec Compiler Filename Lang List Printf Sim String Sys Testinfra Transform Workloads

@@ -1,0 +1,1 @@
+examples/hamming_flow.mli:

@@ -1,0 +1,1 @@
+examples/handwritten_design.ml: Bitvec Dotkit Filename Fsmkit Hdl List Netlist Operators Printf Sys Testinfra Transform

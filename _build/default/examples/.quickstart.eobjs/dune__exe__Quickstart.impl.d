@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compiler List Netlist Printf String Testinfra Transform Xmlkit

@@ -1,0 +1,162 @@
+type t = { width : int; v : int }
+
+exception Width_error of string
+
+let max_width = 62
+
+let width_error fmt = Format.kasprintf (fun s -> raise (Width_error s)) fmt
+
+let mask width = if width = max_width then -1 lsr 1 else (1 lsl width) - 1
+
+let check_width width =
+  if width < 1 || width > max_width then
+    width_error "bit width %d outside 1..%d" width max_width
+
+let create ~width v =
+  check_width width;
+  { width; v = v land mask width }
+
+let zero width = create ~width 0
+let one width = create ~width 1
+let ones width = create ~width (-1)
+let width a = a.width
+let to_int a = a.v
+
+let msb a = a.v lsr (a.width - 1) land 1 = 1
+
+let to_signed a = if msb a then a.v - (mask a.width + 1) else a.v
+
+let is_zero a = a.v = 0
+let equal a b = a.width = b.width && a.v = b.v
+
+let compare a b =
+  match Stdlib.compare a.width b.width with
+  | 0 -> Stdlib.compare a.v b.v
+  | c -> c
+
+let bit a i =
+  if i < 0 || i >= a.width then
+    width_error "bit index %d outside 0..%d" i (a.width - 1);
+  a.v lsr i land 1 = 1
+
+let same_width op a b =
+  if a.width <> b.width then
+    width_error "%s: width mismatch (%d vs %d)" op a.width b.width
+
+let binop op f a b =
+  same_width op a b;
+  { a with v = f a.v b.v land mask a.width }
+
+let add a b = binop "add" ( + ) a b
+let sub a b = binop "sub" ( - ) a b
+let mul a b = binop "mul" ( * ) a b
+let neg a = { a with v = -a.v land mask a.width }
+
+let udiv a b =
+  same_width "udiv" a b;
+  if b.v = 0 then ones a.width else { a with v = a.v / b.v }
+
+let urem a b =
+  same_width "urem" a b;
+  if b.v = 0 then a else { a with v = a.v mod b.v }
+
+let sdiv a b =
+  same_width "sdiv" a b;
+  if b.v = 0 then ones a.width
+  else create ~width:a.width (to_signed a / to_signed b)
+
+let srem a b =
+  same_width "srem" a b;
+  if b.v = 0 then a else create ~width:a.width (to_signed a mod to_signed b)
+
+let logand a b = binop "and" ( land ) a b
+let logor a b = binop "or" ( lor ) a b
+let logxor a b = binop "xor" ( lxor ) a b
+let lognot a = { a with v = lnot a.v land mask a.width }
+
+let check_shift n = if n < 0 then width_error "negative shift amount %d" n
+
+let shift_left a n =
+  check_shift n;
+  if n >= a.width then zero a.width
+  else { a with v = a.v lsl n land mask a.width }
+
+let shift_right_logical a n =
+  check_shift n;
+  if n >= a.width then zero a.width else { a with v = a.v lsr n }
+
+let shift_right_arith a n =
+  check_shift n;
+  let n = min n a.width in
+  create ~width:a.width (to_signed a asr min n (max_width - 1))
+
+let of_bool b = { width = 1; v = (if b then 1 else 0) }
+let to_bool a = a.v <> 0
+
+let cmp op pred a b =
+  same_width op a b;
+  of_bool (pred a b)
+
+let eq a b = cmp "eq" (fun a b -> a.v = b.v) a b
+let ne a b = cmp "ne" (fun a b -> a.v <> b.v) a b
+let ult a b = cmp "ult" (fun a b -> a.v < b.v) a b
+let ule a b = cmp "ule" (fun a b -> a.v <= b.v) a b
+let ugt a b = cmp "ugt" (fun a b -> a.v > b.v) a b
+let uge a b = cmp "uge" (fun a b -> a.v >= b.v) a b
+let slt a b = cmp "slt" (fun a b -> to_signed a < to_signed b) a b
+let sle a b = cmp "sle" (fun a b -> to_signed a <= to_signed b) a b
+let sgt a b = cmp "sgt" (fun a b -> to_signed a > to_signed b) a b
+let sge a b = cmp "sge" (fun a b -> to_signed a >= to_signed b) a b
+
+let concat hi lo =
+  let width = hi.width + lo.width in
+  check_width width;
+  { width; v = (hi.v lsl lo.width) lor lo.v }
+
+let slice a ~hi ~lo =
+  if lo < 0 || hi >= a.width || hi < lo then
+    width_error "slice [%d:%d] outside vector of width %d" hi lo a.width;
+  create ~width:(hi - lo + 1) (a.v lsr lo)
+
+let resize a w = create ~width:w a.v
+let sresize a w = create ~width:w (to_signed a)
+
+let to_string a = Printf.sprintf "%d'd%d" a.width a.v
+
+let to_binary_string a =
+  String.init a.width (fun i ->
+      if bit a (a.width - 1 - i) then '1' else '0')
+
+let of_string s =
+  let fail () = failwith (Printf.sprintf "Bitvec.of_string: %S" s) in
+  let split c =
+    match String.index_opt s c with
+    | Some i ->
+        Some
+          ( String.sub s 0 i,
+            String.sub s (i + 1) (String.length s - i - 1) )
+    | None -> None
+  in
+  let parse_int str = match int_of_string_opt str with
+    | Some v -> v
+    | None -> fail ()
+  in
+  match split '\'' with
+  | Some (w, rest) when String.length rest >= 2 ->
+      let width = parse_int w in
+      let digits = String.sub rest 1 (String.length rest - 1) in
+      let v =
+        match rest.[0] with
+        | 'd' -> parse_int digits
+        | 'h' -> parse_int ("0x" ^ digits)
+        | 'b' -> parse_int ("0b" ^ digits)
+        | _ -> fail ()
+      in
+      create ~width v
+  | Some _ -> fail ()
+  | None -> (
+      match split ':' with
+      | Some (w, v) -> create ~width:(parse_int w) (parse_int v)
+      | None -> fail ())
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)

@@ -1,0 +1,132 @@
+(** Fixed-width bit vectors.
+
+    Values carried on simulated signals. A vector has a width between 1 and
+    {!max_width} bits and stores its bits zero-extended in a native [int].
+    All arithmetic wraps modulo [2^width], mirroring hardware behaviour.
+
+    Nomenclature used throughout: [width] is a bit width, [v] is a raw
+    (unsigned) integer payload, [a]/[b] are vector operands. *)
+
+type t
+(** A bit vector. Immutable. Structural equality and hashing are valid. *)
+
+exception Width_error of string
+(** Raised on invalid widths or width mismatches between operands. *)
+
+val max_width : int
+(** Largest supported width (62 bits, so that unsigned payloads fit in a
+    native OCaml [int] without overflow). *)
+
+val create : width:int -> int -> t
+(** [create ~width v] is the vector of [width] bits holding [v] truncated to
+    [width] bits. [v] may be negative (two's complement). Raises
+    {!Width_error} if [width] is outside [1 .. max_width]. *)
+
+val zero : int -> t
+(** [zero width] is the all-zeros vector. *)
+
+val one : int -> t
+(** [one width] is the vector holding 1. *)
+
+val ones : int -> t
+(** [ones width] is the all-ones vector. *)
+
+val width : t -> int
+val to_int : t -> int
+(** Unsigned value of the vector, in [0 .. 2^width - 1]. *)
+
+val to_signed : t -> int
+(** Two's-complement signed value of the vector. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Total order: by width, then unsigned value. *)
+
+val msb : t -> bool
+(** Most significant bit. *)
+
+val bit : t -> int -> bool
+(** [bit a i] is bit [i] (0 = least significant). Raises {!Width_error} if
+    [i] is out of range. *)
+
+(** {1 Arithmetic} — operands must share a width; results keep it. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+
+val udiv : t -> t -> t
+(** Unsigned division. Division by zero yields all-ones (common HW model). *)
+
+val urem : t -> t -> t
+(** Unsigned remainder. Remainder by zero yields the dividend. *)
+
+val sdiv : t -> t -> t
+(** Signed division truncating toward zero; [x/0] yields all-ones. *)
+
+val srem : t -> t -> t
+(** Signed remainder (sign follows dividend); [x mod 0] yields [x]. *)
+
+(** {1 Logic} *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+val shift_left : t -> int -> t
+val shift_right_logical : t -> int -> t
+val shift_right_arith : t -> int -> t
+(** Shift amounts of at least [width] produce the fully-shifted value
+    (zero, zero, or sign-fill respectively); negative amounts raise
+    {!Width_error}. *)
+
+(** {1 Comparison} — results are 1-bit vectors (1 = true). *)
+
+val eq : t -> t -> t
+val ne : t -> t -> t
+val ult : t -> t -> t
+val ule : t -> t -> t
+val ugt : t -> t -> t
+val uge : t -> t -> t
+val slt : t -> t -> t
+val sle : t -> t -> t
+val sgt : t -> t -> t
+val sge : t -> t -> t
+
+(** {1 Structure} *)
+
+val concat : t -> t -> t
+(** [concat hi lo] is the vector whose high bits come from [hi]. *)
+
+val slice : t -> hi:int -> lo:int -> t
+(** [slice a ~hi ~lo] extracts bits [hi .. lo] inclusive. *)
+
+val resize : t -> int -> t
+(** [resize a w] zero-extends or truncates to width [w]. *)
+
+val sresize : t -> int -> t
+(** [sresize a w] sign-extends or truncates to width [w]. *)
+
+val of_bool : bool -> t
+(** 1-bit vector: [true] is 1. *)
+
+val to_bool : t -> bool
+(** [true] iff nonzero. *)
+
+(** {1 Text} *)
+
+val to_string : t -> string
+(** ["width'dvalue"] (e.g. ["8'd255"]). *)
+
+val to_binary_string : t -> string
+(** Bits, MSB first, exactly [width] characters. *)
+
+val of_string : string -> t
+(** Parses the formats produced by {!to_string} ("w'dN", also "w'hN",
+    "w'bN") and plain decimal with an explicit width ("w:N").
+    Raises [Failure] on syntax errors. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/compiler/cfg.ml: Array Format Hashtbl Ir Lang List

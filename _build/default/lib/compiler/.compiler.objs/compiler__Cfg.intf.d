@@ -1,0 +1,1 @@
+lib/compiler/cfg.mli: Format Ir Lang

@@ -1,0 +1,1 @@
+lib/compiler/compile.ml: Cfg Fsmkit Hwgen Lang List Netlist Optimize Printf Rtg Share

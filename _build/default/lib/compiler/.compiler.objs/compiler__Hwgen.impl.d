@@ -1,0 +1,1 @@
+lib/compiler/hwgen.ml: Array Cfg Fsmkit Hashtbl Ir Lang List Netlist Operators Option Printf String

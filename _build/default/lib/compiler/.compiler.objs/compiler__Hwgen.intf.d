@@ -1,0 +1,1 @@
+lib/compiler/hwgen.mli: Cfg Fsmkit Netlist

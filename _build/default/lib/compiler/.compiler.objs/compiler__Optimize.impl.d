@@ -1,0 +1,1 @@
+lib/compiler/optimize.ml: Bitvec Lang List Option

@@ -1,0 +1,1 @@
+lib/compiler/share.mli: Cfg Hwgen

@@ -1,0 +1,113 @@
+module Ast = Lang.Ast
+
+type terminator = Jump of int | Branch of Ast.cond * int * int | Halt
+
+type block = { stmts : Ir.sstmt list; term : terminator }
+
+type t = { blocks : block array; entry : int; temps : string list }
+
+(* Blocks are reserved first (forward references during loop
+   construction) and filled afterwards. *)
+type builder = {
+  table : (int, block) Hashtbl.t;
+  mutable count : int;
+  mutable checks : int;  (* assertion counter, for stable check ids *)
+}
+
+let reserve b =
+  let id = b.count in
+  b.count <- b.count + 1;
+  id
+
+let set b id stmts term = Hashtbl.replace b.table id { stmts; term }
+
+let is_simple = function
+  | Ast.Assign _ | Ast.Mem_write _ | Ast.Assert _ -> true
+  | Ast.If _ | Ast.While _ -> false
+  | Ast.Partition -> invalid_arg "Cfg.build: partition marker inside a partition"
+
+let build stmts =
+  let b = { table = Hashtbl.create 16; count = 0; checks = 0 } in
+  let temps = Ir.make_temp_alloc () in
+  let lower_simple stmt =
+    match stmt with
+    | Ast.Assert cond ->
+        let k = b.checks in
+        b.checks <- b.checks + 1;
+        [ Ir.Scheck (k, cond) ]
+    | Ast.Assign _ | Ast.Mem_write _ -> Ir.lower_stmt_simple temps stmt
+    | Ast.If _ | Ast.While _ | Ast.Partition -> assert false
+  in
+  (* [compile_seq stmts exit] -> entry block id of the sequence; control
+     reaches [exit] when the sequence completes. *)
+  let rec compile_seq stmts exit_id =
+    let simple, rest =
+      let rec split acc = function
+        | s :: tail when is_simple s -> split (s :: acc) tail
+        | tail -> (List.rev acc, tail)
+      in
+      split [] stmts
+    in
+    let lowered = List.concat_map lower_simple simple in
+    match rest with
+    | [] ->
+        if lowered = [] then exit_id
+        else begin
+          let id = reserve b in
+          set b id lowered (Jump exit_id);
+          id
+        end
+    | Ast.If (cond, then_branch, else_branch) :: tail ->
+        let tail_entry = compile_seq tail exit_id in
+        let then_entry = compile_seq then_branch tail_entry in
+        let else_entry = compile_seq else_branch tail_entry in
+        let id = reserve b in
+        set b id lowered (Branch (cond, then_entry, else_entry));
+        id
+    | Ast.While (cond, body) :: tail ->
+        let tail_entry = compile_seq tail exit_id in
+        let cond_id = reserve b in
+        let body_entry = compile_seq body cond_id in
+        set b cond_id [] (Branch (cond, body_entry, tail_entry));
+        if lowered = [] then cond_id
+        else begin
+          let id = reserve b in
+          set b id lowered (Jump cond_id);
+          id
+        end
+    | (Ast.Assign _ | Ast.Mem_write _ | Ast.Assert _ | Ast.Partition) :: _ ->
+        assert false (* [is_simple] split these off *)
+  in
+  let halt_id = reserve b in
+  set b halt_id [] Halt;
+  let entry = compile_seq stmts halt_id in
+  let blocks =
+    Array.init b.count (fun i ->
+        match Hashtbl.find_opt b.table i with
+        | Some block -> block
+        | None -> assert false)
+  in
+  { blocks; entry; temps = Ir.temps_allocated temps }
+
+let block_count cfg = Array.length cfg.blocks
+
+let statement_count cfg =
+  Array.fold_left (fun acc bl -> acc + List.length bl.stmts) 0 cfg.blocks
+
+let branch_count cfg =
+  Array.fold_left
+    (fun acc bl ->
+      match bl.term with Branch _ -> acc + 1 | Jump _ | Halt -> acc)
+    0 cfg.blocks
+
+let pp ppf cfg =
+  Format.fprintf ppf "entry: b%d@." cfg.entry;
+  Array.iteri
+    (fun i bl ->
+      Format.fprintf ppf "b%d:@." i;
+      List.iter (fun s -> Format.fprintf ppf "  %a@." Ir.pp_sstmt s) bl.stmts;
+      match bl.term with
+      | Jump j -> Format.fprintf ppf "  jump b%d@." j
+      | Branch (_, t, e) -> Format.fprintf ppf "  branch b%d b%d@." t e
+      | Halt -> Format.fprintf ppf "  halt@.")
+    cfg.blocks

@@ -1,0 +1,27 @@
+(** Control-flow graph over lowered statements.
+
+    Blocks hold straight-line {!Ir.sstmt} runs; terminators carry the
+    (pure) source conditions. *)
+
+type terminator =
+  | Jump of int
+  | Branch of Lang.Ast.cond * int * int  (** then-target, else-target. *)
+  | Halt
+
+type block = { stmts : Ir.sstmt list; term : terminator }
+
+type t = {
+  blocks : block array;
+  entry : int;
+  temps : string list;  (** Temporaries introduced by lowering. *)
+}
+
+val build : Lang.Ast.stmt list -> t
+(** Lower one partition's statement list. Raises [Invalid_argument] on
+    [Partition] markers (split the program first). *)
+
+val block_count : t -> int
+val statement_count : t -> int
+val branch_count : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,187 @@
+module Ast = Lang.Ast
+
+type options = { share_operators : bool; optimize : bool; fold_branches : bool }
+
+let default_options =
+  { share_operators = false; optimize = false; fold_branches = false }
+
+type partition = {
+  index : int;
+  datapath : Netlist.Datapath.t;
+  fsm : Fsmkit.Fsm.t;
+  cfg : Cfg.t;
+  state_count : int;
+  fu_count : int;
+}
+
+type t = {
+  program : Ast.program;
+  options : options;
+  partitions : partition list;
+  rtg : Rtg.t;
+}
+
+exception Error of string list
+
+(* --- definite-assignment before use, per partition ------------------ *)
+
+(* [may_use_before_def stmts] returns the variables that some execution
+   path may read before assigning, using a conservative (paths-may-skip-
+   loops-and-branches) analysis. *)
+let may_use_before_def stmts =
+  let suspects = ref [] in
+  let suspect v = if not (List.mem v !suspects) then suspects := v :: !suspects in
+  let rec expr_uses defined = function
+    | Ast.Int _ -> ()
+    | Ast.Var v -> if not (List.mem v defined) then suspect v
+    | Ast.Mem_read (_, a) -> expr_uses defined a
+    | Ast.Binop (_, a, b) ->
+        expr_uses defined a;
+        expr_uses defined b
+    | Ast.Unop (_, a) -> expr_uses defined a
+  in
+  let rec cond_uses defined = function
+    | Ast.Cmp (_, a, b) ->
+        expr_uses defined a;
+        expr_uses defined b
+    | Ast.Cand (a, b) | Ast.Cor (a, b) ->
+        cond_uses defined a;
+        cond_uses defined b
+    | Ast.Cnot c -> cond_uses defined c
+  in
+  let rec walk defined = function
+    | [] -> defined
+    | Ast.Assign (v, e) :: rest ->
+        expr_uses defined e;
+        walk (if List.mem v defined then defined else v :: defined) rest
+    | Ast.Mem_write (_, a, value) :: rest ->
+        expr_uses defined a;
+        expr_uses defined value;
+        walk defined rest
+    | Ast.If (c, t, e) :: rest ->
+        cond_uses defined c;
+        let dt = walk defined t in
+        let de = walk defined e in
+        let both = List.filter (fun v -> List.mem v de) dt in
+        walk both rest
+    | Ast.While (c, body) :: rest ->
+        cond_uses defined c;
+        (* The body may not run; definitions inside don't count after. *)
+        let (_ : string list) = walk defined body in
+        walk defined rest
+    | Ast.Assert c :: rest ->
+        cond_uses defined c;
+        walk defined rest
+    | Ast.Partition :: rest -> walk defined rest
+  in
+  let (_ : string list) = walk [] stmts in
+  List.sort compare !suspects
+
+let check_partition_flow prog =
+  let parts = Ast.partitions prog in
+  let errs = ref [] in
+  let rec loop written_before k = function
+    | [] -> ()
+    | part :: rest ->
+        if k > 0 then
+          List.iter
+            (fun v ->
+              if List.mem v written_before then
+                errs :=
+                  Printf.sprintf
+                    "partition %d may read variable %S before writing it, \
+                     but an earlier partition writes it; scalar values do \
+                     not survive reconfiguration — pass data through a \
+                     memory"
+                    k v
+                  :: !errs)
+            (may_use_before_def part);
+        loop
+          (List.sort_uniq compare (written_before @ Ast.vars_written part))
+          (k + 1) rest
+  in
+  loop [] 0 parts;
+  List.rev !errs
+
+(* --- driver ---------------------------------------------------------- *)
+
+let partition_name prog k total =
+  if total = 1 then prog.Ast.prog_name
+  else Printf.sprintf "%s_p%d" prog.Ast.prog_name (k + 1)
+
+let compile ?(options = default_options) prog =
+  Lang.Check.validate prog;
+  let prog = if options.optimize then Optimize.program prog else prog in
+  (match check_partition_flow prog with
+  | [] -> ()
+  | errs -> raise (Error errs));
+  let parts = Ast.partitions prog in
+  let total = List.length parts in
+  let memories =
+    List.map
+      (fun (m : Ast.mem_decl) ->
+        (m.Ast.mem_name, { Hwgen.size = m.Ast.mem_size }))
+      prog.Ast.mems
+  in
+  let var_inits =
+    List.map (fun (v : Ast.var_decl) -> (v.Ast.var_name, v.Ast.var_init)) prog.Ast.vars
+  in
+  let partitions =
+    List.mapi
+      (fun k stmts ->
+        let cfg = Cfg.build stmts in
+        let name = partition_name prog k total in
+        let result =
+          let fold_branches = options.fold_branches in
+          let probes = prog.Ast.probes in
+          if options.share_operators then
+            Share.generate ~fold_branches ~probes ~name
+              ~width:prog.Ast.prog_width ~memories ~var_inits cfg
+          else
+            Hwgen.generate ~fold_branches ~probes ~name
+              ~width:prog.Ast.prog_width ~memories ~var_inits cfg
+        in
+        {
+          index = k;
+          datapath = result.Hwgen.datapath;
+          fsm = result.Hwgen.fsm;
+          cfg;
+          state_count = result.Hwgen.state_count;
+          fu_count = result.Hwgen.fu_count;
+        })
+      parts
+  in
+  let rtg =
+    let configurations =
+      List.map
+        (fun p ->
+          let name = partition_name prog p.index total in
+          {
+            Rtg.cfg_name = name;
+            datapath_ref = name ^ "_dp";
+            fsm_ref = name ^ "_fsm";
+          })
+        partitions
+    in
+    let transitions =
+      let rec chain = function
+        | a :: (b :: _ as rest) ->
+            { Rtg.src = a.Rtg.cfg_name; dst = b.Rtg.cfg_name } :: chain rest
+        | [ _ ] | [] -> []
+      in
+      chain configurations
+    in
+    {
+      Rtg.rtg_name = prog.Ast.prog_name;
+      initial = (List.hd configurations).Rtg.cfg_name;
+      configurations;
+      transitions;
+    }
+  in
+  Rtg.validate rtg;
+  { program = prog; options; partitions; rtg }
+
+let datapath_ref t k =
+  (List.nth t.partitions k).datapath.Netlist.Datapath.dp_name
+
+let fsm_ref t k = (List.nth t.partitions k).fsm.Fsmkit.Fsm.fsm_name

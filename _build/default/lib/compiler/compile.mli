@@ -1,0 +1,54 @@
+(** Compiler driver: source program to datapath / FSM / RTG documents.
+
+    The program is split at its [partition] markers into temporal
+    partitions; each partition is lowered ({!Ir}, {!Cfg}) and mapped to
+    hardware ({!Hwgen}, or {!Share} when operator sharing is enabled).
+    The RTG chains the partitions in source order.
+
+    Hardware configurations start with freshly-initialized registers, so
+    scalar values cannot flow between partitions — data must pass through
+    the shared memories, as on the paper's platform. {!check_partition_flow}
+    rejects programs whose later partitions may read a variable before
+    writing it while an earlier partition wrote it. *)
+
+type options = {
+  share_operators : bool;
+      (** Bind same-kind FUs to shared instances (fewer operators, extra
+          muxes). Default [false]. *)
+  optimize : bool;
+      (** Run the {!Optimize} source-level pass first. Default [false]. *)
+  fold_branches : bool;
+      (** Merge branch tests into the preceding statement's state when
+          safe (see {!Hwgen.generate}). Default [false]. *)
+}
+
+val default_options : options
+
+type partition = {
+  index : int;
+  datapath : Netlist.Datapath.t;
+  fsm : Fsmkit.Fsm.t;
+  cfg : Cfg.t;
+  state_count : int;
+  fu_count : int;
+}
+
+type t = {
+  program : Lang.Ast.program;
+  options : options;
+  partitions : partition list;
+  rtg : Rtg.t;
+}
+
+exception Error of string list
+
+val compile : ?options:options -> Lang.Ast.program -> t
+(** Raises {!Lang.Check.Invalid} on source errors and {!Error} on
+    partition-flow violations. *)
+
+val check_partition_flow : Lang.Ast.program -> string list
+(** Diagnostics for cross-partition scalar flow (empty = fine). *)
+
+val datapath_ref : t -> int -> string
+val fsm_ref : t -> int -> string
+(** Document names of partition [k], as referenced by the RTG. *)

@@ -1,0 +1,64 @@
+(** Hardware generation: one CFG partition to a datapath / FSM pair.
+
+    Architecture generated (classic FSMD, no operator sharing — see
+    {!Share} for the sharing ablation):
+    - every variable (and lowering temporary) referenced by the partition
+      becomes a [reg] with a write-enable, fed through a mux over the
+      distinct values assigned to it;
+    - every expression node becomes a dedicated functional unit; constants
+      are deduplicated [const] operators;
+    - every memory becomes an [sram] whose address/din are muxed over the
+      distinct access expressions, with the address truncated from the
+      program width by a [zext];
+    - each lowered statement executes in one FSM state (expression trees
+      chain combinationally within the state; the register/memory write
+      happens on the state's clock edge);
+    - each CFG branch gets a test state whose comparison tree drives a
+      1-bit status signal the FSM branches on ([?fold_branches] merges
+      that test into the preceding statement's state when the statement
+      does not write a condition operand — one cycle saved per branch);
+    - a final [halt] state is flagged done;
+    - [?probes] names variables whose registers get a [probe] operator
+      (instance [probe_<var>]) recording every value during simulation. *)
+
+type memory_info = { size : int }
+
+type result = {
+  datapath : Netlist.Datapath.t;
+  fsm : Fsmkit.Fsm.t;
+  state_count : int;
+  fu_count : int;  (** Functional units (excludes test aids). *)
+}
+
+val generate :
+  ?fold_branches:bool ->
+  ?probes:string list ->
+  name:string ->
+  width:int ->
+  memories:(string * memory_info) list ->
+  var_inits:(string * int) list ->
+  Cfg.t ->
+  result
+(** [name] prefixes the datapath/FSM document names. [var_inits] must
+    cover every source variable (lowering temporaries are added
+    internally, initialized to 0). The produced documents pass
+    {!Netlist.Datapath.validate} and {!Fsmkit.Fsm.validate}. *)
+
+val generate_shared :
+  ?fold_branches:bool ->
+  ?probes:string list ->
+  name:string ->
+  width:int ->
+  memories:(string * memory_info) list ->
+  var_inits:(string * int) list ->
+  Cfg.t ->
+  result
+(** Like {!generate} but binds expression nodes to pooled FU instances
+    per (kind, width): the k-th node of a kind within a state uses the
+    k-th pooled instance, whose input ports grow selection muxes over the
+    distinct operands seen across states. Fewer functional units at the
+    cost of muxes — the operator-sharing design point. *)
+
+val addr_width : int -> int
+(** Address width for a memory of the given size (bits to address
+    [size - 1], at least 1). *)

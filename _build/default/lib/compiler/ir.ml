@@ -1,0 +1,64 @@
+module Ast = Lang.Ast
+
+type sstmt =
+  | Sassign of string * Ast.expr
+  | Sload of string * string * Ast.expr
+  | Sstore of string * Ast.expr * Ast.expr
+  | Scheck of int * Ast.cond
+
+type temp_alloc = { mutable next : int; mutable names : string list }
+
+let make_temp_alloc () = { next = 0; names = [] }
+
+let fresh t =
+  let name = Printf.sprintf "$t%d" t.next in
+  t.next <- t.next + 1;
+  t.names <- name :: t.names;
+  name
+
+let temps_allocated t = List.rev t.names
+
+let rec lower_expr t = function
+  | Ast.Int _ as e -> ([], e)
+  | Ast.Var _ as e -> ([], e)
+  | Ast.Mem_read (m, addr) ->
+      let loads, addr = lower_expr t addr in
+      let tmp = fresh t in
+      (loads @ [ Sload (tmp, m, addr) ], Ast.Var tmp)
+  | Ast.Binop (op, a, b) ->
+      let la, a = lower_expr t a in
+      let lb, b = lower_expr t b in
+      (la @ lb, Ast.Binop (op, a, b))
+  | Ast.Unop (op, a) ->
+      let la, a = lower_expr t a in
+      (la, Ast.Unop (op, a))
+
+let lower_stmt_simple t = function
+  | Ast.Assign (v, e) ->
+      let loads, e = lower_expr t e in
+      loads @ [ Sassign (v, e) ]
+  | Ast.Mem_write (m, addr, value) ->
+      let la, addr = lower_expr t addr in
+      let lv, value = lower_expr t value in
+      la @ lv @ [ Sstore (m, addr, value) ]
+  | Ast.Assert _ | Ast.If _ | Ast.While _ | Ast.Partition ->
+      invalid_arg "Ir.lower_stmt_simple: control statement"
+
+let assert_pure e =
+  if Ast.expr_reads_memory e then
+    invalid_arg "Ir: expression unexpectedly reads a memory"
+
+let rec pp_expr ppf = function
+  | Ast.Int v -> Format.pp_print_int ppf v
+  | Ast.Var v -> Format.pp_print_string ppf v
+  | Ast.Mem_read (m, a) -> Format.fprintf ppf "%s[%a]" m pp_expr a
+  | Ast.Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (Ast.binop_to_string op)
+        pp_expr b
+  | Ast.Unop (op, a) -> Format.fprintf ppf "%s%a" (Ast.unop_to_string op) pp_expr a
+
+let pp_sstmt ppf = function
+  | Sassign (v, e) -> Format.fprintf ppf "%s := %a" v pp_expr e
+  | Sload (v, m, a) -> Format.fprintf ppf "%s := %s[%a]" v m pp_expr a
+  | Sstore (m, a, v) -> Format.fprintf ppf "%s[%a] := %a" m pp_expr a pp_expr v
+  | Scheck (k, _) -> Format.fprintf ppf "assert#%d" k

@@ -1,0 +1,40 @@
+(** Lowered intermediate representation.
+
+    Source statements are flattened so that every memory access stands
+    alone — the shape each datapath state implements:
+    - [Sassign (v, e)]: [v := e] with [e] a {e pure} scalar expression
+      (constants, variables, ALU operators; no memory reads);
+    - [Sload (v, m, addr)]: [v := m[addr]] with a pure address;
+    - [Sstore (m, addr, value)]: [m[addr] := value], both operands pure.
+
+    Memory reads inside source expressions are hoisted into fresh
+    temporaries ([$t0], [$t1], ...) by {!lower_expr}; conditions are
+    already pure by {!Lang.Check}. *)
+
+type sstmt =
+  | Sassign of string * Lang.Ast.expr
+  | Sload of string * string * Lang.Ast.expr
+  | Sstore of string * Lang.Ast.expr * Lang.Ast.expr
+  | Scheck of int * Lang.Ast.cond
+      (** Runtime assertion (index within the partition, pure condition);
+          becomes a [check] operator enabled in its own state. *)
+
+type temp_alloc
+(** Generator of fresh temporary names, shared across one partition. *)
+
+val make_temp_alloc : unit -> temp_alloc
+val temps_allocated : temp_alloc -> string list
+(** In allocation order. *)
+
+val lower_expr : temp_alloc -> Lang.Ast.expr -> sstmt list * Lang.Ast.expr
+(** [lower_expr t e] returns the loads to execute first and the pure
+    residual expression. *)
+
+val lower_stmt_simple : temp_alloc -> Lang.Ast.stmt -> sstmt list
+(** Lower one non-control statement ([Assign] or [Mem_write]).
+    Raises [Invalid_argument] on control statements. *)
+
+val assert_pure : Lang.Ast.expr -> unit
+(** Raises [Invalid_argument] if the expression reads a memory. *)
+
+val pp_sstmt : Format.formatter -> sstmt -> unit

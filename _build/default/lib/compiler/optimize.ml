@@ -1,0 +1,162 @@
+module Ast = Lang.Ast
+
+let fold_binop ~width op a b =
+  let ba = Bitvec.create ~width a and bb = Bitvec.create ~width b in
+  let f =
+    match op with
+    | Ast.Add -> Bitvec.add
+    | Ast.Sub -> Bitvec.sub
+    | Ast.Mul -> Bitvec.mul
+    | Ast.Div -> Bitvec.sdiv
+    | Ast.Rem -> Bitvec.srem
+    | Ast.Band -> Bitvec.logand
+    | Ast.Bor -> Bitvec.logor
+    | Ast.Bxor -> Bitvec.logxor
+    | Ast.Shl -> fun a b -> Bitvec.shift_left a (Bitvec.to_int b)
+    | Ast.Shra -> fun a b -> Bitvec.shift_right_arith a (Bitvec.to_int b)
+    | Ast.Shrl -> fun a b -> Bitvec.shift_right_logical a (Bitvec.to_int b)
+  in
+  Bitvec.to_signed (f ba bb)
+
+let fold_unop ~width op a =
+  let ba = Bitvec.create ~width a in
+  Bitvec.to_signed (match op with Ast.Neg -> Bitvec.neg ba | Ast.Bnot -> Bitvec.lognot ba)
+
+let power_of_two v = v > 0 && v land (v - 1) = 0
+
+let log2 v =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+(* Canonical integer value at the program width (so [256] and [0] compare
+   equal at width 8). *)
+let canon ~width v = Bitvec.to_signed (Bitvec.create ~width v)
+
+let rec expr ~width e =
+  match e with
+  | Ast.Int v -> Ast.Int (canon ~width v)
+  | Ast.Var _ -> e
+  | Ast.Mem_read (m, a) -> Ast.Mem_read (m, expr ~width a)
+  | Ast.Unop (op, a) -> (
+      match expr ~width a with
+      | Ast.Int v -> Ast.Int (fold_unop ~width op v)
+      | Ast.Unop (inner, a') when inner = op -> a' (* ~~x, --x *)
+      | a' -> Ast.Unop (op, a'))
+  | Ast.Binop (op, a, b) -> (
+      let a' = expr ~width a and b' = expr ~width b in
+      match (op, a', b') with
+      | _, Ast.Int va, Ast.Int vb -> Ast.Int (fold_binop ~width op va vb)
+      (* identity elements *)
+      | Ast.Add, x, Ast.Int 0 | Ast.Add, Ast.Int 0, x -> x
+      | Ast.Sub, x, Ast.Int 0 -> x
+      | Ast.Mul, x, Ast.Int 1 | Ast.Mul, Ast.Int 1, x -> x
+      | Ast.Mul, _, Ast.Int 0 | Ast.Mul, Ast.Int 0, _ -> Ast.Int 0
+      | Ast.Div, x, Ast.Int 1 -> x
+      | Ast.Band, _, Ast.Int 0 | Ast.Band, Ast.Int 0, _ -> Ast.Int 0
+      | Ast.Bor, x, Ast.Int 0 | Ast.Bor, Ast.Int 0, x -> x
+      | Ast.Bxor, x, Ast.Int 0 | Ast.Bxor, Ast.Int 0, x -> x
+      | (Ast.Shl | Ast.Shra | Ast.Shrl), x, Ast.Int 0 -> x
+      (* strength reduction: multiply by a power of two (exact under
+         two's-complement wrap) *)
+      | Ast.Mul, x, Ast.Int v when power_of_two v ->
+          Ast.Binop (Ast.Shl, x, Ast.Int (log2 v))
+      | Ast.Mul, Ast.Int v, x when power_of_two v ->
+          Ast.Binop (Ast.Shl, x, Ast.Int (log2 v))
+      | _, _, _ -> Ast.Binop (op, a', b'))
+
+let rec cond_value ~width c =
+  match c with
+  | Ast.Cmp (op, a, b) -> (
+      match (expr ~width a, expr ~width b) with
+      | Ast.Int va, Ast.Int vb ->
+          Some
+            (match op with
+            | Ast.Eq -> va = vb
+            | Ast.Ne -> va <> vb
+            | Ast.Lt -> va < vb
+            | Ast.Le -> va <= vb
+            | Ast.Gt -> va > vb
+            | Ast.Ge -> va >= vb)
+      | _, _ -> None)
+  | Ast.Cnot c -> Option.map not (cond_value ~width c)
+  | Ast.Cand (a, b) -> (
+      match (cond_value ~width a, cond_value ~width b) with
+      | Some false, _ | _, Some false -> Some false
+      | Some true, Some true -> Some true
+      | _, _ -> None)
+  | Ast.Cor (a, b) -> (
+      match (cond_value ~width a, cond_value ~width b) with
+      | Some true, _ | _, Some true -> Some true
+      | Some false, Some false -> Some false
+      | _, _ -> None)
+
+let rec cond ~width c =
+  match cond_value ~width c with
+  | Some _ -> None
+  | None -> (
+      match c with
+      | Ast.Cmp (op, a, b) -> Some (Ast.Cmp (op, expr ~width a, expr ~width b))
+      | Ast.Cnot inner -> (
+          match cond ~width inner with
+          | Some inner' -> Some (Ast.Cnot inner')
+          | None -> None (* contradiction with cond_value above *))
+      | Ast.Cand (a, b) -> (
+          match (cond_value ~width a, cond_value ~width b) with
+          | Some true, _ -> cond ~width b
+          | _, Some true -> cond ~width a
+          | _, _ ->
+              Some
+                (Ast.Cand
+                   ( Option.value (cond ~width a) ~default:a,
+                     Option.value (cond ~width b) ~default:b )))
+      | Ast.Cor (a, b) -> (
+          match (cond_value ~width a, cond_value ~width b) with
+          | Some false, _ -> cond ~width b
+          | _, Some false -> cond ~width a
+          | _, _ ->
+              Some
+                (Ast.Cor
+                   ( Option.value (cond ~width a) ~default:a,
+                     Option.value (cond ~width b) ~default:b ))))
+
+let rec stmts ~width body = List.concat_map (stmt ~width) body
+
+and stmt ~width s =
+  match s with
+  | Ast.Assign (v, e) -> [ Ast.Assign (v, expr ~width e) ]
+  | Ast.Mem_write (m, a, v) -> [ Ast.Mem_write (m, expr ~width a, expr ~width v) ]
+  | Ast.Assert c -> (
+      match cond_value ~width c with
+      | Some true -> [] (* provably holds: no hardware needed *)
+      | Some false | None -> (
+          match cond ~width c with
+          | Some c' -> [ Ast.Assert c' ]
+          | None -> [ Ast.Assert c ] (* constant-false: keep as written *)))
+  | Ast.If (c, t, e) -> (
+      match cond_value ~width c with
+      | Some true -> stmts ~width t
+      | Some false -> stmts ~width e
+      | None ->
+          [ Ast.If (Option.value (cond ~width c) ~default:c,
+                    stmts ~width t, stmts ~width e) ])
+  | Ast.While (c, body) -> (
+      match cond_value ~width c with
+      | Some false -> []
+      | Some true | None ->
+          (* A constant-true loop is kept verbatim (it may be the
+             program's intent to spin until an external stop). *)
+          [ Ast.While (Option.value (cond ~width c) ~default:c,
+                       stmts ~width body) ])
+  | Ast.Partition -> [ Ast.Partition ]
+
+let program (prog : Ast.program) =
+  { prog with Ast.body = stmts ~width:prog.Ast.prog_width prog.Ast.body }
+
+let stmt_count body =
+  let rec go acc = function
+    | Ast.Assign _ | Ast.Mem_write _ | Ast.Assert _ | Ast.Partition -> acc + 1
+    | Ast.If (_, t, e) ->
+        List.fold_left go (List.fold_left go (acc + 1) t) e
+    | Ast.While (_, b) -> List.fold_left go (acc + 1) b
+  in
+  List.fold_left go 0 body

@@ -1,0 +1,26 @@
+(** Source-level optimizations, applied before lowering when enabled.
+
+    All rewrites preserve the wrap-around semantics at the program width:
+    - constant folding (with {!Bitvec} arithmetic at the program width);
+    - algebraic identities ([x+0], [x*1], [x&0], [x^0], [x<<0],
+      double negation, ...);
+    - strength reduction: multiplication by a power of two becomes a left
+      shift (exact under two's-complement wrap; division is {e not}
+      reduced — signed division truncates toward zero while an arithmetic
+      shift floors);
+    - branch folding: [if]/[while] with constant conditions.
+
+    Fewer and cheaper expression nodes mean fewer functional units in the
+    generated datapath — the effect the ablation benches measure. *)
+
+val expr : width:int -> Lang.Ast.expr -> Lang.Ast.expr
+val cond : width:int -> Lang.Ast.cond -> Lang.Ast.cond option
+(** [None] means the condition is constant; query {!cond_value}. *)
+
+val cond_value : width:int -> Lang.Ast.cond -> bool option
+(** [Some b] when the condition folds to the constant [b]. *)
+
+val program : Lang.Ast.program -> Lang.Ast.program
+
+val stmt_count : Lang.Ast.stmt list -> int
+(** Statement nodes, recursively (for before/after diagnostics). *)

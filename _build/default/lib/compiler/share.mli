@@ -1,0 +1,11 @@
+(** Operator-sharing binding (see {!Hwgen.generate_shared}). *)
+
+val generate :
+  ?fold_branches:bool ->
+  ?probes:string list ->
+  name:string ->
+  width:int ->
+  memories:(string * Hwgen.memory_info) list ->
+  var_inits:(string * int) list ->
+  Cfg.t ->
+  Hwgen.result

@@ -1,0 +1,1 @@
+lib/core/bundle.ml: Array Compiler Filename Fsmkit Hashtbl List Netlist Operators Printf Rtg Simulate Sys

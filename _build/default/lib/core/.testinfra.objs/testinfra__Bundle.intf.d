@@ -1,0 +1,1 @@
+lib/core/bundle.mli: Compiler Fsmkit Netlist Operators Rtg Simulate

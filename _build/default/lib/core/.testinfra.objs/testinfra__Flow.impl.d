@@ -1,0 +1,1 @@
+lib/core/flow.ml: Compiler Dotkit Filename Fsmkit Fun Hdl List Netlist Printf Rtg Sys Transform

@@ -1,0 +1,1 @@
+lib/core/memfile.ml: Array Bitvec Format Fun List Operators Printf String

@@ -1,0 +1,1 @@
+lib/core/report.ml: Compiler Format Lang List Printf Sim Simulate Verify

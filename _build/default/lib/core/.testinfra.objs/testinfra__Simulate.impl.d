@@ -1,0 +1,1 @@
+lib/core/simulate.ml: Clock Compiler Engine Fsmkit List Netlist Operators Printf Rtg Sim Sys Transform Vcd

@@ -1,0 +1,1 @@
+lib/core/simulate.mli: Compiler Fsmkit Netlist Operators Rtg Sim

@@ -1,0 +1,1 @@
+lib/core/suite.ml: Array Buffer Compiler Filename Fun List Memfile Printexc Printf String Sys Verify Workloads

@@ -1,0 +1,1 @@
+lib/core/suite.mli: Compiler Verify

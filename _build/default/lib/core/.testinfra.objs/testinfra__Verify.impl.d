@@ -1,0 +1,1 @@
+lib/core/verify.ml: Bitvec Compiler Lang List Operators Printf Simulate Sys

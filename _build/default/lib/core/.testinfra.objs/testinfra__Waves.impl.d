@@ -1,0 +1,1 @@
+lib/core/waves.ml: Bitvec Buffer List Printf Sim String

@@ -1,0 +1,1 @@
+lib/core/waves.mli: Bitvec Sim

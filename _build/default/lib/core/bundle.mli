@@ -1,0 +1,35 @@
+(** Design bundles: a complete implementation as XML files on disk.
+
+    The infrastructure's inputs are the three XML dialects, not the
+    compiler that produced them: a bundle directory holds one RTG document
+    plus one [<ref>.xml] per datapath/FSM it references, and can be
+    simulated without any source program — e.g. artifacts written by
+    {!Flow.emit_all}, by another compiler, or by hand. *)
+
+type t = {
+  rtg : Rtg.t;
+  datapaths : (string * Netlist.Datapath.t) list;  (** Keyed by document name. *)
+  fsms : (string * Fsmkit.Fsm.t) list;
+}
+
+val save : dir:string -> Compiler.Compile.t -> unit
+(** Write [<rtg-name>_rtg.xml] and every referenced datapath/FSM document
+    into [dir] (creating it if needed). A subset of {!Flow.emit_all}. *)
+
+val load : dir:string -> t
+(** Find the single [*_rtg.xml] in [dir], then load every referenced
+    [<ref>.xml]. Validates all documents. Raises [Failure] when the RTG is
+    missing/ambiguous or a referenced document is absent. *)
+
+val simulate :
+  ?clock_period:int ->
+  ?max_cycles:int ->
+  memories:(string -> Operators.Memory.t) ->
+  t ->
+  Simulate.rtg_run
+(** Run the bundle's configurations in RTG order over shared memories. *)
+
+val memories_of_bundle : t -> (string * int * int) list
+(** Every memory name the bundle's SRAM/ROM operators reference, with
+    (size, width) — what a caller must provide to {!simulate}. Sorted,
+    duplicates merged; raises [Failure] on conflicting declarations. *)

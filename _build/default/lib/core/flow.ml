@@ -1,0 +1,118 @@
+module Compile = Compiler.Compile
+
+type artifact = { path : string; description : string }
+
+type translation = {
+  source_kind : string;
+  target_kind : string;
+  tool : string;
+}
+
+let translations =
+  [
+    { source_kind = "datapath.xml"; target_kind = "datapath.hds"; tool = "to sim" };
+    { source_kind = "datapath.xml"; target_kind = "datapath.dot"; tool = "to dotty" };
+    { source_kind = "datapath.xml"; target_kind = "datapath.v"; tool = "to verilog" };
+    { source_kind = "datapath.xml"; target_kind = "datapath.vhd"; tool = "to vhdl" };
+    { source_kind = "datapath.xml"; target_kind = "datapath.cpp"; tool = "to systemc" };
+    { source_kind = "fsm.xml"; target_kind = "fsm.ml"; tool = "to code" };
+    { source_kind = "fsm.xml"; target_kind = "fsm.dot"; tool = "to dotty" };
+    { source_kind = "fsm.xml"; target_kind = "fsm.v"; tool = "to verilog" };
+    { source_kind = "fsm.xml"; target_kind = "fsm.vhd"; tool = "to vhdl" };
+    { source_kind = "fsm.xml"; target_kind = "fsm.cpp"; tool = "to systemc" };
+    { source_kind = "rtg.xml"; target_kind = "rtg.ml"; tool = "to code" };
+    { source_kind = "rtg.xml"; target_kind = "rtg.dot"; tool = "to dotty" };
+  ]
+
+let write_text path text =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc text)
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let emit_all ~dir (compiled : Compile.t) =
+  ensure_dir dir;
+  let artifacts = ref [] in
+  let emit path description writer =
+    writer (Filename.concat dir path);
+    artifacts := { path; description } :: !artifacts
+  in
+  List.iter
+    (fun (p : Compile.partition) ->
+      let dp = p.Compile.datapath and fsm = p.Compile.fsm in
+      let base = dp.Netlist.Datapath.dp_name in
+      let fsm_base = fsm.Fsmkit.Fsm.fsm_name in
+      emit (base ^ ".xml") "datapath XML" (fun path ->
+          Netlist.Datapath.save path dp);
+      emit (base ^ ".dot") "datapath graph" (fun path ->
+          Dotkit.Dot.save path (Transform.To_dot.datapath dp));
+      emit (base ^ ".v") "datapath Verilog" (fun path ->
+          write_text path (Hdl.Verilog.datapath dp));
+      emit (base ^ ".vhd") "datapath VHDL" (fun path ->
+          write_text path (Hdl.Vhdl.datapath dp));
+      emit (base ^ ".cpp") "datapath SystemC" (fun path ->
+          write_text path (Hdl.Systemc.datapath dp));
+      emit (fsm_base ^ ".xml") "FSM XML" (fun path -> Fsmkit.Fsm.save path fsm);
+      emit (fsm_base ^ ".dot") "FSM graph" (fun path ->
+          Dotkit.Dot.save path (Transform.To_dot.fsm fsm));
+      emit (fsm_base ^ ".ml") "generated controller code" (fun path ->
+          write_text path (Transform.Codegen.fsm fsm));
+      emit (fsm_base ^ ".v") "FSM Verilog" (fun path ->
+          write_text path (Hdl.Verilog.fsm fsm));
+      emit (fsm_base ^ ".vhd") "FSM VHDL" (fun path ->
+          write_text path (Hdl.Vhdl.fsm fsm));
+      emit (fsm_base ^ ".cpp") "FSM SystemC" (fun path ->
+          write_text path (Hdl.Systemc.fsm fsm)))
+    compiled.Compile.partitions;
+  let rtg = compiled.Compile.rtg in
+  let rtg_base = rtg.Rtg.rtg_name ^ "_rtg" in
+  let emit_rtg () =
+    emit (rtg_base ^ ".xml") "RTG XML" (fun path -> Rtg.save path rtg);
+    emit (rtg_base ^ ".dot") "RTG graph" (fun path ->
+        Dotkit.Dot.save path (Transform.To_dot.rtg rtg));
+    emit (rtg_base ^ ".ml") "generated sequencer code" (fun path ->
+        write_text path (Transform.Codegen.rtg rtg))
+  in
+  emit_rtg ();
+  List.rev !artifacts
+
+let infrastructure_diagram () =
+  let g =
+    Dotkit.Dot.create "test_infrastructure"
+      ~graph_attrs:[ ("rankdir", "TB"); ("fontname", "Helvetica") ]
+      ~node_defaults:[ ("fontname", "Helvetica"); ("fontsize", "10") ]
+  in
+  let doc id label =
+    Dotkit.Dot.add_node g id ~attrs:[ ("shape", "note"); ("label", label) ]
+  in
+  let tool id label =
+    Dotkit.Dot.add_node g id ~attrs:[ ("shape", "box"); ("label", label) ]
+  in
+  tool "compiler" "high-level compiler\n(lang + compiler libs)";
+  List.iter
+    (fun kind ->
+      doc kind kind;
+      Dotkit.Dot.add_edge g "compiler" kind)
+    [ "datapath.xml"; "fsm.xml"; "rtg.xml" ];
+  List.iter
+    (fun { source_kind; target_kind; tool = tname } ->
+      let tid = Printf.sprintf "%s->%s" source_kind target_kind in
+      tool tid tname;
+      doc target_kind target_kind;
+      Dotkit.Dot.add_edge g source_kind tid;
+      Dotkit.Dot.add_edge g tid target_kind)
+    translations;
+  tool "engine" "event-driven simulator\n(sim lib + operator library)";
+  Dotkit.Dot.add_edge g "datapath.hds" "engine";
+  Dotkit.Dot.add_edge g "fsm.ml" "engine";
+  Dotkit.Dot.add_edge g "rtg.ml" "engine";
+  doc "iodata" "I/O data\n(RAMs and stimulus files)";
+  Dotkit.Dot.add_edge g "iodata" "engine";
+  tool "golden" "input algorithm\n(golden interpreter)";
+  Dotkit.Dot.add_edge g "iodata" "golden";
+  tool "comparison" "memory comparison\n(verify)";
+  Dotkit.Dot.add_edge g "engine" "comparison";
+  Dotkit.Dot.add_edge g "golden" "comparison";
+  g

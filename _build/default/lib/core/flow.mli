@@ -1,0 +1,30 @@
+(** Artifact emission — the infrastructure's build step (the "ANT build"
+    box of the paper's Figure 1).
+
+    [emit_all] runs every registered translation over a compilation
+    result, writing the XML documents, their dot / generated-code /
+    VHDL / Verilog translations, and the RTG artifacts into a directory.
+    [infrastructure_diagram] renders the flow itself — the paper's
+    Figure 1 — from the same translation registry, so the diagram always
+    matches the implementation. *)
+
+type artifact = {
+  path : string;  (** Relative to the output directory. *)
+  description : string;
+}
+
+val emit_all : dir:string -> Compiler.Compile.t -> artifact list
+(** Creates [dir] if needed. Returns the artifacts written. *)
+
+type translation = {
+  source_kind : string;  (** e.g. "datapath.xml" *)
+  target_kind : string;  (** e.g. "datapath.dot" *)
+  tool : string;  (** e.g. "to dotty" *)
+}
+
+val translations : translation list
+(** The registered translation rules (XML dialect -> artifact kind). *)
+
+val infrastructure_diagram : unit -> Dotkit.Dot.t
+(** Figure 1: compiler outputs, translation rules, simulator, I/O files
+    and verification, generated from {!translations}. *)

@@ -1,0 +1,88 @@
+module Memory = Operators.Memory
+
+exception Format_error of { line : int; message : string }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Format_error { line; message })) fmt
+
+let parse_word line text =
+  match int_of_string_opt text with
+  | Some v -> v
+  | None -> fail line "bad word %S" text
+
+let read_words path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let out = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           let text =
+             match String.index_opt line '#' with
+             | Some i -> String.sub line 0 i
+             | None -> line
+           in
+           let text = String.trim text in
+           if text <> "" then
+             if text.[0] = '@' then
+               let addr =
+                 parse_word !lineno
+                   (String.sub text 1 (String.length text - 1))
+               in
+               out := (Some addr, 0) :: !out
+             else out := (None, parse_word !lineno text) :: !out
+         done
+       with End_of_file -> ());
+      List.rev !out)
+
+let load_into memory path =
+  let pos = ref 0 in
+  List.iter
+    (function
+      | Some addr, _ -> pos := addr
+      | None, word ->
+          Memory.write memory !pos
+            (Bitvec.create ~width:(Memory.width memory) word);
+          incr pos)
+    (read_words path)
+
+let save memory path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# memory %S: %d words of %d bits\n"
+        (Memory.name memory) (Memory.size memory) (Memory.width memory);
+      List.iter (fun w -> Printf.fprintf oc "%d\n" w) (Memory.to_list memory))
+
+let write_words path words =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun w -> Printf.fprintf oc "%d\n" w) words)
+
+let load_list path =
+  let directives = read_words path in
+  let max_pos = ref 0 in
+  let pos = ref 0 in
+  List.iter
+    (function
+      | Some addr, _ -> pos := addr
+      | None, _ ->
+          incr pos;
+          if !pos > !max_pos then max_pos := !pos)
+    directives;
+  let arr = Array.make !max_pos 0 in
+  let pos = ref 0 in
+  List.iter
+    (function
+      | Some addr, _ -> pos := addr
+      | None, word ->
+          if !pos >= 0 && !pos < Array.length arr then arr.(!pos) <- word;
+          incr pos)
+    directives;
+  Array.to_list arr

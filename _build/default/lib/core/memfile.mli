@@ -1,0 +1,26 @@
+(** Memory-content and stimulus files.
+
+    The paper keeps "memory contents and I/O data" in plain files shared
+    between the golden software run and the hardware simulation. Format:
+    one word per line (decimal, negative allowed, or [0x] hex), [#]
+    comments, and [@<addr>] directives to reposition. *)
+
+exception Format_error of { line : int; message : string }
+
+val read_words : string -> (int option * int) list
+(** Raw directives from a file: [(Some addr, _)] repositions, [(None, w)]
+    stores word [w] at the running position. Mostly internal; prefer
+    {!load_into}. *)
+
+val load_into : Operators.Memory.t -> string -> unit
+(** Load a file into a memory (values truncated to the memory width). *)
+
+val save : Operators.Memory.t -> string -> unit
+(** Write every word, one per line, with a header comment. *)
+
+val write_words : string -> int list -> unit
+(** Write a stimulus file from a word list. *)
+
+val load_list : string -> int list
+(** Flatten a file into a word list, honouring [@addr] (gaps fill with
+    0). *)

@@ -1,0 +1,82 @@
+module Compile = Compiler.Compile
+
+type row = {
+  example : string;
+  lo_source : int;
+  lo_xml_fsm : int list;
+  lo_xml_datapath : int list;
+  lo_gen_fsm : int list;
+  operators : int list;
+  states : int list;
+  sim_seconds : float list;
+  total_cycles : int;
+  passed : bool;
+}
+
+let collect ~source (outcome : Verify.t) =
+  let compiled = outcome.Verify.compiled in
+  let per_partition f = List.map f compiled.Compile.partitions in
+  {
+    example = compiled.Compile.program.Lang.Ast.prog_name;
+    lo_source = Lang.Parser.source_line_count source;
+    lo_xml_fsm =
+      per_partition (fun p ->
+          Xmlkit.Xml.line_count (Fsmkit.Fsm.to_xml p.Compile.fsm));
+    lo_xml_datapath =
+      per_partition (fun p ->
+          Xmlkit.Xml.line_count (Netlist.Datapath.to_xml p.Compile.datapath));
+    lo_gen_fsm =
+      per_partition (fun p ->
+          Transform.Codegen.line_count (Transform.Codegen.fsm p.Compile.fsm));
+    operators = per_partition (fun p -> p.Compile.fu_count);
+    states = per_partition (fun p -> p.Compile.state_count);
+    sim_seconds =
+      List.map
+        (fun (r : Simulate.config_run) -> r.Simulate.wall_seconds)
+        outcome.Verify.hw_run.Simulate.runs;
+    total_cycles = outcome.Verify.hw_run.Simulate.total_cycles;
+    passed = outcome.Verify.passed;
+  }
+
+let join fmt values = String.concat "+" (List.map fmt values)
+
+let row_to_strings row =
+  [
+    row.example;
+    string_of_int row.lo_source;
+    join string_of_int row.lo_xml_fsm;
+    join string_of_int row.lo_xml_datapath;
+    join string_of_int row.lo_gen_fsm;
+    join string_of_int row.operators;
+    join (Printf.sprintf "%.2f") row.sim_seconds;
+  ]
+
+let header =
+  [
+    "Example";
+    "loSource";
+    "loXML FSM";
+    "loXML datapath";
+    "loGen FSM";
+    "Operators";
+    "Sim time (s)";
+  ]
+
+let render_table rows =
+  let rendered = List.map row_to_strings rows in
+  let table = header :: rendered in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc r -> max acc (String.length (List.nth r c))) 0 table
+  in
+  let widths = List.init cols width in
+  let line r =
+    String.concat "  "
+      (List.mapi
+         (fun c cell -> Printf.sprintf "%-*s" (List.nth widths c) cell)
+         r)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line header :: sep :: List.map line rendered) ^ "\n"

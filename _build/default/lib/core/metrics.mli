@@ -1,0 +1,35 @@
+(** Table I metrics.
+
+    For each example the paper reports: lines of the source algorithm
+    (loJava), lines of the generated FSM and datapath XML documents,
+    lines of the generated controller code (loJava FSM — OCaml here),
+    the number of datapath operators, and the simulation time. Multi-
+    configuration implementations report one value per configuration
+    (the paper stacks them in one cell). *)
+
+type row = {
+  example : string;
+  lo_source : int;
+  lo_xml_fsm : int list;  (** One entry per configuration. *)
+  lo_xml_datapath : int list;
+  lo_gen_fsm : int list;
+  operators : int list;
+  states : int list;
+  sim_seconds : float list;
+  total_cycles : int;
+  passed : bool;
+}
+
+val collect : source:string -> Verify.t -> row
+(** Derive a row from a verification outcome and the program text it came
+    from. *)
+
+val row_to_strings : row -> string list
+(** Cells in Table I column order: example, loSource, loXML FSM, loXML
+    datapath, loGen FSM, operators, simulation time (s). Multi-
+    configuration cells join values with "+". *)
+
+val header : string list
+
+val render_table : row list -> string
+(** Aligned ASCII table with the {!header}. *)

@@ -1,0 +1,62 @@
+let verification ppf (v : Verify.t) =
+  let prog = v.Verify.compiled.Compiler.Compile.program in
+  Format.fprintf ppf "=== verification of %S: %s ===@."
+    prog.Lang.Ast.prog_name
+    (if v.Verify.passed then "PASS" else "FAIL");
+  Format.fprintf ppf "golden model: %d statements, %d reads, %d writes (%.3fs)@."
+    v.Verify.golden_stats.Lang.Interp.statements
+    v.Verify.golden_stats.Lang.Interp.mem_reads
+    v.Verify.golden_stats.Lang.Interp.mem_writes v.Verify.golden_seconds;
+  List.iter
+    (fun (r : Simulate.config_run) ->
+      Format.fprintf ppf
+        "configuration %s: %s in %d cycles (%.3fs, %d events, final state %s)@."
+        r.Simulate.cfg_name
+        (if r.Simulate.completed then "completed" else "DID NOT complete")
+        r.Simulate.cycles r.Simulate.wall_seconds
+        r.Simulate.sim_stats.Sim.Engine.events r.Simulate.final_state)
+    v.Verify.hw_run.Simulate.runs;
+  List.iter
+    (fun (m : Verify.memory_result) ->
+      if m.Verify.matches then
+        Format.fprintf ppf "memory %-12s OK@." m.Verify.mem_name
+      else begin
+        Format.fprintf ppf "memory %-12s %d mismatches@." m.Verify.mem_name
+          m.Verify.mismatch_count;
+        List.iter
+          (fun (addr, golden, got) ->
+            Format.fprintf ppf "  [%d] golden=%d simulated=%d@." addr golden got)
+          m.Verify.mismatches
+      end)
+    v.Verify.memories;
+  if
+    v.Verify.golden_stats.Lang.Interp.asserts_failed > 0
+    || v.Verify.hw_check_failures > 0
+  then
+    Format.fprintf ppf
+      "assertions: %d violated in software, %d checks fired in hardware@."
+      v.Verify.golden_stats.Lang.Interp.asserts_failed v.Verify.hw_check_failures;
+  Format.fprintf ppf "total: %d cycles, %.3fs simulation@."
+    v.Verify.hw_run.Simulate.total_cycles
+    v.Verify.hw_run.Simulate.total_wall_seconds
+
+let verification_to_string v = Format.asprintf "%a" verification v
+
+let one_line (v : Verify.t) =
+  let prog = v.Verify.compiled.Compiler.Compile.program in
+  if v.Verify.passed then
+    Printf.sprintf "PASS %s (cycles=%d, sim=%.3fs)" prog.Lang.Ast.prog_name
+      v.Verify.hw_run.Simulate.total_cycles
+      v.Verify.hw_run.Simulate.total_wall_seconds
+  else
+    let first_bad =
+      List.find_opt (fun m -> not m.Verify.matches) v.Verify.memories
+    in
+    let incomplete = not v.Verify.hw_run.Simulate.all_completed in
+    Printf.sprintf "FAIL %s (%s)" prog.Lang.Ast.prog_name
+      (match (incomplete, first_bad) with
+      | true, _ -> "a configuration did not complete"
+      | false, Some m ->
+          Printf.sprintf "memory %s: %d mismatches" m.Verify.mem_name
+            m.Verify.mismatch_count
+      | false, None -> "unknown reason")

@@ -1,0 +1,11 @@
+(** Human-readable rendering of verification outcomes. *)
+
+val verification : Format.formatter -> Verify.t -> unit
+(** Multi-line summary: per-configuration simulation results, memory
+    comparison verdicts (with the first mismatches), and totals. *)
+
+val verification_to_string : Verify.t -> string
+
+val one_line : Verify.t -> string
+(** ["PASS name (cycles=..., sim=...s)"] or a FAIL line with the first
+    failing memory. *)

@@ -1,0 +1,112 @@
+open Sim
+module Elaborate = Transform.Elaborate
+module Fsm_exec = Transform.Fsm_exec
+module Models_log = Transform.Models_log
+
+type config_run = {
+  cfg_name : string;
+  stop : Engine.stop_reason;
+  completed : bool;
+  cycles : int;
+  sim_stats : Engine.stats;
+  final_state : string;
+  wall_seconds : float;
+  notifications : Operators.Models.notification list;
+}
+
+type rtg_run = {
+  runs : config_run list;
+  all_completed : bool;
+  total_cycles : int;
+  total_wall_seconds : float;
+}
+
+let run_configuration ?(clock_period = 10) ?(max_cycles = 10_000_000)
+    ?vcd_path ?name ~memories datapath fsm =
+  let started = Sys.time () in
+  let engine = Engine.create () in
+  let clock = Clock.create engine ~period:clock_period () in
+  let design = Elaborate.datapath ~engine ~clock ~memories datapath in
+  let controller = Fsm_exec.attach ~design fsm in
+  Fsm_exec.on_enter_done controller (fun () ->
+      Engine.request_stop engine "controller done");
+  let dump =
+    match vcd_path with
+    | None -> None
+    | Some path ->
+        let signals =
+          (("clk", Clock.signal clock) :: design.Elaborate.controls)
+          @ design.Elaborate.statuses
+          @ [ ("fsm_state", Fsm_exec.state_signal controller) ]
+          @ design.Elaborate.ports
+        in
+        Some (Vcd.create_file path engine signals)
+  in
+  let stop = Engine.run ~max_time:(clock_period * max_cycles) engine in
+  (match dump with Some d -> Vcd.close d | None -> ());
+  let completed = Fsm_exec.in_done_state controller in
+  {
+    cfg_name =
+      (match name with
+      | Some n -> n
+      | None -> datapath.Netlist.Datapath.dp_name);
+    stop;
+    completed;
+    cycles = Fsm_exec.cycles_seen controller;
+    sim_stats = Engine.stats engine;
+    final_state = Fsm_exec.current_state controller;
+    wall_seconds = Sys.time () -. started;
+    notifications = Models_log.all design.Elaborate.notifications;
+  }
+
+let run_rtg ?clock_period ?max_cycles ~memories ~datapaths ~fsms rtg =
+  Rtg.validate rtg;
+  let resolve what table name =
+    match List.assoc_opt name table with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "run_rtg: unresolved %s %S" what name)
+  in
+  let order = Rtg.execution_order rtg in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | cfg_name :: rest ->
+        let cfg =
+          match Rtg.find_configuration rtg cfg_name with
+          | Some c -> c
+          | None -> failwith (Printf.sprintf "run_rtg: no configuration %S" cfg_name)
+        in
+        let datapath = resolve "datapath" datapaths cfg.Rtg.datapath_ref in
+        let fsm = resolve "fsm" fsms cfg.Rtg.fsm_ref in
+        let run =
+          run_configuration ?clock_period ?max_cycles ~name:cfg_name ~memories
+            datapath fsm
+        in
+        if run.completed then go (run :: acc) rest else List.rev (run :: acc)
+  in
+  let runs = go [] order in
+  {
+    runs;
+    all_completed =
+      List.length runs = List.length order
+      && List.for_all (fun r -> r.completed) runs;
+    total_cycles = List.fold_left (fun acc r -> acc + r.cycles) 0 runs;
+    total_wall_seconds =
+      List.fold_left (fun acc r -> acc +. r.wall_seconds) 0. runs;
+  }
+
+let run_compiled ?clock_period ?max_cycles ~memories (compiled : Compiler.Compile.t) =
+  let datapaths =
+    List.map
+      (fun (p : Compiler.Compile.partition) ->
+        (p.Compiler.Compile.datapath.Netlist.Datapath.dp_name,
+         p.Compiler.Compile.datapath))
+      compiled.Compiler.Compile.partitions
+  in
+  let fsms =
+    List.map
+      (fun (p : Compiler.Compile.partition) ->
+        (p.Compiler.Compile.fsm.Fsmkit.Fsm.fsm_name, p.Compiler.Compile.fsm))
+      compiled.Compiler.Compile.partitions
+  in
+  run_rtg ?clock_period ?max_cycles ~memories ~datapaths ~fsms
+    compiled.Compiler.Compile.rtg

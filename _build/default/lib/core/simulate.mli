@@ -1,0 +1,58 @@
+(** Functional simulation of compiled designs.
+
+    One configuration = one elaborated datapath plus its FSM controller,
+    clocked until the controller reaches a done state. A multi-
+    configuration implementation is driven through its RTG: configurations
+    run in sequence on fresh engines while the backing memories persist —
+    the paper's model of temporal partitioning. *)
+
+type config_run = {
+  cfg_name : string;
+  stop : Sim.Engine.stop_reason;
+  completed : bool;  (** The FSM reached a done state. *)
+  cycles : int;  (** Clock cycles consumed. *)
+  sim_stats : Sim.Engine.stats;
+  final_state : string;
+  wall_seconds : float;  (** Host CPU time for this configuration. *)
+  notifications : Operators.Models.notification list;
+}
+
+type rtg_run = {
+  runs : config_run list;  (** In execution order. *)
+  all_completed : bool;
+  total_cycles : int;
+  total_wall_seconds : float;
+}
+
+val run_configuration :
+  ?clock_period:int ->
+  ?max_cycles:int ->
+  ?vcd_path:string ->
+  ?name:string ->
+  memories:(string -> Operators.Memory.t) ->
+  Netlist.Datapath.t ->
+  Fsmkit.Fsm.t ->
+  config_run
+(** Simulate until the FSM enters a done state or [max_cycles] (default
+    10 million) elapse. [vcd_path] dumps controls, statuses, FSM state and
+    every operator output port. *)
+
+val run_rtg :
+  ?clock_period:int ->
+  ?max_cycles:int ->
+  memories:(string -> Operators.Memory.t) ->
+  datapaths:(string * Netlist.Datapath.t) list ->
+  fsms:(string * Fsmkit.Fsm.t) list ->
+  Rtg.t ->
+  rtg_run
+(** Execute the configurations named by the RTG in order (validating it
+    first); stops early if a configuration fails to complete. Raises
+    [Failure] on unresolved datapath/FSM references. *)
+
+val run_compiled :
+  ?clock_period:int ->
+  ?max_cycles:int ->
+  memories:(string -> Operators.Memory.t) ->
+  Compiler.Compile.t ->
+  rtg_run
+(** Convenience: {!run_rtg} over a compilation result. *)

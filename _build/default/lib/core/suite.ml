@@ -1,0 +1,189 @@
+module Compile = Compiler.Compile
+
+type case = {
+  case_name : string;
+  source : string;
+  inits : (string * int list) list;
+}
+
+type case_result = {
+  case_name_r : string;
+  outcomes : (string * Verify.t) list;
+  seconds : float;
+}
+
+type summary = {
+  cases : int;
+  variants_run : int;
+  failures : (string * string) list;
+  total_seconds : float;
+}
+
+let default_variants =
+  [
+    ("plain", { Compile.share_operators = false; optimize = false; fold_branches = false });
+    ("shared", { Compile.share_operators = true; optimize = false; fold_branches = false });
+    ("optimized", { Compile.share_operators = false; optimize = true; fold_branches = false });
+    ("folded", { Compile.share_operators = false; optimize = false; fold_branches = true });
+  ]
+
+let builtin_cases () =
+  let img = Workloads.Fdct.make_image ~width_px:16 ~height_px:16 ~seed:7 in
+  [
+    {
+      case_name = "fdct1";
+      source = Workloads.Fdct.source ~width_px:16 ~height_px:16 ();
+      inits = [ ("input", img) ];
+    };
+    {
+      case_name = "fdct2";
+      source = Workloads.Fdct.source ~partitioned:true ~width_px:16 ~height_px:16 ();
+      inits = [ ("input", img) ];
+    };
+    {
+      case_name = "hamming";
+      source = Workloads.Hamming.source ~n:64;
+      inits = [ ("input", Workloads.Hamming.make_codewords ~n:64 ~seed:7) ];
+    };
+    {
+      case_name = "vecadd";
+      source = Workloads.Kernels.vecadd_source ~n:16;
+      inits =
+        [
+          ("a", List.init 16 (fun i -> i * 3));
+          ("b", List.init 16 (fun i -> 200 - i));
+        ];
+    };
+    {
+      case_name = "sum";
+      source = Workloads.Kernels.sum_source ~n:16;
+      inits = [ ("input", List.init 16 (fun i -> i * i)) ];
+    };
+    {
+      case_name = "gcd";
+      source = Workloads.Kernels.gcd_source ();
+      inits = [ ("input", [ 12; 18; 7; 7; 100; 75; 9; 28; 14; 21; 5; 40; 33; 11; 64; 48 ]) ];
+    };
+    {
+      case_name = "sort";
+      source = Workloads.Kernels.sort_source ~n:10;
+      inits = [ ("data", [ 9; 3; 7; 1; 8; 2; 6; 0; 5; 4 ]) ];
+    };
+    {
+      case_name = "fir";
+      source = Workloads.Kernels.fir_source ~taps:[ 3; -2; 5; 1 ] ~n:24;
+      inits = [ ("input", List.init 24 (fun i -> ((i * 7) mod 23) - 11)) ];
+    };
+    {
+      case_name = "edges";
+      source =
+        Workloads.Kernels.edge_detect_source ~width_px:16 ~height_px:16
+          ~threshold:40;
+      inits = [ ("input", img) ];
+    };
+  ]
+
+let load_dir dir =
+  let entries = Array.to_list (Sys.readdir dir) in
+  let programs =
+    List.filter (fun f -> Filename.check_suffix f ".alg") entries
+    |> List.sort compare
+  in
+  List.map
+    (fun file ->
+      let name = Filename.remove_extension file in
+      let source =
+        let ic = open_in_bin (Filename.concat dir file) in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let prefix = name ^ "." in
+      let inits =
+        List.filter
+          (fun f ->
+            Filename.check_suffix f ".mem"
+            && String.length f > String.length prefix
+            && String.sub f 0 (String.length prefix) = prefix)
+          entries
+        |> List.map (fun f ->
+               let mem =
+                 Filename.remove_extension
+                   (String.sub f (String.length prefix)
+                      (String.length f - String.length prefix))
+               in
+               (mem, Memfile.load_list (Filename.concat dir f)))
+      in
+      { case_name = name; source; inits })
+    programs
+
+(* A verification that failed to even run is reported as a failed outcome
+   by synthesizing nothing — we track it in the summary only. *)
+let run ?(variants = default_variants) ?max_cycles cases =
+  let failures = ref [] in
+  let started_all = Sys.time () in
+  let results =
+    List.map
+      (fun case ->
+        let started = Sys.time () in
+        let outcomes =
+          List.filter_map
+            (fun (variant_name, options) ->
+              match
+                Verify.run_source ~options ?max_cycles ~inits:case.inits
+                  case.source
+              with
+              | outcome ->
+                  if not outcome.Verify.passed then
+                    failures := (case.case_name, variant_name) :: !failures;
+                  Some (variant_name, outcome)
+              | exception e ->
+                  failures :=
+                    ( case.case_name,
+                      Printf.sprintf "%s (%s)" variant_name
+                        (Printexc.to_string e) )
+                    :: !failures;
+                  None)
+            variants
+        in
+        {
+          case_name_r = case.case_name;
+          outcomes;
+          seconds = Sys.time () -. started;
+        })
+      cases
+  in
+  ( results,
+    {
+      cases = List.length cases;
+      variants_run = List.length cases * List.length variants;
+      failures = List.rev !failures;
+      total_seconds = Sys.time () -. started_all;
+    } )
+
+let render (results, summary) =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let variant_names =
+    match results with
+    | r :: _ -> List.map fst r.outcomes
+    | [] -> []
+  in
+  out "%-12s %s  %8s" "case"
+    (String.concat "  " (List.map (Printf.sprintf "%-10s") variant_names))
+    "seconds";
+  List.iter
+    (fun r ->
+      let cells =
+        List.map
+          (fun (_, o) -> if o.Verify.passed then "PASS      " else "FAIL      ")
+          r.outcomes
+      in
+      out "%-12s %s  %8.2f" r.case_name_r (String.concat "  " cells) r.seconds)
+    results;
+  out "%d cases x %d variants: %d failure(s), %.1fs"
+    summary.cases
+    (match results with r :: _ -> List.length r.outcomes | [] -> 0)
+    (List.length summary.failures) summary.total_seconds;
+  List.iter (fun (c, v) -> out "  FAILED: %s under %s" c v) summary.failures;
+  Buffer.contents buf

@@ -1,0 +1,50 @@
+(** Regression-suite runner.
+
+    The paper's motivation: after every compiler change, the whole test
+    suite must be re-verified, and doing that by hand "required long time
+    efforts". A suite is a list of cases (program + stimuli); the runner
+    verifies each one — optionally under several compiler variants
+    (plain / operator sharing / optimizer), catching miscompilations that
+    only one binding or optimization path exhibits. *)
+
+type case = {
+  case_name : string;
+  source : string;  (** Program text. *)
+  inits : (string * int list) list;  (** Initial memory contents. *)
+}
+
+type case_result = {
+  case_name_r : string;
+  outcomes : (string * Verify.t) list;  (** Per variant, in order. *)
+  seconds : float;
+}
+
+type summary = {
+  cases : int;
+  variants_run : int;  (** Total (case, variant) verifications. *)
+  failures : (string * string) list;  (** [(case, variant)] that failed. *)
+  total_seconds : float;
+}
+
+val default_variants : (string * Compiler.Compile.options) list
+(** ["plain"], ["shared"], ["optimized"], ["folded"]. *)
+
+val builtin_cases : unit -> case list
+(** The standard workloads at regression-friendly sizes: FDCT1/FDCT2
+    (16x16), Hamming, vecadd, sum, gcd, sort, edge detection. *)
+
+val load_dir : string -> case list
+(** Directory convention: every [<name>.alg] is a case; a file
+    [<name>.<memory>.mem] initializes that memory ({!Memfile} format).
+    Cases sort by name. Raises [Sys_error] / {!Memfile.Format_error}. *)
+
+val run :
+  ?variants:(string * Compiler.Compile.options) list ->
+  ?max_cycles:int ->
+  case list ->
+  case_result list * summary
+(** Verify every case under every variant. Compile or verification
+    exceptions are caught and reported as failures. *)
+
+val render : case_result list * summary -> string
+(** Per-case PASS/FAIL matrix plus totals. *)

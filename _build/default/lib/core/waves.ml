@@ -1,0 +1,67 @@
+let column_width = 8
+
+let render_samples ?(max_events = 24) traces =
+  (* The column axis: the earliest [max_events] distinct change times. *)
+  let times =
+    List.concat_map (fun (_, samples) -> List.map fst samples) traces
+    |> List.sort_uniq compare
+    |> List.filteri (fun i _ -> i < max_events)
+  in
+  let name_width =
+    List.fold_left (fun acc (n, _) -> max acc (String.length n)) 4 traces
+  in
+  let pad_name n = Printf.sprintf "%-*s  " name_width n in
+  let cell s =
+    let s = if String.length s > column_width then String.sub s 0 column_width else s in
+    s ^ String.make (column_width - String.length s) ' '
+  in
+  let buf = Buffer.create 512 in
+  (* Time ruler. *)
+  Buffer.add_string buf (pad_name "time");
+  List.iter (fun t -> Buffer.add_string buf (cell (string_of_int t))) times;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (name, samples) ->
+      Buffer.add_string buf (pad_name name);
+      let value_at t =
+        (* Last sample at or before t. *)
+        List.fold_left
+          (fun acc (st, v) -> if st <= t then Some v else acc)
+          None samples
+      in
+      let previous = ref None in
+      List.iter
+        (fun t ->
+          let v = value_at t in
+          let text =
+            match v with
+            | None -> cell ""
+            | Some v when Bitvec.width v = 1 ->
+                String.make column_width
+                  (if Bitvec.to_bool v then '#' else '_')
+            | Some v ->
+                let changed =
+                  match !previous with
+                  | Some p -> not (Bitvec.equal p v)
+                  | None -> true
+                in
+                if changed then
+                  cell ("|" ^ string_of_int (Bitvec.to_int v))
+                else cell ""
+          in
+          previous := v;
+          Buffer.add_string buf text)
+        times;
+      Buffer.add_char buf '\n')
+    traces;
+  Buffer.contents buf
+
+let render ?max_events probes =
+  render_samples ?max_events
+    (List.map
+       (fun (name, probe) ->
+         ( name,
+           List.map
+             (fun (s : Sim.Probe.sample) -> (s.Sim.Probe.time, s.Sim.Probe.value))
+             (Sim.Probe.samples probe) ))
+       probes)

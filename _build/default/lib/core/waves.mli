@@ -1,0 +1,23 @@
+(** ASCII waveform rendering of probe histories.
+
+    A terminal-friendly stand-in for the GUI the paper mentions ("Java GUI
+    features can be easily included"): probes recorded during simulation
+    render as textual waveforms — 1-bit signals as level traces, wider
+    signals as value segments. *)
+
+val render :
+  ?max_events:int -> (string * Sim.Probe.t) list -> string
+(** One row per probe, one column per distinct change time across all the
+    probes (the earliest [max_events] times, default 24), plus a time
+    ruler. 1-bit signals draw as [____####]; wider signals print their
+    (unsigned) value once per segment:
+    {v
+time  0       10      20
+clk   ____    ####    ____
+bus   0       |42     |7
+    v} *)
+
+val render_samples :
+  ?max_events:int -> (string * (int * Bitvec.t) list) list -> string
+(** Same, from raw [(time, value)] sample lists (e.g. the probe-operator
+    notifications collected by {!Transform.Models_log.probe_samples}). *)

@@ -1,0 +1,1 @@
+lib/cosim/cpu.ml: Array Bitvec Clock Engine Format List Operators Printf Sim

@@ -1,0 +1,1 @@
+lib/cosim/cpu.mli: Bitvec Format Operators Sim

@@ -1,0 +1,1 @@
+lib/cosim/harness.ml: Bitvec Clock Cpu Engine List Operators Option Sim Transform

@@ -1,0 +1,1 @@
+lib/cosim/harness.mli: Bitvec Cpu Fsmkit Netlist Operators Sim

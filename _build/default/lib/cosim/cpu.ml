@@ -1,0 +1,175 @@
+open Sim
+module Memory = Operators.Memory
+
+type instruction =
+  | Ldi of int
+  | Ld of int
+  | St of int
+  | Add of int
+  | Sub of int
+  | Addi of int
+  | Jmp of int
+  | Beqz of int
+  | Bnez of int
+  | Start
+  | Wait
+  | Halt
+
+type segment = { base : int; memory : string }
+
+type fault =
+  | Unmapped_address of { pc : int; address : int }
+  | Pc_out_of_range of { pc : int }
+
+type resolved_segment = { seg_base : int; seg_size : int; store : Memory.t }
+
+type t = {
+  engine : Engine.t;
+  width : int;
+  program : instruction array;
+  segments : resolved_segment list;
+  start_sig : Engine.signal;
+  mutable done_flag : unit -> bool;
+  mutable acc : Bitvec.t;
+  mutable pc : int;
+  mutable halted : bool;
+  mutable fault : fault option;
+  mutable executed : int;
+}
+
+let resolve_map ~width ~memories map =
+  let segments =
+    List.map
+      (fun { base; memory } ->
+        let store = memories memory in
+        if Memory.width store <> width then
+          failwith
+            (Printf.sprintf "cpu: memory %s is %d bits wide, CPU is %d" memory
+               (Memory.width store) width);
+        { seg_base = base; seg_size = Memory.size store; store })
+      map
+  in
+  let sorted =
+    List.sort (fun a b -> compare a.seg_base b.seg_base) segments
+  in
+  let rec overlaps = function
+    | a :: (b :: _ as rest) ->
+        if a.seg_base + a.seg_size > b.seg_base then
+          failwith
+            (Printf.sprintf "cpu: memory windows at %d and %d overlap"
+               a.seg_base b.seg_base)
+        else overlaps rest
+    | [ _ ] | [] -> ()
+  in
+  overlaps sorted;
+  sorted
+
+let lookup_segment t address =
+  List.find_opt
+    (fun s -> address >= s.seg_base && address < s.seg_base + s.seg_size)
+    t.segments
+
+let trap t fault =
+  t.fault <- Some fault;
+  t.halted <- true;
+  Engine.request_stop t.engine "cpu fault"
+
+let read t address =
+  match lookup_segment t address with
+  | Some s -> Some (Memory.read s.store (address - s.seg_base))
+  | None ->
+      trap t (Unmapped_address { pc = t.pc; address });
+      None
+
+let write t address value =
+  match lookup_segment t address with
+  | Some s -> Memory.write s.store (address - s.seg_base) value
+  | None -> trap t (Unmapped_address { pc = t.pc; address })
+
+let execute t =
+  if not t.halted then begin
+    if t.pc < 0 || t.pc >= Array.length t.program then
+      trap t (Pc_out_of_range { pc = t.pc })
+    else begin
+      let instr = t.program.(t.pc) in
+      let bv v = Bitvec.create ~width:t.width v in
+      let next = t.pc + 1 in
+      let stalled = ref false in
+      (match instr with
+      | Ldi v ->
+          t.acc <- bv v;
+          t.pc <- next
+      | Ld a -> (
+          match read t a with
+          | Some v ->
+              t.acc <- v;
+              t.pc <- next
+          | None -> ())
+      | St a ->
+          write t a t.acc;
+          if not t.halted then t.pc <- next
+      | Add a -> (
+          match read t a with
+          | Some v ->
+              t.acc <- Bitvec.add t.acc v;
+              t.pc <- next
+          | None -> ())
+      | Sub a -> (
+          match read t a with
+          | Some v ->
+              t.acc <- Bitvec.sub t.acc v;
+              t.pc <- next
+          | None -> ())
+      | Addi v ->
+          t.acc <- Bitvec.add t.acc (bv v);
+          t.pc <- next
+      | Jmp target -> t.pc <- target
+      | Beqz target -> t.pc <- (if Bitvec.is_zero t.acc then target else next)
+      | Bnez target -> t.pc <- (if Bitvec.is_zero t.acc then next else target)
+      | Start ->
+          Engine.drive t.engine t.start_sig (Bitvec.one 1);
+          t.pc <- next
+      | Wait ->
+          if t.done_flag () then t.pc <- next else stalled := true
+      | Halt ->
+          t.halted <- true;
+          Engine.request_stop t.engine "cpu halt");
+      if not !stalled then t.executed <- t.executed + 1
+    end
+  end
+
+let create engine ~clock ~width ~program ~memory_map ~memories =
+  let segments = resolve_map ~width ~memories memory_map in
+  let start_sig = Engine.signal engine ~name:"cpu.start" 1 in
+  let t =
+    {
+      engine;
+      width;
+      program;
+      segments;
+      start_sig;
+      done_flag = (fun () -> false);
+      acc = Bitvec.zero width;
+      pc = 0;
+      halted = false;
+      fault = None;
+      executed = 0;
+    }
+  in
+  ignore
+    (Engine.on_rising_edge engine ~clock:(Clock.signal clock) ~name:"cpu"
+       (fun () -> execute t));
+  t
+
+let start_line t = t.start_sig
+let set_done_flag t f = t.done_flag <- f
+let halted t = t.halted
+let fault t = t.fault
+let acc t = t.acc
+let pc t = t.pc
+let instructions_executed t = t.executed
+
+let pp_fault ppf = function
+  | Unmapped_address { pc; address } ->
+      Format.fprintf ppf "unmapped address %d at pc=%d" address pc
+  | Pc_out_of_range { pc } -> Format.fprintf ppf "pc %d outside the program" pc

@@ -1,0 +1,61 @@
+(** A small accumulator microprocessor model.
+
+    The paper closes with "further work will focus on functional
+    simulation of a microprocessor tightly coupled to reconfigurable
+    hardware components"; this module provides that processor. It executes
+    one instruction per clock cycle inside the same event-driven engine as
+    the fabric, reads and writes the {e shared} SRAMs through a memory
+    map, and controls the accelerator through a start signal and a done
+    flag ({!Cosim}). *)
+
+type instruction =
+  | Ldi of int  (** acc := imm (wrapped at the CPU width) *)
+  | Ld of int  (** acc := mem[addr] *)
+  | St of int  (** mem[addr] := acc *)
+  | Add of int  (** acc := acc + mem[addr] *)
+  | Sub of int  (** acc := acc - mem[addr] *)
+  | Addi of int  (** acc := acc + imm *)
+  | Jmp of int  (** pc := target *)
+  | Beqz of int  (** if acc = 0 then pc := target *)
+  | Bnez of int  (** if acc <> 0 then pc := target *)
+  | Start  (** Raise the accelerator's start line (stays high). *)
+  | Wait  (** Stall until the accelerator reports done. *)
+  | Halt
+
+type segment = {
+  base : int;  (** First CPU address of the window. *)
+  memory : string;  (** Backing store name; its size fixes the window. *)
+}
+
+type fault =
+  | Unmapped_address of { pc : int; address : int }
+  | Pc_out_of_range of { pc : int }
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  clock:Sim.Clock.t ->
+  width:int ->
+  program:instruction array ->
+  memory_map:segment list ->
+  memories:(string -> Operators.Memory.t) ->
+  t
+(** Build the processor into [engine]. [width] is the accumulator/data
+    width (must match every mapped memory's width). Raises [Failure] on
+    overlapping segments or width mismatches. *)
+
+val start_line : t -> Sim.Engine.signal
+(** 1-bit output raised by [Start]; connect to the fabric FSM's enable. *)
+
+val set_done_flag : t -> (unit -> bool) -> unit
+(** Provide the predicate [Wait] polls (the accelerator's done state). *)
+
+val halted : t -> bool
+val fault : t -> fault option
+val acc : t -> Bitvec.t
+val pc : t -> int
+val instructions_executed : t -> int
+(** Executed instructions ([Wait] stall cycles are not counted). *)
+
+val pp_fault : Format.formatter -> fault -> unit

@@ -1,0 +1,53 @@
+open Sim
+module Elaborate = Transform.Elaborate
+module Fsm_exec = Transform.Fsm_exec
+
+type result = {
+  stop : Engine.stop_reason;
+  cpu_halted : bool;
+  cpu_fault : Cpu.fault option;
+  acc : Bitvec.t;
+  instructions : int;
+  cycles : int;
+  accelerator_started : bool;
+  accelerator_done : bool;
+  accelerator_final_state : string option;
+  notifications : Operators.Models.notification list;
+}
+
+let run ?(clock_period = 10) ?(max_cycles = 1_000_000) ?accelerator ~program
+    ~memory_map ~width ~memories () =
+  let engine = Engine.create () in
+  let clock = Clock.create engine ~period:clock_period () in
+  let cpu =
+    Cpu.create engine ~clock ~width ~program ~memory_map ~memories
+  in
+  let controller, notifications =
+    match accelerator with
+    | None -> (None, [])
+    | Some (datapath, fsm) ->
+        let design = Elaborate.datapath ~engine ~clock ~memories datapath in
+        let ctl =
+          Fsm_exec.attach ~enable:(Cpu.start_line cpu) ~design fsm
+        in
+        Cpu.set_done_flag cpu (fun () -> Fsm_exec.in_done_state ctl);
+        (Some ctl, [ design.Elaborate.notifications ])
+  in
+  let stop = Engine.run ~max_time:(clock_period * max_cycles) engine in
+  {
+    stop;
+    cpu_halted = Cpu.halted cpu;
+    cpu_fault = Cpu.fault cpu;
+    acc = Cpu.acc cpu;
+    instructions = Cpu.instructions_executed cpu;
+    cycles = Engine.now engine / clock_period;
+    accelerator_started = Engine.value_int (Cpu.start_line cpu) = 1;
+    accelerator_done =
+      (match controller with
+      | Some ctl -> Fsm_exec.in_done_state ctl
+      | None -> false);
+    accelerator_final_state =
+      Option.map Fsm_exec.current_state controller;
+    notifications =
+      List.concat_map Transform.Models_log.all notifications;
+  }

@@ -1,0 +1,38 @@
+(** Processor / reconfigurable-fabric co-simulation.
+
+    One engine, one clock, two components: the {!Cpu} and an elaborated
+    accelerator configuration. They share SRAMs; the CPU raises the
+    fabric's start line ([Start]) and polls its controller's done state
+    ([Wait]) — the tightly-coupled arrangement the paper names as future
+    work. The accelerator's FSM holds in its initial state until started.
+
+    Multi-configuration (RTG) accelerators are not supported here: a
+    reconfiguration tears one simulation down and builds the next, which
+    contradicts "one engine"; sequence configurations with
+    {!Testinfra.Simulate.run_rtg} instead. *)
+
+type result = {
+  stop : Sim.Engine.stop_reason;
+  cpu_halted : bool;
+  cpu_fault : Cpu.fault option;
+  acc : Bitvec.t;  (** Final accumulator. *)
+  instructions : int;
+  cycles : int;  (** Clock cycles elapsed. *)
+  accelerator_started : bool;
+  accelerator_done : bool;
+  accelerator_final_state : string option;
+  notifications : Operators.Models.notification list;
+}
+
+val run :
+  ?clock_period:int ->
+  ?max_cycles:int ->
+  ?accelerator:Netlist.Datapath.t * Fsmkit.Fsm.t ->
+  program:Cpu.instruction array ->
+  memory_map:Cpu.segment list ->
+  width:int ->
+  memories:(string -> Operators.Memory.t) ->
+  unit ->
+  result
+(** Simulate until the CPU halts (or faults), or [max_cycles] (default
+    1 million) elapse. *)

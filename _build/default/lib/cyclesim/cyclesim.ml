@@ -1,0 +1,395 @@
+module Dp = Netlist.Datapath
+module Fsm = Fsmkit.Fsm
+module Guard = Fsmkit.Guard
+module Opspec = Operators.Opspec
+module Memory = Operators.Memory
+
+exception Combinational_cycle of string
+
+type t = {
+  fsm : Fsm.t;
+  cells : (string, Bitvec.t ref) Hashtbl.t;  (* "inst.port" / "ctl.name" *)
+  comb : (unit -> unit) array;  (* evaluation closures, topo order *)
+  latch : (unit -> unit) array;  (* phase 1: compute pending values *)
+  commit : (unit -> unit) array;  (* phase 2: apply pending values *)
+  statuses : (string * Bitvec.t ref) list;
+  controls : (string * Bitvec.t ref) list;
+  mutable state : Fsm.state;
+  mutable n_cycles : int;
+  mutable n_check_failures : int;
+  mutable stop_fired : bool;
+}
+
+let binary_fn = function
+  | "add" -> Bitvec.add
+  | "sub" -> Bitvec.sub
+  | "mul" -> Bitvec.mul
+  | "divu" -> Bitvec.udiv
+  | "divs" -> Bitvec.sdiv
+  | "remu" -> Bitvec.urem
+  | "rems" -> Bitvec.srem
+  | "and" -> Bitvec.logand
+  | "or" -> Bitvec.logor
+  | "xor" -> Bitvec.logxor
+  | "shl" -> fun a b -> Bitvec.shift_left a (Bitvec.to_int b)
+  | "shrl" -> fun a b -> Bitvec.shift_right_logical a (Bitvec.to_int b)
+  | "shra" -> fun a b -> Bitvec.shift_right_arith a (Bitvec.to_int b)
+  | "eq" -> Bitvec.eq
+  | "ne" -> Bitvec.ne
+  | "ltu" -> Bitvec.ult
+  | "leu" -> Bitvec.ule
+  | "gtu" -> Bitvec.ugt
+  | "geu" -> Bitvec.uge
+  | "lts" -> Bitvec.slt
+  | "les" -> Bitvec.sle
+  | "gts" -> Bitvec.sgt
+  | "ges" -> Bitvec.sge
+  | "minu" -> fun a b -> if Bitvec.to_int a <= Bitvec.to_int b then a else b
+  | "maxu" -> fun a b -> if Bitvec.to_int a >= Bitvec.to_int b then a else b
+  | "mins" -> fun a b -> if Bitvec.to_signed a <= Bitvec.to_signed b then a else b
+  | "maxs" -> fun a b -> if Bitvec.to_signed a >= Bitvec.to_signed b then a else b
+  | kind -> Opspec.failf "cyclesim: no binary function for %S" kind
+
+let create ~memories (dp : Dp.t) (fsm : Fsm.t) =
+  Dp.validate dp;
+  Fsm.validate fsm;
+  let cells : (string, Bitvec.t ref) Hashtbl.t = Hashtbl.create 128 in
+  let cell key width =
+    match Hashtbl.find_opt cells key with
+    | Some c -> c
+    | None ->
+        let c = ref (Bitvec.zero width) in
+        Hashtbl.replace cells key c;
+        c
+  in
+  (* Output-port and control cells. *)
+  List.iter
+    (fun (op : Dp.operator) ->
+      List.iter
+        (fun (p : Opspec.port) ->
+          if p.Opspec.direction = Opspec.Out then
+            ignore (cell (op.Dp.id ^ "." ^ p.Opspec.port_name) p.Opspec.port_width))
+        (Dp.operator_spec op).Opspec.ports)
+    dp.Dp.operators;
+  let controls =
+    List.map
+      (fun (c : Dp.control) ->
+        (c.Dp.ctl_name, cell ("ctl." ^ c.Dp.ctl_name) c.Dp.ctl_width))
+      dp.Dp.controls
+  in
+  (* Input port -> driving cell (plus the driving instance for the
+     dependency graph). *)
+  let driver : (string, string) Hashtbl.t = Hashtbl.create 128 in
+  List.iter
+    (fun (n : Dp.net) ->
+      let src =
+        match n.Dp.source with
+        | Dp.From_op ep -> Dp.endpoint_to_string ep
+        | Dp.From_control name -> "ctl." ^ name
+      in
+      List.iter
+        (fun ep -> Hashtbl.replace driver (Dp.endpoint_to_string ep) src)
+        n.Dp.sinks)
+    dp.Dp.nets;
+  let input_cell op port =
+    let key = op.Dp.id ^ "." ^ port in
+    match Hashtbl.find_opt driver key with
+    | Some src -> Hashtbl.find cells src
+    | None -> failwith ("cyclesim: unconnected input " ^ key)
+  in
+  let input_driver_inst op port =
+    (* The instance producing the value feeding [op.port], if any. *)
+    match Hashtbl.find_opt driver (op.Dp.id ^ "." ^ port) with
+    | Some src when not (String.length src >= 4 && String.sub src 0 4 = "ctl.") ->
+        Some (Dp.endpoint_of_string src).Dp.inst
+    | Some _ | None -> None
+  in
+  (* Classify operators. Combinational units are topologically sorted by
+     "produces a value consumed by"; sequential outputs (reg/counter q)
+     break the dependency chains. The sram read path is combinational. *)
+  let is_comb (op : Dp.operator) =
+    match op.Dp.kind with
+    | "reg" | "counter" | "check" | "stop" | "probe" -> false
+    | _ -> true
+  in
+  let comb_ops = List.filter is_comb dp.Dp.operators in
+  let comb_ids = List.map (fun (op : Dp.operator) -> op.Dp.id) comb_ops in
+  let spec_of (op : Dp.operator) = Dp.operator_spec op in
+  let comb_deps (op : Dp.operator) =
+    (* Combinational predecessors among comb instances. Sequential q
+       outputs and sram dout are state-like... no: sram dout is produced
+       by a comb unit (the sram read), so it IS a dependency. Register
+       and counter outputs are state and excluded. *)
+    List.filter_map
+      (fun (p : Opspec.port) ->
+        if p.Opspec.direction = Opspec.In then
+          match input_driver_inst op p.Opspec.port_name with
+          | Some inst when List.mem inst comb_ids -> Some inst
+          | Some _ | None -> None
+        else None)
+      (spec_of op).Opspec.ports
+  in
+  (* Kahn's algorithm. *)
+  let order =
+    let indeg = Hashtbl.create 64 in
+    let succs = Hashtbl.create 64 in
+    List.iter (fun id -> Hashtbl.replace indeg id 0) comb_ids;
+    List.iter
+      (fun (op : Dp.operator) ->
+        List.iter
+          (fun dep ->
+            if dep <> op.Dp.id then begin
+              Hashtbl.replace succs dep
+                (op.Dp.id :: Option.value ~default:[] (Hashtbl.find_opt succs dep));
+              Hashtbl.replace indeg op.Dp.id
+                (1 + Option.value ~default:0 (Hashtbl.find_opt indeg op.Dp.id))
+            end)
+          (List.sort_uniq compare (comb_deps op)))
+      comb_ops;
+    let ready =
+      ref (List.filter (fun id -> Hashtbl.find indeg id = 0) comb_ids)
+    in
+    let out = ref [] in
+    while !ready <> [] do
+      match !ready with
+      | [] -> ()
+      | id :: rest ->
+          ready := rest;
+          out := id :: !out;
+          List.iter
+            (fun s ->
+              let d = Hashtbl.find indeg s - 1 in
+              Hashtbl.replace indeg s d;
+              if d = 0 then ready := s :: !ready)
+            (Option.value ~default:[] (Hashtbl.find_opt succs id))
+    done;
+    let sorted = List.rev !out in
+    if List.length sorted <> List.length comb_ids then begin
+      let stuck =
+        List.filter (fun id -> not (List.mem id sorted)) comb_ids
+      in
+      raise
+        (Combinational_cycle
+           (Printf.sprintf "combinational cycle through: %s"
+              (String.concat ", "
+                 (List.filteri (fun i _ -> i < 6) stuck))))
+    end;
+    sorted
+  in
+  let op_by_id id = Option.get (Dp.find_operator dp id) in
+  (* Evaluation closure per combinational unit. *)
+  let eval_of id =
+    let op = op_by_id id in
+    let out port = Hashtbl.find cells (op.Dp.id ^ "." ^ port) in
+    let width = op.Dp.width in
+    match op.Dp.kind with
+    | "const" ->
+        let v =
+          Bitvec.create ~width (Opspec.require_int op.Dp.params ~kind:"const" "value")
+        in
+        let y = out "y" in
+        fun () -> y := v
+    | "zext" ->
+        let a = input_cell op "a" and y = out "y" in
+        fun () -> y := Bitvec.resize !a width
+    | "sext" ->
+        let a = input_cell op "a" and y = out "y" in
+        fun () -> y := Bitvec.sresize !a width
+    | "not" ->
+        let a = input_cell op "a" and y = out "y" in
+        fun () -> y := Bitvec.lognot !a
+    | "neg" ->
+        let a = input_cell op "a" and y = out "y" in
+        fun () -> y := Bitvec.neg !a
+    | "pass" ->
+        let a = input_cell op "a" and y = out "y" in
+        fun () -> y := !a
+    | "abs" ->
+        let a = input_cell op "a" and y = out "y" in
+        fun () -> y := (if Bitvec.msb !a then Bitvec.neg !a else !a)
+    | "mux" ->
+        let n = Opspec.param_int op.Dp.params "inputs" ~default:2 in
+        let ins = Array.init n (fun i -> input_cell op (Printf.sprintf "in%d" i)) in
+        let sel = input_cell op "sel" and y = out "y" in
+        fun () -> y := !(ins.(min (Bitvec.to_int !sel) (n - 1)))
+    | "sram" | "rom" ->
+        let memory =
+          memories (Opspec.require_string op.Dp.params ~kind:op.Dp.kind "memory")
+        in
+        let addr = input_cell op "addr" and dout = out "dout" in
+        fun () -> dout := Memory.read memory (Bitvec.to_int !addr)
+    | kind ->
+        let f = binary_fn kind in
+        let a = input_cell op "a" and b = input_cell op "b" and y = out "y" in
+        fun () -> y := f !a !b
+  in
+  let comb = Array.of_list (List.map eval_of order) in
+  (* Sequential elements: two-phase latch. *)
+  let latches = ref [] and commits = ref [] in
+  let t_ref = ref None in
+  List.iter
+    (fun (op : Dp.operator) ->
+      let out port = Hashtbl.find cells (op.Dp.id ^ "." ^ port) in
+      match op.Dp.kind with
+      | "reg" ->
+          let d = input_cell op "d" and en = input_cell op "en" in
+          let q = out "q" in
+          q := Bitvec.create ~width:op.Dp.width
+                 (Opspec.param_int op.Dp.params "init" ~default:0);
+          let pending = ref !q in
+          latches :=
+            (fun () -> pending := (if Bitvec.to_bool !en then !d else !q))
+            :: !latches;
+          commits := (fun () -> q := !pending) :: !commits
+      | "counter" ->
+          let en = input_cell op "en"
+          and load = input_cell op "load"
+          and d = input_cell op "d" in
+          let q = out "q" in
+          let step =
+            Bitvec.create ~width:op.Dp.width
+              (Opspec.param_int op.Dp.params "step" ~default:1)
+          in
+          let pending = ref !q in
+          latches :=
+            (fun () ->
+              pending :=
+                (if Bitvec.to_bool !load then !d
+                 else if Bitvec.to_bool !en then Bitvec.add !q step
+                 else !q))
+            :: !latches;
+          commits := (fun () -> q := !pending) :: !commits
+      | "sram" ->
+          let memory =
+            memories (Opspec.require_string op.Dp.params ~kind:"sram" "memory")
+          in
+          let addr = input_cell op "addr"
+          and din = input_cell op "din"
+          and we = input_cell op "we" in
+          (* Memory writes commit after all register reads of this cycle
+             already happened during the comb phase, so direct commit is
+             safe. *)
+          commits :=
+            (fun () ->
+              if Bitvec.to_bool !we then
+                Memory.write memory (Bitvec.to_int !addr) !din)
+            :: !commits
+      | "check" ->
+          let a = input_cell op "a" and en = input_cell op "en" in
+          let expect =
+            Bitvec.create ~width:op.Dp.width
+              (Opspec.require_int op.Dp.params ~kind:"check" "value")
+          in
+          latches :=
+            (fun () ->
+              if Bitvec.to_bool !en && not (Bitvec.equal !a expect) then
+                match !t_ref with
+                | Some t -> t.n_check_failures <- t.n_check_failures + 1
+                | None -> ())
+            :: !latches
+      | "stop" ->
+          let en = input_cell op "en" in
+          latches :=
+            (fun () ->
+              if Bitvec.to_bool !en then
+                match !t_ref with
+                | Some t -> t.stop_fired <- true
+                | None -> ())
+            :: !latches
+      | _ -> ())
+    dp.Dp.operators;
+  (* FSM wiring: controls driven from the Moore decode, statuses read from
+     the datapath cells. *)
+  let fsm_controls =
+    List.map
+      (fun (o : Fsm.io) ->
+        match List.assoc_opt o.Fsm.io_name controls with
+        | Some c -> (o.Fsm.io_name, c, o.Fsm.io_width)
+        | None ->
+            failwith
+              (Printf.sprintf "cyclesim: design has no control %S" o.Fsm.io_name))
+      fsm.Fsm.outputs
+  in
+  let statuses =
+    List.map
+      (fun (st : Dp.status) ->
+        (st.Dp.st_name, Hashtbl.find cells (Dp.endpoint_to_string st.Dp.st_source)))
+      dp.Dp.statuses
+  in
+  List.iter
+    (fun (i : Fsm.io) ->
+      if not (List.mem_assoc i.Fsm.io_name statuses) then
+        failwith
+          (Printf.sprintf "cyclesim: design has no status %S" i.Fsm.io_name))
+    fsm.Fsm.inputs;
+  let initial = Option.get (Fsm.find_state fsm fsm.Fsm.initial) in
+  let t =
+    {
+      fsm;
+      cells;
+      comb;
+      latch = Array.of_list (List.rev !latches);
+      commit = Array.of_list (List.rev !commits);
+      statuses;
+      controls = List.map (fun (n, c, _) -> (n, c)) fsm_controls;
+      state = initial;
+      n_cycles = 0;
+      n_check_failures = 0;
+      stop_fired = false;
+    }
+  in
+  t_ref := Some t;
+  t
+
+let drive_controls t =
+  List.iter
+    (fun (name, c) ->
+      let value = Fsm.output_in_state t.fsm t.state name in
+      c := Bitvec.create ~width:(Bitvec.width !c) value)
+    t.controls
+
+let step t =
+  t.n_cycles <- t.n_cycles + 1;
+  (* Phase 1: Moore outputs of the current state + full comb settle. *)
+  drive_controls t;
+  Array.iter (fun f -> f ()) t.comb;
+  (* Phase 2: next state from settled statuses. *)
+  let lookup name =
+    match List.assoc_opt name t.statuses with
+    | Some c -> Bitvec.to_int !c
+    | None -> failwith ("cyclesim: unknown status " ^ name)
+  in
+  let rec first_match = function
+    | [] -> t.state
+    | (tr : Fsm.transition) :: rest ->
+        if Guard.eval tr.Fsm.guard lookup then
+          Option.get (Fsm.find_state t.fsm tr.Fsm.target)
+        else first_match rest
+  in
+  let next = first_match t.state.Fsm.transitions in
+  (* Phase 3: latch sequential elements (reads), then commit (writes). *)
+  Array.iter (fun f -> f ()) t.latch;
+  Array.iter (fun f -> f ()) t.commit;
+  t.state <- next
+
+let cycles t = t.n_cycles
+let current_state t = t.state.Fsm.sname
+let in_done_state t = t.state.Fsm.is_done
+let check_failures t = t.n_check_failures
+
+let port_value t key =
+  match Hashtbl.find_opt t.cells key with
+  | Some c -> !c
+  | None -> failwith ("cyclesim: unknown port " ^ key)
+
+let run ?(max_cycles = 10_000_000) t =
+  let rec go () =
+    if in_done_state t then `Done
+    else if t.stop_fired then `Stopped
+    else if t.n_cycles >= max_cycles then `Max_cycles
+    else begin
+      step t;
+      go ()
+    end
+  in
+  go ()

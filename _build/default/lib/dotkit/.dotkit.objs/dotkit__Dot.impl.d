@@ -1,0 +1,1 @@
+lib/dotkit/dot.ml: Buffer Fun List Printf String

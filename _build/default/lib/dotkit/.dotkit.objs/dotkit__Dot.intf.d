@@ -1,0 +1,1 @@
+lib/dotkit/dot.mli:

@@ -1,0 +1,78 @@
+type attrs = (string * string) list
+
+type t = {
+  name : string;
+  graph_attrs : attrs;
+  node_defaults : attrs;
+  edge_defaults : attrs;
+  mutable nodes : (string * attrs) list;  (* reversed insertion order *)
+  mutable edges : (string * string * attrs) list;  (* reversed *)
+  mutable ranks : string list list;  (* reversed *)
+}
+
+let create ?(graph_attrs = []) ?(node_defaults = []) ?(edge_defaults = []) name =
+  { name; graph_attrs; node_defaults; edge_defaults; nodes = []; edges = []; ranks = [] }
+
+let add_node g ?(attrs = []) id =
+  g.nodes <- (id, attrs) :: List.remove_assoc id g.nodes
+
+let add_edge g ?(attrs = []) src dst = g.edges <- (src, dst, attrs) :: g.edges
+let add_rank_same g ids = g.ranks <- ids :: g.ranks
+let node_count g = List.length g.nodes
+let edge_count g = List.length g.edges
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let attrs_to_string = function
+  | [] -> ""
+  | attrs ->
+      let parts =
+        List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (quote v)) attrs
+      in
+      " [" ^ String.concat ", " parts ^ "]"
+
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" (quote g.name));
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %s=%s;\n" k (quote v)))
+    g.graph_attrs;
+  if g.node_defaults <> [] then
+    Buffer.add_string buf (Printf.sprintf "  node%s;\n" (attrs_to_string g.node_defaults));
+  if g.edge_defaults <> [] then
+    Buffer.add_string buf (Printf.sprintf "  edge%s;\n" (attrs_to_string g.edge_defaults));
+  List.iter
+    (fun (id, attrs) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s%s;\n" (quote id) (attrs_to_string attrs)))
+    (List.rev g.nodes);
+  List.iter
+    (fun (src, dst, attrs) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s%s;\n" (quote src) (quote dst)
+           (attrs_to_string attrs)))
+    (List.rev g.edges);
+  List.iter
+    (fun ids ->
+      Buffer.add_string buf
+        (Printf.sprintf "  { rank=same; %s }\n"
+           (String.concat "; " (List.map quote ids))))
+    (List.rev g.ranks);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string g))

@@ -1,0 +1,35 @@
+(** Graphviz dot document construction.
+
+    The infrastructure renders datapaths, FSMs, RTGs and the flow diagram
+    (Figure 1) as dot text; actual layout is left to external graphviz, as
+    in the paper. *)
+
+type attrs = (string * string) list
+
+type t
+(** A digraph under construction. *)
+
+val create : ?graph_attrs:attrs -> ?node_defaults:attrs -> ?edge_defaults:attrs
+  -> string -> t
+(** [create name] starts an empty digraph called [name]. *)
+
+val add_node : t -> ?attrs:attrs -> string -> unit
+(** [add_node g id] declares node [id]. Re-declaring an id replaces its
+    attributes. *)
+
+val add_edge : t -> ?attrs:attrs -> string -> string -> unit
+(** [add_edge g src dst] appends a directed edge. Parallel edges are kept. *)
+
+val add_rank_same : t -> string list -> unit
+(** Constrain the given node ids to the same rank. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+
+val to_string : t -> string
+(** Render the dot source. Nodes appear in insertion order, then edges. *)
+
+val save : string -> t -> unit
+
+val quote : string -> string
+(** Quote and escape an identifier or label for dot syntax. *)

@@ -1,0 +1,1 @@
+lib/fsmkit/fsm.ml: Bitvec Format Guard Hashtbl List Printf Xmlkit

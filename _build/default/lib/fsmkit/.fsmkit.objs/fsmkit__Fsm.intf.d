@@ -1,0 +1,1 @@
+lib/fsmkit/fsm.mli: Guard Xmlkit

@@ -1,0 +1,1 @@
+lib/fsmkit/guard.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/fsmkit/guard.mli:

@@ -1,0 +1,194 @@
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type t =
+  | True
+  | Test of { signal : string; op : cmp; value : int }
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+let cmp_to_string = function
+  | Ceq -> "=="
+  | Cne -> "!="
+  | Clt -> "<"
+  | Cle -> "<="
+  | Cgt -> ">"
+  | Cge -> ">="
+
+(* --- lexer ------------------------------------------------------- *)
+
+type token =
+  | Tident of string
+  | Tint of int
+  | Tcmp of cmp
+  | Tnot
+  | Tand
+  | Tor
+  | Tlparen
+  | Trparen
+  | Tend
+
+let lex src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9') || c = '_' || c = '-'
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then (push Tlparen; incr i)
+    else if c = ')' then (push Trparen; incr i)
+    else if c = '!' && !i + 1 < n && src.[!i + 1] = '=' then (push (Tcmp Cne); i := !i + 2)
+    else if c = '!' then (push Tnot; incr i)
+    else if c = '=' && !i + 1 < n && src.[!i + 1] = '=' then (push (Tcmp Ceq); i := !i + 2)
+    else if c = '<' && !i + 1 < n && src.[!i + 1] = '=' then (push (Tcmp Cle); i := !i + 2)
+    else if c = '<' then (push (Tcmp Clt); incr i)
+    else if c = '>' && !i + 1 < n && src.[!i + 1] = '=' then (push (Tcmp Cge); i := !i + 2)
+    else if c = '>' then (push (Tcmp Cgt); incr i)
+    else if c = '&' && !i + 1 < n && src.[!i + 1] = '&' then (push Tand; i := !i + 2)
+    else if c = '|' && !i + 1 < n && src.[!i + 1] = '|' then (push Tor; i := !i + 2)
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do incr i done;
+      push (Tint (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_ident c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do incr i done;
+      push (Tident (String.sub src start (!i - start)))
+    end
+    else failwith (Printf.sprintf "guard %S: unexpected character %C" src c)
+  done;
+  push Tend;
+  List.rev !tokens
+
+(* --- parser ------------------------------------------------------ *)
+
+type parser_state = { mutable toks : token list; src : string }
+
+let peek st = match st.toks with t :: _ -> t | [] -> Tend
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+let syntax_error st what =
+  failwith (Printf.sprintf "guard %S: expected %s" st.src what)
+
+let rec parse_or st =
+  let left = parse_and st in
+  match peek st with
+  | Tor ->
+      advance st;
+      Or (left, parse_or st)
+  | _ -> left
+
+and parse_and st =
+  let left = parse_not st in
+  match peek st with
+  | Tand ->
+      advance st;
+      And (left, parse_and st)
+  | _ -> left
+
+and parse_not st =
+  match peek st with
+  | Tnot ->
+      advance st;
+      Not (parse_not st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Tint 1 ->
+      advance st;
+      True
+  | Tint 0 ->
+      advance st;
+      Not True
+  | Tlparen ->
+      advance st;
+      let g = parse_or st in
+      (match peek st with
+      | Trparen -> advance st
+      | _ -> syntax_error st "')'");
+      g
+  | Tident name -> (
+      advance st;
+      match peek st with
+      | Tcmp op -> (
+          advance st;
+          match peek st with
+          | Tint value ->
+              advance st;
+              Test { signal = name; op; value }
+          | _ -> syntax_error st "an integer after the comparison")
+      | _ -> Test { signal = name; op = Cne; value = 0 })
+  | _ -> syntax_error st "an identifier or '('"
+
+let parse src =
+  if String.for_all (fun c -> c = ' ' || c = '\t') src then True
+  else begin
+    let st = { toks = lex src; src } in
+    let g = parse_or st in
+    match peek st with
+    | Tend -> g
+    | _ -> syntax_error st "end of guard"
+  end
+
+(* --- printing / evaluation --------------------------------------- *)
+
+(* The parser is right-associative for && and ||, so compound operands are
+   parenthesized except a bare right-recursive chain would re-associate;
+   parenthesizing every compound operand keeps printing/parsing a
+   structural inverse. *)
+let rec str = function
+  | True -> "1"
+  | Test { signal; op = Cne; value = 0 } -> signal
+  | Test { signal; op; value } ->
+      Printf.sprintf "%s%s%d" signal (cmp_to_string op) value
+  | Not g -> "!" ^ atom_string g
+  | And (a, b) -> Printf.sprintf "%s && %s" (and_operand a) (and_operand b)
+  | Or (a, b) -> Printf.sprintf "%s || %s" (or_operand a) (or_operand b)
+
+and atom_string g =
+  match g with
+  | True | Test _ | Not _ -> str g
+  | And _ | Or _ -> "(" ^ str g ^ ")"
+
+and and_operand g =
+  match g with And _ | Or _ -> "(" ^ str g ^ ")" | True | Test _ | Not _ -> str g
+
+and or_operand g =
+  match g with Or _ -> "(" ^ str g ^ ")" | True | Test _ | Not _ | And _ -> str g
+
+(* Top-level [True] prints as the empty string so the XML writer can omit
+   the [on] attribute for unconditional transitions. *)
+let to_string = function True -> "" | g -> str g
+
+let rec eval g lookup =
+  match g with
+  | True -> true
+  | Test { signal; op; value } -> (
+      let v = lookup signal in
+      match op with
+      | Ceq -> v = value
+      | Cne -> v <> value
+      | Clt -> v < value
+      | Cle -> v <= value
+      | Cgt -> v > value
+      | Cge -> v >= value)
+  | Not g -> not (eval g lookup)
+  | And (a, b) -> eval a lookup && eval b lookup
+  | Or (a, b) -> eval a lookup || eval b lookup
+
+let signals g =
+  let rec collect acc = function
+    | True -> acc
+    | Test { signal; _ } -> signal :: acc
+    | Not g -> collect acc g
+    | And (a, b) | Or (a, b) -> collect (collect acc a) b
+  in
+  List.sort_uniq compare (collect [] g)
+
+let equal (a : t) (b : t) = a = b

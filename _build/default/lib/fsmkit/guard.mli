@@ -1,0 +1,40 @@
+(** Transition guards: boolean expressions over FSM status inputs.
+
+    Concrete syntax (used in the [on] attribute of the FSM dialect):
+    {v
+guard ::= or
+or    ::= and ('||' and)*
+and   ::= not ('&&' not)*
+not   ::= '!' not | atom
+atom  ::= '(' or ')' | ident | ident cmp int
+cmp   ::= '==' | '!=' | '<' | '<=' | '>' | '>='
+    v}
+    A bare identifier means [ident != 0]. Comparisons are unsigned over
+    the status signal's value. *)
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type t =
+  | True
+  | Test of { signal : string; op : cmp; value : int }
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val parse : string -> t
+(** Raises [Failure] with a message on syntax errors. An empty or
+    whitespace-only string parses to {!True}. *)
+
+val to_string : t -> string
+(** Canonical concrete syntax; [parse (to_string g)] is structurally
+    equal to [g] up to redundant parentheses. *)
+
+val eval : t -> (string -> int) -> bool
+(** [eval g lookup] evaluates with [lookup] giving each status signal's
+    current unsigned value. *)
+
+val signals : t -> string list
+(** Status signals referenced, sorted, without duplicates. *)
+
+val cmp_to_string : cmp -> string
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/hdl/systemc.ml: Buffer Fsmkit Hashtbl List Netlist Operators Printf String Verilog

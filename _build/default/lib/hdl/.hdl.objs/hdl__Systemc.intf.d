@@ -1,0 +1,1 @@
+lib/hdl/systemc.mli: Fsmkit Netlist

@@ -1,0 +1,1 @@
+lib/hdl/verilog.ml: Buffer Fsmkit Hashtbl List Netlist Operators Printf String

@@ -1,0 +1,1 @@
+lib/hdl/vhdl.ml: Buffer Fsmkit Hashtbl List Netlist Operators Printf String

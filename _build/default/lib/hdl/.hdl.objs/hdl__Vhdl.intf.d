@@ -1,0 +1,1 @@
+lib/hdl/vhdl.mli: Fsmkit Netlist

@@ -1,0 +1,11 @@
+(** SystemC emission — the third output language the paper names
+    ("Verilog, VHDL, SystemC, etc.").
+
+    The datapath becomes an [SC_MODULE] with one [SC_METHOD] for the
+    combinational cloud and one clocked [SC_METHOD] for the sequential
+    elements; the FSM a clocked two-process module; [system] a top module
+    binding the two by signal name. Data travels as [sc_uint<W>]. *)
+
+val datapath : Netlist.Datapath.t -> string
+val fsm : Fsmkit.Fsm.t -> string
+val system : Netlist.Datapath.t -> Fsmkit.Fsm.t -> string

@@ -1,0 +1,19 @@
+(** Verilog-2001 emission — one of the user-pluggable output languages the
+    paper supports through custom XSL rules.
+
+    The datapath becomes a structural/behavioral module (clock, control
+    inputs, status outputs), the FSM a two-process state machine, and
+    [system] a top module wiring the two by signal name. Test-aid
+    operators (probe/check/stop) emit [$display]-based monitors inside
+    [`ifndef SYNTHESIS] regions. *)
+
+val sanitize : string -> string
+(** Map an arbitrary identifier to HDL-safe characters (shared by the
+    emitters). *)
+
+val datapath : Netlist.Datapath.t -> string
+(** Raises {!Netlist.Datapath.Invalid} on malformed inputs. *)
+
+val fsm : Fsmkit.Fsm.t -> string
+val system : Netlist.Datapath.t -> Fsmkit.Fsm.t -> string
+(** The two modules plus a [<name>_top] wiring them together. *)

@@ -1,0 +1,9 @@
+(** VHDL-93 emission (ieee.numeric_std) — the second built-in output
+    language. Same structure as {!Verilog}: datapath entity, two-process
+    FSM entity, and a top-level wiring both. All data ports are
+    [unsigned] vectors; test-aid operators emit [assert]/[report]
+    statements. *)
+
+val datapath : Netlist.Datapath.t -> string
+val fsm : Fsmkit.Fsm.t -> string
+val system : Netlist.Datapath.t -> Fsmkit.Fsm.t -> string

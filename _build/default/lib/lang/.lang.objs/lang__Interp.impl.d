@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Ast Bitvec Check Hashtbl List Operators Printf

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Format Fun Lexer List String

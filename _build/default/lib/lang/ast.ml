@@ -1,0 +1,116 @@
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor
+  | Shl | Shra | Shrl
+
+type unop = Neg | Bnot
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Int of int
+  | Var of string
+  | Mem_read of string * expr
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+type cond =
+  | Cmp of cmpop * expr * expr
+  | Cand of cond * cond
+  | Cor of cond * cond
+  | Cnot of cond
+
+type stmt =
+  | Assign of string * expr
+  | Mem_write of string * expr * expr
+  | If of cond * stmt list * stmt list
+  | While of cond * stmt list
+  | Assert of cond
+  | Partition
+
+type mem_decl = { mem_name : string; mem_size : int; mem_init : int list }
+type var_decl = { var_name : string; var_init : int }
+
+type program = {
+  prog_name : string;
+  prog_width : int;
+  mems : mem_decl list;
+  vars : var_decl list;
+  probes : string list;
+  body : stmt list;
+}
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Shra -> ">>"
+  | Shrl -> ">>>"
+
+let unop_to_string = function Neg -> "-" | Bnot -> "~"
+
+let cmpop_to_string = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let partitions prog =
+  let rec split current acc = function
+    | [] -> List.rev (List.rev current :: acc)
+    | Partition :: rest -> split [] (List.rev current :: acc) rest
+    | stmt :: rest -> split (stmt :: current) acc rest
+  in
+  split [] [] prog.body
+
+let rec expr_reads_memory = function
+  | Int _ | Var _ -> false
+  | Mem_read _ -> true
+  | Binop (_, a, b) -> expr_reads_memory a || expr_reads_memory b
+  | Unop (_, a) -> expr_reads_memory a
+
+let rec cond_reads_memory = function
+  | Cmp (_, a, b) -> expr_reads_memory a || expr_reads_memory b
+  | Cand (a, b) | Cor (a, b) -> cond_reads_memory a || cond_reads_memory b
+  | Cnot c -> cond_reads_memory c
+
+let vars_written stmts =
+  let rec collect acc = function
+    | Assign (v, _) -> v :: acc
+    | Mem_write _ | Assert _ | Partition -> acc
+    | If (_, t, e) -> List.fold_left collect (List.fold_left collect acc t) e
+    | While (_, body) -> List.fold_left collect acc body
+  in
+  List.sort_uniq compare (List.fold_left collect [] stmts)
+
+let vars_read stmts =
+  let rec expr acc = function
+    | Int _ -> acc
+    | Var v -> v :: acc
+    | Mem_read (_, a) -> expr acc a
+    | Binop (_, a, b) -> expr (expr acc a) b
+    | Unop (_, a) -> expr acc a
+  in
+  let rec cond acc = function
+    | Cmp (_, a, b) -> expr (expr acc a) b
+    | Cand (a, b) | Cor (a, b) -> cond (cond acc a) b
+    | Cnot c -> cond acc c
+  in
+  let rec stmt acc = function
+    | Assign (_, e) -> expr acc e
+    | Mem_write (_, a, v) -> expr (expr acc a) v
+    | If (c, t, e) ->
+        List.fold_left stmt (List.fold_left stmt (cond acc c) t) e
+    | While (c, body) -> List.fold_left stmt (cond acc c) body
+    | Assert c -> cond acc c
+    | Partition -> acc
+  in
+  List.sort_uniq compare (List.fold_left stmt [] stmts)

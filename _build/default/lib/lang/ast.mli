@@ -1,0 +1,97 @@
+(** Abstract syntax of the source language.
+
+    A small imperative language standing in for the Java subset the
+    Galadriel & Nenya compiler accepts: scalar variables, word-addressed
+    memories (the SRAMs of the target platform), arithmetic over a single
+    program-wide data width (two's complement, wrapping), structured
+    control flow, and [partition] markers that delimit temporal
+    partitions.
+
+    Concrete syntax example:
+    {v
+program hamming width 16;
+mem input[128];
+mem output[128];
+var i;
+var code;
+for (i = 0; i < 128; i = i + 1) {
+  code = input[i];
+  output[i] = code & 15;
+}
+    v} *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor
+  | Shl  (** [<<] *)
+  | Shra  (** [>>] arithmetic *)
+  | Shrl  (** [>>>] logical *)
+
+type unop = Neg | Bnot
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge  (** Signed comparisons. *)
+
+type expr =
+  | Int of int
+  | Var of string
+  | Mem_read of string * expr  (** [m[e]] *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+type cond =
+  | Cmp of cmpop * expr * expr
+  | Cand of cond * cond
+  | Cor of cond * cond
+  | Cnot of cond
+
+type stmt =
+  | Assign of string * expr
+  | Mem_write of string * expr * expr  (** [m[addr] = value] *)
+  | If of cond * stmt list * stmt list
+  | While of cond * stmt list
+  | Assert of cond
+      (** Runtime assertion: the golden model counts violations; the
+          hardware maps it to a [check] operator (one of the testing
+          requirements the paper lists). *)
+  | Partition  (** Temporal-partition boundary; top level only. *)
+
+type mem_decl = {
+  mem_name : string;
+  mem_size : int;
+  mem_init : int list;
+      (** Initial contents from a [= { ... }] initializer (shorter than
+          [mem_size] fills the rest with zeros); both the golden model and
+          the hardware SRAM start from them. *)
+}
+type var_decl = { var_name : string; var_init : int }
+
+type program = {
+  prog_name : string;
+  prog_width : int;  (** Data width of every variable, memory and FU. *)
+  mems : mem_decl list;
+  vars : var_decl list;
+  probes : string list;
+      (** [probe x;] declarations: the generated datapath attaches a probe
+          operator to the variable's register, recording every value it
+          takes during simulation ("access to values on certain
+          connections"). *)
+  body : stmt list;
+}
+
+val binop_to_string : binop -> string
+val unop_to_string : unop -> string
+val cmpop_to_string : cmpop -> string
+
+val partitions : program -> stmt list list
+(** Top-level statement runs separated by [Partition] markers (one
+    element when no markers are present). *)
+
+val expr_reads_memory : expr -> bool
+val cond_reads_memory : cond -> bool
+
+val vars_written : stmt list -> string list
+(** Sorted, without duplicates. *)
+
+val vars_read : stmt list -> string list
+(** Variables whose value is read anywhere (including addresses and
+    conditions). Sorted, without duplicates. *)

@@ -1,0 +1,85 @@
+let duplicates names =
+  let sorted = List.sort compare names in
+  let rec loop acc = function
+    | a :: (b :: _ as rest) -> loop (if a = b then a :: acc else acc) rest
+    | [ _ ] | [] -> List.sort_uniq compare acc
+  in
+  loop [] sorted
+
+let check (prog : Ast.program) =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  if prog.Ast.prog_width < 2 || prog.Ast.prog_width > Bitvec.max_width then
+    err "program width %d outside 2..%d" prog.Ast.prog_width Bitvec.max_width;
+  List.iter (fun n -> err "duplicate memory %S" n)
+    (duplicates (List.map (fun m -> m.Ast.mem_name) prog.Ast.mems));
+  List.iter (fun n -> err "duplicate variable %S" n)
+    (duplicates (List.map (fun v -> v.Ast.var_name) prog.Ast.vars));
+  let mem_names = List.map (fun m -> m.Ast.mem_name) prog.Ast.mems in
+  let var_names = List.map (fun v -> v.Ast.var_name) prog.Ast.vars in
+  List.iter
+    (fun n -> if List.mem n var_names then err "%S is both a memory and a variable" n)
+    mem_names;
+  List.iter
+    (fun (m : Ast.mem_decl) ->
+      if m.Ast.mem_size < 1 then
+        err "memory %S has size %d" m.Ast.mem_name m.Ast.mem_size;
+      if List.length m.Ast.mem_init > m.Ast.mem_size then
+        err "memory %S: initializer has %d values but size is %d"
+          m.Ast.mem_name (List.length m.Ast.mem_init) m.Ast.mem_size)
+    prog.Ast.mems;
+  let rec check_expr = function
+    | Ast.Int _ -> ()
+    | Ast.Var v -> if not (List.mem v var_names) then err "undeclared variable %S" v
+    | Ast.Mem_read (m, addr) ->
+        if not (List.mem m mem_names) then err "undeclared memory %S" m;
+        check_expr addr
+    | Ast.Binop (_, a, b) ->
+        check_expr a;
+        check_expr b
+    | Ast.Unop (_, a) -> check_expr a
+  in
+  let rec check_cond = function
+    | Ast.Cmp (_, a, b) ->
+        check_expr a;
+        check_expr b
+    | Ast.Cand (a, b) | Ast.Cor (a, b) ->
+        check_cond a;
+        check_cond b
+    | Ast.Cnot c -> check_cond c
+  in
+  let rec check_stmt ~top = function
+    | Ast.Assign (v, e) ->
+        if not (List.mem v var_names) then err "assignment to undeclared variable %S" v;
+        check_expr e
+    | Ast.Mem_write (m, addr, value) ->
+        if not (List.mem m mem_names) then err "write to undeclared memory %S" m;
+        check_expr addr;
+        check_expr value
+    | Ast.If (c, t, e) ->
+        check_cond c;
+        if Ast.cond_reads_memory c then err "a condition reads a memory (hoist it into a variable)";
+        List.iter (check_stmt ~top:false) t;
+        List.iter (check_stmt ~top:false) e
+    | Ast.While (c, body) ->
+        check_cond c;
+        if Ast.cond_reads_memory c then err "a condition reads a memory (hoist it into a variable)";
+        List.iter (check_stmt ~top:false) body
+    | Ast.Assert c ->
+        check_cond c;
+        if Ast.cond_reads_memory c then
+          err "a condition reads a memory (hoist it into a variable)"
+    | Ast.Partition ->
+        if not top then err "\"partition\" is only allowed at the top level"
+  in
+  List.iter
+    (fun p ->
+      if not (List.mem p var_names) then err "probe of undeclared variable %S" p)
+    prog.Ast.probes;
+  List.iter (fun n -> err "duplicate probe %S" n) (duplicates prog.Ast.probes);
+  List.iter (check_stmt ~top:true) prog.Ast.body;
+  List.rev !errs
+
+exception Invalid of string list
+
+let validate prog = match check prog with [] -> () | errs -> raise (Invalid errs)

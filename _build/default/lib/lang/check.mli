@@ -1,0 +1,13 @@
+(** Static checks on source programs.
+
+    Beyond scoping, two restrictions keep the generated hardware simple:
+    [partition] markers may appear only at the top level, and loop/branch
+    conditions may not read memories (compute the value into a variable
+    first). *)
+
+val check : Ast.program -> string list
+(** Diagnostics; empty = accepted. *)
+
+exception Invalid of string list
+
+val validate : Ast.program -> unit

@@ -1,0 +1,147 @@
+module Memory = Operators.Memory
+
+type stats = {
+  statements : int;
+  mem_reads : int;
+  mem_writes : int;
+  branches : int;
+  asserts_failed : int;
+}
+
+exception Runaway of string
+
+type env = {
+  width : int;
+  vars : (string, Bitvec.t) Hashtbl.t;
+  memories : string -> Memory.t;
+  max_statements : int;
+  mutable n_statements : int;
+  mutable n_reads : int;
+  mutable n_writes : int;
+  mutable n_branches : int;
+  mutable n_asserts_failed : int;
+}
+
+let binop_fn = function
+  | Ast.Add -> Bitvec.add
+  | Ast.Sub -> Bitvec.sub
+  | Ast.Mul -> Bitvec.mul
+  | Ast.Div -> Bitvec.sdiv
+  | Ast.Rem -> Bitvec.srem
+  | Ast.Band -> Bitvec.logand
+  | Ast.Bor -> Bitvec.logor
+  | Ast.Bxor -> Bitvec.logxor
+  | Ast.Shl -> fun a b -> Bitvec.shift_left a (Bitvec.to_int b)
+  | Ast.Shra -> fun a b -> Bitvec.shift_right_arith a (Bitvec.to_int b)
+  | Ast.Shrl -> fun a b -> Bitvec.shift_right_logical a (Bitvec.to_int b)
+
+let rec eval_expr env = function
+  | Ast.Int v -> Bitvec.create ~width:env.width v
+  | Ast.Var v -> Hashtbl.find env.vars v
+  | Ast.Mem_read (m, addr) ->
+      env.n_reads <- env.n_reads + 1;
+      let a = Bitvec.to_int (eval_expr env addr) in
+      Memory.read (env.memories m) a
+  | Ast.Binop (op, a, b) -> (binop_fn op) (eval_expr env a) (eval_expr env b)
+  | Ast.Unop (Ast.Neg, a) -> Bitvec.neg (eval_expr env a)
+  | Ast.Unop (Ast.Bnot, a) -> Bitvec.lognot (eval_expr env a)
+
+let cmp_fn = function
+  | Ast.Eq -> Bitvec.eq
+  | Ast.Ne -> Bitvec.ne
+  | Ast.Lt -> Bitvec.slt
+  | Ast.Le -> Bitvec.sle
+  | Ast.Gt -> Bitvec.sgt
+  | Ast.Ge -> Bitvec.sge
+
+let rec eval_cond env = function
+  | Ast.Cmp (op, a, b) ->
+      Bitvec.to_bool ((cmp_fn op) (eval_expr env a) (eval_expr env b))
+  | Ast.Cand (a, b) -> eval_cond env a && eval_cond env b
+  | Ast.Cor (a, b) -> eval_cond env a || eval_cond env b
+  | Ast.Cnot c -> not (eval_cond env c)
+
+let tick env =
+  env.n_statements <- env.n_statements + 1;
+  if env.n_statements > env.max_statements then
+    raise
+      (Runaway
+         (Printf.sprintf "interpreter exceeded %d statements" env.max_statements))
+
+let rec exec_stmt env = function
+  | Ast.Assign (v, e) ->
+      tick env;
+      Hashtbl.replace env.vars v (eval_expr env e)
+  | Ast.Mem_write (m, addr, value) ->
+      tick env;
+      let a = Bitvec.to_int (eval_expr env addr) in
+      let v = eval_expr env value in
+      env.n_writes <- env.n_writes + 1;
+      Memory.write (env.memories m) a v
+  | Ast.If (c, t, e) ->
+      tick env;
+      env.n_branches <- env.n_branches + 1;
+      exec_block env (if eval_cond env c then t else e)
+  | Ast.While (c, body) ->
+      tick env;
+      env.n_branches <- env.n_branches + 1;
+      if eval_cond env c then begin
+        exec_block env body;
+        exec_stmt env (Ast.While (c, body))
+      end
+  | Ast.Assert c ->
+      tick env;
+      if not (eval_cond env c) then
+        env.n_asserts_failed <- env.n_asserts_failed + 1
+  | Ast.Partition -> ()
+
+and exec_block env stmts = List.iter (exec_stmt env) stmts
+
+let fresh_env ?(max_statements = 100_000_000) ~memories (prog : Ast.program) =
+  Check.validate prog;
+  let vars = Hashtbl.create 16 in
+  List.iter
+    (fun (v : Ast.var_decl) ->
+      Hashtbl.replace vars v.Ast.var_name
+        (Bitvec.create ~width:prog.Ast.prog_width v.Ast.var_init))
+    prog.Ast.vars;
+  {
+    width = prog.Ast.prog_width;
+    vars;
+    memories;
+    max_statements;
+    n_statements = 0;
+    n_reads = 0;
+    n_writes = 0;
+    n_branches = 0;
+    n_asserts_failed = 0;
+  }
+
+let finish env (prog : Ast.program) =
+  let bindings =
+    List.map
+      (fun (v : Ast.var_decl) ->
+        (v.Ast.var_name, Hashtbl.find env.vars v.Ast.var_name))
+      prog.Ast.vars
+  in
+  ( bindings,
+    {
+      statements = env.n_statements;
+      mem_reads = env.n_reads;
+      mem_writes = env.n_writes;
+      branches = env.n_branches;
+      asserts_failed = env.n_asserts_failed;
+    } )
+
+let run ?max_statements ~memories prog =
+  let env = fresh_env ?max_statements ~memories prog in
+  exec_block env prog.Ast.body;
+  finish env prog
+
+let run_partition ?max_statements ~memories prog k =
+  let parts = Ast.partitions prog in
+  if k < 0 || k >= List.length parts then
+    invalid_arg (Printf.sprintf "run_partition: no partition %d" k);
+  let env = fresh_env ?max_statements ~memories prog in
+  exec_block env (List.nth parts k);
+  finish env prog

@@ -1,0 +1,43 @@
+(** Reference interpreter — the golden model.
+
+    Runs a program directly over the same {!Operators.Memory.t} stores the
+    simulated hardware uses, with identical wrap-around arithmetic at the
+    program width, so "run software, run hardware, compare memories" is
+    meaningful (the paper's verification scheme). *)
+
+type stats = {
+  statements : int;  (** Statement executions. *)
+  mem_reads : int;
+  mem_writes : int;
+  branches : int;  (** Condition evaluations. *)
+  asserts_failed : int;  (** Violated [assert] statements. *)
+}
+
+exception Runaway of string
+(** Raised when execution exceeds the [max_statements] bound. *)
+
+val run :
+  ?max_statements:int ->
+  memories:(string -> Operators.Memory.t) ->
+  Ast.program ->
+  (string * Bitvec.t) list * stats
+(** Execute the whole program ([partition] markers are no-ops here —
+    software runs straight through). Returns the final variable
+    environment (declaration order) and counters. [max_statements]
+    defaults to 100 million.
+
+    Raises {!Check.Invalid} if the program fails {!Check.check};
+    [memories] must supply a store (of the program width) for every
+    declared memory. Memory initializers ([mem m[4] = {...};]) are
+    applied when the environment is built (see
+    [Testinfra.Verify.memory_env]), not here. *)
+
+val run_partition :
+  ?max_statements:int ->
+  memories:(string -> Operators.Memory.t) ->
+  Ast.program ->
+  int ->
+  (string * Bitvec.t) list * stats
+(** [run_partition ~memories prog k] executes only the [k]-th temporal
+    partition (0-based), with variables freshly initialized — mirroring
+    what one hardware configuration does. *)

@@ -1,0 +1,176 @@
+type token =
+  | Ident of string
+  | Number of int
+  | Kw_program | Kw_width | Kw_mem | Kw_var
+  | Kw_if | Kw_else | Kw_while | Kw_for | Kw_partition | Kw_assert | Kw_probe
+  | Lparen | Rparen | Lbrace | Rbrace | Lbracket | Rbracket
+  | Semicolon | Comma | Assign_op
+  | Plus | Minus | Star | Slash | Percent
+  | Amp | Pipe | Caret | Tilde
+  | Shl_op | Shra_op | Shrl_op
+  | Eq_op | Ne_op | Lt_op | Le_op | Gt_op | Ge_op
+  | And_op | Or_op | Not_op
+  | Eof
+
+exception Lex_error of { line : int; message : string }
+
+let keyword = function
+  | "program" -> Some Kw_program
+  | "width" -> Some Kw_width
+  | "mem" -> Some Kw_mem
+  | "var" -> Some Kw_var
+  | "if" -> Some Kw_if
+  | "else" -> Some Kw_else
+  | "while" -> Some Kw_while
+  | "for" -> Some Kw_for
+  | "partition" -> Some Kw_partition
+  | "assert" -> Some Kw_assert
+  | "probe" -> Some Kw_probe
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let push t = toks := (t, !line) :: !toks in
+  let error fmt =
+    Format.kasprintf
+      (fun message -> raise (Lex_error { line = !line; message }))
+      fmt
+  in
+  let i = ref 0 in
+  let peek k = if !i + k < n then src.[!i + k] else '\000' in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && peek 1 = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && peek 1 = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then error "unterminated comment"
+    end
+    else if is_digit c then begin
+      let start = !i in
+      if c = '0' && (peek 1 = 'x' || peek 1 = 'X') then begin
+        i := !i + 2;
+        while !i < n && (is_digit src.[!i]
+                         || (src.[!i] >= 'a' && src.[!i] <= 'f')
+                         || (src.[!i] >= 'A' && src.[!i] <= 'F')) do
+          incr i
+        done
+      end
+      else while !i < n && is_digit src.[!i] do incr i done;
+      let text = String.sub src start (!i - start) in
+      match int_of_string_opt text with
+      | Some v -> push (Number v)
+      | None -> error "bad number %S" text
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let text = String.sub src start (!i - start) in
+      push (match keyword text with Some kw -> kw | None -> Ident text)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      let three = if !i + 2 < n then String.sub src !i 3 else "" in
+      if three = ">>>" then begin push Shrl_op; i := !i + 3 end
+      else if two = "<<" then begin push Shl_op; i := !i + 2 end
+      else if two = ">>" then begin push Shra_op; i := !i + 2 end
+      else if two = "==" then begin push Eq_op; i := !i + 2 end
+      else if two = "!=" then begin push Ne_op; i := !i + 2 end
+      else if two = "<=" then begin push Le_op; i := !i + 2 end
+      else if two = ">=" then begin push Ge_op; i := !i + 2 end
+      else if two = "&&" then begin push And_op; i := !i + 2 end
+      else if two = "||" then begin push Or_op; i := !i + 2 end
+      else begin
+        (match c with
+        | '(' -> push Lparen
+        | ')' -> push Rparen
+        | '{' -> push Lbrace
+        | '}' -> push Rbrace
+        | '[' -> push Lbracket
+        | ']' -> push Rbracket
+        | ';' -> push Semicolon
+        | ',' -> push Comma
+        | '=' -> push Assign_op
+        | '+' -> push Plus
+        | '-' -> push Minus
+        | '*' -> push Star
+        | '/' -> push Slash
+        | '%' -> push Percent
+        | '&' -> push Amp
+        | '|' -> push Pipe
+        | '^' -> push Caret
+        | '~' -> push Tilde
+        | '<' -> push Lt_op
+        | '>' -> push Gt_op
+        | '!' -> push Not_op
+        | c -> error "unexpected character %C" c);
+        incr i
+      end
+    end
+  done;
+  push Eof;
+  List.rev !toks
+
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Number v -> Printf.sprintf "number %d" v
+  | Kw_program -> "\"program\""
+  | Kw_width -> "\"width\""
+  | Kw_mem -> "\"mem\""
+  | Kw_var -> "\"var\""
+  | Kw_if -> "\"if\""
+  | Kw_else -> "\"else\""
+  | Kw_while -> "\"while\""
+  | Kw_for -> "\"for\""
+  | Kw_partition -> "\"partition\""
+  | Kw_assert -> "\"assert\""
+  | Kw_probe -> "\"probe\""
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Semicolon -> "';'"
+  | Comma -> "','"
+  | Assign_op -> "'='"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Slash -> "'/'"
+  | Percent -> "'%'"
+  | Amp -> "'&'"
+  | Pipe -> "'|'"
+  | Caret -> "'^'"
+  | Tilde -> "'~'"
+  | Shl_op -> "'<<'"
+  | Shra_op -> "'>>'"
+  | Shrl_op -> "'>>>'"
+  | Eq_op -> "'=='"
+  | Ne_op -> "'!='"
+  | Lt_op -> "'<'"
+  | Le_op -> "'<='"
+  | Gt_op -> "'>'"
+  | Ge_op -> "'>='"
+  | And_op -> "'&&'"
+  | Or_op -> "'||'"
+  | Not_op -> "'!'"
+  | Eof -> "end of input"

@@ -1,0 +1,23 @@
+(** Lexical analysis of the source language. *)
+
+type token =
+  | Ident of string
+  | Number of int
+  | Kw_program | Kw_width | Kw_mem | Kw_var
+  | Kw_if | Kw_else | Kw_while | Kw_for | Kw_partition | Kw_assert | Kw_probe
+  | Lparen | Rparen | Lbrace | Rbrace | Lbracket | Rbracket
+  | Semicolon | Comma | Assign_op
+  | Plus | Minus | Star | Slash | Percent
+  | Amp | Pipe | Caret | Tilde
+  | Shl_op | Shra_op | Shrl_op
+  | Eq_op | Ne_op | Lt_op | Le_op | Gt_op | Ge_op
+  | And_op | Or_op | Not_op
+  | Eof
+
+exception Lex_error of { line : int; message : string }
+
+val tokenize : string -> (token * int) list
+(** Token stream with 1-based line numbers, ending with [Eof]. Comments
+    ([// ...] to end of line and [/* ... */]) are skipped. *)
+
+val token_to_string : token -> string

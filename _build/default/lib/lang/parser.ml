@@ -1,0 +1,415 @@
+open Lexer
+
+exception Parse_error of { line : int; message : string }
+
+type state = { mutable toks : (token * int) list }
+
+let current st = match st.toks with (t, _) :: _ -> t | [] -> Eof
+let line st = match st.toks with (_, l) :: _ -> l | [] -> 0
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let error st fmt =
+  Format.kasprintf
+    (fun message -> raise (Parse_error { line = line st; message }))
+    fmt
+
+let expect st tok =
+  if current st = tok then advance st
+  else
+    error st "expected %s, found %s" (token_to_string tok)
+      (token_to_string (current st))
+
+let expect_ident st =
+  match current st with
+  | Ident name ->
+      advance st;
+      name
+  | t -> error st "expected an identifier, found %s" (token_to_string t)
+
+let expect_comma st =
+  match current st with
+  | Comma -> advance st
+  | t -> error st "expected ',', found %s" (token_to_string t)
+
+let expect_number st =
+  match current st with
+  | Number v ->
+      advance st;
+      v
+  | Minus ->
+      advance st;
+      (match current st with
+      | Number v ->
+          advance st;
+          -v
+      | t -> error st "expected a number, found %s" (token_to_string t))
+  | t -> error st "expected a number, found %s" (token_to_string t)
+
+(* --- expressions -------------------------------------------------- *)
+
+let rec parse_expr st = parse_bor st
+
+and parse_bor st =
+  let left = parse_bxor st in
+  if current st = Pipe then begin
+    advance st;
+    Ast.Binop (Ast.Bor, left, parse_bor st)
+  end
+  else left
+
+and parse_bxor st =
+  let left = parse_band st in
+  if current st = Caret then begin
+    advance st;
+    Ast.Binop (Ast.Bxor, left, parse_bxor st)
+  end
+  else left
+
+and parse_band st =
+  let left = parse_shift st in
+  if current st = Amp then begin
+    advance st;
+    Ast.Binop (Ast.Band, left, parse_band st)
+  end
+  else left
+
+and parse_shift st =
+  let left = parse_additive st in
+  match current st with
+  | Shl_op ->
+      advance st;
+      Ast.Binop (Ast.Shl, left, parse_additive st)
+  | Shra_op ->
+      advance st;
+      Ast.Binop (Ast.Shra, left, parse_additive st)
+  | Shrl_op ->
+      advance st;
+      Ast.Binop (Ast.Shrl, left, parse_additive st)
+  | _ -> left
+
+and parse_additive st =
+  let rec loop left =
+    match current st with
+    | Plus ->
+        advance st;
+        loop (Ast.Binop (Ast.Add, left, parse_multiplicative st))
+    | Minus ->
+        advance st;
+        loop (Ast.Binop (Ast.Sub, left, parse_multiplicative st))
+    | _ -> left
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop left =
+    match current st with
+    | Star ->
+        advance st;
+        loop (Ast.Binop (Ast.Mul, left, parse_atom st))
+    | Slash ->
+        advance st;
+        loop (Ast.Binop (Ast.Div, left, parse_atom st))
+    | Percent ->
+        advance st;
+        loop (Ast.Binop (Ast.Rem, left, parse_atom st))
+    | _ -> left
+  in
+  loop (parse_atom st)
+
+and parse_atom st =
+  match current st with
+  | Number v ->
+      advance st;
+      Ast.Int v
+  | Minus ->
+      advance st;
+      Ast.Unop (Ast.Neg, parse_atom st)
+  | Tilde ->
+      advance st;
+      Ast.Unop (Ast.Bnot, parse_atom st)
+  | Lparen ->
+      advance st;
+      let e = parse_expr st in
+      expect st Rparen;
+      e
+  | Ident name -> (
+      advance st;
+      match current st with
+      | Lbracket ->
+          advance st;
+          let addr = parse_expr st in
+          expect st Rbracket;
+          Ast.Mem_read (name, addr)
+      | _ -> Ast.Var name)
+  | t -> error st "expected an expression, found %s" (token_to_string t)
+
+(* --- conditions --------------------------------------------------- *)
+
+let rec parse_cond st = parse_cor st
+
+and parse_cor st =
+  let left = parse_cand st in
+  if current st = Or_op then begin
+    advance st;
+    Ast.Cor (left, parse_cor st)
+  end
+  else left
+
+and parse_cand st =
+  let left = parse_cnot st in
+  if current st = And_op then begin
+    advance st;
+    Ast.Cand (left, parse_cand st)
+  end
+  else left
+
+and parse_cnot st =
+  if current st = Not_op then begin
+    advance st;
+    Ast.Cnot (parse_cnot st)
+  end
+  else parse_catom st
+
+and parse_catom st =
+  (* '(' is ambiguous between a parenthesized condition and an expression;
+     resolve by backtracking on the comparison operator. *)
+  match current st with
+  | Lparen -> (
+      let saved = st.toks in
+      advance st;
+      match try_cond st with
+      | Some cond when current st = Rparen ->
+          advance st;
+          cond
+      | Some _ | None ->
+          st.toks <- saved;
+          parse_cmp st)
+  | _ -> parse_cmp st
+
+and try_cond st =
+  (* Attempt to parse a full condition; roll back on failure. *)
+  let saved = st.toks in
+  match parse_cond st with
+  | cond -> Some cond
+  | exception Parse_error _ ->
+      st.toks <- saved;
+      None
+
+and parse_cmp st =
+  let left = parse_expr st in
+  let op =
+    match current st with
+    | Eq_op -> Ast.Eq
+    | Ne_op -> Ast.Ne
+    | Lt_op -> Ast.Lt
+    | Le_op -> Ast.Le
+    | Gt_op -> Ast.Gt
+    | Ge_op -> Ast.Ge
+    | t -> error st "expected a comparison operator, found %s" (token_to_string t)
+  in
+  advance st;
+  let right = parse_expr st in
+  Ast.Cmp (op, left, right)
+
+(* --- statements --------------------------------------------------- *)
+
+let parse_assign st =
+  let name = expect_ident st in
+  match current st with
+  | Lbracket ->
+      advance st;
+      let addr = parse_expr st in
+      expect st Rbracket;
+      expect st Assign_op;
+      let value = parse_expr st in
+      Ast.Mem_write (name, addr, value)
+  | _ ->
+      expect st Assign_op;
+      let value = parse_expr st in
+      Ast.Assign (name, value)
+
+(* [parse_stmt] yields a list so the [for] form can desugar into
+   [init; while (cond) { body; update }] without a wrapper node. *)
+let rec parse_stmt st =
+  match current st with
+  | Kw_partition ->
+      advance st;
+      expect st Semicolon;
+      [ Ast.Partition ]
+  | Kw_assert ->
+      advance st;
+      expect st Lparen;
+      let cond = parse_cond st in
+      expect st Rparen;
+      expect st Semicolon;
+      [ Ast.Assert cond ]
+  | Kw_if ->
+      advance st;
+      expect st Lparen;
+      let cond = parse_cond st in
+      expect st Rparen;
+      let then_branch = parse_block st in
+      let else_branch =
+        if current st = Kw_else then begin
+          advance st;
+          if current st = Kw_if then parse_stmt st else parse_block st
+        end
+        else []
+      in
+      [ Ast.If (cond, then_branch, else_branch) ]
+  | Kw_while ->
+      advance st;
+      expect st Lparen;
+      let cond = parse_cond st in
+      expect st Rparen;
+      [ Ast.While (cond, parse_block st) ]
+  | Kw_for ->
+      advance st;
+      expect st Lparen;
+      let init = parse_assign st in
+      expect st Semicolon;
+      let cond = parse_cond st in
+      expect st Semicolon;
+      let update = parse_assign st in
+      expect st Rparen;
+      let body = parse_block st in
+      [ init; Ast.While (cond, body @ [ update ]) ]
+  | Ident _ ->
+      let s = parse_assign st in
+      expect st Semicolon;
+      [ s ]
+  | t -> error st "expected a statement, found %s" (token_to_string t)
+
+and parse_block st =
+  expect st Lbrace;
+  let rec loop acc =
+    if current st = Rbrace then begin
+      advance st;
+      List.concat (List.rev acc)
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+(* --- program ------------------------------------------------------ *)
+
+let parse_program st =
+  expect st Kw_program;
+  let name = expect_ident st in
+  expect st Kw_width;
+  let width = expect_number st in
+  expect st Semicolon;
+  let mems = ref [] and vars = ref [] and probes = ref [] in
+  let rec decls () =
+    match current st with
+    | Kw_mem ->
+        advance st;
+        let mem_name = expect_ident st in
+        expect st Lbracket;
+        let mem_size = expect_number st in
+        expect st Rbracket;
+        let mem_init =
+          if current st = Assign_op then begin
+            advance st;
+            expect st Lbrace;
+            let rec values acc =
+              let v = expect_number st in
+              match current st with
+              | Rbrace ->
+                  advance st;
+                  List.rev (v :: acc)
+              | _ ->
+                  (* values are comma-less: separated by whitespace is
+                     ambiguous with negative numbers, so require commas *)
+                  expect_comma st;
+                  values (v :: acc)
+            in
+            values []
+          end
+          else []
+        in
+        expect st Semicolon;
+        mems := { Ast.mem_name; mem_size; mem_init } :: !mems;
+        decls ()
+    | Kw_probe ->
+        advance st;
+        let name = expect_ident st in
+        expect st Semicolon;
+        probes := name :: !probes;
+        decls ()
+    | Kw_var ->
+        advance st;
+        let var_name = expect_ident st in
+        let var_init =
+          if current st = Assign_op then begin
+            advance st;
+            expect_number st
+          end
+          else 0
+        in
+        expect st Semicolon;
+        vars := { Ast.var_name; var_init } :: !vars;
+        decls ()
+    | _ -> ()
+  in
+  decls ();
+  let rec stmts acc =
+    if current st = Eof then List.concat (List.rev acc)
+    else stmts (parse_stmt st :: acc)
+  in
+  let body = stmts [] in
+  {
+    Ast.prog_name = name;
+    prog_width = width;
+    mems = List.rev !mems;
+    vars = List.rev !vars;
+    probes = List.rev !probes;
+    body;
+  }
+
+let parse_string src =
+  let st = { toks = tokenize src } in
+  let prog = parse_program st in
+  (match current st with
+  | Eof -> ()
+  | t -> error st "trailing input: %s" (token_to_string t));
+  prog
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string src
+
+let source_line_count src =
+  let lines = String.split_on_char '\n' src in
+  let in_block = ref false in
+  let counted line =
+    (* Strip '//' comments and blanks; track '/* */' blocks coarsely. *)
+    let line = String.trim line in
+    if !in_block then begin
+      (match String.index_opt line '*' with
+      | Some i when i + 1 < String.length line && line.[i + 1] = '/' ->
+          in_block := false
+      | Some _ | None -> ());
+      false
+    end
+    else if line = "" then false
+    else if String.length line >= 2 && String.sub line 0 2 = "//" then false
+    else if String.length line >= 2 && String.sub line 0 2 = "/*" then begin
+      (let has_close =
+         let rec find i =
+           i + 1 < String.length line
+           && ((line.[i] = '*' && line.[i + 1] = '/') || find (i + 1))
+         in
+         find 2
+       in
+       if not has_close then in_block := true);
+      false
+    end
+    else true
+  in
+  List.length (List.filter counted lines)

@@ -1,0 +1,34 @@
+(** Recursive-descent parser for the source language.
+
+    Grammar (see {!Ast} for an example):
+    {v
+program ::= "program" ident "width" number ";" decl* stmt*
+decl    ::= "mem" ident "[" number "]" ("=" "{" number ("," number)* "}")? ";"
+          | "var" ident ("=" number)? ";"
+          | "probe" ident ";"
+stmt    ::= ident "=" expr ";"
+          | ident "[" expr "]" "=" expr ";"
+          | "if" "(" cond ")" block ("else" (block | if-stmt))?
+          | "while" "(" cond ")" block
+          | "for" "(" assign ";" cond ";" assign ")" block
+          | "partition" ";"
+block   ::= "{" stmt* "}"
+cond    ::= c-or ; c-or ::= c-and ("||" c-and)*
+c-and   ::= c-not ("&&" c-not)* ; c-not ::= "!" c-not | c-atom
+c-atom  ::= "(" cond ")" | expr cmp expr
+expr    ::= bit-or with C-like precedence:
+            * / %  >  + -  >  << >> >>>  >  &  >  ^  >  |
+atom    ::= number | ident | ident "[" expr "]" | "(" expr ")"
+          | "-" atom | "~" atom
+    v}
+    The [for] form desugars to [init; while (cond) { body; update }]. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : string -> Ast.program
+(** Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+
+val parse_file : string -> Ast.program
+
+val source_line_count : string -> int
+(** Non-blank, non-comment-only lines — the Table I "loJava" metric. *)

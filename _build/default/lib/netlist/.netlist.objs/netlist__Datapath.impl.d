@@ -1,0 +1,1 @@
+lib/netlist/datapath.ml: Format Hashtbl List Operators Option Printf String Xmlkit

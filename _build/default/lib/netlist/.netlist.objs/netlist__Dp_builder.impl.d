@@ -1,0 +1,1 @@
+lib/netlist/dp_builder.ml: Datapath Hashtbl List Operators Option Printf

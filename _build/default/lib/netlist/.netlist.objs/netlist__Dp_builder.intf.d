@@ -1,0 +1,1 @@
+lib/netlist/dp_builder.mli: Datapath Operators

@@ -1,0 +1,1 @@
+lib/operators/memory.ml: Array Bitvec List Printf

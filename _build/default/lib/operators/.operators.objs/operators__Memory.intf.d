@@ -1,0 +1,1 @@
+lib/operators/memory.mli: Bitvec

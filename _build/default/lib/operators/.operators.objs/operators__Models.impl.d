@@ -1,0 +1,1 @@
+lib/operators/models.ml: Array Bitvec Engine Fun List Memory Opspec Printf Sim

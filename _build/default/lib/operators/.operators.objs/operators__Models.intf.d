@@ -1,0 +1,1 @@
+lib/operators/models.mli: Bitvec Memory Opspec Sim

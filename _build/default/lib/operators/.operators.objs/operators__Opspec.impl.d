@@ -1,0 +1,1 @@
+lib/operators/opspec.ml: Bitvec Format List Option Printf

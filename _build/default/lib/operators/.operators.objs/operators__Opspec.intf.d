@@ -1,0 +1,1 @@
+lib/operators/opspec.mli: Format

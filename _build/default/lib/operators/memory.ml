@@ -1,0 +1,66 @@
+type t = {
+  mname : string;
+  mwidth : int;
+  data : int array;  (* each cell already masked to [mwidth] bits *)
+  mutable oob : int;
+}
+
+let create ?(name = "mem") ~width size =
+  if size <= 0 then invalid_arg "Memory.create: size must be positive";
+  if width < 1 || width > Bitvec.max_width then
+    invalid_arg "Memory.create: bad width";
+  { mname = name; mwidth = width; data = Array.make size 0; oob = 0 }
+
+let name m = m.mname
+let width m = m.mwidth
+let size m = Array.length m.data
+
+let in_range m addr = addr >= 0 && addr < Array.length m.data
+
+let read m addr =
+  if in_range m addr then Bitvec.create ~width:m.mwidth m.data.(addr)
+  else begin
+    m.oob <- m.oob + 1;
+    Bitvec.zero m.mwidth
+  end
+
+let write m addr v =
+  if Bitvec.width v <> m.mwidth then
+    invalid_arg
+      (Printf.sprintf "Memory.write %s: width %d <> %d" m.mname
+         (Bitvec.width v) m.mwidth);
+  if in_range m addr then m.data.(addr) <- Bitvec.to_int v
+  else m.oob <- m.oob + 1
+
+let out_of_range_accesses m = m.oob
+
+let load m ?(offset = 0) words =
+  List.iteri
+    (fun i w ->
+      let addr = offset + i in
+      if in_range m addr then
+        m.data.(addr) <- Bitvec.to_int (Bitvec.create ~width:m.mwidth w)
+      else m.oob <- m.oob + 1)
+    words
+
+let to_list m = Array.to_list m.data
+
+let of_list ?name ~width words =
+  let m = create ?name ~width (max 1 (List.length words)) in
+  load m words;
+  m
+
+let copy m = { m with data = Array.copy m.data }
+let clear m = Array.fill m.data 0 (Array.length m.data) 0
+
+let diff a b =
+  if size a <> size b then invalid_arg "Memory.diff: size mismatch";
+  if a.mwidth <> b.mwidth then invalid_arg "Memory.diff: width mismatch";
+  let out = ref [] in
+  for addr = size a - 1 downto 0 do
+    if a.data.(addr) <> b.data.(addr) then
+      out := (addr, a.data.(addr), b.data.(addr)) :: !out
+  done;
+  !out
+
+let equal a b = size a = size b && a.mwidth = b.mwidth && diff a b = []

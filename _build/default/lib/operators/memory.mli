@@ -1,0 +1,40 @@
+(** Word-addressed memory storage.
+
+    The storage behind SRAM/ROM operators. Kept separate from the operator
+    models so that the same storage can be shared by the SRAM instances of
+    successive configurations (temporal partitions) and inspected by the
+    test infrastructure after simulation. *)
+
+type t
+
+val create : ?name:string -> width:int -> int -> t
+(** [create ~width size] is a zero-filled memory of [size] words of
+    [width] bits. *)
+
+val name : t -> string
+val width : t -> int
+val size : t -> int
+
+val read : t -> int -> Bitvec.t
+(** Out-of-range addresses read 0 (open-decode model); a diagnostic
+    counter records them. *)
+
+val write : t -> int -> Bitvec.t -> unit
+(** Out-of-range writes are dropped and counted. Value width must match. *)
+
+val out_of_range_accesses : t -> int
+
+val load : t -> ?offset:int -> int list -> unit
+(** Load words (truncated to the memory width) starting at [offset]. *)
+
+val to_list : t -> int list
+val of_list : ?name:string -> width:int -> int list -> t
+
+val copy : t -> t
+val clear : t -> unit
+
+val diff : t -> t -> (int * int * int) list
+(** [diff a b] lists [(address, a_value, b_value)] mismatches, address
+    order. Raises [Invalid_argument] on size or width mismatch. *)
+
+val equal : t -> t -> bool

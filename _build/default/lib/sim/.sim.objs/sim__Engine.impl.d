@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Bitvec Event_heap Format List Printf String

@@ -1,0 +1,45 @@
+type t = {
+  signal : Engine.signal;
+  period : int;
+  mutable edges : int;
+}
+
+let create engine ?(name = "clk") ?(period = 10) ?(start_low = true) () =
+  if period <= 0 || period mod 2 <> 0 then
+    invalid_arg "Clock.create: period must be positive and even";
+  let initial = Bitvec.of_bool (not start_low) in
+  let signal = Engine.signal engine ~name ~initial 1 in
+  let clk = { signal; period; edges = 0 } in
+  let half = period / 2 in
+  (* The elaboration pass runs every process once at creation time; that
+     first activation must only arm the generator, not toggle, so the
+     first edge lands at [half]. *)
+  let first = ref true in
+  let rec toggle =
+    lazy
+      (Engine.process engine ~name:(name ^ "-gen") (fun () ->
+           if !first then first := false
+           else begin
+             let next = Bitvec.lognot (Engine.value signal) in
+             if Bitvec.to_bool next then clk.edges <- clk.edges + 1;
+             Engine.drive engine signal next
+           end;
+           Engine.wake_at engine (Lazy.force toggle) ~delay:half))
+  in
+  let (_ : Engine.process) = Lazy.force toggle in
+  clk
+
+let signal clk = clk.signal
+let period clk = clk.period
+let cycles clk n = clk.period * n
+let rising_edges_seen clk = clk.edges
+
+let reset_pulse engine ?(name = "reset") ~duration () =
+  let signal = Engine.signal engine ~name ~initial:(Bitvec.one 1) 1 in
+  let p =
+    Engine.process engine ~name:(name ^ "-gen") (fun () ->
+        if Engine.now engine >= duration then
+          Engine.drive engine signal (Bitvec.zero 1))
+  in
+  Engine.wake_at engine p ~delay:duration;
+  signal

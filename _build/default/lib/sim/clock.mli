@@ -1,0 +1,24 @@
+(** Clock and reset generators. *)
+
+type t
+(** A free-running clock generator. *)
+
+val signal : t -> Engine.signal
+(** The generated 1-bit clock signal. *)
+
+val period : t -> int
+
+val create : Engine.t -> ?name:string -> ?period:int -> ?start_low:bool -> unit -> t
+(** A free-running clock. [period] (default 10 ticks) must be an even
+    positive number; the clock toggles every [period/2]. The first edge
+    occurs at [period/2] after the current time. *)
+
+val cycles : t -> int -> int
+(** [cycles clk n] is the duration of [n] full periods. *)
+
+val rising_edges_seen : t -> int
+(** Number of 0→1 transitions generated so far. *)
+
+val reset_pulse : Engine.t -> ?name:string -> duration:int -> unit -> Engine.signal
+(** A 1-bit signal that is 1 from time 0 and falls to 0 after [duration]
+    ticks. *)

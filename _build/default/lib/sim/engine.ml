@@ -1,0 +1,286 @@
+exception Combinational_loop of string
+exception Drive_conflict of string
+
+type signal = {
+  sid : int;
+  sname : string;
+  swidth : int;
+  mutable cur : Bitvec.t;
+  mutable staged : Bitvec.t option;  (* assignment staged for the next delta *)
+  mutable sensitive : process list;  (* in registration order, reversed *)
+  mutable hooks : (unit -> unit) list;  (* on_change callbacks, reversed *)
+}
+
+and process = {
+  pid : int;
+  pname : string;
+  body : unit -> unit;
+  mutable queued : bool;
+}
+
+type event = Assign of signal * Bitvec.t | Activate of process
+
+type stop_reason =
+  | Finished
+  | Stop_requested of string
+  | Max_time_reached
+  | Max_events_reached
+
+type stats = {
+  events : int;
+  activations : int;
+  deltas : int;
+  time_points : int;
+  drive_collisions : int;
+}
+
+type t = {
+  heap : event Event_heap.t;
+  strict : bool;
+  max_deltas : int;
+  mutable time : int;
+  mutable next_sid : int;
+  mutable next_pid : int;
+  mutable delta_signals : signal list;  (* signals with a staged value, reversed *)
+  mutable delta_procs : process list;  (* activations for the next delta, reversed *)
+  mutable stop : string option;
+  mutable n_events : int;
+  mutable n_activations : int;
+  mutable n_deltas : int;
+  mutable n_time_points : int;
+  mutable n_collisions : int;
+}
+
+let create ?(strict_drivers = false) ?(max_deltas = 10_000) () =
+  {
+    heap = Event_heap.create ();
+    strict = strict_drivers;
+    max_deltas;
+    time = 0;
+    next_sid = 0;
+    next_pid = 0;
+    delta_signals = [];
+    delta_procs = [];
+    stop = None;
+    n_events = 0;
+    n_activations = 0;
+    n_deltas = 0;
+    n_time_points = 0;
+    n_collisions = 0;
+  }
+
+let now t = t.time
+
+let signal t ~name ?initial width =
+  let initial =
+    match initial with
+    | Some v ->
+        if Bitvec.width v <> width then
+          invalid_arg
+            (Printf.sprintf "Engine.signal %s: initial width %d <> %d" name
+               (Bitvec.width v) width);
+        v
+    | None -> Bitvec.zero width
+  in
+  let s =
+    {
+      sid = t.next_sid;
+      sname = name;
+      swidth = width;
+      cur = initial;
+      staged = None;
+      sensitive = [];
+      hooks = [];
+    }
+  in
+  t.next_sid <- t.next_sid + 1;
+  s
+
+let name s = s.sname
+let width s = s.swidth
+let value s = s.cur
+let value_int s = Bitvec.to_int s.cur
+
+let stage t s v =
+  (match s.staged with
+  | Some _ ->
+      t.n_collisions <- t.n_collisions + 1;
+      if t.strict then
+        raise
+          (Drive_conflict
+             (Printf.sprintf "signal %s driven twice in one delta at t=%d"
+                s.sname t.time))
+  | None -> t.delta_signals <- s :: t.delta_signals);
+  s.staged <- Some v
+
+let drive t s ?(delay = 0) v =
+  if delay < 0 then invalid_arg "Engine.drive: negative delay";
+  if Bitvec.width v <> s.swidth then
+    invalid_arg
+      (Printf.sprintf "Engine.drive %s: value width %d <> signal width %d"
+         s.sname (Bitvec.width v) s.swidth);
+  if delay = 0 then stage t s v
+  else Event_heap.push t.heap ~time:(t.time + delay) (Assign (s, v))
+
+let force _t s v =
+  if Bitvec.width v <> s.swidth then
+    invalid_arg (Printf.sprintf "Engine.force %s: width mismatch" s.sname);
+  s.cur <- v
+
+let on_change _t s f = s.hooks <- f :: s.hooks
+
+let queue_process t p =
+  if not p.queued then begin
+    p.queued <- true;
+    t.delta_procs <- p :: t.delta_procs
+  end
+
+let process t ~name ?(sensitivity = []) body =
+  let p = { pid = t.next_pid; pname = name; body; queued = false } in
+  t.next_pid <- t.next_pid + 1;
+  List.iter (fun s -> s.sensitive <- p :: s.sensitive) sensitivity;
+  (* Initialization pass: every process runs once when simulation reaches
+     the current time, mirroring VHDL elaboration. *)
+  queue_process t p;
+  p
+
+let add_sensitivity p s = s.sensitive <- p :: s.sensitive
+
+let wake_at t p ~delay =
+  if delay < 0 then invalid_arg "Engine.wake_at: negative delay";
+  if delay = 0 then queue_process t p
+  else Event_heap.push t.heap ~time:(t.time + delay) (Activate p)
+
+let on_rising_edge t ~clock ~name body =
+  let last = ref (Bitvec.to_bool clock.cur) in
+  let wrapped () =
+    let level = Bitvec.to_bool clock.cur in
+    if level && not !last then body ();
+    last := level
+  in
+  process t ~name ~sensitivity:[ clock ] wrapped
+
+let request_stop t reason = if t.stop = None then t.stop <- Some reason
+
+(* Execute every delta cycle of the current time point. *)
+let run_time_point t max_events =
+  t.n_time_points <- t.n_time_points + 1;
+  let deltas_here = ref 0 in
+  let rec delta () =
+    if t.delta_signals = [] && t.delta_procs = [] then ()
+    else begin
+      incr deltas_here;
+      t.n_deltas <- t.n_deltas + 1;
+      if !deltas_here > t.max_deltas then
+        raise
+          (Combinational_loop
+             (Printf.sprintf
+                "no convergence after %d delta cycles at t=%d (last signals: %s)"
+                t.max_deltas t.time
+                (String.concat ", "
+                   (List.filteri (fun i _ -> i < 5)
+                      (List.map (fun s -> s.sname) t.delta_signals)))));
+      let signals = List.rev t.delta_signals in
+      let procs = List.rev t.delta_procs in
+      t.delta_signals <- [];
+      t.delta_procs <- [];
+      (* Phase 1: apply assignments, find changes, wake + notify. *)
+      let to_run = ref [] in
+      let changed_hooks = ref [] in
+      List.iter
+        (fun s ->
+          match s.staged with
+          | None -> ()
+          | Some v ->
+              s.staged <- None;
+              t.n_events <- t.n_events + 1;
+              if not (Bitvec.equal s.cur v) then begin
+                s.cur <- v;
+                List.iter
+                  (fun p ->
+                    if not p.queued then begin
+                      p.queued <- true;
+                      to_run := p :: !to_run
+                    end)
+                  (List.rev s.sensitive);
+                if s.hooks <> [] then changed_hooks := s :: !changed_hooks
+              end)
+        signals;
+      (* Explicit activations join the run set after signal wake-ups. *)
+      List.iter
+        (fun p ->
+          (* queued was set when the activation was enqueued *)
+          to_run := p :: !to_run)
+        procs;
+      List.iter (fun s -> List.iter (fun f -> f ()) (List.rev s.hooks))
+        (List.rev !changed_hooks);
+      (* Phase 2: run processes; their zero-delay drives feed the next
+         delta via [delta_signals] / [delta_procs]. *)
+      let run_list = List.sort (fun a b -> compare a.pid b.pid) !to_run in
+      List.iter
+        (fun p ->
+          p.queued <- false;
+          t.n_activations <- t.n_activations + 1;
+          p.body ())
+        run_list;
+      (* A requested stop still lets the current time point settle (all
+         remaining deltas run); the outer loop honours it afterwards. *)
+      if t.n_events < max_events then delta ()
+    end
+  in
+  delta ()
+
+let drain_due_events t =
+  let due = Event_heap.pop_at t.heap t.time in
+  List.iter
+    (function
+      | Assign (s, v) -> stage t s v
+      | Activate p -> queue_process t p)
+    due
+
+let run ?(max_time = max_int) ?(max_events = max_int) t =
+  let rec loop () =
+    match t.stop with
+    | Some reason ->
+        t.stop <- None;
+        Stop_requested reason
+    | None ->
+        if t.n_events >= max_events then Max_events_reached
+        else if t.delta_signals <> [] || t.delta_procs <> [] then begin
+          run_time_point t max_events;
+          loop ()
+        end
+        else begin
+          match Event_heap.min_time t.heap with
+          | None -> Finished
+          | Some next ->
+              if next > max_time then begin
+                t.time <- max_time;
+                Max_time_reached
+              end
+              else begin
+                t.time <- next;
+                drain_due_events t;
+                run_time_point t max_events;
+                loop ()
+              end
+        end
+  in
+  loop ()
+
+let run_for t d = run ~max_time:(t.time + d) t
+
+let stats t =
+  {
+    events = t.n_events;
+    activations = t.n_activations;
+    deltas = t.n_deltas;
+    time_points = t.n_time_points;
+    drive_collisions = t.n_collisions;
+  }
+
+let pp_stop_reason ppf = function
+  | Finished -> Format.pp_print_string ppf "finished (event queue empty)"
+  | Stop_requested r -> Format.fprintf ppf "stop requested: %s" r
+  | Max_time_reached -> Format.pp_print_string ppf "max simulation time reached"
+  | Max_events_reached -> Format.pp_print_string ppf "max event count reached"

@@ -1,0 +1,82 @@
+(* Array-backed binary heap ordered by (time, seq). The sequence number
+   makes ordering total and FIFO among equal times. *)
+
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+let is_empty h = h.len = 0
+let size h = h.len
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h entry =
+  let cap = Array.length h.data in
+  if h.len = cap then begin
+    let data = Array.make (max 16 (2 * cap)) entry in
+    Array.blit h.data 0 data 0 h.len;
+    h.data <- data
+  end
+
+let push h ~time payload =
+  let entry = { time; seq = h.next_seq; payload } in
+  h.next_seq <- h.next_seq + 1;
+  grow h entry;
+  h.data.(h.len) <- entry;
+  h.len <- h.len + 1;
+  (* Sift up. *)
+  let i = ref (h.len - 1) in
+  while !i > 0 && less h.data.(!i) h.data.((!i - 1) / 2) do
+    let parent = (!i - 1) / 2 in
+    let tmp = h.data.(parent) in
+    h.data.(parent) <- h.data.(!i);
+    h.data.(!i) <- tmp;
+    i := parent
+  done
+
+let min_time h = if h.len = 0 then None else Some h.data.(0).time
+
+let sift_down h =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < h.len && less h.data.(l) h.data.(!smallest) then smallest := l;
+    if r < h.len && less h.data.(r) h.data.(!smallest) then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      let tmp = h.data.(!smallest) in
+      h.data.(!smallest) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := !smallest
+    end
+  done
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h
+    end;
+    Some (top.time, top.payload)
+  end
+
+let pop_at h t =
+  let rec loop acc =
+    match min_time h with
+    | Some time when time = t -> (
+        match pop h with
+        | Some (_, payload) -> loop (payload :: acc)
+        | None -> acc)
+    | Some _ | None -> acc
+  in
+  List.rev (loop [])

@@ -1,0 +1,22 @@
+(** Binary min-heap of timed events.
+
+    Events popped in nondecreasing time order; ties break by insertion
+    order (FIFO), which keeps simulation deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:int -> 'a -> unit
+
+val min_time : 'a t -> int option
+(** Time of the earliest event, if any. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest event as [(time, payload)]. *)
+
+val pop_at : 'a t -> int -> 'a list
+(** [pop_at h t] removes and returns (in FIFO order) every event scheduled
+    exactly at time [t]. *)

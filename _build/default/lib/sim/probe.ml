@@ -1,0 +1,44 @@
+type sample = { time : int; value : Bitvec.t }
+
+type t = {
+  sig_ : Engine.signal;
+  limit : int option;
+  mutable history : sample list;  (* newest first *)
+  mutable count : int;
+  mutable n_changes : int;
+}
+
+let push p sample =
+  p.history <- sample :: p.history;
+  p.count <- p.count + 1;
+  match p.limit with
+  | Some limit when p.count > limit ->
+      (* Drop the oldest sample; histories are short-lived so the
+         occasional O(n) trim is acceptable. *)
+      p.history <- List.filteri (fun i _ -> i < limit) p.history;
+      p.count <- limit
+  | Some _ | None -> ()
+
+let attach engine ?limit s =
+  let p = { sig_ = s; limit; history = []; count = 0; n_changes = 0 } in
+  push p { time = Engine.now engine; value = Engine.value s };
+  Engine.on_change engine s (fun () ->
+      p.n_changes <- p.n_changes + 1;
+      push p { time = Engine.now engine; value = Engine.value s });
+  p
+
+let signal p = p.sig_
+let samples p = List.rev p.history
+
+let last p =
+  match p.history with
+  | newest :: _ -> newest
+  | [] -> assert false (* attach always records one sample *)
+
+let changes p = p.n_changes
+
+let values_seen p =
+  List.fold_left
+    (fun acc s -> if List.exists (Bitvec.equal s.value) acc then acc else s.value :: acc)
+    [] (samples p)
+  |> List.rev

@@ -1,0 +1,27 @@
+(** Value probes over signals.
+
+    Probes give the "access to values on certain connections" the paper
+    lists among testing requirements: they record a bounded history of
+    value changes with timestamps, and can assert expectations. *)
+
+type sample = { time : int; value : Bitvec.t }
+
+type t
+
+val attach : Engine.t -> ?limit:int -> Engine.signal -> t
+(** Record every value change of the signal (plus its value at attach
+    time). [limit] bounds history length (default unlimited); older samples
+    are dropped first. *)
+
+val signal : t -> Engine.signal
+val samples : t -> sample list
+(** Oldest first. *)
+
+val last : t -> sample
+(** Latest sample (at least the attach-time one exists). *)
+
+val changes : t -> int
+(** Number of value changes observed (excludes the attach-time sample). *)
+
+val values_seen : t -> Bitvec.t list
+(** Distinct values in order of first appearance. *)

@@ -1,0 +1,1 @@
+lib/transform/codegen.ml: Buffer Fsmkit Hashtbl List Printf Rtg String

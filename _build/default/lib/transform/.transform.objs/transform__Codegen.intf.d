@@ -1,0 +1,1 @@
+lib/transform/codegen.mli: Fsmkit Rtg

@@ -1,0 +1,1 @@
+lib/transform/elaborate.ml: Clock Engine Hashtbl List Models_log Netlist Operators Printf Sim

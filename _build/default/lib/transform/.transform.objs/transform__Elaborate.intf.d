@@ -1,0 +1,1 @@
+lib/transform/elaborate.mli: Models_log Netlist Operators Sim

@@ -1,0 +1,1 @@
+lib/transform/fsm_exec.ml: Bitvec Clock Elaborate Engine Fsmkit List Printf Sim

@@ -1,0 +1,1 @@
+lib/transform/fsm_exec.mli: Elaborate Fsmkit Sim

@@ -1,0 +1,1 @@
+lib/transform/models_log.mli: Bitvec Operators

@@ -1,0 +1,1 @@
+lib/transform/to_dot.ml: Dotkit Fsmkit List Netlist Printf Rtg String

@@ -1,0 +1,1 @@
+lib/transform/to_dot.mli: Dotkit Fsmkit Netlist Rtg

@@ -1,0 +1,18 @@
+(** Source-code generation for controllers and reconfiguration drivers.
+
+    The paper translates the FSM and RTG XML into Java classes executed by
+    the simulator, and reports their line counts in Table I ("loJava
+    FSM"). Here the target language is OCaml: the generated module is a
+    faithful, standalone implementation of the same behavior (the
+    simulator executes the equivalent {!Fsm_exec} interpreter, which
+    mirrors the generated semantics). *)
+
+val fsm : Fsmkit.Fsm.t -> string
+(** OCaml source of a controller module: a [state] sum type, the Moore
+    output decode, and the guarded [step] function. *)
+
+val rtg : Rtg.t -> string
+(** OCaml source of a configuration sequencer over the RTG. *)
+
+val line_count : string -> int
+(** Number of lines of a generated source text. *)

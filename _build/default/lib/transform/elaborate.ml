@@ -1,0 +1,116 @@
+module Dp = Netlist.Datapath
+module Opspec = Operators.Opspec
+module Models = Operators.Models
+open Sim
+
+type t = {
+  engine : Engine.t;
+  clock : Clock.t;
+  datapath : Dp.t;
+  controls : (string * Engine.signal) list;
+  statuses : (string * Engine.signal) list;
+  ports : (string * Engine.signal) list;
+  notifications : Models_log.t;
+}
+
+let datapath ?engine ?clock ~memories dp =
+  Dp.validate dp;
+  let engine = match engine with Some e -> e | None -> Engine.create () in
+  let clock =
+    match clock with Some c -> c | None -> Clock.create engine ()
+  in
+  let notifications = Models_log.create () in
+  (* One signal per operator output port, one per control input. *)
+  let port_signals : (string, Engine.signal) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (op : Dp.operator) ->
+      let spec = Dp.operator_spec op in
+      List.iter
+        (fun (p : Opspec.port) ->
+          if p.Opspec.direction = Opspec.Out then begin
+            let name = op.Dp.id ^ "." ^ p.Opspec.port_name in
+            Hashtbl.replace port_signals name
+              (Engine.signal engine ~name p.Opspec.port_width)
+          end)
+        spec.Opspec.ports)
+    dp.Dp.operators;
+  let controls =
+    List.map
+      (fun (c : Dp.control) ->
+        ( c.Dp.ctl_name,
+          Engine.signal engine ~name:("ctl." ^ c.Dp.ctl_name) c.Dp.ctl_width ))
+      dp.Dp.controls
+  in
+  let source_signal = function
+    | Dp.From_op ep -> Hashtbl.find port_signals (Dp.endpoint_to_string ep)
+    | Dp.From_control name -> List.assoc name controls
+  in
+  (* Input port -> driving signal, via the unique net sinking into it. *)
+  let input_signals : (string, Engine.signal) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Dp.net) ->
+      let src = source_signal n.Dp.source in
+      List.iter
+        (fun ep ->
+          Hashtbl.replace input_signals (Dp.endpoint_to_string ep) src)
+        n.Dp.sinks)
+    dp.Dp.nets;
+  (* Instantiate the operator models. *)
+  List.iter
+    (fun (op : Dp.operator) ->
+      let find_signal port =
+        let key = op.Dp.id ^ "." ^ port in
+        match Hashtbl.find_opt port_signals key with
+        | Some s -> s
+        | None -> (
+            match Hashtbl.find_opt input_signals key with
+            | Some s -> s
+            | None -> failwith ("elaborate: no signal for port " ^ key))
+      in
+      let env =
+        {
+          Models.engine;
+          clock = Clock.signal clock;
+          find_memory = memories;
+          find_signal;
+          instance = op.Dp.id;
+          notify = Models_log.record notifications;
+        }
+      in
+      Models.instantiate env ~kind:op.Dp.kind ~width:op.Dp.width
+        ~params:op.Dp.params)
+    dp.Dp.operators;
+  let statuses =
+    List.map
+      (fun (st : Dp.status) ->
+        ( st.Dp.st_name,
+          Hashtbl.find port_signals (Dp.endpoint_to_string st.Dp.st_source) ))
+      dp.Dp.statuses
+  in
+  let ports =
+    Hashtbl.fold (fun name s acc -> (name, s) :: acc) port_signals []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  { engine; clock; datapath = dp; controls; statuses; ports; notifications }
+
+let control design name =
+  match List.assoc_opt name design.controls with
+  | Some s -> s
+  | None ->
+      failwith
+        (Printf.sprintf "design %s: unknown control %S"
+           design.datapath.Dp.dp_name name)
+
+let status design name =
+  match List.assoc_opt name design.statuses with
+  | Some s -> s
+  | None ->
+      failwith
+        (Printf.sprintf "design %s: unknown status %S"
+           design.datapath.Dp.dp_name name)
+
+let port_signal design name =
+  match List.assoc_opt name design.ports with
+  | Some s -> s
+  | None ->
+      failwith (Printf.sprintf "port_signal: unknown output port %S" name)

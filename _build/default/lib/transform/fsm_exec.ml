@@ -1,0 +1,157 @@
+module Fsm = Fsmkit.Fsm
+module Guard = Fsmkit.Guard
+open Sim
+
+type t = {
+  fsm : Fsm.t;
+  engine : Engine.t;
+  outputs : (string * Engine.signal) list;  (* FSM output -> control signal *)
+  inputs : (string * Engine.signal) list;  (* FSM input -> status signal *)
+  state_sig : Engine.signal;
+  state_index : (string * int) list;
+  mutable state : Fsm.state;
+  mutable transitions : int;
+  mutable cycles : int;
+  mutable done_hooks : (unit -> unit) list;  (* reversed *)
+}
+
+let drive_state_outputs t =
+  List.iter
+    (fun (name, signal) ->
+      let value = Fsm.output_in_state t.fsm t.state name in
+      Engine.drive t.engine signal
+        (Bitvec.create ~width:(Engine.width signal) value))
+    t.outputs;
+  Engine.drive t.engine t.state_sig
+    (Bitvec.create
+       ~width:(Engine.width t.state_sig)
+       (List.assoc t.state.Fsm.sname t.state_index))
+
+let enter t next =
+  let was = t.state.Fsm.sname in
+  t.state <- next;
+  if was <> next.Fsm.sname then begin
+    t.transitions <- t.transitions + 1;
+    drive_state_outputs t;
+    if next.Fsm.is_done then
+      List.iter (fun f -> f ()) (List.rev t.done_hooks)
+  end
+
+let step t =
+  t.cycles <- t.cycles + 1;
+  let lookup name =
+    match List.assoc_opt name t.inputs with
+    | Some s -> Engine.value_int s
+    | None ->
+        failwith
+          (Printf.sprintf "fsm %s: read of unknown status %S"
+             t.fsm.Fsm.fsm_name name)
+  in
+  let rec first_match = function
+    | [] -> None
+    | (tr : Fsm.transition) :: rest ->
+        if Guard.eval tr.Fsm.guard lookup then Some tr.Fsm.target
+        else first_match rest
+  in
+  match first_match t.state.Fsm.transitions with
+  | None -> ()
+  | Some target -> (
+      match Fsm.find_state t.fsm target with
+      | Some next -> enter t next
+      | None -> assert false (* validated *))
+
+let attach ?enable ~design fsm =
+  Fsm.validate fsm;
+  let engine = design.Elaborate.engine in
+  let outputs =
+    List.map
+      (fun (o : Fsm.io) ->
+        let signal =
+          try List.assoc o.Fsm.io_name design.Elaborate.controls
+          with Not_found ->
+            failwith
+              (Printf.sprintf "fsm %s: design has no control %S"
+                 fsm.Fsm.fsm_name o.Fsm.io_name)
+        in
+        if Engine.width signal <> o.Fsm.io_width then
+          failwith
+            (Printf.sprintf "fsm %s: control %s width %d <> %d"
+               fsm.Fsm.fsm_name o.Fsm.io_name (Engine.width signal)
+               o.Fsm.io_width);
+        (o.Fsm.io_name, signal))
+      fsm.Fsm.outputs
+  in
+  let inputs =
+    List.map
+      (fun (i : Fsm.io) ->
+        let signal =
+          try List.assoc i.Fsm.io_name design.Elaborate.statuses
+          with Not_found ->
+            failwith
+              (Printf.sprintf "fsm %s: design has no status %S"
+                 fsm.Fsm.fsm_name i.Fsm.io_name)
+        in
+        if Engine.width signal <> i.Fsm.io_width then
+          failwith
+            (Printf.sprintf "fsm %s: status %s width %d <> %d"
+               fsm.Fsm.fsm_name i.Fsm.io_name (Engine.width signal)
+               i.Fsm.io_width);
+        (i.Fsm.io_name, signal))
+      fsm.Fsm.inputs
+  in
+  let state_index = List.mapi (fun i s -> (s.Fsm.sname, i)) fsm.Fsm.states in
+  let state_width =
+    let n = List.length fsm.Fsm.states in
+    let rec bits v acc = if v = 0 then max acc 1 else bits (v lsr 1) (acc + 1) in
+    bits (max 0 (n - 1)) 0
+  in
+  let state_sig =
+    Engine.signal engine ~name:(fsm.Fsm.fsm_name ^ ".state") state_width
+  in
+  let initial =
+    match Fsm.find_state fsm fsm.Fsm.initial with
+    | Some s -> s
+    | None -> assert false (* validated *)
+  in
+  let t =
+    {
+      fsm;
+      engine;
+      outputs;
+      inputs;
+      state_sig;
+      state_index;
+      state = initial;
+      transitions = 0;
+      cycles = 0;
+      done_hooks = [];
+    }
+  in
+  (* Assert the initial state's outputs during elaboration. *)
+  let init_process =
+    Engine.process engine ~name:(fsm.Fsm.fsm_name ^ "-init") (fun () ->
+        drive_state_outputs t)
+  in
+  ignore init_process;
+  let gated_step =
+    match enable with
+    | None -> fun () -> step t
+    | Some enable ->
+        fun () -> if Engine.value_int enable = 1 then step t
+  in
+  ignore
+    (Engine.on_rising_edge engine
+       ~clock:(Clock.signal design.Elaborate.clock)
+       ~name:(fsm.Fsm.fsm_name ^ "-step")
+       gated_step);
+  (if initial.Fsm.is_done then
+     (* Degenerate but legal: an FSM that starts done. *)
+     ());
+  t
+
+let current_state t = t.state.Fsm.sname
+let in_done_state t = t.state.Fsm.is_done
+let transitions_taken t = t.transitions
+let cycles_seen t = t.cycles
+let on_enter_done t f = t.done_hooks <- f :: t.done_hooks
+let state_signal t = t.state_sig

@@ -1,0 +1,24 @@
+type t = { mutable items : Operators.Models.notification list (* newest first *) }
+
+let create () = { items = [] }
+let record log n = log.items <- n :: log.items
+let all log = List.rev log.items
+
+let check_failures log =
+  List.filter
+    (function
+      | Operators.Models.Check_failed _ -> true
+      | Operators.Models.Probe_sample _ -> false)
+    (all log)
+
+let probe_samples log ~instance =
+  List.filter_map
+    (function
+      | Operators.Models.Probe_sample { instance = i; time; value }
+        when i = instance ->
+          Some (time, value)
+      | Operators.Models.Probe_sample _ | Operators.Models.Check_failed _ ->
+          None)
+    (all log)
+
+let clear log = log.items <- []

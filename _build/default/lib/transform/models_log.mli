@@ -1,0 +1,14 @@
+(** Collected notifications from test-aid operators (probe/check). *)
+
+type t
+
+val create : unit -> t
+val record : t -> Operators.Models.notification -> unit
+val all : t -> Operators.Models.notification list
+(** In arrival order. *)
+
+val check_failures : t -> Operators.Models.notification list
+val probe_samples : t -> instance:string -> (int * Bitvec.t) list
+(** [(time, value)] samples of one probe instance, oldest first. *)
+
+val clear : t -> unit

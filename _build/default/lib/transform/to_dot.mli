@@ -1,0 +1,14 @@
+(** Graphviz views of the three dialects (the paper's "to dotty" rules). *)
+
+val datapath : Netlist.Datapath.t -> Dotkit.Dot.t
+(** Operators as boxes (memories as 3D boxes, test aids dashed), control
+    inputs as house-shaped nodes, status outputs as inverted houses; nets
+    as edges labeled with their width. *)
+
+val fsm : Fsmkit.Fsm.t -> Dotkit.Dot.t
+(** States as circles (done states as double circles, initial marked by an
+    entry arrow); transitions labeled with their guards. *)
+
+val rtg : Rtg.t -> Dotkit.Dot.t
+(** Configurations as boxes listing their datapath/FSM refs; completion
+    edges between them. *)

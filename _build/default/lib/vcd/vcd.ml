@@ -1,0 +1,89 @@
+open Sim
+
+type t = {
+  oc : out_channel;
+  mutable owns_channel : bool;
+  engine : Engine.t;
+  mutable last_time : int;
+  mutable changes : int;
+  mutable closed : bool;
+}
+
+(* VCD identifier codes: base-94 strings over the printable range. *)
+let id_code index =
+  let rec build i acc =
+    let c = Char.chr (33 + (i mod 94)) in
+    let acc = String.make 1 c ^ acc in
+    if i < 94 then acc else build ((i / 94) - 1) acc
+  in
+  build index ""
+
+let sanitize name =
+  String.map (fun c -> if c = ' ' || c = '$' then '_' else c) name
+
+let emit_value t code signal =
+  let v = Engine.value signal in
+  if Bitvec.width v = 1 then
+    Printf.fprintf t.oc "%d%s\n" (Bitvec.to_int v) code
+  else Printf.fprintf t.oc "b%s %s\n" (Bitvec.to_binary_string v) code
+
+let timestamp t =
+  let now = Engine.now t.engine in
+  if now <> t.last_time then begin
+    Printf.fprintf t.oc "#%d\n" now;
+    t.last_time <- now
+  end
+
+let create ?(scope = "top") oc engine signals =
+  let t =
+    {
+      oc;
+      owns_channel = false;
+      engine;
+      last_time = min_int;
+      changes = 0;
+      closed = false;
+    }
+  in
+  Printf.fprintf oc "$version fpgatest simulation $end\n";
+  Printf.fprintf oc "$timescale 1ns $end\n";
+  Printf.fprintf oc "$scope module %s $end\n" (sanitize scope);
+  let coded =
+    List.mapi
+      (fun i (name, signal) ->
+        let code = id_code i in
+        Printf.fprintf oc "$var wire %d %s %s $end\n" (Engine.width signal)
+          code (sanitize name);
+        (code, signal))
+      signals
+  in
+  Printf.fprintf oc "$upscope $end\n$enddefinitions $end\n";
+  Printf.fprintf oc "$dumpvars\n";
+  List.iter (fun (code, signal) -> emit_value t code signal) coded;
+  Printf.fprintf oc "$end\n";
+  timestamp t;
+  List.iter
+    (fun (code, signal) ->
+      Engine.on_change engine signal (fun () ->
+          if not t.closed then begin
+            timestamp t;
+            emit_value t code signal;
+            t.changes <- t.changes + 1
+          end))
+    coded;
+  t
+
+let create_file ?scope path engine signals =
+  let oc = open_out path in
+  let t = create ?scope oc engine signals in
+  t.owns_channel <- true;
+  t
+
+let changes_written t = t.changes
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    flush t.oc;
+    if t.owns_channel then close_out t.oc
+  end

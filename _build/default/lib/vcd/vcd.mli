@@ -1,0 +1,26 @@
+(** Value Change Dump (IEEE 1364) waveform writer.
+
+    Attach signals of a running simulation and get a standard [.vcd] file
+    viewable in GTKWave & co. Timescale is 1 ns per engine tick. *)
+
+type t
+
+val create :
+  ?scope:string -> out_channel -> Sim.Engine.t ->
+  (string * Sim.Engine.signal) list -> t
+(** [create oc engine signals] writes the VCD header for the named
+    signals (names may contain dots — they are flattened) and registers
+    change hooks. The initial values are dumped at the current simulation
+    time. The channel remains owned by the caller; call {!close} before
+    closing it. *)
+
+val create_file :
+  ?scope:string -> string -> Sim.Engine.t ->
+  (string * Sim.Engine.signal) list -> t
+(** Like {!create} but opens (and on {!close}, closes) the file. *)
+
+val changes_written : t -> int
+
+val close : t -> unit
+(** Flush buffered output and, for {!create_file}, close the file.
+    Idempotent; the hooks become no-ops afterwards. *)

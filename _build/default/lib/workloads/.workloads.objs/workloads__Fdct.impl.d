@@ -1,0 +1,1 @@
+lib/workloads/fdct.ml: Array Buffer List Printf

@@ -1,0 +1,1 @@
+lib/workloads/hamming.ml: Buffer List Printf

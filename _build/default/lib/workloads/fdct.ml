@@ -1,0 +1,159 @@
+let data_width = 32
+
+(* 13-bit fixed-point cosine constants (Chen's fast DCT):
+   c_k = round(cos(k*pi/16) * 8192). *)
+let c1 = 8035
+let c2 = 7568
+let c3 = 6811
+let c4 = 5793
+let c5 = 4551
+let c6 = 3135
+let c7 = 1598
+
+(* The shared 8-point butterfly, reading and writing x0..x7. *)
+let butterfly_lines =
+  [
+    "    s0 = x0 + x7;  s7 = x0 - x7;";
+    "    s1 = x1 + x6;  s6 = x1 - x6;";
+    "    s2 = x2 + x5;  s5 = x2 - x5;";
+    "    s3 = x3 + x4;  s4 = x3 - x4;";
+    "    t0 = s0 + s3;  t3 = s0 - s3;";
+    "    t1 = s1 + s2;  t2 = s1 - s2;";
+    Printf.sprintf "    x0 = ((t0 + t1) * %d) >> 13;" c4;
+    Printf.sprintf "    x4 = ((t0 - t1) * %d) >> 13;" c4;
+    Printf.sprintf "    x2 = (t3 * %d + t2 * %d) >> 13;" c2 c6;
+    Printf.sprintf "    x6 = (t3 * %d - t2 * %d) >> 13;" c6 c2;
+    Printf.sprintf "    z1 = ((s6 - s5) * %d) >> 13;" c4;
+    Printf.sprintf "    z2 = ((s6 + s5) * %d) >> 13;" c4;
+    "    w4 = s4 + z1;  w5 = s4 - z1;";
+    "    w6 = s7 - z2;  w7 = s7 + z2;";
+    Printf.sprintf "    x1 = (w7 * %d + w4 * %d) >> 13;" c1 c7;
+    Printf.sprintf "    x7 = (w7 * %d - w4 * %d) >> 13;" c7 c1;
+    Printf.sprintf "    x5 = (w6 * %d + w5 * %d) >> 13;" c5 c3;
+    Printf.sprintf "    x3 = (w6 * %d - w5 * %d) >> 13;" c3 c5;
+  ]
+
+let source ?(partitioned = false) ~width_px ~height_px () =
+  if width_px <= 0 || width_px mod 8 <> 0 || height_px <= 0 || height_px mod 8 <> 0
+  then invalid_arg "Fdct.source: dimensions must be positive multiples of 8";
+  let n = width_px * height_px in
+  let buf = Buffer.create 4096 in
+  let out line = Buffer.add_string buf (line ^ "\n") in
+  out (Printf.sprintf "// 8x8-block 2-D fast DCT (Chen), %dx%d image%s"
+         width_px height_px
+         (if partitioned then ", two temporal partitions" else ""));
+  out (Printf.sprintf "program fdct%s width %d;"
+         (if partitioned then "2" else "1") data_width);
+  out (Printf.sprintf "mem input[%d];" n);
+  out (Printf.sprintf "mem temp[%d];" n);
+  out (Printf.sprintf "mem output[%d];" n);
+  List.iter
+    (fun v -> out (Printf.sprintf "var %s;" v))
+    [
+      "row"; "col"; "blk"; "base";
+      "x0"; "x1"; "x2"; "x3"; "x4"; "x5"; "x6"; "x7";
+      "s0"; "s1"; "s2"; "s3"; "s4"; "s5"; "s6"; "s7";
+      "t0"; "t1"; "t2"; "t3"; "z1"; "z2"; "w4"; "w5"; "w6"; "w7";
+    ];
+  out "";
+  out "// Row pass: 1-D DCT of every 8-pixel row segment, input -> temp.";
+  out (Printf.sprintf "for (row = 0; row < %d; row = row + 1) {" height_px);
+  out (Printf.sprintf "  for (blk = 0; blk < %d; blk = blk + 1) {" (width_px / 8));
+  out (Printf.sprintf "    base = row * %d + blk * 8;" width_px);
+  for k = 0 to 7 do
+    out (Printf.sprintf "    x%d = input[base + %d];" k k)
+  done;
+  List.iter out butterfly_lines;
+  for k = 0 to 7 do
+    out (Printf.sprintf "    temp[base + %d] = x%d;" k k)
+  done;
+  out "  }";
+  out "}";
+  out "";
+  if partitioned then out "partition;";
+  out "// Column pass: 1-D DCT down every 8-pixel column segment, temp -> output.";
+  out (Printf.sprintf "for (col = 0; col < %d; col = col + 1) {" width_px);
+  out (Printf.sprintf "  for (blk = 0; blk < %d; blk = blk + 1) {" (height_px / 8));
+  out (Printf.sprintf "    base = blk * %d + col;" (8 * width_px));
+  for k = 0 to 7 do
+    out (Printf.sprintf "    x%d = temp[base + %d];" k (k * width_px))
+  done;
+  List.iter out butterfly_lines;
+  for k = 0 to 7 do
+    out (Printf.sprintf "    output[base + %d] = x%d;" (k * width_px) k)
+  done;
+  out "  }";
+  out "}";
+  Buffer.contents buf
+
+let make_image ~width_px ~height_px ~seed =
+  (* Small multiplicative congruential generator; 8-bit pixels. *)
+  let state = ref (seed land 0x3FFFFFFF) in
+  List.init (width_px * height_px) (fun _ ->
+      state := (!state * 1103515245 + 12345) land 0x3FFFFFFF;
+      (!state lsr 16) land 0xFF)
+
+(* --- independent OCaml reference ------------------------------------- *)
+
+let mask32 = (1 lsl data_width) - 1
+
+let wrap v =
+  let v = v land mask32 in
+  if v land (1 lsl (data_width - 1)) <> 0 then v - (mask32 + 1) else v
+
+let ( +% ) a b = wrap (a + b)
+let ( -% ) a b = wrap (a - b)
+let ( *% ) a b = wrap (a * b)
+let ( >>% ) a n = wrap (wrap a asr n)
+
+let butterfly x =
+  let s0 = x.(0) +% x.(7) and s7 = x.(0) -% x.(7) in
+  let s1 = x.(1) +% x.(6) and s6 = x.(1) -% x.(6) in
+  let s2 = x.(2) +% x.(5) and s5 = x.(2) -% x.(5) in
+  let s3 = x.(3) +% x.(4) and s4 = x.(3) -% x.(4) in
+  let t0 = s0 +% s3 and t3 = s0 -% s3 in
+  let t1 = s1 +% s2 and t2 = s1 -% s2 in
+  x.(0) <- (t0 +% t1) *% c4 >>% 13;
+  x.(4) <- (t0 -% t1) *% c4 >>% 13;
+  x.(2) <- (t3 *% c2 +% (t2 *% c6)) >>% 13;
+  x.(6) <- (t3 *% c6 -% (t2 *% c2)) >>% 13;
+  let z1 = (s6 -% s5) *% c4 >>% 13 in
+  let z2 = (s6 +% s5) *% c4 >>% 13 in
+  let w4 = s4 +% z1 and w5 = s4 -% z1 in
+  let w6 = s7 -% z2 and w7 = s7 +% z2 in
+  x.(1) <- (w7 *% c1 +% (w4 *% c7)) >>% 13;
+  x.(7) <- (w7 *% c7 -% (w4 *% c1)) >>% 13;
+  x.(5) <- (w6 *% c5 +% (w5 *% c3)) >>% 13;
+  x.(3) <- (w6 *% c3 -% (w5 *% c5)) >>% 13
+
+let reference ~width_px ~height_px pixels =
+  let n = width_px * height_px in
+  let input = Array.of_list pixels in
+  if Array.length input <> n then invalid_arg "Fdct.reference: size mismatch";
+  let temp = Array.make n 0 and output = Array.make n 0 in
+  let x = Array.make 8 0 in
+  for row = 0 to height_px - 1 do
+    for blk = 0 to (width_px / 8) - 1 do
+      let base = (row * width_px) + (blk * 8) in
+      for k = 0 to 7 do
+        x.(k) <- wrap input.(base + k)
+      done;
+      butterfly x;
+      for k = 0 to 7 do
+        temp.(base + k) <- x.(k)
+      done
+    done
+  done;
+  for col = 0 to width_px - 1 do
+    for blk = 0 to (height_px / 8) - 1 do
+      let base = (blk * 8 * width_px) + col in
+      for k = 0 to 7 do
+        x.(k) <- temp.(base + (k * width_px))
+      done;
+      butterfly x;
+      for k = 0 to 7 do
+        output.(base + (k * width_px)) <- x.(k)
+      done
+    done
+  done;
+  Array.to_list (Array.map (fun v -> v land mask32) output)

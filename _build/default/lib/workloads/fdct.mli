@@ -1,0 +1,25 @@
+(** The paper's FDCT example: 8x8-block 2-D fast DCT (Chen's algorithm,
+    13-bit fixed-point constants) over an input image, producing an output
+    image through an intermediate image — three SRAMs, exactly as the
+    paper's implementations.
+
+    [FDCT1] maps the whole algorithm onto one configuration; [FDCT2]
+    splits the row pass and the column pass into two temporal partitions
+    ([partition;] marker), each a separate datapath/FSM sequenced by the
+    RTG. *)
+
+val source : ?partitioned:bool -> width_px:int -> height_px:int -> unit -> string
+(** Program text. Image dimensions must be positive multiples of 8.
+    [partitioned] (default false) selects the FDCT2 variant. *)
+
+val make_image : width_px:int -> height_px:int -> seed:int -> int list
+(** Deterministic pseudo-random 8-bit "image" for stimulus files. *)
+
+val reference : width_px:int -> height_px:int -> int list -> int list
+(** Plain OCaml implementation of the same integer FDCT (same wrap
+    semantics at the program width); used by tests to cross-check the
+    golden interpreter. *)
+
+val data_width : int
+(** Bit width the generated program declares (covers the 13-bit
+    fixed-point products). *)

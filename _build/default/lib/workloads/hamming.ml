@@ -1,0 +1,75 @@
+let data_width = 16
+
+let bit v i = (v lsr i) land 1
+
+(* Positions are 1-indexed in the classic layout: parity bits at 1, 2, 4;
+   data bits at 3, 5, 6, 7. Position p is stored in bit p-1. *)
+let encode d =
+  let d0 = bit d 0 and d1 = bit d 1 and d2 = bit d 2 and d3 = bit d 3 in
+  let p1 = d0 lxor d1 lxor d3 in
+  (* covers 3,5,7 *)
+  let p2 = d0 lxor d2 lxor d3 in
+  (* covers 3,6,7 *)
+  let p4 = d1 lxor d2 lxor d3 in
+  (* covers 5,6,7 *)
+  p1 lor (p2 lsl 1) lor (d0 lsl 2) lor (p4 lsl 3) lor (d1 lsl 4)
+  lor (d2 lsl 5) lor (d3 lsl 6)
+
+let decode code =
+  let b p = bit code (p - 1) in
+  let s1 = b 1 lxor b 3 lxor b 5 lxor b 7 in
+  let s2 = b 2 lxor b 3 lxor b 6 lxor b 7 in
+  let s4 = b 4 lxor b 5 lxor b 6 lxor b 7 in
+  let syn = s1 lor (s2 lsl 1) lor (s4 lsl 2) in
+  let code = if syn <> 0 then code lxor (1 lsl (syn - 1)) else code in
+  let b p = bit code (p - 1) in
+  b 3 lor (b 5 lsl 1) lor (b 6 lsl 2) lor (b 7 lsl 3)
+
+let source ~n =
+  let buf = Buffer.create 2048 in
+  let out line = Buffer.add_string buf (line ^ "\n") in
+  out (Printf.sprintf "// Hamming(7,4) single-error-correcting decoder, %d codewords" n);
+  out (Printf.sprintf "program hamming width %d;" data_width);
+  out (Printf.sprintf "mem input[%d];" n);
+  out (Printf.sprintf "mem output[%d];" n);
+  List.iter
+    (fun v -> out (Printf.sprintf "var %s;" v))
+    [ "i"; "code"; "b1"; "b2"; "b3"; "b4"; "b5"; "b6"; "b7";
+      "s1"; "s2"; "s4"; "syn"; "data" ];
+  out "";
+  out (Printf.sprintf "for (i = 0; i < %d; i = i + 1) {" n);
+  out "  code = input[i];";
+  out "  b1 = code & 1;";
+  out "  b2 = (code >> 1) & 1;";
+  out "  b3 = (code >> 2) & 1;";
+  out "  b4 = (code >> 3) & 1;";
+  out "  b5 = (code >> 4) & 1;";
+  out "  b6 = (code >> 5) & 1;";
+  out "  b7 = (code >> 6) & 1;";
+  out "  s1 = b1 ^ b3 ^ b5 ^ b7;";
+  out "  s2 = b2 ^ b3 ^ b6 ^ b7;";
+  out "  s4 = b4 ^ b5 ^ b6 ^ b7;";
+  out "  syn = s1 + s2 * 2 + s4 * 4;";
+  out "  if (syn != 0) {";
+  out "    code = code ^ (1 << (syn - 1));";
+  out "  }";
+  out "  b3 = (code >> 2) & 1;";
+  out "  b5 = (code >> 4) & 1;";
+  out "  b6 = (code >> 5) & 1;";
+  out "  b7 = (code >> 6) & 1;";
+  out "  data = b3 + b5 * 2 + b6 * 4 + b7 * 8;";
+  out "  output[i] = data;";
+  out "}";
+  Buffer.contents buf
+
+let make_codewords ~n ~seed =
+  let state = ref (seed land 0x3FFFFFFF) in
+  let next () =
+    state := (!state * 1103515245 + 12345) land 0x3FFFFFFF;
+    !state lsr 12
+  in
+  List.init n (fun i ->
+      let code = encode (next () land 0xF) in
+      if i mod 3 = 2 then code lxor (1 lsl (next () mod 7)) else code)
+
+let expected_output codewords = List.map decode codewords

@@ -1,0 +1,23 @@
+(** The paper's second example: a Hamming(7,4) single-error-correcting
+    decoder over a stream of codewords (one SRAM in, one SRAM out). *)
+
+val source : n:int -> string
+(** Program decoding [n] codewords from [input] into [output]. *)
+
+val data_width : int
+
+val encode : int -> int
+(** Encode a 4-bit value into a 7-bit codeword (positions 1..7, parity
+    bits at 1, 2 and 4 — the classic layout). *)
+
+val decode : int -> int
+(** Reference decoder: correct a single-bit error, return the 4 data
+    bits. *)
+
+val make_codewords : n:int -> seed:int -> int list
+(** Deterministic stream of valid codewords, every third one corrupted by
+    a single bit flip (still decodable). *)
+
+val expected_output : int list -> int list
+(** Decoded values for a codeword stream (what both golden model and
+    hardware must produce). *)

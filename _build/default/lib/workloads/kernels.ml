@@ -1,0 +1,198 @@
+let vecadd_source ~n =
+  String.concat "\n"
+    [
+      "// element-wise vector addition";
+      "program vecadd width 16;";
+      Printf.sprintf "mem a[%d];" n;
+      Printf.sprintf "mem b[%d];" n;
+      Printf.sprintf "mem c[%d];" n;
+      "var i;";
+      "var x;";
+      Printf.sprintf "for (i = 0; i < %d; i = i + 1) {" n;
+      "  x = a[i] + b[i];";
+      "  c[i] = x;";
+      "}";
+      "";
+    ]
+
+let mask16 v = v land 0xFFFF
+
+let vecadd_reference a b = List.map2 (fun x y -> mask16 (x + y)) a b
+
+let sum_source ~n =
+  String.concat "\n"
+    [
+      "// reduce an array to its sum";
+      "program sum width 32;";
+      Printf.sprintf "mem input[%d];" n;
+      "mem output[1];";
+      "var i;";
+      "var acc;";
+      "acc = 0;";
+      Printf.sprintf "for (i = 0; i < %d; i = i + 1) {" n;
+      "  acc = acc + input[i];";
+      "}";
+      "output[0] = acc;";
+      "";
+    ]
+
+let sum_reference words =
+  List.fold_left (fun acc w -> (acc + w) land ((1 lsl 32) - 1)) 0 words
+
+let gcd_source () =
+  String.concat "\n"
+    [
+      "// Euclid by repeated subtraction over 8 input pairs";
+      "program gcd width 16;";
+      "mem input[16];";
+      "mem output[8];";
+      "var i;";
+      "var a;";
+      "var b;";
+      "for (i = 0; i < 8; i = i + 1) {";
+      "  a = input[i * 2];";
+      "  b = input[i * 2 + 1];";
+      "  while (a != b) {";
+      "    if (a > b) {";
+      "      a = a - b;";
+      "    } else {";
+      "      b = b - a;";
+      "    }";
+      "  }";
+      "  output[i] = a;";
+      "}";
+      "";
+    ]
+
+let gcd_reference words =
+  let rec gcd a b = if a = b then a else if a > b then gcd (a - b) b else gcd a (b - a) in
+  let rec pairs = function
+    | a :: b :: rest -> gcd a b :: pairs rest
+    | [ _ ] | [] -> []
+  in
+  pairs words
+
+let sort_source ~n =
+  String.concat "\n"
+    [
+      "// in-place bubble sort";
+      "program sort width 16;";
+      Printf.sprintf "mem data[%d];" n;
+      "var i;";
+      "var j;";
+      "var x;";
+      "var y;";
+      Printf.sprintf "for (i = 0; i < %d; i = i + 1) {" (n - 1);
+      Printf.sprintf "  for (j = 0; j < %d - i; j = j + 1) {" (n - 1);
+      "    x = data[j];";
+      "    y = data[j + 1];";
+      "    if (x > y) {";
+      "      data[j] = y;";
+      "      data[j + 1] = x;";
+      "    }";
+      "  }";
+      "}";
+      "";
+    ]
+
+let sort_reference words = List.sort compare words
+
+let fir_source ~taps ~n =
+  let k = List.length taps in
+  if k = 0 then invalid_arg "Kernels.fir_source: no taps";
+  String.concat "\n"
+    ([
+       Printf.sprintf "// %d-tap FIR filter over %d samples" k n;
+       "program fir width 32;";
+       Printf.sprintf "mem input[%d];" n;
+       Printf.sprintf "mem output[%d];" n;
+       Printf.sprintf "mem taps[%d] = { %s };" k
+         (String.concat ", " (List.map string_of_int taps));
+       "var i;";
+       "var j;";
+       "var acc;";
+       "var idx;";
+       "var coeff;";
+       "var sample;";
+       Printf.sprintf "for (i = 0; i < %d; i = i + 1) {" n;
+       "  acc = 0;";
+       Printf.sprintf "  for (j = 0; j < %d; j = j + 1) {" k;
+       "    idx = i - j;";
+       "    if (idx >= 0) {";
+       "      coeff = taps[j];";
+       "      sample = input[idx];";
+       "      acc = acc + coeff * sample;";
+       "    }";
+       "  }";
+       "  output[i] = acc;";
+       "}";
+       "";
+     ])
+
+let fir_reference ~taps input =
+  let mask = (1 lsl 32) - 1 in
+  let wrap v =
+    let v = v land mask in
+    if v land (1 lsl 31) <> 0 then v - (mask + 1) else v
+  in
+  let arr = Array.of_list input in
+  List.mapi
+    (fun i _ ->
+      let acc =
+        List.fold_left
+          (fun (acc, j) c ->
+            let acc =
+              if i - j >= 0 then wrap (acc + wrap (c * arr.(i - j))) else acc
+            in
+            (acc, j + 1))
+          (0, 0) taps
+        |> fst
+      in
+      acc land mask)
+    input
+
+let edge_detect_source ~width_px ~height_px ~threshold =
+  let n = width_px * height_px in
+  String.concat "\n"
+    [
+      "// horizontal-gradient edge detector";
+      "program edges width 16;";
+      Printf.sprintf "mem input[%d];" n;
+      Printf.sprintf "mem output[%d];" n;
+      "var row;";
+      "var col;";
+      "var base;";
+      "var left;";
+      "var right;";
+      "var diff;";
+      Printf.sprintf "for (row = 0; row < %d; row = row + 1) {" height_px;
+      Printf.sprintf "  base = row * %d;" width_px;
+      Printf.sprintf "  for (col = 0; col < %d; col = col + 1) {" (width_px - 1);
+      "    left = input[base + col];";
+      "    right = input[base + col + 1];";
+      "    diff = right - left;";
+      "    if (diff < 0) {";
+      "      diff = 0 - diff;";
+      "    }";
+      Printf.sprintf "    if (diff >= %d) {" threshold;
+      "      output[base + col] = 255;";
+      "    } else {";
+      "      output[base + col] = 0;";
+      "    }";
+      "  }";
+      Printf.sprintf "  output[base + %d] = 0;" (width_px - 1);
+      "}";
+      "";
+    ]
+
+let edge_detect_reference ~width_px ~height_px ~threshold pixels =
+  let input = Array.of_list pixels in
+  let output = Array.make (width_px * height_px) 0 in
+  for row = 0 to height_px - 1 do
+    let base = row * width_px in
+    for col = 0 to width_px - 2 do
+      let diff = abs (input.(base + col + 1) - input.(base + col)) in
+      output.(base + col) <- (if diff >= threshold then 255 else 0)
+    done
+  done;
+  Array.to_list output

@@ -1,0 +1,40 @@
+(** Small kernels used by tests, examples and benches beyond the paper's
+    two case studies. Each comes with an OCaml reference for its output
+    memory. *)
+
+val vecadd_source : n:int -> string
+(** [c[i] = a[i] + b[i]] at width 16. *)
+
+val vecadd_reference : int list -> int list -> int list
+
+val sum_source : n:int -> string
+(** Sums [input] into [output[0]] (width 32). *)
+
+val sum_reference : int list -> int
+
+val gcd_source : unit -> string
+(** Euclid by subtraction over pairs in [input] (a at 2i, b at 2i+1 for 8
+    pairs), results into [output]. Exercises nested while/if. *)
+
+val gcd_reference : int list -> int list
+
+val sort_source : n:int -> string
+(** In-place bubble sort of [data] (width 16, unsigned values < 2^15).
+    Exercises nested loops, memory swaps, conditions. *)
+
+val sort_reference : int list -> int list
+
+val fir_source : taps:int list -> n:int -> string
+(** FIR filter: [output[i] = sum_k taps[k] * input[i - k]] (zero-padded
+    history) at width 32 — the classic DSP kernel. The coefficients are
+    baked into the program as an initialized memory
+    ([mem taps[k] = { ... };]). *)
+
+val fir_reference : taps:int list -> int list -> int list
+
+val edge_detect_source : width_px:int -> height_px:int -> threshold:int -> string
+(** Horizontal-gradient edge detector: |in[x+1] - in[x]| >= threshold
+    (image processing scenario from the paper's motivation). *)
+
+val edge_detect_reference :
+  width_px:int -> height_px:int -> threshold:int -> int list -> int list

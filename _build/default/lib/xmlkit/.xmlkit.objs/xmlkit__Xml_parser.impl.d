@@ -1,0 +1,1 @@
+lib/xmlkit/xml_parser.ml: Buffer Char Format Fun List Printf String Xml

@@ -1,0 +1,1 @@
+lib/xmlkit/xml_query.ml: Format List Option String Xml

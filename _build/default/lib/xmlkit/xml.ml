@@ -1,0 +1,96 @@
+type t = Element of element | Text of string
+
+and element = {
+  tag : string;
+  attrs : (string * string) list;
+  children : t list;
+}
+
+let element ?(attrs = []) ?(children = []) tag = Element { tag; attrs; children }
+let text s = Text s
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_attrs buf attrs =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_string buf "=\"";
+      Buffer.add_string buf (escape v);
+      Buffer.add_char buf '"')
+    attrs
+
+(* Emission layout: an element whose children are all elements goes multi-
+   line; an element with text (or mixed) content stays on a single line so
+   whitespace round-trips. *)
+let rec add_node buf ~indent ~level node =
+  let pad = String.make (indent * level) ' ' in
+  match node with
+  | Text s ->
+      Buffer.add_string buf pad;
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '\n'
+  | Element { tag; attrs; children } -> (
+      Buffer.add_string buf pad;
+      Buffer.add_char buf '<';
+      Buffer.add_string buf tag;
+      add_attrs buf attrs;
+      match children with
+      | [] -> Buffer.add_string buf "/>\n"
+      | children when List.for_all (function Text _ -> true | Element _ -> false) children ->
+          Buffer.add_char buf '>';
+          List.iter
+            (function Text s -> Buffer.add_string buf (escape s) | Element _ -> ())
+            children;
+          Buffer.add_string buf "</";
+          Buffer.add_string buf tag;
+          Buffer.add_string buf ">\n"
+      | children ->
+          Buffer.add_string buf ">\n";
+          List.iter (add_node buf ~indent ~level:(level + 1)) children;
+          Buffer.add_string buf pad;
+          Buffer.add_string buf "</";
+          Buffer.add_string buf tag;
+          Buffer.add_string buf ">\n")
+
+let to_string ?(indent = 2) node =
+  let buf = Buffer.create 1024 in
+  add_node buf ~indent ~level:0 node;
+  (* Drop the trailing newline for a value-like string. *)
+  let s = Buffer.contents buf in
+  if String.length s > 0 && s.[String.length s - 1] = '\n' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+let declaration = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>"
+
+let to_channel oc node =
+  output_string oc declaration;
+  output_char oc '\n';
+  output_string oc (to_string node);
+  output_char oc '\n'
+
+let save path node =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc node)
+
+let pp ppf node = Format.pp_print_string ppf (to_string node)
+
+let line_count node =
+  let s = to_string node in
+  let lines = ref 2 (* declaration + final line *) in
+  String.iter (fun c -> if c = '\n' then incr lines) s;
+  !lines

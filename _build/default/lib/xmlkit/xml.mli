@@ -1,0 +1,40 @@
+(** XML document trees and serialization.
+
+    A pragmatic XML subset sufficient for the datapath / FSM / RTG dialects:
+    elements, attributes, character data, comments (skipped on parse), and
+    the five predefined entities. No namespaces, DTDs, or processing
+    instruction semantics ([<?...?>] is skipped). *)
+
+type t =
+  | Element of element
+  | Text of string  (** Character data, already entity-decoded. *)
+
+and element = {
+  tag : string;
+  attrs : (string * string) list;  (** In document order; values decoded. *)
+  children : t list;
+}
+
+val element : ?attrs:(string * string) list -> ?children:t list -> string -> t
+(** [element tag] builds an element node. *)
+
+val text : string -> t
+
+val escape : string -> string
+(** Encode the five predefined entities for use in content or attributes. *)
+
+val to_string : ?indent:int -> t -> string
+(** Serialize with the given [indent] step (default 2). Text-only elements
+    are kept on one line; mixed content is emitted verbatim. *)
+
+val to_channel : out_channel -> t -> unit
+(** Serialize with an XML declaration and trailing newline. *)
+
+val save : string -> t -> unit
+(** [save path doc] writes the document to [path]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val line_count : t -> int
+(** Number of lines {!to_channel} would emit, declaration included. Used by
+    the Table I metrics ("loXML" columns). *)

@@ -1,0 +1,216 @@
+exception Parse_error of { line : int; col : int; message : string }
+
+let error_to_string = function
+  | Parse_error { line; col; message } ->
+      Some (Printf.sprintf "XML parse error at %d:%d: %s" line col message)
+  | _ -> None
+
+(* A hand-rolled scanner over the input string. [pos] is the cursor;
+   line/col are derived lazily for error messages only. *)
+type state = { src : string; mutable pos : int }
+
+let position st =
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to min st.pos (String.length st.src) - 1 do
+    if st.src.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let fail st fmt =
+  Format.kasprintf
+    (fun message ->
+      let line, col = position st in
+      raise (Parse_error { line; col; message }))
+    fmt
+
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.pos]
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = prefix
+
+let expect st prefix =
+  if looking_at st prefix then st.pos <- st.pos + String.length prefix
+  else fail st "expected %S" prefix
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_spaces st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let skip_until st close =
+  match
+    (* Find [close] starting at the cursor. *)
+    let rec find i =
+      if i + String.length close > String.length st.src then None
+      else if String.sub st.src i (String.length close) = close then Some i
+      else find (i + 1)
+    in
+    find st.pos
+  with
+  | Some i -> st.pos <- i + String.length close
+  | None -> fail st "unterminated construct (missing %S)" close
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+let read_name st =
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  if st.pos = start then fail st "expected a name";
+  String.sub st.src start (st.pos - start)
+
+let decode_entity st =
+  (* Cursor sits just after '&'. *)
+  let start = st.pos in
+  while (not (eof st)) && peek st <> ';' && st.pos - start < 10 do
+    advance st
+  done;
+  if peek st <> ';' then fail st "unterminated entity reference";
+  let name = String.sub st.src start (st.pos - start) in
+  advance st;
+  match name with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ ->
+      if String.length name > 1 && name.[0] = '#' then
+        let code =
+          let digits = String.sub name 1 (String.length name - 1) in
+          let digits =
+            if String.length digits > 0 && (digits.[0] = 'x' || digits.[0] = 'X')
+            then "0x" ^ String.sub digits 1 (String.length digits - 1)
+            else digits
+          in
+          match int_of_string_opt digits with
+          | Some c when c >= 0 && c < 128 -> c
+          | Some _ | None -> fail st "unsupported character reference &%s;" name
+        in
+        String.make 1 (Char.chr code)
+      else fail st "unknown entity &%s;" name
+
+let read_text_until st stop_char =
+  let buf = Buffer.create 32 in
+  let rec loop () =
+    if eof st then fail st "unexpected end of input in character data"
+    else
+      match peek st with
+      | c when c = stop_char -> Buffer.contents buf
+      | '&' ->
+          advance st;
+          Buffer.add_string buf (decode_entity st);
+          loop ()
+      | c ->
+          advance st;
+          Buffer.add_char buf c;
+          loop ()
+  in
+  loop ()
+
+let read_attr_value st =
+  skip_spaces st;
+  expect st "=";
+  skip_spaces st;
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected a quoted attribute value";
+  advance st;
+  let v = read_text_until st quote in
+  advance st;
+  v
+
+let rec skip_misc st =
+  skip_spaces st;
+  if looking_at st "<!--" then begin
+    st.pos <- st.pos + 4;
+    skip_until st "-->";
+    skip_misc st
+  end
+  else if looking_at st "<?" then begin
+    st.pos <- st.pos + 2;
+    skip_until st "?>";
+    skip_misc st
+  end
+  else if looking_at st "<!" then begin
+    (* DOCTYPE and friends: skip to the matching '>'. *)
+    st.pos <- st.pos + 2;
+    skip_until st ">";
+    skip_misc st
+  end
+
+let is_blank s = String.for_all is_space s
+
+let rec parse_element st =
+  expect st "<";
+  let tag = read_name st in
+  let rec attrs acc =
+    skip_spaces st;
+    if looking_at st "/>" then begin
+      st.pos <- st.pos + 2;
+      Xml.Element { tag; attrs = List.rev acc; children = [] }
+    end
+    else if looking_at st ">" then begin
+      advance st;
+      let children = parse_children st tag in
+      Xml.Element { tag; attrs = List.rev acc; children }
+    end
+    else
+      let name = read_name st in
+      let value = read_attr_value st in
+      attrs ((name, value) :: acc)
+  in
+  attrs []
+
+and parse_children st tag =
+  let close = "</" ^ tag in
+  let rec loop acc =
+    if eof st then fail st "missing closing tag </%s>" tag
+    else if looking_at st close then begin
+      st.pos <- st.pos + String.length close;
+      skip_spaces st;
+      expect st ">";
+      List.rev acc
+    end
+    else if looking_at st "<!--" then begin
+      st.pos <- st.pos + 4;
+      skip_until st "-->";
+      loop acc
+    end
+    else if looking_at st "<" then loop (parse_element st :: acc)
+    else
+      let txt = read_text_until st '<' in
+      if is_blank txt then loop acc else loop (Xml.Text txt :: acc)
+  in
+  loop []
+
+let parse_string src =
+  let st = { src; pos = 0 } in
+  skip_misc st;
+  if not (looking_at st "<") then fail st "expected a root element";
+  let root = parse_element st in
+  skip_misc st;
+  if not (eof st) then fail st "trailing content after the root element";
+  root
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string src

@@ -1,0 +1,17 @@
+(** Parsing of the XML subset described in {!Xml}.
+
+    Comments, XML declarations and processing instructions are skipped.
+    Whitespace-only character data between elements is dropped; any other
+    character data is kept (entity-decoded). *)
+
+exception Parse_error of { line : int; col : int; message : string }
+
+val error_to_string : exn -> string option
+(** Human-readable rendering of {!Parse_error}; [None] on other exceptions. *)
+
+val parse_string : string -> Xml.t
+(** Parse a complete document (a single root element). Raises
+    {!Parse_error}. *)
+
+val parse_file : string -> Xml.t
+(** Raises {!Parse_error} or [Sys_error]. *)

@@ -1,0 +1,67 @@
+exception Schema_error of string
+
+let fail msg = raise (Schema_error msg)
+let failf fmt = Format.kasprintf fail fmt
+
+let as_element = function
+  | Xml.Element e -> e
+  | Xml.Text _ -> fail "expected an element, found character data"
+
+let tag_is tag = function
+  | Xml.Element e -> e.Xml.tag = tag
+  | Xml.Text _ -> false
+
+let children e tag =
+  List.filter_map
+    (function
+      | Xml.Element c when c.Xml.tag = tag -> Some c
+      | Xml.Element _ | Xml.Text _ -> None)
+    e.Xml.children
+
+let child_opt e tag =
+  match children e tag with
+  | [] -> None
+  | [ c ] -> Some c
+  | _ :: _ -> failf "<%s>: expected at most one <%s> child" e.Xml.tag tag
+
+let child e tag =
+  match child_opt e tag with
+  | Some c -> c
+  | None -> failf "<%s>: missing required <%s> child" e.Xml.tag tag
+
+let attr_opt e name = List.assoc_opt name e.Xml.attrs
+
+let attr e name =
+  match attr_opt e name with
+  | Some v -> v
+  | None -> failf "<%s>: missing required attribute %S" e.Xml.tag name
+
+let attr_int e name =
+  let v = attr e name in
+  match int_of_string_opt v with
+  | Some i -> i
+  | None -> failf "<%s %s=%S>: expected an integer" e.Xml.tag name v
+
+let attr_int_opt e name =
+  match attr_opt e name with
+  | None -> None
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> Some i
+      | None -> failf "<%s %s=%S>: expected an integer" e.Xml.tag name v)
+
+let attr_int_default e name default =
+  Option.value (attr_int_opt e name) ~default
+
+let attr_bool_default e name default =
+  match attr_opt e name with
+  | None -> default
+  | Some ("true" | "1") -> true
+  | Some ("false" | "0") -> false
+  | Some v -> failf "<%s %s=%S>: expected a boolean" e.Xml.tag name v
+
+let text_content e =
+  List.filter_map
+    (function Xml.Text s -> Some s | Xml.Element _ -> None)
+    e.Xml.children
+  |> String.concat ""

@@ -1,0 +1,34 @@
+(** Typed accessors over {!Xml.t} trees.
+
+    The datapath / FSM / RTG readers use these to turn schema violations
+    into uniform {!Schema_error} exceptions with a path-like context. *)
+
+exception Schema_error of string
+
+val fail : string -> 'a
+(** Raise {!Schema_error} with the given message. *)
+
+val as_element : Xml.t -> Xml.element
+(** Raises {!Schema_error} on a text node. *)
+
+val tag_is : string -> Xml.t -> bool
+
+val children : Xml.element -> string -> Xml.element list
+(** Child elements with the given tag, in order. *)
+
+val child_opt : Xml.element -> string -> Xml.element option
+val child : Xml.element -> string -> Xml.element
+(** Raises {!Schema_error} when absent or ambiguous. *)
+
+val attr_opt : Xml.element -> string -> string option
+val attr : Xml.element -> string -> string
+(** Required attribute; raises {!Schema_error} when absent. *)
+
+val attr_int : Xml.element -> string -> int
+val attr_int_opt : Xml.element -> string -> int option
+val attr_int_default : Xml.element -> string -> int -> int
+val attr_bool_default : Xml.element -> string -> bool -> bool
+(** Booleans accept "true"/"false"/"1"/"0". *)
+
+val text_content : Xml.element -> string
+(** Concatenated character data of the element (direct children only). *)

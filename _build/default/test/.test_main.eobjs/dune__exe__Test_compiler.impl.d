@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Compiler Fsmkit Lang List Netlist Operators QCheck2 QCheck_alcotest Rtg String Testinfra Workloads

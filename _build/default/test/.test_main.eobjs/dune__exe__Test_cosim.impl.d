@@ -1,0 +1,1 @@
+test/test_cosim.ml: Alcotest Array Bitvec Compiler Cosim Lang List Operators Sim Testinfra Workloads

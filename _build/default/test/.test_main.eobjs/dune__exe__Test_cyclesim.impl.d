@@ -1,0 +1,1 @@
+test/test_cyclesim.ml: Alcotest Bitvec Compiler Cyclesim Lang List Operators QCheck2 QCheck_alcotest String Testinfra Workloads

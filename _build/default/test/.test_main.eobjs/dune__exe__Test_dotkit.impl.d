@@ -1,0 +1,1 @@
+test/test_dotkit.ml: Alcotest Dotkit Filename QCheck2 QCheck_alcotest String Sys

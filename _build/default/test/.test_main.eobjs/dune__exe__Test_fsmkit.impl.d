@@ -1,0 +1,1 @@
+test/test_fsmkit.ml: Alcotest Filename Fsmkit List Option QCheck2 QCheck_alcotest String Sys Xmlkit

@@ -1,0 +1,1 @@
+test/test_hdl.ml: Alcotest Compiler Fsmkit Hdl Lang List Netlist String Workloads

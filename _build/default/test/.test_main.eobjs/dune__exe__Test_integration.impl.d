@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bitvec Compiler Lang List Operators QCheck2 QCheck_alcotest String Testinfra Workloads

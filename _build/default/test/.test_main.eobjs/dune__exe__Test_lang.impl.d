@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Bitvec Lang List Operators Printf QCheck2 QCheck_alcotest String Testinfra Workloads

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Filename List Netlist QCheck2 QCheck_alcotest String Sys Xmlkit

@@ -1,0 +1,1 @@
+test/test_operators.ml: Alcotest Bitvec Clock Engine List Operators QCheck2 QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_rtg.ml: Alcotest Filename List Printf QCheck2 QCheck_alcotest Rtg String Sys Xmlkit

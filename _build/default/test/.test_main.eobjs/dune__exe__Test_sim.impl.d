@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Bitvec Clock Engine Event_heap Format List Printf Probe QCheck2 QCheck_alcotest Sim

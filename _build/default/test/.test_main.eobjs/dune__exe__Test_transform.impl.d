@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Bitvec Dotkit Engine Fsmkit List Netlist Operators Rtg Sim String Transform

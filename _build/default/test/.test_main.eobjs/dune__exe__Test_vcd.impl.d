@@ -1,0 +1,1 @@
+test/test_vcd.ml: Alcotest Bitvec Engine Filename List Printf Sim String Sys Vcd

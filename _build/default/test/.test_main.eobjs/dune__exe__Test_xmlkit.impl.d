@@ -1,0 +1,1 @@
+test/test_xmlkit.ml: Alcotest Filename List Option QCheck2 QCheck_alcotest String Sys Xml Xml_parser Xml_query Xmlkit

@@ -1,0 +1,202 @@
+(* Tests for fixed-width bit vectors. *)
+
+let bv ~width v = Bitvec.create ~width v
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_create_truncates () =
+  check_int "256 wraps to 0 in 8 bits" 0 (Bitvec.to_int (bv ~width:8 256));
+  check_int "257 wraps to 1" 1 (Bitvec.to_int (bv ~width:8 257));
+  check_int "-1 is all ones" 255 (Bitvec.to_int (bv ~width:8 (-1)))
+
+let test_width_bounds () =
+  let bad width = try ignore (bv ~width 0); false with Bitvec.Width_error _ -> true in
+  check_bool "width 0 rejected" true (bad 0);
+  check_bool "width 63 rejected" true (bad 63);
+  check_bool "negative width rejected" true (bad (-4));
+  check_int "max width accepted" Bitvec.max_width
+    (Bitvec.width (bv ~width:Bitvec.max_width 1))
+
+let test_signed_views () =
+  check_int "0x80 signed" (-128) (Bitvec.to_signed (bv ~width:8 0x80));
+  check_int "0x7f signed" 127 (Bitvec.to_signed (bv ~width:8 0x7f));
+  check_int "0xff signed" (-1) (Bitvec.to_signed (bv ~width:8 0xff));
+  check_bool "msb of 0x80" true (Bitvec.msb (bv ~width:8 0x80));
+  check_bool "msb of 0x7f" false (Bitvec.msb (bv ~width:8 0x7f))
+
+let test_arith_wraps () =
+  let a = bv ~width:8 200 and b = bv ~width:8 100 in
+  check_int "add wraps" 44 (Bitvec.to_int (Bitvec.add a b));
+  check_int "sub wraps" 100 (Bitvec.to_int (Bitvec.sub a b));
+  check_int "sub underflow" 156 (Bitvec.to_int (Bitvec.sub b a));
+  check_int "mul wraps" (200 * 100 mod 256) (Bitvec.to_int (Bitvec.mul a b));
+  check_int "neg" 56 (Bitvec.to_int (Bitvec.neg a))
+
+let test_width_mismatch () =
+  let raised =
+    try ignore (Bitvec.add (bv ~width:8 1) (bv ~width:16 1)); false
+    with Bitvec.Width_error _ -> true
+  in
+  check_bool "mixed-width add rejected" true raised
+
+let test_division () =
+  check_int "udiv" 6 (Bitvec.to_int (Bitvec.udiv (bv ~width:8 200) (bv ~width:8 31)));
+  check_int "urem" 14 (Bitvec.to_int (Bitvec.urem (bv ~width:8 200) (bv ~width:8 31)));
+  check_int "udiv by zero is all ones" 255
+    (Bitvec.to_int (Bitvec.udiv (bv ~width:8 9) (bv ~width:8 0)));
+  check_int "urem by zero is dividend" 9
+    (Bitvec.to_int (Bitvec.urem (bv ~width:8 9) (bv ~width:8 0)));
+  check_int "sdiv -7/2" (-3)
+    (Bitvec.to_signed (Bitvec.sdiv (bv ~width:8 (-7)) (bv ~width:8 2)));
+  check_int "srem -7 mod 2" (-1)
+    (Bitvec.to_signed (Bitvec.srem (bv ~width:8 (-7)) (bv ~width:8 2)))
+
+let test_logic () =
+  let a = bv ~width:4 0b1100 and b = bv ~width:4 0b1010 in
+  check_int "and" 0b1000 (Bitvec.to_int (Bitvec.logand a b));
+  check_int "or" 0b1110 (Bitvec.to_int (Bitvec.logor a b));
+  check_int "xor" 0b0110 (Bitvec.to_int (Bitvec.logxor a b));
+  check_int "not" 0b0011 (Bitvec.to_int (Bitvec.lognot a))
+
+let test_shifts () =
+  let a = bv ~width:8 0b1001_0110 in
+  check_int "sll 2" 0b0101_1000 (Bitvec.to_int (Bitvec.shift_left a 2));
+  check_int "srl 3" 0b0001_0010 (Bitvec.to_int (Bitvec.shift_right_logical a 3));
+  check_int "sra 3 (negative)" 0b1111_0010
+    (Bitvec.to_int (Bitvec.shift_right_arith a 3));
+  check_int "sra 3 (positive)" 0b0000_1011
+    (Bitvec.to_int (Bitvec.shift_right_arith (bv ~width:8 0b0101_1010) 3));
+  check_int "shift by width" 0 (Bitvec.to_int (Bitvec.shift_left a 8));
+  check_int "srl by width" 0 (Bitvec.to_int (Bitvec.shift_right_logical a 8));
+  check_int "sra beyond width fills sign" 255
+    (Bitvec.to_int (Bitvec.shift_right_arith a 100))
+
+let test_comparisons () =
+  let t = Bitvec.one 1 and f = Bitvec.zero 1 in
+  let check name got want = check_bool name (Bitvec.equal got want) true in
+  check "eq" (Bitvec.eq (bv ~width:8 5) (bv ~width:8 5)) t;
+  check "ne" (Bitvec.ne (bv ~width:8 5) (bv ~width:8 6)) t;
+  check "ult" (Bitvec.ult (bv ~width:8 5) (bv ~width:8 200)) t;
+  check "ugt unsigned view" (Bitvec.ugt (bv ~width:8 0xff) (bv ~width:8 1)) t;
+  check "slt signed view" (Bitvec.slt (bv ~width:8 0xff) (bv ~width:8 1)) t;
+  check "sge" (Bitvec.sge (bv ~width:8 1) (bv ~width:8 (-1))) t;
+  check "ule equal" (Bitvec.ule (bv ~width:8 7) (bv ~width:8 7)) t;
+  check "sle strict fails" (Bitvec.sle (bv ~width:8 2) (bv ~width:8 1)) f;
+  check "uge" (Bitvec.uge (bv ~width:8 2) (bv ~width:8 2)) t;
+  check "sgt" (Bitvec.sgt (bv ~width:8 2) (bv ~width:8 (-3))) t
+
+let test_structure () =
+  let hi = bv ~width:4 0xA and lo = bv ~width:4 0x5 in
+  let c = Bitvec.concat hi lo in
+  check_int "concat" 0xA5 (Bitvec.to_int c);
+  check_int "concat width" 8 (Bitvec.width c);
+  check_int "slice hi" 0xA (Bitvec.to_int (Bitvec.slice c ~hi:7 ~lo:4));
+  check_int "slice lo" 0x5 (Bitvec.to_int (Bitvec.slice c ~hi:3 ~lo:0));
+  check_int "slice middle" 0b0010 (Bitvec.to_int (Bitvec.slice c ~hi:4 ~lo:1));
+  check_int "resize up" 0xA5 (Bitvec.to_int (Bitvec.resize c 16));
+  check_int "resize down" 0x5 (Bitvec.to_int (Bitvec.resize c 4));
+  check_int "sresize up keeps sign" 0xFFA5
+    (Bitvec.to_int (Bitvec.sresize c 16));
+  check_int "sresize positive" 0x0075
+    (Bitvec.to_int (Bitvec.sresize (bv ~width:8 0x75) 16))
+
+let test_strings () =
+  check_str "to_string" "8'd255" (Bitvec.to_string (bv ~width:8 255));
+  check_str "binary" "10100101" (Bitvec.to_binary_string (bv ~width:8 0xA5));
+  let roundtrip s = Bitvec.to_string (Bitvec.of_string s) in
+  check_str "of_string decimal" "8'd255" (roundtrip "8'd255");
+  check_str "of_string hex" "8'd165" (roundtrip "8'hA5");
+  check_str "of_string binary" "4'd10" (roundtrip "4'b1010");
+  check_str "of_string colon" "8'd7" (roundtrip "8:7");
+  let bad s = try ignore (Bitvec.of_string s); false with Failure _ -> true in
+  check_bool "garbage rejected" true (bad "zzz");
+  check_bool "bad base rejected" true (bad "8'x41")
+
+let test_bool_ops () =
+  check_bool "of_bool true" true (Bitvec.to_bool (Bitvec.of_bool true));
+  check_bool "of_bool false" false (Bitvec.to_bool (Bitvec.of_bool false));
+  check_bool "to_bool nonzero" true (Bitvec.to_bool (bv ~width:8 4))
+
+let test_bit_access () =
+  let a = bv ~width:8 0b0100_0010 in
+  check_bool "bit 1" true (Bitvec.bit a 1);
+  check_bool "bit 0" false (Bitvec.bit a 0);
+  check_bool "bit 6" true (Bitvec.bit a 6);
+  let raised = try ignore (Bitvec.bit a 8); false with Bitvec.Width_error _ -> true in
+  check_bool "out of range" true raised
+
+(* Properties: bitvec arithmetic agrees with integer arithmetic mod 2^w. *)
+let arb_pair =
+  QCheck2.Gen.(
+    int_range 1 16 >>= fun w ->
+    let m = (1 lsl w) - 1 in
+    map (fun (a, b) -> (w, a land m, b land m)) (pair nat nat))
+
+let modular name f g =
+  QCheck2.Test.make ~name ~count:300 arb_pair (fun (w, a, b) ->
+      let m = 1 lsl w in
+      Bitvec.to_int (f (bv ~width:w a) (bv ~width:w b)) = (g a b mod m + m) mod m)
+
+let prop_add = modular "add mod 2^w" Bitvec.add ( + )
+let prop_sub = modular "sub mod 2^w" Bitvec.sub ( - )
+let prop_mul = modular "mul mod 2^w" Bitvec.mul ( * )
+
+let prop_roundtrip_string =
+  QCheck2.Test.make ~name:"of_string/to_string round-trip" ~count:300 arb_pair
+    (fun (w, a, _) ->
+      let v = bv ~width:w a in
+      Bitvec.equal v (Bitvec.of_string (Bitvec.to_string v)))
+
+let prop_concat_slice =
+  QCheck2.Test.make ~name:"slice inverts concat" ~count:300
+    QCheck2.Gen.(
+      pair (int_range 1 16) (int_range 1 16) >>= fun (wh, wl) ->
+      map (fun (a, b) -> (wh, wl, a, b)) (pair nat nat))
+    (fun (wh, wl, a, b) ->
+      let hi = bv ~width:wh a and lo = bv ~width:wl b in
+      let c = Bitvec.concat hi lo in
+      Bitvec.equal hi (Bitvec.slice c ~hi:(wh + wl - 1) ~lo:wl)
+      && Bitvec.equal lo (Bitvec.slice c ~hi:(wl - 1) ~lo:0))
+
+let prop_signed_range =
+  QCheck2.Test.make ~name:"to_signed is in [-2^(w-1), 2^(w-1))" ~count:300
+    arb_pair
+    (fun (w, a, _) ->
+      let s = Bitvec.to_signed (bv ~width:w a) in
+      s >= -(1 lsl (w - 1)) && s < 1 lsl (w - 1))
+
+let prop_shift_consistent =
+  QCheck2.Test.make ~name:"shift_left = mul by power of two" ~count:300
+    QCheck2.Gen.(
+      pair (int_range 2 16) (int_range 0 4) >>= fun (w, n) ->
+      map (fun a -> (w, n, a land ((1 lsl w) - 1))) nat)
+    (fun (w, n, a) ->
+      Bitvec.equal
+        (Bitvec.shift_left (bv ~width:w a) n)
+        (Bitvec.mul (bv ~width:w a) (bv ~width:w (1 lsl n))))
+
+let suite =
+  let qc = QCheck_alcotest.to_alcotest in
+  [
+    ("create truncates", `Quick, test_create_truncates);
+    ("width bounds", `Quick, test_width_bounds);
+    ("signed views", `Quick, test_signed_views);
+    ("arithmetic wraps", `Quick, test_arith_wraps);
+    ("width mismatch", `Quick, test_width_mismatch);
+    ("division", `Quick, test_division);
+    ("logic", `Quick, test_logic);
+    ("shifts", `Quick, test_shifts);
+    ("comparisons", `Quick, test_comparisons);
+    ("concat/slice/resize", `Quick, test_structure);
+    ("strings", `Quick, test_strings);
+    ("bool ops", `Quick, test_bool_ops);
+    ("bit access", `Quick, test_bit_access);
+    qc prop_add;
+    qc prop_sub;
+    qc prop_mul;
+    qc prop_roundtrip_string;
+    qc prop_concat_slice;
+    qc prop_signed_range;
+    qc prop_shift_consistent;
+  ]

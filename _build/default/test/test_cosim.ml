@@ -1,0 +1,186 @@
+(* Tests for the processor / fabric co-simulation (the paper's stated
+   future work). *)
+
+module Memory = Operators.Memory
+module Compile = Compiler.Compile
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let scratch ?(size = 16) () = Memory.create ~name:"scratch" ~width:16 size
+
+let run_cpu ?accelerator ?(memories = []) ?(map = []) program =
+  let stores = ("scratch", scratch ()) :: memories in
+  let lookup name = List.assoc name stores in
+  let memory_map = { Cosim.Cpu.base = 0; memory = "scratch" } :: map in
+  ( Cosim.Harness.run ?accelerator ~program:(Array.of_list program) ~memory_map
+      ~width:16 ~memories:lookup (),
+    stores )
+
+let test_arith_and_halt () =
+  let result, _ =
+    run_cpu [ Cosim.Cpu.Ldi 40; Cosim.Cpu.Addi 2; Cosim.Cpu.Halt ]
+  in
+  check_bool "halted" true result.Cosim.Harness.cpu_halted;
+  check_bool "no fault" true (result.Cosim.Harness.cpu_fault = None);
+  check_int "acc" 42 (Bitvec.to_int result.Cosim.Harness.acc);
+  check_int "three instructions" 3 result.Cosim.Harness.instructions
+
+let test_memory_ops () =
+  let result, stores =
+    run_cpu
+      [
+        Cosim.Cpu.Ldi 7;
+        Cosim.Cpu.St 3;
+        Cosim.Cpu.Ldi 5;
+        Cosim.Cpu.Add 3;  (* 5 + 7 *)
+        Cosim.Cpu.St 4;
+        Cosim.Cpu.Sub 3;  (* 12 - 7 *)
+        Cosim.Cpu.Halt;
+      ]
+  in
+  check_bool "halted cleanly" true (result.Cosim.Harness.cpu_fault = None);
+  let m = List.assoc "scratch" stores in
+  check_int "stored 7" 7 (Bitvec.to_int (Memory.read m 3));
+  check_int "stored 12" 12 (Bitvec.to_int (Memory.read m 4));
+  check_int "acc back to 5" 5 (Bitvec.to_int result.Cosim.Harness.acc)
+
+let test_branching_loop () =
+  (* Count down from 5: acc = 5; while (acc != 0) acc -= 1. *)
+  let result, _ =
+    run_cpu
+      [
+        Cosim.Cpu.Ldi 5;
+        Cosim.Cpu.Beqz 4;
+        Cosim.Cpu.Addi (-1);
+        Cosim.Cpu.Jmp 1;
+        Cosim.Cpu.Halt;
+      ]
+  in
+  check_int "acc zero" 0 (Bitvec.to_int result.Cosim.Harness.acc);
+  check_bool "halted" true result.Cosim.Harness.cpu_halted
+
+let test_unmapped_fault () =
+  let result, _ = run_cpu [ Cosim.Cpu.Ld 9999; Cosim.Cpu.Halt ] in
+  check_bool "faulted" true
+    (match result.Cosim.Harness.cpu_fault with
+    | Some (Cosim.Cpu.Unmapped_address { address = 9999; _ }) -> true
+    | _ -> false)
+
+let test_pc_fault () =
+  let result, _ = run_cpu [ Cosim.Cpu.Jmp 99 ] in
+  check_bool "pc fault" true
+    (match result.Cosim.Harness.cpu_fault with
+    | Some (Cosim.Cpu.Pc_out_of_range _) -> true
+    | _ -> false)
+
+let test_wait_without_accelerator_times_out () =
+  let result, _ = run_cpu ~map:[] [ Cosim.Cpu.Wait; Cosim.Cpu.Halt ] in
+  check_bool "not halted" false result.Cosim.Harness.cpu_halted;
+  check_bool "timed out" true
+    (result.Cosim.Harness.stop = Sim.Engine.Max_time_reached)
+
+(* Full co-simulation: the CPU writes four values into the accelerator's
+   input SRAM, starts it, waits, and reads back the sum. *)
+let sum4_accelerator () =
+  let compiled =
+    Compile.compile
+      (Lang.Parser.parse_string (Workloads.Kernels.sum_source ~n:4))
+  in
+  let p = List.hd compiled.Compiler.Compile.partitions in
+  (p.Compiler.Compile.datapath, p.Compiler.Compile.fsm)
+
+let test_cosim_accelerator () =
+  let input = Memory.create ~name:"input" ~width:32 4 in
+  let output = Memory.create ~name:"output" ~width:32 1 in
+  let stores = [ ("input", input); ("output", output) ] in
+  let lookup name = List.assoc name stores in
+  (* Map: input at 0..3, output at 16. *)
+  let memory_map =
+    [ { Cosim.Cpu.base = 0; memory = "input" };
+      { Cosim.Cpu.base = 16; memory = "output" } ]
+  in
+  let program =
+    [|
+      (* input[i] = 10 + i, computed by the CPU *)
+      Cosim.Cpu.Ldi 10; Cosim.Cpu.St 0;
+      Cosim.Cpu.Addi 1; Cosim.Cpu.St 1;
+      Cosim.Cpu.Addi 1; Cosim.Cpu.St 2;
+      Cosim.Cpu.Addi 1; Cosim.Cpu.St 3;
+      Cosim.Cpu.Start;
+      Cosim.Cpu.Wait;
+      Cosim.Cpu.Ld 16;  (* read the accelerator's sum *)
+      Cosim.Cpu.Addi 1000;  (* post-process on the CPU *)
+      Cosim.Cpu.Halt;
+    |]
+  in
+  let result =
+    Cosim.Harness.run ~accelerator:(sum4_accelerator ()) ~program ~memory_map
+      ~width:32 ~memories:lookup ()
+  in
+  check_bool "cpu halted" true result.Cosim.Harness.cpu_halted;
+  check_bool "no fault" true (result.Cosim.Harness.cpu_fault = None);
+  check_bool "accelerator started" true result.Cosim.Harness.accelerator_started;
+  check_bool "accelerator done" true result.Cosim.Harness.accelerator_done;
+  check_int "sum written by fabric" 46 (Bitvec.to_int (Memory.read output 0));
+  check_int "cpu post-processing" 1046 (Bitvec.to_int result.Cosim.Harness.acc)
+
+let test_accelerator_holds_until_started () =
+  (* Without Start, the fabric must never write its output. *)
+  let input = Memory.of_list ~name:"input" ~width:32 [ 1; 2; 3; 4 ] in
+  let output = Memory.create ~name:"output" ~width:32 1 in
+  let stores = [ ("input", input); ("output", output) ] in
+  let lookup name = List.assoc name stores in
+  let program = [| Cosim.Cpu.Ldi 1; Cosim.Cpu.Halt |] in
+  let result =
+    Cosim.Harness.run ~accelerator:(sum4_accelerator ()) ~program
+      ~memory_map:[ { Cosim.Cpu.base = 0; memory = "input" } ]
+      ~width:32 ~memories:lookup ()
+  in
+  check_bool "fabric never started" false result.Cosim.Harness.accelerator_started;
+  check_bool "fabric not done" false result.Cosim.Harness.accelerator_done;
+  check_int "output untouched" 0 (Bitvec.to_int (Memory.read output 0))
+
+let test_cosim_matches_standalone () =
+  (* The sum computed under co-simulation equals the standalone flow. *)
+  let values = [ 3; 14; 15; 9 ] in
+  (* standalone *)
+  let prog = Lang.Parser.parse_string (Workloads.Kernels.sum_source ~n:4) in
+  let lookup, stores =
+    Testinfra.Verify.memory_env prog ~inits:[ ("input", values) ]
+  in
+  let compiled = Compile.compile prog in
+  let _ = Testinfra.Simulate.run_compiled ~memories:lookup compiled in
+  let standalone = Memory.read (List.assoc "output" stores) 0 in
+  (* co-simulated *)
+  let input = Memory.of_list ~name:"input" ~width:32 values in
+  let output = Memory.create ~name:"output" ~width:32 1 in
+  let lookup2 = function
+    | "input" -> input
+    | "output" -> output
+    | m -> failwith m
+  in
+  let result =
+    Cosim.Harness.run ~accelerator:(sum4_accelerator ())
+      ~program:[| Cosim.Cpu.Start; Cosim.Cpu.Wait; Cosim.Cpu.Ld 16; Cosim.Cpu.Halt |]
+      ~memory_map:
+        [ { Cosim.Cpu.base = 0; memory = "input" };
+          { Cosim.Cpu.base = 16; memory = "output" } ]
+      ~width:32 ~memories:lookup2 ()
+  in
+  check_bool "halted" true result.Cosim.Harness.cpu_halted;
+  check_int "same sum" (Bitvec.to_int standalone)
+    (Bitvec.to_int result.Cosim.Harness.acc)
+
+let suite =
+  [
+    ("arith and halt", `Quick, test_arith_and_halt);
+    ("memory ops", `Quick, test_memory_ops);
+    ("branching loop", `Quick, test_branching_loop);
+    ("unmapped fault", `Quick, test_unmapped_fault);
+    ("pc fault", `Quick, test_pc_fault);
+    ("wait without accelerator", `Quick, test_wait_without_accelerator_times_out);
+    ("cpu drives accelerator", `Quick, test_cosim_accelerator);
+    ("accelerator holds until started", `Quick, test_accelerator_holds_until_started);
+    ("cosim matches standalone", `Quick, test_cosim_matches_standalone);
+  ]

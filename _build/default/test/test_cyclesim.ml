@@ -1,0 +1,138 @@
+(* Tests for the levelized cycle-based simulator, including exact
+   equivalence with the event-driven kernel. *)
+
+module Compile = Compiler.Compile
+module Verify = Testinfra.Verify
+module Simulate = Testinfra.Simulate
+module Memory = Operators.Memory
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let compile src = Compile.compile (Lang.Parser.parse_string src)
+
+(* Run one single-partition program under both simulators; return the
+   final memory images and cycle counts. *)
+let run_both src inits =
+  let prog = Lang.Parser.parse_string src in
+  let compiled = compile src in
+  let p = List.hd compiled.Compile.partitions in
+  (* Event-driven. *)
+  let ev_lookup, ev_stores = Verify.memory_env prog ~inits in
+  let ev =
+    Simulate.run_configuration ~memories:ev_lookup p.Compile.datapath
+      p.Compile.fsm
+  in
+  (* Cycle-based. *)
+  let cy_lookup, cy_stores = Verify.memory_env prog ~inits in
+  let cy = Cyclesim.create ~memories:cy_lookup p.Compile.datapath p.Compile.fsm in
+  let outcome = Cyclesim.run cy in
+  ( (ev, List.map (fun (n, m) -> (n, Memory.to_list m)) ev_stores),
+    (cy, outcome, List.map (fun (n, m) -> (n, Memory.to_list m)) cy_stores) )
+
+let test_equivalence_hamming () =
+  let codes = Workloads.Hamming.make_codewords ~n:32 ~seed:9 in
+  let (ev, ev_mems), (cy, outcome, cy_mems) =
+    run_both (Workloads.Hamming.source ~n:32) [ ("input", codes) ]
+  in
+  check_bool "event run completed" true ev.Simulate.completed;
+  check_bool "cycle run done" true (outcome = `Done);
+  check_bool "memories identical" true (ev_mems = cy_mems);
+  check_int "cycle counts identical" ev.Simulate.cycles (Cyclesim.cycles cy)
+
+let test_equivalence_fdct () =
+  let img = Workloads.Fdct.make_image ~width_px:8 ~height_px:8 ~seed:12 in
+  let (ev, ev_mems), (cy, outcome, cy_mems) =
+    run_both (Workloads.Fdct.source ~width_px:8 ~height_px:8 ()) [ ("input", img) ]
+  in
+  check_bool "both complete" true (ev.Simulate.completed && outcome = `Done);
+  check_bool "memories identical" true (ev_mems = cy_mems);
+  check_int "cycle counts identical" ev.Simulate.cycles (Cyclesim.cycles cy)
+
+let test_port_and_state_access () =
+  let (_, _), (cy, outcome, _) =
+    run_both "program t width 8; var a; a = 7;" []
+  in
+  check_bool "done" true (outcome = `Done);
+  Alcotest.(check string) "final state" "halt" (Cyclesim.current_state cy);
+  check_int "register value" 7 (Bitvec.to_int (Cyclesim.port_value cy "r_a.q"))
+
+let test_max_cycles () =
+  let compiled = compile "program t width 8; var a; while (a == 0) { a = 0; }" in
+  let p = List.hd compiled.Compile.partitions in
+  let cy = Cyclesim.create ~memories:(fun _ -> failwith "none") p.Compile.datapath p.Compile.fsm in
+  check_bool "hits bound" true (Cyclesim.run ~max_cycles:100 cy = `Max_cycles)
+
+let test_check_failures_counted () =
+  let compiled =
+    compile "program t width 16; var i; for (i = 0; i < 4; i = i + 1) { assert (i < 2); }"
+  in
+  let p = List.hd compiled.Compile.partitions in
+  let cy = Cyclesim.create ~memories:(fun _ -> failwith "none") p.Compile.datapath p.Compile.fsm in
+  check_bool "done" true (Cyclesim.run cy = `Done);
+  check_int "two violations" 2 (Cyclesim.check_failures cy)
+
+let test_shared_design_rejected () =
+  (* Operator sharing creates structural combinational cycles the
+     levelized evaluator cannot order; it must refuse, not mis-simulate. *)
+  (* One state computes mul -> add, another add -> mul: with pooled
+     instances the two shared units feed each other structurally. *)
+  let src =
+    "program t width 16; var a; var b; a = a * b + 1; b = (a + 2) * b;"
+  in
+  let compiled =
+    Compile.compile
+      ~options:{ Compile.share_operators = true; optimize = false; fold_branches = false }
+      (Lang.Parser.parse_string src)
+  in
+  let p = List.hd compiled.Compile.partitions in
+  let raised =
+    try
+      ignore
+        (Cyclesim.create ~memories:(fun _ -> failwith "none")
+           p.Compile.datapath p.Compile.fsm);
+      false
+    with Cyclesim.Combinational_cycle _ -> true
+  in
+  check_bool "combinational cycle rejected" true raised
+
+let random_program =
+  QCheck2.Gen.(
+    let piece =
+      oneofl
+        [
+          "a = a + 1;";
+          "b = a * 3 - b;";
+          "m[0] = a;";
+          "a = m[1] ^ b;";
+          "if (a > b) { a = a - b; } else { b = b + 2; }";
+          "while (a < 15) { a = a + 4; }";
+          "m[a & 3] = b;";
+          "assert (a < 100);";
+        ]
+    in
+    list_size (int_range 1 8) piece >|= fun stmts ->
+    "program rnd width 16; mem m[4]; var a; var b;\na = 2; b = 5;\n"
+    ^ String.concat "\n" stmts)
+
+let prop_equivalence =
+  QCheck2.Test.make
+    ~name:"cycle-based = event-driven (memories and cycle count)" ~count:40
+    random_program
+    (fun src ->
+      let (ev, ev_mems), (cy, outcome, cy_mems) =
+        run_both src [ ("m", [ 3; 1; 4; 1 ]) ]
+      in
+      ev.Simulate.completed && outcome = `Done && ev_mems = cy_mems
+      && ev.Simulate.cycles = Cyclesim.cycles cy)
+
+let suite =
+  [
+    ("equivalence on hamming", `Quick, test_equivalence_hamming);
+    ("equivalence on fdct", `Quick, test_equivalence_fdct);
+    ("port and state access", `Quick, test_port_and_state_access);
+    ("max cycles", `Quick, test_max_cycles);
+    ("check failures counted", `Quick, test_check_failures_counted);
+    ("shared design rejected", `Quick, test_shared_design_rejected);
+    QCheck_alcotest.to_alcotest prop_equivalence;
+  ]

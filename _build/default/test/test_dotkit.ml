@@ -1,0 +1,91 @@
+(* Tests for the Graphviz dot builder. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_empty_graph () =
+  let g = Dotkit.Dot.create "g" in
+  let s = Dotkit.Dot.to_string g in
+  check_bool "header" true (contains ~needle:"digraph \"g\" {" s);
+  check_bool "footer" true (contains ~needle:"}" s);
+  check_int "no nodes" 0 (Dotkit.Dot.node_count g)
+
+let test_nodes_and_edges () =
+  let g = Dotkit.Dot.create "fsm" ~graph_attrs:[ ("rankdir", "LR") ] in
+  Dotkit.Dot.add_node g "s0" ~attrs:[ ("shape", "circle") ];
+  Dotkit.Dot.add_node g "s1";
+  Dotkit.Dot.add_edge g "s0" "s1" ~attrs:[ ("label", "start") ];
+  let s = Dotkit.Dot.to_string g in
+  check_bool "rankdir" true (contains ~needle:"rankdir=\"LR\";" s);
+  check_bool "node attrs" true (contains ~needle:"\"s0\" [shape=\"circle\"];" s);
+  check_bool "edge" true (contains ~needle:"\"s0\" -> \"s1\" [label=\"start\"];" s);
+  check_int "nodes" 2 (Dotkit.Dot.node_count g);
+  check_int "edges" 1 (Dotkit.Dot.edge_count g)
+
+let test_node_redeclaration_replaces () =
+  let g = Dotkit.Dot.create "g" in
+  Dotkit.Dot.add_node g "n" ~attrs:[ ("color", "red") ];
+  Dotkit.Dot.add_node g "n" ~attrs:[ ("color", "blue") ];
+  let s = Dotkit.Dot.to_string g in
+  check_int "one node" 1 (Dotkit.Dot.node_count g);
+  check_bool "latest attrs win" true (contains ~needle:"color=\"blue\"" s);
+  check_bool "old attrs gone" false (contains ~needle:"color=\"red\"" s)
+
+let test_quote_escapes () =
+  Alcotest.(check string) "quotes" "\"a\\\"b\\nc\"" (Dotkit.Dot.quote "a\"b\nc")
+
+let test_rank_same () =
+  let g = Dotkit.Dot.create "g" in
+  Dotkit.Dot.add_node g "a";
+  Dotkit.Dot.add_node g "b";
+  Dotkit.Dot.add_rank_same g [ "a"; "b" ];
+  check_bool "rank line" true
+    (contains ~needle:"{ rank=same; \"a\"; \"b\" }" (Dotkit.Dot.to_string g))
+
+let test_defaults () =
+  let g =
+    Dotkit.Dot.create "g"
+      ~node_defaults:[ ("shape", "box") ]
+      ~edge_defaults:[ ("arrowsize", "0.7") ]
+  in
+  let s = Dotkit.Dot.to_string g in
+  check_bool "node defaults" true (contains ~needle:"node [shape=\"box\"];" s);
+  check_bool "edge defaults" true (contains ~needle:"edge [arrowsize=\"0.7\"];" s)
+
+let test_save () =
+  let g = Dotkit.Dot.create "g" in
+  Dotkit.Dot.add_node g "x";
+  let path = Filename.temp_file "dotkit" ".dot" in
+  Dotkit.Dot.save path g;
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  check_bool "file written" true (contains ~needle:"\"x\";" contents)
+
+let prop_parallel_edges =
+  QCheck2.Test.make ~name:"edge count tracks insertions" ~count:100
+    QCheck2.Gen.(int_range 0 50)
+    (fun n ->
+      let g = Dotkit.Dot.create "g" in
+      for _ = 1 to n do
+        Dotkit.Dot.add_edge g "a" "b"
+      done;
+      Dotkit.Dot.edge_count g = n)
+
+let suite =
+  [
+    ("empty graph", `Quick, test_empty_graph);
+    ("nodes and edges", `Quick, test_nodes_and_edges);
+    ("node redeclaration", `Quick, test_node_redeclaration_replaces);
+    ("quote escapes", `Quick, test_quote_escapes);
+    ("rank same", `Quick, test_rank_same);
+    ("defaults", `Quick, test_defaults);
+    ("save", `Quick, test_save);
+    QCheck_alcotest.to_alcotest prop_parallel_edges;
+  ]

@@ -1,0 +1,194 @@
+(* Tests for the VHDL / Verilog emitters (text-level). *)
+
+module Dp = Netlist.Datapath
+module Builder = Netlist.Dp_builder
+module Fsm = Fsmkit.Fsm
+module Guard = Fsmkit.Guard
+
+let check_bool = Alcotest.(check bool)
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let sample_dp () =
+  let b = Builder.create "dp1" in
+  let c = Builder.add_operator b ~kind:"const" ~width:8 ~params:[ ("value", "3") ] () in
+  let r = Builder.add_operator b ~id:"r0" ~kind:"reg" ~width:8 () in
+  let add = Builder.add_operator b ~id:"add0" ~kind:"add" ~width:8 () in
+  let cmp = Builder.add_operator b ~id:"cmp0" ~kind:"lts" ~width:8 () in
+  let m =
+    Builder.add_operator b ~id:"ram" ~kind:"sram" ~width:8
+      ~params:[ ("memory", "buf"); ("addr-width", "4"); ("size", "16") ] ()
+  in
+  let mux =
+    Builder.add_operator b ~id:"mux0" ~kind:"mux" ~width:8
+      ~params:[ ("inputs", "2") ] ()
+  in
+  Builder.add_control b "en" 1;
+  Builder.add_control b "sel" 1;
+  Builder.add_control b "we" 1;
+  Builder.add_status b ~name:"neg" ~from:(cmp ^ ".y");
+  Builder.connect b ~from:(c ^ ".y") [ add ^ ".b"; cmp ^ ".b"; mux ^ ".in0" ];
+  Builder.connect b ~from:(r ^ ".q") [ add ^ ".a"; cmp ^ ".a"; m ^ ".din" ];
+  Builder.connect b ~from:(add ^ ".y") [ mux ^ ".in1" ];
+  Builder.connect b ~from:(mux ^ ".y") [ r ^ ".d" ];
+  Builder.connect b ~from:(m ^ ".dout") [];
+  Builder.connect b ~from:"ctl.en" [ r ^ ".en" ];
+  Builder.connect b ~from:"ctl.sel" [ mux ^ ".sel" ];
+  Builder.connect b ~from:"ctl.we" [ m ^ ".we" ];
+  (* address: tie to the register output truncated by a zext *)
+  let z =
+    Builder.add_operator b ~id:"z0" ~kind:"zext" ~width:4 ~params:[ ("from", "8") ] ()
+  in
+  Builder.connect b ~from:(r ^ ".q") [ z ^ ".a" ];
+  Builder.connect b ~from:(z ^ ".y") [ m ^ ".addr" ];
+  Builder.finish b
+
+let sample_fsm () =
+  {
+    Fsm.fsm_name = "ctl1";
+    inputs = [ { Fsm.io_name = "neg"; io_width = 1; default = 0 } ];
+    outputs =
+      [
+        { Fsm.io_name = "en"; io_width = 1; default = 0 };
+        { Fsm.io_name = "sel"; io_width = 1; default = 0 };
+        { Fsm.io_name = "we"; io_width = 1; default = 0 };
+      ];
+    initial = "run";
+    states =
+      [
+        {
+          Fsm.sname = "run";
+          is_done = false;
+          settings = [ ("en", 1); ("sel", 1) ];
+          transitions = [ { Fsm.guard = Guard.parse "neg==1"; target = "halt" } ];
+        };
+        { Fsm.sname = "halt"; is_done = true; settings = []; transitions = [] };
+      ];
+  }
+
+let test_verilog_datapath () =
+  let v = Hdl.Verilog.datapath (sample_dp ()) in
+  check_bool "module header" true (contains "module dp1 (" v);
+  check_bool "control port" true (contains "input wire ctl_en" v);
+  check_bool "status port" true (contains "output wire st_neg" v);
+  check_bool "adder" true (contains "assign w_add0_y = w_r0_q + w_const0_y;" v);
+  check_bool "signed compare" true (contains "$signed" v);
+  check_bool "register always" true (contains "always @(posedge clk) if (ctl_en) r0_state <= w_mux0_y;" v);
+  check_bool "memory array" true (contains "reg [7:0] mem_ram [0:15];" v);
+  check_bool "mux case" true (contains "case (ctl_sel)" v);
+  check_bool "status assign" true (contains "assign st_neg = w_cmp0_y;" v);
+  check_bool "endmodule" true (contains "endmodule" v)
+
+let test_verilog_fsm () =
+  let v = Hdl.Verilog.fsm (sample_fsm ()) in
+  check_bool "module" true (contains "module ctl1 (" v);
+  check_bool "localparams" true (contains "localparam S_run" v);
+  check_bool "next state" true (contains "S_run: state <= (st_neg == 1) ? S_halt : state;" v);
+  check_bool "moore defaults" true (contains "ctl_en = 0;" v);
+  check_bool "moore settings" true (contains "ctl_en = 1;" v);
+  check_bool "done" true (contains "assign fsm_done = (state == S_halt);" v)
+
+let test_verilog_system () =
+  let v = Hdl.Verilog.system (sample_dp ()) (sample_fsm ()) in
+  check_bool "top module" true (contains "module dp1_top" v);
+  check_bool "dp instance" true (contains "dp1 u_dp (" v);
+  check_bool "fsm instance" true (contains "ctl1 u_fsm (" v);
+  check_bool "done wired" true (contains ".fsm_done(done)" v)
+
+let test_vhdl_datapath () =
+  let v = Hdl.Vhdl.datapath (sample_dp ()) in
+  check_bool "library" true (contains "use ieee.numeric_std.all;" v);
+  check_bool "entity" true (contains "entity dp1 is" v);
+  check_bool "control port" true (contains "ctl_en : in unsigned(0 downto 0)" v);
+  check_bool "adder" true (contains "w_add0_y <= w_r0_q + w_const0_y;" v);
+  check_bool "memory type" true (contains "type t_mem_ram is array (0 to 15)" v);
+  check_bool "register process" true (contains "if rising_edge(clk) then" v);
+  check_bool "mux select" true (contains "with to_integer(ctl_sel) select" v);
+  check_bool "architecture end" true (contains "end architecture rtl;" v)
+
+let test_vhdl_fsm () =
+  let v = Hdl.Vhdl.fsm (sample_fsm ()) in
+  check_bool "state type" true (contains "type t_state is (S_run, S_halt);" v);
+  check_bool "initial" true (contains "signal state : t_state := S_run;" v);
+  check_bool "guard" true (contains "(to_integer(st_neg) = 1)" v);
+  check_bool "done" true (contains "fsm_done <= '1' when state = S_halt else '0';" v)
+
+let test_vhdl_system () =
+  let v = Hdl.Vhdl.system (sample_dp ()) (sample_fsm ()) in
+  check_bool "top entity" true (contains "entity dp1_top is" v);
+  check_bool "dp port map" true (contains "u_dp : entity work.dp1 port map" v);
+  check_bool "fsm port map" true (contains "u_fsm : entity work.ctl1 port map" v)
+
+let test_emitters_minmax_abs () =
+  let b = Builder.create "mm" in
+  let c1 = Builder.add_operator b ~kind:"const" ~width:8 ~params:[ ("value", "3") ] () in
+  let c2 = Builder.add_operator b ~kind:"const" ~width:8 ~params:[ ("value", "9") ] () in
+  let mn = Builder.add_operator b ~id:"mn" ~kind:"mins" ~width:8 () in
+  let ab = Builder.add_operator b ~id:"ab" ~kind:"abs" ~width:8 () in
+  Builder.connect b ~from:(c1 ^ ".y") [ mn ^ ".a" ];
+  Builder.connect b ~from:(c2 ^ ".y") [ mn ^ ".b" ];
+  Builder.connect b ~from:(mn ^ ".y") [ ab ^ ".a" ];
+  let dp = Builder.finish b in
+  let v = Hdl.Verilog.datapath dp in
+  check_bool "verilog mins" true (contains "($signed(w_const0_y) <= $signed(w_const1_y))" v);
+  check_bool "verilog abs" true (contains "w_mn_y[7] ? -w_mn_y : w_mn_y" v);
+  let vh = Hdl.Vhdl.datapath dp in
+  check_bool "vhdl mins" true (contains "when signed(w_const0_y) <= signed(w_const1_y)" vh);
+  check_bool "vhdl abs" true (contains "abs(signed(w_mn_y))" vh)
+
+let test_systemc_datapath () =
+  let v = Hdl.Systemc.datapath (sample_dp ()) in
+  check_bool "include" true (contains "#include <systemc.h>" v);
+  check_bool "module" true (contains "SC_MODULE(dp1)" v);
+  check_bool "control port" true (contains "sc_in<sc_uint<1>> ctl_en;" v);
+  check_bool "adder" true (contains "w_add0_y.write(w_r0_q.read() + w_const0_y.read());" v);
+  check_bool "memory member" true (contains "sc_uint<8> mem_ram[16];" v);
+  check_bool "register seq" true (contains "if (ctl_en.read() == 1) r0_state = w_mux0_y.read();" v);
+  check_bool "mux switch" true (contains "switch ((int)ctl_sel.read())" v);
+  check_bool "clocked method" true (contains "sensitive << clk.pos();" v)
+
+let test_systemc_fsm () =
+  let v = Hdl.Systemc.fsm (sample_fsm ()) in
+  check_bool "module" true (contains "SC_MODULE(ctl1)" v);
+  check_bool "enum" true (contains "enum state_t { S_run, S_halt };" v);
+  check_bool "guard" true (contains "(st_neg.read() == 1)" v);
+  check_bool "done" true (contains "fsm_done.write(state == S_halt);" v)
+
+let test_systemc_system () =
+  let v = Hdl.Systemc.system (sample_dp ()) (sample_fsm ()) in
+  check_bool "top" true (contains "SC_MODULE(dp1_top)" v);
+  check_bool "binds dp" true (contains "u_dp.ctl_en(c_en);" v);
+  check_bool "binds fsm" true (contains "u_fsm.fsm_done(done);" v)
+
+let test_emitters_on_compiled_design () =
+  (* The emitters must accept everything the compiler produces. *)
+  let prog =
+    Lang.Parser.parse_string (Workloads.Hamming.source ~n:16)
+  in
+  let c = Compiler.Compile.compile prog in
+  List.iter
+    (fun (p : Compiler.Compile.partition) ->
+      let dp = p.Compiler.Compile.datapath and fsm = p.Compiler.Compile.fsm in
+      check_bool "verilog nonempty" true (String.length (Hdl.Verilog.system dp fsm) > 500);
+      check_bool "vhdl nonempty" true (String.length (Hdl.Vhdl.system dp fsm) > 500);
+      check_bool "systemc nonempty" true
+        (String.length (Hdl.Systemc.system dp fsm) > 500))
+    c.Compiler.Compile.partitions
+
+let suite =
+  [
+    ("verilog datapath", `Quick, test_verilog_datapath);
+    ("verilog fsm", `Quick, test_verilog_fsm);
+    ("verilog system", `Quick, test_verilog_system);
+    ("vhdl datapath", `Quick, test_vhdl_datapath);
+    ("vhdl fsm", `Quick, test_vhdl_fsm);
+    ("vhdl system", `Quick, test_vhdl_system);
+    ("systemc datapath", `Quick, test_systemc_datapath);
+    ("systemc fsm", `Quick, test_systemc_fsm);
+    ("systemc system", `Quick, test_systemc_system);
+    ("emitters min/max/abs", `Quick, test_emitters_minmax_abs);
+    ("emitters on compiled design", `Quick, test_emitters_on_compiled_design);
+  ]

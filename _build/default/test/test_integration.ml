@@ -1,0 +1,290 @@
+(* Integration tests: full compile -> simulate -> compare flows over the
+   paper's workloads and randomly generated programs. *)
+
+module Verify = Testinfra.Verify
+module Compile = Compiler.Compile
+module Memory = Operators.Memory
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let output_of outcome name =
+  let stores =
+    Verify.memory_env outcome.Verify.compiled.Compile.program ~inits:[]
+  in
+  ignore stores;
+  ignore name;
+  ()
+
+let _ = output_of
+
+let test_vecadd () =
+  let a = List.init 16 (fun i -> i * 3) and b = List.init 16 (fun i -> 100 - i) in
+  let outcome =
+    Verify.run_source ~inits:[ ("a", a); ("b", b) ]
+      (Workloads.Kernels.vecadd_source ~n:16)
+  in
+  check_bool "pass" true outcome.Verify.passed
+
+let test_sum () =
+  let input = List.init 32 (fun i -> i * i) in
+  let outcome =
+    Verify.run_source ~inits:[ ("input", input) ]
+      (Workloads.Kernels.sum_source ~n:32)
+  in
+  check_bool "pass" true outcome.Verify.passed;
+  (* The golden accumulator must equal the closed form. *)
+  let acc = List.assoc "acc" outcome.Verify.golden_vars in
+  check_int "sum of squares" (Workloads.Kernels.sum_reference input)
+    (Bitvec.to_int acc)
+
+let test_gcd () =
+  let input = [ 12; 18; 7; 7; 100; 75; 9; 28; 14; 21; 5; 40; 33; 11; 64; 48 ] in
+  let outcome =
+    Verify.run_source ~inits:[ ("input", input) ] (Workloads.Kernels.gcd_source ())
+  in
+  check_bool "pass" true outcome.Verify.passed
+
+let test_sort () =
+  let data = [ 9; 3; 7; 1; 8; 2; 6; 0; 5; 4 ] in
+  let outcome =
+    Verify.run_source ~inits:[ ("data", data) ]
+      (Workloads.Kernels.sort_source ~n:10)
+  in
+  check_bool "pass" true outcome.Verify.passed
+
+let test_edge_detect () =
+  let img = Workloads.Fdct.make_image ~width_px:16 ~height_px:8 ~seed:11 in
+  let outcome =
+    Verify.run_source ~inits:[ ("input", img) ]
+      (Workloads.Kernels.edge_detect_source ~width_px:16 ~height_px:8 ~threshold:40)
+  in
+  check_bool "pass" true outcome.Verify.passed
+
+let test_hamming () =
+  let codes = Workloads.Hamming.make_codewords ~n:64 ~seed:5 in
+  let outcome =
+    Verify.run_source ~inits:[ ("input", codes) ] (Workloads.Hamming.source ~n:64)
+  in
+  check_bool "pass" true outcome.Verify.passed
+
+let test_fdct1_small () =
+  let img = Workloads.Fdct.make_image ~width_px:8 ~height_px:8 ~seed:1 in
+  let outcome =
+    Verify.run_source ~inits:[ ("input", img) ]
+      (Workloads.Fdct.source ~width_px:8 ~height_px:8 ())
+  in
+  check_bool "pass" true outcome.Verify.passed;
+  check_int "single configuration" 1
+    (List.length outcome.Verify.compiled.Compile.partitions)
+
+let test_fdct2_small () =
+  let img = Workloads.Fdct.make_image ~width_px:8 ~height_px:16 ~seed:2 in
+  let outcome =
+    Verify.run_source ~inits:[ ("input", img) ]
+      (Workloads.Fdct.source ~partitioned:true ~width_px:8 ~height_px:16 ())
+  in
+  check_bool "pass" true outcome.Verify.passed;
+  check_int "two configurations" 2
+    (List.length outcome.Verify.compiled.Compile.partitions);
+  check_int "two runs executed" 2
+    (List.length outcome.Verify.hw_run.Testinfra.Simulate.runs)
+
+let test_fdct_variants_agree () =
+  (* FDCT1 and FDCT2 must produce identical output memories. *)
+  let img = Workloads.Fdct.make_image ~width_px:8 ~height_px:8 ~seed:3 in
+  let run src =
+    let prog = Lang.Parser.parse_string src in
+    let compiled = Compile.compile prog in
+    let lookup, stores = Verify.memory_env prog ~inits:[ ("input", img) ] in
+    let run = Testinfra.Simulate.run_compiled ~memories:lookup compiled in
+    check_bool "completed" true run.Testinfra.Simulate.all_completed;
+    Memory.to_list (List.assoc "output" stores)
+  in
+  let out1 = run (Workloads.Fdct.source ~width_px:8 ~height_px:8 ()) in
+  let out2 = run (Workloads.Fdct.source ~partitioned:true ~width_px:8 ~height_px:8 ()) in
+  check_bool "identical outputs" true (out1 = out2)
+
+let test_sharing_equivalence () =
+  (* Operator sharing must not change functional results. *)
+  let img = Workloads.Fdct.make_image ~width_px:8 ~height_px:8 ~seed:4 in
+  let src = Workloads.Fdct.source ~width_px:8 ~height_px:8 () in
+  let outcome =
+    Verify.run_source ~options:{ Compile.share_operators = true; optimize = false; fold_branches = false }
+      ~inits:[ ("input", img) ] src
+  in
+  check_bool "shared binding passes" true outcome.Verify.passed
+
+let test_fdct2_fewer_operators_per_partition () =
+  (* The paper's Table I shape: each FDCT2 partition uses fewer operators
+     and fewer FSM states than FDCT1. *)
+  let c1 =
+    Compile.compile
+      (Lang.Parser.parse_string (Workloads.Fdct.source ~width_px:8 ~height_px:8 ()))
+  in
+  let c2 =
+    Compile.compile
+      (Lang.Parser.parse_string
+         (Workloads.Fdct.source ~partitioned:true ~width_px:8 ~height_px:8 ()))
+  in
+  let fus c = List.map (fun p -> p.Compile.fu_count) c.Compile.partitions in
+  let fdct1_fus = List.hd (fus c1) in
+  List.iter
+    (fun f -> check_bool "partition smaller than FDCT1" true (f < fdct1_fus))
+    (fus c2)
+
+(* Random program equivalence: the compiled hardware must agree with the
+   golden interpreter on every memory, for arbitrary generated programs. *)
+let random_program =
+  QCheck2.Gen.(
+    let assign =
+      oneofl
+        [
+          "a = a + 1;";
+          "b = a * 3 - b;";
+          "a = b >> 1;";
+          "b = b ^ a;";
+          "m[0] = a;";
+          "m[1] = b & 7;";
+          "a = m[2];";
+          "m[a & 3] = b;";
+          "b = m[b & 3] + 1;";
+        ]
+    in
+    let control =
+      oneofl
+        [
+          "if (a > b) { a = a - b; } else { b = b - a + 1; }";
+          "while (a < 20) { a = a + 5; }";
+          "if (a == b) { m[3] = a; }";
+          "while (b != 0 && a < 30) { a = a + 1; b = b >> 1; }";
+        ]
+    in
+    list_size (int_range 1 10) (oneof [ assign; control ]) >|= fun stmts ->
+    "program rnd width 16; mem m[4]; var a; var b;\na = 3; b = 9;\n"
+    ^ String.concat "\n" stmts)
+
+let prop_hardware_matches_golden =
+  QCheck2.Test.make ~name:"compiled hardware = golden interpreter" ~count:40
+    random_program
+    (fun src ->
+      let outcome = Verify.run_source ~inits:[ ("m", [ 1; 2; 3; 4 ]) ] src in
+      outcome.Verify.passed)
+
+let prop_hardware_matches_golden_shared =
+  QCheck2.Test.make
+    ~name:"compiled hardware (shared FUs) = golden interpreter" ~count:25
+    random_program
+    (fun src ->
+      let outcome =
+        Verify.run_source ~options:{ Compile.share_operators = true; optimize = false; fold_branches = false }
+          ~inits:[ ("m", [ 1; 2; 3; 4 ]) ] src
+      in
+      outcome.Verify.passed)
+
+let test_fir () =
+  let taps = [ 3; -2; 5; 1 ] in
+  let input = List.init 24 (fun i -> (i * 7 mod 23) - 11) in
+  (* The coefficients come from the program's own memory initializer. *)
+  let outcome =
+    Verify.run_source ~inits:[ ("input", input) ]
+      (Workloads.Kernels.fir_source ~taps ~n:24)
+  in
+  check_bool "pass" true outcome.Verify.passed;
+  (* Hardware output memory must equal the independent reference. *)
+  let prog =
+    Lang.Parser.parse_string (Workloads.Kernels.fir_source ~taps ~n:24)
+  in
+  let lookup, stores = Verify.memory_env prog ~inits:[ ("input", input) ] in
+  let compiled = Compile.compile prog in
+  let _ = Testinfra.Simulate.run_compiled ~memories:lookup compiled in
+  check_bool "matches independent reference" true
+    (Memory.to_list (List.assoc "output" stores)
+    = Workloads.Kernels.fir_reference ~taps input)
+
+let test_assert_pass_end_to_end () =
+  (* A program whose assertions all hold: golden counts 0, hardware fires
+     0 checks, verification passes. *)
+  let src =
+    "program t width 16; mem m[4]; var i; var x;\n\
+     for (i = 0; i < 4; i = i + 1) { x = i * i; assert (x >= i); m[i] = x; }"
+  in
+  let outcome = Verify.run_source ~inits:[] src in
+  check_bool "passes" true outcome.Verify.passed;
+  check_int "no hw check fired" 0 outcome.Verify.hw_check_failures
+
+let test_assert_failure_detected_in_both_models () =
+  (* A deliberately violated assertion must fire in the golden model and
+     in the simulated hardware the same number of times, and memories
+     still match, so verification still passes (the models agree). *)
+  let src =
+    "program t width 16; mem m[4]; var i;\n\
+     for (i = 0; i < 4; i = i + 1) { assert (i < 2); m[i] = i; }"
+  in
+  let outcome = Verify.run_source ~inits:[] src in
+  check_int "golden violations" 2
+    outcome.Verify.golden_stats.Lang.Interp.asserts_failed;
+  check_int "hardware checks fired" 2 outcome.Verify.hw_check_failures;
+  check_bool "models agree -> pass" true outcome.Verify.passed
+
+let test_probe_declaration_records_values () =
+  let src =
+    "program t width 16; mem m[4]; var i; var acc; probe acc;\n\
+     for (i = 0; i < 4; i = i + 1) { acc = acc + i; m[i] = acc; }"
+  in
+  let outcome = Verify.run_source ~inits:[] src in
+  check_bool "verifies" true outcome.Verify.passed;
+  let run = List.hd outcome.Verify.hw_run.Testinfra.Simulate.runs in
+  let acc_values =
+    List.filter_map
+      (function
+        | Operators.Models.Probe_sample { instance = "probe_acc"; value; _ } ->
+            Some (Bitvec.to_int value)
+        | Operators.Models.Probe_sample _ | Operators.Models.Check_failed _ ->
+            None)
+      run.Testinfra.Simulate.notifications
+  in
+  (* acc takes 1, 3, 6 after its updates (0 -> 0 is not a change). *)
+  Alcotest.(check (list int)) "probed trace" [ 1; 3; 6 ] acc_values
+
+let test_probe_undeclared_rejected () =
+  let raised =
+    try
+      ignore (Verify.run_source ~inits:[] "program t width 8; probe ghost;");
+      false
+    with Lang.Check.Invalid _ -> true
+  in
+  check_bool "undeclared probe rejected" true raised
+
+let test_cycle_count_deterministic () =
+  let src = Workloads.Hamming.source ~n:8 in
+  let codes = Workloads.Hamming.make_codewords ~n:8 ~seed:1 in
+  let run () =
+    (Verify.run_source ~inits:[ ("input", codes) ] src).Verify.hw_run
+      .Testinfra.Simulate.total_cycles
+  in
+  check_int "same cycle count across runs" (run ()) (run ())
+
+let suite =
+  let qc = QCheck_alcotest.to_alcotest in
+  [
+    ("vecadd", `Quick, test_vecadd);
+    ("sum", `Quick, test_sum);
+    ("gcd", `Quick, test_gcd);
+    ("sort", `Quick, test_sort);
+    ("edge detect", `Quick, test_edge_detect);
+    ("hamming", `Quick, test_hamming);
+    ("fdct1 small", `Quick, test_fdct1_small);
+    ("fdct2 small", `Quick, test_fdct2_small);
+    ("fdct variants agree", `Quick, test_fdct_variants_agree);
+    ("sharing equivalence", `Quick, test_sharing_equivalence);
+    ("fdct2 fewer operators per partition", `Quick, test_fdct2_fewer_operators_per_partition);
+    qc prop_hardware_matches_golden;
+    qc prop_hardware_matches_golden_shared;
+    ("fir", `Quick, test_fir);
+    ("assert passes end to end", `Quick, test_assert_pass_end_to_end);
+    ("assert fires in both models", `Quick, test_assert_failure_detected_in_both_models);
+    ("probe declaration records values", `Quick, test_probe_declaration_records_values);
+    ("probe of undeclared rejected", `Quick, test_probe_undeclared_rejected);
+    ("cycle count deterministic", `Quick, test_cycle_count_deterministic);
+  ]

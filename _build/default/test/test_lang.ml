@@ -1,0 +1,382 @@
+(* Tests for the source language: lexer, parser, checks, interpreter. *)
+
+module Ast = Lang.Ast
+module Lexer = Lang.Lexer
+module Parser = Lang.Parser
+module Check = Lang.Check
+module Interp = Lang.Interp
+module Memory = Operators.Memory
+
+(* Thin alias so the initializer test can exercise the real memory-env
+   construction used by verification. *)
+module Testinfra_shim = struct
+  let memory_env prog inits = Testinfra.Verify.memory_env prog ~inits
+end
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse = Parser.parse_string
+
+(* --- lexer ----------------------------------------------------------- *)
+
+let test_lexer_tokens () =
+  let toks = List.map fst (Lexer.tokenize "x = a[3] >>> 2; // c") in
+  check_bool "token stream" true
+    (toks
+    = [
+        Lexer.Ident "x"; Lexer.Assign_op; Lexer.Ident "a"; Lexer.Lbracket;
+        Lexer.Number 3; Lexer.Rbracket; Lexer.Shrl_op; Lexer.Number 2;
+        Lexer.Semicolon; Lexer.Eof;
+      ])
+
+let test_lexer_comments_and_lines () =
+  let toks = Lexer.tokenize "a\n/* multi\nline */\nb" in
+  (match toks with
+  | [ (Lexer.Ident "a", 1); (Lexer.Ident "b", 4); (Lexer.Eof, 4) ] -> ()
+  | _ -> Alcotest.fail "line tracking through comments");
+  let fails s = try ignore (Lexer.tokenize s); false with Lexer.Lex_error _ -> true in
+  check_bool "unterminated comment" true (fails "/* oops");
+  check_bool "bad char" true (fails "a ? b")
+
+let test_lexer_hex () =
+  match Lexer.tokenize "0x1F" with
+  | [ (Lexer.Number 31, _); (Lexer.Eof, _) ] -> ()
+  | _ -> Alcotest.fail "hex literal"
+
+(* --- parser ---------------------------------------------------------- *)
+
+let test_parse_minimal () =
+  let p = parse "program t width 8;" in
+  check_int "no statements" 0 (List.length p.Ast.body);
+  check_int "width" 8 p.Ast.prog_width
+
+let test_parse_decls () =
+  let p = parse "program t width 16; mem m[64]; var a; var b = 3;" in
+  check_int "one mem" 1 (List.length p.Ast.mems);
+  check_int "mem size" 64 (List.hd p.Ast.mems).Ast.mem_size;
+  check_int "two vars" 2 (List.length p.Ast.vars);
+  check_int "init" 3 (List.nth p.Ast.vars 1).Ast.var_init
+
+let test_parse_precedence () =
+  let p = parse "program t width 8; var a; var b; var c; a = a + b * c;" in
+  match p.Ast.body with
+  | [ Ast.Assign ("a", Ast.Binop (Ast.Add, Ast.Var "a", Ast.Binop (Ast.Mul, _, _))) ] ->
+      ()
+  | _ -> Alcotest.fail "mul binds tighter than add"
+
+let test_parse_shift_precedence () =
+  let p = parse "program t width 8; var a; var b; a = a + b >> 2;" in
+  match p.Ast.body with
+  | [ Ast.Assign ("a", Ast.Binop (Ast.Shra, Ast.Binop (Ast.Add, _, _), Ast.Int 2)) ] ->
+      ()
+  | _ -> Alcotest.fail "shift binds looser than add"
+
+let test_parse_for_desugars () =
+  let p =
+    parse "program t width 8; var i; for (i = 0; i < 4; i = i + 1) { i = i; }"
+  in
+  match p.Ast.body with
+  | [ Ast.Assign ("i", Ast.Int 0); Ast.While (Ast.Cmp (Ast.Lt, _, _), body) ] ->
+      check_int "body + update" 2 (List.length body)
+  | _ -> Alcotest.fail "for desugaring"
+
+let test_parse_if_else_chain () =
+  let p =
+    parse
+      "program t width 8; var a; if (a == 0) { a = 1; } else if (a == 1) { a = 2; } else { a = 3; }"
+  in
+  match p.Ast.body with
+  | [ Ast.If (_, _, [ Ast.If (_, _, [ Ast.Assign ("a", Ast.Int 3) ]) ]) ] -> ()
+  | _ -> Alcotest.fail "else-if chain"
+
+let test_parse_cond_parens () =
+  let p =
+    parse "program t width 8; var a; var b; while ((a == 1 || b == 2) && a != b) { a = b; }"
+  in
+  match p.Ast.body with
+  | [ Ast.While (Ast.Cand (Ast.Cor (_, _), Ast.Cmp (Ast.Ne, _, _)), _) ] -> ()
+  | _ -> Alcotest.fail "parenthesized condition"
+
+let test_parse_errors () =
+  let fails s = try ignore (parse s); false with Parser.Parse_error _ -> true in
+  check_bool "missing semicolon" true (fails "program t width 8; var a; a = 1");
+  check_bool "missing width" true (fails "program t; var a;");
+  check_bool "bad statement" true (fails "program t width 8; 3 = x;");
+  check_bool "unclosed block" true (fails "program t width 8; var a; while (a == 0) { a = 1;");
+  check_bool "trailing" true (fails "program t width 8; var a; a = 1; }")
+
+let test_parse_error_line () =
+  try
+    ignore (parse "program t width 8;\nvar a;\na = ;\n");
+    Alcotest.fail "expected error"
+  with Parser.Parse_error { line; _ } -> check_int "line 3" 3 line
+
+let test_source_line_count () =
+  let src = "// header\nprogram t width 8;\n\nvar a;\n/* block\ncomment */\na = 1;\n" in
+  check_int "counts code lines only" 3 (Parser.source_line_count src)
+
+(* --- checks ---------------------------------------------------------- *)
+
+let has_error prog fragment =
+  List.exists
+    (fun e ->
+      let n = String.length fragment and h = String.length e in
+      let rec go i = i + n <= h && (String.sub e i n = fragment || go (i + 1)) in
+      n = 0 || go 0)
+    (Check.check prog)
+
+let test_check_scoping () =
+  let p = parse "program t width 8; var a; a = ghost;" in
+  check_bool "undeclared var" true (has_error p "undeclared variable");
+  let p = parse "program t width 8; var a; a = m[0];" in
+  check_bool "undeclared mem" true (has_error p "undeclared memory")
+
+let test_check_partition_nesting () =
+  let p = parse "program t width 8; var a; while (a == 0) { partition; }" in
+  check_bool "nested partition" true (has_error p "top level")
+
+let test_check_memory_in_condition () =
+  let p = parse "program t width 8; mem m[4]; var a; while (m[0] == 1) { a = 1; }" in
+  check_bool "memory read in condition" true (has_error p "condition reads")
+
+let test_check_width_bounds () =
+  let p = parse "program t width 1;" in
+  check_bool "width too small" true (has_error p "width");
+  let p = parse "program t width 99;" in
+  check_bool "width too large" true (has_error p "width")
+
+let test_check_duplicates () =
+  let p = parse "program t width 8; var a; var a;" in
+  check_bool "dup var" true (has_error p "duplicate variable");
+  let p = parse "program t width 8; mem a[2]; var a;" in
+  check_bool "mem/var clash" true (has_error p "both a memory and a variable")
+
+(* --- interpreter ------------------------------------------------------ *)
+
+let run_src ?(inits = []) src =
+  let prog = parse src in
+  let lookup, stores =
+    let stores =
+      List.map
+        (fun (m : Ast.mem_decl) ->
+          let store = Memory.create ~name:m.Ast.mem_name ~width:prog.Ast.prog_width m.Ast.mem_size in
+          (match List.assoc_opt m.Ast.mem_name inits with
+          | Some words -> Memory.load store words
+          | None -> ());
+          (m.Ast.mem_name, store))
+        prog.Ast.mems
+    in
+    ((fun n -> List.assoc n stores), stores)
+  in
+  let vars, stats = Interp.run ~memories:lookup prog in
+  (vars, stats, stores)
+
+let var_value vars name = Bitvec.to_signed (List.assoc name vars)
+
+let test_interp_arith () =
+  let vars, _, _ =
+    run_src "program t width 8; var a; var b; a = 200; b = a + 100;"
+  in
+  check_int "wraps at 8 bits" 44 (var_value vars "b")
+
+let test_interp_signed () =
+  let vars, _, _ =
+    run_src "program t width 8; var a; var b; a = 0 - 7; b = a >> 1;"
+  in
+  check_int "arithmetic shift of negative" (-4) (var_value vars "b")
+
+let test_interp_loop () =
+  let vars, stats, _ =
+    run_src "program t width 16; var i; var s; for (i = 0; i < 10; i = i + 1) { s = s + i; }"
+  in
+  check_int "sum 0..9" 45 (var_value vars "s");
+  check_bool "branches counted" true (stats.Interp.branches >= 11)
+
+let test_interp_memory () =
+  let _, stats, stores =
+    run_src ~inits:[ ("m", [ 5; 6; 7 ]) ]
+      "program t width 8; mem m[4]; var x; x = m[1]; m[3] = x + 1;"
+  in
+  let m = List.assoc "m" stores in
+  check_int "written" 7 (Bitvec.to_int (Memory.read m 3));
+  check_int "reads" 1 stats.Interp.mem_reads;
+  check_int "writes" 1 stats.Interp.mem_writes
+
+let test_interp_if_else () =
+  let vars, _, _ =
+    run_src "program t width 8; var a; var r; a = 3; if (a > 2) { r = 1; } else { r = 2; }"
+  in
+  check_int "then branch" 1 (var_value vars "r")
+
+let test_interp_division_semantics () =
+  let vars, _, _ =
+    run_src "program t width 8; var a; var b; var q; a = 0 - 7; b = 2; q = a / b;"
+  in
+  check_int "signed division truncates" (-3) (var_value vars "q");
+  let vars, _, _ = run_src "program t width 8; var a; var q; a = 9; q = a / 0;" in
+  check_int "div by zero yields all ones" (-1) (var_value vars "q")
+
+let test_interp_runaway () =
+  let prog = parse "program t width 8; var a; while (a == 0) { a = 0; }" in
+  let raised =
+    try
+      ignore (Interp.run ~max_statements:1000 ~memories:(fun _ -> assert false) prog);
+      false
+    with Interp.Runaway _ -> true
+  in
+  check_bool "infinite loop detected" true raised
+
+let test_interp_partition_run () =
+  let prog =
+    parse
+      "program t width 8; mem m[2]; var a; a = 1; m[0] = a; partition; m[1] = 7;"
+  in
+  let store = Memory.create ~name:"m" ~width:8 2 in
+  let memories _ = store in
+  let _ = Interp.run_partition ~memories prog 0 in
+  check_int "partition 0 wrote m[0]" 1 (Bitvec.to_int (Memory.read store 0));
+  check_int "partition 0 did not write m[1]" 0 (Bitvec.to_int (Memory.read store 1));
+  let _ = Interp.run_partition ~memories prog 1 in
+  check_int "partition 1 wrote m[1]" 7 (Bitvec.to_int (Memory.read store 1))
+
+let test_interp_assert () =
+  let _, stats, _ =
+    run_src
+      "program t width 8; var a; a = 3; assert (a == 3); assert (a > 5); assert (a < 9);"
+  in
+  check_int "one violation" 1 stats.Interp.asserts_failed
+
+let test_parse_assert () =
+  let p = parse "program t width 8; var a; assert (a == 0);" in
+  match p.Ast.body with
+  | [ Ast.Assert (Ast.Cmp (Ast.Eq, Ast.Var "a", Ast.Int 0)) ] -> ()
+  | _ -> Alcotest.fail "assert parse"
+
+let test_parse_mem_initializer () =
+  let p = parse "program t width 8; mem m[4] = { 1, -2, 3 };" in
+  (match p.Ast.mems with
+  | [ { Ast.mem_name = "m"; mem_size = 4; mem_init = [ 1; -2; 3 ] } ] -> ()
+  | _ -> Alcotest.fail "initializer parse");
+  let fails s = try ignore (parse s); false with Parser.Parse_error _ -> true in
+  check_bool "missing comma" true (fails "program t width 8; mem m[4] = { 1 2 };");
+  check_bool "empty initializer" true (fails "program t width 8; mem m[4] = { };")
+
+let test_check_mem_initializer_too_long () =
+  let p = parse "program t width 8; mem m[2] = { 1, 2, 3 };" in
+  check_bool "too many values" true (has_error p "initializer")
+
+let test_memory_env_applies_initializer () =
+  let prog = parse "program t width 8; mem m[4] = { 7, 8 };" in
+  let _, stores = Testinfra_shim.memory_env prog [] in
+  Alcotest.(check (list int)) "decl init applied" [ 7; 8; 0; 0 ]
+    (Memory.to_list (List.assoc "m" stores));
+  (* Caller-provided stimulus overrides the declaration. *)
+  let _, stores = Testinfra_shim.memory_env prog [ ("m", [ 1 ]) ] in
+  Alcotest.(check (list int)) "caller overrides" [ 1; 8; 0; 0 ]
+    (Memory.to_list (List.assoc "m" stores))
+
+let test_partitions_split () =
+  let prog = parse "program t width 8; var a; a = 1; partition; a = 2; partition; a = 3;" in
+  check_int "three partitions" 3 (List.length (Ast.partitions prog))
+
+(* Property: interpreter arithmetic equals two's-complement reference. *)
+let prop_interp_binops =
+  QCheck2.Test.make ~name:"interpreted binops match reference" ~count:200
+    QCheck2.Gen.(
+      triple (oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ]) (int_range (-100) 100)
+        (int_range (-100) 100))
+    (fun (op, a, b) ->
+      let src =
+        Printf.sprintf "program t width 16; var a; var b; var r; a = %d; b = %d; r = a %s b;"
+          a b op
+      in
+      let vars, _, _ = run_src src in
+      let expect =
+        let f =
+          match op with
+          | "+" -> ( + )
+          | "-" -> ( - )
+          | "*" -> ( * )
+          | "&" -> ( land )
+          | "|" -> ( lor )
+          | "^" -> ( lxor )
+          | _ -> assert false
+        in
+        let v = f a b land 0xFFFF in
+        if v land 0x8000 <> 0 then v - 0x10000 else v
+      in
+      var_value vars "r" = expect)
+
+(* Property: golden interpreter agrees with the independent FDCT
+   reference on random small images. *)
+let prop_fdct_golden_matches_reference =
+  QCheck2.Test.make ~name:"FDCT golden = independent reference" ~count:5
+    QCheck2.Gen.(int_range 1 1000)
+    (fun seed ->
+      let img = Workloads.Fdct.make_image ~width_px:8 ~height_px:8 ~seed in
+      let src = Workloads.Fdct.source ~width_px:8 ~height_px:8 () in
+      let _, _, stores = run_src ~inits:[ ("input", img) ] src in
+      Memory.to_list (List.assoc "output" stores)
+      = Workloads.Fdct.reference ~width_px:8 ~height_px:8 img)
+
+let test_hamming_golden_matches_reference () =
+  let codes = Workloads.Hamming.make_codewords ~n:50 ~seed:3 in
+  let src = Workloads.Hamming.source ~n:50 in
+  let _, _, stores = run_src ~inits:[ ("input", codes) ] src in
+  check_bool "decoded stream matches" true
+    (Memory.to_list (List.assoc "output" stores)
+    = Workloads.Hamming.expected_output codes)
+
+let test_hamming_roundtrip_all_single_errors () =
+  (* Every 4-bit value survives every single-bit corruption. *)
+  let ok = ref true in
+  for d = 0 to 15 do
+    let code = Workloads.Hamming.encode d in
+    if Workloads.Hamming.decode code <> d then ok := false;
+    for bit = 0 to 6 do
+      if Workloads.Hamming.decode (code lxor (1 lsl bit)) <> d then ok := false
+    done
+  done;
+  check_bool "all corrections succeed" true !ok
+
+let suite =
+  let qc = QCheck_alcotest.to_alcotest in
+  [
+    ("lexer tokens", `Quick, test_lexer_tokens);
+    ("lexer comments and lines", `Quick, test_lexer_comments_and_lines);
+    ("lexer hex", `Quick, test_lexer_hex);
+    ("parse minimal", `Quick, test_parse_minimal);
+    ("parse decls", `Quick, test_parse_decls);
+    ("parse precedence", `Quick, test_parse_precedence);
+    ("parse shift precedence", `Quick, test_parse_shift_precedence);
+    ("parse for desugars", `Quick, test_parse_for_desugars);
+    ("parse if-else chain", `Quick, test_parse_if_else_chain);
+    ("parse condition parens", `Quick, test_parse_cond_parens);
+    ("parse errors", `Quick, test_parse_errors);
+    ("parse error line", `Quick, test_parse_error_line);
+    ("source line count", `Quick, test_source_line_count);
+    ("check scoping", `Quick, test_check_scoping);
+    ("check partition nesting", `Quick, test_check_partition_nesting);
+    ("check memory in condition", `Quick, test_check_memory_in_condition);
+    ("check width bounds", `Quick, test_check_width_bounds);
+    ("check duplicates", `Quick, test_check_duplicates);
+    ("interp arithmetic wraps", `Quick, test_interp_arith);
+    ("interp signed shift", `Quick, test_interp_signed);
+    ("interp loop", `Quick, test_interp_loop);
+    ("interp memory", `Quick, test_interp_memory);
+    ("interp if/else", `Quick, test_interp_if_else);
+    ("interp division semantics", `Quick, test_interp_division_semantics);
+    ("interp runaway", `Quick, test_interp_runaway);
+    ("interp partition run", `Quick, test_interp_partition_run);
+    ("interp assert", `Quick, test_interp_assert);
+    ("parse assert", `Quick, test_parse_assert);
+    ("parse mem initializer", `Quick, test_parse_mem_initializer);
+    ("check mem initializer too long", `Quick, test_check_mem_initializer_too_long);
+    ("memory env applies initializer", `Quick, test_memory_env_applies_initializer);
+    ("partitions split", `Quick, test_partitions_split);
+    qc prop_interp_binops;
+    qc prop_fdct_golden_matches_reference;
+    ("hamming golden matches reference", `Quick, test_hamming_golden_matches_reference);
+    ("hamming corrects all single errors", `Quick, test_hamming_roundtrip_all_single_errors);
+  ]

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "fpgatest"
+    [
+      ("bitvec", Test_bitvec.suite);
+      ("xmlkit", Test_xmlkit.suite);
+      ("dotkit", Test_dotkit.suite);
+      ("sim", Test_sim.suite);
+      ("operators", Test_operators.suite);
+      ("netlist", Test_netlist.suite);
+      ("fsmkit", Test_fsmkit.suite);
+      ("rtg", Test_rtg.suite);
+      ("lang", Test_lang.suite);
+      ("compiler", Test_compiler.suite);
+      ("transform", Test_transform.suite);
+      ("cyclesim", Test_cyclesim.suite);
+      ("cosim", Test_cosim.suite);
+      ("vcd", Test_vcd.suite);
+      ("hdl", Test_hdl.suite);
+      ("testinfra", Test_testinfra.suite);
+      ("workloads", Test_workloads.suite);
+      ("integration", Test_integration.suite);
+    ]

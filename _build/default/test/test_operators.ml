@@ -1,0 +1,324 @@
+(* Tests for the operator library: memory storage, port specs, models. *)
+
+open Sim
+module Memory = Operators.Memory
+module Opspec = Operators.Opspec
+module Models = Operators.Models
+
+let bv ~width v = Bitvec.create ~width v
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- memory ---------------------------------------------------------- *)
+
+let test_memory_basics () =
+  let m = Memory.create ~name:"m" ~width:8 16 in
+  check_int "size" 16 (Memory.size m);
+  check_int "width" 8 (Memory.width m);
+  Memory.write m 3 (bv ~width:8 200);
+  check_int "read back" 200 (Bitvec.to_int (Memory.read m 3));
+  check_int "other cells zero" 0 (Bitvec.to_int (Memory.read m 4))
+
+let test_memory_out_of_range () =
+  let m = Memory.create ~width:8 4 in
+  check_int "oob read is 0" 0 (Bitvec.to_int (Memory.read m 9));
+  Memory.write m 100 (bv ~width:8 1);
+  check_int "two accesses counted" 2 (Memory.out_of_range_accesses m)
+
+let test_memory_load_diff () =
+  let a = Memory.of_list ~width:8 [ 1; 2; 3; 4 ] in
+  let b = Memory.copy a in
+  check_bool "copies equal" true (Memory.equal a b);
+  Memory.write b 2 (bv ~width:8 9);
+  (match Memory.diff a b with
+  | [ (2, 3, 9) ] -> ()
+  | _ -> Alcotest.fail "expected exactly one diff at address 2");
+  Memory.load a ~offset:1 [ 7; 8 ];
+  check_int "offset load" 7 (Bitvec.to_int (Memory.read a 1));
+  check_int "offset load 2" 8 (Bitvec.to_int (Memory.read a 2))
+
+let test_memory_clear () =
+  let m = Memory.of_list ~width:8 [ 5; 6 ] in
+  Memory.clear m;
+  check_bool "cleared" true (List.for_all (( = ) 0) (Memory.to_list m))
+
+let test_memory_width_mismatch () =
+  let m = Memory.create ~width:8 4 in
+  let raised =
+    try Memory.write m 0 (bv ~width:16 1); false
+    with Invalid_argument _ -> true
+  in
+  check_bool "width mismatch rejected" true raised
+
+(* --- specs ----------------------------------------------------------- *)
+
+let test_spec_binary () =
+  let spec = Opspec.lookup ~kind:"add" ~width:16 ~params:[] in
+  check_bool "not sequential" false spec.Opspec.sequential;
+  check_int "three ports" 3 (List.length spec.Opspec.ports);
+  let y = List.find (fun p -> p.Opspec.port_name = "y") spec.Opspec.ports in
+  check_int "y width" 16 y.Opspec.port_width
+
+let test_spec_comparison_output_is_bit () =
+  let spec = Opspec.lookup ~kind:"lts" ~width:16 ~params:[] in
+  let y = List.find (fun p -> p.Opspec.port_name = "y") spec.Opspec.ports in
+  check_int "y width 1" 1 y.Opspec.port_width
+
+let test_spec_mux () =
+  let spec = Opspec.lookup ~kind:"mux" ~width:8 ~params:[ ("inputs", "5") ] in
+  check_int "5 inputs + sel + y" 7 (List.length spec.Opspec.ports);
+  let sel = List.find (fun p -> p.Opspec.port_name = "sel") spec.Opspec.ports in
+  check_int "sel width for 5 inputs" 3 sel.Opspec.port_width
+
+let test_sel_width () =
+  check_int "2 inputs" 1 (Opspec.sel_width 2);
+  check_int "3 inputs" 2 (Opspec.sel_width 3);
+  check_int "4 inputs" 2 (Opspec.sel_width 4);
+  check_int "5 inputs" 3 (Opspec.sel_width 5);
+  check_int "degenerate" 1 (Opspec.sel_width 1)
+
+let test_spec_errors () =
+  let fails f = try ignore (f ()); false with Opspec.Spec_error _ -> true in
+  check_bool "unknown kind" true
+    (fails (fun () -> Opspec.lookup ~kind:"frobnicate" ~width:8 ~params:[]));
+  check_bool "const needs value" true
+    (fails (fun () -> Opspec.lookup ~kind:"const" ~width:8 ~params:[]));
+  check_bool "sram needs memory" true
+    (fails (fun () -> Opspec.lookup ~kind:"sram" ~width:8 ~params:[ ("addr-width", "4") ]));
+  check_bool "bad width" true
+    (fails (fun () -> Opspec.lookup ~kind:"add" ~width:0 ~params:[]));
+  check_bool "mux needs >= 2" true
+    (fails (fun () -> Opspec.lookup ~kind:"mux" ~width:8 ~params:[ ("inputs", "1") ]))
+
+let test_all_kinds_resolvable () =
+  List.iter
+    (fun kind ->
+      let params =
+        match kind with
+        | "const" | "check" -> [ ("value", "3") ]
+        | "zext" | "sext" -> [ ("from", "4") ]
+        | "sram" | "rom" -> [ ("memory", "m"); ("addr-width", "4") ]
+        | _ -> []
+      in
+      ignore (Opspec.lookup ~kind ~width:8 ~params))
+    Opspec.all_kinds;
+  check_bool "is_known" true (Opspec.is_known "add");
+  check_bool "not known" false (Opspec.is_known "nope")
+
+(* --- models ---------------------------------------------------------- *)
+
+(* Harness: instantiate one operator with fresh signals per port. *)
+let harness ?(width = 8) ?(params = []) kind =
+  let engine = Engine.create () in
+  let clock = Clock.create engine ~period:10 () in
+  let mem = Memory.create ~name:"m" ~width 16 in
+  let spec = Opspec.lookup ~kind ~width ~params in
+  let signals =
+    List.map
+      (fun (p : Opspec.port) ->
+        (p.Opspec.port_name, Engine.signal engine ~name:p.Opspec.port_name p.Opspec.port_width))
+      spec.Opspec.ports
+  in
+  let notes = ref [] in
+  let env =
+    {
+      Models.engine;
+      clock = Clock.signal clock;
+      find_memory = (fun _ -> mem);
+      find_signal = (fun n -> List.assoc n signals);
+      instance = "dut";
+      notify = (fun n -> notes := n :: !notes);
+    }
+  in
+  Models.instantiate env ~kind ~width ~params;
+  (engine, signals, mem, notes)
+
+let port signals name = List.assoc name signals
+
+let test_model_add () =
+  let engine, s, _, _ = harness "add" in
+  Engine.drive engine (port s "a") (bv ~width:8 30);
+  Engine.drive engine (port s "b") (bv ~width:8 12);
+  ignore (Engine.run ~max_time:100 engine);
+  check_int "sum" 42 (Engine.value_int (port s "y"))
+
+let test_model_comparison () =
+  let engine, s, _, _ = harness "lts" in
+  Engine.drive engine (port s "a") (bv ~width:8 0xFF) (* -1 *);
+  Engine.drive engine (port s "b") (bv ~width:8 1);
+  ignore (Engine.run ~max_time:100 engine);
+  check_int "-1 < 1 signed" 1 (Engine.value_int (port s "y"))
+
+let test_model_mux () =
+  let engine, s, _, _ = harness "mux" ~params:[ ("inputs", "3") ] in
+  Engine.drive engine (port s "in0") (bv ~width:8 10);
+  Engine.drive engine (port s "in1") (bv ~width:8 20);
+  Engine.drive engine (port s "in2") (bv ~width:8 30);
+  Engine.drive engine (port s "sel") (bv ~width:2 1);
+  ignore (Engine.run ~max_time:50 engine);
+  check_int "selects in1" 20 (Engine.value_int (port s "y"));
+  Engine.drive engine (port s "sel") (bv ~width:2 3);
+  ignore (Engine.run ~max_time:100 engine);
+  check_int "out-of-range sel clamps to last" 30 (Engine.value_int (port s "y"))
+
+let test_model_reg () =
+  let engine, s, _, _ = harness "reg" ~params:[ ("init", "5") ] in
+  check_int "init value" 5 (Engine.value_int (port s "q"));
+  Engine.drive engine (port s "d") (bv ~width:8 77);
+  ignore (Engine.run ~max_time:22 engine);
+  check_int "disabled: keeps value" 5 (Engine.value_int (port s "q"));
+  Engine.drive engine (port s "en") (bv ~width:1 1);
+  ignore (Engine.run ~max_time:42 engine);
+  check_int "enabled: captures" 77 (Engine.value_int (port s "q"))
+
+let test_model_counter () =
+  let engine, s, _, _ = harness "counter" ~params:[ ("step", "2") ] in
+  Engine.drive engine (port s "en") (bv ~width:1 1);
+  ignore (Engine.run ~max_time:52 engine) (* edges at 5,15,25,35,45 *);
+  check_int "counted 5 edges by 2" 10 (Engine.value_int (port s "q"));
+  Engine.drive engine (port s "load") (bv ~width:1 1);
+  Engine.drive engine (port s "d") (bv ~width:8 100);
+  ignore (Engine.run ~max_time:62 engine);
+  check_int "load wins over en" 100 (Engine.value_int (port s "q"))
+
+let test_model_sram () =
+  let engine, s, mem, _ = harness "sram" ~params:[ ("memory", "m"); ("addr-width", "4") ] in
+  Memory.write mem 3 (bv ~width:8 99);
+  Engine.drive engine (port s "addr") (bv ~width:4 3);
+  ignore (Engine.run ~max_time:4 engine);
+  check_int "async read" 99 (Engine.value_int (port s "dout"));
+  (* Write 55 to address 7 on the next edge. *)
+  Engine.drive engine (port s "addr") (bv ~width:4 7);
+  Engine.drive engine (port s "din") (bv ~width:8 55);
+  Engine.drive engine (port s "we") (bv ~width:1 1);
+  ignore (Engine.run ~max_time:12 engine);
+  check_int "stored" 55 (Bitvec.to_int (Memory.read mem 7));
+  check_int "dout refreshed after write" 55 (Engine.value_int (port s "dout"))
+
+let test_model_rom () =
+  let engine, s, mem, _ = harness "rom" ~params:[ ("memory", "m"); ("addr-width", "4") ] in
+  Memory.write mem 2 (bv ~width:8 123);
+  Engine.drive engine (port s "addr") (bv ~width:4 2);
+  ignore (Engine.run ~max_time:10 engine);
+  check_int "rom read" 123 (Engine.value_int (port s "dout"))
+
+let test_model_probe () =
+  let engine, s, _, notes = harness "probe" in
+  Engine.drive engine (port s "a") ~delay:3 (bv ~width:8 1);
+  Engine.drive engine (port s "a") ~delay:6 (bv ~width:8 2);
+  ignore (Engine.run ~max_time:20 engine);
+  let samples =
+    List.filter
+      (function Models.Probe_sample _ -> true | Models.Check_failed _ -> false)
+      !notes
+  in
+  check_int "two samples" 2 (List.length samples)
+
+let test_model_check () =
+  let engine, s, _, notes = harness "check" ~params:[ ("value", "7") ] in
+  Engine.drive engine (port s "a") (bv ~width:8 7);
+  Engine.drive engine (port s "en") (bv ~width:1 1);
+  ignore (Engine.run ~max_time:10 engine);
+  check_int "no failure on match" 0 (List.length !notes);
+  Engine.drive engine (port s "a") (bv ~width:8 8);
+  ignore (Engine.run ~max_time:20 engine);
+  check_int "failure recorded" 1 (List.length !notes)
+
+let test_model_check_stop_action () =
+  let engine, s, _, _ =
+    harness "check" ~params:[ ("value", "7"); ("action", "stop") ]
+  in
+  Engine.drive engine (port s "a") (bv ~width:8 9);
+  Engine.drive engine (port s "en") (bv ~width:1 1);
+  match Engine.run ~max_time:20 engine with
+  | Engine.Stop_requested _ -> ()
+  | _ -> Alcotest.fail "expected a stop"
+
+let test_model_stop () =
+  let engine, s, _, _ = harness "stop" ~params:[ ("reason", "end of test") ] in
+  Engine.drive engine (port s "en") ~delay:8 (bv ~width:1 1);
+  match Engine.run ~max_time:50 engine with
+  | Engine.Stop_requested r -> Alcotest.(check string) "reason" "end of test" r
+  | _ -> Alcotest.fail "expected a stop"
+
+let test_model_minmax_abs () =
+  let run kind a_v b_v =
+    let engine, s, _, _ = harness kind in
+    Engine.drive engine (port s "a") (bv ~width:8 a_v);
+    (match List.assoc_opt "b" s with
+    | Some b -> Engine.drive engine b (bv ~width:8 b_v)
+    | None -> ());
+    ignore (Engine.run ~max_time:50 engine);
+    Engine.value_int (port s "y")
+  in
+  check_int "minu" 3 (run "minu" 3 200);
+  check_int "maxu" 200 (run "maxu" 3 200);
+  (* 0xFF = -1 signed: mins picks it, minu does not. *)
+  check_int "mins picks negative" 0xFF (run "mins" 0xFF 1);
+  check_int "maxs picks positive" 1 (run "maxs" 0xFF 1);
+  check_int "abs of -7" 7 (run "abs" 0xF9 0);
+  check_int "abs of 7" 7 (run "abs" 7 0)
+
+let test_model_zext_sext () =
+  let engine, s, _, _ = harness "sext" ~width:8 ~params:[ ("from", "4") ] in
+  Engine.drive engine (port s "a") (bv ~width:4 0b1010);
+  ignore (Engine.run ~max_time:10 engine);
+  check_int "sign extended" 0xFA (Engine.value_int (port s "y"))
+
+(* Property: every ALU model computes the same function as Bitvec. *)
+let prop_alu_models_match_bitvec =
+  QCheck2.Test.make ~name:"ALU models match Bitvec" ~count:100
+    QCheck2.Gen.(
+      triple
+        (oneofl [ "add"; "sub"; "mul"; "and"; "or"; "xor"; "divu"; "remu" ])
+        (int_range 0 255) (int_range 0 255))
+    (fun (kind, a, b) ->
+      let engine, s, _, _ = harness kind in
+      Engine.drive engine (port s "a") (bv ~width:8 a);
+      Engine.drive engine (port s "b") (bv ~width:8 b);
+      ignore (Engine.run ~max_time:50 engine);
+      let expected =
+        let f =
+          match kind with
+          | "add" -> Bitvec.add
+          | "sub" -> Bitvec.sub
+          | "mul" -> Bitvec.mul
+          | "and" -> Bitvec.logand
+          | "or" -> Bitvec.logor
+          | "xor" -> Bitvec.logxor
+          | "divu" -> Bitvec.udiv
+          | "remu" -> Bitvec.urem
+          | _ -> assert false
+        in
+        f (bv ~width:8 a) (bv ~width:8 b)
+      in
+      Engine.value_int (port s "y") = Bitvec.to_int expected)
+
+let suite =
+  [
+    ("memory basics", `Quick, test_memory_basics);
+    ("memory out of range", `Quick, test_memory_out_of_range);
+    ("memory load/diff", `Quick, test_memory_load_diff);
+    ("memory clear", `Quick, test_memory_clear);
+    ("memory width mismatch", `Quick, test_memory_width_mismatch);
+    ("spec binary", `Quick, test_spec_binary);
+    ("spec comparison bit output", `Quick, test_spec_comparison_output_is_bit);
+    ("spec mux", `Quick, test_spec_mux);
+    ("sel width", `Quick, test_sel_width);
+    ("spec errors", `Quick, test_spec_errors);
+    ("all kinds resolvable", `Quick, test_all_kinds_resolvable);
+    ("model add", `Quick, test_model_add);
+    ("model signed compare", `Quick, test_model_comparison);
+    ("model mux", `Quick, test_model_mux);
+    ("model reg", `Quick, test_model_reg);
+    ("model counter", `Quick, test_model_counter);
+    ("model sram", `Quick, test_model_sram);
+    ("model rom", `Quick, test_model_rom);
+    ("model probe", `Quick, test_model_probe);
+    ("model check", `Quick, test_model_check);
+    ("model check stop action", `Quick, test_model_check_stop_action);
+    ("model stop", `Quick, test_model_stop);
+    ("model min/max/abs", `Quick, test_model_minmax_abs);
+    ("model sext", `Quick, test_model_zext_sext);
+    QCheck_alcotest.to_alcotest prop_alu_models_match_bitvec;
+  ]

@@ -1,0 +1,106 @@
+(* Tests for the VCD waveform writer. *)
+
+open Sim
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let dump_to_string f =
+  let path = Filename.temp_file "wave" ".vcd" in
+  f path;
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  s
+
+let test_header_and_vars () =
+  let text =
+    dump_to_string (fun path ->
+        let engine = Engine.create () in
+        let a = Engine.signal engine ~name:"bus a" 8 in
+        let b = Engine.signal engine ~name:"b" 1 in
+        let vcd = Vcd.create_file ~scope:"dut" path engine [ ("bus a", a); ("b", b) ] in
+        ignore (Engine.run engine);
+        Vcd.close vcd)
+  in
+  check_bool "timescale" true (contains "$timescale 1ns $end" text);
+  check_bool "scope" true (contains "$scope module dut $end" text);
+  check_bool "var widths" true (contains "$var wire 8 ! bus_a $end" text);
+  check_bool "scalar var" true (contains "$var wire 1 \" b $end" text);
+  check_bool "initial dump" true (contains "$dumpvars" text)
+
+let test_changes_recorded () =
+  let engine = Engine.create () in
+  let a = Engine.signal engine ~name:"a" 8 in
+  let text =
+    dump_to_string (fun path ->
+        let vcd = Vcd.create_file path engine [ ("a", a) ] in
+        Engine.drive engine a ~delay:5 (Bitvec.create ~width:8 0xA5);
+        Engine.drive engine a ~delay:9 (Bitvec.create ~width:8 0x01);
+        ignore (Engine.run engine);
+        check_int "two changes" 2 (Vcd.changes_written vcd);
+        Vcd.close vcd)
+  in
+  check_bool "time 5" true (contains "#5" text);
+  check_bool "value a5" true (contains "b10100101 !" text);
+  check_bool "time 9" true (contains "#9" text)
+
+let test_scalar_format () =
+  let engine = Engine.create () in
+  let b = Engine.signal engine ~name:"b" 1 in
+  let text =
+    dump_to_string (fun path ->
+        let vcd = Vcd.create_file path engine [ ("b", b) ] in
+        Engine.drive engine b ~delay:3 (Bitvec.one 1);
+        ignore (Engine.run engine);
+        Vcd.close vcd)
+  in
+  check_bool "scalar change format" true (contains "\n1!" text)
+
+let test_close_idempotent_and_silent () =
+  let engine = Engine.create () in
+  let a = Engine.signal engine ~name:"a" 4 in
+  let text =
+    dump_to_string (fun path ->
+        let vcd = Vcd.create_file path engine [ ("a", a) ] in
+        Vcd.close vcd;
+        Vcd.close vcd;
+        (* Changes after close must not be written. *)
+        Engine.drive engine a ~delay:2 (Bitvec.create ~width:4 7);
+        ignore (Engine.run engine))
+  in
+  check_bool "no post-close changes" false (contains "#2" text)
+
+let test_many_signals_distinct_codes () =
+  let engine = Engine.create () in
+  let signals =
+    List.init 100 (fun i ->
+        (Printf.sprintf "s%d" i, Engine.signal engine ~name:(Printf.sprintf "s%d" i) 4))
+  in
+  let text =
+    dump_to_string (fun path ->
+        let vcd = Vcd.create_file path engine signals in
+        ignore (Engine.run engine);
+        Vcd.close vcd)
+  in
+  (* 100 distinct $var lines. *)
+  let count =
+    List.length
+      (List.filter (fun l -> contains "$var wire" l) (String.split_on_char '\n' text))
+  in
+  check_int "one var per signal" 100 count
+
+let suite =
+  [
+    ("header and vars", `Quick, test_header_and_vars);
+    ("changes recorded", `Quick, test_changes_recorded);
+    ("scalar format", `Quick, test_scalar_format);
+    ("close idempotent and silent", `Quick, test_close_idempotent_and_silent);
+    ("many signals distinct codes", `Quick, test_many_signals_distinct_codes);
+  ]

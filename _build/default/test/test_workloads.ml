@@ -1,0 +1,115 @@
+(* Tests for the workload generators and their independent references. *)
+
+module Ast = Lang.Ast
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parses_and_checks src =
+  let prog = Lang.Parser.parse_string src in
+  Lang.Check.check prog = []
+
+let test_fdct_sources_wellformed () =
+  List.iter
+    (fun (w, h, p) ->
+      check_bool
+        (Printf.sprintf "fdct %dx%d partitioned=%b" w h p)
+        true
+        (parses_and_checks (Workloads.Fdct.source ~partitioned:p ~width_px:w ~height_px:h ())))
+    [ (8, 8, false); (8, 8, true); (64, 64, false); (64, 64, true); (16, 32, true) ]
+
+let test_fdct_bad_dimensions () =
+  let fails w h =
+    try ignore (Workloads.Fdct.source ~width_px:w ~height_px:h ()); false
+    with Invalid_argument _ -> true
+  in
+  check_bool "non-multiple of 8" true (fails 12 8);
+  check_bool "zero" true (fails 0 8)
+
+let test_fdct_partition_structure () =
+  let prog =
+    Lang.Parser.parse_string
+      (Workloads.Fdct.source ~partitioned:true ~width_px:8 ~height_px:8 ())
+  in
+  check_int "two partitions" 2 (List.length (Ast.partitions prog));
+  check_int "three memories" 3 (List.length prog.Ast.mems)
+
+let test_make_image_deterministic () =
+  let a = Workloads.Fdct.make_image ~width_px:16 ~height_px:16 ~seed:5 in
+  let b = Workloads.Fdct.make_image ~width_px:16 ~height_px:16 ~seed:5 in
+  let c = Workloads.Fdct.make_image ~width_px:16 ~height_px:16 ~seed:6 in
+  check_bool "same seed same image" true (a = b);
+  check_bool "different seed different image" false (a = c);
+  check_bool "pixels are bytes" true (List.for_all (fun v -> v >= 0 && v < 256) a);
+  check_int "size" 256 (List.length a)
+
+let test_hamming_source_wellformed () =
+  check_bool "hamming parses" true (parses_and_checks (Workloads.Hamming.source ~n:16))
+
+let test_hamming_codeword_stream () =
+  let codes = Workloads.Hamming.make_codewords ~n:30 ~seed:4 in
+  check_int "length" 30 (List.length codes);
+  check_bool "7-bit codewords" true (List.for_all (fun c -> c >= 0 && c < 128) codes);
+  (* Every codeword must decode (single-bit corruption at most). *)
+  let decoded = Workloads.Hamming.expected_output codes in
+  check_bool "decodes to nibbles" true (List.for_all (fun d -> d >= 0 && d < 16) decoded)
+
+let test_kernels_wellformed () =
+  List.iter
+    (fun (name, src) -> check_bool name true (parses_and_checks src))
+    [
+      ("vecadd", Workloads.Kernels.vecadd_source ~n:4);
+      ("sum", Workloads.Kernels.sum_source ~n:4);
+      ("gcd", Workloads.Kernels.gcd_source ());
+      ("sort", Workloads.Kernels.sort_source ~n:6);
+      ("edges", Workloads.Kernels.edge_detect_source ~width_px:8 ~height_px:4 ~threshold:10);
+    ]
+
+let test_kernel_references () =
+  Alcotest.(check (list int)) "vecadd" [ 11; 22 ]
+    (Workloads.Kernels.vecadd_reference [ 1; 2 ] [ 10; 20 ]);
+  check_int "sum" 6 (Workloads.Kernels.sum_reference [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "gcd" [ 6; 7 ]
+    (Workloads.Kernels.gcd_reference [ 12; 18; 7; 49 ]);
+  Alcotest.(check (list int)) "sort" [ 1; 2; 3 ]
+    (Workloads.Kernels.sort_reference [ 3; 1; 2 ])
+
+let prop_gcd_reference_is_gcd =
+  QCheck2.Test.make ~name:"gcd reference matches Euclid" ~count:100
+    QCheck2.Gen.(pair (int_range 1 500) (int_range 1 500))
+    (fun (a, b) ->
+      let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+      Workloads.Kernels.gcd_reference [ a; b ] = [ gcd a b ])
+
+let prop_sort_reference_sorted =
+  QCheck2.Test.make ~name:"sort reference is sorted permutation" ~count:100
+    QCheck2.Gen.(list_size (int_range 0 20) (int_range 0 1000))
+    (fun l ->
+      let s = Workloads.Kernels.sort_reference l in
+      List.sort compare l = s)
+
+let prop_fdct_reference_linear_in_dc =
+  (* Adding a constant to all pixels shifts only DC-related coefficients;
+     at minimum the reference must stay deterministic and total. *)
+  QCheck2.Test.make ~name:"fdct reference total and deterministic" ~count:20
+    QCheck2.Gen.(int_range 0 255)
+    (fun seed ->
+      let img = Workloads.Fdct.make_image ~width_px:8 ~height_px:8 ~seed in
+      Workloads.Fdct.reference ~width_px:8 ~height_px:8 img
+      = Workloads.Fdct.reference ~width_px:8 ~height_px:8 img)
+
+let suite =
+  let qc = QCheck_alcotest.to_alcotest in
+  [
+    ("fdct sources well-formed", `Quick, test_fdct_sources_wellformed);
+    ("fdct bad dimensions", `Quick, test_fdct_bad_dimensions);
+    ("fdct partition structure", `Quick, test_fdct_partition_structure);
+    ("make_image deterministic", `Quick, test_make_image_deterministic);
+    ("hamming source well-formed", `Quick, test_hamming_source_wellformed);
+    ("hamming codeword stream", `Quick, test_hamming_codeword_stream);
+    ("kernels well-formed", `Quick, test_kernels_wellformed);
+    ("kernel references", `Quick, test_kernel_references);
+    qc prop_gcd_reference_is_gcd;
+    qc prop_sort_reference_sorted;
+    qc prop_fdct_reference_linear_in_dc;
+  ]

@@ -1,0 +1,187 @@
+(* Tests for the XML subset: tree building, printing, parsing, queries. *)
+
+open Xmlkit
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let parse = Xml_parser.parse_string
+
+let sample =
+  Xml.element "datapath"
+    ~attrs:[ ("name", "fdct"); ("width", "16") ]
+    ~children:
+      [
+        Xml.element "operator" ~attrs:[ ("id", "add1"); ("type", "add") ];
+        Xml.element "net"
+          ~attrs:[ ("from", "add1.y"); ("to", "reg1.d") ];
+        Xml.element "note" ~children:[ Xml.text "a < b & c" ];
+      ]
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_print_contains () =
+  let s = Xml.to_string sample in
+  check_bool "operator line" true
+    (contains ~needle:"<operator id=\"add1\" type=\"add\"/>" s);
+  check_bool "escapes text" true
+    (contains ~needle:"a &lt; b &amp; c" s);
+  check_bool "closes root" true (contains ~needle:"</datapath>" s)
+
+let test_escape () =
+  check_str "all five entities" "&lt;&gt;&amp;&quot;&apos;" (Xml.escape "<>&\"'")
+
+let test_parse_roundtrip () =
+  let reparsed = parse (Xml.to_string sample) in
+  check_bool "tree equal after round-trip" true (reparsed = sample)
+
+let test_parse_declaration_and_comments () =
+  let doc =
+    {|<?xml version="1.0"?>
+      <!-- top comment -->
+      <root a="1">
+        <!-- inner comment -->
+        <child/>
+      </root>|}
+  in
+  match parse doc with
+  | Xml.Element e ->
+      check_str "tag" "root" e.Xml.tag;
+      check_int "children" 1 (List.length e.Xml.children)
+  | Xml.Text _ -> Alcotest.fail "expected element"
+
+let test_parse_entities () =
+  match parse "<t v=\"a&amp;b\">x &lt; y &#65;</t>" with
+  | Xml.Element e ->
+      check_str "attr decoded" "a&b" (Xml_query.attr e "v");
+      check_str "text decoded" "x < y A" (Xml_query.text_content e)
+  | Xml.Text _ -> Alcotest.fail "expected element"
+
+let test_parse_single_quotes () =
+  match parse "<t v='hi'/>" with
+  | Xml.Element e -> check_str "single-quoted attr" "hi" (Xml_query.attr e "v")
+  | Xml.Text _ -> Alcotest.fail "expected element"
+
+let test_parse_errors () =
+  let fails doc =
+    try ignore (parse doc); false with Xml_parser.Parse_error _ -> true
+  in
+  check_bool "unclosed tag" true (fails "<a><b></a>");
+  check_bool "garbage" true (fails "hello");
+  check_bool "trailing content" true (fails "<a/><b/>");
+  check_bool "unterminated comment" true (fails "<a><!-- foo</a>");
+  check_bool "bad entity" true (fails "<a>&nosuch;</a>");
+  check_bool "missing quote" true (fails "<a v=3/>")
+
+let test_parse_error_position () =
+  try
+    ignore (parse "<a>\n<b></c>\n</a>");
+    Alcotest.fail "expected parse error"
+  with Xml_parser.Parse_error { line; _ } ->
+    check_int "error on line 2" 2 line;
+    check_bool "message rendered" true
+      (Option.is_some (Xml_parser.error_to_string
+           (Xml_parser.Parse_error { line = 2; col = 1; message = "x" })))
+
+let test_query_children () =
+  let e = Xml_query.as_element sample in
+  check_int "operators" 1 (List.length (Xml_query.children e "operator"));
+  check_int "nets" 1 (List.length (Xml_query.children e "net"));
+  check_int "absent" 0 (List.length (Xml_query.children e "nothing"))
+
+let test_query_attrs () =
+  let e = Xml_query.as_element sample in
+  check_str "attr" "fdct" (Xml_query.attr e "name");
+  check_int "attr_int" 16 (Xml_query.attr_int e "width");
+  check_int "attr_int_default" 7 (Xml_query.attr_int_default e "missing" 7);
+  check_bool "attr_opt none" true (Xml_query.attr_opt e "missing" = None);
+  let fails f = try ignore (f ()); false with Xml_query.Schema_error _ -> true in
+  check_bool "missing attr raises" true (fails (fun () -> Xml_query.attr e "missing"));
+  check_bool "non-int raises" true (fails (fun () -> Xml_query.attr_int e "name"))
+
+let test_query_bool () =
+  let e = Xml_query.as_element (parse "<t a=\"true\" b=\"0\" c=\"nope\"/>") in
+  check_bool "true" true (Xml_query.attr_bool_default e "a" false);
+  check_bool "0 is false" false (Xml_query.attr_bool_default e "b" true);
+  check_bool "default" true (Xml_query.attr_bool_default e "missing" true);
+  let raised =
+    try ignore (Xml_query.attr_bool_default e "c" false); false
+    with Xml_query.Schema_error _ -> true
+  in
+  check_bool "bad bool raises" true raised
+
+let test_query_child () =
+  let e = Xml_query.as_element sample in
+  check_str "child found" "operator" (Xml_query.child e "operator").Xml.tag;
+  let fails f = try ignore (f ()); false with Xml_query.Schema_error _ -> true in
+  check_bool "missing child raises" true (fails (fun () -> Xml_query.child e "zz"));
+  let dup = Xml_query.as_element (parse "<r><x/><x/></r>") in
+  check_bool "ambiguous child raises" true (fails (fun () -> Xml_query.child dup "x"))
+
+let test_line_count () =
+  (* declaration + 5 body lines (root open, 3 children, root close) *)
+  let n = Xml.line_count sample in
+  check_int "line count" 6 n
+
+let test_save_and_parse_file () =
+  let path = Filename.temp_file "xmlkit" ".xml" in
+  Xml.save path sample;
+  let reparsed = Xml_parser.parse_file path in
+  Sys.remove path;
+  check_bool "file round-trip" true (reparsed = sample)
+
+(* Generator for random XML trees made of safe names and text. *)
+let gen_tree =
+  let open QCheck2.Gen in
+  let name = oneofl [ "a"; "b"; "state"; "op"; "net"; "x-y"; "n_1" ] in
+  let attrs =
+    (* Attribute names must be distinct within an element. *)
+    oneofl
+      [ []; [ ("k", "v") ]; [ ("a", "1"); ("b", "<&>") ]; [ ("id", "x y'z") ] ]
+  in
+  sized @@ fix (fun self n ->
+      if n = 0 then
+        map2 (fun tag attrs -> Xml.element tag ~attrs) name attrs
+      else
+        map3
+          (fun tag attrs children -> Xml.element tag ~attrs ~children)
+          name attrs
+          (list_size (int_range 0 4) (self (n / 4))))
+
+let prop_print_parse_roundtrip =
+  QCheck2.Test.make ~name:"print/parse round-trip" ~count:200 gen_tree
+    (fun tree -> parse (Xml.to_string tree) = tree)
+
+let prop_text_roundtrip =
+  QCheck2.Test.make ~name:"text content survives escaping" ~count:200
+    QCheck2.Gen.(oneofl [ "plain"; "a<b"; "x&y"; "q\"w'e"; "mix <&> all" ])
+    (fun txt ->
+      let doc = Xml.element "t" ~children:[ Xml.text txt ] in
+      match parse (Xml.to_string doc) with
+      | Xml.Element e -> Xml_query.text_content e = txt
+      | Xml.Text _ -> false)
+
+let suite =
+  let qc = QCheck_alcotest.to_alcotest in
+  [
+    ("print contains expected lines", `Quick, test_print_contains);
+    ("escape", `Quick, test_escape);
+    ("parse round-trip", `Quick, test_parse_roundtrip);
+    ("declaration and comments", `Quick, test_parse_declaration_and_comments);
+    ("entities", `Quick, test_parse_entities);
+    ("single-quoted attrs", `Quick, test_parse_single_quotes);
+    ("parse errors", `Quick, test_parse_errors);
+    ("parse error position", `Quick, test_parse_error_position);
+    ("query children", `Quick, test_query_children);
+    ("query attrs", `Quick, test_query_attrs);
+    ("query bools", `Quick, test_query_bool);
+    ("query child", `Quick, test_query_child);
+    ("line count", `Quick, test_line_count);
+    ("file round-trip", `Quick, test_save_and_parse_file);
+    qc prop_print_parse_roundtrip;
+    qc prop_text_roundtrip;
+  ]
