@@ -1,0 +1,102 @@
+(* Mutation-campaign driver: inject seeded faults into a compiled
+   workload and report which ones the verification flow kills. *)
+
+open Cmdliner
+
+let list_workloads () =
+  List.iter
+    (fun (c : Testinfra.Suite.case) -> print_endline c.Testinfra.Suite.case_name)
+    (Testinfra.Faultcamp.default_workloads ())
+
+let run_campaign workload faults seed factor verbose =
+  match Testinfra.Faultcamp.find_workload workload with
+  | None ->
+      Printf.eprintf
+        "error: unknown workload %S (try --list for the catalogue)\n" workload;
+      exit 1
+  | Some case ->
+      let campaign =
+        Testinfra.Faultcamp.run ~seed ~faults ~max_cycles_factor:factor case
+      in
+      Printf.printf "=== mutation campaign: %s (seed=%d) ===\n"
+        campaign.Testinfra.Faultcamp.workload
+        campaign.Testinfra.Faultcamp.seed;
+      Printf.printf "clean run: PASS in %d cycles (hw oob baseline %d)\n"
+        campaign.Testinfra.Faultcamp.clean_cycles
+        campaign.Testinfra.Faultcamp.clean_oob;
+      Printf.printf "faults: %d planned of %d requested\n\n"
+        (List.length campaign.Testinfra.Faultcamp.mutants)
+        campaign.Testinfra.Faultcamp.requested;
+      if verbose then begin
+        List.iter
+          (fun (m : Testinfra.Faultcamp.mutant) ->
+            Printf.printf "%-40s %s (%d cycles)\n"
+              (Faults.Fault.describe m.Testinfra.Faultcamp.fault)
+              (Testinfra.Faultcamp.outcome_to_string
+                 m.Testinfra.Faultcamp.outcome)
+              m.Testinfra.Faultcamp.mutant_cycles)
+          campaign.Testinfra.Faultcamp.mutants;
+        print_newline ()
+      end;
+      print_string (Testinfra.Metrics.campaign_table campaign);
+      let survivors = Testinfra.Faultcamp.survivors campaign in
+      if survivors <> [] then begin
+        Printf.printf "\nsurviving mutants (%d):\n" (List.length survivors);
+        List.iter
+          (fun (m : Testinfra.Faultcamp.mutant) ->
+            Printf.printf "  %s\n"
+              (Faults.Fault.describe m.Testinfra.Faultcamp.fault))
+          survivors
+      end;
+      Printf.printf "\nkill rate: %.1f%%\n"
+        (100. *. campaign.Testinfra.Faultcamp.kill_rate)
+
+let run workload faults seed factor verbose list =
+  try
+    if list then list_workloads ()
+    else run_campaign workload faults seed factor verbose
+  with
+  | Failure msg | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | Lang.Check.Invalid errs | Compiler.Compile.Error errs ->
+      List.iter (Printf.eprintf "error: %s\n") errs;
+      exit 1
+
+let workload_arg =
+  Arg.(value & opt string "gcd8"
+       & info [ "w"; "workload" ] ~docv:"NAME"
+           ~doc:"Workload to mutate (see --list).")
+
+let faults_arg =
+  Arg.(value & opt int 25
+       & info [ "n"; "faults" ] ~docv:"N" ~doc:"Number of faults to plan.")
+
+let seed_arg =
+  Arg.(value & opt int 1
+       & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Campaign seed; the same seed reproduces the identical \
+                 plan and outcomes.")
+
+let factor_arg =
+  Arg.(value & opt int 4
+       & info [ "max-cycles-factor" ] ~docv:"K"
+           ~doc:"Mutant cycle budget as a multiple of the clean run.")
+
+let verbose_arg =
+  Arg.(value & flag
+       & info [ "v"; "verbose" ] ~doc:"Print every mutant's outcome.")
+
+let list_arg =
+  Arg.(value & flag & info [ "list" ] ~doc:"List known workloads and exit.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "faultcamp"
+       ~doc:"Run a seeded fault-injection campaign against a workload and \
+             report the verifier's kill rate per fault class.")
+    Term.(
+      const run $ workload_arg $ faults_arg $ seed_arg $ factor_arg
+      $ verbose_arg $ list_arg)
+
+let () = exit (Cmd.eval cmd)

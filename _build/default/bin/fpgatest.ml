@@ -43,6 +43,12 @@ let handle_errors f =
   | Lang.Parser.Parse_error { line; message } ->
       Printf.eprintf "parse error at line %d: %s\n" line message;
       exit 1
+  | Testinfra.Memfile.Format_error { line; message } ->
+      Printf.eprintf "memory file error at line %d: %s\n" line message;
+      exit 1
+  | Lang.Interp.Runaway message ->
+      Printf.eprintf "error: %s\n" message;
+      exit 1
   | Lang.Lexer.Lex_error { line; message } ->
       Printf.eprintf "lexical error at line %d: %s\n" line message;
       exit 1

@@ -57,6 +57,19 @@ val sub : t -> t -> t
 val mul : t -> t -> t
 val neg : t -> t
 
+(** {2 Division convention}
+
+    Division never traps. The edge cases follow the RISC-V M-extension
+    model, and every layer of the infrastructure — the golden-model
+    interpreter, the event-driven simulator's operator models and the
+    cycle-based simulator — funnels through these four functions, so the
+    software and hardware sides agree by construction:
+
+    - [x / 0] yields all-ones (unsigned max, signed [-1]);
+    - [x mod 0] yields the dividend [x];
+    - signed overflow ([min_int / -1] at the vector's width) wraps back
+      to [min_int] (the dividend), and [min_int mod -1] yields [0]. *)
+
 val udiv : t -> t -> t
 (** Unsigned division. Division by zero yields all-ones (common HW model). *)
 

@@ -1,0 +1,1 @@
+lib/core/faultcamp.ml: Compiler Faults Lang List Operators Printf Simulate Suite Verify Workloads

@@ -1,0 +1,1 @@
+lib/core/faultcamp.mli: Faults Suite

@@ -1,1 +1,1 @@
-lib/core/metrics.ml: Compiler Fsmkit Lang List Netlist Printf Simulate String Transform Verify Xmlkit
+lib/core/metrics.ml: Compiler Faultcamp Fsmkit Lang List Netlist Printf Simulate String Transform Verify Xmlkit

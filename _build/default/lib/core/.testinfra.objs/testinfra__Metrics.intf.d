@@ -1,1 +1,1 @@
-lib/core/metrics.mli: Verify
+lib/core/metrics.mli: Faultcamp Verify

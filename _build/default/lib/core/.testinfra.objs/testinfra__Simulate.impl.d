@@ -1,1 +1,1 @@
-lib/core/simulate.ml: Clock Compiler Engine Fsmkit List Netlist Operators Printf Rtg Sim Sys Transform Vcd
+lib/core/simulate.ml: Bitvec Clock Compiler Engine Fsmkit Fun List Netlist Operators Printf Rtg Sim String Sys Transform Vcd

@@ -1,1 +1,1 @@
-lib/core/simulate.mli: Compiler Fsmkit Netlist Operators Rtg Sim
+lib/core/simulate.mli: Bitvec Compiler Fsmkit Netlist Operators Rtg Sim

@@ -1,0 +1,226 @@
+module Compile = Compiler.Compile
+module Memory = Operators.Memory
+module Fault = Faults.Fault
+
+type outcome = Killed of string | Survived | Timeout
+
+type mutant = {
+  fault : Fault.t;
+  outcome : outcome;
+  mutant_cycles : int;
+}
+
+type class_stats = {
+  cls : string;
+  injected : int;
+  killed : int;
+  survived : int;
+  timed_out : int;
+}
+
+type t = {
+  workload : string;
+  seed : int;
+  requested : int;
+  clean_passed : bool;
+  clean_cycles : int;
+  clean_oob : int;
+  mutants : mutant list;
+  by_class : class_stats list;
+  kill_rate : float;
+}
+
+let default_workloads () =
+  Suite.builtin_cases ()
+  @ [
+      (* The acceptance workload: gcd over 8 pairs at width 8's regression
+         size, under its canonical name. *)
+      {
+        Suite.case_name = "gcd8";
+        source = Workloads.Kernels.gcd_source ();
+        inits =
+          [
+            ( "input",
+              [ 12; 18; 7; 7; 100; 75; 9; 28; 14; 21; 5; 40; 33; 11; 64; 48 ]
+            );
+          ];
+      };
+      {
+        Suite.case_name = "divmod";
+        source = Workloads.Kernels.divmod_source ~pairs:8;
+        inits =
+          [
+            (* Ordinary pairs plus the convention's edge cases: division
+               by zero and signed overflow (-128 / -1 as 8-bit words). *)
+            ( "input",
+              [ 100; 7; 250; 3; 42; 0; 0; 0; 128; 255; 255; 255; 17; 251; 128; 5 ]
+            );
+          ];
+      };
+    ]
+
+let find_workload name =
+  List.find_opt
+    (fun (c : Suite.case) -> c.Suite.case_name = name)
+    (default_workloads ())
+
+let count_check_failures (run : Simulate.rtg_run) =
+  List.fold_left
+    (fun acc (r : Simulate.config_run) ->
+      acc
+      + List.length
+          (List.filter
+             (function
+               | Operators.Models.Check_failed _ -> true
+               | Operators.Models.Probe_sample _ -> false)
+             r.Simulate.notifications))
+    0 run.Simulate.runs
+
+let total_oob stores =
+  List.fold_left
+    (fun acc (_, store) -> acc + Memory.out_of_range_accesses store)
+    0 stores
+
+(* The verifier's kill criteria, in the order they are reported: final
+   memory contents diverge from the golden model, assertion checks fire a
+   different number of times, or the out-of-range access count departs
+   from the clean hardware run's. *)
+let judge ~golden_stores ~golden_asserts ~clean_hw_oob hw_stores
+    (run : Simulate.rtg_run) =
+  if not run.Simulate.all_completed then Timeout
+  else
+    let mem_kill =
+      List.fold_left2
+        (fun acc (name, g) (_, h) ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              let diffs = Memory.diff g h in
+              if diffs = [] then None
+              else
+                Some
+                  (Printf.sprintf "memory %s: %d mismatches" name
+                     (List.length diffs)))
+        None golden_stores hw_stores
+    in
+    match mem_kill with
+    | Some reason -> Killed reason
+    | None ->
+        let checks = count_check_failures run in
+        if checks <> golden_asserts then
+          Killed
+            (Printf.sprintf "assertion divergence: %d software, %d hardware"
+               golden_asserts checks)
+        else
+          let oob = total_oob hw_stores in
+          if oob <> clean_hw_oob then
+            Killed
+              (Printf.sprintf "oob divergence: clean=%d mutant=%d" clean_hw_oob
+                 oob)
+          else Survived
+
+let class_breakdown mutants =
+  List.map
+    (fun cls ->
+      let mine =
+        List.filter (fun m -> Fault.fault_class m.fault = cls) mutants
+      in
+      let count p = List.length (List.filter p mine) in
+      {
+        cls;
+        injected = List.length mine;
+        killed = count (fun m -> match m.outcome with Killed _ -> true | _ -> false);
+        survived = count (fun m -> m.outcome = Survived);
+        timed_out = count (fun m -> m.outcome = Timeout);
+      })
+    Fault.all_classes
+
+let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4)
+    (case : Suite.case) =
+  let prog = Lang.Parser.parse_string case.Suite.source in
+  let compiled = Compile.compile prog in
+  let golden_lookup, golden_stores =
+    Verify.memory_env prog ~inits:case.Suite.inits
+  in
+  let _, golden_stats = Lang.Interp.run ~memories:golden_lookup prog in
+  let golden_asserts = golden_stats.Lang.Interp.asserts_failed in
+  let clean_lookup, clean_stores =
+    Verify.memory_env prog ~inits:case.Suite.inits
+  in
+  let clean_run = Simulate.run_compiled ~memories:clean_lookup compiled in
+  let clean_hw_oob = total_oob clean_stores in
+  let clean_passed =
+    clean_run.Simulate.all_completed
+    && List.for_all2
+         (fun (_, g) (_, h) -> Memory.diff g h = [])
+         golden_stores clean_stores
+    && count_check_failures clean_run = golden_asserts
+  in
+  if not clean_passed then
+    failwith
+      (Printf.sprintf
+         "Faultcamp.run: workload %S fails verification before any fault \
+          is injected"
+         case.Suite.case_name);
+  (* A mutant that runs much longer than the clean design is detected by
+     the watchdog rather than simulated forever. *)
+  let budget =
+    (clean_run.Simulate.total_cycles * max_cycles_factor) + 1_000
+  in
+  let plan = Fault.plan ~seed ~n:faults compiled in
+  let mutants =
+    List.map
+      (fun fault ->
+        let hw_lookup, hw_stores =
+          Verify.memory_env prog ~inits:case.Suite.inits
+        in
+        Fault.apply_to_memories hw_lookup fault;
+        let injections =
+          match Fault.perturbation fault with
+          | Some (cfg, port, fn) ->
+              [
+                {
+                  Simulate.inj_cfg = Some cfg;
+                  inj_port = port;
+                  inj_transform = fn;
+                };
+              ]
+          | None -> []
+        in
+        let mutate_fsm fsm = Fault.apply_to_fsm fsm fault in
+        let run =
+          Simulate.run_compiled ~max_cycles:budget ~injections ~mutate_fsm
+            ~memories:hw_lookup compiled
+        in
+        {
+          fault;
+          outcome =
+            judge ~golden_stores ~golden_asserts ~clean_hw_oob hw_stores run;
+          mutant_cycles = run.Simulate.total_cycles;
+        })
+      plan
+  in
+  let detected =
+    List.length
+      (List.filter (fun m -> m.outcome <> Survived) mutants)
+  in
+  {
+    workload = case.Suite.case_name;
+    seed;
+    requested = faults;
+    clean_passed;
+    clean_cycles = clean_run.Simulate.total_cycles;
+    clean_oob = clean_hw_oob;
+    mutants;
+    by_class = class_breakdown mutants;
+    kill_rate =
+      (if mutants = [] then 0.
+       else float_of_int detected /. float_of_int (List.length mutants));
+  }
+
+let survivors t = List.filter (fun m -> m.outcome = Survived) t.mutants
+
+let outcome_to_string = function
+  | Killed reason -> "killed (" ^ reason ^ ")"
+  | Survived -> "SURVIVED"
+  | Timeout -> "timeout"

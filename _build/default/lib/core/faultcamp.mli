@@ -1,0 +1,63 @@
+(** Mutation campaigns: measure what the verification flow can detect.
+
+    The paper's infrastructure answers "does the compiled design compute
+    the same memories as the algorithm?". A mutation campaign turns that
+    around: inject one seeded fault at a time ({!Faults.Fault}) into an
+    otherwise-correct design and check the comparison {e notices}. A high
+    kill rate is evidence the golden-model memory diff is a meaningful
+    oracle; each surviving mutant is a concrete blind spot worth reading
+    about in the report. *)
+
+type outcome =
+  | Killed of string
+      (** The verifier detected the fault; the string says how ("memory
+          output: 3 mismatches", assertion or OOB divergence). *)
+  | Survived  (** The run completed and nothing observable differed. *)
+  | Timeout
+      (** The mutant exceeded the cycle budget (counts as detected: a
+          hung design never reports success). *)
+
+type mutant = {
+  fault : Faults.Fault.t;
+  outcome : outcome;
+  mutant_cycles : int;
+}
+
+type class_stats = {
+  cls : string;  (** A member of {!Faults.Fault.all_classes}. *)
+  injected : int;
+  killed : int;
+  survived : int;
+  timed_out : int;
+}
+
+type t = {
+  workload : string;
+  seed : int;
+  requested : int;  (** Faults asked for; fewer run if sites run out. *)
+  clean_passed : bool;
+  clean_cycles : int;
+  clean_oob : int;  (** Hardware OOB count of the clean run (baseline). *)
+  mutants : mutant list;  (** In plan order. *)
+  by_class : class_stats list;
+  kill_rate : float;  (** Detected (killed + timeout) over injected. *)
+}
+
+val default_workloads : unit -> Suite.case list
+(** The builtin suite plus campaign-specific cases ([gcd8], [divmod]). *)
+
+val find_workload : string -> Suite.case option
+
+val run : ?seed:int -> ?faults:int -> ?max_cycles_factor:int ->
+  Suite.case -> t
+(** Compile the workload once, run the golden model and a clean hardware
+    simulation, then one mutated simulation per planned fault (fresh
+    memory environment each time; cycle budget = clean cycles x
+    [max_cycles_factor] + 1000). Same seed, same workload: identical
+    plan and identical outcomes. Raises [Failure] when the {e clean}
+    design already fails verification — a campaign over a broken design
+    measures nothing. *)
+
+val survivors : t -> mutant list
+
+val outcome_to_string : outcome -> string

@@ -10,7 +10,10 @@ let parse_word line text =
   | Some v -> v
   | None -> fail line "bad word %S" text
 
-let read_words path =
+(* Each directive keeps the 1-based line it came from so that errors only
+   detectable later (an [@addr] beyond the target memory) still point at
+   the offending line. *)
+let read_directives path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -28,36 +31,54 @@ let read_words path =
            in
            let text = String.trim text in
            if text <> "" then
-             if text.[0] = '@' then
+             if text.[0] = '@' then begin
                let addr =
                  parse_word !lineno
                    (String.sub text 1 (String.length text - 1))
                in
-               out := (Some addr, 0) :: !out
-             else out := (None, parse_word !lineno text) :: !out
+               if addr < 0 then fail !lineno "negative address @%d" addr;
+               out := (!lineno, (Some addr, 0)) :: !out
+             end
+             else out := (!lineno, (None, parse_word !lineno text)) :: !out
          done
        with End_of_file -> ());
       List.rev !out)
 
+let read_words path = List.map snd (read_directives path)
+
 let load_into memory path =
+  let size = Memory.size memory in
   let pos = ref 0 in
   List.iter
-    (function
-      | Some addr, _ -> pos := addr
+    (fun (line, directive) ->
+      match directive with
+      | Some addr, _ ->
+          if addr >= size then
+            fail line "@%d out of range for memory %S (size %d)" addr
+              (Memory.name memory) size;
+          pos := addr
       | None, word ->
           Memory.write memory !pos
             (Bitvec.create ~width:(Memory.width memory) word);
           incr pos)
-    (read_words path)
+    (read_directives path)
 
-let save memory path =
+let save ?(signed = false) memory path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      Printf.fprintf oc "# memory %S: %d words of %d bits\n"
-        (Memory.name memory) (Memory.size memory) (Memory.width memory);
-      List.iter (fun w -> Printf.fprintf oc "%d\n" w) (Memory.to_list memory))
+      let width = Memory.width memory in
+      Printf.fprintf oc "# memory %S: %d words of %d bits%s\n"
+        (Memory.name memory) (Memory.size memory) width
+        (if signed then " (signed)" else "");
+      List.iter
+        (fun w ->
+          let w =
+            if signed then Bitvec.to_signed (Bitvec.create ~width w) else w
+          in
+          Printf.fprintf oc "%d\n" w)
+        (Memory.to_list memory))
 
 let write_words path words =
   let oc = open_out path in

@@ -62,9 +62,8 @@ let header =
     "Sim time (s)";
   ]
 
-let render_table rows =
-  let rendered = List.map row_to_strings rows in
-  let table = header :: rendered in
+let tabulate ~header rows =
+  let table = header :: rows in
   let cols = List.length header in
   let width c =
     List.fold_left (fun acc r -> max acc (String.length (List.nth r c))) 0 table
@@ -79,4 +78,49 @@ let render_table rows =
   let sep =
     String.concat "  " (List.map (fun w -> String.make w '-') widths)
   in
-  String.concat "\n" (line header :: sep :: List.map line rendered) ^ "\n"
+  String.concat "\n" (line header :: sep :: List.map line rows) ^ "\n"
+
+let render_table rows = tabulate ~header (List.map row_to_strings rows)
+
+let campaign_header =
+  [ "Fault class"; "Injected"; "Killed"; "Survived"; "Timeout"; "Kill %" ]
+
+let campaign_row (s : Faultcamp.class_stats) =
+  let detected = s.Faultcamp.killed + s.Faultcamp.timed_out in
+  [
+    s.Faultcamp.cls;
+    string_of_int s.Faultcamp.injected;
+    string_of_int s.Faultcamp.killed;
+    string_of_int s.Faultcamp.survived;
+    string_of_int s.Faultcamp.timed_out;
+    (if s.Faultcamp.injected = 0 then "-"
+     else
+       Printf.sprintf "%.0f"
+         (100. *. float_of_int detected /. float_of_int s.Faultcamp.injected));
+  ]
+
+let campaign_table (c : Faultcamp.t) =
+  let totals =
+    [
+      "total";
+      string_of_int (List.length c.Faultcamp.mutants);
+      string_of_int
+        (List.length
+           (List.filter
+              (fun (m : Faultcamp.mutant) ->
+                match m.Faultcamp.outcome with
+                | Faultcamp.Killed _ -> true
+                | _ -> false)
+              c.Faultcamp.mutants));
+      string_of_int (List.length (Faultcamp.survivors c));
+      string_of_int
+        (List.length
+           (List.filter
+              (fun (m : Faultcamp.mutant) ->
+                m.Faultcamp.outcome = Faultcamp.Timeout)
+              c.Faultcamp.mutants));
+      Printf.sprintf "%.0f" (100. *. c.Faultcamp.kill_rate);
+    ]
+  in
+  tabulate ~header:campaign_header
+    (List.map campaign_row c.Faultcamp.by_class @ [ totals ])

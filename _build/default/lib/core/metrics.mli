@@ -31,5 +31,19 @@ val row_to_strings : row -> string list
 
 val header : string list
 
+val tabulate : header:string list -> string list list -> string
+(** Column-aligned ASCII table: header line, dash separator, rows. All
+    rows must have as many cells as the header. *)
+
 val render_table : row list -> string
 (** Aligned ASCII table with the {!header}. *)
+
+(** {1 Mutation-campaign metrics} *)
+
+val campaign_header : string list
+
+val campaign_row : Faultcamp.class_stats -> string list
+
+val campaign_table : Faultcamp.t -> string
+(** Per-fault-class injected/killed/survived/timeout counts and kill
+    percentage (timeouts count as detected), plus a totals row. *)

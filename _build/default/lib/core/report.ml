@@ -36,6 +36,11 @@ let verification ppf (v : Verify.t) =
     Format.fprintf ppf
       "assertions: %d violated in software, %d checks fired in hardware@."
       v.Verify.golden_stats.Lang.Interp.asserts_failed v.Verify.hw_check_failures;
+  if v.Verify.golden_oob > 0 || v.Verify.hw_oob > 0 then
+    Format.fprintf ppf
+      "out-of-range accesses: %d in software, %d in hardware%s@."
+      v.Verify.golden_oob v.Verify.hw_oob
+      (if v.Verify.oob_failed then " (FAIL)" else " (warning)");
   Format.fprintf ppf "total: %d cycles, %.3fs simulation@."
     v.Verify.hw_run.Simulate.total_cycles
     v.Verify.hw_run.Simulate.total_wall_seconds
@@ -59,4 +64,15 @@ let one_line (v : Verify.t) =
       | false, Some m ->
           Printf.sprintf "memory %s: %d mismatches" m.Verify.mem_name
             m.Verify.mismatch_count
-      | false, None -> "unknown reason")
+      | false, None ->
+          if v.Verify.oob_failed then
+            Printf.sprintf "out-of-range accesses: %d software, %d hardware"
+              v.Verify.golden_oob v.Verify.hw_oob
+          else if
+            v.Verify.hw_check_failures
+            <> v.Verify.golden_stats.Lang.Interp.asserts_failed
+          then
+            Printf.sprintf "assertion divergence: %d software, %d hardware"
+              v.Verify.golden_stats.Lang.Interp.asserts_failed
+              v.Verify.hw_check_failures
+          else "unknown reason")

@@ -3,6 +3,12 @@ module Elaborate = Transform.Elaborate
 module Fsm_exec = Transform.Fsm_exec
 module Models_log = Transform.Models_log
 
+type injection = {
+  inj_cfg : string option;
+  inj_port : string;
+  inj_transform : Bitvec.t -> Bitvec.t;
+}
+
 type config_run = {
   cfg_name : string;
   stop : Engine.stop_reason;
@@ -22,12 +28,27 @@ type rtg_run = {
 }
 
 let run_configuration ?(clock_period = 10) ?(max_cycles = 10_000_000)
-    ?vcd_path ?name ~memories datapath fsm =
+    ?vcd_path ?name ?(injections = []) ~memories datapath fsm =
   let started = Sys.time () in
+  let cfg_label =
+    match name with Some n -> n | None -> datapath.Netlist.Datapath.dp_name
+  in
   let engine = Engine.create () in
   let clock = Clock.create engine ~period:clock_period () in
   let design = Elaborate.datapath ~engine ~clock ~memories datapath in
   let controller = Fsm_exec.attach ~design fsm in
+  (* Fault injection: corrupt the targeted output-port signals before the
+     first delta runs, so the defect is present from power-on. *)
+  List.iter
+    (fun inj ->
+      let applies =
+        match inj.inj_cfg with None -> true | Some c -> c = cfg_label
+      in
+      if applies then
+        match List.assoc_opt inj.inj_port design.Elaborate.ports with
+        | Some s -> Engine.corrupt_signal engine s inj.inj_transform
+        | None -> ())
+    injections;
   Fsm_exec.on_enter_done controller (fun () ->
       Engine.request_stop engine "controller done");
   let dump =
@@ -46,10 +67,7 @@ let run_configuration ?(clock_period = 10) ?(max_cycles = 10_000_000)
   (match dump with Some d -> Vcd.close d | None -> ());
   let completed = Fsm_exec.in_done_state controller in
   {
-    cfg_name =
-      (match name with
-      | Some n -> n
-      | None -> datapath.Netlist.Datapath.dp_name);
+    cfg_name = cfg_label;
     stop;
     completed;
     cycles = Fsm_exec.cycles_seen controller;
@@ -59,8 +77,35 @@ let run_configuration ?(clock_period = 10) ?(max_cycles = 10_000_000)
     notifications = Models_log.all design.Elaborate.notifications;
   }
 
-let run_rtg ?clock_period ?max_cycles ~memories ~datapaths ~fsms rtg =
+let injection_resolves (dp : Netlist.Datapath.t) port =
+  match String.index_opt port '.' with
+  | None -> false
+  | Some _ ->
+      let ep = Netlist.Datapath.endpoint_of_string port in
+      (match Netlist.Datapath.find_operator dp ep.Netlist.Datapath.inst with
+      | None -> false
+      | Some op ->
+          List.exists
+            (fun (p : Operators.Opspec.port) ->
+              p.Operators.Opspec.direction = Operators.Opspec.Out
+              && p.Operators.Opspec.port_name = ep.Netlist.Datapath.port)
+            (Netlist.Datapath.operator_spec op).Operators.Opspec.ports)
+
+let run_rtg ?clock_period ?max_cycles ?(injections = []) ~memories ~datapaths
+    ~fsms rtg =
   Rtg.validate rtg;
+  (* An injection naming a port no datapath has would silently test
+     nothing — reject it up front. *)
+  List.iter
+    (fun inj ->
+      if
+        not
+          (List.exists (fun (_, dp) -> injection_resolves dp inj.inj_port) datapaths)
+      then
+        invalid_arg
+          (Printf.sprintf "run_rtg: injection targets unknown port %S"
+             inj.inj_port))
+    injections;
   let resolve what table name =
     match List.assoc_opt name table with
     | Some v -> v
@@ -78,8 +123,8 @@ let run_rtg ?clock_period ?max_cycles ~memories ~datapaths ~fsms rtg =
         let datapath = resolve "datapath" datapaths cfg.Rtg.datapath_ref in
         let fsm = resolve "fsm" fsms cfg.Rtg.fsm_ref in
         let run =
-          run_configuration ?clock_period ?max_cycles ~name:cfg_name ~memories
-            datapath fsm
+          run_configuration ?clock_period ?max_cycles ~name:cfg_name
+            ~injections ~memories datapath fsm
         in
         if run.completed then go (run :: acc) rest else List.rev (run :: acc)
   in
@@ -94,7 +139,8 @@ let run_rtg ?clock_period ?max_cycles ~memories ~datapaths ~fsms rtg =
       List.fold_left (fun acc r -> acc +. r.wall_seconds) 0. runs;
   }
 
-let run_compiled ?clock_period ?max_cycles ~memories (compiled : Compiler.Compile.t) =
+let run_compiled ?clock_period ?max_cycles ?injections ?(mutate_fsm = Fun.id)
+    ~memories (compiled : Compiler.Compile.t) =
   let datapaths =
     List.map
       (fun (p : Compiler.Compile.partition) ->
@@ -105,8 +151,9 @@ let run_compiled ?clock_period ?max_cycles ~memories (compiled : Compiler.Compil
   let fsms =
     List.map
       (fun (p : Compiler.Compile.partition) ->
-        (p.Compiler.Compile.fsm.Fsmkit.Fsm.fsm_name, p.Compiler.Compile.fsm))
+        let fsm = mutate_fsm p.Compiler.Compile.fsm in
+        (p.Compiler.Compile.fsm.Fsmkit.Fsm.fsm_name, fsm))
       compiled.Compiler.Compile.partitions
   in
-  run_rtg ?clock_period ?max_cycles ~memories ~datapaths ~fsms
+  run_rtg ?clock_period ?max_cycles ?injections ~memories ~datapaths ~fsms
     compiled.Compiler.Compile.rtg

@@ -6,6 +6,17 @@
     run in sequence on fresh engines while the backing memories persist —
     the paper's model of temporal partitioning. *)
 
+type injection = {
+  inj_cfg : string option;
+      (** Restrict the fault to one configuration; [None] = wherever the
+          port exists. *)
+  inj_port : string;  (** Operator output port, ["inst.port"]. *)
+  inj_transform : Bitvec.t -> Bitvec.t;
+      (** Applied to every value committed on the signal (see
+          {!Sim.Engine.corrupt_signal}). *)
+}
+(** A port-level fault to inject into the simulated design. *)
+
 type config_run = {
   cfg_name : string;
   stop : Sim.Engine.stop_reason;
@@ -29,17 +40,22 @@ val run_configuration :
   ?max_cycles:int ->
   ?vcd_path:string ->
   ?name:string ->
+  ?injections:injection list ->
   memories:(string -> Operators.Memory.t) ->
   Netlist.Datapath.t ->
   Fsmkit.Fsm.t ->
   config_run
 (** Simulate until the FSM enters a done state or [max_cycles] (default
     10 million) elapse. [vcd_path] dumps controls, statuses, FSM state and
-    every operator output port. *)
+    every operator output port. [injections] corrupt the named output-port
+    signals for the whole run; entries whose configuration or port does
+    not match this design are ignored here (use {!run_rtg} for up-front
+    validation). *)
 
 val run_rtg :
   ?clock_period:int ->
   ?max_cycles:int ->
+  ?injections:injection list ->
   memories:(string -> Operators.Memory.t) ->
   datapaths:(string * Netlist.Datapath.t) list ->
   fsms:(string * Fsmkit.Fsm.t) list ->
@@ -47,12 +63,18 @@ val run_rtg :
   rtg_run
 (** Execute the configurations named by the RTG in order (validating it
     first); stops early if a configuration fails to complete. Raises
-    [Failure] on unresolved datapath/FSM references. *)
+    [Failure] on unresolved datapath/FSM references and
+    [Invalid_argument] when an injection names a port that exists in no
+    datapath (a fault that would silently test nothing). *)
 
 val run_compiled :
   ?clock_period:int ->
   ?max_cycles:int ->
+  ?injections:injection list ->
+  ?mutate_fsm:(Fsmkit.Fsm.t -> Fsmkit.Fsm.t) ->
   memories:(string -> Operators.Memory.t) ->
   Compiler.Compile.t ->
   rtg_run
-(** Convenience: {!run_rtg} over a compilation result. *)
+(** Convenience: {!run_rtg} over a compilation result. [mutate_fsm] lets
+    a fault campaign substitute a corrupted controller (applied to every
+    partition's FSM; return the input unchanged for the others). *)

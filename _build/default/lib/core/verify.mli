@@ -26,12 +26,19 @@ type t = {
           [assert] statements). *)
   compiled : Compiler.Compile.t;
   golden_seconds : float;
+  golden_oob : int;
+      (** Out-of-range memory accesses during the golden software run. *)
+  hw_oob : int;
+      (** Out-of-range memory accesses during hardware simulation. *)
+  oob_failed : bool;
+      (** True when OOB accesses occurred and the policy was to fail. *)
 }
 
 val run :
   ?options:Compiler.Compile.options ->
   ?clock_period:int ->
   ?max_cycles:int ->
+  ?fail_on_oob:bool ->
   inits:(string * int list) list ->
   Lang.Ast.program ->
   t
@@ -40,12 +47,22 @@ val run :
     and hardware simulation, and compare every declared memory.
     [passed] additionally requires that every configuration completed and
     that the hardware fired exactly as many assertion checks as the golden
-    model counted violations. *)
+    model counted violations.
+
+    Out-of-range accesses (the memories' open-decode diagnostic counters)
+    are always surfaced in [golden_oob]/[hw_oob]. A nonzero [golden_oob]
+    always fails: the software run touched an address outside a declared
+    memory, which is a program bug regardless of whether the stray access
+    changed the compared memories. [hw_oob] also counts open-decode
+    transients (an async read port briefly presenting an intermediate
+    address while the datapath settles), so it is a warning by default
+    and only fails the verification with [~fail_on_oob:true]. *)
 
 val run_source :
   ?options:Compiler.Compile.options ->
   ?clock_period:int ->
   ?max_cycles:int ->
+  ?fail_on_oob:bool ->
   inits:(string * int list) list ->
   string ->
   t

@@ -18,13 +18,21 @@ type t
 exception Combinational_cycle of string
 
 val create :
+  ?corrupt:(string -> Operators.Faulty.perturbation option) ->
   memories:(string -> Operators.Memory.t) ->
   Netlist.Datapath.t ->
   Fsmkit.Fsm.t ->
   t
 (** Validates both documents and their compatibility (same rules as
     {!Transform.Fsm_exec.attach}); raises {!Combinational_cycle},
-    {!Netlist.Datapath.Invalid}, {!Fsmkit.Fsm.Invalid} or [Failure]. *)
+    {!Netlist.Datapath.Invalid}, {!Fsmkit.Fsm.Invalid} or [Failure].
+
+    [corrupt] is the fault-injection hook: for each operator output port
+    (["inst.port"]) it may return a perturbation applied every time that
+    cell commits — right after the unit evaluates for combinational
+    operators, at the register-update phase for sequential ones — so the
+    defect is observed exactly as {!Sim.Engine.corrupt_signal} applies it
+    in the event-driven kernel. *)
 
 val step : t -> unit
 (** Execute one clock cycle. *)

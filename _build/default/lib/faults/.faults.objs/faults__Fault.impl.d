@@ -1,0 +1,1 @@
+lib/faults/fault.ml: Compiler Fsmkit Hashtbl Int64 Lang List Netlist Operators Printf Rtg

@@ -1,0 +1,1 @@
+lib/faults/fault.mli: Compiler Fsmkit Operators

@@ -1,0 +1,73 @@
+(** Seeded, deterministic fault model for mutation campaigns.
+
+    A fault plan is generated from a compiled design: each fault names a
+    concrete defect site (an operator output port, an FSM transition, or a
+    memory cell) and how it misbehaves. The campaign driver injects one
+    fault at a time and checks that the golden-model memory comparison
+    kills the mutant — a surviving mutant is either a verifier blind spot
+    or hardware that provably does not matter.
+
+    Fault classes, mirroring classic gate-level fault models:
+    - {e stuck-at-0/1}: one bit of a datapath operator's output is forced
+      to a constant;
+    - {e bit-flip}: one output bit is inverted on every evaluation;
+    - {e fsm-retarget}: one controller transition jumps to the wrong state
+      (only retargets that keep the FSM document valid are generated);
+    - {e mem-corrupt}: one memory cell is XOR-flipped at load time, before
+      simulation starts. *)
+
+(** Deterministic splitmix64 generator — identical sequences on every
+    platform and run, which the campaign's reproducibility depends on. *)
+module Rng : sig
+  type t
+
+  val create : seed:int -> t
+  val int : t -> int -> int
+  (** [int t bound] is uniform in [0, bound). Raises on [bound <= 0]. *)
+
+  val bool : t -> bool
+  val pick : t -> 'a list -> 'a
+end
+
+type kind =
+  | Stuck_at of { cfg : string; port : string; bit : int; value : bool }
+  | Bit_flip of { cfg : string; port : string; bit : int }
+  | Fsm_retarget of {
+      fsm : string;  (** FSM document name. *)
+      state : string;
+      index : int;  (** Transition index within the state. *)
+      target : string;  (** Mutated target state. *)
+      original : string;
+    }
+  | Mem_corrupt of { mem : string; addr : int; xor : int }
+
+type t = { id : int; kind : kind }
+
+val fault_class : t -> string
+(** One of {!all_classes}. *)
+
+val all_classes : string list
+(** ["stuck-at"; "bit-flip"; "fsm-retarget"; "mem-corrupt"]. *)
+
+val describe : t -> string
+(** One-line human-readable form, e.g.
+    ["#3 stuck-at-1 gcd add1.y[3]"]. *)
+
+val perturbation :
+  t -> (string * string * Operators.Faulty.perturbation) option
+(** [(configuration, port, transform)] for the port-level fault classes;
+    [None] for FSM and memory faults. *)
+
+val apply_to_fsm : Fsmkit.Fsm.t -> t -> Fsmkit.Fsm.t
+(** Returns the mutated document when the fault targets this FSM (matched
+    by name), the input unchanged otherwise. *)
+
+val apply_to_memories : (string -> Operators.Memory.t) -> t -> unit
+(** Corrupt the targeted cell of a memory environment (no-op for non-
+    memory faults). *)
+
+val plan : ?seed:int -> n:int -> Compiler.Compile.t -> t list
+(** Generate up to [n] distinct faults over the design's fault sites,
+    cycling through the fault classes. The same seed and design give the
+    identical plan. Fewer than [n] faults are returned only when the
+    design does not offer enough distinct sites. *)

@@ -1,0 +1,1 @@
+lib/operators/faulty.ml: Bitvec List Printf

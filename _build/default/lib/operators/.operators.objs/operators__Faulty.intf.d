@@ -1,0 +1,1 @@
+lib/operators/faulty.mli: Bitvec

@@ -34,6 +34,14 @@ let write m addr v =
 
 let out_of_range_accesses m = m.oob
 
+let corrupt m ~addr ~xor =
+  if not (in_range m addr) then
+    invalid_arg
+      (Printf.sprintf "Memory.corrupt %s: address %d outside 0..%d" m.mname
+         addr (Array.length m.data - 1));
+  m.data.(addr) <-
+    Bitvec.to_int (Bitvec.create ~width:m.mwidth (m.data.(addr) lxor xor))
+
 let load m ?(offset = 0) words =
   List.iteri
     (fun i w ->

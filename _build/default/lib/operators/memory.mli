@@ -24,6 +24,11 @@ val write : t -> int -> Bitvec.t -> unit
 
 val out_of_range_accesses : t -> int
 
+val corrupt : t -> addr:int -> xor:int -> unit
+(** Fault injection: XOR a cell in place (result truncated to the memory
+    width), bypassing the OOB accounting. Raises [Invalid_argument] on an
+    out-of-range address — an injected fault must name a real cell. *)
+
 val load : t -> ?offset:int -> int list -> unit
 (** Load words (truncated to the memory width) starting at [offset]. *)
 

@@ -196,3 +196,40 @@ let edge_detect_reference ~width_px ~height_px ~threshold pixels =
     done
   done;
   Array.to_list output
+
+let divmod_source ~pairs =
+  String.concat "\n"
+    [
+      "// signed quotient and remainder per input pair";
+      "program divmod width 8;";
+      Printf.sprintf "mem input[%d];" (2 * pairs);
+      Printf.sprintf "mem q[%d];" pairs;
+      Printf.sprintf "mem r[%d];" pairs;
+      "var i;";
+      "var a;";
+      "var b;";
+      Printf.sprintf "for (i = 0; i < %d; i = i + 1) {" pairs;
+      "  a = input[i * 2];";
+      "  b = input[i * 2 + 1];";
+      "  q[i] = a / b;";
+      "  r[i] = a % b;";
+      "}";
+      "";
+    ]
+
+let divmod_reference words =
+  let wrap v = v land 0xFF in
+  let to_signed v =
+    let v = wrap v in
+    if v land 0x80 <> 0 then v - 256 else v
+  in
+  let rec pairs = function
+    | a :: b :: rest -> (a, b) :: pairs rest
+    | [ _ ] | [] -> []
+  in
+  List.map
+    (fun (a, b) ->
+      let sa = to_signed a and sb = to_signed b in
+      if sb = 0 then (0xFF, wrap a)
+      else (wrap (sa / sb), wrap (sa mod sb)))
+    (pairs words)

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Bitvec Compiler Cyclesim Faults Fun Lang List Operators String Testinfra

@@ -1,1 +1,1 @@
-test/test_testinfra.ml: Alcotest Array Bitvec Compiler Dotkit Filename Fsmkit Fun Lang List Netlist Operators Rtg Sim String Sys Testinfra Workloads
+test/test_testinfra.ml: Alcotest Array Bitvec Compiler Dotkit Filename Fsmkit Fun Lang List Netlist Operators Printf Rtg Sim String Sys Testinfra Workloads

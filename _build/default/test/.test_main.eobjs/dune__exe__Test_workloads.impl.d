@@ -1,1 +1,1 @@
-test/test_workloads.ml: Alcotest Lang List Printf QCheck2 QCheck_alcotest Workloads
+test/test_workloads.ml: Alcotest Hashtbl Lang List Operators Printf QCheck2 QCheck_alcotest Workloads

@@ -52,6 +52,43 @@ let test_division () =
   check_int "srem -7 mod 2" (-1)
     (Bitvec.to_signed (Bitvec.srem (bv ~width:8 (-7)) (bv ~width:8 2)))
 
+(* The RISC-V-style edge-case convention documented in bitvec.mli; the
+   golden interpreter and both simulators all route division through
+   these functions, so this is the single place the contract lives. *)
+let test_division_convention () =
+  check_int "sdiv by zero is -1" (-1)
+    (Bitvec.to_signed (Bitvec.sdiv (bv ~width:8 (-7)) (bv ~width:8 0)));
+  check_int "srem by zero is dividend" (-7)
+    (Bitvec.to_signed (Bitvec.srem (bv ~width:8 (-7)) (bv ~width:8 0)));
+  check_int "sdiv overflow wraps to dividend" (-128)
+    (Bitvec.to_signed (Bitvec.sdiv (bv ~width:8 (-128)) (bv ~width:8 (-1))));
+  check_int "srem overflow is 0" 0
+    (Bitvec.to_signed (Bitvec.srem (bv ~width:8 (-128)) (bv ~width:8 (-1))));
+  check_int "sdiv overflow at width 16" (-32768)
+    (Bitvec.to_signed (Bitvec.sdiv (bv ~width:16 (-32768)) (bv ~width:16 (-1))))
+
+(* Property: quotient/remainder identity q*b + r = a whenever the divisor
+   is nonzero and no overflow is involved (the edge cases above pin the
+   rest of the domain). *)
+let prop_divmod_identity =
+  QCheck2.Test.make ~name:"sdiv/srem identity q*b + r = a" ~count:300
+    QCheck2.Gen.(
+      int_range 2 16 >>= fun w ->
+      let m = (1 lsl w) - 1 in
+      map (fun (a, b) -> (w, a land m, b land m)) (pair nat nat))
+    (fun (w, a, b) ->
+      let va = bv ~width:w a and vb = bv ~width:w b in
+      let q = Bitvec.sdiv va vb and r = Bitvec.srem va vb in
+      if Bitvec.is_zero vb then
+        Bitvec.to_signed q = -1 && Bitvec.equal r va
+      else
+        let sq = Bitvec.to_signed q
+        and sr = Bitvec.to_signed r
+        and sa = Bitvec.to_signed va
+        and sb = Bitvec.to_signed vb in
+        if sa = -(1 lsl (w - 1)) && sb = -1 then sq = sa && sr = 0
+        else (sq * sb) + sr = sa && abs sr < abs sb)
+
 let test_logic () =
   let a = bv ~width:4 0b1100 and b = bv ~width:4 0b1010 in
   check_int "and" 0b1000 (Bitvec.to_int (Bitvec.logand a b));
@@ -185,6 +222,7 @@ let suite =
     ("arithmetic wraps", `Quick, test_arith_wraps);
     ("width mismatch", `Quick, test_width_mismatch);
     ("division", `Quick, test_division);
+    ("division convention", `Quick, test_division_convention);
     ("logic", `Quick, test_logic);
     ("shifts", `Quick, test_shifts);
     ("comparisons", `Quick, test_comparisons);
@@ -199,4 +237,5 @@ let suite =
     qc prop_concat_slice;
     qc prop_signed_range;
     qc prop_shift_consistent;
+    qc prop_divmod_identity;
   ]

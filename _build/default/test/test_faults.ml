@@ -1,0 +1,246 @@
+(* Tests for the fault model and mutation campaigns: deterministic plans,
+   identical semantics of the injection hooks in both simulation kernels,
+   and the verifier demonstrably killing every fault class. *)
+
+module Compile = Compiler.Compile
+module Fault = Faults.Fault
+module Faulty = Operators.Faulty
+module Memory = Operators.Memory
+module Verify = Testinfra.Verify
+module Simulate = Testinfra.Simulate
+module Faultcamp = Testinfra.Faultcamp
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let bv ~width v = Bitvec.create ~width v
+
+let vecadd_case () =
+  match Faultcamp.find_workload "vecadd" with
+  | Some c -> c
+  | None -> Alcotest.fail "vecadd workload missing"
+
+let compile_workload (c : Testinfra.Suite.case) =
+  Compile.compile (Lang.Parser.parse_string c.Testinfra.Suite.source)
+
+(* --- perturbation primitives ------------------------------------------- *)
+
+let test_stuck_at () =
+  let v = bv ~width:8 0b1010_1010 in
+  check_int "stuck-at-1 bit 0" 0b1010_1011
+    (Bitvec.to_int (Faulty.stuck_at ~bit:0 ~value:true v));
+  check_int "stuck-at-0 bit 1" 0b1010_1000
+    (Bitvec.to_int (Faulty.stuck_at ~bit:1 ~value:false v));
+  check_int "stuck-at keeps width" 8
+    (Bitvec.width (Faulty.stuck_at ~bit:7 ~value:true v))
+
+let test_bit_flip () =
+  let v = bv ~width:8 0b1010_1010 in
+  check_int "flip bit 1" 0b1010_1000 (Bitvec.to_int (Faulty.bit_flip ~bit:1 v));
+  check_bool "flip twice restores" true
+    (Bitvec.equal v (Faulty.bit_flip ~bit:3 (Faulty.bit_flip ~bit:3 v)))
+
+let test_bad_bit_rejected () =
+  let v = bv ~width:4 5 in
+  let raised f = try ignore (f v); false with Invalid_argument _ -> true in
+  check_bool "stuck-at bit 4 of width 4" true
+    (raised (Faulty.stuck_at ~bit:4 ~value:true));
+  check_bool "flip bit 9 of width 4" true (raised (Faulty.bit_flip ~bit:9))
+
+(* --- plan generation ---------------------------------------------------- *)
+
+let test_plan_deterministic () =
+  let compiled = compile_workload (vecadd_case ()) in
+  let p1 = Fault.plan ~seed:42 ~n:20 compiled in
+  let p2 = Fault.plan ~seed:42 ~n:20 compiled in
+  check_bool "same seed, same plan" true (p1 = p2);
+  let p3 = Fault.plan ~seed:43 ~n:20 compiled in
+  check_bool "different seed, different plan" true (p1 <> p3)
+
+let test_plan_covers_all_classes () =
+  let compiled = compile_workload (vecadd_case ()) in
+  let plan = Fault.plan ~seed:1 ~n:20 compiled in
+  check_int "twenty faults planned" 20 (List.length plan);
+  List.iter
+    (fun cls ->
+      check_bool (cls ^ " represented") true
+        (List.exists (fun f -> Fault.fault_class f = cls) plan))
+    Fault.all_classes
+
+let test_plan_distinct () =
+  let compiled = compile_workload (vecadd_case ()) in
+  let plan = Fault.plan ~seed:7 ~n:30 compiled in
+  let sites = List.map (fun (f : Fault.t) -> f.Fault.kind) plan in
+  check_int "no duplicate faults" (List.length sites)
+    (List.length (List.sort_uniq compare sites))
+
+let test_rng_deterministic () =
+  let seq seed =
+    let rng = Fault.Rng.create ~seed in
+    List.init 50 (fun _ -> Fault.Rng.int rng 1000)
+  in
+  check_bool "same stream" true (seq 5 = seq 5);
+  check_bool "streams differ by seed" true (seq 5 <> seq 6);
+  let rng = Fault.Rng.create ~seed:9 in
+  check_bool "bounded" true
+    (List.for_all
+       (fun _ ->
+         let v = Fault.Rng.int rng 17 in
+         v >= 0 && v < 17)
+       (List.init 200 Fun.id))
+
+(* --- injection hooks agree across simulation kernels -------------------- *)
+
+(* Apply the identical perturbation through the event-driven engine's
+   corrupt_signal and the cycle simulator's corrupt hook: both kernels
+   must land on the same memories and cycle count. *)
+let run_both_with_fault src inits ~port ~perturb =
+  let prog = Lang.Parser.parse_string src in
+  let compiled = Compile.compile prog in
+  let p = List.hd compiled.Compile.partitions in
+  let ev_lookup, ev_stores = Verify.memory_env prog ~inits in
+  let ev =
+    Simulate.run_configuration
+      ~injections:
+        [ { Simulate.inj_cfg = None; inj_port = port; inj_transform = perturb } ]
+      ~memories:ev_lookup p.Compile.datapath p.Compile.fsm
+  in
+  let cy_lookup, cy_stores = Verify.memory_env prog ~inits in
+  let cy =
+    Cyclesim.create
+      ~corrupt:(fun key -> if key = port then Some perturb else None)
+      ~memories:cy_lookup p.Compile.datapath p.Compile.fsm
+  in
+  let outcome = Cyclesim.run ~max_cycles:2000 cy in
+  ( (ev, List.map (fun (n, m) -> (n, Memory.to_list m)) ev_stores),
+    (cy, outcome, List.map (fun (n, m) -> (n, Memory.to_list m)) cy_stores) )
+
+let test_kernels_agree_under_fault () =
+  let case = vecadd_case () in
+  List.iter
+    (fun (port, perturb) ->
+      let (ev, ev_mems), (cy, _, cy_mems) =
+        run_both_with_fault case.Testinfra.Suite.source
+          case.Testinfra.Suite.inits ~port ~perturb
+      in
+      check_bool (port ^ ": same memories") true (ev_mems = cy_mems);
+      check_int (port ^ ": same cycles") ev.Simulate.cycles (Cyclesim.cycles cy))
+    [
+      ("add0.y", Faulty.bit_flip ~bit:2);
+      ("add0.y", Faulty.stuck_at ~bit:0 ~value:true);
+      ("r_x.q", Faulty.stuck_at ~bit:3 ~value:false);
+    ]
+
+let test_injection_unknown_port_rejected () =
+  let case = vecadd_case () in
+  let prog = Lang.Parser.parse_string case.Testinfra.Suite.source in
+  let compiled = Compile.compile prog in
+  let lookup, _ = Verify.memory_env prog ~inits:case.Testinfra.Suite.inits in
+  let raised =
+    try
+      ignore
+        (Simulate.run_compiled
+           ~injections:
+             [
+               {
+                 Simulate.inj_cfg = None;
+                 inj_port = "nonesuch.y";
+                 inj_transform = Fun.id;
+               };
+             ]
+           ~memories:lookup compiled);
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "unknown port rejected" true raised
+
+(* --- campaigns ---------------------------------------------------------- *)
+
+let test_campaign_deterministic () =
+  let case = vecadd_case () in
+  let snapshot (c : Faultcamp.t) =
+    List.map
+      (fun (m : Faultcamp.mutant) ->
+        (Fault.describe m.Faultcamp.fault,
+         Faultcamp.outcome_to_string m.Faultcamp.outcome,
+         m.Faultcamp.mutant_cycles))
+      c.Faultcamp.mutants
+  in
+  let c1 = Faultcamp.run ~seed:3 ~faults:8 case in
+  let c2 = Faultcamp.run ~seed:3 ~faults:8 case in
+  check_bool "same seed, same outcomes" true (snapshot c1 = snapshot c2)
+
+let test_campaign_kills_every_class_by_memory_diff () =
+  (* vecadd is straight-line over a counter loop, so corrupted data flows
+     to the output memory instead of hanging the control flow: every
+     fault class must produce at least one mutant killed by the golden-
+     model memory comparison itself (not just the timeout watchdog). *)
+  let campaign = Faultcamp.run ~seed:1 ~faults:30 (vecadd_case ()) in
+  check_bool "clean run passes" true campaign.Faultcamp.clean_passed;
+  List.iter
+    (fun cls ->
+      let memory_killed =
+        List.exists
+          (fun (m : Faultcamp.mutant) ->
+            Fault.fault_class m.Faultcamp.fault = cls
+            &&
+            match m.Faultcamp.outcome with
+            | Faultcamp.Killed reason ->
+                String.length reason >= 6 && String.sub reason 0 6 = "memory"
+            | _ -> false)
+          campaign.Faultcamp.mutants
+      in
+      check_bool (cls ^ " killed by memory comparison") true memory_killed)
+    Fault.all_classes
+
+let test_campaign_stats_consistent () =
+  let campaign = Faultcamp.run ~seed:2 ~faults:12 (vecadd_case ()) in
+  let total =
+    List.fold_left
+      (fun acc (s : Faultcamp.class_stats) -> acc + s.Faultcamp.injected)
+      0 campaign.Faultcamp.by_class
+  in
+  check_int "class stats partition the mutants" total
+    (List.length campaign.Faultcamp.mutants);
+  List.iter
+    (fun (s : Faultcamp.class_stats) ->
+      check_int (s.Faultcamp.cls ^ " counts add up") s.Faultcamp.injected
+        (s.Faultcamp.killed + s.Faultcamp.survived + s.Faultcamp.timed_out))
+    campaign.Faultcamp.by_class;
+  let table = Testinfra.Metrics.campaign_table campaign in
+  check_bool "table lists every class" true
+    (List.for_all
+       (fun cls ->
+         let n = String.length cls in
+         let h = String.length table in
+         let rec go i = i + n <= h && (String.sub table i n = cls || go (i + 1)) in
+         go 0)
+       Fault.all_classes)
+
+let test_memory_corrupt_hook () =
+  let m = Memory.create ~name:"m" ~width:8 4 in
+  Memory.load m [ 1; 2; 3; 4 ];
+  Memory.corrupt m ~addr:2 ~xor:0xFF;
+  check_int "cell xor-flipped" (3 lxor 0xFF) (Bitvec.to_int (Memory.read m 2));
+  check_int "neighbours untouched" 2 (Bitvec.to_int (Memory.read m 1));
+  let raised =
+    try Memory.corrupt m ~addr:9 ~xor:1; false with Invalid_argument _ -> true
+  in
+  check_bool "oob corrupt rejected" true raised
+
+let suite =
+  [
+    ("stuck-at perturbation", `Quick, test_stuck_at);
+    ("bit-flip perturbation", `Quick, test_bit_flip);
+    ("bad bit rejected", `Quick, test_bad_bit_rejected);
+    ("plan deterministic", `Quick, test_plan_deterministic);
+    ("plan covers all classes", `Quick, test_plan_covers_all_classes);
+    ("plan faults distinct", `Quick, test_plan_distinct);
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("kernels agree under fault", `Quick, test_kernels_agree_under_fault);
+    ("unknown injection port rejected", `Quick, test_injection_unknown_port_rejected);
+    ("campaign deterministic", `Quick, test_campaign_deterministic);
+    ("every class killed by memory diff", `Quick, test_campaign_kills_every_class_by_memory_diff);
+    ("campaign stats consistent", `Quick, test_campaign_stats_consistent);
+    ("memory corrupt hook", `Quick, test_memory_corrupt_hook);
+  ]

@@ -53,6 +53,31 @@ let test_sort () =
   in
   check_bool "pass" true outcome.Verify.passed
 
+let test_divmod () =
+  (* Division edge cases end to end: the compiled divider hardware and
+     the golden interpreter must agree on zero divisors and the signed
+     overflow pair (-128 / -1), and both must match the independent
+     reference. *)
+  let input =
+    [ 100; 7; 250; 3; 42; 0; 0; 0; 128; 255; 255; 255; 17; 251; 128; 5 ]
+  in
+  let outcome =
+    Verify.run_source ~inits:[ ("input", input) ]
+      (Workloads.Kernels.divmod_source ~pairs:8)
+  in
+  check_bool "pass" true outcome.Verify.passed;
+  let expected = Workloads.Kernels.divmod_reference input in
+  let final name =
+    let m =
+      List.find (fun (m : Verify.memory_result) -> m.Verify.mem_name = name)
+        outcome.Verify.memories
+    in
+    check_bool (name ^ " matches") true m.Verify.matches
+  in
+  final "q";
+  final "r";
+  check_int "eight results" 8 (List.length expected)
+
 let test_edge_detect () =
   let img = Workloads.Fdct.make_image ~width_px:16 ~height_px:8 ~seed:11 in
   let outcome =
@@ -272,6 +297,7 @@ let suite =
     ("sum", `Quick, test_sum);
     ("gcd", `Quick, test_gcd);
     ("sort", `Quick, test_sort);
+    ("divmod edge cases", `Quick, test_divmod);
     ("edge detect", `Quick, test_edge_detect);
     ("hamming", `Quick, test_hamming);
     ("fdct1 small", `Quick, test_fdct1_small);

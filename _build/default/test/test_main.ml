@@ -18,5 +18,6 @@ let () =
       ("hdl", Test_hdl.suite);
       ("testinfra", Test_testinfra.suite);
       ("workloads", Test_workloads.suite);
+      ("faults", Test_faults.suite);
       ("integration", Test_integration.suite);
     ]

@@ -6,6 +6,9 @@
     comments, and [@<addr>] directives to reposition. *)
 
 exception Format_error of { line : int; message : string }
+(** Raised with the 1-based line of the offending directive: unparsable
+    words, negative [@addr], or (from {!load_into}) an [@addr] at or past
+    the end of the target memory. *)
 
 val read_words : string -> (int option * int) list
 (** Raw directives from a file: [(Some addr, _)] repositions, [(None, w)]
@@ -13,10 +16,16 @@ val read_words : string -> (int option * int) list
     {!load_into}. *)
 
 val load_into : Operators.Memory.t -> string -> unit
-(** Load a file into a memory (values truncated to the memory width). *)
+(** Load a file into a memory (values truncated to the memory width).
+    Raises {!Format_error} when an [@addr] directive falls outside the
+    memory — a stimulus file that silently loads nothing is a test that
+    silently tests nothing. *)
 
-val save : Operators.Memory.t -> string -> unit
-(** Write every word, one per line, with a header comment. *)
+val save : ?signed:bool -> Operators.Memory.t -> string -> unit
+(** Write every word, one per line, with a header comment. With [~signed]
+    the words are rendered as two's-complement values of the memory width
+    (msb-set cells print negative); either rendering reloads via
+    {!load_into} to exactly the original contents. *)
 
 val write_words : string -> int list -> unit
 (** Write a stimulus file from a word list. *)

@@ -50,7 +50,7 @@ let binary_fn = function
   | "maxs" -> fun a b -> if Bitvec.to_signed a >= Bitvec.to_signed b then a else b
   | kind -> Opspec.failf "cyclesim: no binary function for %S" kind
 
-let create ~memories (dp : Dp.t) (fsm : Fsm.t) =
+let create ?(corrupt = fun _ -> None) ~memories (dp : Dp.t) (fsm : Fsm.t) =
   Dp.validate dp;
   Fsm.validate fsm;
   let cells : (string, Bitvec.t ref) Hashtbl.t = Hashtbl.create 128 in
@@ -223,29 +223,55 @@ let create ~memories (dp : Dp.t) (fsm : Fsm.t) =
         let a = input_cell op "a" and b = input_cell op "b" and y = out "y" in
         fun () -> y := f !a !b
   in
-  let comb = Array.of_list (List.map eval_of order) in
+  (* Fault injection: corrupt a unit's output cell right after it
+     evaluates, so downstream units (later in topo order) consume the
+     corrupted value — the same commit-point the event kernel corrupts. *)
+  let wrap_output id base =
+    let op = op_by_id id in
+    let out_port =
+      match op.Dp.kind with "sram" | "rom" -> "dout" | _ -> "y"
+    in
+    let key = op.Dp.id ^ "." ^ out_port in
+    match corrupt key with
+    | None -> base
+    | Some f ->
+        let cell = Hashtbl.find cells key in
+        fun () ->
+          base ();
+          cell := f !cell
+  in
+  let comb = Array.of_list (List.map (fun id -> wrap_output id (eval_of id)) order) in
   (* Sequential elements: two-phase latch. *)
   let latches = ref [] and commits = ref [] in
   let t_ref = ref None in
   List.iter
     (fun (op : Dp.operator) ->
       let out port = Hashtbl.find cells (op.Dp.id ^ "." ^ port) in
+      (* Same commit-point corruption for the state-holding outputs. *)
+      let corrupt_q = corrupt (op.Dp.id ^ ".q") in
+      let commit_q q pending =
+        match corrupt_q with
+        | None -> fun () -> q := !pending
+        | Some f -> fun () -> q := f !pending
+      in
       match op.Dp.kind with
       | "reg" ->
           let d = input_cell op "d" and en = input_cell op "en" in
           let q = out "q" in
           q := Bitvec.create ~width:op.Dp.width
                  (Opspec.param_int op.Dp.params "init" ~default:0);
+          (match corrupt_q with Some f -> q := f !q | None -> ());
           let pending = ref !q in
           latches :=
             (fun () -> pending := (if Bitvec.to_bool !en then !d else !q))
             :: !latches;
-          commits := (fun () -> q := !pending) :: !commits
+          commits := commit_q q pending :: !commits
       | "counter" ->
           let en = input_cell op "en"
           and load = input_cell op "load"
           and d = input_cell op "d" in
           let q = out "q" in
+          (match corrupt_q with Some f -> q := f !q | None -> ());
           let step =
             Bitvec.create ~width:op.Dp.width
               (Opspec.param_int op.Dp.params "step" ~default:1)
@@ -258,7 +284,7 @@ let create ~memories (dp : Dp.t) (fsm : Fsm.t) =
                  else if Bitvec.to_bool !en then Bitvec.add !q step
                  else !q))
             :: !latches;
-          commits := (fun () -> q := !pending) :: !commits
+          commits := commit_q q pending :: !commits
       | "sram" ->
           let memory =
             memories (Opspec.require_string op.Dp.params ~kind:"sram" "memory")

@@ -1,0 +1,23 @@
+(* Value-level fault transforms shared by both simulation kernels. *)
+
+type perturbation = Bitvec.t -> Bitvec.t
+
+let check_bit ~what width bit =
+  if bit < 0 || bit >= width then
+    invalid_arg (Printf.sprintf "Faulty.%s: bit %d outside 0..%d" what bit (width - 1))
+
+let stuck_at ~bit ~value v =
+  let w = Bitvec.width v in
+  check_bit ~what:"stuck_at" w bit;
+  let m = Bitvec.shift_left (Bitvec.one w) bit in
+  if value then Bitvec.logor v m else Bitvec.logand v (Bitvec.lognot m)
+
+let bit_flip ~bit v =
+  let w = Bitvec.width v in
+  check_bit ~what:"bit_flip" w bit;
+  Bitvec.logxor v (Bitvec.shift_left (Bitvec.one w) bit)
+
+let wrap1 f p a = p (f a)
+let wrap2 f p a b = p (f a b)
+
+let compose ps v = List.fold_left (fun v p -> p v) v ps

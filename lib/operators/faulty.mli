@@ -1,0 +1,25 @@
+(** Fault transforms for mutation campaigns.
+
+    A perturbation rewrites an operator's output value; the simulators
+    apply it at their commit points ({!Sim.Engine.corrupt_signal} for the
+    event-driven kernel, the [corrupt] hook of {!Cyclesim} for the
+    levelized one), so both kernels see the identical defect. *)
+
+type perturbation = Bitvec.t -> Bitvec.t
+
+val stuck_at : bit:int -> value:bool -> perturbation
+(** Force one bit to a constant — the classic stuck-at-0/1 model.
+    Raises [Invalid_argument] when [bit] is outside the value's width. *)
+
+val bit_flip : bit:int -> perturbation
+(** Invert one bit of every value produced. *)
+
+val wrap1 : (Bitvec.t -> Bitvec.t) -> perturbation -> Bitvec.t -> Bitvec.t
+val wrap2 :
+  (Bitvec.t -> Bitvec.t -> Bitvec.t) ->
+  perturbation ->
+  Bitvec.t -> Bitvec.t -> Bitvec.t
+(** Perturb a unary/binary operator's eval function at its output. *)
+
+val compose : perturbation list -> perturbation
+(** Apply left to right. *)

@@ -9,6 +9,8 @@ type signal = {
   mutable staged : Bitvec.t option;  (* assignment staged for the next delta *)
   mutable sensitive : process list;  (* in registration order, reversed *)
   mutable hooks : (unit -> unit) list;  (* on_change callbacks, reversed *)
+  mutable corrupt : (Bitvec.t -> Bitvec.t) option;
+      (* fault-injection transform applied to every committed value *)
 }
 
 and process = {
@@ -91,6 +93,7 @@ let signal t ~name ?initial width =
       staged = None;
       sensitive = [];
       hooks = [];
+      corrupt = None;
     }
   in
   t.next_sid <- t.next_sid + 1;
@@ -101,7 +104,28 @@ let width s = s.swidth
 let value s = s.cur
 let value_int s = Bitvec.to_int s.cur
 
+let apply_corruption s v =
+  match s.corrupt with
+  | None -> v
+  | Some f ->
+      let v' = f v in
+      if Bitvec.width v' <> s.swidth then
+        invalid_arg
+          (Printf.sprintf "Engine: corruption on %s changed width %d -> %d"
+             s.sname s.swidth (Bitvec.width v'))
+      else v'
+
+let corrupt_signal t s f =
+  ignore t;
+  s.corrupt <- Some f;
+  (* The fault holds from the start: rewrite the current value too, so a
+     stuck-at bit is wrong even before the first commit touches it. *)
+  s.cur <- apply_corruption s s.cur
+
+let clear_corruption s = s.corrupt <- None
+
 let stage t s v =
+  let v = apply_corruption s v in
   (match s.staged with
   | Some _ ->
       t.n_collisions <- t.n_collisions + 1;
@@ -125,7 +149,7 @@ let drive t s ?(delay = 0) v =
 let force _t s v =
   if Bitvec.width v <> s.swidth then
     invalid_arg (Printf.sprintf "Engine.force %s: width mismatch" s.sname);
-  s.cur <- v
+  s.cur <- apply_corruption s v
 
 let on_change _t s f = s.hooks <- f :: s.hooks
 

@@ -64,6 +64,17 @@ val on_change : t -> signal -> (unit -> unit) -> unit
 (** Register a callback invoked (after processes are woken) whenever the
     signal's value changes. Used by probes and the VCD tracer. *)
 
+val corrupt_signal : t -> signal -> (Bitvec.t -> Bitvec.t) -> unit
+(** Fault injection: apply [f] to every value committed to the signal
+    (drives, delayed assignments and {!force}), and to its current value
+    immediately. Used by the mutation-campaign infrastructure to model
+    stuck-at and bit-flip hardware defects. [f] must preserve the width;
+    a later call replaces the previous transform. *)
+
+val clear_corruption : signal -> unit
+(** Remove a {!corrupt_signal} transform (already-committed values keep
+    their corrupted state). *)
+
 (** {1 Processes} *)
 
 val process : t -> name:string -> ?sensitivity:signal list -> (unit -> unit) -> process

@@ -38,3 +38,14 @@ val edge_detect_source : width_px:int -> height_px:int -> threshold:int -> strin
 
 val edge_detect_reference :
   width_px:int -> height_px:int -> threshold:int -> int list -> int list
+
+val divmod_source : pairs:int -> string
+(** Per pair [(input[2i], input[2i+1])], signed quotient into [q[i]] and
+    remainder into [r[i]] at width 8. Built to exercise the division
+    edge-case convention ({!Bitvec.sdiv}): include zero divisors and the
+    overflow pair [(128, 255)] (i.e. [-128 / -1]) in the stimuli. *)
+
+val divmod_reference : int list -> (int * int) list
+(** [(quotient, remainder)] per pair, 8-bit wrapped, computed
+    independently of [Bitvec] (RISC-V convention: [x/0 = all-ones],
+    [x%0 = x], overflow wraps to the dividend). *)

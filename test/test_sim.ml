@@ -392,6 +392,69 @@ let prop_heap_order =
       in
       popped = expected)
 
+(* Property: pop_at removes exactly the cohort scheduled at the earliest
+   time, in FIFO order, leaving everything later untouched. List sizes up
+   to 300 push the heap through several internal grows. *)
+let prop_heap_pop_at =
+  QCheck2.Test.make ~name:"pop_at drains exactly the min-time cohort"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 300) (int_range 0 10))
+    (fun times ->
+      let h = Event_heap.create () in
+      List.iteri (fun i t -> Event_heap.push h ~time:t (t, i)) times;
+      match Event_heap.min_time h with
+      | None -> false
+      | Some t ->
+          let cohort = Event_heap.pop_at h t in
+          let expected =
+            List.mapi (fun i x -> (x, i)) times
+            |> List.filter (fun (x, _) -> x = t)
+          in
+          cohort = expected
+          && Event_heap.size h = List.length times - List.length cohort
+          && (match Event_heap.min_time h with
+             | None -> cohort <> []
+             | Some t' -> t' > t))
+
+(* Property: FIFO time ordering survives interleaved pushing and popping
+   (the pattern the engine's delta loop actually produces). *)
+let prop_heap_interleaved =
+  QCheck2.Test.make ~name:"heap order stable under interleaved push/pop"
+    ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 100) (int_range 0 20))
+        (list_size (int_range 1 100) (int_range 0 20)))
+    (fun (first, second) ->
+      let h = Event_heap.create () in
+      List.iteri (fun i t -> Event_heap.push h ~time:t (t, i)) first;
+      let popped = ref [] in
+      for _ = 1 to List.length first / 2 do
+        match Event_heap.pop h with
+        | Some (t, _) -> popped := t :: !popped
+        | None -> ()
+      done;
+      (* New events may not be scheduled in the past. *)
+      let base = match !popped with [] -> 0 | t :: _ -> t in
+      List.iteri
+        (fun i t -> Event_heap.push h ~time:(base + t) (base + t, 1000 + i))
+        second;
+      let rec drain () =
+        match Event_heap.pop h with
+        | Some (t, _) ->
+            popped := t :: !popped;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      let times_seen = List.rev !popped in
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+        | _ -> true
+      in
+      nondecreasing times_seen
+      && List.length times_seen = List.length first + List.length second)
+
 let suite =
   let qc = QCheck_alcotest.to_alcotest in
   [
@@ -424,4 +487,6 @@ let suite =
     qc prop_buffer_chain;
     qc prop_event_order;
     qc prop_heap_order;
+    qc prop_heap_pop_at;
+    qc prop_heap_interleaved;
   ]

@@ -64,6 +64,62 @@ let test_memfile_write_words () =
   Sys.remove path;
   Alcotest.(check (list int)) "written" [ 10; 20 ] words
 
+let test_memfile_negative_addr_rejected () =
+  with_temp_file "1\n2\n@-3\n4\n" (fun path ->
+      let raised =
+        try ignore (Memfile.read_words path); false
+        with Memfile.Format_error { line = 3; message } ->
+          Alcotest.(check bool) "mentions the address" true
+            (contains "-3" message);
+          true
+      in
+      check_bool "negative @addr rejected with line" true raised)
+
+let test_memfile_addr_past_end_rejected () =
+  with_temp_file "# header comment\n1\n@12\n4\n" (fun path ->
+      let m = Memory.create ~name:"stim" ~width:8 10 in
+      let raised =
+        try Memfile.load_into m path; false
+        with Memfile.Format_error { line = 3; message } ->
+          Alcotest.(check bool) "mentions the memory" true
+            (contains "stim" message);
+          true
+      in
+      check_bool "@addr past the end rejected with line" true raised;
+      (* The boundary address itself is fine. *)
+      with_temp_file "@9\n7\n" (fun path2 ->
+          Memfile.load_into m path2;
+          check_int "last cell loaded" 7 (Bitvec.to_int (Memory.read m 9))))
+
+let test_memfile_signed_roundtrip () =
+  (* A memory full of msb-set cells must reload to identical contents
+     from both renderings; the signed file must actually contain the
+     negative readback values. *)
+  List.iter
+    (fun width ->
+      let top = 1 lsl (width - 1) in
+      let m =
+        Memory.of_list ~width [ 0; 1; top; top + 1; (2 * top) - 1 ]
+      in
+      let path = Filename.temp_file "memfile" ".mem" in
+      Memfile.save ~signed:true m path;
+      let m2 = Memory.create ~width 5 in
+      Memfile.load_into m2 path;
+      Sys.remove path;
+      check_bool
+        (Printf.sprintf "signed round trip at width %d" width)
+        true (Memory.equal m m2))
+    [ 2; 8; 16; 31 ];
+  let m = Memory.of_list ~width:8 [ 255; 128 ] in
+  let path = Filename.temp_file "memfile" ".mem" in
+  Memfile.save ~signed:true m path;
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  check_bool "file shows -1" true (contains "-1\n" contents);
+  check_bool "file shows -128" true (contains "-128" contents)
+
 (* --- simulate ----------------------------------------------------------- *)
 
 let compile_src src = Compile.compile (Lang.Parser.parse_string src)
@@ -132,7 +188,46 @@ let test_verify_pass () =
   in
   check_bool "passed" true outcome.Verify.passed;
   check_bool "all memories match" true
-    (List.for_all (fun m -> m.Verify.matches) outcome.Verify.memories)
+    (List.for_all (fun m -> m.Verify.matches) outcome.Verify.memories);
+  check_int "no out-of-range accesses" 0
+    (outcome.Verify.golden_oob + outcome.Verify.hw_oob)
+
+let test_verify_golden_oob_fails () =
+  (* The index is computed at runtime so no static check can reject it:
+     the golden model reads past the end of [m], which must fail the
+     verification even though the stray read returns 0 on both sides and
+     the memories still compare equal. *)
+  let src =
+    "program oob width 8; mem m[4]; mem out[1]; var i; var x; i = 6; x = \
+     m[i + 3]; out[0] = 1;"
+  in
+  let outcome = Verify.run_source ~inits:[ ("m", [ 1; 2; 3; 4 ]) ] src in
+  check_bool "golden oob counted" true (outcome.Verify.golden_oob > 0);
+  check_bool "oob flagged" true outcome.Verify.oob_failed;
+  check_bool "verification fails" false outcome.Verify.passed;
+  check_bool "memories still compare equal" true
+    (List.for_all (fun m -> m.Verify.matches) outcome.Verify.memories);
+  check_bool "one-liner explains" true
+    (contains "out-of-range" (Report.one_line outcome))
+
+let test_verify_hw_oob_warns_by_default () =
+  (* fir's inner loop computes [idx = i - j] before guarding it, so the
+     sram's async read port transiently presents wrapped addresses: the
+     hardware counter is nonzero while the golden run is clean. That is
+     a warning by default and a failure only in strict mode. *)
+  let src = Workloads.Kernels.fir_source ~taps:[ 1; 2; 3 ] ~n:6 in
+  let input = [ 1; 2; 3; 4; 5; 6 ] in
+  let outcome = Verify.run_source ~inits:[ ("input", input) ] src in
+  check_int "golden run clean" 0 outcome.Verify.golden_oob;
+  check_bool "hw transients observed" true (outcome.Verify.hw_oob > 0);
+  check_bool "passes by default" true outcome.Verify.passed;
+  let strict =
+    Verify.run_source ~fail_on_oob:true ~inits:[ ("input", input) ] src
+  in
+  check_bool "strict mode fails" false strict.Verify.passed;
+  check_bool "strict oob flagged" true strict.Verify.oob_failed;
+  check_bool "report shows the counts" true
+    (contains "out-of-range" (Report.verification_to_string strict))
 
 let test_verify_detects_wrong_memory_init () =
   (* Different initial contents for the two runs cannot happen through the
@@ -415,11 +510,16 @@ let suite =
     ("memfile errors", `Quick, test_memfile_errors);
     ("memfile load_list", `Quick, test_memfile_load_list);
     ("memfile write_words", `Quick, test_memfile_write_words);
+    ("memfile negative @addr rejected", `Quick, test_memfile_negative_addr_rejected);
+    ("memfile @addr past end rejected", `Quick, test_memfile_addr_past_end_rejected);
+    ("memfile signed round trip", `Quick, test_memfile_signed_roundtrip);
     ("simulate configuration", `Quick, test_simulate_configuration);
     ("simulate max cycles", `Quick, test_simulate_max_cycles);
     ("simulate vcd dump", `Quick, test_simulate_vcd_dump);
     ("simulate rtg sequences partitions", `Quick, test_simulate_rtg_sequences_partitions);
     ("verify pass", `Quick, test_verify_pass);
+    ("verify fails on golden oob", `Quick, test_verify_golden_oob_fails);
+    ("verify warns on hw-only oob", `Quick, test_verify_hw_oob_warns_by_default);
     ("verify detects dropped store", `Quick, test_verify_detects_wrong_memory_init);
     ("verify detects corrupted const", `Quick, test_verify_failure_injection_netlist);
     ("verify report rendering", `Quick, test_verify_report_rendering);

@@ -63,6 +63,7 @@ let test_kernels_wellformed () =
       ("gcd", Workloads.Kernels.gcd_source ());
       ("sort", Workloads.Kernels.sort_source ~n:6);
       ("edges", Workloads.Kernels.edge_detect_source ~width_px:8 ~height_px:4 ~threshold:10);
+      ("divmod", Workloads.Kernels.divmod_source ~pairs:4);
     ]
 
 let test_kernel_references () =
@@ -73,6 +74,37 @@ let test_kernel_references () =
     (Workloads.Kernels.gcd_reference [ 12; 18; 7; 49 ]);
   Alcotest.(check (list int)) "sort" [ 1; 2; 3 ]
     (Workloads.Kernels.sort_reference [ 3; 1; 2 ])
+
+let test_divmod_reference_vs_interpreter () =
+  (* The reference computes signed 8-bit quotient/remainder without
+     Bitvec; the interpreter routes through Bitvec.sdiv/srem. Running the
+     edge cases (zero divisors, -128/-1 overflow) through both pins the
+     division convention from two independent directions. *)
+  let input =
+    [ 100; 7; 250; 3; 42; 0; 0; 0; 128; 255; 255; 255; 17; 251; 128; 5 ]
+  in
+  let prog =
+    Lang.Parser.parse_string (Workloads.Kernels.divmod_source ~pairs:8)
+  in
+  let stores = Hashtbl.create 4 in
+  let lookup name =
+    match Hashtbl.find_opt stores name with
+    | Some s -> s
+    | None ->
+        let size = match name with "input" -> 16 | _ -> 8 in
+        let s = Operators.Memory.create ~name ~width:8 size in
+        if name = "input" then Operators.Memory.load s input;
+        Hashtbl.add stores name s;
+        s
+  in
+  let _ = Lang.Interp.run ~memories:lookup prog in
+  let expected = Workloads.Kernels.divmod_reference input in
+  Alcotest.(check (list int))
+    "quotients agree" (List.map fst expected)
+    (Operators.Memory.to_list (lookup "q"));
+  Alcotest.(check (list int))
+    "remainders agree" (List.map snd expected)
+    (Operators.Memory.to_list (lookup "r"))
 
 let prop_gcd_reference_is_gcd =
   QCheck2.Test.make ~name:"gcd reference matches Euclid" ~count:100
@@ -109,6 +141,7 @@ let suite =
     ("hamming codeword stream", `Quick, test_hamming_codeword_stream);
     ("kernels well-formed", `Quick, test_kernels_wellformed);
     ("kernel references", `Quick, test_kernel_references);
+    ("divmod reference vs interpreter", `Quick, test_divmod_reference_vs_interpreter);
     qc prop_gcd_reference_is_gcd;
     qc prop_sort_reference_sorted;
     qc prop_fdct_reference_linear_in_dc;
