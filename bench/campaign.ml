@@ -1,0 +1,120 @@
+(* Mutation-campaign throughput benchmark.
+
+   Runs the acceptance campaign (gcd8, 50 faults, seed 1) once per
+   worker count, checks the parallel reports are byte-identical to the
+   sequential one, and emits a JSON record so the perf trajectory of the
+   campaign hot path stays measurable across PRs:
+
+     dune build @bench-campaign        # writes BENCH_faultcamp.json
+
+   The committed copy at the repo root is refreshed from that output. *)
+
+module Faultcamp = Testinfra.Faultcamp
+module Report = Testinfra.Report
+
+let workload = ref "gcd8"
+let faults = ref 50
+let seed = ref 1
+let jobs_list = ref [ 1; 4 ]
+let out_path = ref "BENCH_faultcamp.json"
+
+let usage = "campaign [-w WORKLOAD] [-n FAULTS] [-seed N] [-jobs 1,4] [-o PATH]"
+
+let parse_jobs s =
+  match List.map int_of_string (String.split_on_char ',' s) with
+  | js when js <> [] && List.for_all (fun j -> j >= 1) js -> jobs_list := js
+  | _ | (exception _) -> raise (Arg.Bad ("bad -jobs list: " ^ s))
+
+let spec =
+  [
+    ("-w", Arg.Set_string workload, "NAME workload to mutate");
+    ("-n", Arg.Set_int faults, "N faults to plan");
+    ("-seed", Arg.Set_int seed, "N campaign seed");
+    ("-jobs", Arg.String parse_jobs, "J1,J2,... worker counts to measure");
+    ("-o", Arg.Set_string out_path, "PATH output JSON file");
+  ]
+
+let run_record case ~jobs =
+  let c = Faultcamp.run ~seed:!seed ~faults:!faults ~jobs case in
+  let report = Report.campaign_to_string ~verbose:true c in
+  (c, report)
+
+let json_of_run (c : Faultcamp.t) =
+  Printf.sprintf
+    {|    { "jobs": %d, "wall_seconds": %.6f, "mutants": %d,
+      "mutants_per_second": %.3f, "kill_rate": %.4f,
+      "total_mutant_cycles": %d }|}
+    c.Faultcamp.jobs c.Faultcamp.wall_seconds
+    (List.length c.Faultcamp.mutants)
+    c.Faultcamp.mutants_per_second c.Faultcamp.kill_rate
+    c.Faultcamp.total_mutant_cycles
+
+let () =
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let case =
+    match Faultcamp.find_workload !workload with
+    | Some c -> c
+    | None ->
+        Printf.eprintf "error: unknown workload %S\n" !workload;
+        exit 1
+  in
+  let runs = List.map (fun jobs -> run_record case ~jobs) !jobs_list in
+  (match runs with
+  | [] -> ()
+  | (_, baseline_report) :: rest ->
+      List.iter
+        (fun (c, report) ->
+          if report <> baseline_report then begin
+            Printf.eprintf
+              "error: report at jobs=%d differs from jobs=%d — campaign \
+               execution is not deterministic\n"
+              c.Faultcamp.jobs (fst (List.hd runs)).Faultcamp.jobs;
+            exit 1
+          end)
+        rest);
+  let baseline_wall =
+    match runs with (c, _) :: _ -> c.Faultcamp.wall_seconds | [] -> 0.
+  in
+  let speedups =
+    List.map
+      (fun (c, _) ->
+        Printf.sprintf {|    { "jobs": %d, "speedup_vs_first": %.3f }|}
+          c.Faultcamp.jobs
+          (if c.Faultcamp.wall_seconds > 0. then
+             baseline_wall /. c.Faultcamp.wall_seconds
+           else 0.))
+      runs
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "benchmark": "faultcamp-campaign",
+  "schema_version": 1,
+  "workload": "%s",
+  "seed": %d,
+  "faults_requested": %d,
+  "host_cores": %d,
+  "deterministic_across_jobs": true,
+  "runs": [
+%s
+  ],
+  "speedups": [
+%s
+  ]
+}
+|}
+      !workload !seed !faults
+      (Domain.recommended_domain_count ())
+      (String.concat ",\n" (List.map (fun (c, _) -> json_of_run c) runs))
+      (String.concat ",\n" speedups)
+  in
+  let oc = open_out !out_path in
+  output_string oc json;
+  close_out oc;
+  List.iter
+    (fun (c, _) ->
+      Printf.printf "jobs=%d: %.3fs, %.1f mutants/s, kill rate %.1f%%\n"
+        c.Faultcamp.jobs c.Faultcamp.wall_seconds c.Faultcamp.mutants_per_second
+        (100. *. c.Faultcamp.kill_rate))
+    runs;
+  Printf.printf "wrote %s\n" !out_path

@@ -8,7 +8,7 @@ let list_workloads () =
     (fun (c : Testinfra.Suite.case) -> print_endline c.Testinfra.Suite.case_name)
     (Testinfra.Faultcamp.default_workloads ())
 
-let run_campaign workload faults seed factor verbose =
+let run_campaign workload faults seed factor jobs verbose =
   match Testinfra.Faultcamp.find_workload workload with
   | None ->
       Printf.eprintf
@@ -16,47 +16,21 @@ let run_campaign workload faults seed factor verbose =
       exit 1
   | Some case ->
       let campaign =
-        Testinfra.Faultcamp.run ~seed ~faults ~max_cycles_factor:factor case
+        Testinfra.Faultcamp.run ~seed ~faults ~max_cycles_factor:factor ~jobs
+          case
       in
-      Printf.printf "=== mutation campaign: %s (seed=%d) ===\n"
-        campaign.Testinfra.Faultcamp.workload
-        campaign.Testinfra.Faultcamp.seed;
-      Printf.printf "clean run: PASS in %d cycles (hw oob baseline %d)\n"
-        campaign.Testinfra.Faultcamp.clean_cycles
-        campaign.Testinfra.Faultcamp.clean_oob;
-      Printf.printf "faults: %d planned of %d requested\n\n"
-        (List.length campaign.Testinfra.Faultcamp.mutants)
-        campaign.Testinfra.Faultcamp.requested;
-      if verbose then begin
-        List.iter
-          (fun (m : Testinfra.Faultcamp.mutant) ->
-            Printf.printf "%-40s %s (%d cycles)\n"
-              (Faults.Fault.describe m.Testinfra.Faultcamp.fault)
-              (Testinfra.Faultcamp.outcome_to_string
-                 m.Testinfra.Faultcamp.outcome)
-              m.Testinfra.Faultcamp.mutant_cycles)
-          campaign.Testinfra.Faultcamp.mutants;
-        print_newline ()
-      end;
-      print_string (Testinfra.Metrics.campaign_table campaign);
-      let survivors = Testinfra.Faultcamp.survivors campaign in
-      if survivors <> [] then begin
-        Printf.printf "\nsurviving mutants (%d):\n" (List.length survivors);
-        List.iter
-          (fun (m : Testinfra.Faultcamp.mutant) ->
-            Printf.printf "  %s\n"
-              (Faults.Fault.describe m.Testinfra.Faultcamp.fault))
-          survivors
-      end;
-      Printf.printf "\nkill rate: %.1f%%\n"
-        (100. *. campaign.Testinfra.Faultcamp.kill_rate)
+      (* The report on stdout is deterministic (identical at any -j);
+         machine-dependent timing goes to stderr so `faultcamp > out`
+         diffs clean across worker counts. *)
+      Testinfra.Report.campaign ~verbose Format.std_formatter campaign;
+      Printf.eprintf "%s\n" (Testinfra.Metrics.campaign_timing campaign)
 
-let run workload faults seed factor verbose list =
+let run workload faults seed factor jobs verbose list =
   try
     if list then list_workloads ()
-    else run_campaign workload faults seed factor verbose
+    else run_campaign workload faults seed factor jobs verbose
   with
-  | Failure msg | Sys_error msg ->
+  | Failure msg | Sys_error msg | Invalid_argument msg ->
       Printf.eprintf "error: %s\n" msg;
       exit 1
   | Lang.Check.Invalid errs | Compiler.Compile.Error errs ->
@@ -83,6 +57,12 @@ let factor_arg =
        & info [ "max-cycles-factor" ] ~docv:"K"
            ~doc:"Mutant cycle budget as a multiple of the clean run.")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"JOBS"
+           ~doc:"Worker domains executing mutants in parallel. The report \
+                 is identical at any value; only wall-clock changes.")
+
 let verbose_arg =
   Arg.(value & flag
        & info [ "v"; "verbose" ] ~doc:"Print every mutant's outcome.")
@@ -97,6 +77,6 @@ let cmd =
              report the verifier's kill rate per fault class.")
     Term.(
       const run $ workload_arg $ faults_arg $ seed_arg $ factor_arg
-      $ verbose_arg $ list_arg)
+      $ jobs_arg $ verbose_arg $ list_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -6,7 +6,7 @@
 
      dune exec examples/handwritten_design.exe  *)
 
-module Builder = Netlist.Dp_builder
+module Builder = Netlist.Dpbuilder
 module Dp = Netlist.Datapath
 module Fsm = Fsmkit.Fsm
 module Guard = Fsmkit.Guard

@@ -1,6 +1,6 @@
 module Ast = Lang.Ast
 module Dp = Netlist.Datapath
-module Builder = Netlist.Dp_builder
+module Builder = Netlist.Dpbuilder
 module Fsm = Fsmkit.Fsm
 module Guard = Fsmkit.Guard
 module Opspec = Operators.Opspec

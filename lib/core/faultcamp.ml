@@ -2,7 +2,11 @@ module Compile = Compiler.Compile
 module Memory = Operators.Memory
 module Fault = Faults.Fault
 
-type outcome = Killed of string | Survived | Timeout
+type outcome =
+  | Killed of string
+  | Survived
+  | Timeout
+  | Crashed of string
 
 type mutant = {
   fault : Fault.t;
@@ -16,18 +20,23 @@ type class_stats = {
   killed : int;
   survived : int;
   timed_out : int;
+  crashed : int;
 }
 
 type t = {
   workload : string;
   seed : int;
   requested : int;
+  jobs : int;
   clean_passed : bool;
   clean_cycles : int;
   clean_oob : int;
   mutants : mutant list;
   by_class : class_stats list;
   kill_rate : float;
+  wall_seconds : float;
+  total_mutant_cycles : int;
+  mutants_per_second : float;
 }
 
 let default_workloads () =
@@ -132,11 +141,28 @@ let class_breakdown mutants =
         killed = count (fun m -> match m.outcome with Killed _ -> true | _ -> false);
         survived = count (fun m -> m.outcome = Survived);
         timed_out = count (fun m -> m.outcome = Timeout);
+        crashed = count (fun m -> match m.outcome with Crashed _ -> true | _ -> false);
       })
     Fault.all_classes
 
-let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4)
+(* Crash isolation: a mutant whose simulation raises (a fault can surface
+   division-by-zero or drive an index out of any guarded range) must be
+   recorded, not allowed to abort the other several hundred mutants. The
+   pool already captures per-task exceptions; here they become [Crashed]
+   outcomes, which count as detected — a design that brings the simulator
+   down has certainly been noticed. *)
+let run_mutants ?(jobs = 1) ~exec plan =
+  List.map2
+    (fun fault -> function
+      | Ok mutant -> mutant
+      | Error e ->
+          { fault; outcome = Crashed (Printexc.to_string e); mutant_cycles = 0 })
+    plan
+    (Pool.run ~jobs exec plan)
+
+let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
     (case : Suite.case) =
+  let wall_started = Unix.gettimeofday () in
   let prog = Lang.Parser.parse_string case.Suite.source in
   let compiled = Compile.compile prog in
   let golden_lookup, golden_stores =
@@ -167,47 +193,49 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4)
   let budget =
     (clean_run.Simulate.total_cycles * max_cycles_factor) + 1_000
   in
+  (* Plan generation stays single-threaded (one RNG stream); only the
+     independent mutant executions below fan out over the pool. *)
   let plan = Fault.plan ~seed ~n:faults compiled in
-  let mutants =
-    List.map
-      (fun fault ->
-        let hw_lookup, hw_stores =
-          Verify.memory_env prog ~inits:case.Suite.inits
-        in
-        Fault.apply_to_memories hw_lookup fault;
-        let injections =
-          match Fault.perturbation fault with
-          | Some (cfg, port, fn) ->
-              [
-                {
-                  Simulate.inj_cfg = Some cfg;
-                  inj_port = port;
-                  inj_transform = fn;
-                };
-              ]
-          | None -> []
-        in
-        let mutate_fsm fsm = Fault.apply_to_fsm fsm fault in
-        let run =
-          Simulate.run_compiled ~max_cycles:budget ~injections ~mutate_fsm
-            ~memories:hw_lookup compiled
-        in
-        {
-          fault;
-          outcome =
-            judge ~golden_stores ~golden_asserts ~clean_hw_oob hw_stores run;
-          mutant_cycles = run.Simulate.total_cycles;
-        })
-      plan
+  let exec fault =
+    let hw_lookup, hw_stores =
+      Verify.memory_env prog ~inits:case.Suite.inits
+    in
+    Fault.apply_to_memories hw_lookup fault;
+    let injections =
+      match Fault.perturbation fault with
+      | Some (cfg, port, fn) ->
+          [
+            {
+              Simulate.inj_cfg = Some cfg;
+              inj_port = port;
+              inj_transform = fn;
+            };
+          ]
+      | None -> []
+    in
+    let mutate_fsm fsm = Fault.apply_to_fsm fsm fault in
+    let run =
+      Simulate.run_compiled ~max_cycles:budget ~injections ~mutate_fsm
+        ~memories:hw_lookup compiled
+    in
+    {
+      fault;
+      outcome =
+        judge ~golden_stores ~golden_asserts ~clean_hw_oob hw_stores run;
+      mutant_cycles = run.Simulate.total_cycles;
+    }
   in
+  let mutants = run_mutants ~jobs ~exec plan in
   let detected =
     List.length
       (List.filter (fun m -> m.outcome <> Survived) mutants)
   in
+  let wall_seconds = Unix.gettimeofday () -. wall_started in
   {
     workload = case.Suite.case_name;
     seed;
     requested = faults;
+    jobs;
     clean_passed;
     clean_cycles = clean_run.Simulate.total_cycles;
     clean_oob = clean_hw_oob;
@@ -216,11 +244,24 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4)
     kill_rate =
       (if mutants = [] then 0.
        else float_of_int detected /. float_of_int (List.length mutants));
+    wall_seconds;
+    total_mutant_cycles =
+      List.fold_left (fun acc m -> acc + m.mutant_cycles) 0 mutants;
+    mutants_per_second =
+      (if wall_seconds > 0. then
+         float_of_int (List.length mutants) /. wall_seconds
+       else 0.);
   }
 
 let survivors t = List.filter (fun m -> m.outcome = Survived) t.mutants
+
+let crashes t =
+  List.filter
+    (fun m -> match m.outcome with Crashed _ -> true | _ -> false)
+    t.mutants
 
 let outcome_to_string = function
   | Killed reason -> "killed (" ^ reason ^ ")"
   | Survived -> "SURVIVED"
   | Timeout -> "timeout"
+  | Crashed msg -> "crashed (" ^ msg ^ ")"

@@ -16,11 +16,16 @@ type outcome =
   | Timeout
       (** The mutant exceeded the cycle budget (counts as detected: a
           hung design never reports success). *)
+  | Crashed of string
+      (** The mutant's simulation raised; the string is the exception.
+          Counts as detected — a fault that brings the simulator down is
+          anything but silent — and, crucially, it is confined to its own
+          mutant instead of aborting the rest of the campaign. *)
 
 type mutant = {
   fault : Faults.Fault.t;
   outcome : outcome;
-  mutant_cycles : int;
+  mutant_cycles : int;  (** 0 for {!Crashed} mutants. *)
 }
 
 type class_stats = {
@@ -29,18 +34,23 @@ type class_stats = {
   killed : int;
   survived : int;
   timed_out : int;
+  crashed : int;
 }
 
 type t = {
   workload : string;
   seed : int;
   requested : int;  (** Faults asked for; fewer run if sites run out. *)
+  jobs : int;  (** Worker domains used for mutant execution. *)
   clean_passed : bool;
   clean_cycles : int;
   clean_oob : int;  (** Hardware OOB count of the clean run (baseline). *)
   mutants : mutant list;  (** In plan order. *)
   by_class : class_stats list;
-  kill_rate : float;  (** Detected (killed + timeout) over injected. *)
+  kill_rate : float;  (** Detected (killed + timeout + crashed) over injected. *)
+  wall_seconds : float;  (** Whole-campaign wall clock (compile included). *)
+  total_mutant_cycles : int;  (** Sum of [mutant_cycles] over all mutants. *)
+  mutants_per_second : float;  (** Throughput over [wall_seconds]. *)
 }
 
 val default_workloads : unit -> Suite.case list
@@ -48,16 +58,34 @@ val default_workloads : unit -> Suite.case list
 
 val find_workload : string -> Suite.case option
 
-val run : ?seed:int -> ?faults:int -> ?max_cycles_factor:int ->
+val run : ?seed:int -> ?faults:int -> ?max_cycles_factor:int -> ?jobs:int ->
   Suite.case -> t
 (** Compile the workload once, run the golden model and a clean hardware
     simulation, then one mutated simulation per planned fault (fresh
     memory environment each time; cycle budget = clean cycles x
-    [max_cycles_factor] + 1000). Same seed, same workload: identical
-    plan and identical outcomes. Raises [Failure] when the {e clean}
-    design already fails verification — a campaign over a broken design
+    [max_cycles_factor] + 1000). [jobs] (default 1) fans the mutant
+    executions out over a {!Pool} of worker domains; plan generation is
+    single-threaded and results are collected in plan order, so the
+    campaign — mutant list, outcomes, statistics — is bit-identical for
+    a given seed at any [jobs]. Only [wall_seconds] /
+    [mutants_per_second] / [jobs] vary with the worker count. A mutant
+    whose simulation raises is recorded as {!Crashed} rather than
+    aborting the campaign. Raises [Failure] when the {e clean} design
+    already fails verification — a campaign over a broken design
     measures nothing. *)
 
+val run_mutants :
+  ?jobs:int -> exec:(Faults.Fault.t -> mutant) -> Faults.Fault.t list ->
+  mutant list
+(** The execution core of {!run}, exposed for testing the isolation
+    guarantee: apply [exec] to every planned fault over a [jobs]-wide
+    pool, returning mutants in plan order; a raising [exec] yields a
+    {!Crashed} mutant (with the exception printed into the outcome and
+    [mutant_cycles = 0]) instead of propagating. *)
+
 val survivors : t -> mutant list
+
+val crashes : t -> mutant list
+(** The mutants recorded as {!Crashed}, in plan order. *)
 
 val outcome_to_string : outcome -> string

@@ -83,16 +83,20 @@ let tabulate ~header rows =
 let render_table rows = tabulate ~header (List.map row_to_strings rows)
 
 let campaign_header =
-  [ "Fault class"; "Injected"; "Killed"; "Survived"; "Timeout"; "Kill %" ]
+  [
+    "Fault class"; "Injected"; "Killed"; "Survived"; "Timeout"; "Crashed";
+    "Kill %";
+  ]
 
 let campaign_row (s : Faultcamp.class_stats) =
-  let detected = s.Faultcamp.killed + s.Faultcamp.timed_out in
+  let detected = s.Faultcamp.killed + s.Faultcamp.timed_out + s.Faultcamp.crashed in
   [
     s.Faultcamp.cls;
     string_of_int s.Faultcamp.injected;
     string_of_int s.Faultcamp.killed;
     string_of_int s.Faultcamp.survived;
     string_of_int s.Faultcamp.timed_out;
+    string_of_int s.Faultcamp.crashed;
     (if s.Faultcamp.injected = 0 then "-"
      else
        Printf.sprintf "%.0f"
@@ -119,8 +123,52 @@ let campaign_table (c : Faultcamp.t) =
               (fun (m : Faultcamp.mutant) ->
                 m.Faultcamp.outcome = Faultcamp.Timeout)
               c.Faultcamp.mutants));
+      string_of_int (List.length (Faultcamp.crashes c));
       Printf.sprintf "%.0f" (100. *. c.Faultcamp.kill_rate);
     ]
   in
   tabulate ~header:campaign_header
     (List.map campaign_row c.Faultcamp.by_class @ [ totals ])
+
+type cycle_stats = {
+  min_cycles : int;
+  max_cycles : int;
+  mean_cycles : float;
+}
+
+(* Crashed mutants never reach a stable cycle count; excluding their zero
+   placeholder keeps the mean meaningful. *)
+let campaign_cycle_stats (c : Faultcamp.t) =
+  let counted =
+    List.filter_map
+      (fun (m : Faultcamp.mutant) ->
+        match m.Faultcamp.outcome with
+        | Faultcamp.Crashed _ -> None
+        | _ -> Some m.Faultcamp.mutant_cycles)
+      c.Faultcamp.mutants
+  in
+  match counted with
+  | [] -> None
+  | first :: rest ->
+      let min_cycles = List.fold_left min first rest in
+      let max_cycles = List.fold_left max first rest in
+      let sum = List.fold_left ( + ) 0 counted in
+      Some
+        {
+          min_cycles;
+          max_cycles;
+          mean_cycles = float_of_int sum /. float_of_int (List.length counted);
+        }
+
+let campaign_timing (c : Faultcamp.t) =
+  let cycles =
+    match campaign_cycle_stats c with
+    | None -> "no simulated mutants"
+    | Some s ->
+        Printf.sprintf "mutant cycles min/mean/max %d/%.0f/%d (total %d)"
+          s.min_cycles s.mean_cycles s.max_cycles c.Faultcamp.total_mutant_cycles
+  in
+  Printf.sprintf "wall %.3fs, %.1f mutants/s over %d job%s; %s"
+    c.Faultcamp.wall_seconds c.Faultcamp.mutants_per_second c.Faultcamp.jobs
+    (if c.Faultcamp.jobs = 1 then "" else "s")
+    cycles

@@ -1,0 +1,111 @@
+(* A chunked task queue behind a mutex and two condition variables.
+
+   Tasks are [unit -> unit] thunks that write their own result slot; the
+   public [map]/[mapi] wrap user functions so a thunk can never raise.
+   Workers block on [nonempty] until tasks arrive (or shutdown), pop up
+   to [chunk] tasks, run them outside the lock, then decrement [pending]
+   and wake the submitter through [drained] when the batch is finished.
+
+   Result slots are distinct array cells, each written by exactly one
+   task and read only after the mutex-protected [pending = 0] handshake,
+   so every write happens-before the submitter's read. *)
+
+type t = {
+  jobs : int;
+  chunk : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;  (* a task was queued, or shutdown started *)
+  drained : Condition.t;  (* [pending] reached zero *)
+  queue : (unit -> unit) Queue.t;
+  mutable pending : int;  (* queued or running tasks of the current batch *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.stop do
+    Condition.wait t.nonempty t.mutex
+  done;
+  if Queue.is_empty t.queue then (* stopping and nothing left to run *)
+    Mutex.unlock t.mutex
+  else begin
+    let batch = ref [] in
+    let n = ref 0 in
+    while !n < t.chunk && not (Queue.is_empty t.queue) do
+      batch := Queue.pop t.queue :: !batch;
+      incr n
+    done;
+    Mutex.unlock t.mutex;
+    List.iter (fun task -> task ()) (List.rev !batch);
+    Mutex.lock t.mutex;
+    t.pending <- t.pending - !n;
+    if t.pending = 0 then Condition.broadcast t.drained;
+    Mutex.unlock t.mutex;
+    worker_loop t
+  end
+
+let create ?(chunk = 1) ~jobs () =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  if chunk < 1 then invalid_arg "Pool.create: chunk must be >= 1";
+  let t =
+    {
+      jobs;
+      chunk;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      drained = Condition.create ();
+      queue = Queue.create ();
+      pending = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+let mapi t f xs =
+  if t.stop then invalid_arg "Pool.mapi: pool is shut down";
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let results = Array.make n None in
+  let capture i x =
+    results.(i) <- Some (try Ok (f i x) with e -> Error e)
+  in
+  if t.jobs = 1 then Array.iteri capture items
+  else begin
+    Mutex.lock t.mutex;
+    Array.iteri (fun i x -> Queue.add (fun () -> capture i x) t.queue) items;
+    t.pending <- t.pending + n;
+    Condition.broadcast t.nonempty;
+    while t.pending > 0 do
+      Condition.wait t.drained t.mutex
+    done;
+    Mutex.unlock t.mutex
+  end;
+  Array.to_list
+    (Array.map
+       (function
+         | Some r -> r
+         | None -> assert false (* pending = 0 means every slot was written *))
+       results)
+
+let map t f xs = mapi t (fun _ x -> f x) xs
+
+let with_pool ?chunk ~jobs f =
+  let t = create ?chunk ~jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run ?chunk ~jobs f xs = with_pool ?chunk ~jobs (fun t -> map t f xs)

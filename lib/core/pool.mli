@@ -1,0 +1,56 @@
+(** A bounded pool of OCaml 5 worker domains for embarrassingly parallel
+    task lists.
+
+    The campaign driver ({!Faultcamp}) executes hundreds of independent
+    compile+simulate+diff runs; this pool fans them out over a fixed
+    number of domains while keeping every observable result deterministic:
+
+    - results come back {e in submission order}, never in completion
+      order, so callers see the same list regardless of scheduling;
+    - an exception raised by one task is captured and returned as that
+      task's [Error] — it neither kills the pool nor leaks into any
+      other task's result;
+    - [jobs = 1] spawns no domains at all and degrades to a plain
+      sequential map with the same capture semantics, so single-threaded
+      runs stay bit-identical to the parallel ones.
+
+    Internally the pool is a chunked task queue behind a mutex and two
+    condition variables (one woken on task arrival, one on batch
+    completion). Workers pop up to [chunk] tasks at a time; the default
+    chunk of 1 load-balances best when individual tasks are heavy, which
+    simulation runs are.
+
+    A pool is meant to be driven from one domain at a time: concurrent
+    {!map} calls from different domains on the same pool are not
+    supported. *)
+
+type t
+
+val create : ?chunk:int -> jobs:int -> unit -> t
+(** Spawn a pool of [jobs] worker domains ([jobs = 1]: none — work runs
+    inline on the calling domain). Workers pop up to [chunk] (default 1)
+    queued tasks per critical section. Raises [Invalid_argument] when
+    [jobs < 1] or [chunk < 1]. *)
+
+val jobs : t -> int
+(** The worker count the pool was created with. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** [map t f xs] applies [f] to every element, fanning out over the
+    pool's workers, and returns one result per input {e in input order}.
+    A task that raises [e] yields [Error e] in its own slot; all other
+    tasks still run to completion. Blocks until every task finished. *)
+
+val mapi : t -> (int -> 'a -> 'b) -> 'a list -> ('b, exn) result list
+(** Like {!map}, also passing each element's 0-based submission index. *)
+
+val shutdown : t -> unit
+(** Stop accepting work, wake every worker and join their domains.
+    Idempotent. Using {!map} after [shutdown] raises. *)
+
+val with_pool : ?chunk:int -> jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] over a fresh pool and guarantees
+    {!shutdown} runs afterwards, whether [f] returns or raises. *)
+
+val run : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** One-shot convenience: [with_pool ~jobs (fun t -> map t f xs)]. *)

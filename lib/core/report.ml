@@ -47,6 +47,55 @@ let verification ppf (v : Verify.t) =
 
 let verification_to_string v = Format.asprintf "%a" verification v
 
+(* Everything printed here is a pure function of the campaign's
+   deterministic fields — the mutant list, outcomes and rates — never of
+   wall-clock or worker count, so the rendered report is byte-identical
+   for a given seed at any [jobs]. Timing lives in
+   [Metrics.campaign_timing], which the CLI keeps on stderr. *)
+let campaign ?(verbose = false) ppf (c : Faultcamp.t) =
+  Format.fprintf ppf "=== mutation campaign: %s (seed=%d) ===@."
+    c.Faultcamp.workload c.Faultcamp.seed;
+  Format.fprintf ppf "clean run: PASS in %d cycles (hw oob baseline %d)@."
+    c.Faultcamp.clean_cycles c.Faultcamp.clean_oob;
+  Format.fprintf ppf "faults: %d planned of %d requested@.@."
+    (List.length c.Faultcamp.mutants)
+    c.Faultcamp.requested;
+  if verbose then begin
+    List.iter
+      (fun (m : Faultcamp.mutant) ->
+        Format.fprintf ppf "%-40s %s (%d cycles)@."
+          (Faults.Fault.describe m.Faultcamp.fault)
+          (Faultcamp.outcome_to_string m.Faultcamp.outcome)
+          m.Faultcamp.mutant_cycles)
+      c.Faultcamp.mutants;
+    Format.fprintf ppf "@."
+  end;
+  Format.fprintf ppf "%s" (Metrics.campaign_table c);
+  (match Faultcamp.crashes c with
+  | [] -> ()
+  | crashes ->
+      Format.fprintf ppf "@.crashed mutants (%d, counted as detected):@."
+        (List.length crashes);
+      List.iter
+        (fun (m : Faultcamp.mutant) ->
+          Format.fprintf ppf "  %s: %s@."
+            (Faults.Fault.describe m.Faultcamp.fault)
+            (Faultcamp.outcome_to_string m.Faultcamp.outcome))
+        crashes);
+  (match Faultcamp.survivors c with
+  | [] -> ()
+  | survivors ->
+      Format.fprintf ppf "@.surviving mutants (%d):@." (List.length survivors);
+      List.iter
+        (fun (m : Faultcamp.mutant) ->
+          Format.fprintf ppf "  %s@."
+            (Faults.Fault.describe m.Faultcamp.fault))
+        survivors);
+  Format.fprintf ppf "@.kill rate: %.1f%%@." (100. *. c.Faultcamp.kill_rate)
+
+let campaign_to_string ?verbose c =
+  Format.asprintf "%a" (fun ppf -> campaign ?verbose ppf) c
+
 let one_line (v : Verify.t) =
   let prog = v.Verify.compiled.Compiler.Compile.program in
   if v.Verify.passed then

@@ -9,3 +9,13 @@ val verification_to_string : Verify.t -> string
 val one_line : Verify.t -> string
 (** ["PASS name (cycles=..., sim=...s)"] or a FAIL line with the first
     failing memory. *)
+
+val campaign : ?verbose:bool -> Format.formatter -> Faultcamp.t -> unit
+(** Full campaign report: clean-run baseline, per-class kill table,
+    crashed and surviving mutants, kill rate; [verbose] also lists every
+    mutant's outcome. Deterministic — depends only on the campaign's
+    seed-derived fields, never on wall-clock or [jobs], so the same seed
+    renders the identical report at any parallelism. Timing belongs on a
+    diagnostic stream via {!Metrics.campaign_timing}. *)
+
+val campaign_to_string : ?verbose:bool -> Faultcamp.t -> string

@@ -234,12 +234,42 @@ let instantiate rng ~id site =
   in
   { id; kind }
 
-let plan ?(seed = 1) ~n compiled =
+let default_warn msg = Printf.eprintf "fault plan warning: %s\n%!" msg
+
+(* [instantiate] draws a uniform bit / address, which requires a strictly
+   positive range; a zero-width port or zero-sized memory is a site with
+   nothing to corrupt. Such sites must be dropped here — with a warning,
+   since a silently shrunken plan would misreport coverage — instead of
+   letting [Rng.int] raise mid-plan. *)
+let usable_site warn = function
+  | Port_site { cfg; port; width } when width <= 0 ->
+      warn
+        (Printf.sprintf "skipping zero-width port site %s/%s" cfg port);
+      false
+  | Mem_site { mem; size; width } when size <= 0 || width <= 0 ->
+      warn
+        (Printf.sprintf "skipping degenerate memory site %s (size %d, width %d)"
+           mem size width);
+      false
+  | Port_site _ | Mem_site _ | Fsm_site _ -> true
+
+let plan ?(seed = 1) ?(warn = default_warn) ~n compiled =
   if n < 0 then invalid_arg "Fault.plan: negative fault count";
   let rng = Rng.create ~seed in
-  let ports = port_sites compiled in
+  let ports = List.filter (usable_site warn) (port_sites compiled) in
   let fsms = fsm_sites compiled in
-  let mems = mem_sites compiled in
+  let mems = List.filter (usable_site warn) (mem_sites compiled) in
+  if n > 0 then
+    List.iter
+      (fun (what, pool) ->
+        if pool = [] then
+          warn
+            (Printf.sprintf
+               "design offers no %s sites; that class is absent from the plan"
+               what))
+      [ ("port (stuck-at/bit-flip)", ports);
+        ("fsm-retarget", fsms);
+        ("mem-corrupt", mems) ];
   (* Round-robin over the fault classes so a small campaign still covers
      every class the design offers sites for. Stuck-at and bit-flip share
      the port sites; [instantiate] picks between them, so give ports two

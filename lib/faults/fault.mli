@@ -66,8 +66,14 @@ val apply_to_memories : (string -> Operators.Memory.t) -> t -> unit
 (** Corrupt the targeted cell of a memory environment (no-op for non-
     memory faults). *)
 
-val plan : ?seed:int -> n:int -> Compiler.Compile.t -> t list
+val plan :
+  ?seed:int -> ?warn:(string -> unit) -> n:int -> Compiler.Compile.t -> t list
 (** Generate up to [n] distinct faults over the design's fault sites,
     cycling through the fault classes. The same seed and design give the
     identical plan. Fewer than [n] faults are returned only when the
-    design does not offer enough distinct sites. *)
+    design does not offer enough distinct sites.
+
+    Degenerate sites (zero-width ports, zero-sized memories) and fault
+    classes the design has no sites for are skipped with a message to
+    [warn] (default: stderr) rather than raising; a design with no
+    usable sites at all yields an explicit empty plan. *)

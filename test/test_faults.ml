@@ -205,7 +205,8 @@ let test_campaign_stats_consistent () =
   List.iter
     (fun (s : Faultcamp.class_stats) ->
       check_int (s.Faultcamp.cls ^ " counts add up") s.Faultcamp.injected
-        (s.Faultcamp.killed + s.Faultcamp.survived + s.Faultcamp.timed_out))
+        (s.Faultcamp.killed + s.Faultcamp.survived + s.Faultcamp.timed_out
+       + s.Faultcamp.crashed))
     campaign.Faultcamp.by_class;
   let table = Testinfra.Metrics.campaign_table campaign in
   check_bool "table lists every class" true
@@ -216,6 +217,154 @@ let test_campaign_stats_consistent () =
          let rec go i = i + n <= h && (String.sub table i n = cls || go (i + 1)) in
          go 0)
        Fault.all_classes)
+
+let gcd8_case () =
+  match Faultcamp.find_workload "gcd8" with
+  | Some c -> c
+  | None -> Alcotest.fail "gcd8 workload missing"
+
+(* The acceptance determinism property: the whole campaign record is
+   equal at jobs=1 and jobs=4, save for the fields that record the
+   measurement itself (worker count, wall clock, throughput). *)
+let test_campaign_parallel_deterministic () =
+  let case = gcd8_case () in
+  let c1 = Faultcamp.run ~seed:1 ~faults:20 ~jobs:1 case in
+  let c4 = Faultcamp.run ~seed:1 ~faults:20 ~jobs:4 case in
+  let normalise (c : Faultcamp.t) =
+    { c with Faultcamp.jobs = 0; wall_seconds = 0.; mutants_per_second = 0. }
+  in
+  check_bool "jobs recorded" true
+    (c1.Faultcamp.jobs = 1 && c4.Faultcamp.jobs = 4);
+  check_bool "equal Faultcamp.t at jobs=1 and jobs=4" true
+    (normalise c1 = normalise c4);
+  check_bool "rendered reports byte-identical" true
+    (Testinfra.Report.campaign_to_string ~verbose:true c1
+    = Testinfra.Report.campaign_to_string ~verbose:true c4)
+
+(* Crash isolation: a raising mutant execution becomes a Crashed outcome
+   in its own slot — plan order preserved, no other mutant affected, at
+   any worker count. *)
+let test_crash_isolated_per_mutant () =
+  let plan =
+    List.init 6 (fun id ->
+        { Fault.id; kind = Fault.Mem_corrupt { mem = "m"; addr = id; xor = 1 } })
+  in
+  let exec (f : Fault.t) =
+    if f.Fault.id mod 2 = 0 then raise Division_by_zero
+    else
+      { Faultcamp.fault = f; outcome = Faultcamp.Survived; mutant_cycles = 7 }
+  in
+  List.iter
+    (fun jobs ->
+      let mutants = Faultcamp.run_mutants ~jobs ~exec plan in
+      check_int "every planned mutant recorded" 6 (List.length mutants);
+      List.iteri
+        (fun i (m : Faultcamp.mutant) ->
+          check_int "plan order kept" i m.Faultcamp.fault.Fault.id;
+          match m.Faultcamp.outcome with
+          | Faultcamp.Crashed msg ->
+              check_bool "raising mutants crash in place" true
+                (i mod 2 = 0 && m.Faultcamp.mutant_cycles = 0
+                && msg = Printexc.to_string Division_by_zero)
+          | Faultcamp.Survived -> check_bool "others unaffected" true (i mod 2 = 1)
+          | _ -> Alcotest.fail "unexpected outcome")
+        mutants)
+    [ 1; 3 ]
+
+(* A campaign record containing a crash: counted as detected, reported in
+   its own table column, excluded from the cycle statistics. *)
+let test_crash_counted_as_detected () =
+  let fault id = { Fault.id; kind = Fault.Mem_corrupt { mem = "m"; addr = id; xor = 1 } } in
+  let exec (f : Fault.t) =
+    if f.Fault.id = 1 then failwith "synthetic simulator crash"
+    else
+      { Faultcamp.fault = f; outcome = Faultcamp.Survived; mutant_cycles = 50 }
+  in
+  let mutants = Faultcamp.run_mutants ~jobs:1 ~exec [ fault 0; fault 1; fault 2 ] in
+  let campaign =
+    {
+      Faultcamp.workload = "synthetic";
+      seed = 0;
+      requested = 3;
+      jobs = 1;
+      clean_passed = true;
+      clean_cycles = 50;
+      clean_oob = 0;
+      mutants;
+      by_class =
+        [
+          {
+            Faultcamp.cls = "mem-corrupt";
+            injected = 3;
+            killed = 0;
+            survived = 2;
+            timed_out = 0;
+            crashed = 1;
+          };
+        ];
+      kill_rate = 1. /. 3.;
+      wall_seconds = 0.5;
+      total_mutant_cycles = 100;
+      mutants_per_second = 6.;
+    }
+  in
+  check_int "crashes listed" 1 (List.length (Faultcamp.crashes campaign));
+  let table = Testinfra.Metrics.campaign_table campaign in
+  check_bool "table has a Crashed column" true
+    (let needle = "Crashed" in
+     let n = String.length needle and h = String.length table in
+     let rec go i = i + n <= h && (String.sub table i n = needle || go (i + 1)) in
+     go 0);
+  (match Testinfra.Metrics.campaign_cycle_stats campaign with
+  | Some s ->
+      check_int "crashed mutants excluded from cycle stats" 50
+        s.Testinfra.Metrics.min_cycles
+  | None -> Alcotest.fail "cycle stats expected");
+  check_bool "timing line renders" true
+    (String.length (Testinfra.Metrics.campaign_timing campaign) > 0)
+
+(* Zero-site guard: a design with no memories must yield a plan (and a
+   warning), not an Rng exception out of the site-class rotation. *)
+let test_plan_without_mem_sites_warns () =
+  let src =
+    String.concat "\n"
+      [
+        "program nomem width 8;";
+        "var x;";
+        "var y;";
+        "x = 3;";
+        "y = x + 1;";
+        "";
+      ]
+  in
+  let compiled = Compile.compile (Lang.Parser.parse_string src) in
+  let warnings = ref [] in
+  let plan =
+    Fault.plan ~seed:1 ~warn:(fun msg -> warnings := msg :: !warnings) ~n:8
+      compiled
+  in
+  check_bool "planning succeeded without raising" true (List.length plan >= 0);
+  check_bool "absent mem-corrupt class warned about" true
+    (List.exists
+       (fun msg ->
+         let needle = "mem-corrupt" in
+         let n = String.length needle and h = String.length msg in
+         let rec go i = i + n <= h && (String.sub msg i n = needle || go (i + 1)) in
+         go 0)
+       !warnings);
+  check_bool "no mem-corrupt faults planned" true
+    (List.for_all (fun f -> Fault.fault_class f <> "mem-corrupt") plan)
+
+let test_plan_full_design_warns_nothing () =
+  let compiled = compile_workload (vecadd_case ()) in
+  let warnings = ref [] in
+  let plan =
+    Fault.plan ~seed:1 ~warn:(fun msg -> warnings := msg :: !warnings) ~n:10
+      compiled
+  in
+  check_int "no warnings on a design with every site class" 0
+    (List.length !warnings);
+  check_int "full plan" 10 (List.length plan)
 
 let test_memory_corrupt_hook () =
   let m = Memory.create ~name:"m" ~width:8 4 in
@@ -242,5 +391,10 @@ let suite =
     ("campaign deterministic", `Quick, test_campaign_deterministic);
     ("every class killed by memory diff", `Quick, test_campaign_kills_every_class_by_memory_diff);
     ("campaign stats consistent", `Quick, test_campaign_stats_consistent);
+    ("parallel campaign deterministic", `Quick, test_campaign_parallel_deterministic);
+    ("crash isolated per mutant", `Quick, test_crash_isolated_per_mutant);
+    ("crash counted as detected", `Quick, test_crash_counted_as_detected);
+    ("plan without mem sites warns", `Quick, test_plan_without_mem_sites_warns);
+    ("plan on full design warns nothing", `Quick, test_plan_full_design_warns_nothing);
     ("memory corrupt hook", `Quick, test_memory_corrupt_hook);
   ]

@@ -1,7 +1,7 @@
 (* Tests for the VHDL / Verilog emitters (text-level). *)
 
 module Dp = Netlist.Datapath
-module Builder = Netlist.Dp_builder
+module Builder = Netlist.Dpbuilder
 module Fsm = Fsmkit.Fsm
 module Guard = Fsmkit.Guard
 

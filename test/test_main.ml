@@ -17,6 +17,7 @@ let () =
       ("vcd", Test_vcd.suite);
       ("hdl", Test_hdl.suite);
       ("testinfra", Test_testinfra.suite);
+      ("pool", Test_pool.suite);
       ("workloads", Test_workloads.suite);
       ("faults", Test_faults.suite);
       ("integration", Test_integration.suite);

@@ -1,7 +1,7 @@
 (* Tests for the datapath dialect: structure, validation, XML, builder. *)
 
 module Dp = Netlist.Datapath
-module Builder = Netlist.Dp_builder
+module Builder = Netlist.Dpbuilder
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)

@@ -1,0 +1,136 @@
+(* Tests for the domain work pool: results in submission order at any
+   worker count, jobs=1 equivalent to a plain sequential map, per-task
+   exception capture, and pool reuse across batches. *)
+
+module Pool = Testinfra.Pool
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Uneven, deterministic work per item so completion order under real
+   parallelism differs from submission order. *)
+let lopsided i =
+  let spin = 1 + ((i * 7919) mod 997) in
+  let acc = ref 0 in
+  for k = 1 to spin * 50 do
+    acc := (!acc + k) mod 65521
+  done;
+  (i * 2) + (!acc * 0)
+
+let ok_results results =
+  List.map
+    (function Ok v -> v | Error e -> Alcotest.fail (Printexc.to_string e))
+    results
+
+let test_submission_order () =
+  let items = List.init 100 Fun.id in
+  List.iter
+    (fun jobs ->
+      let got = ok_results (Pool.run ~jobs lopsided items) in
+      check_bool
+        (Printf.sprintf "jobs=%d keeps submission order" jobs)
+        true
+        (got = List.map lopsided items))
+    [ 1; 2; 4; 7 ]
+
+let test_jobs1_equals_sequential () =
+  let items = List.init 40 (fun i -> i - 20) in
+  let f x = (x * x) + 1 in
+  check_bool "jobs=1 is the sequential map" true
+    (Pool.run ~jobs:1 f items = List.map (fun x -> Ok (f x)) items)
+
+let test_exceptions_per_task () =
+  let items = List.init 20 Fun.id in
+  let f i = if i mod 3 = 0 then failwith (Printf.sprintf "task %d" i) else i in
+  List.iter
+    (fun jobs ->
+      let results = Pool.run ~jobs f items in
+      check_int
+        (Printf.sprintf "jobs=%d returns one slot per task" jobs)
+        (List.length items) (List.length results);
+      List.iteri
+        (fun i -> function
+          | Ok v ->
+              check_bool "non-multiples succeed" true (i mod 3 <> 0 && v = i)
+          | Error (Failure msg) ->
+              check_bool "failures land in their own slot" true
+                (i mod 3 = 0 && msg = Printf.sprintf "task %d" i)
+          | Error e -> Alcotest.fail (Printexc.to_string e))
+        results)
+    [ 1; 3 ]
+
+let test_reuse_across_batches () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      check_int "pool reports its size" 3 (Pool.jobs pool);
+      let a = ok_results (Pool.map pool (fun x -> x + 1) [ 1; 2; 3 ]) in
+      let b = ok_results (Pool.map pool (fun x -> x * 10) [ 4; 5 ]) in
+      let c = ok_results (Pool.map pool string_of_int [ 6 ]) in
+      check_bool "first batch" true (a = [ 2; 3; 4 ]);
+      check_bool "second batch" true (b = [ 40; 50 ]);
+      check_bool "third batch (different type)" true (c = [ "6" ]));
+  (* Empty input never deadlocks waiting on work that was never queued. *)
+  check_bool "empty input" true (Pool.run ~jobs:4 Fun.id [] = [])
+
+let test_mapi_indices () =
+  let results =
+    Pool.with_pool ~jobs:2 (fun pool ->
+        Pool.mapi pool (fun i x -> (i, x)) [ "a"; "b"; "c" ])
+  in
+  check_bool "indices follow submission order" true
+    (ok_results results = [ (0, "a"); (1, "b"); (2, "c") ])
+
+let test_invalid_configuration () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check_bool "jobs=0 rejected" true
+    (raises (fun () -> Pool.create ~jobs:0 ()));
+  check_bool "chunk=0 rejected" true
+    (raises (fun () -> Pool.create ~chunk:0 ~jobs:2 ()));
+  check_bool "map after shutdown rejected" true
+    (raises (fun () ->
+         let pool = Pool.create ~jobs:2 () in
+         Pool.shutdown pool;
+         Pool.map pool Fun.id [ 1 ]))
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~jobs:2 () in
+  ignore (Pool.map pool Fun.id [ 1; 2 ]);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  check_bool "double shutdown is a no-op" true true
+
+(* qcheck: for arbitrary inputs, worker counts and chunk sizes, the pool
+   is observationally a sequential map. *)
+let prop_pool_is_map =
+  QCheck.Test.make ~count:60 ~name:"pool ≡ sequential map"
+    QCheck.(triple (list small_int) (int_range 1 5) (int_range 1 4))
+    (fun (xs, jobs, chunk) ->
+      let f x = (x * 3) - 1 in
+      Pool.with_pool ~chunk ~jobs (fun pool -> Pool.map pool f xs)
+      = List.map (fun x -> Ok (f x)) xs)
+
+let prop_exception_slots =
+  QCheck.Test.make ~count:40 ~name:"exactly the raising tasks report errors"
+    QCheck.(pair (list small_nat) (int_range 1 4))
+    (fun (xs, jobs) ->
+      let f x = if x mod 2 = 0 then raise Exit else x in
+      let results = Pool.run ~jobs f xs in
+      List.length results = List.length xs
+      && List.for_all2
+           (fun x -> function
+             | Ok v -> x mod 2 = 1 && v = x
+             | Error Exit -> x mod 2 = 0
+             | Error _ -> false)
+           xs results)
+
+let suite =
+  [
+    ("results in submission order", `Quick, test_submission_order);
+    ("jobs=1 equals sequential", `Quick, test_jobs1_equals_sequential);
+    ("exceptions captured per task", `Quick, test_exceptions_per_task);
+    ("pool reused across batches", `Quick, test_reuse_across_batches);
+    ("mapi passes submission indices", `Quick, test_mapi_indices);
+    ("invalid configuration rejected", `Quick, test_invalid_configuration);
+    ("shutdown idempotent", `Quick, test_shutdown_idempotent);
+    QCheck_alcotest.to_alcotest prop_pool_is_map;
+    QCheck_alcotest.to_alcotest prop_exception_slots;
+  ]

@@ -2,7 +2,7 @@
 
 open Sim
 module Dp = Netlist.Datapath
-module Builder = Netlist.Dp_builder
+module Builder = Netlist.Dpbuilder
 module Fsm = Fsmkit.Fsm
 module Guard = Fsmkit.Guard
 module Elaborate = Transform.Elaborate
