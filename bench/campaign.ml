@@ -1,19 +1,28 @@
 (* Mutation-campaign throughput benchmark.
 
-   Runs the acceptance campaign (gcd8, 50 faults, seed 1) once per
-   worker count, checks the parallel reports are byte-identical to the
-   sequential one, and emits a JSON record so the perf trajectory of the
-   campaign hot path stays measurable across PRs:
+   Runs the acceptance campaign (gcd8, seed 1) once per worker count,
+   checks the parallel reports are byte-identical to the sequential one,
+   and emits a JSON record so the perf trajectory of the campaign hot
+   path stays measurable across PRs:
 
      dune build @bench-campaign        # writes BENCH_faultcamp.json
 
-   The committed copy at the repo root is refreshed from that output. *)
+   The committed copy at the repo root is refreshed from that output.
+
+   Unless -n pins the count, the planned faults scale with the host:
+   [base_faults * host_cores], so a wide machine gets a campaign large
+   enough to keep its workers busy while a small one stays quick. The
+   JSON records base, cores and the resolved count so records from
+   different hosts remain comparable (normalize by [faults_requested] /
+   [faults_base]). *)
 
 module Faultcamp = Testinfra.Faultcamp
 module Report = Testinfra.Report
 
+let base_faults = 50
+let host_cores = Domain.recommended_domain_count ()
 let workload = ref "gcd8"
-let faults = ref 50
+let faults_arg = ref None
 let seed = ref 1
 let jobs_list = ref [ 1; 4 ]
 let out_path = ref "BENCH_faultcamp.json"
@@ -28,14 +37,18 @@ let parse_jobs s =
 let spec =
   [
     ("-w", Arg.Set_string workload, "NAME workload to mutate");
-    ("-n", Arg.Set_int faults, "N faults to plan");
+    ("-n", Arg.Int (fun n -> faults_arg := Some n),
+     "N faults to plan (default: 50 per host core)");
     ("-seed", Arg.Set_int seed, "N campaign seed");
     ("-jobs", Arg.String parse_jobs, "J1,J2,... worker counts to measure");
     ("-o", Arg.Set_string out_path, "PATH output JSON file");
   ]
 
+let faults () =
+  match !faults_arg with Some n -> n | None -> base_faults * host_cores
+
 let run_record case ~jobs =
-  let c = Faultcamp.run ~seed:!seed ~faults:!faults ~jobs case in
+  let c = Faultcamp.run ~seed:!seed ~faults:(faults ()) ~jobs case in
   let report = Report.campaign_to_string ~verbose:true c in
   (c, report)
 
@@ -89,9 +102,11 @@ let () =
     Printf.sprintf
       {|{
   "benchmark": "faultcamp-campaign",
-  "schema_version": 1,
+  "schema_version": 2,
   "workload": "%s",
   "seed": %d,
+  "faults_base": %d,
+  "faults_scaled_by_cores": %b,
   "faults_requested": %d,
   "host_cores": %d,
   "deterministic_across_jobs": true,
@@ -103,8 +118,9 @@ let () =
   ]
 }
 |}
-      !workload !seed !faults
-      (Domain.recommended_domain_count ())
+      !workload !seed base_faults
+      (!faults_arg = None)
+      (faults ()) host_cores
       (String.concat ",\n" (List.map (fun (c, _) -> json_of_run c) runs))
       (String.concat ",\n" speedups)
   in

@@ -3,8 +3,10 @@
    Subcommands mirror the paper's flow: [compile] emits the XML dialects
    and their translations, [simulate] runs the generated architecture over
    memory files, [verify] compares it against the golden software run,
-   [dot]/[verilog]/[vhdl] translate existing XML documents, [metrics]
-   prints a Table-I row, and [fig1] renders the infrastructure diagram. *)
+   [lint] statically analyzes documents and bundles (structured
+   diagnostics, non-zero exit on errors), [dot]/[verilog]/[vhdl]
+   translate existing XML documents, [metrics] prints a Table-I row, and
+   [fig1] renders the infrastructure diagram. *)
 
 open Cmdliner
 
@@ -354,7 +356,12 @@ let cmd_suite =
            ~doc:"Verify each case under plain, operator-sharing and \
                  optimized compilation (default: plain only).")
   in
-  let run dir all_variants =
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Fan the (case, variant) verifications out over N worker \
+                 domains. The report is identical for any N.")
+  in
+  let run dir all_variants jobs =
     handle_errors (fun () ->
         let cases =
           match dir with
@@ -365,7 +372,7 @@ let cmd_suite =
           if all_variants then Testinfra.Suite.default_variants
           else [ List.hd Testinfra.Suite.default_variants ]
         in
-        let results = Testinfra.Suite.run ~variants cases in
+        let results = Testinfra.Suite.run ~variants ~jobs cases in
         print_string (Testinfra.Suite.render results);
         exit (if (snd results).Testinfra.Suite.failures = [] then 0 else 1))
   in
@@ -373,7 +380,68 @@ let cmd_suite =
     (Cmd.info "suite"
        ~doc:"Verify a whole regression suite of programs (the paper's \
              complete-test-suite use case).")
-    Term.(const run $ dir_arg $ all_variants_arg)
+    Term.(const run $ dir_arg $ all_variants_arg $ jobs_arg)
+
+(* --- lint ---------------------------------------------------------------- *)
+
+let cmd_lint =
+  let paths_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"PATH"
+           ~doc:"A dialect XML document, or a bundle directory (one \
+                 *_rtg.xml plus the referenced documents).")
+  in
+  let builtin_arg =
+    Arg.(value & flag & info [ "builtin" ]
+           ~doc:"Compile every built-in workload kernel under every \
+                 compiler variant and lint the generated bundles.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON.")
+  in
+  let run paths builtin json =
+    handle_errors (fun () ->
+        let path_diags =
+          List.concat_map
+            (fun path ->
+              if Sys.file_exists path && Sys.is_directory path then
+                Lint.run_dir path
+              else Lint.run_file path)
+            paths
+        in
+        let builtin_diags =
+          if not builtin then []
+          else
+            List.concat_map
+              (fun (case : Testinfra.Suite.case) ->
+                List.concat_map
+                  (fun (variant_name, options) ->
+                    let compiled =
+                      Compiler.Compile.compile ~options
+                        (Lang.Parser.parse_string case.Testinfra.Suite.source)
+                    in
+                    Lint.prefix
+                      (Printf.sprintf "%s/%s" case.Testinfra.Suite.case_name
+                         variant_name)
+                      (Compiler.Compile.lint compiled))
+                  Testinfra.Suite.default_variants)
+              (Testinfra.Suite.builtin_cases ())
+        in
+        let diags = path_diags @ builtin_diags in
+        if json then print_string (Diag.to_json diags)
+        else begin
+          print_string (Diag.render diags);
+          if builtin && diags = [] then
+            print_string "all builtin workload bundles are lint-clean\n"
+        end;
+        exit (if Lint.has_errors diags then 1 else 0))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze dialect documents and bundles: structural \
+             validity, combinational loops, dead logic, FSM reachability, \
+             guard satisfiability, and FSM/datapath/RTG cross-links. Exits \
+             non-zero when any error-severity diagnostic fires.")
+    Term.(const run $ paths_arg $ builtin_arg $ json_arg)
 
 (* --- fig1 ---------------------------------------------------------------- *)
 
@@ -394,7 +462,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            cmd_compile; cmd_simulate; cmd_verify; cmd_run; cmd_dot;
-            cmd_verilog; cmd_vhdl; cmd_systemc; cmd_metrics; cmd_suite;
-            cmd_fig1;
+            cmd_compile; cmd_simulate; cmd_verify; cmd_run; cmd_lint;
+            cmd_dot; cmd_verilog; cmd_vhdl; cmd_systemc; cmd_metrics;
+            cmd_suite; cmd_fig1;
           ]))

@@ -103,6 +103,23 @@ let check_partition_flow prog =
   loop [] 0 parts;
   List.rev !errs
 
+(* --- lint gate ------------------------------------------------------- *)
+
+(* Every compile ends with a whole-design lint of the generated bundle: a
+   code-generation bug that produces a structurally broken or mis-linked
+   design is caught here, before any simulation runs. Error-severity
+   diagnostics abort the compile. *)
+let lint t =
+  let datapaths =
+    List.map
+      (fun p -> (p.datapath.Netlist.Datapath.dp_name, p.datapath))
+      t.partitions
+  in
+  let fsms =
+    List.map (fun p -> (p.fsm.Fsmkit.Fsm.fsm_name, p.fsm)) t.partitions
+  in
+  Lint.run_bundle ~rtg:t.rtg ~datapaths ~fsms
+
 (* --- driver ---------------------------------------------------------- *)
 
 let partition_name prog k total =
@@ -179,7 +196,11 @@ let compile ?(options = default_options) prog =
     }
   in
   Rtg.validate rtg;
-  { program = prog; options; partitions; rtg }
+  let t = { program = prog; options; partitions; rtg } in
+  (match Diag.errors (lint t) with
+  | [] -> ()
+  | errs -> raise (Error (List.map Diag.to_string errs)));
+  t
 
 let datapath_ref t k =
   (List.nth t.partitions k).datapath.Netlist.Datapath.dp_name

@@ -44,7 +44,14 @@ exception Error of string list
 
 val compile : ?options:options -> Lang.Ast.program -> t
 (** Raises {!Lang.Check.Invalid} on source errors and {!Error} on
-    partition-flow violations. *)
+    partition-flow violations — or when {!lint} reports an error-severity
+    diagnostic on the generated design (the post-generation gate: a
+    code-generation bug is caught before any simulation runs). *)
+
+val lint : t -> Diag.t list
+(** Whole-design lint of the generated bundle ({!Lint.run_bundle} over
+    every partition's documents and the RTG). [compile] already gates on
+    the error-severity subset; warnings are available here. *)
 
 val check_partition_flow : Lang.Ast.program -> string list
 (** Diagnostics for cross-partition scalar flow (empty = fine). *)

@@ -118,47 +118,69 @@ let load_dir dir =
     programs
 
 (* A verification that failed to even run is reported as a failed outcome
-   by synthesizing nothing — we track it in the summary only. *)
-let run ?(variants = default_variants) ?max_cycles cases =
+   by synthesizing nothing — we track it in the summary only.
+
+   Every (case, variant) verification is independent, so the whole matrix
+   fans out over a {!Pool}. The pool returns results in submission order
+   and [jobs = 1] runs inline, so the report is identical for any job
+   count. *)
+let run ?(variants = default_variants) ?max_cycles ?(jobs = 1) cases =
+  let started_all = Unix.gettimeofday () in
+  let tasks =
+    List.concat_map
+      (fun case -> List.map (fun variant -> (case, variant)) variants)
+      cases
+  in
+  let outcomes =
+    Pool.run ~jobs
+      (fun (case, (_, options)) ->
+        let started = Unix.gettimeofday () in
+        let outcome =
+          Verify.run_source ~options ?max_cycles ~inits:case.inits case.source
+        in
+        (outcome, Unix.gettimeofday () -. started))
+      tasks
+  in
   let failures = ref [] in
-  let started_all = Sys.time () in
-  let results =
-    List.map
-      (fun case ->
-        let started = Sys.time () in
-        let outcomes =
+  (* Regroup the flat (case x variant) result list case by case. *)
+  let rec regroup cases outcomes =
+    match cases with
+    | [] -> []
+    | case :: rest ->
+        let mine, others =
+          let n = List.length variants in
+          (List.filteri (fun i _ -> i < n) outcomes,
+           List.filteri (fun i _ -> i >= n) outcomes)
+        in
+        let seconds = ref 0. in
+        let row =
           List.filter_map
-            (fun (variant_name, options) ->
-              match
-                Verify.run_source ~options ?max_cycles ~inits:case.inits
-                  case.source
-              with
-              | outcome ->
+            (fun ((variant_name, _), result) ->
+              match result with
+              | Ok (outcome, s) ->
+                  seconds := !seconds +. s;
                   if not outcome.Verify.passed then
                     failures := (case.case_name, variant_name) :: !failures;
                   Some (variant_name, outcome)
-              | exception e ->
+              | Error e ->
                   failures :=
                     ( case.case_name,
                       Printf.sprintf "%s (%s)" variant_name
                         (Printexc.to_string e) )
                     :: !failures;
                   None)
-            variants
+            (List.combine variants mine)
         in
-        {
-          case_name_r = case.case_name;
-          outcomes;
-          seconds = Sys.time () -. started;
-        })
-      cases
+        { case_name_r = case.case_name; outcomes = row; seconds = !seconds }
+        :: regroup rest others
   in
+  let results = regroup cases outcomes in
   ( results,
     {
       cases = List.length cases;
       variants_run = List.length cases * List.length variants;
       failures = List.rev !failures;
-      total_seconds = Sys.time () -. started_all;
+      total_seconds = Unix.gettimeofday () -. started_all;
     } )
 
 let render (results, summary) =

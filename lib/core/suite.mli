@@ -41,10 +41,15 @@ val load_dir : string -> case list
 val run :
   ?variants:(string * Compiler.Compile.options) list ->
   ?max_cycles:int ->
+  ?jobs:int ->
   case list ->
   case_result list * summary
 (** Verify every case under every variant. Compile or verification
-    exceptions are caught and reported as failures. *)
+    exceptions are caught and reported as failures. [jobs] (default 1)
+    fans the independent (case, variant) verifications out over a
+    {!Pool} of worker domains; the report is deterministic — identical
+    ordering and content for any job count (per-case [seconds] and
+    [total_seconds] are wall-clock and naturally vary). *)
 
 val render : case_result list * summary -> string
 (** Per-case PASS/FAIL matrix plus totals. *)

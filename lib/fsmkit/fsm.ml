@@ -46,41 +46,53 @@ let duplicates names =
   in
   loop [] sorted
 
-let check fsm =
-  let errs = ref [] in
-  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
-  List.iter (fun n -> err "duplicate state %S" n)
+(* Diagnostic codes FSM001..FSM011 (structural; reachability/guard
+   analyses in the [Lint] library add FSM012..). *)
+let check_diags fsm =
+  let diags = ref [] in
+  let err ?hint ~code ~loc fmt =
+    Format.kasprintf
+      (fun s -> diags := Diag.error ?hint ~code ~loc "%s" s :: !diags)
+      fmt
+  in
+  List.iter (fun n -> err ~code:"FSM001" ~loc:"" "duplicate state %S" n)
     (duplicates (List.map (fun s -> s.sname) fsm.states));
-  List.iter (fun n -> err "duplicate input %S" n)
+  List.iter (fun n -> err ~code:"FSM002" ~loc:"" "duplicate input %S" n)
     (duplicates (List.map (fun i -> i.io_name) fsm.inputs));
-  List.iter (fun n -> err "duplicate output %S" n)
+  List.iter (fun n -> err ~code:"FSM003" ~loc:"" "duplicate output %S" n)
     (duplicates (List.map (fun o -> o.io_name) fsm.outputs));
-  if fsm.states = [] then err "no states";
+  if fsm.states = [] then err ~code:"FSM004" ~loc:"" "no states";
   if find_state fsm fsm.initial = None then
-    err "initial state %S does not exist" fsm.initial;
+    err ~code:"FSM005" ~loc:"" "initial state %S does not exist" fsm.initial;
   let input_names = List.map (fun i -> i.io_name) fsm.inputs in
   List.iter
     (fun st ->
       List.iter
         (fun (name, value) ->
           match List.find_opt (fun o -> o.io_name = name) fsm.outputs with
-          | None -> err "state %s sets undeclared output %S" st.sname name
+          | None ->
+              err ~code:"FSM006" ~loc:""
+                "state %s sets undeclared output %S" st.sname name
           | Some o ->
               if value < 0 || (o.io_width < Bitvec.max_width && value >= 1 lsl o.io_width)
               then
-                err "state %s: value %d does not fit output %s (width %d)"
-                  st.sname value name o.io_width)
+                err ~code:"FSM007" ~loc:(Printf.sprintf "state %s" st.sname)
+                  "value %d does not fit output %s (width %d)"
+                  value name o.io_width)
         st.settings;
-      List.iter (fun n -> err "state %s sets output %S twice" st.sname n)
+      List.iter
+        (fun n -> err ~code:"FSM008" ~loc:"" "state %s sets output %S twice" st.sname n)
         (duplicates (List.map fst st.settings));
       List.iter
         (fun tr ->
           if find_state fsm tr.target = None then
-            err "state %s: transition to unknown state %S" st.sname tr.target;
+            err ~code:"FSM009" ~loc:(Printf.sprintf "state %s" st.sname)
+              "transition to unknown state %S" tr.target;
           List.iter
             (fun s ->
               if not (List.mem s input_names) then
-                err "state %s: guard references undeclared input %S" st.sname s)
+                err ~code:"FSM010" ~loc:(Printf.sprintf "state %s" st.sname)
+                  "guard references undeclared input %S" s)
             (Guard.signals tr.guard))
         st.transitions)
     fsm.states;
@@ -100,8 +112,12 @@ let check fsm =
        List.exists (fun s -> s.is_done && Hashtbl.mem visited s.sname) fsm.states
      in
      if done_states fsm <> [] && not done_reachable then
-       err "no done state is reachable from %S" fsm.initial);
-  List.rev !errs
+       err ~code:"FSM011" ~loc:""
+         ~hint:"the controller would run forever; add a path to a done state"
+         "no done state is reachable from %S" fsm.initial);
+  List.rev !diags
+
+let check fsm = List.map Diag.to_message (check_diags fsm)
 
 exception Invalid of string list
 

@@ -52,11 +52,17 @@ val done_states : t -> string list
 
 (** {1 Validation} *)
 
+val check_diags : t -> Diag.t list
+(** Structural diagnostics; empty = well-formed. Checks unique names
+    (FSM001–FSM003), non-emptiness and initial state (FSM004, FSM005),
+    declared signals in settings and guards (FSM006, FSM010), values
+    within output widths (FSM007), single settings (FSM008), transition
+    targets (FSM009), and that at least one done state is reachable from
+    the initial state when any exists (FSM011). State-reachability and
+    guard analyses live in the [Lint] library. *)
+
 val check : t -> string list
-(** Diagnostics; empty = well-formed. Checks unique names, existing
-    initial state and transition targets, declared signals in settings and
-    guards, values within output widths, and that at least one done state
-    is reachable from the initial state. *)
+(** {!check_diags} rendered as plain messages — the legacy interface. *)
 
 exception Invalid of string list
 

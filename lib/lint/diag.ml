@@ -1,0 +1,81 @@
+type severity = Error | Warning
+
+type t = {
+  code : string;
+  severity : severity;
+  location : string;
+  message : string;
+  hint : string option;
+}
+
+let make ?hint severity code location fmt =
+  Format.kasprintf
+    (fun message -> { code; severity; location; message; hint })
+    fmt
+
+let error ?hint ~code ~loc fmt = make ?hint Error code loc fmt
+let warning ?hint ~code ~loc fmt = make ?hint Warning code loc fmt
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+
+let to_message d =
+  if d.location = "" then d.message else d.location ^ ": " ^ d.message
+
+let to_string d =
+  let line =
+    Printf.sprintf "%s[%s] %s" (severity_to_string d.severity) d.code
+      (to_message d)
+  in
+  match d.hint with None -> line | Some h -> line ^ "\n  hint: " ^ h
+
+let render = function
+  | [] -> ""
+  | ds ->
+      let body = String.concat "\n" (List.map to_string ds) in
+      Printf.sprintf "%s\n%d error(s), %d warning(s)\n" body
+        (List.length (errors ds))
+        (List.length (warnings ds))
+
+(* Minimal JSON string escaping: the control characters, quote and
+   backslash — diagnostic text is ASCII by construction. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ds =
+  let obj d =
+    let fields =
+      [
+        ("code", d.code);
+        ("severity", severity_to_string d.severity);
+        ("location", d.location);
+        ("message", d.message);
+      ]
+      @ match d.hint with None -> [] | Some h -> [ ("hint", h) ]
+    in
+    "  { "
+    ^ String.concat ", "
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%S: \"%s\"" k (json_escape v))
+           fields)
+    ^ " }"
+  in
+  match ds with
+  | [] -> "[]\n"
+  | ds -> "[\n" ^ String.concat ",\n" (List.map obj ds) ^ "\n]\n"

@@ -1,0 +1,601 @@
+module Dp = Netlist.Datapath
+module Fsm = Fsmkit.Fsm
+module Guard = Fsmkit.Guard
+module Opspec = Operators.Opspec
+
+let guard_space_limit = 1024
+
+let prefix p ds =
+  List.map
+    (fun d ->
+      {
+        d with
+        Diag.location =
+          (if d.Diag.location = "" then p else p ^ " / " ^ d.Diag.location);
+      })
+    ds
+
+let has_errors ds = Diag.errors ds <> []
+
+(* ------------------------------------------------------------------ *)
+(* Datapath: combinational loops, dead operators, unused controls      *)
+
+(* Operator specs, for structurally clean documents only. *)
+let specs_of dp =
+  let specs = Hashtbl.create 16 in
+  List.iter
+    (fun (op : Dp.operator) ->
+      match Dp.operator_spec op with
+      | spec -> Hashtbl.replace specs op.Dp.id spec
+      | exception Opspec.Spec_error _ -> ())
+    dp.Dp.operators;
+  specs
+
+(* DP013: strongly connected components of the operator graph restricted
+   to combinational operators. Any SCC with more than one member — or a
+   self-loop — would oscillate (or deadlock the zero-delay simulator). *)
+let combinational_loops dp =
+  let specs = specs_of dp in
+  let comb id =
+    match Hashtbl.find_opt specs id with
+    | Some s -> not s.Opspec.sequential
+    | None -> false
+  in
+  let succs = Hashtbl.create 16 in
+  let add_edge u v =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt succs u) in
+    if not (List.mem v cur) then Hashtbl.replace succs u (v :: cur)
+  in
+  List.iter
+    (fun (n : Dp.net) ->
+      match n.Dp.source with
+      | Dp.From_control _ -> ()
+      | Dp.From_op src when comb src.Dp.inst ->
+          List.iter
+            (fun (snk : Dp.endpoint) ->
+              if comb snk.Dp.inst then add_edge src.Dp.inst snk.Dp.inst)
+            n.Dp.sinks
+      | Dp.From_op _ -> ())
+    dp.Dp.nets;
+  (* Tarjan, iterating operators in document order for determinism. *)
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (List.rev (Option.value ~default:[] (Hashtbl.find_opt succs v)));
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  List.iter
+    (fun (op : Dp.operator) ->
+      if comb op.Dp.id && not (Hashtbl.mem index op.Dp.id) then
+        strongconnect op.Dp.id)
+    dp.Dp.operators;
+  let self_loop v =
+    List.mem v (Option.value ~default:[] (Hashtbl.find_opt succs v))
+  in
+  let kind_of id =
+    List.find_opt (fun (op : Dp.operator) -> op.Dp.id = id) dp.Dp.operators
+    |> Option.map (fun (op : Dp.operator) -> op.Dp.kind)
+  in
+  (* A cycle that persists with every mux removed oscillates for sure.
+     One broken by muxes may be dynamically acyclic — operator sharing
+     routes pooled units through muxes whose selects never close the
+     loop in any single FSM state — so it only warns (the levelized
+     cycle simulator still refuses such designs). *)
+  let cyclic_without_muxes scc =
+    let members = List.filter (fun v -> kind_of v <> Some "mux") scc in
+    let in_sub v = List.mem v members in
+    let rec dfs path v =
+      List.mem v path
+      || List.exists
+           (fun w -> in_sub w && dfs (v :: path) w)
+           (Option.value ~default:[] (Hashtbl.find_opt succs v))
+    in
+    List.exists (fun v -> dfs [] v) members
+  in
+  List.rev !sccs
+  |> List.filter (fun scc ->
+         match scc with [ v ] -> self_loop v | _ :: _ :: _ -> true | [] -> false)
+  |> List.map (fun scc ->
+         let members = List.sort compare scc in
+         let loc = Printf.sprintf "operator %s" (List.hd members) in
+         let path = String.concat " -> " members in
+         if cyclic_without_muxes scc then
+           Diag.error ~code:"DP013" ~loc
+             ~hint:"break the cycle with a clocked operator (reg/counter/sram)"
+             "combinational loop through %s" path
+         else
+           Diag.warning ~code:"DP013" ~loc
+             ~hint:
+               "shared-operator designs route pooled units through muxes; \
+                the levelized cycle simulator refuses such designs"
+             "structural combinational loop through %s (broken by mux \
+              routing, may be dynamically acyclic)"
+             path)
+
+(* DP014: operators with no path to an observable effect — a sequential
+   operator (register, counter, memory), a status tap, or a test aid. *)
+let test_aid_kinds = [ "probe"; "check"; "stop" ]
+
+let dead_operators dp =
+  let specs = specs_of dp in
+  (* Reverse adjacency: for every net source -> sink, sink maps back to
+     its source; liveness flows backwards from the seeds. *)
+  let preds = Hashtbl.create 16 in
+  let add_pred v u =
+    Hashtbl.replace preds v (u :: Option.value ~default:[] (Hashtbl.find_opt preds v))
+  in
+  List.iter
+    (fun (n : Dp.net) ->
+      match n.Dp.source with
+      | Dp.From_control _ -> ()
+      | Dp.From_op src ->
+          List.iter
+            (fun (snk : Dp.endpoint) -> add_pred snk.Dp.inst src.Dp.inst)
+            n.Dp.sinks)
+    dp.Dp.nets;
+  let status_insts =
+    List.map (fun (s : Dp.status) -> s.Dp.st_source.Dp.inst) dp.Dp.statuses
+  in
+  let is_seed (op : Dp.operator) =
+    List.mem op.Dp.kind test_aid_kinds
+    || (match Hashtbl.find_opt specs op.Dp.id with
+       | Some s -> s.Opspec.sequential
+       | None -> false)
+    || List.mem op.Dp.id status_insts
+  in
+  let live = Hashtbl.create 16 in
+  let rec mark id =
+    if not (Hashtbl.mem live id) then begin
+      Hashtbl.replace live id ();
+      List.iter mark (Option.value ~default:[] (Hashtbl.find_opt preds id))
+    end
+  in
+  List.iter (fun op -> if is_seed op then mark op.Dp.id) dp.Dp.operators;
+  List.filter_map
+    (fun (op : Dp.operator) ->
+      if Hashtbl.mem live op.Dp.id then None
+      else
+        Some
+          (Diag.warning ~code:"DP014"
+             ~loc:(Printf.sprintf "operator %s" op.Dp.id)
+             ~hint:"remove the operator or connect it to an observable"
+             "dead operator: no path to a register, memory, status or probe"))
+    dp.Dp.operators
+
+(* DP015: declared control signals that drive no net. *)
+let unused_controls dp =
+  let used name =
+    List.exists
+      (fun (n : Dp.net) -> n.Dp.source = Dp.From_control name)
+      dp.Dp.nets
+  in
+  List.filter_map
+    (fun (c : Dp.control) ->
+      if used c.Dp.ctl_name then None
+      else
+        Some
+          (Diag.warning ~code:"DP015"
+             ~loc:(Printf.sprintf "control %s" c.Dp.ctl_name)
+             "control signal declared but drives no net"))
+    dp.Dp.controls
+
+let run_datapath dp =
+  let structural = Dp.check_diags dp in
+  if structural <> [] then structural
+  else combinational_loops dp @ dead_operators dp @ unused_controls dp
+
+(* ------------------------------------------------------------------ *)
+(* FSM: state reachability, guard satisfiability and shadowing         *)
+
+let reachable_states fsm =
+  let visited = Hashtbl.create 16 in
+  let rec dfs name =
+    if not (Hashtbl.mem visited name) then begin
+      Hashtbl.replace visited name ();
+      match Fsm.find_state fsm name with
+      | None -> ()
+      | Some st ->
+          List.iter (fun (tr : Fsm.transition) -> dfs tr.Fsm.target) st.Fsm.transitions
+    end
+  in
+  dfs fsm.Fsm.initial;
+  visited
+
+let unreachable_states fsm =
+  let visited = reachable_states fsm in
+  List.filter_map
+    (fun (st : Fsm.state) ->
+      if Hashtbl.mem visited st.Fsm.sname then None
+      else
+        Some
+          (Diag.warning ~code:"FSM012"
+             ~loc:(Printf.sprintf "state %s" st.Fsm.sname)
+             "state unreachable from initial state %S" fsm.Fsm.initial))
+    fsm.Fsm.states
+
+(* Enumerate every assignment of the status signals a state's guards
+   reference. The status space is tiny in practice (mostly 1-bit flags);
+   states whose space exceeds [guard_space_limit] are skipped. *)
+let assignments fsm signals =
+  let width name =
+    List.find_opt (fun (i : Fsm.io) -> i.Fsm.io_name = name) fsm.Fsm.inputs
+    |> Option.map (fun (i : Fsm.io) -> i.Fsm.io_width)
+  in
+  let rec domains = function
+    | [] -> Some []
+    | s :: rest -> (
+        match (width s, domains rest) with
+        | Some w, Some ds when w < 30 -> Some ((s, 1 lsl w) :: ds)
+        | _ -> None)
+  in
+  match domains signals with
+  | None -> None
+  | Some doms ->
+      let space = List.fold_left (fun acc (_, n) -> acc * n) 1 doms in
+      if space > guard_space_limit then None
+      else
+        let rec enum = function
+          | [] -> [ [] ]
+          | (s, n) :: rest ->
+              let tails = enum rest in
+              List.concat_map
+                (fun v -> List.map (fun tl -> (s, v) :: tl) tails)
+                (List.init n Fun.id)
+        in
+        Some (enum doms)
+
+let guard_analyses fsm =
+  List.concat_map
+    (fun (st : Fsm.state) ->
+      let signals =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun (tr : Fsm.transition) -> Guard.signals tr.Fsm.guard)
+             st.Fsm.transitions)
+      in
+      match assignments fsm signals with
+      | None -> []
+      | Some asgs ->
+          let holds g asg = Guard.eval g (fun s -> List.assoc s asg) in
+          let rec walk earlier = function
+            | [] -> []
+            | (tr : Fsm.transition) :: rest ->
+                let sat = List.filter (holds tr.Fsm.guard) asgs in
+                let loc = Printf.sprintf "state %s" st.Fsm.sname in
+                let diag =
+                  if sat = [] then
+                    [
+                      Diag.warning ~code:"FSM013" ~loc
+                        "guard %S can never hold"
+                        (Guard.to_string tr.Fsm.guard);
+                    ]
+                  else if
+                    earlier <> []
+                    && List.for_all
+                         (fun asg -> List.exists (fun g -> holds g asg) earlier)
+                         sat
+                  then
+                    [
+                      Diag.warning ~code:"FSM014" ~loc
+                        ~hint:"transitions are tried in order; earlier guards cover this one"
+                        "transition to %s is shadowed by earlier transitions"
+                        tr.Fsm.target;
+                    ]
+                  else []
+                in
+                diag @ walk (tr.Fsm.guard :: earlier) rest
+          in
+          walk [] st.Fsm.transitions)
+    fsm.Fsm.states
+
+let run_fsm fsm =
+  let structural = Fsm.check_diags fsm in
+  if structural <> [] then structural
+  else unreachable_states fsm @ guard_analyses fsm
+
+let run_rtg = Rtg.check_diags
+
+(* ------------------------------------------------------------------ *)
+(* Cross-document linking                                              *)
+
+let link_configuration ?cfg_name dp fsm =
+  let loc =
+    match cfg_name with
+    | Some c -> Printf.sprintf "configuration %s" c
+    | None -> Printf.sprintf "%s/%s" dp.Dp.dp_name fsm.Fsm.fsm_name
+  in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let find_control name =
+    List.find_opt (fun (c : Dp.control) -> c.Dp.ctl_name = name) dp.Dp.controls
+  in
+  let find_status name =
+    List.find_opt (fun (s : Dp.status) -> s.Dp.st_name = name) dp.Dp.statuses
+  in
+  let control_used name =
+    List.exists (fun (n : Dp.net) -> n.Dp.source = Dp.From_control name) dp.Dp.nets
+  in
+  let asserted name =
+    List.exists
+      (fun (st : Fsm.state) ->
+        match List.assoc_opt name st.Fsm.settings with
+        | Some v -> v <> 0
+        | None -> false)
+      fsm.Fsm.states
+  in
+  (* FSM outputs <-> datapath controls. *)
+  List.iter
+    (fun (o : Fsm.io) ->
+      match find_control o.Fsm.io_name with
+      | None ->
+          add
+            (Diag.error ~code:"XL002" ~loc
+               ~hint:"every FSM output must be declared as a datapath control"
+               "fsm %s output %s has no matching control in datapath %s"
+               fsm.Fsm.fsm_name o.Fsm.io_name dp.Dp.dp_name)
+      | Some c ->
+          if c.Dp.ctl_width <> o.Fsm.io_width then
+            add
+              (Diag.error ~code:"XL004" ~loc
+                 "control %s: fsm output width %d <> datapath width %d"
+                 o.Fsm.io_name o.Fsm.io_width c.Dp.ctl_width)
+          else if asserted o.Fsm.io_name && not (control_used o.Fsm.io_name)
+          then
+            add
+              (Diag.warning ~code:"XL008" ~loc
+                 "control %s asserted by fsm %s but unconnected in datapath %s"
+                 o.Fsm.io_name fsm.Fsm.fsm_name dp.Dp.dp_name))
+    fsm.Fsm.outputs;
+  List.iter
+    (fun (c : Dp.control) ->
+      if
+        not
+          (List.exists
+             (fun (o : Fsm.io) -> o.Fsm.io_name = c.Dp.ctl_name)
+             fsm.Fsm.outputs)
+      then
+        add
+          (Diag.error ~code:"XL003" ~loc
+             ~hint:"an undriven control would float in the composed system"
+             "datapath control %s is not driven by any output of fsm %s"
+             c.Dp.ctl_name fsm.Fsm.fsm_name))
+    dp.Dp.controls;
+  (* FSM inputs <-> datapath statuses. *)
+  List.iter
+    (fun (i : Fsm.io) ->
+      match find_status i.Fsm.io_name with
+      | None ->
+          add
+            (Diag.error ~code:"XL005" ~loc
+               "fsm %s input %s has no matching status in datapath %s"
+               fsm.Fsm.fsm_name i.Fsm.io_name dp.Dp.dp_name)
+      | Some st -> (
+          match Dp.status_width dp st with
+          | w ->
+              if w <> i.Fsm.io_width then
+                add
+                  (Diag.error ~code:"XL007" ~loc
+                     "status %s: datapath width %d <> fsm input width %d"
+                     i.Fsm.io_name w i.Fsm.io_width)
+          | exception Failure _ ->
+              (* The datapath-side diagnostics already cover the broken
+                 status endpoint. *)
+              ()))
+    fsm.Fsm.inputs;
+  List.iter
+    (fun (st : Dp.status) ->
+      if
+        not
+          (List.exists
+             (fun (i : Fsm.io) -> i.Fsm.io_name = st.Dp.st_name)
+             fsm.Fsm.inputs)
+      then
+        add
+          (Diag.warning ~code:"XL006" ~loc
+             "datapath status %s is not read by fsm %s" st.Dp.st_name
+             fsm.Fsm.fsm_name))
+    dp.Dp.statuses;
+  (* XL009: a configuration that can never signal completion. *)
+  if Fsm.done_states fsm = [] then
+    add
+      (Diag.error ~code:"XL009" ~loc
+         ~hint:"flag a state done=\"true\" so the RTG can sequence past it"
+         "fsm %s has no done state; the configuration can never complete"
+         fsm.Fsm.fsm_name);
+  List.rev !diags
+
+let run_configuration dp fsm =
+  prefix (Printf.sprintf "datapath %s" dp.Dp.dp_name) (run_datapath dp)
+  @ prefix (Printf.sprintf "fsm %s" fsm.Fsm.fsm_name) (run_fsm fsm)
+  @ link_configuration dp fsm
+
+(* ------------------------------------------------------------------ *)
+(* Bundles                                                             *)
+
+let uniq_assoc l =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (k, _) ->
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    l
+
+let run_bundle ~rtg ~datapaths ~fsms =
+  let rtg_diags = prefix (Printf.sprintf "rtg %s" rtg.Rtg.rtg_name) (run_rtg rtg) in
+  let dp_diags =
+    List.concat_map
+      (fun (name, dp) ->
+        prefix (Printf.sprintf "datapath %s" name) (run_datapath dp))
+      (uniq_assoc datapaths)
+  in
+  let fsm_diags =
+    List.concat_map
+      (fun (name, fsm) -> prefix (Printf.sprintf "fsm %s" name) (run_fsm fsm))
+      (uniq_assoc fsms)
+  in
+  let cfg_diags =
+    List.concat_map
+      (fun (c : Rtg.configuration) ->
+        let missing what ref_name =
+          Diag.error ~code:"XL001"
+            ~loc:(Printf.sprintf "configuration %s" c.Rtg.cfg_name)
+            "references %s document %S missing from the bundle" what ref_name
+        in
+        match
+          ( List.assoc_opt c.Rtg.datapath_ref datapaths,
+            List.assoc_opt c.Rtg.fsm_ref fsms )
+        with
+        | Some dp, Some fsm ->
+            link_configuration ~cfg_name:c.Rtg.cfg_name dp fsm
+        | dp, fsm ->
+            (if dp = None then [ missing "datapath" c.Rtg.datapath_ref ] else [])
+            @ if fsm = None then [ missing "fsm" c.Rtg.fsm_ref ] else [])
+      rtg.Rtg.configurations
+  in
+  rtg_diags @ dp_diags @ fsm_diags @ cfg_diags
+
+(* ------------------------------------------------------------------ *)
+(* Files and directories                                               *)
+
+type 'a loaded = Doc of 'a | Bad of Diag.t
+
+let parse_doc path =
+  match Xmlkit.Xml_parser.parse_file path with
+  | doc -> Doc doc
+  | exception (Xmlkit.Xml_parser.Parse_error _ as e) ->
+      Bad
+        (Diag.error ~code:"XML001" ~loc:path "%s"
+           (Option.value ~default:"XML parse error"
+              (Xmlkit.Xml_parser.error_to_string e)))
+  | exception Sys_error msg ->
+      Bad (Diag.error ~code:"XML003" ~loc:path "%s" msg)
+
+let convert_doc path of_xml doc =
+  match of_xml doc with
+  | v -> Doc v
+  | exception Xmlkit.Xml_query.Schema_error msg ->
+      Bad (Diag.error ~code:"XML002" ~loc:path "%s" msg)
+  | exception Failure msg ->
+      (* e.g. a malformed "inst.port" endpoint — reported with the file
+         as the lint location instead of escaping as an exception. *)
+      Bad (Diag.error ~code:"XML003" ~loc:path "%s" msg)
+
+let run_file path =
+  match parse_doc path with
+  | Bad d -> [ d ]
+  | Doc doc -> (
+      match doc with
+      | Xmlkit.Xml.Element { Xmlkit.Xml.tag = "datapath"; _ } -> (
+          match convert_doc path Dp.of_xml doc with
+          | Bad d -> [ d ]
+          | Doc dp ->
+              prefix (Printf.sprintf "datapath %s" dp.Dp.dp_name)
+                (run_datapath dp))
+      | Xmlkit.Xml.Element { Xmlkit.Xml.tag = "fsm"; _ } -> (
+          match convert_doc path Fsm.of_xml doc with
+          | Bad d -> [ d ]
+          | Doc fsm ->
+              prefix (Printf.sprintf "fsm %s" fsm.Fsm.fsm_name) (run_fsm fsm))
+      | Xmlkit.Xml.Element { Xmlkit.Xml.tag = "rtg"; _ } -> (
+          match convert_doc path Rtg.of_xml doc with
+          | Bad d -> [ d ]
+          | Doc rtg ->
+              prefix (Printf.sprintf "rtg %s" rtg.Rtg.rtg_name) (run_rtg rtg))
+      | Xmlkit.Xml.Element { Xmlkit.Xml.tag; _ } ->
+          [
+            Diag.error ~code:"XML002" ~loc:path
+              "unknown dialect <%s> (expected datapath, fsm or rtg)" tag;
+          ]
+      | Xmlkit.Xml.Text _ ->
+          [ Diag.error ~code:"XML002" ~loc:path "not an XML element" ])
+
+let run_dir dir =
+  let entries = List.sort compare (Array.to_list (Sys.readdir dir)) in
+  let rtg_files =
+    List.filter (fun f -> Filename.check_suffix f "_rtg.xml") entries
+  in
+  match rtg_files with
+  | [] ->
+      [
+        Diag.error ~code:"BND001" ~loc:dir
+          "no *_rtg.xml found — not a bundle directory";
+      ]
+  | _ :: _ :: _ ->
+      [
+        Diag.error ~code:"BND001" ~loc:dir "several *_rtg.xml files: %s"
+          (String.concat ", " rtg_files);
+      ]
+  | [ rtg_file ] -> (
+      let rtg_path = Filename.concat dir rtg_file in
+      match parse_doc rtg_path with
+      | Bad d -> [ d ]
+      | Doc doc -> (
+          match convert_doc rtg_path Rtg.of_xml doc with
+          | Bad d -> [ d ]
+          | Doc rtg ->
+              let load_side of_xml refs =
+                List.fold_left
+                  (fun (docs, diags) ref_name ->
+                    if List.mem_assoc ref_name docs then (docs, diags)
+                    else
+                      let path = Filename.concat dir (ref_name ^ ".xml") in
+                      if not (Sys.file_exists path) then
+                        (* run_bundle reports the missing reference as
+                           XL001 against its configuration. *)
+                        (docs, diags)
+                      else
+                        match parse_doc path with
+                        | Bad d -> (docs, d :: diags)
+                        | Doc doc -> (
+                            match convert_doc path of_xml doc with
+                            | Bad d -> (docs, d :: diags)
+                            | Doc v -> ((ref_name, v) :: docs, diags)))
+                  ([], []) refs
+              in
+              let datapaths, dp_load =
+                load_side Dp.of_xml
+                  (List.map
+                     (fun (c : Rtg.configuration) -> c.Rtg.datapath_ref)
+                     rtg.Rtg.configurations)
+              in
+              let fsms, fsm_load =
+                load_side Fsm.of_xml
+                  (List.map
+                     (fun (c : Rtg.configuration) -> c.Rtg.fsm_ref)
+                     rtg.Rtg.configurations)
+              in
+              List.rev dp_load @ List.rev fsm_load
+              @ run_bundle ~rtg ~datapaths:(List.rev datapaths)
+                  ~fsms:(List.rev fsms)))

@@ -1,0 +1,104 @@
+(** Whole-design static analysis over the XML dialects.
+
+    The dialect checkers ([Datapath.check_diags], [Fsm.check_diags],
+    [Rtg.check_diags]) validate one document structurally; this module
+    layers the analyses that need a view of the whole design on top of
+    them, and links the documents of a complete bundle together. It is
+    the fast gate in front of the simulate-and-diff loop: many defect
+    classes a miscompiled design can exhibit are decidable without
+    running a single cycle.
+
+    Datapath analyses (beyond DP001–DP012):
+    - [DP013] {e error} — combinational loop: a cycle through
+      non-sequential operators (per {!Operators.Opspec}) would oscillate
+      or deadlock the zero-delay simulator. Downgraded to a {e warning}
+      when every cycle of the component runs through a mux: operator
+      sharing routes pooled units through muxes whose selects never close
+      the loop within a single FSM state, so such designs may be
+      dynamically acyclic (the levelized cycle simulator still refuses
+      them);
+    - [DP014] {e warning} — dead operator: no path from the operator to a
+      register, memory, status, or test aid — it can never influence an
+      observable;
+    - [DP015] {e warning} — a control signal declared but driving no net.
+
+    FSM analyses (beyond FSM001–FSM011):
+    - [FSM012] {e warning} — state unreachable from the initial state;
+    - [FSM013] {e warning} — unsatisfiable transition guard (never true
+      for any assignment of the status inputs);
+    - [FSM014] {e warning} — shadowed transition: every status assignment
+      satisfying its guard also satisfies an earlier transition's guard,
+      so it can never be taken.
+
+    Cross-document linking of a configuration / bundle:
+    - [XL001] {e error} — RTG references a document missing from the
+      bundle;
+    - [XL002] {e error} — FSM output with no matching datapath control;
+    - [XL003] {e error} — datapath control no FSM output drives;
+    - [XL004] {e error} — FSM output / datapath control width mismatch;
+    - [XL005] {e error} — FSM input with no matching datapath status;
+    - [XL006] {e warning} — datapath status the FSM never reads;
+    - [XL007] {e error} — FSM input / datapath status width mismatch;
+    - [XL008] {e warning} — control asserted by the FSM but unconnected
+      in the datapath;
+    - [XL009] {e error} — configuration whose FSM has no done state: it
+      can never complete, so the RTG cannot terminate through it.
+
+    Loading diagnostics ({!run_file} / {!run_dir}):
+    - [XML001] {e error} — XML parse error;
+    - [XML002] {e error} — schema/dialect error (wrong or unknown root);
+    - [XML003] {e error} — document rejected while loading (e.g. a
+      malformed ["inst.port"] endpoint);
+    - [BND001] {e error} — no or several [*_rtg.xml] in a bundle
+      directory. *)
+
+val run_datapath : Netlist.Datapath.t -> Diag.t list
+(** Structural diagnostics plus DP013–DP015. The deep passes only run
+    when the document is structurally clean (they need resolvable
+    operator specs). *)
+
+val run_fsm : Fsmkit.Fsm.t -> Diag.t list
+(** Structural diagnostics plus FSM012–FSM014. Guard analyses enumerate
+    the status space per state and are skipped when it exceeds
+    {!guard_space_limit} assignments. *)
+
+val run_rtg : Rtg.t -> Diag.t list
+
+val guard_space_limit : int
+(** Assignment-count cap for the per-state guard analyses (1024). *)
+
+val link_configuration :
+  ?cfg_name:string -> Netlist.Datapath.t -> Fsmkit.Fsm.t -> Diag.t list
+(** XL002–XL009 for one datapath/FSM pair. [cfg_name] names the RTG
+    configuration in locations (defaults to the document names). *)
+
+val run_configuration : Netlist.Datapath.t -> Fsmkit.Fsm.t -> Diag.t list
+(** Everything about one configuration: {!run_datapath}, {!run_fsm}
+    (locations prefixed with the document names) and
+    {!link_configuration}. *)
+
+val run_bundle :
+  rtg:Rtg.t ->
+  datapaths:(string * Netlist.Datapath.t) list ->
+  fsms:(string * Fsmkit.Fsm.t) list ->
+  Diag.t list
+(** Lint a whole design: the RTG, every referenced document (each linted
+    once even when configurations share it), every configuration's
+    cross-links, and XL001 for references the assoc lists do not
+    resolve. The assoc lists are keyed by document name, as in
+    [Testinfra.Bundle]. *)
+
+val run_file : string -> Diag.t list
+(** Lint one saved XML document (dialect chosen by the root tag). Load
+    failures become XML001–XML003 diagnostics instead of exceptions. *)
+
+val run_dir : string -> Diag.t list
+(** Lint a bundle directory ([*_rtg.xml] plus referenced documents, the
+    [Testinfra.Bundle] layout) without requiring the documents to be
+    valid: every load failure is captured as a diagnostic. *)
+
+val prefix : string -> Diag.t list -> Diag.t list
+(** Prepend ["<p> / "] to every location (replacing empty locations
+    with [p]). *)
+
+val has_errors : Diag.t list -> bool

@@ -33,12 +33,14 @@ type t = {
 
 let endpoint_of_string s =
   match String.index_opt s '.' with
-  | Some i ->
+  | Some i when i > 0 && i < String.length s - 1 ->
       {
         inst = String.sub s 0 i;
         port = String.sub s (i + 1) (String.length s - i - 1);
       }
-  | None -> failwith (Printf.sprintf "endpoint %S: expected \"inst.port\"" s)
+  | Some _ | None ->
+      failwith
+        (Printf.sprintf "malformed endpoint %S: expected \"inst.port\"" s)
 
 let endpoint_to_string { inst; port } = inst ^ "." ^ port
 
@@ -81,16 +83,24 @@ let duplicates names =
   in
   loop [] sorted
 
-let check dp =
-  let errs = ref [] in
-  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
-  List.iter (fun id -> err "duplicate operator id %S" id)
+(* Diagnostic codes DP001..DP012 (structural; whole-design analyses add
+   DP013.. in the [Lint] library). Locations are document-relative
+   ("net n3", "operator acc") — bundle-level linting prefixes the
+   document name. *)
+let check_diags dp =
+  let diags = ref [] in
+  let err ?hint ~code ~loc fmt =
+    Format.kasprintf
+      (fun s -> diags := Diag.error ?hint ~code ~loc "%s" s :: !diags)
+      fmt
+  in
+  List.iter (fun id -> err ~code:"DP001" ~loc:"" "duplicate operator id %S" id)
     (duplicates (List.map (fun op -> op.id) dp.operators));
-  List.iter (fun id -> err "duplicate net id %S" id)
+  List.iter (fun id -> err ~code:"DP002" ~loc:"" "duplicate net id %S" id)
     (duplicates (List.map (fun n -> n.net_id) dp.nets));
-  List.iter (fun n -> err "duplicate control signal %S" n)
+  List.iter (fun n -> err ~code:"DP003" ~loc:"" "duplicate control signal %S" n)
     (duplicates (List.map (fun c -> c.ctl_name) dp.controls));
-  List.iter (fun n -> err "duplicate status signal %S" n)
+  List.iter (fun n -> err ~code:"DP004" ~loc:"" "duplicate status signal %S" n)
     (duplicates (List.map (fun s -> s.st_name) dp.statuses));
   (* Resolve specs once; bad kinds/params are reported here. *)
   let specs = Hashtbl.create 16 in
@@ -98,12 +108,14 @@ let check dp =
     (fun op ->
       match operator_spec op with
       | spec -> Hashtbl.replace specs op.id spec
-      | exception Opspec.Spec_error msg -> err "operator %s: %s" op.id msg)
+      | exception Opspec.Spec_error msg ->
+          err ~code:"DP005" ~loc:(Printf.sprintf "operator %s" op.id) "%s" msg)
     dp.operators;
   let resolve_port ~what { inst; port } =
     match Hashtbl.find_opt specs inst with
     | None ->
-        if find_operator dp inst = None then err "%s: unknown instance %S" what inst;
+        if find_operator dp inst = None then
+          err ~code:"DP006" ~loc:what "unknown instance %S" inst;
         (* If the instance exists but its spec failed, the kind error was
            already reported. *)
         None
@@ -111,7 +123,7 @@ let check dp =
         match port_of_spec spec port with
         | Some p -> Some p
         | None ->
-            err "%s: instance %s has no port %S" what inst port;
+            err ~code:"DP007" ~loc:what "instance %s has no port %S" inst port;
             None)
   in
   let control_width name =
@@ -125,19 +137,20 @@ let check dp =
       (match n.source with
       | From_control name -> (
           match control_width name with
-          | None -> err "%s: unknown control signal %S" what name
+          | None -> err ~code:"DP008" ~loc:what "unknown control signal %S" name
           | Some w ->
               if w <> n.net_width then
-                err "%s: control %s width %d <> net width %d" what name w
-                  n.net_width)
+                err ~code:"DP009" ~loc:what
+                  "control %s width %d <> net width %d" name w n.net_width)
       | From_op ep -> (
           match resolve_port ~what ep with
           | None -> ()
           | Some p ->
               if p.Opspec.direction <> Opspec.Out then
-                err "%s: source %s is not an output" what (endpoint_to_string ep);
+                err ~code:"DP010" ~loc:what "source %s is not an output"
+                  (endpoint_to_string ep);
               if p.Opspec.port_width <> n.net_width then
-                err "%s: source %s width %d <> net width %d" what
+                err ~code:"DP009" ~loc:what "source %s width %d <> net width %d"
                   (endpoint_to_string ep) p.Opspec.port_width n.net_width));
       List.iter
         (fun ep ->
@@ -145,9 +158,10 @@ let check dp =
           | None -> ()
           | Some p ->
               if p.Opspec.direction <> Opspec.In then
-                err "%s: sink %s is not an input" what (endpoint_to_string ep);
+                err ~code:"DP010" ~loc:what "sink %s is not an input"
+                  (endpoint_to_string ep);
               if p.Opspec.port_width <> n.net_width then
-                err "%s: sink %s width %d <> net width %d" what
+                err ~code:"DP009" ~loc:what "sink %s width %d <> net width %d"
                   (endpoint_to_string ep) p.Opspec.port_width n.net_width)
         n.sinks)
     dp.nets;
@@ -159,7 +173,8 @@ let check dp =
       | None -> ()
       | Some p ->
           if p.Opspec.direction <> Opspec.Out then
-            err "%s: %s is not an output" what (endpoint_to_string st.st_source))
+            err ~code:"DP010" ~loc:what "%s is not an output"
+              (endpoint_to_string st.st_source))
     dp.statuses;
   (* Every operator input must be driven exactly once. *)
   let driven = Hashtbl.create 64 in
@@ -181,12 +196,17 @@ let check dp =
               if p.Opspec.direction = Opspec.In then
                 let key = op.id ^ "." ^ p.Opspec.port_name in
                 match Option.value ~default:0 (Hashtbl.find_opt driven key) with
-                | 0 -> err "input %s is unconnected" key
+                | 0 ->
+                    err ~code:"DP011" ~loc:""
+                      ~hint:"connect the input with a net or remove the operator"
+                      "input %s is unconnected" key
                 | 1 -> ()
-                | n -> err "input %s has %d drivers" key n)
+                | n -> err ~code:"DP012" ~loc:"" "input %s has %d drivers" key n)
             spec.Opspec.ports)
     dp.operators;
-  List.rev !errs
+  List.rev !diags
+
+let check dp = List.map Diag.to_message (check_diags dp)
 
 exception Invalid of string list
 

@@ -62,7 +62,8 @@ type t = {
 }
 
 val endpoint_of_string : string -> endpoint
-(** Parses ["inst.port"]. Raises [Failure] without a dot. *)
+(** Parses ["inst.port"]. Raises [Failure] — naming the offending string
+    — when the dot is missing or either part is empty. *)
 
 val endpoint_to_string : endpoint -> string
 
@@ -80,11 +81,16 @@ val status_width : t -> status -> int
 
 (** {1 Validation} *)
 
-val check : t -> string list
+val check_diags : t -> Diag.t list
 (** Structural diagnostics; empty means well-formed. Verifies id
-    uniqueness, known kinds, existing/correctly-directed endpoints, width
-    agreement, and single-driver inputs (every operator input connected
-    exactly once). *)
+    uniqueness (DP001–DP004), known kinds/parameters (DP005), existing
+    endpoints (DP006–DP008), width agreement (DP009), port directions
+    (DP010), and single-driver inputs (DP011 unconnected, DP012 multiple
+    drivers). Locations are document-relative; whole-design analyses
+    (combinational loops, dead units) live in the [Lint] library. *)
+
+val check : t -> string list
+(** {!check_diags} rendered as plain messages — the legacy interface. *)
 
 exception Invalid of string list
 

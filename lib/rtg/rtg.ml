@@ -51,37 +51,54 @@ let duplicates names =
   in
   loop [] sorted
 
-let check rtg =
-  let errs = ref [] in
-  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
-  List.iter (fun n -> err "duplicate configuration %S" n)
+(* Diagnostic codes RTG001..RTG007. *)
+let check_diags rtg =
+  let diags = ref [] in
+  let err ?hint ~code ~loc fmt =
+    Format.kasprintf
+      (fun s -> diags := Diag.error ?hint ~code ~loc "%s" s :: !diags)
+      fmt
+  in
+  List.iter (fun n -> err ~code:"RTG001" ~loc:"" "duplicate configuration %S" n)
     (duplicates (List.map (fun c -> c.cfg_name) rtg.configurations));
-  if rtg.configurations = [] then err "no configurations";
+  if rtg.configurations = [] then err ~code:"RTG002" ~loc:"" "no configurations";
   if find_configuration rtg rtg.initial = None then
-    err "initial configuration %S does not exist" rtg.initial;
-  List.iter (fun n -> err "configuration %S has several outgoing transitions" n)
+    err ~code:"RTG003" ~loc:""
+      "initial configuration %S does not exist" rtg.initial;
+  List.iter
+    (fun n ->
+      err ~code:"RTG004" ~loc:""
+        ~hint:"a configuration reconfigures to at most one successor"
+        "configuration %S has several outgoing transitions" n)
     (duplicates (List.map (fun tr -> tr.src) rtg.transitions));
   List.iter
     (fun tr ->
       if find_configuration rtg tr.src = None then
-        err "transition from unknown configuration %S" tr.src;
+        err ~code:"RTG005" ~loc:""
+          "transition from unknown configuration %S" tr.src;
       if find_configuration rtg tr.dst = None then
-        err "transition to unknown configuration %S" tr.dst)
+        err ~code:"RTG005" ~loc:""
+          "transition to unknown configuration %S" tr.dst)
     rtg.transitions;
   (* Follow the chain from initial: detect cycles and unreachable nodes. *)
-  if !errs = [] then begin
+  if !diags = [] then begin
     let order = execution_order rtg in
     (match successor rtg (List.nth order (List.length order - 1)) with
     | Some next when List.mem next order ->
-        err "cycle: configuration %S re-entered" next
+        err ~code:"RTG006" ~loc:""
+          ~hint:"the reconfiguration sequence would never terminate"
+          "cycle: configuration %S re-entered" next
     | Some _ | None -> ());
     List.iter
       (fun c ->
         if not (List.mem c.cfg_name order) then
-          err "configuration %S unreachable from %S" c.cfg_name rtg.initial)
+          err ~code:"RTG007" ~loc:""
+            "configuration %S unreachable from %S" c.cfg_name rtg.initial)
       rtg.configurations
   end;
-  List.rev !errs
+  List.rev !diags
+
+let check rtg = List.map Diag.to_message (check_diags rtg)
 
 exception Invalid of string list
 

@@ -46,11 +46,15 @@ val configuration_count : t -> int
 
 (** {1 Validation} *)
 
+val check_diags : t -> Diag.t list
+(** Diagnostics; empty = well-formed. Checks unique names (RTG001),
+    non-emptiness (RTG002), the initial configuration (RTG003), at most
+    one outgoing transition per configuration (RTG004), transition
+    endpoints (RTG005), acyclicity (RTG006), and that every configuration
+    is reachable from the initial one (RTG007). *)
+
 val check : t -> string list
-(** Diagnostics; empty = well-formed. Checks unique names, existing
-    initial/endpoints, at most one outgoing transition per configuration,
-    acyclicity, and that every configuration is reachable from the
-    initial one. *)
+(** {!check_diags} rendered as plain messages — the legacy interface. *)
 
 exception Invalid of string list
 

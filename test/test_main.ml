@@ -20,5 +20,6 @@ let () =
       ("pool", Test_pool.suite);
       ("workloads", Test_workloads.suite);
       ("faults", Test_faults.suite);
+      ("lint", Test_lint.suite);
       ("integration", Test_integration.suite);
     ]
