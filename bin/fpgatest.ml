@@ -101,11 +101,17 @@ let max_cycles_arg =
 (* --- compile ----------------------------------------------------------- *)
 
 let cmd_compile =
-  let run src share optimize fold dir =
+  let deep_gate_arg =
+    Arg.(value & flag & info [ "deep-gate" ]
+           ~doc:"Also gate the compile on the abstract-interpretation \
+                 provers: abort when they prove a defect (out-of-bounds \
+                 store, dynamically closing combinational cycle, ...).")
+  in
+  let run src share optimize fold deep_gate dir =
     handle_errors (fun () ->
         let compiled =
           Compiler.Compile.compile ~options:(options_of share optimize fold)
-            (parse_program src)
+            ~deep_gate (parse_program src)
         in
         let artifacts = Testinfra.Flow.emit_all ~dir compiled in
         List.iter
@@ -116,7 +122,9 @@ let cmd_compile =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a program and emit every artifact (XML, dot, code, HDL).")
-    Term.(const run $ src_arg $ share_arg $ optimize_arg $ fold_arg $ out_dir_arg)
+    Term.(
+      const run $ src_arg $ share_arg $ optimize_arg $ fold_arg
+      $ deep_gate_arg $ out_dir_arg)
 
 (* --- simulate ---------------------------------------------------------- *)
 
@@ -398,38 +406,181 @@ let cmd_lint =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON.")
   in
-  let run paths builtin json =
+  let deep_arg =
+    Arg.(value & flag & info [ "deep" ]
+           ~doc:"Run the abstract-interpretation provers on every bundle: \
+                 memory bounds, read-before-write, division by zero, \
+                 truncation, and per-state resolution of mux-broken \
+                 combinational loops (AI0xx diagnostics).")
+  in
+  let fix_arg =
+    Arg.(value & flag & info [ "fix" ]
+           ~doc:"Rewrite the fixable diagnostics of each bundle directory: \
+                 remove unused controls (DP015) together with the FSM \
+                 outputs driving them (XL008). Writes <name>.fixed.xml \
+                 next to the originals unless --in-place.")
+  in
+  let in_place_arg =
+    Arg.(value & flag & info [ "in-place" ]
+           ~doc:"With --fix, overwrite the original documents instead of \
+                 writing <name>.fixed.xml copies.")
+  in
+  let guard_limit_arg =
+    Arg.(value & opt int Lint.guard_space_limit & info [ "guard-limit" ]
+           ~docv:"N"
+           ~doc:"Assignment-count cap for the per-state guard analyses \
+                 (BND002 reports states that exceed it).")
+  in
+  let no_timing_arg =
+    Arg.(value & flag & info [ "no-timing" ]
+           ~doc:"Report analysis wall times as 0 (deterministic output, \
+                 e.g. for golden snapshots).")
+  in
+  let deep_json diags (analyses : Lint.analysis list) =
+    let diag_json = Diag.to_json diags in
+    let diag_json =
+      (* embed: drop the trailing newline of the array rendering *)
+      String.trim diag_json
+    in
+    let analysis_json =
+      match analyses with
+      | [] -> "[]"
+      | al ->
+          "[\n"
+          ^ String.concat ",\n"
+              (List.map
+                 (fun (a : Lint.analysis) ->
+                   Printf.sprintf
+                     "    { \"configuration\": %S, \"seconds\": %.6f, \
+                      \"iterations\": %d }"
+                     a.Lint.cfg a.Lint.seconds a.Lint.fixpoint_iterations)
+                 al)
+          ^ "\n  ]"
+    in
+    Printf.sprintf "{\n  \"diagnostics\": %s,\n  \"analysis\": %s\n}\n"
+      diag_json analysis_json
+  in
+  let run paths builtin json deep fix in_place guard_limit no_timing =
     handle_errors (fun () ->
-        let path_diags =
-          List.concat_map
+        let guard_limit = Some guard_limit in
+        if fix then begin
+          if builtin then
+            failwith "--fix applies to bundle directories, not --builtin";
+          let dirs =
+            List.filter
+              (fun p -> Sys.file_exists p && Sys.is_directory p)
+              paths
+          in
+          if dirs = [] then failwith "--fix needs bundle directories";
+          let any_error = ref false in
+          List.iter
+            (fun dir ->
+              match Lint.fix_dir ?guard_limit ~in_place dir with
+              | Error diags ->
+                  print_string (Diag.render diags);
+                  any_error := true
+              | Ok fix ->
+                  let count sel ds = List.length (sel ds) in
+                  Printf.printf
+                    "%s: %d error(s), %d warning(s) -> %d error(s), %d \
+                     warning(s)\n"
+                    dir
+                    (count Diag.errors fix.Lint.before)
+                    (count Diag.warnings fix.Lint.before)
+                    (count Diag.errors fix.Lint.after)
+                    (count Diag.warnings fix.Lint.after);
+                  List.iter
+                    (fun (doc, removed) ->
+                      Printf.printf "  %s: removed %s\n" doc
+                        (String.concat ", " removed))
+                    fix.Lint.removed_controls;
+                  List.iter
+                    (fun p -> Printf.printf "  wrote %s\n" p)
+                    fix.Lint.fixed_paths;
+                  if fix.Lint.fixed_paths = [] then
+                    Printf.printf "  nothing to fix\n";
+                  if Lint.has_errors fix.Lint.after then any_error := true)
+            dirs;
+          exit (if !any_error then 1 else 0)
+        end;
+        let shallow_of path =
+          if Sys.file_exists path && Sys.is_directory path then
+            Lint.run_dir ?guard_limit path
+          else Lint.run_file ?guard_limit path
+        in
+        let path_results =
+          List.map
             (fun path ->
-              if Sys.file_exists path && Sys.is_directory path then
-                Lint.run_dir path
-              else Lint.run_file path)
+              if deep && Sys.file_exists path && Sys.is_directory path then
+                let d = Lint.run_deep_dir ?guard_limit path in
+                (d.Lint.deep_diags, d.Lint.analyses)
+              else (shallow_of path, []))
             paths
         in
-        let builtin_diags =
+        let builtin_results =
           if not builtin then []
           else
             List.concat_map
               (fun (case : Testinfra.Suite.case) ->
-                List.concat_map
+                List.map
                   (fun (variant_name, options) ->
                     let compiled =
                       Compiler.Compile.compile ~options
                         (Lang.Parser.parse_string case.Testinfra.Suite.source)
                     in
-                    Lint.prefix
-                      (Printf.sprintf "%s/%s" case.Testinfra.Suite.case_name
-                         variant_name)
-                      (Compiler.Compile.lint compiled))
+                    let label =
+                      Printf.sprintf "%s/%s" case.Testinfra.Suite.case_name
+                        variant_name
+                    in
+                    (* The emitted HDL is linted too: the backends are
+                       string emitters, so a broken emission would
+                       otherwise only surface in a synthesis tool. *)
+                    let hdl_diags =
+                      List.concat_map
+                        (fun (p : Compiler.Compile.partition) ->
+                          let dp = p.Compiler.Compile.datapath in
+                          let fsm = p.Compiler.Compile.fsm in
+                          Lint.prefix (label ^ "/verilog")
+                            (Hdl.Hdllint.verilog (Hdl.Verilog.system dp fsm))
+                          @ Lint.prefix (label ^ "/vhdl")
+                              (Hdl.Hdllint.vhdl (Hdl.Vhdl.system dp fsm)))
+                        compiled.Compiler.Compile.partitions
+                    in
+                    if deep then
+                      let d = Compiler.Compile.lint_deep compiled in
+                      ( Lint.prefix label d.Lint.deep_diags @ hdl_diags,
+                        List.map
+                          (fun (a : Lint.analysis) ->
+                            {
+                              a with
+                              Lint.cfg = label ^ "/" ^ a.Lint.cfg;
+                            })
+                          d.Lint.analyses )
+                    else
+                      ( Lint.prefix label (Compiler.Compile.lint compiled)
+                        @ hdl_diags,
+                        [] ))
                   Testinfra.Suite.default_variants)
               (Testinfra.Suite.builtin_cases ())
         in
-        let diags = path_diags @ builtin_diags in
-        if json then print_string (Diag.to_json diags)
+        let results = path_results @ builtin_results in
+        let diags = List.concat_map fst results in
+        let analyses = List.concat_map snd results in
+        let analyses =
+          if no_timing then
+            List.map (fun a -> { a with Lint.seconds = 0. }) analyses
+          else analyses
+        in
+        if json then
+          if deep then print_string (deep_json diags analyses)
+          else print_string (Diag.to_json diags)
         else begin
           print_string (Diag.render diags);
+          List.iter
+            (fun (a : Lint.analysis) ->
+              Printf.printf "analysis %s: %d iterations (%.4fs)\n" a.Lint.cfg
+                a.Lint.fixpoint_iterations a.Lint.seconds)
+            analyses;
           if builtin && diags = [] then
             print_string "all builtin workload bundles are lint-clean\n"
         end;
@@ -439,9 +590,13 @@ let cmd_lint =
     (Cmd.info "lint"
        ~doc:"Statically analyze dialect documents and bundles: structural \
              validity, combinational loops, dead logic, FSM reachability, \
-             guard satisfiability, and FSM/datapath/RTG cross-links. Exits \
-             non-zero when any error-severity diagnostic fires.")
-    Term.(const run $ paths_arg $ builtin_arg $ json_arg)
+             guard satisfiability, and FSM/datapath/RTG cross-links — plus \
+             the abstract-interpretation provers with --deep and mechanical \
+             rewrites with --fix. Exits non-zero when any error-severity \
+             diagnostic fires.")
+    Term.(
+      const run $ paths_arg $ builtin_arg $ json_arg $ deep_arg $ fix_arg
+      $ in_place_arg $ guard_limit_arg $ no_timing_arg)
 
 (* --- fig1 ---------------------------------------------------------------- *)
 

@@ -1,0 +1,1321 @@
+module Dp = Netlist.Datapath
+module Fsm = Fsmkit.Fsm
+module Guard = Fsmkit.Guard
+module Opspec = Operators.Opspec
+
+(* Largest unsigned value of a width. Width 62 is Bitvec.max_width and
+   its payload mask is exactly [max_int] (OCaml ints are 63-bit). *)
+let umax width = if width >= 62 then max_int else (1 lsl width) - 1
+
+(* Smallest [n] with [v < 2^n]. *)
+let bits_needed v =
+  let rec go n v = if v = 0 then n else go (n + 1) (v lsr 1) in
+  go 0 v
+
+module Dom = struct
+  type t = {
+    width : int;
+    lo : int;
+    hi : int;
+    kmask : int;
+    kval : int;
+    taint : string list;
+  }
+
+  (* Re-establish the invariants: interval within the width, known bits
+     within the mask, the two components mutually tightened. Every
+     constructor funnels through here, so transfer functions can build
+     loose records and stay sound. *)
+  let norm d =
+    let m = umax d.width in
+    let lo = max 0 (min d.lo m) and hi = max 0 (min d.hi m) in
+    let lo, hi = if lo <= hi then (lo, hi) else (0, m) in
+    let kmask = d.kmask land m in
+    let kval = d.kval land kmask in
+    (* Bits above the top bit of [hi] are zero in every member. *)
+    let hb = bits_needed hi in
+    let hz = if hb >= 62 then 0 else m land lnot ((1 lsl hb) - 1) in
+    let kmask, kval =
+      if kval land hz = 0 then (kmask lor hz, kval) else (kmask, kval)
+    in
+    (* The known bits bound the interval from both sides: unknown bits
+       all-zero gives the minimum, all-one the maximum. *)
+    let minv = kval and maxv = kval lor (m land lnot kmask) in
+    let lo', hi' = (max lo minv, min hi maxv) in
+    let lo, hi = if lo' <= hi' then (lo', hi') else (lo, hi) in
+    let kmask, kval = if lo = hi then (m, lo) else (kmask, kval) in
+    { d with lo; hi; kmask; kval }
+
+  let top ~width =
+    { width; lo = 0; hi = umax width; kmask = 0; kval = 0; taint = [] }
+
+  let const ~width v =
+    let v = v land umax width in
+    { width; lo = v; hi = v; kmask = umax width; kval = v; taint = [] }
+
+  let with_taint taint d = { d with taint = List.sort_uniq compare taint }
+  let is_const d = if d.lo = d.hi then Some d.lo else None
+  let contains d v = v >= d.lo && v <= d.hi && v land d.kmask = d.kval
+  let union_taint a b = List.sort_uniq compare (a @ b)
+
+  let join a b =
+    if a.width <> b.width then
+      invalid_arg
+        (Printf.sprintf "Absint.Dom.join: width %d <> %d" a.width b.width);
+    let agree = lnot (a.kval lxor b.kval) in
+    let kmask = a.kmask land b.kmask land agree in
+    norm
+      {
+        width = a.width;
+        lo = min a.lo b.lo;
+        hi = max a.hi b.hi;
+        kmask;
+        kval = a.kval land kmask;
+        taint = union_taint a.taint b.taint;
+      }
+
+  (* Interval widening: a bound still moving after the join budget jumps
+     straight to the domain bound. Known bits and taint only descend /
+     grow within finite lattices, so the plain join suffices there. *)
+  let widen ~prev ~next =
+    let j = join prev next in
+    let lo = if j.lo < prev.lo then 0 else j.lo in
+    let hi = if j.hi > prev.hi then umax prev.width else j.hi in
+    norm { j with lo; hi }
+
+  let equal a b =
+    a.width = b.width && a.lo = b.lo && a.hi = b.hi && a.kmask = b.kmask
+    && a.kval = b.kval && a.taint = b.taint
+
+  type tri = Yes | No | Maybe
+
+  let truth d =
+    if d.hi = 0 then No else if d.lo > 0 || d.kval <> 0 then Yes else Maybe
+
+  (* Concrete semantics of the binary kinds — the same dispatch the
+     cycle simulator uses, so constant folding agrees with execution by
+     construction (including the division-by-zero convention). *)
+  let concrete_binary = function
+    | "add" -> Bitvec.add
+    | "sub" -> Bitvec.sub
+    | "mul" -> Bitvec.mul
+    | "divu" -> Bitvec.udiv
+    | "divs" -> Bitvec.sdiv
+    | "remu" -> Bitvec.urem
+    | "rems" -> Bitvec.srem
+    | "and" -> Bitvec.logand
+    | "or" -> Bitvec.logor
+    | "xor" -> Bitvec.logxor
+    | "shl" -> fun a b -> Bitvec.shift_left a (Bitvec.to_int b)
+    | "shrl" -> fun a b -> Bitvec.shift_right_logical a (Bitvec.to_int b)
+    | "shra" -> fun a b -> Bitvec.shift_right_arith a (Bitvec.to_int b)
+    | "eq" -> Bitvec.eq
+    | "ne" -> Bitvec.ne
+    | "ltu" -> Bitvec.ult
+    | "leu" -> Bitvec.ule
+    | "gtu" -> Bitvec.ugt
+    | "geu" -> Bitvec.uge
+    | "lts" -> Bitvec.slt
+    | "les" -> Bitvec.sle
+    | "gts" -> Bitvec.sgt
+    | "ges" -> Bitvec.sge
+    | "minu" -> fun a b -> if Bitvec.to_int a <= Bitvec.to_int b then a else b
+    | "maxu" -> fun a b -> if Bitvec.to_int a >= Bitvec.to_int b then a else b
+    | "mins" ->
+        fun a b -> if Bitvec.to_signed a <= Bitvec.to_signed b then a else b
+    | "maxs" ->
+        fun a b -> if Bitvec.to_signed a >= Bitvec.to_signed b then a else b
+    | kind -> Opspec.failf "absint: no binary function for %S" kind
+
+  let of_bool3 = function
+    | Some true -> const ~width:1 1
+    | Some false -> const ~width:1 0
+    | None -> top ~width:1
+
+  (* Known-zero / known-one masks. *)
+  let k0 d = d.kmask land lnot d.kval
+  let k1 d = d.kmask land d.kval
+
+  (* Logical right shift of a value whose sign bit is known 0 — shared
+     by "shrl" and the non-negative "shra" case. *)
+  let shrl_nonneg a b w m =
+    match is_const b with
+    | Some c when c >= w -> const ~width:w 0
+    | Some c ->
+        let kmask = (a.kmask lsr c) lor (m land lnot (m lsr c)) in
+        norm
+          {
+            width = w;
+            lo = a.lo lsr c;
+            hi = a.hi lsr c;
+            kmask;
+            kval = a.kval lsr c;
+            taint = [];
+          }
+    | None ->
+        norm { width = w; lo = 0; hi = a.hi; kmask = 0; kval = 0; taint = [] }
+
+  let binary kind a b =
+    let taint = union_taint a.taint b.taint in
+    let w = a.width in
+    let m = umax w in
+    let iv lo hi = norm { width = w; lo; hi; kmask = 0; kval = 0; taint = [] } in
+    let kb lo hi kmask kval =
+      norm { width = w; lo; hi; kmask; kval; taint = [] }
+    in
+    let r =
+      match (is_const a, is_const b) with
+      | Some x, Some y ->
+          let r =
+            (concrete_binary kind) (Bitvec.create ~width:w x)
+              (Bitvec.create ~width:w y)
+          in
+          const ~width:(Bitvec.width r) (Bitvec.to_int r)
+      | _ -> (
+          match kind with
+          | "add" ->
+              if b.hi <= m - a.hi then iv (a.lo + b.lo) (a.hi + b.hi)
+              else top ~width:w
+          | "sub" ->
+              if a.lo >= b.hi then iv (a.lo - b.hi) (a.hi - b.lo)
+              else top ~width:w
+          | "mul" ->
+              if a.hi = 0 || b.hi = 0 then const ~width:w 0
+              else if a.hi <= m / b.hi then iv (a.lo * b.lo) (a.hi * b.hi)
+              else top ~width:w
+          | "divu" ->
+              if b.lo >= 1 then iv (a.lo / b.hi) (a.hi / b.lo)
+              else top ~width:w (* divisor may be 0: result may be all-ones *)
+          | "remu" ->
+              if b.hi = 0 then { a with taint = [] } (* x mod 0 = x *)
+              else if b.lo >= 1 then iv 0 (min a.hi (b.hi - 1))
+              else iv 0 (max a.hi (b.hi - 1))
+          | "divs" | "rems" -> top ~width:w
+          | "and" ->
+              let z = k0 a lor k0 b and o = k1 a land k1 b in
+              kb 0 (min a.hi b.hi) (z lor o) o
+          | "or" ->
+              let z = k0 a land k0 b and o = k1 a lor k1 b in
+              kb (max a.lo b.lo) (umax (bits_needed (a.hi lor b.hi))) (z lor o) o
+          | "xor" ->
+              let kmask = a.kmask land b.kmask in
+              kb 0
+                (umax (bits_needed (a.hi lor b.hi)))
+                kmask
+                ((a.kval lxor b.kval) land kmask)
+          | "shl" -> (
+              match is_const b with
+              | Some c when c = 0 -> { a with taint = [] }
+              | Some c when c >= w -> const ~width:w 0
+              | Some c ->
+                  let kmask = (a.kmask lsl c) lor ((1 lsl c) - 1) in
+                  let kval = (a.kval lsl c) land m in
+                  let lo, hi =
+                    if bits_needed a.hi + c <= w then (a.lo lsl c, a.hi lsl c)
+                    else (0, m)
+                  in
+                  kb lo hi kmask kval
+              | None -> if b.hi = 0 then { a with taint = [] } else top ~width:w)
+          | "shrl" -> shrl_nonneg a b w m
+          | "shra" ->
+              let half = if w = 1 then 1 else 1 lsl (w - 1) in
+              if a.hi < half then
+                (* sign bit known 0: arithmetic = logical *)
+                shrl_nonneg a b w m
+              else (
+                match is_const b with
+                | Some c when a.lo >= half ->
+                    (* sign bit known 1: ones fill from the top *)
+                    let c = min c w in
+                    let hm = m land lnot (m lsr c) in
+                    iv ((a.lo lsr c) lor hm) ((a.hi lsr c) lor hm)
+                | _ -> top ~width:w)
+          | "eq" | "ne" ->
+              let conflict = a.kmask land b.kmask land (a.kval lxor b.kval) in
+              let eq3 =
+                if a.hi < b.lo || b.hi < a.lo || conflict <> 0 then Some false
+                else None (* both-const handled above *)
+              in
+              of_bool3 (if kind = "eq" then eq3 else Option.map not eq3)
+          | "ltu" ->
+              of_bool3
+                (if a.hi < b.lo then Some true
+                 else if a.lo >= b.hi then Some false
+                 else None)
+          | "leu" ->
+              of_bool3
+                (if a.hi <= b.lo then Some true
+                 else if a.lo > b.hi then Some false
+                 else None)
+          | "gtu" ->
+              of_bool3
+                (if a.lo > b.hi then Some true
+                 else if a.hi <= b.lo then Some false
+                 else None)
+          | "geu" ->
+              of_bool3
+                (if a.lo >= b.hi then Some true
+                 else if a.hi < b.lo then Some false
+                 else None)
+          | "lts" | "les" | "gts" | "ges" -> top ~width:1
+          | "minu" -> iv (min a.lo b.lo) (min a.hi b.hi)
+          | "maxu" -> iv (max a.lo b.lo) (max a.hi b.hi)
+          | "mins" | "maxs" -> join a b (* the result is one of the two *)
+          | kind -> Opspec.failf "absint: no binary transfer for %S" kind)
+    in
+    { r with taint }
+
+  let resize_u a width =
+    if width >= a.width then
+      let new_high = umax width land lnot (umax a.width) in
+      norm
+        {
+          width;
+          lo = a.lo;
+          hi = a.hi;
+          kmask = a.kmask lor new_high;
+          kval = a.kval;
+          taint = a.taint;
+        }
+    else
+      let m = umax width in
+      if a.hi <= m then
+        norm
+          {
+            width;
+            lo = a.lo;
+            hi = a.hi;
+            kmask = a.kmask land m;
+            kval = a.kval land m;
+            taint = a.taint;
+          }
+      else
+        norm
+          {
+            width;
+            lo = 0;
+            hi = m;
+            kmask = a.kmask land m;
+            kval = a.kval land m;
+            taint = a.taint;
+          }
+
+  let resize_s a width =
+    if width <= a.width then resize_u a width
+    else
+      let half = if a.width = 1 then 1 else 1 lsl (a.width - 1) in
+      if a.hi < half then resize_u a width
+      else if a.lo >= half then
+        let ext = umax width land lnot (umax a.width) in
+        norm
+          {
+            width;
+            lo = a.lo lor ext;
+            hi = a.hi lor ext;
+            kmask = a.kmask lor ext;
+            kval = a.kval lor ext;
+            taint = a.taint;
+          }
+      else
+        (* Sign unknown: only the bits strictly below the old sign bit
+           survive extension unchanged. *)
+        let low = half - 1 in
+        norm
+          {
+            width;
+            lo = 0;
+            hi = umax width;
+            kmask = a.kmask land low;
+            kval = a.kval land low;
+            taint = a.taint;
+          }
+
+  let unary kind ~width a =
+    let taint = a.taint in
+    let r =
+      match kind with
+      | "pass" -> { a with taint = [] }
+      | "zext" -> { (resize_u a width) with taint = [] }
+      | "sext" -> { (resize_s a width) with taint = [] }
+      | "not" ->
+          let m = umax a.width in
+          norm
+            {
+              width = a.width;
+              lo = m - a.hi;
+              hi = m - a.lo;
+              kmask = a.kmask;
+              kval = lnot a.kval land a.kmask;
+              taint = [];
+            }
+      | "neg" -> (
+          match is_const a with
+          | Some v ->
+              const ~width:a.width
+                (Bitvec.to_int (Bitvec.neg (Bitvec.create ~width:a.width v)))
+          | None ->
+              let m = umax a.width in
+              if a.lo >= 1 then
+                norm
+                  {
+                    width = a.width;
+                    lo = m - a.hi + 1;
+                    hi = m - a.lo + 1;
+                    kmask = 0;
+                    kval = 0;
+                    taint = [];
+                  }
+              else top ~width:a.width)
+      | "abs" ->
+          let half = if a.width = 1 then 1 else 1 lsl (a.width - 1) in
+          if a.hi < half then { a with taint = [] } else top ~width:a.width
+      | kind -> Opspec.failf "absint: no unary transfer for %S" kind
+    in
+    { r with taint }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Three-valued guard evaluation                                       *)
+
+let not3 = function Dom.Yes -> Dom.No | Dom.No -> Dom.Yes | Dom.Maybe -> Dom.Maybe
+
+let and3 a b =
+  match (a, b) with
+  | Dom.No, _ | _, Dom.No -> Dom.No
+  | Dom.Yes, Dom.Yes -> Dom.Yes
+  | _ -> Dom.Maybe
+
+let or3 a b =
+  match (a, b) with
+  | Dom.Yes, _ | _, Dom.Yes -> Dom.Yes
+  | Dom.No, Dom.No -> Dom.No
+  | _ -> Dom.Maybe
+
+let test3 (d : Dom.t) op value =
+  let b3 yes no = if yes then Dom.Yes else if no then Dom.No else Dom.Maybe in
+  match op with
+  | Guard.Ceq ->
+      b3
+        (d.Dom.lo = d.Dom.hi && d.Dom.lo = value)
+        (value < d.Dom.lo || value > d.Dom.hi
+        || value land d.Dom.kmask <> d.Dom.kval)
+  | Guard.Cne ->
+      not3
+        (b3
+           (d.Dom.lo = d.Dom.hi && d.Dom.lo = value)
+           (value < d.Dom.lo || value > d.Dom.hi
+           || value land d.Dom.kmask <> d.Dom.kval))
+  | Guard.Clt -> b3 (d.Dom.hi < value) (d.Dom.lo >= value)
+  | Guard.Cle -> b3 (d.Dom.hi <= value) (d.Dom.lo > value)
+  | Guard.Cgt -> b3 (d.Dom.lo > value) (d.Dom.hi <= value)
+  | Guard.Cge -> b3 (d.Dom.lo >= value) (d.Dom.hi < value)
+
+let rec guard3 g env =
+  match g with
+  | Guard.True -> Dom.Yes
+  | Guard.Test { signal; op; value } -> test3 (env signal) op value
+  | Guard.Not g -> not3 (guard3 g env)
+  | Guard.And (a, b) -> and3 (guard3 a env) (guard3 b env)
+  | Guard.Or (a, b) -> or3 (guard3 a env) (guard3 b env)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+
+type verdict =
+  | Proved_acyclic
+  | Dynamic_cycle of { state : string; through : string list }
+  | Unresolved of { state : string }
+
+type cycle_finding = { members : string list; cycle_verdict : verdict }
+
+type t = {
+  dp : Dp.t;
+  fsm : Fsm.t;
+  entry : (string, (string * Dom.t) list) Hashtbl.t;
+  diags : Diag.t list;
+  findings : cycle_finding list;
+  reachable : string list;
+  iterations : int;
+  seconds : float;
+}
+
+(* Pre-resolved structure shared by every state evaluation. *)
+type prep = {
+  p_dp : Dp.t;
+  p_fsm : Fsm.t;
+  spec : (string, Opspec.t) Hashtbl.t;
+  driver : (string, string) Hashtbl.t; (* "inst.port" -> source key *)
+  eval_ops : Dp.operator list; (* combinational for evaluation (doc order) *)
+  eval_ids : (string, unit) Hashtbl.t;
+  seq_ops : Dp.operator list; (* reg + counter, doc order *)
+}
+
+(* The evaluation notion of "combinational" is the cycle simulator's:
+   the sram read path settles within the cycle; regs, counters and the
+   test aids do not produce combinational values. *)
+let eval_comb (op : Dp.operator) =
+  match op.Dp.kind with
+  | "reg" | "counter" | "check" | "stop" | "probe" -> false
+  | _ -> true
+
+let build_prep dp fsm =
+  let spec = Hashtbl.create 32 in
+  List.iter
+    (fun (op : Dp.operator) ->
+      Hashtbl.replace spec op.Dp.id (Dp.operator_spec op))
+    dp.Dp.operators;
+  let driver = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Dp.net) ->
+      let src =
+        match n.Dp.source with
+        | Dp.From_op ep -> Dp.endpoint_to_string ep
+        | Dp.From_control name -> "ctl." ^ name
+      in
+      List.iter
+        (fun ep -> Hashtbl.replace driver (Dp.endpoint_to_string ep) src)
+        n.Dp.sinks)
+    dp.Dp.nets;
+  let eval_ops = List.filter eval_comb dp.Dp.operators in
+  let eval_ids = Hashtbl.create 32 in
+  List.iter
+    (fun (op : Dp.operator) -> Hashtbl.replace eval_ids op.Dp.id ())
+    eval_ops;
+  let seq_ops =
+    List.filter
+      (fun (op : Dp.operator) -> op.Dp.kind = "reg" || op.Dp.kind = "counter")
+      dp.Dp.operators
+  in
+  { p_dp = dp; p_fsm = fsm; spec; driver; eval_ops; eval_ids; seq_ops }
+
+let out_port (op : Dp.operator) =
+  match op.Dp.kind with "sram" | "rom" -> "dout" | _ -> "y"
+
+let out_width prep (op : Dp.operator) =
+  let s = Hashtbl.find prep.spec op.Dp.id in
+  let p = out_port op in
+  match
+    List.find_opt (fun (q : Opspec.port) -> q.Opspec.port_name = p) s.Opspec.ports
+  with
+  | Some q -> q.Opspec.port_width
+  | None -> op.Dp.width
+
+let input_dom prep cells (op : Dp.operator) port =
+  let key = op.Dp.id ^ "." ^ port in
+  match Hashtbl.find_opt prep.driver key with
+  | None -> failwith ("absint: unconnected input " ^ key)
+  | Some src -> (
+      match Hashtbl.find_opt cells src with
+      | Some d -> d
+      | None -> failwith ("absint: no value for " ^ src))
+
+let mux_inputs (op : Dp.operator) =
+  Opspec.param_int op.Dp.params "inputs" ~default:2
+
+(* One abstract settle of the combinational network in a single FSM
+   state. Muxes whose select evaluates to a constant are restricted to
+   their selected input, which both sharpens values and breaks
+   structural cycles; the loop re-restricts until no select resolves
+   further. Operators on residual cycles conservatively evaluate to
+   top. Returns the settled cells, the residual (stuck) operator ids
+   and the resolved selects. *)
+let settle prep cells =
+  let resolved : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let stuck = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    (* Dependency edges among evaluation-comb ops, respecting resolved
+       mux selects. *)
+    let deps (op : Dp.operator) =
+      let ports =
+        match (op.Dp.kind, Hashtbl.find_opt resolved op.Dp.id) with
+        | "mux", Some i -> [ Printf.sprintf "in%d" i ]
+        | _ ->
+            List.filter_map
+              (fun (p : Opspec.port) ->
+                if p.Opspec.direction = Opspec.In then Some p.Opspec.port_name
+                else None)
+              (Hashtbl.find prep.spec op.Dp.id).Opspec.ports
+      in
+      List.filter_map
+        (fun port ->
+          match Hashtbl.find_opt prep.driver (op.Dp.id ^ "." ^ port) with
+          | Some src
+            when not (String.length src >= 4 && String.sub src 0 4 = "ctl.") ->
+              let inst = (Dp.endpoint_of_string src).Dp.inst in
+              if Hashtbl.mem prep.eval_ids inst && inst <> op.Dp.id then
+                Some inst
+              else None
+          | Some _ | None -> None)
+        ports
+      |> List.sort_uniq compare
+    in
+    (* Self-loops: an op depending on itself can never be ordered. *)
+    let self_dep (op : Dp.operator) =
+      let ports =
+        match (op.Dp.kind, Hashtbl.find_opt resolved op.Dp.id) with
+        | "mux", Some i -> [ Printf.sprintf "in%d" i ]
+        | _ ->
+            List.filter_map
+              (fun (p : Opspec.port) ->
+                if p.Opspec.direction = Opspec.In then Some p.Opspec.port_name
+                else None)
+              (Hashtbl.find prep.spec op.Dp.id).Opspec.ports
+      in
+      List.exists
+        (fun port ->
+          match Hashtbl.find_opt prep.driver (op.Dp.id ^ "." ^ port) with
+          | Some src
+            when not (String.length src >= 4 && String.sub src 0 4 = "ctl.") ->
+              (Dp.endpoint_of_string src).Dp.inst = op.Dp.id
+          | Some _ | None -> false)
+        ports
+    in
+    (* Kahn topological sort. *)
+    let indeg = Hashtbl.create 32 and succs = Hashtbl.create 32 in
+    List.iter
+      (fun (op : Dp.operator) -> Hashtbl.replace indeg op.Dp.id 0)
+      prep.eval_ops;
+    List.iter
+      (fun (op : Dp.operator) ->
+        List.iter
+          (fun dep ->
+            Hashtbl.replace succs dep
+              (op.Dp.id :: Option.value ~default:[] (Hashtbl.find_opt succs dep));
+            Hashtbl.replace indeg op.Dp.id (1 + Hashtbl.find indeg op.Dp.id))
+          (deps op);
+        if self_dep op then
+          Hashtbl.replace indeg op.Dp.id (1 + Hashtbl.find indeg op.Dp.id))
+      prep.eval_ops;
+    let ready =
+      ref
+        (List.filter_map
+           (fun (op : Dp.operator) ->
+             if Hashtbl.find indeg op.Dp.id = 0 then Some op.Dp.id else None)
+           prep.eval_ops)
+    in
+    let order = ref [] in
+    while !ready <> [] do
+      match !ready with
+      | [] -> ()
+      | id :: rest ->
+          ready := rest;
+          order := id :: !order;
+          List.iter
+            (fun s ->
+              let d = Hashtbl.find indeg s - 1 in
+              Hashtbl.replace indeg s d;
+              if d = 0 then ready := s :: !ready)
+            (Option.value ~default:[] (Hashtbl.find_opt succs id))
+    done;
+    let order = List.rev !order in
+    let ordered = Hashtbl.create 32 in
+    List.iter (fun id -> Hashtbl.replace ordered id ()) order;
+    stuck :=
+      List.filter_map
+        (fun (op : Dp.operator) ->
+          if Hashtbl.mem ordered op.Dp.id then None else Some op.Dp.id)
+        prep.eval_ops;
+    (* Residual-cycle members evaluate to top — sound for any value
+       they could oscillate through. *)
+    List.iter
+      (fun id ->
+        let op = Option.get (Dp.find_operator prep.p_dp id) in
+        Hashtbl.replace cells
+          (id ^ "." ^ out_port op)
+          (Dom.top ~width:(out_width prep op)))
+      !stuck;
+    (* Evaluate the ordered part. *)
+    List.iter
+      (fun id ->
+        let op = Option.get (Dp.find_operator prep.p_dp id) in
+        let out = op.Dp.id ^ "." ^ out_port op in
+        let width = op.Dp.width in
+        let v =
+          match op.Dp.kind with
+          | "const" ->
+              Dom.const ~width
+                (Opspec.require_int op.Dp.params ~kind:"const" "value")
+          | "zext" | "sext" | "not" | "neg" | "pass" | "abs" ->
+              Dom.unary op.Dp.kind ~width (input_dom prep cells op "a")
+          | "mux" -> (
+              let n = mux_inputs op in
+              match Hashtbl.find_opt resolved op.Dp.id with
+              | Some i -> input_dom prep cells op (Printf.sprintf "in%d" i)
+              | None ->
+                  let sel = input_dom prep cells op "sel" in
+                  let lo = min sel.Dom.lo (n - 1)
+                  and hi = min sel.Dom.hi (n - 1) in
+                  let rec joins acc i =
+                    if i > hi then acc
+                    else
+                      joins
+                        (Dom.join acc
+                           (input_dom prep cells op (Printf.sprintf "in%d" i)))
+                        (i + 1)
+                  in
+                  let v =
+                    joins (input_dom prep cells op (Printf.sprintf "in%d" lo))
+                      (lo + 1)
+                  in
+                  Dom.with_taint
+                    (Dom.union_taint v.Dom.taint sel.Dom.taint)
+                    v)
+          | "sram" | "rom" ->
+              (* Memory contents are not tracked; a read yields top. *)
+              Dom.top ~width:(out_width prep op)
+          | kind ->
+              Dom.binary kind
+                (input_dom prep cells op "a")
+                (input_dom prep cells op "b")
+        in
+        Hashtbl.replace cells out v)
+      order;
+    (* Resolve further mux selects now that values exist. *)
+    List.iter
+      (fun (op : Dp.operator) ->
+        if op.Dp.kind = "mux" && not (Hashtbl.mem resolved op.Dp.id) then
+          match Dom.is_const (input_dom prep cells op "sel") with
+          | Some c ->
+              Hashtbl.replace resolved op.Dp.id (min c (mux_inputs op - 1));
+              continue_ := true
+          | None -> ())
+      prep.eval_ops
+  done;
+  (!stuck, resolved)
+
+(* Abstract values of the control cells in a state (the Moore decode is
+   exact: every control is a compile-time constant per state). *)
+let control_cells prep (st : Fsm.state) cells =
+  List.iter
+    (fun (c : Dp.control) ->
+      let v =
+        try Fsm.output_in_state prep.p_fsm st c.Dp.ctl_name
+        with Failure _ ->
+          failwith
+            (Printf.sprintf "absint: design has no control %S" c.Dp.ctl_name)
+      in
+      Hashtbl.replace cells ("ctl." ^ c.Dp.ctl_name)
+        (Dom.const ~width:c.Dp.ctl_width v))
+    prep.p_dp.Dp.controls
+
+let eval_state prep (st : Fsm.state) store =
+  let cells = Hashtbl.create 64 in
+  control_cells prep st cells;
+  List.iter
+    (fun (op : Dp.operator) ->
+      Hashtbl.replace cells (op.Dp.id ^ ".q") (List.assoc op.Dp.id store))
+    prep.seq_ops;
+  let stuck, resolved = settle prep cells in
+  (cells, stuck, resolved)
+
+let status_env prep cells name =
+  match
+    List.find_opt
+      (fun (s : Dp.status) -> s.Dp.st_name = name)
+      prep.p_dp.Dp.statuses
+  with
+  | Some s -> (
+      match Hashtbl.find_opt cells (Dp.endpoint_to_string s.Dp.st_source) with
+      | Some d -> d
+      | None -> failwith ("absint: no value for status " ^ name))
+  | None -> failwith ("absint: design has no status " ^ name)
+
+(* Feasible successors of a state under the settled abstract statuses:
+   transitions are tried in order, so exploration stops at the first
+   guard that definitely holds; when no guard definitely holds the
+   machine may stay put. *)
+let successors prep (st : Fsm.state) cells =
+  let env = status_env prep cells in
+  let rec go acc = function
+    | [] -> List.rev (st.Fsm.sname :: acc)
+    | (tr : Fsm.transition) :: rest -> (
+        match guard3 tr.Fsm.guard env with
+        | Dom.Yes -> List.rev (tr.Fsm.target :: acc)
+        | Dom.Maybe -> go (tr.Fsm.target :: acc) rest
+        | Dom.No -> go acc rest)
+  in
+  List.sort_uniq compare (go [] st.Fsm.transitions)
+
+(* Guards actually examined in a state (everything up to and including
+   the first definitely-true one) — the observation set for AI003. *)
+let examined_guards prep (st : Fsm.state) cells =
+  let env = status_env prep cells in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (tr : Fsm.transition) :: rest -> (
+        match guard3 tr.Fsm.guard env with
+        | Dom.Yes -> List.rev (tr.Fsm.guard :: acc)
+        | _ -> go (tr.Fsm.guard :: acc) rest)
+  in
+  go [] st.Fsm.transitions
+
+let next_store prep cells store =
+  List.map
+    (fun (id, q) ->
+      let op = Option.get (Dp.find_operator prep.p_dp id) in
+      match op.Dp.kind with
+      | "reg" ->
+          let d = input_dom prep cells op "d"
+          and en = input_dom prep cells op "en" in
+          let q' =
+            match Dom.truth en with
+            | Dom.Yes -> d
+            | Dom.No -> q
+            | Dom.Maybe -> Dom.join q d
+          in
+          (id, q')
+      | "counter" ->
+          let en = input_dom prep cells op "en"
+          and load = input_dom prep cells op "load"
+          and d = input_dom prep cells op "d" in
+          let step = Opspec.param_int op.Dp.params "step" ~default:1 in
+          let stepped =
+            Dom.binary "add" q (Dom.const ~width:op.Dp.width step)
+          in
+          let q1 =
+            match Dom.truth en with
+            | Dom.Yes -> stepped
+            | Dom.No -> q
+            | Dom.Maybe -> Dom.join q stepped
+          in
+          let q' =
+            match Dom.truth load with
+            | Dom.Yes -> d
+            | Dom.No -> q1
+            | Dom.Maybe -> Dom.join d q1
+          in
+          (id, q')
+      | _ -> (id, q))
+    store
+
+let init_store prep =
+  List.map
+    (fun (op : Dp.operator) ->
+      match op.Dp.kind with
+      | "reg" ->
+          let init = Opspec.param_int op.Dp.params "init" ~default:0 in
+          let d = Dom.const ~width:op.Dp.width init in
+          if Opspec.param_opt op.Dp.params "init" = None then
+            (* Reset default: taint the value so a read-before-write
+               shows up when it reaches an observable. *)
+            (op.Dp.id, Dom.with_taint [ op.Dp.id ] d)
+          else (op.Dp.id, d)
+      | _ -> (op.Dp.id, Dom.const ~width:op.Dp.width 0))
+    prep.seq_ops
+
+let store_join = List.map2 (fun (k, a) (_, b) -> (k, Dom.join a b))
+
+let store_widen ~prev ~next =
+  List.map2 (fun (k, a) (_, b) -> (k, Dom.widen ~prev:a ~next:b)) prev next
+
+let store_equal a b = List.for_all2 (fun (_, x) (_, y) -> Dom.equal x y) a b
+
+(* ------------------------------------------------------------------ *)
+(* Structural mux-broken cycles (the DP013 warning class)              *)
+
+(* Generic Tarjan over string nodes; returns SCCs in discovery order. *)
+let tarjan nodes succs =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  List.rev !sccs
+
+(* Edges among structurally combinational operators (the lint notion:
+   spec not sequential — matching DP013's membership), keeping the sink
+   port so mux restriction can drop unselected edges. *)
+let struct_edges prep =
+  let comb id =
+    match Hashtbl.find_opt prep.spec id with
+    | Some s -> not s.Opspec.sequential
+    | None -> false
+  in
+  List.concat_map
+    (fun (n : Dp.net) ->
+      match n.Dp.source with
+      | Dp.From_control _ -> []
+      | Dp.From_op src when comb src.Dp.inst ->
+          List.filter_map
+            (fun (snk : Dp.endpoint) ->
+              if comb snk.Dp.inst then
+                Some (src.Dp.inst, snk.Dp.inst, snk.Dp.port)
+              else None)
+            n.Dp.sinks
+      | Dp.From_op _ -> [])
+    prep.p_dp.Dp.nets
+
+(* The structurally cyclic components that contain a mux and are broken
+   by removing the muxes — exactly the components lint reports as DP013
+   warnings. *)
+let mux_broken_components prep =
+  let edges = struct_edges prep in
+  let comb_ids =
+    List.filter_map
+      (fun (op : Dp.operator) ->
+        match Hashtbl.find_opt prep.spec op.Dp.id with
+        | Some s when not s.Opspec.sequential -> Some op.Dp.id
+        | _ -> None)
+      prep.p_dp.Dp.operators
+  in
+  let succs v =
+    List.filter_map (fun (u, w, _) -> if u = v then Some w else None) edges
+    |> List.sort_uniq compare
+  in
+  let kind_of id =
+    Option.map
+      (fun (op : Dp.operator) -> op.Dp.kind)
+      (Dp.find_operator prep.p_dp id)
+  in
+  let self_loop v = List.mem v (succs v) in
+  tarjan comb_ids succs
+  |> List.filter (fun scc ->
+         match scc with
+         | [ v ] -> self_loop v
+         | _ :: _ :: _ -> true
+         | [] -> false)
+  |> List.filter (fun scc ->
+         List.exists (fun v -> kind_of v = Some "mux") scc
+         &&
+         (* Cyclic even without the muxes? Then it's the DP013 error
+            class, not ours. *)
+         let members = List.filter (fun v -> kind_of v <> Some "mux") scc in
+         let in_sub v = List.mem v members in
+         let rec dfs path v =
+           List.mem v path
+           || List.exists (fun w -> in_sub w && dfs (v :: path) w) (succs v)
+         in
+         not (List.exists (fun v -> dfs [] v) members))
+  |> List.map (List.sort compare)
+
+(* Residual cycle of a component under a state's resolved selects:
+   restricted to the members, a resolved mux keeps only its selected
+   data input (its select no longer matters). Returns the first
+   residual SCC, with whether every mux on it was resolved. *)
+let residual_cycle prep edges members resolved =
+  let in_members v = List.mem v members in
+  let keep (u, w, port) =
+    in_members u && in_members w
+    &&
+    match Hashtbl.find_opt resolved w with
+    | Some i -> port = Printf.sprintf "in%d" i
+    | None -> true
+  in
+  let edges = List.filter keep edges in
+  let succs v =
+    List.filter_map (fun (u, w, _) -> if u = v then Some w else None) edges
+    |> List.sort_uniq compare
+  in
+  let self_loop v = List.mem v (succs v) in
+  let cyc =
+    tarjan members succs
+    |> List.find_opt (fun scc ->
+           match scc with
+           | [ v ] -> self_loop v
+           | _ :: _ :: _ -> true
+           | [] -> false)
+  in
+  Option.map
+    (fun scc ->
+      let all_resolved =
+        List.for_all
+          (fun v ->
+            match Dp.find_operator prep.p_dp v with
+            | Some { Dp.kind = "mux"; _ } -> Hashtbl.mem resolved v
+            | _ -> true)
+          scc
+      in
+      (List.sort compare scc, all_resolved))
+    cyc
+
+(* ------------------------------------------------------------------ *)
+(* Prover passes (the reporting sweep over the fixpoint)               *)
+
+let sram_size (op : Dp.operator) = Opspec.param_int op.Dp.params "size" ~default:0
+
+let memory_name (op : Dp.operator) =
+  Opspec.param_string op.Dp.params "memory" ~default:"?"
+
+let dout_consumed prep id =
+  List.exists
+    (fun (n : Dp.net) ->
+      match n.Dp.source with
+      | Dp.From_op { Dp.inst; port = "dout" } -> inst = id && n.Dp.sinks <> []
+      | _ -> false)
+    prep.p_dp.Dp.nets
+  || List.exists
+       (fun (s : Dp.status) ->
+         s.Dp.st_source.Dp.inst = id && s.Dp.st_source.Dp.port = "dout")
+       prep.p_dp.Dp.statuses
+
+type facts = {
+  (* op id -> first witness, upgraded partial->definite *)
+  oob_write : (string, [ `Partial | `Definite ] * string * int * int) Hashtbl.t;
+  oob_read : (string, string * int * int) Hashtbl.t;
+  div_zero : (string, [ `Always | `Maybe ] * string) Hashtbl.t;
+  trunc : (string, string * int * int) Hashtbl.t;
+  uninit : (string, string * string) Hashtbl.t; (* reg -> state, observable *)
+}
+
+let collect_facts prep facts (st : Fsm.state) cells =
+  let sname = st.Fsm.sname in
+  List.iter
+    (fun (op : Dp.operator) ->
+      let id = op.Dp.id in
+      match op.Dp.kind with
+      | "sram" | "rom" ->
+          let size = sram_size op in
+          if size > 0 then begin
+            let addr = input_dom prep cells op "addr" in
+            (if op.Dp.kind = "sram" then
+               let we = input_dom prep cells op "we" in
+               if Dom.truth we <> Dom.No then begin
+                 let grade =
+                   if addr.Dom.lo >= size then Some `Definite
+                   else if addr.Dom.hi >= size then Some `Partial
+                   else None
+                 in
+                 match (grade, Hashtbl.find_opt facts.oob_write id) with
+                 | None, _ -> ()
+                 | Some g, None ->
+                     Hashtbl.replace facts.oob_write id
+                       (g, sname, addr.Dom.lo, addr.Dom.hi)
+                 | Some `Definite, Some (`Partial, _, _, _) ->
+                     Hashtbl.replace facts.oob_write id
+                       (`Definite, sname, addr.Dom.lo, addr.Dom.hi)
+                 | Some _, Some _ -> ()
+               end);
+            if
+              addr.Dom.lo >= size
+              && dout_consumed prep id
+              && not (Hashtbl.mem facts.oob_read id)
+            then
+              Hashtbl.replace facts.oob_read id (sname, addr.Dom.lo, addr.Dom.hi)
+          end
+      | "divu" | "divs" | "remu" | "rems" ->
+          let b = input_dom prep cells op "b" in
+          let grade =
+            match Dom.truth b with
+            | Dom.No -> Some `Always
+            | Dom.Maybe -> Some `Maybe
+            | Dom.Yes -> None
+          in
+          (match (grade, Hashtbl.find_opt facts.div_zero id) with
+          | None, _ -> ()
+          | Some g, None -> Hashtbl.replace facts.div_zero id (g, sname)
+          | Some `Always, Some (`Maybe, _) ->
+              Hashtbl.replace facts.div_zero id (`Always, sname)
+          | Some _, Some _ -> ())
+      | "zext" | "sext" ->
+          let a = input_dom prep cells op "a" in
+          (* Only warn when the analysis actually derived a bound that
+             still overflows: a completely unknown input would flag every
+             intentional narrowing (index truncation) speculatively. *)
+          let informed =
+            a.Dom.lo > 0
+            || a.Dom.hi < umax a.Dom.width
+            || a.Dom.kmask <> 0
+          in
+          if
+            op.Dp.width < a.Dom.width
+            && a.Dom.hi > umax op.Dp.width
+            && informed
+            && not (Hashtbl.mem facts.trunc id)
+          then Hashtbl.replace facts.trunc id (sname, a.Dom.lo, a.Dom.hi)
+      | _ -> ())
+    prep.p_dp.Dp.operators;
+  (* Uninitialized-value observations. *)
+  let observe taints desc =
+    List.iter
+      (fun reg ->
+        if not (Hashtbl.mem facts.uninit reg) then
+          Hashtbl.replace facts.uninit reg (sname, desc))
+      taints
+  in
+  List.iter
+    (fun (op : Dp.operator) ->
+      match op.Dp.kind with
+      | "sram" ->
+          let we = input_dom prep cells op "we" in
+          if Dom.truth we <> Dom.No then begin
+            observe
+              (input_dom prep cells op "din").Dom.taint
+              (Printf.sprintf "the write data of memory %s" op.Dp.id);
+            observe
+              (input_dom prep cells op "addr").Dom.taint
+              (Printf.sprintf "the write address of memory %s" op.Dp.id)
+          end
+      | "check" ->
+          let en = input_dom prep cells op "en" in
+          if Dom.truth en <> Dom.No then
+            observe
+              (input_dom prep cells op "a").Dom.taint
+              (Printf.sprintf "check %s" op.Dp.id)
+      | _ -> ())
+    prep.p_dp.Dp.operators;
+  List.iter
+    (fun g ->
+      List.iter
+        (fun signal ->
+          observe (status_env prep cells signal).Dom.taint
+            (Printf.sprintf "the guard on status %s" signal))
+        (Guard.signals g))
+    (examined_guards prep st cells)
+
+let fact_diags prep facts =
+  let by_op f =
+    List.concat_map (fun (op : Dp.operator) -> f op) prep.p_dp.Dp.operators
+  in
+  let oob_write =
+    by_op (fun op ->
+        match Hashtbl.find_opt facts.oob_write op.Dp.id with
+        | None -> []
+        | Some (grade, sname, lo, hi) ->
+            let loc = Printf.sprintf "operator %s" op.Dp.id in
+            let mem = memory_name op and size = sram_size op in
+            [
+              (match grade with
+              | `Definite ->
+                  Diag.error ~code:"AI001" ~loc
+                    ~hint:"bound the address computation or grow the memory"
+                    "memory write always out of bounds in state %s: address \
+                     in [%d, %d], memory %S size %d"
+                    sname lo hi mem size
+              | `Partial ->
+                  Diag.warning ~code:"AI001" ~loc
+                    ~hint:"bound the address computation or grow the memory"
+                    "memory write may exceed bounds in state %s: address in \
+                     [%d, %d], memory %S size %d"
+                    sname lo hi mem size);
+            ])
+  in
+  let oob_read =
+    by_op (fun op ->
+        match Hashtbl.find_opt facts.oob_read op.Dp.id with
+        | None -> []
+        | Some (sname, lo, hi) ->
+            [
+              Diag.warning ~code:"AI002"
+                ~loc:(Printf.sprintf "operator %s" op.Dp.id)
+                ~hint:"out-of-bounds reads return 0 and count as OOB accesses"
+                "memory read always out of bounds in state %s: address in \
+                 [%d, %d], memory %S size %d"
+                sname lo hi (memory_name op) (sram_size op);
+            ])
+  in
+  let uninit =
+    by_op (fun op ->
+        match Hashtbl.find_opt facts.uninit op.Dp.id with
+        | None -> []
+        | Some (sname, desc) ->
+            [
+              Diag.warning ~code:"AI003"
+                ~loc:(Printf.sprintf "operator %s" op.Dp.id)
+                ~hint:
+                  "give the register an explicit init=\"...\" or write it \
+                   before use"
+                "register may be read before first write: its reset default \
+                 can reach %s in state %s"
+                desc sname;
+            ])
+  in
+  let div_zero =
+    by_op (fun op ->
+        match Hashtbl.find_opt facts.div_zero op.Dp.id with
+        | None -> []
+        | Some (grade, sname) ->
+            let loc = Printf.sprintf "operator %s" op.Dp.id in
+            [
+              (match grade with
+              | `Always ->
+                  Diag.warning ~code:"AI004" ~loc
+                    ~hint:"x/0 yields all-ones and x mod 0 yields x"
+                    "divisor is always zero in state %s" sname
+              | `Maybe ->
+                  Diag.warning ~code:"AI004" ~loc
+                    ~hint:"x/0 yields all-ones and x mod 0 yields x"
+                    "divisor may be zero in state %s" sname);
+            ])
+  in
+  let trunc =
+    by_op (fun op ->
+        match Hashtbl.find_opt facts.trunc op.Dp.id with
+        | None -> []
+        | Some (sname, lo, hi) ->
+            [
+              Diag.warning ~code:"AI005"
+                ~loc:(Printf.sprintf "operator %s" op.Dp.id)
+                ~hint:"widen the output or mask the input explicitly"
+                "truncation drops value bits in state %s: input range [%d, \
+                 %d] exceeds the %d-bit output"
+                sname lo hi op.Dp.width;
+            ])
+  in
+  oob_write @ oob_read @ uninit @ div_zero @ trunc
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint driver                                                     *)
+
+let max_visits = 1_000_000
+
+let analyze ?(widen_after = 8) dp fsm =
+  let t0 = Sys.time () in
+  (try Dp.validate dp
+   with Dp.Invalid msgs ->
+     failwith ("absint: invalid datapath: " ^ String.concat "; " msgs));
+  (try Fsm.validate fsm
+   with Fsm.Invalid msgs ->
+     failwith ("absint: invalid fsm: " ^ String.concat "; " msgs));
+  let prep = build_prep dp fsm in
+  let state_of name =
+    match Fsm.find_state fsm name with
+    | Some st -> st
+    | None -> failwith ("absint: fsm has no state " ^ name)
+  in
+  let entry : (string, (string * Dom.t) list) Hashtbl.t = Hashtbl.create 16 in
+  let joins : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  let queued : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let enqueue name =
+    if not (Hashtbl.mem queued name) then begin
+      Hashtbl.replace queued name ();
+      Queue.add name queue
+    end
+  in
+  Hashtbl.replace entry fsm.Fsm.initial (init_store prep);
+  enqueue fsm.Fsm.initial;
+  let iterations = ref 0 in
+  while not (Queue.is_empty queue) do
+    let name = Queue.pop queue in
+    Hashtbl.remove queued name;
+    incr iterations;
+    if !iterations > max_visits then
+      failwith "absint: fixpoint failed to converge";
+    let st = state_of name in
+    let store = Hashtbl.find entry name in
+    let cells, _, _ = eval_state prep st store in
+    let next = next_store prep cells store in
+    List.iter
+      (fun target ->
+        match Hashtbl.find_opt entry target with
+        | None ->
+            Hashtbl.replace entry target next;
+            enqueue target
+        | Some old ->
+            let joined = store_join old next in
+            let j = 1 + Option.value ~default:0 (Hashtbl.find_opt joins target) in
+            Hashtbl.replace joins target j;
+            let merged =
+              if j > widen_after then store_widen ~prev:old ~next:joined
+              else joined
+            in
+            if not (store_equal old merged) then begin
+              Hashtbl.replace entry target merged;
+              enqueue target
+            end)
+      (successors prep st cells)
+  done;
+  (* Reporting sweep: reachable states in document order. *)
+  let reachable =
+    List.filter_map
+      (fun (st : Fsm.state) ->
+        if Hashtbl.mem entry st.Fsm.sname then Some st.Fsm.sname else None)
+      fsm.Fsm.states
+  in
+  let facts =
+    {
+      oob_write = Hashtbl.create 8;
+      oob_read = Hashtbl.create 8;
+      div_zero = Hashtbl.create 8;
+      trunc = Hashtbl.create 8;
+      uninit = Hashtbl.create 8;
+    }
+  in
+  let components = mux_broken_components prep in
+  let edges = struct_edges prep in
+  (* member set -> accumulated verdict *)
+  let verdicts =
+    List.map (fun members -> (members, ref Proved_acyclic)) components
+  in
+  List.iter
+    (fun name ->
+      let st = state_of name in
+      let cells, _, resolved = eval_state prep st (Hashtbl.find entry name) in
+      collect_facts prep facts st cells;
+      List.iter
+        (fun (members, verdict) ->
+          match !verdict with
+          | Dynamic_cycle _ -> () (* an error already; keep first witness *)
+          | _ -> (
+              match residual_cycle prep edges members resolved with
+              | None -> ()
+              | Some (through, all_resolved) ->
+                  if all_resolved then
+                    verdict := Dynamic_cycle { state = name; through }
+                  else if !verdict = Proved_acyclic then
+                    verdict := Unresolved { state = name }))
+        verdicts)
+    reachable;
+  let findings =
+    List.map
+      (fun (members, verdict) -> { members; cycle_verdict = !verdict })
+      verdicts
+  in
+  {
+    dp;
+    fsm;
+    entry;
+    diags = fact_diags prep facts;
+    findings;
+    reachable;
+    iterations = !iterations;
+    seconds = Sys.time () -. t0;
+  }
+
+let diagnostics t = t.diags
+let cycle_findings t = t.findings
+let reachable_states t = t.reachable
+
+let reg_interval t ~state ~reg =
+  match Hashtbl.find_opt t.entry state with
+  | None -> None
+  | Some store ->
+      Option.map
+        (fun (d : Dom.t) -> (d.Dom.lo, d.Dom.hi))
+        (List.assoc_opt reg store)
+
+let iterations t = t.iterations
+let wall_seconds t = t.seconds

@@ -109,7 +109,7 @@ let check_partition_flow prog =
    code-generation bug that produces a structurally broken or mis-linked
    design is caught here, before any simulation runs. Error-severity
    diagnostics abort the compile. *)
-let lint t =
+let bundle_docs t =
   let datapaths =
     List.map
       (fun p -> (p.datapath.Netlist.Datapath.dp_name, p.datapath))
@@ -118,7 +118,15 @@ let lint t =
   let fsms =
     List.map (fun p -> (p.fsm.Fsmkit.Fsm.fsm_name, p.fsm)) t.partitions
   in
-  Lint.run_bundle ~rtg:t.rtg ~datapaths ~fsms
+  (datapaths, fsms)
+
+let lint t =
+  let datapaths, fsms = bundle_docs t in
+  Lint.run_bundle ~rtg:t.rtg ~datapaths ~fsms ()
+
+let lint_deep t =
+  let datapaths, fsms = bundle_docs t in
+  Lint.run_deep ~rtg:t.rtg ~datapaths ~fsms ()
 
 (* --- driver ---------------------------------------------------------- *)
 
@@ -126,7 +134,7 @@ let partition_name prog k total =
   if total = 1 then prog.Ast.prog_name
   else Printf.sprintf "%s_p%d" prog.Ast.prog_name (k + 1)
 
-let compile ?(options = default_options) prog =
+let compile ?(options = default_options) ?(deep_gate = false) prog =
   Lang.Check.validate prog;
   let prog = if options.optimize then Optimize.program prog else prog in
   (match check_partition_flow prog with
@@ -197,7 +205,10 @@ let compile ?(options = default_options) prog =
   in
   Rtg.validate rtg;
   let t = { program = prog; options; partitions; rtg } in
-  (match Diag.errors (lint t) with
+  let gate_diags =
+    if deep_gate then (lint_deep t).Lint.deep_diags else lint t
+  in
+  (match Diag.errors gate_diags with
   | [] -> ()
   | errs -> raise (Error (List.map Diag.to_string errs)));
   t

@@ -42,16 +42,25 @@ type t = {
 
 exception Error of string list
 
-val compile : ?options:options -> Lang.Ast.program -> t
+val compile : ?options:options -> ?deep_gate:bool -> Lang.Ast.program -> t
 (** Raises {!Lang.Check.Invalid} on source errors and {!Error} on
     partition-flow violations — or when {!lint} reports an error-severity
     diagnostic on the generated design (the post-generation gate: a
-    code-generation bug is caught before any simulation runs). *)
+    code-generation bug is caught before any simulation runs).
+    [~deep_gate:true] gates on {!lint_deep} instead, additionally
+    aborting when the abstract interpreter proves a defect (out-of-bounds
+    store, dynamically closing combinational cycle, ...). Default
+    [false]: the deep analysis costs a fixpoint per configuration. *)
 
 val lint : t -> Diag.t list
 (** Whole-design lint of the generated bundle ({!Lint.run_bundle} over
     every partition's documents and the RTG). [compile] already gates on
     the error-severity subset; warnings are available here. *)
+
+val lint_deep : t -> Lint.deep
+(** {!Lint.run_deep} over the generated bundle: {!lint} plus the
+    {!Absint} abstract-interpretation provers (AI0xx diagnostics,
+    per-configuration analysis timings). *)
 
 val check_partition_flow : Lang.Ast.program -> string list
 (** Diagnostics for cross-partition scalar flow (empty = fine). *)

@@ -1,0 +1,648 @@
+(* Lint of emitted HDL text. The emitters build strings; this pass reads
+   them back with a small tokenizer and checks the properties a typo in
+   an emitter is most likely to break: declaration-before-use, unique
+   module names, and consistent widths in continuous assignments. *)
+
+type tok =
+  | Id of string
+  | Num of { size : int option; value : int option }
+      (* 16'd5 -> size 16; plain 15 -> size None, value 15 *)
+  | Sym of string
+
+type ptok = { t : tok; line : int }
+
+let is_id_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* --- Verilog ---------------------------------------------------------- *)
+
+let v_keywords =
+  [
+    "module"; "endmodule"; "input"; "output"; "inout"; "wire"; "reg";
+    "assign"; "always"; "initial"; "posedge"; "negedge"; "if"; "else";
+    "case"; "casez"; "endcase"; "default"; "begin"; "end"; "localparam";
+    "parameter"; "signed"; "integer"; "genvar"; "generate"; "endgenerate";
+    "for"; "or";
+  ]
+
+(* Multi-character symbols, longest first so the scanner is greedy. *)
+let v_syms = [ ">>>"; "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||" ]
+
+let v_tokenize text =
+  let toks = ref [] in
+  let line = ref 1 in
+  let n = String.length text in
+  let i = ref 0 in
+  let push t = toks := { t; line = !line } :: !toks in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && text.[!i + 1] = '/' then
+      while !i < n && text.[!i] <> '\n' do incr i done
+    else if c = '`' then
+      (* compiler directive: skip the line *)
+      while !i < n && text.[!i] <> '\n' do incr i done
+    else if c = '"' then begin
+      incr i;
+      while !i < n && text.[!i] <> '"' do
+        if text.[!i] = '\n' then incr line;
+        incr i
+      done;
+      incr i
+    end
+    else if c = '$' then begin
+      (* system task/function: $display, $signed, ... *)
+      incr i;
+      let s = !i in
+      while !i < n && is_id_char text.[!i] do incr i done;
+      push (Sym ("$" ^ String.sub text s (!i - s)))
+    end
+    else if is_digit c then begin
+      let s = !i in
+      while !i < n && is_digit text.[!i] do incr i done;
+      let v = int_of_string (String.sub text s (!i - s)) in
+      if !i < n && text.[!i] = '\'' then begin
+        incr i;
+        let base = if !i < n then text.[!i] else 'd' in
+        incr i;
+        let vs = !i in
+        while
+          !i < n
+          && (is_id_char text.[!i] || text.[!i] = '?')
+        do
+          incr i
+        done;
+        let digits = String.sub text vs (!i - vs) in
+        let value =
+          match base with
+          | 'd' | 'D' -> int_of_string_opt digits
+          | 'h' | 'H' -> int_of_string_opt ("0x" ^ digits)
+          | 'b' | 'B' -> int_of_string_opt ("0b" ^ digits)
+          | _ -> None
+        in
+        push (Num { size = Some v; value })
+      end
+      else push (Num { size = None; value = Some v })
+    end
+    else if is_id_start c then begin
+      let s = !i in
+      while !i < n && is_id_char text.[!i] do incr i done;
+      push (Id (String.sub text s (!i - s)))
+    end
+    else begin
+      let multi =
+        List.find_opt
+          (fun sym ->
+            let l = String.length sym in
+            !i + l <= n && String.sub text !i l = sym)
+          v_syms
+      in
+      match multi with
+      | Some sym ->
+          push (Sym sym);
+          i := !i + String.length sym
+      | None ->
+          push (Sym (String.make 1 c));
+          incr i
+    end
+  done;
+  List.rev !toks
+
+(* Declared names of one module scope: name -> declared width (None when
+   not statically evident, e.g. a localparam). Memories map to their
+   element width and are additionally listed so indexing resolves to the
+   element rather than a bit select. *)
+type vscope = {
+  mutable decls : (string * int option) list;
+  mutable mems : string list;
+}
+
+let v_declare sc name w =
+  if not (List.mem_assoc name sc.decls) then sc.decls <- (name, w) :: sc.decls
+
+type vctx = {
+  scope : vscope;
+  report : line:int -> string -> unit;  (* HDL003 *)
+  undeclared : line:int -> string -> unit;  (* HDL002 *)
+}
+
+let max_w a b = match (a, b) with Some x, Some y -> Some (max x y) | _ -> None
+
+(* Recursive-descent over the emitted expression subset; returns
+   (width option, rest). Unsized literals adapt to context (width
+   None). *)
+let rec v_ternary ctx toks =
+  let cw, rest = v_binary ctx 0 toks in
+  ignore cw;
+  match rest with
+  | { t = Sym "?"; line } :: rest ->
+      let tw, rest = v_ternary ctx rest in
+      let rest = match rest with { t = Sym ":"; _ } :: r -> r | r -> r in
+      let fw, rest2 = v_ternary ctx rest in
+      (match (tw, fw) with
+      | Some a, Some b when a <> b ->
+          ctx.report ~line
+            (Printf.sprintf
+               "conditional branches have different widths (%d vs %d)" a b)
+      | _ -> ());
+      (max_w tw fw, rest2)
+  | _ -> (cw, rest)
+
+(* Binary operators by precedence; logical and comparison operators
+   collapse to 1 bit, shifts keep the left width (the count is a free
+   width), everything else keeps the max. *)
+and v_binary ctx level toks =
+  let levels =
+    [|
+      [ "||" ]; [ "&&" ]; [ "|" ]; [ "^" ]; [ "&" ];
+      [ "=="; "!=" ]; [ "<"; "<="; ">"; ">=" ]; [ "<<"; ">>"; ">>>" ];
+      [ "+"; "-" ]; [ "*"; "/"; "%" ];
+    |]
+  in
+  if level >= Array.length levels then v_unary ctx toks
+  else
+    let ops = levels.(level) in
+    let lw, rest = v_binary ctx (level + 1) toks in
+    let rec loop lw rest =
+      match rest with
+      | { t = Sym op; line } :: r when List.mem op ops ->
+          let rw, r2 = v_binary ctx (level + 1) r in
+          let shift = List.mem op [ "<<"; ">>"; ">>>" ] in
+          let logical = List.mem op [ "&&"; "||" ] in
+          (if (not shift) && not logical then
+             match (lw, rw) with
+             | Some a, Some b when a <> b ->
+                 ctx.report ~line
+                   (Printf.sprintf
+                      "operands of %S have different widths (%d vs %d)" op a b)
+             | _ -> ());
+          let w =
+            if logical || List.mem op [ "=="; "!="; "<"; "<="; ">"; ">=" ]
+            then Some 1
+            else if shift then lw
+            else max_w lw rw
+          in
+          loop w r2
+      | _ -> (lw, rest)
+    in
+    loop lw rest
+
+and v_unary ctx toks =
+  match toks with
+  | { t = Sym ("~" | "-"); _ } :: rest -> v_unary ctx rest
+  | { t = Sym "!"; _ } :: rest ->
+      let _, rest = v_unary ctx rest in
+      (Some 1, rest)
+  | _ -> v_primary ctx toks
+
+and v_primary ctx toks =
+  match toks with
+  | { t = Num { size; _ }; _ } :: rest -> (size, rest)
+  | { t = Sym "$signed"; _ } :: { t = Sym "("; _ } :: rest ->
+      let w, rest = v_ternary ctx rest in
+      let rest = match rest with { t = Sym ")"; _ } :: r -> r | r -> r in
+      (w, rest)
+  | { t = Sym "("; _ } :: rest ->
+      let w, rest = v_ternary ctx rest in
+      let rest = match rest with { t = Sym ")"; _ } :: r -> r | r -> r in
+      (w, rest)
+  | { t = Sym "{"; _ } :: rest -> v_concat ctx rest
+  | { t = Id name; line } :: rest -> (
+      (if (not (List.mem name v_keywords))
+          && not (List.mem_assoc name ctx.scope.decls)
+       then ctx.undeclared ~line name);
+      let base = List.assoc_opt name ctx.scope.decls |> Option.join in
+      match rest with
+      | { t = Sym "["; _ } :: r ->
+          (* memory index keeps the element width; bit select is 1 *)
+          let _, r = v_ternary ctx r in
+          let r = match r with { t = Sym "]"; _ } :: r -> r | r -> r in
+          if List.mem name ctx.scope.mems then (base, r) else (Some 1, r)
+      | _ -> (base, rest))
+  | rest -> (None, rest)
+
+(* {a, b} concatenation or {n{expr}} replication; the opening brace is
+   already consumed. *)
+and v_concat ctx toks =
+  match toks with
+  | { t = Num { value = Some count; size = None }; _ }
+    :: { t = Sym "{"; _ }
+    :: rest ->
+      let w, rest = v_ternary ctx rest in
+      (* two closing braces: replication inner and outer *)
+      let rest = match rest with { t = Sym "}"; _ } :: r -> r | r -> r in
+      let rest = match rest with { t = Sym "}"; _ } :: r -> r | r -> r in
+      ((match w with Some w -> Some (count * w) | None -> None), rest)
+  | _ ->
+      let rec parts acc toks =
+        let w, rest = v_ternary ctx toks in
+        let acc =
+          match (acc, w) with Some s, Some w -> Some (s + w) | _ -> None
+        in
+        match rest with
+        | { t = Sym ","; _ } :: r -> parts acc r
+        | { t = Sym "}"; _ } :: r -> (acc, r)
+        | r -> (acc, r)
+      in
+      parts (Some 0) toks
+
+(* [hi:lo] with numeric bounds -> width hi-lo+1; absent range -> 1. *)
+let v_decl_range toks =
+  match toks with
+  | { t = Sym "["; _ }
+    :: { t = Num { value = Some hi; _ }; _ }
+    :: { t = Sym ":"; _ }
+    :: { t = Num { value = Some lo; _ }; _ }
+    :: { t = Sym "]"; _ }
+    :: rest ->
+      (Some (hi - lo + 1), rest)
+  | { t = Sym "["; _ } :: rest ->
+      let rec close = function
+        | { t = Sym "]"; _ } :: r -> r
+        | _ :: r -> close r
+        | [] -> []
+      in
+      (None, close rest)
+  | _ -> (Some 1, toks)
+
+let verilog text =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let toks = v_tokenize text in
+  (* All module names first: instantiations may reference forward. *)
+  let module_names = ref [] in
+  let rec collect = function
+    | { t = Id "module"; _ } :: { t = Id name; line } :: rest ->
+        (if List.mem name !module_names then
+           add
+             (Diag.error ~code:"HDL001"
+                ~loc:(Printf.sprintf "module %s / line %d" name line)
+                "duplicate module name %S" name));
+        module_names := name :: !module_names;
+        collect rest
+    | _ :: rest -> collect rest
+    | [] -> ()
+  in
+  collect toks;
+  let rec modules = function
+    | { t = Id "module"; _ } :: { t = Id name; _ } :: rest ->
+        let sc = { decls = []; mems = [] } in
+        let loc line = Printf.sprintf "module %s / line %d" name line in
+        let ctx =
+          {
+            scope = sc;
+            report =
+              (fun ~line msg ->
+                add
+                  (Diag.warning ~code:"HDL003" ~loc:(loc line)
+                     ~hint:
+                       "the emitter produced operands of different declared \
+                        widths"
+                     "%s" msg));
+            undeclared =
+              (fun ~line id ->
+                add
+                  (Diag.error ~code:"HDL002" ~loc:(loc line)
+                     "identifier %S is not declared in this module" id));
+          }
+        in
+        let rec skip_to_semi = function
+          | { t = Sym ";"; _ } :: rest -> rest
+          | _ :: rest -> skip_to_semi rest
+          | [] -> []
+        in
+        (* Generic use-scan of an always/initial block: every identifier
+           is a use; the block ends at the next top-level item. *)
+        let v_uses toks =
+          let stops =
+            [ "assign"; "wire"; "reg"; "localparam"; "endmodule"; "input";
+              "output"; "always"; "initial" ]
+          in
+          let rec go toks =
+            match toks with
+            | [] -> []
+            | { t = Id kw; _ } :: _ when List.mem kw stops -> toks
+            | { t = Id id; line } :: rest ->
+                if
+                  (not (List.mem id v_keywords))
+                  && not (List.mem_assoc id sc.decls)
+                then ctx.undeclared ~line id;
+                go rest
+            | _ :: rest -> go rest
+          in
+          go toks
+        in
+        let rec items toks =
+          match toks with
+          | [] -> []
+          | { t = Id "endmodule"; _ } :: rest -> rest
+          | { t = Id ("input" | "output"); _ } :: rest ->
+              (* input wire [r] name | output reg [r] name *)
+              let rest =
+                match rest with
+                | { t = Id ("wire" | "reg"); _ } :: r -> r
+                | r -> r
+              in
+              let w, rest = v_decl_range rest in
+              let rest =
+                match rest with
+                | { t = Id n; _ } :: r ->
+                    v_declare sc n w;
+                    r
+                | r -> r
+              in
+              items rest
+          | { t = Id ("wire" | "reg"); _ } :: rest ->
+              let w, rest = v_decl_range rest in
+              let rest =
+                match rest with
+                | { t = Id n; _ } :: r -> (
+                    v_declare sc n w;
+                    (* memory: reg [w-1:0] name [0:k]; *)
+                    match r with
+                    | { t = Sym "["; _ } :: _ ->
+                        sc.mems <- n :: sc.mems;
+                        skip_to_semi r
+                    | _ -> skip_to_semi r)
+                | r -> skip_to_semi r
+              in
+              items rest
+          | { t = Id "localparam"; _ } :: rest ->
+              let rest =
+                match rest with
+                | { t = Id n; _ } :: r ->
+                    v_declare sc n None;
+                    r
+                | r -> r
+              in
+              items (skip_to_semi rest)
+          | { t = Id "assign"; _ } :: rest ->
+              let lw, lline, rest =
+                match rest with
+                | { t = Id n; line } :: r ->
+                    if not (List.mem_assoc n sc.decls) then
+                      ctx.undeclared ~line n;
+                    (List.assoc_opt n sc.decls |> Option.join, line, r)
+                | r -> (None, 0, r)
+              in
+              let rest =
+                match rest with
+                | { t = Sym "="; _ } :: r -> r
+                | r -> skip_to_semi r
+              in
+              let single_token_rhs =
+                match rest with
+                | _ :: { t = Sym ";"; _ } :: _ -> true
+                | _ -> false
+              in
+              (* A sized literal of the wrong width is an emitter bug
+                 even alone on the right-hand side. *)
+              (match (rest, lw) with
+              | { t = Num { size = Some nw; _ }; line } :: _, Some l
+                when nw <> l ->
+                  ctx.report ~line
+                    (Printf.sprintf "%d-bit literal assigned to %d-bit target"
+                       nw l)
+              | _ -> ());
+              let rw, rest' = v_ternary ctx rest in
+              (* Implicit extension/truncation of a bare identifier is
+                 idiomatic (zext/trunc emit plain copies); only computed
+                 right-hand sides are compared against the target. *)
+              (match (lw, rw) with
+              | Some l, Some r when l < r && not single_token_rhs ->
+                  ctx.report ~line:lline
+                    (Printf.sprintf
+                       "%d-bit expression truncated into %d-bit target" r l)
+              | _ -> ());
+              items (skip_to_semi rest')
+          | { t = Id ("always" | "initial"); _ } :: rest ->
+              items (v_uses rest)
+          | { t = Id m; line } :: { t = Id _inst; _ } :: { t = Sym "("; _ }
+            :: rest
+            when not (List.mem m v_keywords) ->
+              (* instantiation: module ref, instance name, connections *)
+              (if not (List.mem m !module_names) then
+                 add
+                   (Diag.error ~code:"HDL002" ~loc:(loc line)
+                      "instantiation of unknown module %S" m));
+              let rec conns depth = function
+                | { t = Sym "("; _ } :: r -> conns (depth + 1) r
+                | { t = Sym ")"; _ } :: r ->
+                    if depth = 1 then r else conns (depth - 1) r
+                | { t = Sym "."; _ } :: { t = Id _; _ } :: r ->
+                    (* formal of the instantiated module *)
+                    conns depth r
+                | { t = Id n; line } :: r ->
+                    if
+                      (not (List.mem n v_keywords))
+                      && not (List.mem_assoc n sc.decls)
+                    then ctx.undeclared ~line n;
+                    conns depth r
+                | _ :: r -> conns depth r
+                | [] -> []
+              in
+              items (skip_to_semi (conns 1 rest))
+          | _ :: rest -> items rest
+        in
+        modules (items rest)
+    | _ :: rest -> modules rest
+    | [] -> ()
+  in
+  modules toks;
+  List.rev !diags
+
+(* --- VHDL ------------------------------------------------------------- *)
+
+let vhdl_builtin =
+  [
+    "library"; "use"; "ieee"; "std_logic_1164"; "numeric_std"; "all";
+    "entity"; "is"; "port"; "map"; "in"; "out"; "std_logic"; "unsigned";
+    "signed"; "downto"; "end"; "architecture"; "of"; "begin"; "signal";
+    "type"; "array"; "to"; "others"; "process"; "rising_edge"; "if";
+    "then"; "elsif"; "else"; "case"; "when"; "null"; "not"; "and"; "or";
+    "xor"; "rem"; "mod"; "select"; "with"; "report"; "severity"; "error";
+    "failure"; "assert"; "work"; "resize"; "to_integer"; "to_unsigned";
+    "shift_left"; "shift_right"; "abs"; "true"; "false";
+  ]
+
+(* VHDL is case-insensitive; identifiers are lowercased on read. *)
+let vhdl_tokenize text =
+  let toks = ref [] in
+  let line = ref 1 in
+  let n = String.length text in
+  let i = ref 0 in
+  let push t = toks := { t; line = !line } :: !toks in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && text.[!i + 1] = '-' then
+      while !i < n && text.[!i] <> '\n' do incr i done
+    else if c = '"' then begin
+      incr i;
+      while !i < n && text.[!i] <> '"' do incr i done;
+      incr i;
+      push (Num { size = None; value = None })
+    end
+    else if c = '\'' then
+      (* character literal '0' / '1' (the emitters use no attributes) *)
+      if !i + 2 < n && text.[!i + 2] = '\'' then begin
+        i := !i + 3;
+        push (Num { size = None; value = None })
+      end
+      else incr i
+    else if is_digit c then begin
+      while !i < n && (is_digit text.[!i] || text.[!i] = '_') do incr i done;
+      push (Num { size = None; value = None })
+    end
+    else if is_id_start c then begin
+      let s = !i in
+      while !i < n && is_id_char text.[!i] do incr i done;
+      push (Id (String.lowercase_ascii (String.sub text s (!i - s))))
+    end
+    else if c = '=' && !i + 1 < n && text.[!i + 1] = '>' then begin
+      push (Sym "=>");
+      i := !i + 2
+    end
+    else begin
+      push (Sym (String.make 1 c));
+      incr i
+    end
+  done;
+  List.rev !toks
+
+let vhdl text =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let toks = vhdl_tokenize text in
+  (* entity name -> port names; duplicates are HDL001. *)
+  let entities = Hashtbl.create 8 in
+  let rec scan_entities = function
+    | { t = Id "entity"; _ } :: { t = Id name; line } :: { t = Id "is"; _ }
+      :: rest ->
+        (if Hashtbl.mem entities name then
+           add
+             (Diag.error ~code:"HDL001"
+                ~loc:(Printf.sprintf "entity %s / line %d" name line)
+                "duplicate entity name %S" name));
+        let rec ports acc = function
+          | { t = Id "end"; _ } :: rest -> (acc, rest)
+          | { t = Id n; _ } :: { t = Sym ":"; _ } :: rest ->
+              ports (n :: acc) rest
+          | _ :: rest -> ports acc rest
+          | [] -> (acc, [])
+        in
+        let names, rest = ports [] rest in
+        Hashtbl.replace entities name names;
+        scan_entities rest
+    | _ :: rest -> scan_entities rest
+    | [] -> ()
+  in
+  scan_entities toks;
+  let rec archs = function
+    | { t = Id "architecture"; _ }
+      :: { t = Id _arch; _ }
+      :: { t = Id "of"; _ }
+      :: { t = Id ent; _ }
+      :: { t = Id "is"; _ }
+      :: rest ->
+        let declared =
+          ref (Option.value ~default:[] (Hashtbl.find_opt entities ent))
+        in
+        let declare n = declared := n :: !declared in
+        let known n =
+          List.mem n vhdl_builtin || List.mem n !declared
+        in
+        let loc line = Printf.sprintf "entity %s / line %d" ent line in
+        let undeclared line n =
+          add
+            (Diag.error ~code:"HDL002" ~loc:(loc line)
+               "identifier %S is not declared in this architecture" n)
+        in
+        (* declarative part until 'begin' *)
+        let rec decls = function
+          | { t = Id "begin"; _ } :: rest -> rest
+          | { t = Id "signal"; _ } :: { t = Id n; _ } :: rest ->
+              declare n;
+              decls rest
+          | { t = Id "type"; _ } :: { t = Id n; _ } :: { t = Id "is"; _ }
+            :: rest ->
+              declare n;
+              let rest =
+                match rest with
+                | { t = Sym "("; _ } :: r ->
+                    (* enumeration: every literal is declared *)
+                    let rec enum = function
+                      | { t = Id lit; _ } :: r ->
+                          declare lit;
+                          enum r
+                      | { t = Sym ","; _ } :: r -> enum r
+                      | { t = Sym ")"; _ } :: r -> r
+                      | _ :: r -> enum r
+                      | [] -> []
+                    in
+                    enum r
+                | r -> r (* array type: element type is builtin *)
+              in
+              decls rest
+          | _ :: rest -> decls rest
+          | [] -> []
+        in
+        let body = decls rest in
+        (* statement part until 'end architecture' *)
+        let rec stmts = function
+          | { t = Id "end"; _ } :: { t = Id "architecture"; _ } :: rest ->
+              rest
+          | { t = Id l; _ } :: { t = Sym ":"; _ } :: rest ->
+              (* process / instance label *)
+              declare l;
+              stmts rest
+          | { t = Id "entity"; _ }
+            :: { t = Id "work"; _ }
+            :: { t = Sym "."; _ }
+            :: { t = Id ref_ent; line }
+            :: rest ->
+              (if not (Hashtbl.mem entities ref_ent) then
+                 add
+                   (Diag.error ~code:"HDL002" ~loc:(loc line)
+                      "instantiation of unknown entity %S" ref_ent));
+              let formals =
+                Option.value ~default:[] (Hashtbl.find_opt entities ref_ent)
+              in
+              let rec pmap = function
+                | { t = Id f; line } :: { t = Sym "=>"; _ } :: rest ->
+                    (if Hashtbl.mem entities ref_ent && not (List.mem f formals)
+                     then
+                       add
+                         (Diag.error ~code:"HDL002" ~loc:(loc line)
+                            "port %S is not declared by entity %S" f ref_ent));
+                    pmap rest
+                | { t = Sym ";"; _ } :: rest -> rest
+                | { t = Id n; line } :: rest ->
+                    if not (known n) then undeclared line n;
+                    pmap rest
+                | _ :: rest -> pmap rest
+                | [] -> []
+              in
+              stmts (pmap rest)
+          | { t = Id n; line } :: ({ t = Sym "=>"; _ } :: _ as rest) ->
+              (* case choice or aggregate formal: enumeration literals
+                 are declared, 'others' is builtin *)
+              if not (known n) then undeclared line n;
+              stmts rest
+          | { t = Id n; line } :: rest ->
+              if not (known n) then undeclared line n;
+              stmts rest
+          | _ :: rest -> stmts rest
+          | [] -> []
+        in
+        archs (stmts body)
+    | _ :: rest -> archs rest
+    | [] -> ()
+  in
+  archs toks;
+  List.rev !diags

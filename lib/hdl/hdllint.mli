@@ -1,0 +1,33 @@
+(** Self-check of the HDL emitters.
+
+    The Verilog/VHDL backends are string emitters: nothing in the type
+    system stops them from referencing a wire they never declared or
+    mixing operand widths. This module lints the {e emitted text} — a
+    lightweight lexical/structural scan, not a full parser — so every
+    emission can be verified before it is handed to a synthesis or
+    simulation tool:
+
+    - [HDL001] {e error} — duplicate module (Verilog) or entity (VHDL)
+      name in one emission;
+    - [HDL002] {e error} — identifier used but never declared in its
+      module/architecture scope (wires, regs, ports, localparams,
+      signals, enum literals), or an instantiation of an unknown
+      module/entity;
+    - [HDL003] {e warning} — width mismatch in a continuous assignment
+      (Verilog): a binary operator whose operand widths provably
+      differ, a sized literal assigned to a different-width target, or
+      conditional branches of different widths. Implicit
+      extension/truncation of a plain identifier is idiomatic and not
+      flagged.
+
+    Locations are ["module <name> / line <n>"] (resp. [entity]) within
+    the emitted text. *)
+
+val verilog : string -> Diag.t list
+(** Lint one Verilog emission (one or more modules, e.g. the output of
+    {!Verilog.datapath} or {!Verilog.system}). *)
+
+val vhdl : string -> Diag.t list
+(** Lint one VHDL emission (one or more entity/architecture pairs).
+    Width checking is not attempted — VHDL's strong typing makes the
+    tools catch it — so only HDL001/HDL002 fire. *)

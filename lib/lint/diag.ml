@@ -1,4 +1,4 @@
-type severity = Error | Warning
+type severity = Error | Warning | Note
 
 type t = {
   code : string;
@@ -15,12 +15,17 @@ let make ?hint severity code location fmt =
 
 let error ?hint ~code ~loc fmt = make ?hint Error code loc fmt
 let warning ?hint ~code ~loc fmt = make ?hint Warning code loc fmt
+let note ?hint ~code ~loc fmt = make ?hint Note code loc fmt
 
-let severity_to_string = function Error -> "error" | Warning -> "warning"
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
 
 let is_error d = d.severity = Error
 let errors ds = List.filter is_error ds
 let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+let notes ds = List.filter (fun d -> d.severity = Note) ds
 
 let to_message d =
   if d.location = "" then d.message else d.location ^ ": " ^ d.message
@@ -36,9 +41,17 @@ let render = function
   | [] -> ""
   | ds ->
       let body = String.concat "\n" (List.map to_string ds) in
-      Printf.sprintf "%s\n%d error(s), %d warning(s)\n" body
+      (* Notes are rare (discharged proofs); the summary only mentions
+         them when present so existing renderings stay byte-identical. *)
+      let notes_part =
+        match notes ds with
+        | [] -> ""
+        | ns -> Printf.sprintf ", %d note(s)" (List.length ns)
+      in
+      Printf.sprintf "%s\n%d error(s), %d warning(s)%s\n" body
         (List.length (errors ds))
         (List.length (warnings ds))
+        notes_part
 
 (* Minimal JSON string escaping: the control characters, quote and
    backslash — diagnostic text is ASCII by construction. *)

@@ -8,7 +8,7 @@
     entry points of the dialects render these with {!to_message}, so
     existing callers keep working unchanged. *)
 
-type severity = Error | Warning
+type severity = Error | Warning | Note
 
 type t = {
   code : string;  (** Stable diagnostic code, e.g. ["DP013"]. *)
@@ -27,8 +27,14 @@ val warning :
   ?hint:string -> code:string -> loc:string ->
   ('a, Format.formatter, unit, t) format4 -> 'a
 
+val note :
+  ?hint:string -> code:string -> loc:string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+(** [Note]-severity: informational findings, e.g. a property the deep
+    analysis discharged (a DP013 warning proved dynamically acyclic). *)
+
 val severity_to_string : severity -> string
-(** ["error"] / ["warning"]. *)
+(** ["error"] / ["warning"] / ["note"]. *)
 
 val is_error : t -> bool
 
@@ -36,6 +42,7 @@ val errors : t list -> t list
 (** Only the [Error]-severity diagnostics, in order. *)
 
 val warnings : t list -> t list
+val notes : t list -> t list
 
 val to_message : t -> string
 (** ["<location>: <message>"] — the legacy [check] string shape (the
@@ -47,7 +54,8 @@ val to_string : t -> string
 
 val render : t list -> string
 (** Every diagnostic via {!to_string}, newline-separated, with a trailing
-    summary line ("%d error(s), %d warning(s)"); [""] on no diagnostics. *)
+    summary line ("%d error(s), %d warning(s)", plus ", %d note(s)" when
+    any notes are present); [""] on no diagnostics. *)
 
 val to_json : t list -> string
 (** JSON array of objects with fields [code], [severity], [location],

@@ -244,8 +244,9 @@ let unreachable_states fsm =
 
 (* Enumerate every assignment of the status signals a state's guards
    reference. The status space is tiny in practice (mostly 1-bit flags);
-   states whose space exceeds [guard_space_limit] are skipped. *)
-let assignments fsm signals =
+   states whose space exceeds the limit report the truncation (BND002)
+   instead of silently under-reporting. *)
+let assignments ~limit fsm signals =
   let width name =
     List.find_opt (fun (i : Fsm.io) -> i.Fsm.io_name = name) fsm.Fsm.inputs
     |> Option.map (fun (i : Fsm.io) -> i.Fsm.io_width)
@@ -258,10 +259,10 @@ let assignments fsm signals =
         | _ -> None)
   in
   match domains signals with
-  | None -> None
+  | None -> `Skipped `Wide
   | Some doms ->
       let space = List.fold_left (fun acc (_, n) -> acc * n) 1 doms in
-      if space > guard_space_limit then None
+      if space > limit then `Skipped (`Space space)
       else
         let rec enum = function
           | [] -> [ [] ]
@@ -271,9 +272,9 @@ let assignments fsm signals =
                 (fun v -> List.map (fun tl -> (s, v) :: tl) tails)
                 (List.init n Fun.id)
         in
-        Some (enum doms)
+        `Assignments (enum doms)
 
-let guard_analyses fsm =
+let guard_analyses ~limit fsm =
   List.concat_map
     (fun (st : Fsm.state) ->
       let signals =
@@ -282,15 +283,35 @@ let guard_analyses fsm =
              (fun (tr : Fsm.transition) -> Guard.signals tr.Fsm.guard)
              st.Fsm.transitions)
       in
-      match assignments fsm signals with
-      | None -> []
-      | Some asgs ->
+      let loc = Printf.sprintf "state %s" st.Fsm.sname in
+      match assignments ~limit fsm signals with
+      | `Skipped reason -> (
+          if signals = [] then []
+          else
+            match reason with
+            | `Wide ->
+                [
+                  Diag.warning ~code:"BND002" ~loc
+                    ~hint:"signals of 30+ bits cannot be enumerated"
+                    "guard analysis skipped: a referenced status signal is \
+                     too wide to enumerate";
+                ]
+            | `Space space ->
+                [
+                  Diag.warning ~code:"BND002" ~loc
+                    ~hint:
+                      "raise the limit (fpgatest lint --guard-limit N) to \
+                       analyze this state"
+                    "guard analysis skipped: status space of %d assignments \
+                     exceeds the limit of %d"
+                    space limit;
+                ])
+      | `Assignments asgs ->
           let holds g asg = Guard.eval g (fun s -> List.assoc s asg) in
           let rec walk earlier = function
             | [] -> []
             | (tr : Fsm.transition) :: rest ->
                 let sat = List.filter (holds tr.Fsm.guard) asgs in
-                let loc = Printf.sprintf "state %s" st.Fsm.sname in
                 let diag =
                   if sat = [] then
                     [
@@ -317,10 +338,10 @@ let guard_analyses fsm =
           walk [] st.Fsm.transitions)
     fsm.Fsm.states
 
-let run_fsm fsm =
+let run_fsm ?(guard_limit = guard_space_limit) fsm =
   let structural = Fsm.check_diags fsm in
   if structural <> [] then structural
-  else unreachable_states fsm @ guard_analyses fsm
+  else unreachable_states fsm @ guard_analyses ~limit:guard_limit fsm
 
 let run_rtg = Rtg.check_diags
 
@@ -433,9 +454,9 @@ let link_configuration ?cfg_name dp fsm =
          fsm.Fsm.fsm_name);
   List.rev !diags
 
-let run_configuration dp fsm =
+let run_configuration ?guard_limit dp fsm =
   prefix (Printf.sprintf "datapath %s" dp.Dp.dp_name) (run_datapath dp)
-  @ prefix (Printf.sprintf "fsm %s" fsm.Fsm.fsm_name) (run_fsm fsm)
+  @ prefix (Printf.sprintf "fsm %s" fsm.Fsm.fsm_name) (run_fsm ?guard_limit fsm)
   @ link_configuration dp fsm
 
 (* ------------------------------------------------------------------ *)
@@ -452,7 +473,7 @@ let uniq_assoc l =
       end)
     l
 
-let run_bundle ~rtg ~datapaths ~fsms =
+let run_bundle ?guard_limit ~rtg ~datapaths ~fsms () =
   let rtg_diags = prefix (Printf.sprintf "rtg %s" rtg.Rtg.rtg_name) (run_rtg rtg) in
   let dp_diags =
     List.concat_map
@@ -462,7 +483,8 @@ let run_bundle ~rtg ~datapaths ~fsms =
   in
   let fsm_diags =
     List.concat_map
-      (fun (name, fsm) -> prefix (Printf.sprintf "fsm %s" name) (run_fsm fsm))
+      (fun (name, fsm) ->
+        prefix (Printf.sprintf "fsm %s" name) (run_fsm ?guard_limit fsm))
       (uniq_assoc fsms)
   in
   let cfg_diags =
@@ -485,6 +507,176 @@ let run_bundle ~rtg ~datapaths ~fsms =
       rtg.Rtg.configurations
   in
   rtg_diags @ dp_diags @ fsm_diags @ cfg_diags
+
+(* ------------------------------------------------------------------ *)
+(* Deep analysis: the abstract-interpretation passes                   *)
+
+type analysis = { cfg : string; seconds : float; fixpoint_iterations : int }
+type deep = { deep_diags : Diag.t list; analyses : analysis list }
+
+(* The location run_datapath gave a mux-broken DP013 warning for this
+   component. *)
+let dp013_matches dp_name members (d : Diag.t) =
+  d.Diag.code = "DP013"
+  && d.Diag.severity = Diag.Warning
+  && members <> []
+  && d.Diag.location
+     = Printf.sprintf "datapath %s / operator %s" dp_name (List.hd members)
+
+let run_deep ?guard_limit ~rtg ~datapaths ~fsms () =
+  let base = run_bundle ?guard_limit ~rtg ~datapaths ~fsms () in
+  (* The engine needs structurally clean, linkable documents; with
+     errors present the shallow result stands alone. *)
+  if has_errors base then { deep_diags = base; analyses = [] }
+  else
+    let datapaths = uniq_assoc datapaths and fsms = uniq_assoc fsms in
+    let results =
+      List.filter_map
+        (fun (c : Rtg.configuration) ->
+          match
+            ( List.assoc_opt c.Rtg.datapath_ref datapaths,
+              List.assoc_opt c.Rtg.fsm_ref fsms )
+          with
+          | Some dp, Some fsm -> (
+              match Absint.analyze dp fsm with
+              | r -> Some (c, `Analyzed r)
+              | exception Failure msg -> Some (c, `Failed msg))
+          | _ -> None (* XL001 is an error; unreachable here *))
+        rtg.Rtg.configurations
+    in
+    let analyses =
+      List.filter_map
+        (fun ((c : Rtg.configuration), outcome) ->
+          match outcome with
+          | `Analyzed r ->
+              Some
+                {
+                  cfg = c.Rtg.cfg_name;
+                  seconds = Absint.wall_seconds r;
+                  fixpoint_iterations = Absint.iterations r;
+                }
+          | `Failed _ -> None)
+        results
+    in
+    let ai_diags =
+      List.concat_map
+        (fun ((c : Rtg.configuration), outcome) ->
+          let loc = Printf.sprintf "configuration %s" c.Rtg.cfg_name in
+          match outcome with
+          | `Analyzed r -> prefix loc (Absint.diagnostics r)
+          | `Failed msg ->
+              [
+                Diag.error ~code:"AI000" ~loc
+                  "abstract interpretation failed: %s" msg;
+              ])
+        results
+    in
+    (* Resolve the DP013 mux-broken warnings per structural component:
+       the proof must hold in every configuration sharing the datapath;
+       a single confirmed closing upgrades the warning to an error. *)
+    let by_dp name =
+      List.filter
+        (fun ((c : Rtg.configuration), _) -> c.Rtg.datapath_ref = name)
+        results
+    in
+    let resolutions =
+      List.concat_map
+        (fun (dp_name, _) ->
+          let cfgs = by_dp dp_name in
+          let components =
+            match cfgs with
+            | (_, `Analyzed r) :: _ ->
+                List.map
+                  (fun (f : Absint.cycle_finding) -> f.Absint.members)
+                  (Absint.cycle_findings r)
+            | _ -> []
+          in
+          List.map
+            (fun members ->
+              let verdicts =
+                List.map
+                  (fun ((c : Rtg.configuration), outcome) ->
+                    match outcome with
+                    | `Failed _ -> (c, None)
+                    | `Analyzed r ->
+                        ( c,
+                          List.find_opt
+                            (fun (f : Absint.cycle_finding) ->
+                              f.Absint.members = members)
+                            (Absint.cycle_findings r) ))
+                  cfgs
+              in
+              let dynamic =
+                List.find_map
+                  (fun ((c : Rtg.configuration), f) ->
+                    match f with
+                    | Some
+                        {
+                          Absint.cycle_verdict =
+                            Absint.Dynamic_cycle { state; through };
+                          _;
+                        } ->
+                        Some (c.Rtg.cfg_name, state, through)
+                    | _ -> None)
+                  verdicts
+              in
+              let all_proved =
+                verdicts <> []
+                && List.for_all
+                     (fun (_, f) ->
+                       match f with
+                       | Some
+                           { Absint.cycle_verdict = Absint.Proved_acyclic; _ }
+                         ->
+                           true
+                       | _ -> false)
+                     verdicts
+              in
+              let loc =
+                Printf.sprintf "datapath %s / operator %s" dp_name
+                  (List.hd members)
+              in
+              let path = String.concat " -> " members in
+              match dynamic with
+              | Some (cfg_name, state, through) ->
+                  ( dp_name,
+                    members,
+                    `Upgrade
+                      (Diag.error ~code:"AI006" ~loc
+                         ~hint:
+                           "the state's mux selects route the loop closed; \
+                            the design will oscillate there"
+                         "combinational cycle through %s closes dynamically \
+                          in state %s of configuration %s"
+                         (String.concat " -> " through)
+                         state cfg_name) )
+              | None ->
+                  if all_proved then
+                    ( dp_name,
+                      members,
+                      `Discharge
+                        (Diag.note ~code:"AI007" ~loc
+                           "structural loop through %s proved dynamically \
+                            acyclic in every reachable state"
+                           path) )
+                  else (dp_name, members, `Keep))
+            components)
+        datapaths
+    in
+    let replaced =
+      List.concat_map
+        (fun d ->
+          match
+            List.find_opt
+              (fun (dp_name, members, _) -> dp013_matches dp_name members d)
+              resolutions
+          with
+          | Some (_, _, `Upgrade e) -> [ e ]
+          | Some (_, _, `Discharge n) -> [ n ]
+          | Some (_, _, `Keep) | None -> [ d ])
+        base
+    in
+    { deep_diags = replaced @ ai_diags; analyses }
 
 (* ------------------------------------------------------------------ *)
 (* Files and directories                                               *)
@@ -512,7 +704,7 @@ let convert_doc path of_xml doc =
          as the lint location instead of escaping as an exception. *)
       Bad (Diag.error ~code:"XML003" ~loc:path "%s" msg)
 
-let run_file path =
+let run_file ?guard_limit path =
   match parse_doc path with
   | Bad d -> [ d ]
   | Doc doc -> (
@@ -527,7 +719,9 @@ let run_file path =
           match convert_doc path Fsm.of_xml doc with
           | Bad d -> [ d ]
           | Doc fsm ->
-              prefix (Printf.sprintf "fsm %s" fsm.Fsm.fsm_name) (run_fsm fsm))
+              prefix
+                (Printf.sprintf "fsm %s" fsm.Fsm.fsm_name)
+                (run_fsm ?guard_limit fsm))
       | Xmlkit.Xml.Element { Xmlkit.Xml.tag = "rtg"; _ } -> (
           match convert_doc path Rtg.of_xml doc with
           | Bad d -> [ d ]
@@ -541,29 +735,34 @@ let run_file path =
       | Xmlkit.Xml.Text _ ->
           [ Diag.error ~code:"XML002" ~loc:path "not an XML element" ])
 
-let run_dir dir =
+(* Load the documents of a bundle directory, capturing every load
+   failure as a diagnostic. [Error diags] when no RTG loads; otherwise
+   the documents plus the load diagnostics of broken side files. *)
+let load_dir dir =
   let entries = List.sort compare (Array.to_list (Sys.readdir dir)) in
   let rtg_files =
     List.filter (fun f -> Filename.check_suffix f "_rtg.xml") entries
   in
   match rtg_files with
   | [] ->
-      [
-        Diag.error ~code:"BND001" ~loc:dir
-          "no *_rtg.xml found — not a bundle directory";
-      ]
+      Error
+        [
+          Diag.error ~code:"BND001" ~loc:dir
+            "no *_rtg.xml found — not a bundle directory";
+        ]
   | _ :: _ :: _ ->
-      [
-        Diag.error ~code:"BND001" ~loc:dir "several *_rtg.xml files: %s"
-          (String.concat ", " rtg_files);
-      ]
+      Error
+        [
+          Diag.error ~code:"BND001" ~loc:dir "several *_rtg.xml files: %s"
+            (String.concat ", " rtg_files);
+        ]
   | [ rtg_file ] -> (
       let rtg_path = Filename.concat dir rtg_file in
       match parse_doc rtg_path with
-      | Bad d -> [ d ]
+      | Bad d -> Error [ d ]
       | Doc doc -> (
           match convert_doc rtg_path Rtg.of_xml doc with
-          | Bad d -> [ d ]
+          | Bad d -> Error [ d ]
           | Doc rtg ->
               let load_side of_xml refs =
                 List.fold_left
@@ -596,6 +795,211 @@ let run_dir dir =
                      (fun (c : Rtg.configuration) -> c.Rtg.fsm_ref)
                      rtg.Rtg.configurations)
               in
-              List.rev dp_load @ List.rev fsm_load
-              @ run_bundle ~rtg ~datapaths:(List.rev datapaths)
-                  ~fsms:(List.rev fsms)))
+              Ok
+                ( rtg,
+                  List.rev datapaths,
+                  List.rev fsms,
+                  List.rev dp_load @ List.rev fsm_load )))
+
+let run_dir ?guard_limit dir =
+  match load_dir dir with
+  | Error diags -> diags
+  | Ok (rtg, datapaths, fsms, load_diags) ->
+      load_diags @ run_bundle ?guard_limit ~rtg ~datapaths ~fsms ()
+
+let run_deep_dir ?guard_limit dir =
+  match load_dir dir with
+  | Error diags -> { deep_diags = diags; analyses = [] }
+  | Ok (rtg, datapaths, fsms, load_diags) ->
+      if load_diags <> [] then
+        { deep_diags = load_diags @ run_bundle ?guard_limit ~rtg ~datapaths ~fsms ();
+          analyses = [] }
+      else run_deep ?guard_limit ~rtg ~datapaths ~fsms ()
+
+(* ------------------------------------------------------------------ *)
+(* Mechanical fixes                                                    *)
+
+type fix = {
+  fixed_paths : string list;
+  removed_controls : (string * string list) list;
+      (** Document name -> removed control/output names. *)
+  before : Diag.t list;
+  after : Diag.t list;
+}
+
+(* The fixable class is the undriven control: declared in a datapath
+   but driving no net (DP015; XL008 when the FSM also asserts it). The
+   rewrite removes the control declaration, the matching FSM output and
+   its per-state settings — but only when every document agrees: an FSM
+   output is only removable when the control is unused in every
+   datapath the FSM pairs with, and a datapath control only when every
+   paired FSM can drop the output too (otherwise the removal would
+   manufacture XL002/XL003 link errors). *)
+let fix_dir ?guard_limit ?(in_place = false) dir =
+  match load_dir dir with
+  | Error diags -> Error diags
+  | Ok (rtg, datapaths, fsms, load_diags) ->
+      let before =
+        load_diags @ run_bundle ?guard_limit ~rtg ~datapaths ~fsms ()
+      in
+      let datapaths = uniq_assoc datapaths and fsms = uniq_assoc fsms in
+      let unused dp_name ctl =
+        match List.assoc_opt dp_name datapaths with
+        | None -> false
+        | Some dp ->
+            List.exists
+              (fun (c : Dp.control) -> c.Dp.ctl_name = ctl)
+              dp.Dp.controls
+            && not
+                 (List.exists
+                    (fun (n : Dp.net) -> n.Dp.source = Dp.From_control ctl)
+                    dp.Dp.nets)
+      in
+      let declared dp_name ctl =
+        match List.assoc_opt dp_name datapaths with
+        | None -> false
+        | Some dp ->
+            List.exists
+              (fun (c : Dp.control) -> c.Dp.ctl_name = ctl)
+              dp.Dp.controls
+      in
+      let paired_dps fsm_name =
+        List.filter_map
+          (fun (c : Rtg.configuration) ->
+            if c.Rtg.fsm_ref = fsm_name then Some c.Rtg.datapath_ref else None)
+          rtg.Rtg.configurations
+        |> List.sort_uniq compare
+      in
+      let paired_fsms dp_name =
+        List.filter_map
+          (fun (c : Rtg.configuration) ->
+            if c.Rtg.datapath_ref = dp_name then Some c.Rtg.fsm_ref else None)
+          rtg.Rtg.configurations
+        |> List.sort_uniq compare
+      in
+      let fsm_removals =
+        List.map
+          (fun (fname, (fsm : Fsm.t)) ->
+            let dps = paired_dps fname in
+            let removable (o : Fsm.io) =
+              dps <> []
+              && List.exists (fun d -> declared d o.Fsm.io_name) dps
+              && List.for_all
+                   (fun d ->
+                     (not (declared d o.Fsm.io_name))
+                     || unused d o.Fsm.io_name)
+                   dps
+            in
+            ( fname,
+              List.filter_map
+                (fun o -> if removable o then Some o.Fsm.io_name else None)
+                fsm.Fsm.outputs ))
+          fsms
+      in
+      let fsm_drops fname =
+        Option.value ~default:[] (List.assoc_opt fname fsm_removals)
+      in
+      let dp_removals =
+        List.map
+          (fun (dname, (dp : Dp.t)) ->
+            ( dname,
+              List.filter_map
+                (fun (c : Dp.control) ->
+                  let ctl = c.Dp.ctl_name in
+                  if
+                    unused dname ctl
+                    && List.for_all
+                         (fun f ->
+                           match List.assoc_opt f fsms with
+                           | None -> true
+                           | Some fsm ->
+                               (not
+                                  (List.exists
+                                     (fun (o : Fsm.io) -> o.Fsm.io_name = ctl)
+                                     fsm.Fsm.outputs))
+                               || List.mem ctl (fsm_drops f))
+                         (paired_fsms dname)
+                  then Some ctl
+                  else None)
+                dp.Dp.controls ))
+          datapaths
+      in
+      let fixed_dps =
+        List.filter_map
+          (fun (dname, (dp : Dp.t)) ->
+            match List.assoc dname dp_removals with
+            | [] -> None
+            | rem ->
+                Some
+                  ( dname,
+                    {
+                      dp with
+                      Dp.controls =
+                        List.filter
+                          (fun (c : Dp.control) ->
+                            not (List.mem c.Dp.ctl_name rem))
+                          dp.Dp.controls;
+                    } ))
+          datapaths
+      in
+      let fixed_fsms =
+        List.filter_map
+          (fun (fname, (fsm : Fsm.t)) ->
+            match fsm_drops fname with
+            | [] -> None
+            | rem ->
+                Some
+                  ( fname,
+                    {
+                      fsm with
+                      Fsm.outputs =
+                        List.filter
+                          (fun (o : Fsm.io) ->
+                            not (List.mem o.Fsm.io_name rem))
+                          fsm.Fsm.outputs;
+                      Fsm.states =
+                        List.map
+                          (fun (st : Fsm.state) ->
+                            {
+                              st with
+                              Fsm.settings =
+                                List.filter
+                                  (fun (k, _) -> not (List.mem k rem))
+                                  st.Fsm.settings;
+                            })
+                          fsm.Fsm.states;
+                    } ))
+          fsms
+      in
+      let out_path name =
+        Filename.concat dir (name ^ if in_place then ".xml" else ".fixed.xml")
+      in
+      List.iter (fun (name, dp) -> Dp.save (out_path name) dp) fixed_dps;
+      List.iter (fun (name, fsm) -> Fsm.save (out_path name) fsm) fixed_fsms;
+      let merged originals fixed =
+        List.map
+          (fun (n, d) ->
+            match List.assoc_opt n fixed with Some d' -> (n, d') | None -> (n, d))
+          originals
+      in
+      let after =
+        load_diags
+        @ run_bundle ?guard_limit ~rtg
+            ~datapaths:(merged datapaths fixed_dps)
+            ~fsms:(merged fsms fixed_fsms) ()
+      in
+      let removed_controls =
+        List.filter
+          (fun (_, rem) -> rem <> [])
+          (dp_removals
+          @ List.map (fun (f, _) -> (f, fsm_drops f)) fsms)
+      in
+      Ok
+        {
+          fixed_paths =
+            List.map (fun (n, _) -> out_path n) fixed_dps
+            @ List.map (fun (n, _) -> out_path n) fixed_fsms;
+          removed_controls;
+          before;
+          after;
+        }

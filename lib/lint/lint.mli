@@ -50,37 +50,67 @@
     - [XML003] {e error} — document rejected while loading (e.g. a
       malformed ["inst.port"] endpoint);
     - [BND001] {e error} — no or several [*_rtg.xml] in a bundle
-      directory. *)
+      directory;
+    - [BND002] {e warning} — a state's guard analysis was skipped
+      because the status space exceeds the enumeration limit (raise it
+      with [?guard_limit] / [fpgatest lint --guard-limit N]).
+
+    Deep analysis ({!run_deep}): the {!Absint} abstract-interpretation
+    engine runs a fixpoint over every configuration and emits proof
+    results as AI0xx diagnostics:
+    - [AI000] {e error} — the abstract interpreter itself failed on the
+      configuration (invalid documents, no control path);
+    - [AI001] {e error}/{e warning} — SRAM write address out of bounds
+      (error when provably always out, warning when possibly out);
+    - [AI002] {e warning} — SRAM read address provably out of bounds
+      with the read data consumed;
+    - [AI003] {e warning} — a register's reset-default value can reach
+      an observable before any write (read-before-write);
+    - [AI004] {e warning} — divisor not provably nonzero on a reachable
+      path;
+    - [AI005] {e warning} — a resize truncates a value whose abstract
+      range exceeds the narrower width;
+    - [AI006] {e error} — a mux-broken DP013 structural loop closes
+      dynamically in a reachable FSM state (the base DP013 warning is
+      upgraded in place);
+    - [AI007] {e note} — a mux-broken DP013 structural loop proved
+      dynamically acyclic in every reachable state of every
+      configuration (the base DP013 warning is replaced by the proof). *)
 
 val run_datapath : Netlist.Datapath.t -> Diag.t list
 (** Structural diagnostics plus DP013–DP015. The deep passes only run
     when the document is structurally clean (they need resolvable
     operator specs). *)
 
-val run_fsm : Fsmkit.Fsm.t -> Diag.t list
+val run_fsm : ?guard_limit:int -> Fsmkit.Fsm.t -> Diag.t list
 (** Structural diagnostics plus FSM012–FSM014. Guard analyses enumerate
-    the status space per state and are skipped when it exceeds
-    {!guard_space_limit} assignments. *)
+    the status space per state; states exceeding [guard_limit]
+    (default {!guard_space_limit}) assignments are skipped with a
+    [BND002] warning. *)
 
 val run_rtg : Rtg.t -> Diag.t list
 
 val guard_space_limit : int
-(** Assignment-count cap for the per-state guard analyses (1024). *)
+(** Default assignment-count cap for the per-state guard analyses
+    (1024). *)
 
 val link_configuration :
   ?cfg_name:string -> Netlist.Datapath.t -> Fsmkit.Fsm.t -> Diag.t list
 (** XL002–XL009 for one datapath/FSM pair. [cfg_name] names the RTG
     configuration in locations (defaults to the document names). *)
 
-val run_configuration : Netlist.Datapath.t -> Fsmkit.Fsm.t -> Diag.t list
+val run_configuration :
+  ?guard_limit:int -> Netlist.Datapath.t -> Fsmkit.Fsm.t -> Diag.t list
 (** Everything about one configuration: {!run_datapath}, {!run_fsm}
     (locations prefixed with the document names) and
     {!link_configuration}. *)
 
 val run_bundle :
+  ?guard_limit:int ->
   rtg:Rtg.t ->
   datapaths:(string * Netlist.Datapath.t) list ->
   fsms:(string * Fsmkit.Fsm.t) list ->
+  unit ->
   Diag.t list
 (** Lint a whole design: the RTG, every referenced document (each linted
     once even when configurations share it), every configuration's
@@ -88,14 +118,72 @@ val run_bundle :
     resolve. The assoc lists are keyed by document name, as in
     [Testinfra.Bundle]. *)
 
-val run_file : string -> Diag.t list
+(** {1 Deep analysis} *)
+
+type analysis = {
+  cfg : string;  (** Configuration name. *)
+  seconds : float;  (** Wall time of the abstract fixpoint. *)
+  fixpoint_iterations : int;
+}
+
+type deep = {
+  deep_diags : Diag.t list;
+      (** The {!run_bundle} diagnostics with every mux-broken DP013
+          warning resolved (upgraded to an [AI006] error or replaced by
+          an [AI007] note), followed by the AI001–AI005 prover findings
+          of every configuration. *)
+  analyses : analysis list;  (** One entry per analyzed configuration. *)
+}
+
+val run_deep :
+  ?guard_limit:int ->
+  rtg:Rtg.t ->
+  datapaths:(string * Netlist.Datapath.t) list ->
+  fsms:(string * Fsmkit.Fsm.t) list ->
+  unit ->
+  deep
+(** {!run_bundle} plus the {!Absint} engine over every configuration.
+    When the base lint already reports errors the deep analysis is
+    skipped (its preconditions do not hold) and the base diagnostics are
+    returned unchanged. A DP013 warning is only discharged ([AI007])
+    when every configuration sharing the datapath proves the loop
+    acyclic; a single configuration closing it dynamically upgrades it
+    to an [AI006] error. *)
+
+val run_file : ?guard_limit:int -> string -> Diag.t list
 (** Lint one saved XML document (dialect chosen by the root tag). Load
     failures become XML001–XML003 diagnostics instead of exceptions. *)
 
-val run_dir : string -> Diag.t list
+val run_dir : ?guard_limit:int -> string -> Diag.t list
 (** Lint a bundle directory ([*_rtg.xml] plus referenced documents, the
     [Testinfra.Bundle] layout) without requiring the documents to be
     valid: every load failure is captured as a diagnostic. *)
+
+val run_deep_dir : ?guard_limit:int -> string -> deep
+(** {!run_deep} over a bundle directory. On load failure the load
+    diagnostics are returned with an empty [analyses] list. *)
+
+(** {1 Mechanical fixes} *)
+
+type fix = {
+  fixed_paths : string list;  (** Corrected documents written to disk. *)
+  removed_controls : (string * string list) list;
+      (** Document name -> removed control/output names. *)
+  before : Diag.t list;  (** Bundle diagnostics before the rewrite. *)
+  after : Diag.t list;  (** Bundle diagnostics after the rewrite. *)
+}
+
+val fix_dir :
+  ?guard_limit:int -> ?in_place:bool -> string -> (fix, Diag.t list) result
+(** Remove the fixable diagnostics of a bundle directory: unused
+    datapath controls (DP015) together with the FSM outputs driving
+    them (including XL008 asserted-but-unconnected controls). A control
+    is only removed when every document agrees — the FSM output must be
+    droppable in every paired datapath and vice versa — so the rewrite
+    can never introduce XL002/XL003 link errors. Corrected documents
+    are written next to the originals as [<name>.fixed.xml], or
+    overwrite them with [~in_place:true]. [Error diags] when the
+    directory does not load as a bundle. *)
 
 val prefix : string -> Diag.t list -> Diag.t list
 (** Prepend ["<p> / "] to every location (replacing empty locations

@@ -178,6 +178,83 @@ let test_emitters_on_compiled_design () =
         (String.length (Hdl.Systemc.system dp fsm) > 500))
     c.Compiler.Compile.partitions
 
+(* --- the emission self-check (Hdllint) ----------------------------------- *)
+
+let lint_codes ds = List.sort_uniq compare (List.map (fun d -> d.Diag.code) ds)
+
+let check_lint_code what c ds =
+  check_bool
+    (Printf.sprintf "%s reports %s (got %s)" what c
+       (String.concat "," (lint_codes ds)))
+    true
+    (List.exists (fun (d : Diag.t) -> d.Diag.code = c) ds)
+
+let test_hdllint_clean_on_emissions () =
+  let dp = sample_dp () and fsm = sample_fsm () in
+  Alcotest.(check (list string)) "verilog emission clean" []
+    (lint_codes (Hdl.Hdllint.verilog (Hdl.Verilog.system dp fsm)));
+  Alcotest.(check (list string)) "vhdl emission clean" []
+    (lint_codes (Hdl.Hdllint.vhdl (Hdl.Vhdl.system dp fsm)))
+
+let test_hdllint_verilog_codes () =
+  check_lint_code "duplicate module" "HDL001"
+    (Hdl.Hdllint.verilog
+       "module a (); wire x; assign x = 1'd0; endmodule\n\
+        module a (); endmodule\n");
+  check_lint_code "undeclared identifier" "HDL002"
+    (Hdl.Hdllint.verilog "module a (); wire x; assign x = y; endmodule\n");
+  check_lint_code "unknown module instantiated" "HDL002"
+    (Hdl.Hdllint.verilog
+       "module a (); wire x; ghost u_g (.p(x)); endmodule\n");
+  check_lint_code "operand width mismatch" "HDL003"
+    (Hdl.Hdllint.verilog
+       "module a (); wire [7:0] x; wire [3:0] y; wire [7:0] z;\n\
+        assign z = x + y; endmodule\n");
+  check_lint_code "literal width mismatch" "HDL003"
+    (Hdl.Hdllint.verilog
+       "module a (); wire [7:0] x; assign x = 4'd3; endmodule\n");
+  check_lint_code "computed truncation" "HDL003"
+    (Hdl.Hdllint.verilog
+       "module a (); wire [7:0] x; wire [3:0] y;\n\
+        assign y = x + 8'd1; endmodule\n");
+  (* The zext/trunc idiom — a plain identifier copied across widths — is
+     intentional and stays silent. *)
+  Alcotest.(check (list string)) "identifier copy not flagged" []
+    (lint_codes
+       (Hdl.Hdllint.verilog
+          "module a (); wire [7:0] x; wire [3:0] y; assign y = x; \
+           assign x = 8'd1; endmodule\n"))
+
+let test_hdllint_vhdl_codes () =
+  check_lint_code "duplicate entity" "HDL001"
+    (Hdl.Hdllint.vhdl
+       "entity a is port (x : in std_logic); end entity a;\n\
+        architecture rtl of a is begin end architecture rtl;\n\
+        entity a is port (y : in std_logic); end entity a;\n");
+  check_lint_code "undeclared signal" "HDL002"
+    (Hdl.Hdllint.vhdl
+       "entity a is port (x : in std_logic); end entity a;\n\
+        architecture rtl of a is\n\
+        signal s : std_logic;\n\
+        begin\n\
+        s <= ghost;\n\
+        end architecture rtl;\n");
+  check_lint_code "unknown entity instantiated" "HDL002"
+    (Hdl.Hdllint.vhdl
+       "entity a is port (x : in std_logic); end entity a;\n\
+        architecture rtl of a is\n\
+        begin\n\
+        u0 : entity work.ghost port map (p => x);\n\
+        end architecture rtl;\n");
+  check_lint_code "formal not a port" "HDL002"
+    (Hdl.Hdllint.vhdl
+       "entity b is port (p : in std_logic); end entity b;\n\
+        entity a is port (x : in std_logic); end entity a;\n\
+        architecture rtl of a is\n\
+        begin\n\
+        u0 : entity work.b port map (q => x);\n\
+        end architecture rtl;\n")
+
 let suite =
   [
     ("verilog datapath", `Quick, test_verilog_datapath);
@@ -191,4 +268,7 @@ let suite =
     ("systemc system", `Quick, test_systemc_system);
     ("emitters min/max/abs", `Quick, test_emitters_minmax_abs);
     ("emitters on compiled design", `Quick, test_emitters_on_compiled_design);
+    ("hdllint clean on emissions", `Quick, test_hdllint_clean_on_emissions);
+    ("hdllint verilog codes", `Quick, test_hdllint_verilog_codes);
+    ("hdllint vhdl codes", `Quick, test_hdllint_vhdl_codes);
   ]

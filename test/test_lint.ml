@@ -338,7 +338,7 @@ let test_link_codes () =
 
 let test_bundle_missing_doc () =
   let r = Rtg.singleton ~name:"gcd" ~datapath_ref:"gcd_dp" ~fsm_ref:"gcd_fsm" in
-  let ds = Lint.run_bundle ~rtg:r ~datapaths:[] ~fsms:[ ("gcd_fsm", linked_fsm) ] in
+  let ds = Lint.run_bundle ~rtg:r ~datapaths:[] ~fsms:[ ("gcd_fsm", linked_fsm) ] () in
   check_code "unresolved datapath ref" "XL001" ds;
   Alcotest.(check bool) "missing document is an error" true (Lint.has_errors ds)
 
@@ -350,7 +350,7 @@ let test_bundle_width_mismatch () =
   let ds =
     Lint.run_bundle ~rtg:r
       ~datapaths:[ ("gcd_dp", linked_dp) ]
-      ~fsms:[ ("gcd_fsm", bad_fsm) ]
+      ~fsms:[ ("gcd_fsm", bad_fsm) ] ()
   in
   check_code "bundle-level width mismatch" "XL004" ds;
   Alcotest.(check bool) "mismatch is an error" true (Lint.has_errors ds);

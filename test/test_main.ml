@@ -21,5 +21,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("faults", Test_faults.suite);
       ("lint", Test_lint.suite);
+      ("absint", Test_absint.suite);
       ("integration", Test_integration.suite);
     ]
