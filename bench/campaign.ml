@@ -56,11 +56,17 @@ let json_of_run (c : Faultcamp.t) =
   Printf.sprintf
     {|    { "jobs": %d, "wall_seconds": %.6f, "mutants": %d,
       "mutants_per_second": %.3f, "kill_rate": %.4f,
-      "total_mutant_cycles": %d }|}
+      "total_mutant_cycles": %d,
+      "retries": %d, "quarantined": %d, "wall_timeouts": %d,
+      "cancelled": %d }|}
     c.Faultcamp.jobs c.Faultcamp.wall_seconds
     (List.length c.Faultcamp.mutants)
     c.Faultcamp.mutants_per_second c.Faultcamp.kill_rate
     c.Faultcamp.total_mutant_cycles
+    (List.length (Faultcamp.retried c))
+    (List.length (Faultcamp.quarantined c))
+    (List.length (Faultcamp.wall_timeouts c))
+    (List.length (Faultcamp.cancelled c))
 
 let () =
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
@@ -102,13 +108,16 @@ let () =
     Printf.sprintf
       {|{
   "benchmark": "faultcamp-campaign",
-  "schema_version": 2,
+  "schema_version": 3,
   "workload": "%s",
   "seed": %d,
   "faults_base": %d,
   "faults_scaled_by_cores": %b,
   "faults_requested": %d,
   "host_cores": %d,
+  "deadline_seconds": %g,
+  "slice_cycles": %d,
+  "max_retries": %d,
   "deterministic_across_jobs": true,
   "runs": [
 %s
@@ -121,6 +130,8 @@ let () =
       !workload !seed base_faults
       (!faults_arg = None)
       (faults ()) host_cores
+      Faultcamp.default_deadline_seconds Faultcamp.default_slice_cycles
+      Faultcamp.default_max_retries
       (String.concat ",\n" (List.map (fun (c, _) -> json_of_run c) runs))
       (String.concat ",\n" speedups)
   in

@@ -8,27 +8,84 @@ let list_workloads () =
     (fun (c : Testinfra.Suite.case) -> print_endline c.Testinfra.Suite.case_name)
     (Testinfra.Faultcamp.default_workloads ())
 
-let run_campaign workload faults seed factor jobs verbose =
+(* Flag validation up front: a bad value must die with one readable line
+   and a nonzero exit, never an [Invalid_argument] backtrace out of
+   [Pool.create] half-way into the campaign. *)
+let validate_flags ~faults ~factor ~jobs ~deadline ~slice ~retries ~backoff
+    ~stop_after =
+  let fail fmt = Printf.ksprintf (fun msg -> Some msg) fmt in
+  let problem =
+    if jobs < 1 then fail "--jobs must be >= 1 (got %d)" jobs
+    else if faults < 0 then fail "--faults must be >= 0 (got %d)" faults
+    else if factor < 1 then fail "--max-cycles-factor must be >= 1 (got %d)" factor
+    else if deadline < 0. then fail "--deadline must be >= 0 (got %g)" deadline
+    else if slice < 1 then fail "--slice must be >= 1 (got %d)" slice
+    else if retries < 0 then fail "--retries must be >= 0 (got %d)" retries
+    else if backoff < 0. then fail "--backoff must be >= 0 (got %g)" backoff
+    else
+      match stop_after with
+      | Some k when k < 1 -> fail "--stop-after must be >= 1 (got %d)" k
+      | _ -> None
+  in
+  match problem with
+  | Some msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | None -> ()
+
+let report campaign verbose =
+  (* The report on stdout is deterministic (identical at any -j, and
+     identical whether the campaign ran straight through or was resumed
+     from a journal); machine-dependent timing goes to stderr so
+     `faultcamp > out` diffs clean across worker counts. *)
+  Testinfra.Report.campaign ~verbose Format.std_formatter campaign;
+  Printf.eprintf "%s\n" (Testinfra.Metrics.campaign_timing campaign)
+
+let run_campaign workload faults seed factor jobs deadline slice retries
+    backoff journal stop_after verbose =
   match Testinfra.Faultcamp.find_workload workload with
   | None ->
       Printf.eprintf
         "error: unknown workload %S (try --list for the catalogue)\n" workload;
       exit 1
   | Some case ->
+      let cancel = Testinfra.Budget.token () in
+      Testinfra.Budget.install_sigint cancel;
       let campaign =
         Testinfra.Faultcamp.run ~seed ~faults ~max_cycles_factor:factor ~jobs
+          ~deadline_seconds:deadline ~slice_cycles:slice ~max_retries:retries
+          ~backoff_seconds:backoff ~cancel ?journal_path:journal ?stop_after
           case
       in
-      (* The report on stdout is deterministic (identical at any -j);
-         machine-dependent timing goes to stderr so `faultcamp > out`
-         diffs clean across worker counts. *)
-      Testinfra.Report.campaign ~verbose Format.std_formatter campaign;
-      Printf.eprintf "%s\n" (Testinfra.Metrics.campaign_timing campaign)
+      report campaign verbose;
+      campaign.Testinfra.Faultcamp.interrupted
 
-let run workload faults seed factor jobs verbose list =
+let run_resume path jobs stop_after verbose =
+  let cancel = Testinfra.Budget.token () in
+  Testinfra.Budget.install_sigint cancel;
+  let campaign = Testinfra.Faultcamp.resume ~jobs ~cancel ?stop_after path in
+  report campaign verbose;
+  campaign.Testinfra.Faultcamp.interrupted
+
+let run workload faults seed factor jobs deadline slice retries backoff
+    journal resume stop_after verbose list =
   try
     if list then list_workloads ()
-    else run_campaign workload faults seed factor jobs verbose
+    else begin
+      validate_flags ~faults ~factor ~jobs ~deadline ~slice ~retries ~backoff
+        ~stop_after;
+      let interrupted =
+        match resume with
+        | Some path -> run_resume path jobs stop_after verbose
+        | None ->
+            run_campaign workload faults seed factor jobs deadline slice
+              retries backoff journal stop_after verbose
+      in
+      (* A campaign cut short by Ctrl-C exits 130 (the shell convention
+         for SIGINT); --stop-after is a deliberate, scripted interrupt
+         and keeps exit 0 so the smoke tests can drive it. *)
+      if interrupted && stop_after = None then exit 130
+    end
   with
   | Failure msg | Sys_error msg | Invalid_argument msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -63,6 +120,54 @@ let jobs_arg =
            ~doc:"Worker domains executing mutants in parallel. The report \
                  is identical at any value; only wall-clock changes.")
 
+let deadline_arg =
+  Arg.(value & opt float Testinfra.Faultcamp.default_deadline_seconds
+       & info [ "deadline" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock watchdog per mutant attempt; a hung mutant is \
+                 classified as a wall timeout instead of simulating out \
+                 its whole cycle budget. 0 disables the watchdog.")
+
+let slice_arg =
+  Arg.(value & opt int Testinfra.Faultcamp.default_slice_cycles
+       & info [ "slice" ] ~docv:"CYCLES"
+           ~doc:"Watchdog granularity: clock cycles simulated between \
+                 deadline/cancellation checks.")
+
+let retries_arg =
+  Arg.(value & opt int Testinfra.Faultcamp.default_max_retries
+       & info [ "retries" ] ~docv:"N"
+           ~doc:"Crash retries per mutant (exponential backoff). A mutant \
+                 crashing identically twice is quarantined immediately.")
+
+let backoff_arg =
+  Arg.(value & opt float Testinfra.Faultcamp.default_backoff_seconds
+       & info [ "backoff" ] ~docv:"SECONDS"
+           ~doc:"Initial retry backoff; doubles per retry.")
+
+let journal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Checkpoint completed mutants to an append-only JSONL \
+                 journal as they finish; an interrupted campaign restarts \
+                 from it with --resume.")
+
+let resume_arg =
+  Arg.(value & opt (some string) None
+       & info [ "resume" ] ~docv:"FILE"
+           ~doc:"Resume an interrupted campaign from its journal: replay \
+                 the recorded results, execute only the remaining mutants \
+                 (appending them to the same journal), and print a report \
+                 identical to an uninterrupted run. Campaign parameters \
+                 come from the journal header; workload/seed flags are \
+                 ignored.")
+
+let stop_after_arg =
+  Arg.(value & opt (some int) None
+       & info [ "stop-after" ] ~docv:"N"
+           ~doc:"Testing hook: request a graceful shutdown after N journal \
+                 entries have been written, exactly as SIGINT would, but \
+                 with exit status 0.")
+
 let verbose_arg =
   Arg.(value & flag
        & info [ "v"; "verbose" ] ~doc:"Print every mutant's outcome.")
@@ -77,6 +182,7 @@ let cmd =
              report the verifier's kill rate per fault class.")
     Term.(
       const run $ workload_arg $ faults_arg $ seed_arg $ factor_arg
-      $ jobs_arg $ verbose_arg $ list_arg)
+      $ jobs_arg $ deadline_arg $ slice_arg $ retries_arg $ backoff_arg
+      $ journal_arg $ resume_arg $ stop_after_arg $ verbose_arg $ list_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -62,7 +62,10 @@ let handle_errors f =
   | Xmlkit.Xml_query.Schema_error msg ->
       Printf.eprintf "schema error: %s\n" msg;
       exit 1
-  | Failure msg | Sys_error msg ->
+  | Failure msg | Sys_error msg | Invalid_argument msg ->
+      (* Invalid_argument is the backstop for out-of-range values that
+         slip past the per-command validation (e.g. Pool.create) — one
+         readable line, never a backtrace. *)
       Printf.eprintf "error: %s\n" msg;
       exit 1
 
@@ -178,6 +181,7 @@ let cmd_simulate =
                   List.fold_left
                     (fun acc r -> acc +. r.Testinfra.Simulate.wall_seconds)
                     0. runs;
+                budget_failure = None;
               }
           | None ->
               Testinfra.Simulate.run_compiled ~max_cycles ~memories:lookup compiled
@@ -369,8 +373,28 @@ let cmd_suite =
            ~doc:"Fan the (case, variant) verifications out over N worker \
                  domains. The report is identical for any N.")
   in
-  let run dir all_variants jobs =
+  let journal_arg =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Checkpoint each completed (case, variant) verification \
+                 to an append-only JSONL journal as it finishes.")
+  in
+  let resume_arg =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"With --journal, reload the journal, replay the recorded \
+                 verifications, and execute only the remainder (the \
+                 journal must have been written for the same cases and \
+                 variants).")
+  in
+  let run dir all_variants jobs journal resume =
     handle_errors (fun () ->
+        if jobs < 1 then begin
+          Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
+          exit 1
+        end;
+        if resume && journal = None then begin
+          Printf.eprintf "error: --resume requires --journal FILE\n";
+          exit 1
+        end;
         let cases =
           match dir with
           | Some dir -> Testinfra.Suite.load_dir dir
@@ -380,15 +404,24 @@ let cmd_suite =
           if all_variants then Testinfra.Suite.default_variants
           else [ List.hd Testinfra.Suite.default_variants ]
         in
-        let results = Testinfra.Suite.run ~variants ~jobs cases in
+        let cancel = Testinfra.Budget.token () in
+        Testinfra.Budget.install_sigint cancel;
+        let results =
+          Testinfra.Suite.run ~variants ~jobs ~cancel ?journal_path:journal
+            ~resume cases
+        in
         print_string (Testinfra.Suite.render results);
-        exit (if (snd results).Testinfra.Suite.failures = [] then 0 else 1))
+        let summary = snd results in
+        if summary.Testinfra.Suite.cancelled > 0 then exit 130;
+        exit (if summary.Testinfra.Suite.failures = [] then 0 else 1))
   in
   Cmd.v
     (Cmd.info "suite"
        ~doc:"Verify a whole regression suite of programs (the paper's \
              complete-test-suite use case).")
-    Term.(const run $ dir_arg $ all_variants_arg $ jobs_arg)
+    Term.(
+      const run $ dir_arg $ all_variants_arg $ jobs_arg $ journal_arg
+      $ resume_arg)
 
 (* --- lint ---------------------------------------------------------------- *)
 

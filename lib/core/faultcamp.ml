@@ -5,13 +5,18 @@ module Fault = Faults.Fault
 type outcome =
   | Killed of string
   | Survived
-  | Timeout
+  | Timeout_cycles
+  | Timeout_wall
+  | Cancelled
   | Crashed of string
 
 type mutant = {
   fault : Fault.t;
   outcome : outcome;
   mutant_cycles : int;
+  retries : int;
+  quarantined : bool;
+  replayed : bool;
 }
 
 type class_stats = {
@@ -19,8 +24,12 @@ type class_stats = {
   injected : int;
   killed : int;
   survived : int;
-  timed_out : int;
+  timed_out_cycles : int;
+  timed_out_wall : int;
+  cancelled : int;
   crashed : int;
+  quarantined : int;
+  retried : int;
 }
 
 type t = {
@@ -31,13 +40,25 @@ type t = {
   clean_passed : bool;
   clean_cycles : int;
   clean_oob : int;
+  cycle_budget : int;
+  deadline_seconds : float;
+  slice_cycles : int;
+  max_retries : int;
+  backoff_seconds : float;
   mutants : mutant list;
   by_class : class_stats list;
   kill_rate : float;
+  interrupted : bool;
+  replayed : int;
   wall_seconds : float;
   total_mutant_cycles : int;
   mutants_per_second : float;
 }
+
+let default_deadline_seconds = 60.
+let default_slice_cycles = 5_000
+let default_max_retries = 2
+let default_backoff_seconds = 0.05
 
 let default_workloads () =
   Suite.builtin_cases ()
@@ -90,43 +111,50 @@ let total_oob stores =
     (fun acc (_, store) -> acc + Memory.out_of_range_accesses store)
     0 stores
 
-(* The verifier's kill criteria, in the order they are reported: final
-   memory contents diverge from the golden model, assertion checks fire a
-   different number of times, or the out-of-range access count departs
-   from the clean hardware run's. *)
+(* The verifier's kill criteria, in the order they are reported: the
+   watchdog verdicts first (a budget-stopped run compared nothing), then
+   final memory contents diverging from the golden model, assertion
+   checks firing a different number of times, and the out-of-range
+   access count departing from the clean hardware run's. *)
 let judge ~golden_stores ~golden_asserts ~clean_hw_oob hw_stores
     (run : Simulate.rtg_run) =
-  if not run.Simulate.all_completed then Timeout
-  else
-    let mem_kill =
-      List.fold_left2
-        (fun acc (name, g) (_, h) ->
-          match acc with
-          | Some _ -> acc
-          | None ->
-              let diffs = Memory.diff g h in
-              if diffs = [] then None
-              else
-                Some
-                  (Printf.sprintf "memory %s: %d mismatches" name
-                     (List.length diffs)))
-        None golden_stores hw_stores
-    in
-    match mem_kill with
-    | Some reason -> Killed reason
-    | None ->
-        let checks = count_check_failures run in
-        if checks <> golden_asserts then
-          Killed
-            (Printf.sprintf "assertion divergence: %d software, %d hardware"
-               golden_asserts checks)
-        else
-          let oob = total_oob hw_stores in
-          if oob <> clean_hw_oob then
-            Killed
-              (Printf.sprintf "oob divergence: clean=%d mutant=%d" clean_hw_oob
-                 oob)
-          else Survived
+  match run.Simulate.budget_failure with
+  | Some Budget.Timeout_wall -> Timeout_wall
+  | Some Budget.Cancelled -> Cancelled
+  | Some _ -> Timeout_cycles
+  | None ->
+      if not run.Simulate.all_completed then Timeout_cycles
+      else
+        let mem_kill =
+          List.fold_left2
+            (fun acc (name, g) (_, h) ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  let diffs = Memory.diff g h in
+                  if diffs = [] then None
+                  else
+                    Some
+                      (Printf.sprintf "memory %s: %d mismatches" name
+                         (List.length diffs)))
+            None golden_stores hw_stores
+        in
+        (match mem_kill with
+        | Some reason -> Killed reason
+        | None ->
+            let checks = count_check_failures run in
+            if checks <> golden_asserts then
+              Killed
+                (Printf.sprintf
+                   "assertion divergence: %d software, %d hardware"
+                   golden_asserts checks)
+            else
+              let oob = total_oob hw_stores in
+              if oob <> clean_hw_oob then
+                Killed
+                  (Printf.sprintf "oob divergence: clean=%d mutant=%d"
+                     clean_hw_oob oob)
+              else Survived)
 
 let class_breakdown mutants =
   List.map
@@ -140,29 +168,219 @@ let class_breakdown mutants =
         injected = List.length mine;
         killed = count (fun m -> match m.outcome with Killed _ -> true | _ -> false);
         survived = count (fun m -> m.outcome = Survived);
-        timed_out = count (fun m -> m.outcome = Timeout);
+        timed_out_cycles = count (fun m -> m.outcome = Timeout_cycles);
+        timed_out_wall = count (fun m -> m.outcome = Timeout_wall);
+        cancelled = count (fun m -> m.outcome = Cancelled);
         crashed = count (fun m -> match m.outcome with Crashed _ -> true | _ -> false);
+        quarantined = count (fun m -> m.quarantined);
+        retried = count (fun m -> m.retries > 0);
       })
     Fault.all_classes
 
-(* Crash isolation: a mutant whose simulation raises (a fault can surface
-   division-by-zero or drive an index out of any guarded range) must be
-   recorded, not allowed to abort the other several hundred mutants. The
-   pool already captures per-task exceptions; here they become [Crashed]
-   outcomes, which count as detected — a design that brings the simulator
-   down has certainly been noticed. *)
-let run_mutants ?(jobs = 1) ~exec plan =
-  List.map2
-    (fun fault -> function
-      | Ok mutant -> mutant
-      | Error e ->
-          { fault; outcome = Crashed (Printexc.to_string e); mutant_cycles = 0 })
-    plan
-    (Pool.run ~jobs exec plan)
+(* --- retry / quarantine ------------------------------------------------ *)
+
+(* A crashed attempt is retried with exponential backoff — unless it
+   fails twice with the identical exception, in which case it is a
+   deterministic crasher: quarantined immediately and never retried
+   again (retrying it forever would only burn the campaign's time). *)
+let with_retries ?(max_retries = default_max_retries)
+    ?(backoff_seconds = default_backoff_seconds) ?cancel ~fault f =
+  let cancelled () =
+    match cancel with Some tok -> Budget.cancel_requested tok | None -> false
+  in
+  let crash ~attempt ~quarantined msg =
+    {
+      fault;
+      outcome = Crashed msg;
+      mutant_cycles = 0;
+      retries = attempt;
+      quarantined;
+      replayed = false;
+    }
+  in
+  let rec go attempt last_error =
+    match f ~attempt with
+    | m -> { m with retries = attempt }
+    | exception e ->
+        let msg = Printexc.to_string e in
+        if last_error = Some msg then crash ~attempt ~quarantined:true msg
+        else if attempt >= max_retries || cancelled () then
+          crash ~attempt ~quarantined:false msg
+        else begin
+          if backoff_seconds > 0. then
+            Unix.sleepf (backoff_seconds *. (2. ** float_of_int attempt));
+          go (attempt + 1) (Some msg)
+        end
+  in
+  go 0 None
+
+(* --- execution core ----------------------------------------------------- *)
+
+(* Crash isolation backstop: [exec] is expected to capture its own
+   failures (see {!with_retries}); should it raise anyway, the pool
+   captures the exception and it becomes a plain [Crashed] mutant here,
+   never an abort of the other several hundred mutants. *)
+let run_mutants ?(jobs = 1) ?on_result ~exec plan =
+  let plan_arr = Array.of_list plan in
+  let to_mutant i = function
+    | Ok mutant -> mutant
+    | Error e ->
+        {
+          fault = plan_arr.(i);
+          outcome = Crashed (Printexc.to_string e);
+          mutant_cycles = 0;
+          retries = 0;
+          quarantined = false;
+          replayed = false;
+        }
+  in
+  let pool_on_result =
+    Option.map (fun g i r -> g i (to_mutant i r)) on_result
+  in
+  List.mapi to_mutant
+    (Pool.with_pool ~jobs (fun pool ->
+         Pool.mapi ?on_result:pool_on_result pool exec plan))
+
+(* --- journal ------------------------------------------------------------ *)
+
+let journal_kind = "faultcamp"
+let journal_version = 1
+
+let outcome_label = function
+  | Killed _ -> "killed"
+  | Survived -> "survived"
+  | Timeout_cycles -> Budget.failure_label Budget.Timeout_cycles
+  | Timeout_wall -> Budget.failure_label Budget.Timeout_wall
+  | Cancelled -> Budget.failure_label Budget.Cancelled
+  | Crashed _ -> "crashed"
+
+let outcome_of_entry entry =
+  let detail () =
+    Option.value ~default:"" (Journal.find_string entry "detail")
+  in
+  match Journal.find_string entry "outcome" with
+  | Some "killed" -> Some (Killed (detail ()))
+  | Some "survived" -> Some Survived
+  | Some "timeout_cycles" -> Some Timeout_cycles
+  | Some "timeout_wall" -> Some Timeout_wall
+  | Some "crashed" -> Some (Crashed (detail ()))
+  | _ -> None
+
+let entry_of_mutant i m =
+  let base =
+    [
+      ("task", Journal.Int i);
+      ("fault", Journal.String (Fault.describe m.fault));
+      ("class", Journal.String (Fault.fault_class m.fault));
+      ("outcome", Journal.String (outcome_label m.outcome));
+    ]
+  in
+  let detail =
+    match m.outcome with
+    | Killed reason | Crashed reason -> [ ("detail", Journal.String reason) ]
+    | _ -> []
+  in
+  base @ detail
+  @ [
+      ("cycles", Journal.Int m.mutant_cycles);
+      ("retries", Journal.Int m.retries);
+      ("quarantined", Journal.Bool m.quarantined);
+    ]
+
+type journal_header = {
+  h_workload : string;
+  h_seed : int;
+  h_faults : int;
+  h_max_cycles_factor : int;
+  h_deadline_seconds : float;
+  h_slice_cycles : int;
+  h_max_retries : int;
+  h_backoff_seconds : float;
+}
+
+let header_obj h =
+  [
+    ("journal", Journal.String journal_kind);
+    ("version", Journal.Int journal_version);
+    ("workload", Journal.String h.h_workload);
+    ("seed", Journal.Int h.h_seed);
+    ("faults", Journal.Int h.h_faults);
+    ("max_cycles_factor", Journal.Int h.h_max_cycles_factor);
+    ("deadline_seconds", Journal.Float h.h_deadline_seconds);
+    ("slice_cycles", Journal.Int h.h_slice_cycles);
+    ("max_retries", Journal.Int h.h_max_retries);
+    ("backoff_seconds", Journal.Float h.h_backoff_seconds);
+  ]
+
+let header_of_obj obj =
+  match
+    ( Journal.find_string obj "journal",
+      Journal.find_string obj "workload",
+      Journal.find_int obj "seed",
+      Journal.find_int obj "faults",
+      Journal.find_int obj "max_cycles_factor" )
+  with
+  | Some kind, Some w, Some seed, Some faults, Some factor
+    when kind = journal_kind ->
+      Some
+        {
+          h_workload = w;
+          h_seed = seed;
+          h_faults = faults;
+          h_max_cycles_factor = factor;
+          h_deadline_seconds =
+            Option.value ~default:default_deadline_seconds
+              (Journal.find_float obj "deadline_seconds");
+          h_slice_cycles =
+            Option.value ~default:default_slice_cycles
+              (Journal.find_int obj "slice_cycles");
+          h_max_retries =
+            Option.value ~default:default_max_retries
+              (Journal.find_int obj "max_retries");
+          h_backoff_seconds =
+            Option.value ~default:default_backoff_seconds
+              (Journal.find_float obj "backoff_seconds");
+        }
+  | _ -> None
+
+(* Completed-task entries of a loaded journal, keyed by plan index; a
+   later entry for the same index wins (it came from a later resume). *)
+let replay_table entries =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun entry ->
+      match Journal.find_int entry "task" with
+      | Some i when i >= 0 -> Hashtbl.replace table i entry
+      | _ -> ())
+    entries;
+  table
+
+(* --- the campaign driver ------------------------------------------------ *)
 
 let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
-    (case : Suite.case) =
+    ?(deadline_seconds = default_deadline_seconds)
+    ?(slice_cycles = default_slice_cycles)
+    ?(max_retries = default_max_retries)
+    ?(backoff_seconds = default_backoff_seconds) ?cancel ?journal_path
+    ?resume_from ?stop_after (case : Suite.case) =
+  if faults < 0 then invalid_arg "Faultcamp.run: faults must be >= 0";
+  if max_cycles_factor < 1 then
+    invalid_arg "Faultcamp.run: max_cycles_factor must be >= 1";
+  if slice_cycles < 1 then
+    invalid_arg "Faultcamp.run: slice_cycles must be >= 1";
+  if max_retries < 0 then invalid_arg "Faultcamp.run: max_retries must be >= 0";
+  if backoff_seconds < 0. then
+    invalid_arg "Faultcamp.run: backoff_seconds must be >= 0";
+  (match stop_after with
+  | Some k when k < 1 -> invalid_arg "Faultcamp.run: stop_after must be >= 1"
+  | _ -> ());
   let wall_started = Unix.gettimeofday () in
+  let cancel =
+    (* --stop-after needs a token to fire even when the caller gave none. *)
+    match (cancel, stop_after) with
+    | None, Some _ -> Some (Budget.token ())
+    | c, _ -> c
+  in
   let prog = Lang.Parser.parse_string case.Suite.source in
   let compiled = Compile.compile prog in
   let golden_lookup, golden_stores =
@@ -189,47 +407,198 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
           is injected"
          case.Suite.case_name);
   (* A mutant that runs much longer than the clean design is detected by
-     the watchdog rather than simulated forever. *)
-  let budget =
-    (clean_run.Simulate.total_cycles * max_cycles_factor) + 1_000
+     the watchdog rather than simulated forever; the product is clamped
+     so a very long clean run yields max_int, never a wrapped negative
+     budget. *)
+  let budget_cycles =
+    Budget.cycle_budget ~max_cycles_factor clean_run.Simulate.total_cycles
   in
   (* Plan generation stays single-threaded (one RNG stream); only the
      independent mutant executions below fan out over the pool. *)
   let plan = Fault.plan ~seed ~n:faults compiled in
-  let exec fault =
-    let hw_lookup, hw_stores =
-      Verify.memory_env prog ~inits:case.Suite.inits
-    in
-    Fault.apply_to_memories hw_lookup fault;
-    let injections =
-      match Fault.perturbation fault with
-      | Some (cfg, port, fn) ->
-          [
-            {
-              Simulate.inj_cfg = Some cfg;
-              inj_port = port;
-              inj_transform = fn;
-            };
-          ]
-      | None -> []
-    in
-    let mutate_fsm fsm = Fault.apply_to_fsm fsm fault in
-    let run =
-      Simulate.run_compiled ~max_cycles:budget ~injections ~mutate_fsm
-        ~memories:hw_lookup compiled
-    in
-    {
-      fault;
-      outcome =
-        judge ~golden_stores ~golden_asserts ~clean_hw_oob hw_stores run;
-      mutant_cycles = run.Simulate.total_cycles;
-    }
+  let replay =
+    match resume_from with
+    | None -> fun _ -> None
+    | Some entries ->
+        let table = replay_table entries in
+        let plan_arr = Array.of_list plan in
+        let lookup i =
+          match Hashtbl.find_opt table i with
+          | None -> None
+          | Some entry ->
+              if i >= Array.length plan_arr then
+                failwith
+                  (Printf.sprintf
+                     "Faultcamp.run: journal entry for task %d but the plan \
+                      has only %d faults — journal and plan disagree"
+                     i (Array.length plan_arr));
+              let expect = Fault.describe plan_arr.(i) in
+              (match Journal.find_string entry "fault" with
+              | Some got when got <> expect ->
+                  failwith
+                    (Printf.sprintf
+                       "Faultcamp.run: journal task %d recorded fault %S but \
+                        the plan generates %S — wrong journal for this \
+                        workload/seed?"
+                       i got expect)
+              | _ -> ());
+              (match outcome_of_entry entry with
+              | None ->
+                  failwith
+                    (Printf.sprintf
+                       "Faultcamp.run: journal task %d has an unknown \
+                        outcome — journal written by an incompatible version?"
+                       i)
+              | Some outcome ->
+                  Some
+                    {
+                      fault = plan_arr.(i);
+                      outcome;
+                      mutant_cycles =
+                        Option.value ~default:0
+                          (Journal.find_int entry "cycles");
+                      retries =
+                        Option.value ~default:0
+                          (Journal.find_int entry "retries");
+                      quarantined =
+                        Option.value ~default:false
+                          (Journal.find_bool entry "quarantined");
+                      replayed = true;
+                    })
+        in
+        (* Validate every journaled entry before dispatch: a mismatched
+           journal must abort the run, not surface as per-mutant crashes
+           once the pool has swallowed the exception. *)
+        Hashtbl.iter (fun i _ -> ignore (lookup i)) table;
+        lookup
   in
-  let mutants = run_mutants ~jobs ~exec plan in
+  let journal =
+    match journal_path with
+    | None -> None
+    | Some path ->
+        let header =
+          header_obj
+            {
+              h_workload = case.Suite.case_name;
+              h_seed = seed;
+              h_faults = faults;
+              h_max_cycles_factor = max_cycles_factor;
+              h_deadline_seconds = deadline_seconds;
+              h_slice_cycles = slice_cycles;
+              h_max_retries = max_retries;
+              h_backoff_seconds = backoff_seconds;
+            }
+        in
+        Some
+          (if resume_from = None then Journal.create ~path ~header
+           else Journal.append_to ~path)
+  in
+  let journal_entries = Atomic.make 0 in
+  let journal_mutant i (m : mutant) =
+    (* Replayed results are already in the file; cancelled ones must not
+       be recorded as done — they are exactly the work a resume redoes. *)
+    if (not m.replayed) && m.outcome <> Cancelled then
+      match journal with
+      | None -> ()
+      | Some w ->
+          (try Journal.append w (entry_of_mutant i m)
+           with Sys_error msg ->
+             Printf.eprintf "warning: journal write failed: %s\n%!" msg);
+          let written = Atomic.fetch_and_add journal_entries 1 + 1 in
+          (match (stop_after, cancel) with
+          | Some k, Some tok when written >= k -> Budget.cancel tok
+          | _ -> ())
+  in
+  let exec i fault =
+    match replay i with
+    | Some m -> m
+    | None ->
+        with_retries ~max_retries ~backoff_seconds ?cancel ~fault
+          (fun ~attempt ->
+            ignore attempt;
+            (* Each attempt gets a fresh wall-clock deadline; the
+               cancellation token is shared with the whole campaign. *)
+            let budget =
+              Budget.start ~wall_seconds:deadline_seconds ?token:cancel
+                ~slice_cycles ()
+            in
+            match Budget.check budget with
+            | Some Budget.Cancelled ->
+                (* Shutdown requested before this mutant started: do not
+                   spin up a simulation just to cancel it. *)
+                {
+                  fault;
+                  outcome = Cancelled;
+                  mutant_cycles = 0;
+                  retries = 0;
+                  quarantined = false;
+                  replayed = false;
+                }
+            | _ ->
+                let hw_lookup, hw_stores =
+                  Verify.memory_env prog ~inits:case.Suite.inits
+                in
+                Fault.apply_to_memories hw_lookup fault;
+                let injections =
+                  match Fault.perturbation fault with
+                  | Some (cfg, port, fn) ->
+                      [
+                        {
+                          Simulate.inj_cfg = Some cfg;
+                          inj_port = port;
+                          inj_transform = fn;
+                        };
+                      ]
+                  | None -> []
+                in
+                let mutate_fsm fsm = Fault.apply_to_fsm fsm fault in
+                let run =
+                  Simulate.run_compiled ~max_cycles:budget_cycles ~injections
+                    ~mutate_fsm ~budget ~memories:hw_lookup compiled
+                in
+                {
+                  fault;
+                  outcome =
+                    judge ~golden_stores ~golden_asserts ~clean_hw_oob
+                      hw_stores run;
+                  mutant_cycles = run.Simulate.total_cycles;
+                  retries = 0;
+                  quarantined = false;
+                  replayed = false;
+                })
+  in
+  let mutants =
+    run_mutants ~jobs ~on_result:journal_mutant ~exec:(fun i f -> exec i f)
+      plan
+  in
+  let interrupted =
+    (match cancel with Some tok -> Budget.cancel_requested tok | None -> false)
+    || List.exists (fun m -> m.outcome = Cancelled) mutants
+  in
+  (match journal with
+  | None -> ()
+  | Some w ->
+      Journal.append w
+        [
+          ( "status",
+            Journal.String (if interrupted then "interrupted" else "complete")
+          );
+          ("completed", Journal.Int (Atomic.get journal_entries));
+        ];
+      Journal.close w);
+  let cancelled_n =
+    List.length (List.filter (fun m -> m.outcome = Cancelled) mutants)
+  in
   let detected =
     List.length
-      (List.filter (fun m -> m.outcome <> Survived) mutants)
+      (List.filter
+         (fun m ->
+           match m.outcome with
+           | Killed _ | Timeout_cycles | Timeout_wall | Crashed _ -> true
+           | Survived | Cancelled -> false)
+         mutants)
   in
+  let executed = List.length mutants - cancelled_n in
   let wall_seconds = Unix.gettimeofday () -. wall_started in
   {
     workload = case.Suite.case_name;
@@ -239,11 +608,19 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
     clean_passed;
     clean_cycles = clean_run.Simulate.total_cycles;
     clean_oob = clean_hw_oob;
+    cycle_budget = budget_cycles;
+    deadline_seconds;
+    slice_cycles;
+    max_retries;
+    backoff_seconds;
     mutants;
     by_class = class_breakdown mutants;
     kill_rate =
-      (if mutants = [] then 0.
-       else float_of_int detected /. float_of_int (List.length mutants));
+      (if executed = 0 then 0.
+       else float_of_int detected /. float_of_int executed);
+    interrupted;
+    replayed =
+      List.length (List.filter (fun (m : mutant) -> m.replayed) mutants);
     wall_seconds;
     total_mutant_cycles =
       List.fold_left (fun acc m -> acc + m.mutant_cycles) 0 mutants;
@@ -253,6 +630,36 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
        else 0.);
   }
 
+(* --- resume ------------------------------------------------------------- *)
+
+let resume ?(jobs = 1) ?cancel ?stop_after path =
+  match Journal.load path with
+  | [] -> failwith (Printf.sprintf "Faultcamp.resume: %s is empty" path)
+  | header_line :: entries -> (
+      match header_of_obj header_line with
+      | None ->
+          failwith
+            (Printf.sprintf
+               "Faultcamp.resume: %s does not start with a faultcamp journal \
+                header"
+               path)
+      | Some h -> (
+          match find_workload h.h_workload with
+          | None ->
+              failwith
+                (Printf.sprintf
+                   "Faultcamp.resume: journal names unknown workload %S"
+                   h.h_workload)
+          | Some case ->
+              run ~seed:h.h_seed ~faults:h.h_faults
+                ~max_cycles_factor:h.h_max_cycles_factor ~jobs
+                ~deadline_seconds:h.h_deadline_seconds
+                ~slice_cycles:h.h_slice_cycles ~max_retries:h.h_max_retries
+                ~backoff_seconds:h.h_backoff_seconds ?cancel
+                ~journal_path:path ~resume_from:entries ?stop_after case))
+
+(* --- selectors ---------------------------------------------------------- *)
+
 let survivors t = List.filter (fun m -> m.outcome = Survived) t.mutants
 
 let crashes t =
@@ -260,8 +667,27 @@ let crashes t =
     (fun m -> match m.outcome with Crashed _ -> true | _ -> false)
     t.mutants
 
+let quarantined t =
+  List.filter (fun (m : mutant) -> m.quarantined) t.mutants
+
+let retried t = List.filter (fun (m : mutant) -> m.retries > 0) t.mutants
+
+let retried_ok t =
+  List.filter
+    (fun (m : mutant) ->
+      m.retries > 0
+      && match m.outcome with Crashed _ | Cancelled -> false | _ -> true)
+    t.mutants
+
+let wall_timeouts t =
+  List.filter (fun m -> m.outcome = Timeout_wall) t.mutants
+
+let cancelled t = List.filter (fun m -> m.outcome = Cancelled) t.mutants
+
 let outcome_to_string = function
   | Killed reason -> "killed (" ^ reason ^ ")"
   | Survived -> "SURVIVED"
-  | Timeout -> "timeout"
+  | Timeout_cycles -> "timeout (cycle budget)"
+  | Timeout_wall -> "timeout (wall-clock watchdog)"
+  | Cancelled -> "cancelled"
   | Crashed msg -> "crashed (" ^ msg ^ ")"

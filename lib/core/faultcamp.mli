@@ -6,26 +6,49 @@
     otherwise-correct design and check the comparison {e notices}. A high
     kill rate is evidence the golden-model memory diff is a meaningful
     oracle; each surviving mutant is a concrete blind spot worth reading
-    about in the report. *)
+    about in the report.
+
+    Campaigns are {e resilient}: every mutant runs under a {!Budget}
+    (cycle bound plus wall-clock watchdog), crashed mutants are retried
+    with exponential backoff and quarantined when they crash
+    deterministically, completed work is checkpointed to an append-only
+    JSONL journal as it finishes, and an interrupted campaign is resumed
+    with {!resume} — replaying the journal and executing only the
+    remainder, with a final report identical to an uninterrupted run. *)
 
 type outcome =
   | Killed of string
       (** The verifier detected the fault; the string says how ("memory
           output: 3 mismatches", assertion or OOB divergence). *)
   | Survived  (** The run completed and nothing observable differed. *)
-  | Timeout
+  | Timeout_cycles
       (** The mutant exceeded the cycle budget (counts as detected: a
           hung design never reports success). *)
+  | Timeout_wall
+      (** The wall-clock watchdog ended the mutant before its cycle
+          budget did. Also counts as detected. *)
+  | Cancelled
+      (** Shutdown (SIGINT / [--stop-after]) hit the mutant before it
+          finished. Not a verdict: cancelled mutants are excluded from
+          the kill rate and are re-executed by {!resume}. *)
   | Crashed of string
-      (** The mutant's simulation raised; the string is the exception.
-          Counts as detected — a fault that brings the simulator down is
-          anything but silent — and, crucially, it is confined to its own
-          mutant instead of aborting the rest of the campaign. *)
+      (** The mutant's simulation raised (even after retries); the
+          string is the exception. Counts as detected — a fault that
+          brings the simulator down is anything but silent — and is
+          confined to its own mutant instead of aborting the campaign. *)
 
 type mutant = {
   fault : Faults.Fault.t;
   outcome : outcome;
-  mutant_cycles : int;  (** 0 for {!Crashed} mutants. *)
+  mutant_cycles : int;  (** 0 for {!Crashed} and {!Cancelled} mutants. *)
+  retries : int;  (** Crash retries spent on this mutant. *)
+  quarantined : bool;
+      (** Crashed identically twice in a row: a deterministic crasher,
+          recorded and never retried further. *)
+  replayed : bool;
+      (** This result came from the journal, not from execution (resume
+          runs only). Not persisted and never rendered — a resumed
+          report stays identical to an uninterrupted one. *)
 }
 
 type class_stats = {
@@ -33,8 +56,12 @@ type class_stats = {
   injected : int;
   killed : int;
   survived : int;
-  timed_out : int;
+  timed_out_cycles : int;
+  timed_out_wall : int;
+  cancelled : int;
   crashed : int;
+  quarantined : int;
+  retried : int;
 }
 
 type t = {
@@ -45,47 +72,154 @@ type t = {
   clean_passed : bool;
   clean_cycles : int;
   clean_oob : int;  (** Hardware OOB count of the clean run (baseline). *)
+  cycle_budget : int;
+      (** The per-mutant cycle bound actually used:
+          {!Budget.cycle_budget} of [clean_cycles] (overflow-clamped). *)
+  deadline_seconds : float;  (** Per-attempt wall deadline; 0 = none. *)
+  slice_cycles : int;  (** Watchdog granularity. *)
+  max_retries : int;
+  backoff_seconds : float;
   mutants : mutant list;  (** In plan order. *)
   by_class : class_stats list;
-  kill_rate : float;  (** Detected (killed + timeout + crashed) over injected. *)
+  kill_rate : float;
+      (** Detected (killed + timeouts + crashed) over executed
+          (injected minus cancelled). *)
+  interrupted : bool;
+      (** Shutdown was requested or at least one mutant was cancelled. *)
+  replayed : int;  (** Mutants taken from the journal (resume runs). *)
   wall_seconds : float;  (** Whole-campaign wall clock (compile included). *)
   total_mutant_cycles : int;  (** Sum of [mutant_cycles] over all mutants. *)
   mutants_per_second : float;  (** Throughput over [wall_seconds]. *)
 }
+
+val default_deadline_seconds : float
+val default_slice_cycles : int
+val default_max_retries : int
+val default_backoff_seconds : float
 
 val default_workloads : unit -> Suite.case list
 (** The builtin suite plus campaign-specific cases ([gcd8], [divmod]). *)
 
 val find_workload : string -> Suite.case option
 
-val run : ?seed:int -> ?faults:int -> ?max_cycles_factor:int -> ?jobs:int ->
-  Suite.case -> t
+val run :
+  ?seed:int ->
+  ?faults:int ->
+  ?max_cycles_factor:int ->
+  ?jobs:int ->
+  ?deadline_seconds:float ->
+  ?slice_cycles:int ->
+  ?max_retries:int ->
+  ?backoff_seconds:float ->
+  ?cancel:Budget.token ->
+  ?journal_path:string ->
+  ?resume_from:Journal.obj list ->
+  ?stop_after:int ->
+  Suite.case ->
+  t
 (** Compile the workload once, run the golden model and a clean hardware
     simulation, then one mutated simulation per planned fault (fresh
-    memory environment each time; cycle budget = clean cycles x
-    [max_cycles_factor] + 1000). [jobs] (default 1) fans the mutant
-    executions out over a {!Pool} of worker domains; plan generation is
-    single-threaded and results are collected in plan order, so the
-    campaign — mutant list, outcomes, statistics — is bit-identical for
-    a given seed at any [jobs]. Only [wall_seconds] /
-    [mutants_per_second] / [jobs] vary with the worker count. A mutant
-    whose simulation raises is recorded as {!Crashed} rather than
-    aborting the campaign. Raises [Failure] when the {e clean} design
-    already fails verification — a campaign over a broken design
-    measures nothing. *)
+    memory environment each time; cycle budget =
+    {!Budget.cycle_budget}[ ~max_cycles_factor clean_cycles]). [jobs]
+    (default 1) fans the mutant executions out over a {!Pool} of worker
+    domains; plan generation is single-threaded and results are
+    collected in plan order, so the campaign — mutant list, outcomes,
+    statistics — is bit-identical for a given seed at any [jobs]. Only
+    [wall_seconds] / [mutants_per_second] / [jobs] vary with the worker
+    count.
+
+    Resilience controls:
+    - [deadline_seconds] (default {!default_deadline_seconds}; [<= 0.]
+      disables) arms a per-attempt wall-clock watchdog; a hung mutant is
+      classified {!Timeout_wall} within one watchdog slice of the
+      deadline and the campaign moves on.
+    - [slice_cycles] sets the watchdog granularity (cycles simulated
+      between budget checks).
+    - A crashing mutant is retried up to [max_retries] times with
+      exponential backoff starting at [backoff_seconds]; two identical
+      crashes in a row quarantine it immediately (see {!with_retries}).
+    - [cancel] is polled between slices and before each mutant: once it
+      fires, running mutants stop as {!Cancelled} and queued ones never
+      simulate. Pair it with {!Budget.install_sigint} for Ctrl-C.
+    - [journal_path] appends one JSONL line per finished mutant as it
+      completes (crash-safe checkpointing; cancelled mutants are not
+      recorded), plus a header and a final status line.
+    - [resume_from] replays previously journaled entries (validated
+      against the regenerated plan) and executes only the rest — used by
+      {!resume}.
+    - [stop_after] cancels the campaign after that many journal entries
+      have been written by this process (testing hook for the
+      interrupt/resume path).
+
+    Raises [Failure] when the {e clean} design already fails
+    verification — a campaign over a broken design measures nothing —
+    and [Invalid_argument] on out-of-range parameters. *)
+
+val resume : ?jobs:int -> ?cancel:Budget.token -> ?stop_after:int -> string -> t
+(** [resume path] reloads the journal at [path] (tolerating a torn final
+    line), re-runs {!run} with the campaign parameters recorded in the
+    journal header, replays every completed entry and executes only the
+    remaining mutants, appending their entries to the same journal. The
+    resulting report is identical to an uninterrupted run. Raises
+    [Failure] when the file is empty, has no faultcamp header, names an
+    unknown workload, or disagrees with the regenerated fault plan. *)
 
 val run_mutants :
-  ?jobs:int -> exec:(Faults.Fault.t -> mutant) -> Faults.Fault.t list ->
+  ?jobs:int ->
+  ?on_result:(int -> mutant -> unit) ->
+  exec:(int -> Faults.Fault.t -> mutant) ->
+  Faults.Fault.t list ->
   mutant list
 (** The execution core of {!run}, exposed for testing the isolation
-    guarantee: apply [exec] to every planned fault over a [jobs]-wide
-    pool, returning mutants in plan order; a raising [exec] yields a
-    {!Crashed} mutant (with the exception printed into the outcome and
-    [mutant_cycles = 0]) instead of propagating. *)
+    guarantee: apply [exec] to every planned fault (with its plan index)
+    over a [jobs]-wide pool, returning mutants in plan order; a raising
+    [exec] yields a {!Crashed} mutant (with the exception printed into
+    the outcome and [mutant_cycles = 0]) instead of propagating.
+    [on_result] observes each mutant as it completes (worker domain,
+    completion order, exceptions swallowed) — the journaling hook. *)
+
+val with_retries :
+  ?max_retries:int ->
+  ?backoff_seconds:float ->
+  ?cancel:Budget.token ->
+  fault:Faults.Fault.t ->
+  (attempt:int -> mutant) ->
+  mutant
+(** Run one mutant attempt with crash retries: a raising attempt is
+    retried after [backoff_seconds * 2^attempt], at most [max_retries]
+    times. Two {e identical} consecutive exception messages mean a
+    deterministic crasher: it is recorded as {!Crashed} with
+    [quarantined = true] without spending further retries. A successful
+    attempt after [n] crashes returns with [retries = n]. Retrying stops
+    early (recording the crash) once [cancel] fires. *)
+
+val judge :
+  golden_stores:(string * Operators.Memory.t) list ->
+  golden_asserts:int ->
+  clean_hw_oob:int ->
+  (string * Operators.Memory.t) list ->
+  Simulate.rtg_run ->
+  outcome
+(** The verdict for one mutated run: budget verdicts first
+    ({!Timeout_wall} / {!Cancelled} / {!Timeout_cycles} from
+    [budget_failure], then incomplete runs as {!Timeout_cycles}), then
+    memory divergence, assertion-count divergence and OOB divergence as
+    {!Killed}, else {!Survived}. *)
 
 val survivors : t -> mutant list
 
 val crashes : t -> mutant list
 (** The mutants recorded as {!Crashed}, in plan order. *)
+
+val quarantined : t -> mutant list
+val retried : t -> mutant list
+(** Mutants that spent at least one retry (any final outcome). *)
+
+val retried_ok : t -> mutant list
+(** Mutants that crashed, were retried, and then completed — the
+    [Retried_ok] row of the taxonomy. *)
+
+val wall_timeouts : t -> mutant list
+val cancelled : t -> mutant list
 
 val outcome_to_string : outcome -> string

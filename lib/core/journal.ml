@@ -1,0 +1,221 @@
+type value = String of string | Int of int | Float of float | Bool of bool
+type obj = (string * value) list
+
+(* --- rendering --------------------------------------------------------- *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let value_to_string = function
+  | String s -> Printf.sprintf "\"%s\"" (escape_string s)
+  | Int i -> string_of_int i
+  | Float f ->
+      (* %.17g round-trips every float; strip nothing, journals are cheap. *)
+      Printf.sprintf "%.17g" f
+  | Bool b -> string_of_bool b
+
+let to_line obj =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":%s" (escape_string k) (value_to_string v))
+         obj)
+  ^ "}"
+
+(* --- parsing ----------------------------------------------------------- *)
+
+exception Bad
+
+let of_line line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then line.[!pos] else raise Bad in
+  let next () =
+    let c = peek () in
+    incr pos;
+    c
+  in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do incr pos done
+  in
+  let expect c = if next () <> c then raise Bad in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          (match next () with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              if !pos + 4 > n then raise Bad;
+              let hex = String.sub line !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex) with _ -> raise Bad
+              in
+              (* Journals only escape control characters, which fit one
+                 byte; anything wider is preserved as '?' rather than
+                 attempting UTF-8 assembly. *)
+              Buffer.add_char buf
+                (if code < 0x100 then Char.chr code else '?')
+          | _ -> raise Bad);
+          go ())
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_scalar () =
+    let start = !pos in
+    while
+      !pos < n
+      && (match line.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | 'a' .. 'z' -> true (* true / false / nan / inf *)
+         | _ -> false)
+    do
+      incr pos
+    done;
+    let tok = String.sub line start (!pos - start) in
+    match tok with
+    | "true" -> Bool true
+    | "false" -> Bool false
+    | _ -> (
+        match int_of_string_opt tok with
+        | Some i -> Int i
+        | None -> (
+            match float_of_string_opt tok with
+            | Some f -> Float f
+            | None -> raise Bad))
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with '"' -> String (parse_string ()) | _ -> parse_scalar ()
+  in
+  try
+    skip_ws ();
+    expect '{';
+    skip_ws ();
+    if peek () = '}' then begin
+      incr pos;
+      skip_ws ();
+      if !pos <> n then raise Bad;
+      Some []
+    end
+    else begin
+      let fields = ref [] in
+      let rec pairs () =
+        skip_ws ();
+        let k = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = parse_value () in
+        fields := (k, v) :: !fields;
+        skip_ws ();
+        match next () with
+        | ',' -> pairs ()
+        | '}' -> ()
+        | _ -> raise Bad
+      in
+      pairs ();
+      skip_ws ();
+      if !pos <> n then raise Bad;
+      Some (List.rev !fields)
+    end
+  with Bad -> None
+
+(* --- field access ------------------------------------------------------ *)
+
+let find_string obj k =
+  match List.assoc_opt k obj with Some (String s) -> Some s | _ -> None
+
+let find_int obj k =
+  match List.assoc_opt k obj with Some (Int i) -> Some i | _ -> None
+
+let find_float obj k =
+  match List.assoc_opt k obj with
+  | Some (Float f) -> Some f
+  | Some (Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let find_bool obj k =
+  match List.assoc_opt k obj with Some (Bool b) -> Some b | _ -> None
+
+(* --- writer ------------------------------------------------------------ *)
+
+type writer = {
+  oc : out_channel;
+  mutex : Mutex.t;
+  mutable closed : bool;
+}
+
+let append w obj =
+  Mutex.lock w.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.mutex)
+    (fun () ->
+      if not w.closed then begin
+        (* One write + one flush per line: a crash tears at most the
+           line being written, never an earlier one. *)
+        output_string w.oc (to_line obj ^ "\n");
+        flush w.oc
+      end)
+
+let create ~path ~header =
+  let oc = open_out_bin path in
+  let w = { oc; mutex = Mutex.create (); closed = false } in
+  append w header;
+  w
+
+let append_to ~path =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  { oc; mutex = Mutex.create (); closed = false }
+
+let close w =
+  Mutex.lock w.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.mutex)
+    (fun () ->
+      if not w.closed then begin
+        w.closed <- true;
+        close_out w.oc
+      end)
+
+(* --- reader ------------------------------------------------------------ *)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> (
+            match of_line line with
+            | Some obj -> go (obj :: acc)
+            | None -> go acc (* torn or foreign line: the task re-runs *))
+        | exception End_of_file -> List.rev acc
+      in
+      go [])

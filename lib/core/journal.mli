@@ -1,0 +1,69 @@
+(** Append-only JSONL run journal.
+
+    A campaign that runs for hours must survive a crash or a Ctrl-C
+    without losing completed work. The drivers ({!Faultcamp},
+    {!Suite.run}) write one JSON object per line as tasks complete: a
+    header line describing the run's parameters, then one entry per
+    finished task (carrying its plan index, so entries may arrive in any
+    order under a parallel pool), then a status footer. Resuming loads
+    the journal, replays the recorded entries, and executes only the
+    remainder — appending the new entries to the same file.
+
+    Crash safety: every line is written and flushed atomically under a
+    mutex (entries arrive from worker domains). A process killed
+    mid-write leaves at most one torn trailing line, which {!load}
+    silently drops — the corresponding task simply re-runs on resume.
+
+    The format is a flat JSON object per line — string, integer, float
+    and boolean values only; no nesting. That keeps the parser small
+    (the repo deliberately carries no JSON dependency) while every line
+    stays valid JSON for outside tooling. *)
+
+type value = String of string | Int of int | Float of float | Bool of bool
+
+type obj = (string * value) list
+(** One journal line: field order is preserved on write. *)
+
+(** {1 Codec} *)
+
+val to_line : obj -> string
+(** Render as one-line JSON (no trailing newline). Strings are escaped
+    per JSON (quote, backslash, control characters). *)
+
+val of_line : string -> obj option
+(** Parse one line; [None] on anything malformed (torn tail, blank
+    line, nested structure). *)
+
+(** {1 Field access} *)
+
+val find_string : obj -> string -> string option
+val find_int : obj -> string -> int option
+
+val find_float : obj -> string -> float option
+(** Also accepts an integer field (promoted), so ["0"] round-trips. *)
+
+val find_bool : obj -> string -> bool option
+
+(** {1 Writing} *)
+
+type writer
+
+val create : path:string -> header:obj -> writer
+(** Truncate/create [path] and write the header line. *)
+
+val append_to : path:string -> writer
+(** Open an existing journal for appending (resume). *)
+
+val append : writer -> obj -> unit
+(** Write one line and flush. Thread-safe: entries may come from any
+    worker domain. *)
+
+val close : writer -> unit
+(** Idempotent. *)
+
+(** {1 Reading} *)
+
+val load : string -> obj list
+(** Every parseable line in file order; unparseable lines (a torn tail
+    from a crashed writer) are dropped. Raises [Sys_error] when the
+    file cannot be read. *)

@@ -84,47 +84,55 @@ let render_table rows = tabulate ~header (List.map row_to_strings rows)
 
 let campaign_header =
   [
-    "Fault class"; "Injected"; "Killed"; "Survived"; "Timeout"; "Crashed";
-    "Kill %";
+    "Fault class"; "Injected"; "Killed"; "Survived"; "CycleTmo"; "WallTmo";
+    "Cancelled"; "Crashed"; "Kill %";
   ]
 
+(* Kill % over the mutants that actually ran to a verdict: cancelled
+   ones are neither detected nor missed, they are simply unfinished. *)
+let kill_cell ~detected ~executed =
+  if executed = 0 then "-"
+  else
+    Printf.sprintf "%.0f" (100. *. float_of_int detected /. float_of_int executed)
+
 let campaign_row (s : Faultcamp.class_stats) =
-  let detected = s.Faultcamp.killed + s.Faultcamp.timed_out + s.Faultcamp.crashed in
+  let detected =
+    s.Faultcamp.killed + s.Faultcamp.timed_out_cycles + s.Faultcamp.timed_out_wall
+    + s.Faultcamp.crashed
+  in
   [
     s.Faultcamp.cls;
     string_of_int s.Faultcamp.injected;
     string_of_int s.Faultcamp.killed;
     string_of_int s.Faultcamp.survived;
-    string_of_int s.Faultcamp.timed_out;
+    string_of_int s.Faultcamp.timed_out_cycles;
+    string_of_int s.Faultcamp.timed_out_wall;
+    string_of_int s.Faultcamp.cancelled;
     string_of_int s.Faultcamp.crashed;
-    (if s.Faultcamp.injected = 0 then "-"
-     else
-       Printf.sprintf "%.0f"
-         (100. *. float_of_int detected /. float_of_int s.Faultcamp.injected));
+    kill_cell ~detected ~executed:(s.Faultcamp.injected - s.Faultcamp.cancelled);
   ]
 
 let campaign_table (c : Faultcamp.t) =
+  let count p =
+    List.length
+      (List.filter (fun (m : Faultcamp.mutant) -> p m.Faultcamp.outcome)
+         c.Faultcamp.mutants)
+  in
+  let cancelled = count (fun o -> o = Faultcamp.Cancelled) in
   let totals =
     [
       "total";
       string_of_int (List.length c.Faultcamp.mutants);
       string_of_int
-        (List.length
-           (List.filter
-              (fun (m : Faultcamp.mutant) ->
-                match m.Faultcamp.outcome with
-                | Faultcamp.Killed _ -> true
-                | _ -> false)
-              c.Faultcamp.mutants));
+        (count (function Faultcamp.Killed _ -> true | _ -> false));
       string_of_int (List.length (Faultcamp.survivors c));
-      string_of_int
-        (List.length
-           (List.filter
-              (fun (m : Faultcamp.mutant) ->
-                m.Faultcamp.outcome = Faultcamp.Timeout)
-              c.Faultcamp.mutants));
+      string_of_int (count (fun o -> o = Faultcamp.Timeout_cycles));
+      string_of_int (count (fun o -> o = Faultcamp.Timeout_wall));
+      string_of_int cancelled;
       string_of_int (List.length (Faultcamp.crashes c));
-      Printf.sprintf "%.0f" (100. *. c.Faultcamp.kill_rate);
+      (let executed = List.length c.Faultcamp.mutants - cancelled in
+       if executed = 0 then "-"
+       else Printf.sprintf "%.0f" (100. *. c.Faultcamp.kill_rate));
     ]
   in
   tabulate ~header:campaign_header
@@ -136,14 +144,14 @@ type cycle_stats = {
   mean_cycles : float;
 }
 
-(* Crashed mutants never reach a stable cycle count; excluding their zero
-   placeholder keeps the mean meaningful. *)
+(* Crashed and cancelled mutants never reach a stable cycle count;
+   excluding their zero placeholder keeps the mean meaningful. *)
 let campaign_cycle_stats (c : Faultcamp.t) =
   let counted =
     List.filter_map
       (fun (m : Faultcamp.mutant) ->
         match m.Faultcamp.outcome with
-        | Faultcamp.Crashed _ -> None
+        | Faultcamp.Crashed _ | Faultcamp.Cancelled -> None
         | _ -> Some m.Faultcamp.mutant_cycles)
       c.Faultcamp.mutants
   in
@@ -168,7 +176,13 @@ let campaign_timing (c : Faultcamp.t) =
         Printf.sprintf "mutant cycles min/mean/max %d/%.0f/%d (total %d)"
           s.min_cycles s.mean_cycles s.max_cycles c.Faultcamp.total_mutant_cycles
   in
-  Printf.sprintf "wall %.3fs, %.1f mutants/s over %d job%s; %s"
+  let resilience =
+    Printf.sprintf "retries %d, quarantined %d, replayed %d"
+      (List.length (Faultcamp.retried c))
+      (List.length (Faultcamp.quarantined c))
+      c.Faultcamp.replayed
+  in
+  Printf.sprintf "wall %.3fs, %.1f mutants/s over %d job%s; %s; %s"
     c.Faultcamp.wall_seconds c.Faultcamp.mutants_per_second c.Faultcamp.jobs
     (if c.Faultcamp.jobs = 1 then "" else "s")
-    cycles
+    cycles resilience

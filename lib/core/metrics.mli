@@ -45,9 +45,10 @@ val campaign_header : string list
 val campaign_row : Faultcamp.class_stats -> string list
 
 val campaign_table : Faultcamp.t -> string
-(** Per-fault-class injected/killed/survived/timeout/crashed counts and
-    kill percentage (timeouts and crashes count as detected), plus a
-    totals row. *)
+(** Per-fault-class injected/killed/survived/cycle-timeout/wall-timeout/
+    cancelled/crashed counts and kill percentage (timeouts and crashes
+    count as detected; cancelled mutants are excluded from the
+    denominator), plus a totals row. *)
 
 type cycle_stats = {
   min_cycles : int;
@@ -56,13 +57,15 @@ type cycle_stats = {
 }
 
 val campaign_cycle_stats : Faultcamp.t -> cycle_stats option
-(** Distribution of per-mutant simulated cycle counts; crashed mutants
-    (which record 0 cycles) are excluded. [None] when no mutant
-    simulated. *)
+(** Distribution of per-mutant simulated cycle counts; crashed and
+    cancelled mutants (which record 0 cycles) are excluded. [None] when
+    no mutant simulated. *)
 
 val campaign_timing : Faultcamp.t -> string
 (** One line of campaign observability: wall-clock seconds, mutants per
-    second, worker count and the cycle-count distribution. Everything in
-    it except the cycle counts depends on the machine and the [jobs]
-    setting — callers that promise deterministic output (the CLI's
-    stdout) must keep it on a diagnostic stream. *)
+    second, worker count, the cycle-count distribution, and the
+    resilience counters (retries / quarantined / replayed). Everything
+    in it except the cycle counts depends on the machine, the [jobs]
+    setting or the interrupt history — callers that promise
+    deterministic output (the CLI's stdout) must keep it on a
+    diagnostic stream. *)

@@ -76,13 +76,22 @@ let shutdown t =
   t.workers <- [];
   List.iter Domain.join workers
 
-let mapi t f xs =
+let mapi ?on_result t f xs =
   if t.stop then invalid_arg "Pool.mapi: pool is shut down";
   let items = Array.of_list xs in
   let n = Array.length items in
   let results = Array.make n None in
   let capture i x =
-    results.(i) <- Some (try Ok (f i x) with e -> Error e)
+    let r = try Ok (f i x) with e -> Error e in
+    results.(i) <- Some r;
+    (* The completion hook runs on the worker that finished the task, as
+       soon as it finished — that is the point of it (incremental
+       journaling must not wait for the batch). It must be thread-safe
+       and must not raise; a raising hook would break the pool's
+       thunks-never-raise invariant, so it is confined here. *)
+    match on_result with
+    | Some g -> ( try g i r with _ -> ())
+    | None -> ()
   in
   if t.jobs = 1 then Array.iteri capture items
   else begin
@@ -102,10 +111,11 @@ let mapi t f xs =
          | None -> assert false (* pending = 0 means every slot was written *))
        results)
 
-let map t f xs = mapi t (fun _ x -> f x) xs
+let map ?on_result t f xs = mapi ?on_result t (fun _ x -> f x) xs
 
 let with_pool ?chunk ~jobs f =
   let t = create ?chunk ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let run ?chunk ~jobs f xs = with_pool ?chunk ~jobs (fun t -> map t f xs)
+let run ?chunk ?on_result ~jobs f xs =
+  with_pool ?chunk ~jobs (fun t -> map ?on_result t f xs)

@@ -35,13 +35,23 @@ val create : ?chunk:int -> jobs:int -> unit -> t
 val jobs : t -> int
 (** The worker count the pool was created with. *)
 
-val map : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+val map :
+  ?on_result:(int -> ('b, exn) result -> unit) ->
+  t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
 (** [map t f xs] applies [f] to every element, fanning out over the
     pool's workers, and returns one result per input {e in input order}.
     A task that raises [e] yields [Error e] in its own slot; all other
-    tasks still run to completion. Blocks until every task finished. *)
+    tasks still run to completion. Blocks until every task finished.
 
-val mapi : t -> (int -> 'a -> 'b) -> 'a list -> ('b, exn) result list
+    [on_result] is invoked once per task {e as it completes} — in
+    completion order, on the worker domain that ran it, with the task's
+    submission index. It exists so callers can checkpoint progress
+    (e.g. append to a run journal) without waiting for the whole batch.
+    It must be thread-safe; exceptions it raises are swallowed. *)
+
+val mapi :
+  ?on_result:(int -> ('b, exn) result -> unit) ->
+  t -> (int -> 'a -> 'b) -> 'a list -> ('b, exn) result list
 (** Like {!map}, also passing each element's 0-based submission index. *)
 
 val shutdown : t -> unit
@@ -52,5 +62,8 @@ val with_pool : ?chunk:int -> jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] over a fresh pool and guarantees
     {!shutdown} runs afterwards, whether [f] returns or raises. *)
 
-val run : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+val run :
+  ?chunk:int ->
+  ?on_result:(int -> ('b, exn) result -> unit) ->
+  jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
 (** One-shot convenience: [with_pool ~jobs (fun t -> map t f xs)]. *)

@@ -78,10 +78,26 @@ let campaign ?(verbose = false) ppf (c : Faultcamp.t) =
         (List.length crashes);
       List.iter
         (fun (m : Faultcamp.mutant) ->
-          Format.fprintf ppf "  %s: %s@."
+          Format.fprintf ppf "  %s: %s%s@."
             (Faults.Fault.describe m.Faultcamp.fault)
-            (Faultcamp.outcome_to_string m.Faultcamp.outcome))
+            (Faultcamp.outcome_to_string m.Faultcamp.outcome)
+            (if m.Faultcamp.quarantined then " [quarantined]"
+             else
+               Printf.sprintf " [after %d retries]" m.Faultcamp.retries))
         crashes);
+  (match Faultcamp.retried_ok c with
+  | [] -> ()
+  | recovered ->
+      Format.fprintf ppf
+        "@.recovered after retry (%d, transient crashes):@."
+        (List.length recovered);
+      List.iter
+        (fun (m : Faultcamp.mutant) ->
+          Format.fprintf ppf "  %s: %s (retries=%d)@."
+            (Faults.Fault.describe m.Faultcamp.fault)
+            (Faultcamp.outcome_to_string m.Faultcamp.outcome)
+            m.Faultcamp.retries)
+        recovered);
   (match Faultcamp.survivors c with
   | [] -> ()
   | survivors ->
@@ -91,7 +107,17 @@ let campaign ?(verbose = false) ppf (c : Faultcamp.t) =
           Format.fprintf ppf "  %s@."
             (Faults.Fault.describe m.Faultcamp.fault))
         survivors);
-  Format.fprintf ppf "@.kill rate: %.1f%%@." (100. *. c.Faultcamp.kill_rate)
+  (match Faultcamp.cancelled c with
+  | [] -> ()
+  | cancelled ->
+      Format.fprintf ppf
+        "@.campaign INTERRUPTED: %d mutant%s not executed (resume with the \
+         journal to finish)@."
+        (List.length cancelled)
+        (if List.length cancelled = 1 then "" else "s"));
+  Format.fprintf ppf "@.kill rate: %.1f%%%s@."
+    (100. *. c.Faultcamp.kill_rate)
+    (if c.Faultcamp.interrupted then " (partial)" else "")
 
 let campaign_to_string ?verbose c =
   Format.asprintf "%a" (fun ppf -> campaign ?verbose ppf) c

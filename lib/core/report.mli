@@ -12,10 +12,14 @@ val one_line : Verify.t -> string
 
 val campaign : ?verbose:bool -> Format.formatter -> Faultcamp.t -> unit
 (** Full campaign report: clean-run baseline, per-class kill table,
-    crashed and surviving mutants, kill rate; [verbose] also lists every
-    mutant's outcome. Deterministic — depends only on the campaign's
-    seed-derived fields, never on wall-clock or [jobs], so the same seed
-    renders the identical report at any parallelism. Timing belongs on a
+    crashed (with quarantine/retry annotations), retried-then-recovered
+    and surviving mutants, an INTERRUPTED notice when mutants were
+    cancelled, and the kill rate; [verbose] also lists every mutant's
+    outcome. Deterministic — depends only on the campaign's seed-derived
+    and journal-persisted fields, never on wall-clock, [jobs] or whether
+    results were replayed from a journal, so the same seed renders the
+    identical report at any parallelism and a resumed campaign renders
+    byte-identically to an uninterrupted one. Timing belongs on a
     diagnostic stream via {!Metrics.campaign_timing}. *)
 
 val campaign_to_string : ?verbose:bool -> Faultcamp.t -> string

@@ -18,6 +18,7 @@ type config_run = {
   final_state : string;
   wall_seconds : float;
   notifications : Operators.Models.notification list;
+  budget_failure : Budget.failure option;
 }
 
 type rtg_run = {
@@ -25,10 +26,41 @@ type rtg_run = {
   all_completed : bool;
   total_cycles : int;
   total_wall_seconds : float;
+  budget_failure : Budget.failure option;
 }
 
+(* Drive the engine to [max_time]. Without a budget this is one
+   [Engine.run] call. With one, the run is cut into slices of
+   [Budget.slice_cycles] clock periods; between slices the budget is
+   consulted, so a simulation that would grind on for minutes dies at
+   its wall-clock deadline (or a Ctrl-C) within one slice — the
+   cooperative watchdog the campaign drivers rely on. *)
+let run_engine ?budget ~clock_period ~max_time engine =
+  match budget with
+  | None -> (Engine.run ~max_time engine, None)
+  | Some b ->
+      let slice_ticks =
+        max 1 (Budget.saturating_mul clock_period (Budget.slice_cycles b))
+      in
+      let rec go () =
+        match Budget.check b with
+        | Some f ->
+            (Engine.Stop_requested ("budget: " ^ Budget.failure_label f), Some f)
+        | None ->
+            let t = Engine.now engine in
+            let target =
+              if max_time - t <= slice_ticks then max_time
+              else t + slice_ticks
+            in
+            let r = Engine.run ~max_time:target engine in
+            (match r with
+            | Engine.Max_time_reached when target < max_time -> go ()
+            | r -> (r, None))
+      in
+      go ()
+
 let run_configuration ?(clock_period = 10) ?(max_cycles = 10_000_000)
-    ?vcd_path ?name ?(injections = []) ~memories datapath fsm =
+    ?vcd_path ?name ?(injections = []) ?budget ~memories datapath fsm =
   let started = Sys.time () in
   let cfg_label =
     match name with Some n -> n | None -> datapath.Netlist.Datapath.dp_name
@@ -63,7 +95,8 @@ let run_configuration ?(clock_period = 10) ?(max_cycles = 10_000_000)
         in
         Some (Vcd.create_file path engine signals)
   in
-  let stop = Engine.run ~max_time:(clock_period * max_cycles) engine in
+  let max_time = Budget.saturating_mul clock_period max_cycles in
+  let stop, budget_failure = run_engine ?budget ~clock_period ~max_time engine in
   (match dump with Some d -> Vcd.close d | None -> ());
   let completed = Fsm_exec.in_done_state controller in
   {
@@ -75,6 +108,7 @@ let run_configuration ?(clock_period = 10) ?(max_cycles = 10_000_000)
     final_state = Fsm_exec.current_state controller;
     wall_seconds = Sys.time () -. started;
     notifications = Models_log.all design.Elaborate.notifications;
+    budget_failure;
   }
 
 let injection_resolves (dp : Netlist.Datapath.t) port =
@@ -91,8 +125,8 @@ let injection_resolves (dp : Netlist.Datapath.t) port =
               && p.Operators.Opspec.port_name = ep.Netlist.Datapath.port)
             (Netlist.Datapath.operator_spec op).Operators.Opspec.ports)
 
-let run_rtg ?clock_period ?max_cycles ?(injections = []) ~memories ~datapaths
-    ~fsms rtg =
+let run_rtg ?clock_period ?max_cycles ?(injections = []) ?budget ~memories
+    ~datapaths ~fsms rtg =
   Rtg.validate rtg;
   (* An injection naming a port no datapath has would silently test
      nothing — reject it up front. *)
@@ -124,7 +158,7 @@ let run_rtg ?clock_period ?max_cycles ?(injections = []) ~memories ~datapaths
         let fsm = resolve "fsm" fsms cfg.Rtg.fsm_ref in
         let run =
           run_configuration ?clock_period ?max_cycles ~name:cfg_name
-            ~injections ~memories datapath fsm
+            ~injections ?budget ~memories datapath fsm
         in
         if run.completed then go (run :: acc) rest else List.rev (run :: acc)
   in
@@ -137,10 +171,12 @@ let run_rtg ?clock_period ?max_cycles ?(injections = []) ~memories ~datapaths
     total_cycles = List.fold_left (fun acc r -> acc + r.cycles) 0 runs;
     total_wall_seconds =
       List.fold_left (fun acc r -> acc +. r.wall_seconds) 0. runs;
+    budget_failure =
+      List.find_map (fun (r : config_run) -> r.budget_failure) runs;
   }
 
 let run_compiled ?clock_period ?max_cycles ?injections ?(mutate_fsm = Fun.id)
-    ~memories (compiled : Compiler.Compile.t) =
+    ?budget ~memories (compiled : Compiler.Compile.t) =
   let datapaths =
     List.map
       (fun (p : Compiler.Compile.partition) ->
@@ -155,5 +191,5 @@ let run_compiled ?clock_period ?max_cycles ?injections ?(mutate_fsm = Fun.id)
         (p.Compiler.Compile.fsm.Fsmkit.Fsm.fsm_name, fsm))
       compiled.Compiler.Compile.partitions
   in
-  run_rtg ?clock_period ?max_cycles ?injections ~memories ~datapaths ~fsms
-    compiled.Compiler.Compile.rtg
+  run_rtg ?clock_period ?max_cycles ?injections ?budget ~memories ~datapaths
+    ~fsms compiled.Compiler.Compile.rtg

@@ -26,6 +26,11 @@ type config_run = {
   final_state : string;
   wall_seconds : float;  (** Host CPU time for this configuration. *)
   notifications : Operators.Models.notification list;
+  budget_failure : Budget.failure option;
+      (** [Some Timeout_wall] when the watchdog deadline ended the run,
+          [Some Cancelled] when a cancellation token did; [None] for
+          every other ending (including ordinary cycle exhaustion, which
+          [stop]/[completed] already describe). *)
 }
 
 type rtg_run = {
@@ -33,6 +38,8 @@ type rtg_run = {
   all_completed : bool;
   total_cycles : int;
   total_wall_seconds : float;
+  budget_failure : Budget.failure option;
+      (** The first configuration's budget verdict, if any fired. *)
 }
 
 val run_configuration :
@@ -41,6 +48,7 @@ val run_configuration :
   ?vcd_path:string ->
   ?name:string ->
   ?injections:injection list ->
+  ?budget:Budget.t ->
   memories:(string -> Operators.Memory.t) ->
   Netlist.Datapath.t ->
   Fsmkit.Fsm.t ->
@@ -50,19 +58,28 @@ val run_configuration :
     every operator output port. [injections] corrupt the named output-port
     signals for the whole run; entries whose configuration or port does
     not match this design are ignored here (use {!run_rtg} for up-front
-    validation). *)
+    validation).
+
+    [budget] arms the watchdog: the engine then runs in slices of
+    [Budget.slice_cycles] clock cycles and consults {!Budget.check}
+    between slices, so a hung design dies within its wall-clock deadline
+    (or at the next slice boundary after a cancellation) instead of
+    simulating out a huge cycle budget. Without a budget the engine runs
+    in one shot, exactly as before. *)
 
 val run_rtg :
   ?clock_period:int ->
   ?max_cycles:int ->
   ?injections:injection list ->
+  ?budget:Budget.t ->
   memories:(string -> Operators.Memory.t) ->
   datapaths:(string * Netlist.Datapath.t) list ->
   fsms:(string * Fsmkit.Fsm.t) list ->
   Rtg.t ->
   rtg_run
 (** Execute the configurations named by the RTG in order (validating it
-    first); stops early if a configuration fails to complete. Raises
+    first); stops early if a configuration fails to complete. The
+    [budget] spans the whole sequence (its deadline is absolute). Raises
     [Failure] on unresolved datapath/FSM references and
     [Invalid_argument] when an injection names a port that exists in no
     datapath (a fault that would silently test nothing). *)
@@ -72,6 +89,7 @@ val run_compiled :
   ?max_cycles:int ->
   ?injections:injection list ->
   ?mutate_fsm:(Fsmkit.Fsm.t -> Fsmkit.Fsm.t) ->
+  ?budget:Budget.t ->
   memories:(string -> Operators.Memory.t) ->
   Compiler.Compile.t ->
   rtg_run

@@ -6,9 +6,14 @@ type case = {
   inits : (string * int list) list;
 }
 
+type verdict =
+  | Verified of Verify.t
+  | Replayed of { rp_passed : bool; rp_seconds : float }
+  | Cancelled_case
+
 type case_result = {
   case_name_r : string;
-  outcomes : (string * Verify.t) list;
+  outcomes : (string * verdict) list;
   seconds : float;
 }
 
@@ -16,8 +21,14 @@ type summary = {
   cases : int;
   variants_run : int;
   failures : (string * string) list;
+  cancelled : int;
   total_seconds : float;
 }
+
+let verdict_passed = function
+  | Verified o -> Some o.Verify.passed
+  | Replayed r -> Some r.rp_passed
+  | Cancelled_case -> None
 
 let default_variants =
   [
@@ -117,6 +128,71 @@ let load_dir dir =
       { case_name = name; source; inits })
     programs
 
+(* --- journal ------------------------------------------------------------ *)
+
+let journal_kind = "suite"
+let journal_version = 1
+
+let header_obj ~cases ~variants =
+  [
+    ("journal", Journal.String journal_kind);
+    ("version", Journal.Int journal_version);
+    ( "cases",
+      Journal.String
+        (String.concat "," (List.map (fun c -> c.case_name) cases)) );
+    ("variants", Journal.String (String.concat "," (List.map fst variants)));
+  ]
+
+(* One journaled task outcome, reloaded on resume. *)
+type replayed_task =
+  | R_ok of bool * float  (* passed, seconds *)
+  | R_error of string
+
+let replay_table path ~cases ~variants =
+  match Journal.load path with
+  | [] -> failwith (Printf.sprintf "Suite.run: journal %s is empty" path)
+  | header :: entries ->
+      (match Journal.find_string header "journal" with
+      | Some k when k = journal_kind -> ()
+      | _ ->
+          failwith
+            (Printf.sprintf
+               "Suite.run: %s does not start with a suite journal header" path));
+      let expect_cases =
+        String.concat "," (List.map (fun c -> c.case_name) cases)
+      in
+      let expect_variants = String.concat "," (List.map fst variants) in
+      let got field = Option.value ~default:"" (Journal.find_string header field) in
+      if got "cases" <> expect_cases || got "variants" <> expect_variants then
+        failwith
+          (Printf.sprintf
+             "Suite.run: journal %s was written for cases [%s] x variants \
+              [%s], not for this invocation ([%s] x [%s])"
+             path (got "cases") (got "variants") expect_cases expect_variants);
+      let table = Hashtbl.create 64 in
+      List.iter
+        (fun entry ->
+          match (Journal.find_int entry "task", Journal.find_string entry "kind") with
+          | Some i, Some "ok" ->
+              Hashtbl.replace table i
+                (R_ok
+                   ( Option.value ~default:false (Journal.find_bool entry "passed"),
+                     Option.value ~default:0. (Journal.find_float entry "seconds") ))
+          | Some i, Some "error" ->
+              Hashtbl.replace table i
+                (R_error
+                   (Option.value ~default:"replayed error"
+                      (Journal.find_string entry "detail")))
+          | _ -> ())
+        entries;
+      table
+
+(* Internal per-task outcome before regrouping. *)
+type task_out =
+  | T_ok of Verify.t * float
+  | T_replayed of replayed_task
+  | T_cancelled
+
 (* A verification that failed to even run is reported as a failed outcome
    by synthesizing nothing — we track it in the summary only.
 
@@ -124,24 +200,100 @@ let load_dir dir =
    fans out over a {!Pool}. The pool returns results in submission order
    and [jobs = 1] runs inline, so the report is identical for any job
    count. *)
-let run ?(variants = default_variants) ?max_cycles ?(jobs = 1) cases =
+let run ?(variants = default_variants) ?max_cycles ?(jobs = 1) ?cancel
+    ?journal_path ?(resume = false) cases =
+  if resume && journal_path = None then
+    invalid_arg "Suite.run: resume requires a journal path";
   let started_all = Unix.gettimeofday () in
   let tasks =
     List.concat_map
       (fun case -> List.map (fun variant -> (case, variant)) variants)
       cases
   in
+  let replay =
+    match (resume, journal_path) with
+    | true, Some path ->
+        let table = replay_table path ~cases ~variants in
+        fun i -> Hashtbl.find_opt table i
+    | _ -> fun _ -> None
+  in
+  let journal =
+    match journal_path with
+    | None -> None
+    | Some path ->
+        Some
+          (if resume then Journal.append_to ~path
+           else Journal.create ~path ~header:(header_obj ~cases ~variants))
+  in
+  let cancelled_now () =
+    match cancel with Some tok -> Budget.cancel_requested tok | None -> false
+  in
+  let journal_task i (case, (variant_name, _)) result =
+    match journal with
+    | None -> ()
+    | Some w -> (
+        let base =
+          [
+            ("task", Journal.Int i);
+            ("case", Journal.String case.case_name);
+            ("variant", Journal.String variant_name);
+          ]
+        in
+        let entry =
+          match result with
+          | Ok (T_ok (outcome, s)) ->
+              Some
+                (base
+                @ [
+                    ("kind", Journal.String "ok");
+                    ("passed", Journal.Bool outcome.Verify.passed);
+                    ("seconds", Journal.Float s);
+                  ])
+          | Ok (T_replayed _ | T_cancelled) -> None
+          | Error e ->
+              Some
+                (base
+                @ [
+                    ("kind", Journal.String "error");
+                    ("detail", Journal.String (Printexc.to_string e));
+                  ])
+        in
+        match entry with
+        | None -> ()
+        | Some entry -> (
+            try Journal.append w entry
+            with Sys_error msg ->
+              Printf.eprintf "warning: journal write failed: %s\n%!" msg))
+  in
+  let task_arr = Array.of_list tasks in
   let outcomes =
     Pool.run ~jobs
-      (fun (case, (_, options)) ->
-        let started = Unix.gettimeofday () in
-        let outcome =
-          Verify.run_source ~options ?max_cycles ~inits:case.inits case.source
-        in
-        (outcome, Unix.gettimeofday () -. started))
-      tasks
+      ~on_result:(fun i r -> journal_task i task_arr.(i) r)
+      (fun (i, (case, (_, options))) ->
+        match replay i with
+        | Some r -> T_replayed r
+        | None ->
+            if cancelled_now () then T_cancelled
+            else
+              let started = Unix.gettimeofday () in
+              let budget =
+                match cancel with
+                | None -> None
+                | Some tok -> Some (Budget.start ~token:tok ())
+              in
+              let outcome =
+                Verify.run_source ~options ?max_cycles ?budget
+                  ~inits:case.inits case.source
+              in
+              if
+                outcome.Verify.hw_run.Simulate.budget_failure
+                = Some Budget.Cancelled
+              then T_cancelled
+              else T_ok (outcome, Unix.gettimeofday () -. started))
+      (List.mapi (fun i t -> (i, t)) tasks)
   in
   let failures = ref [] in
+  let cancelled_total = ref 0 in
   (* Regroup the flat (case x variant) result list case by case. *)
   let rec regroup cases outcomes =
     match cases with
@@ -157,11 +309,25 @@ let run ?(variants = default_variants) ?max_cycles ?(jobs = 1) cases =
           List.filter_map
             (fun ((variant_name, _), result) ->
               match result with
-              | Ok (outcome, s) ->
+              | Ok (T_ok (outcome, s)) ->
                   seconds := !seconds +. s;
                   if not outcome.Verify.passed then
                     failures := (case.case_name, variant_name) :: !failures;
-                  Some (variant_name, outcome)
+                  Some (variant_name, Verified outcome)
+              | Ok (T_replayed (R_ok (passed, s))) ->
+                  seconds := !seconds +. s;
+                  if not passed then
+                    failures := (case.case_name, variant_name) :: !failures;
+                  Some (variant_name, Replayed { rp_passed = passed; rp_seconds = s })
+              | Ok (T_replayed (R_error detail)) ->
+                  failures :=
+                    ( case.case_name,
+                      Printf.sprintf "%s (%s)" variant_name detail )
+                    :: !failures;
+                  None
+              | Ok T_cancelled ->
+                  incr cancelled_total;
+                  Some (variant_name, Cancelled_case)
               | Error e ->
                   failures :=
                     ( case.case_name,
@@ -175,11 +341,23 @@ let run ?(variants = default_variants) ?max_cycles ?(jobs = 1) cases =
         :: regroup rest others
   in
   let results = regroup cases outcomes in
+  (match journal with
+  | None -> ()
+  | Some w ->
+      Journal.append w
+        [
+          ( "status",
+            Journal.String
+              (if !cancelled_total > 0 || cancelled_now () then "interrupted"
+               else "complete") );
+        ];
+      Journal.close w);
   ( results,
     {
       cases = List.length cases;
       variants_run = List.length cases * List.length variants;
       failures = List.rev !failures;
+      cancelled = !cancelled_total;
       total_seconds = Unix.gettimeofday () -. started_all;
     } )
 
@@ -198,7 +376,11 @@ let render (results, summary) =
     (fun r ->
       let cells =
         List.map
-          (fun (_, o) -> if o.Verify.passed then "PASS      " else "FAIL      ")
+          (fun (_, v) ->
+            match verdict_passed v with
+            | Some true -> "PASS      "
+            | Some false -> "FAIL      "
+            | None -> "CANC      ")
           r.outcomes
       in
       out "%-12s %s  %8.2f" r.case_name_r (String.concat "  " cells) r.seconds)
@@ -208,4 +390,7 @@ let render (results, summary) =
     (match results with r :: _ -> List.length r.outcomes | [] -> 0)
     (List.length summary.failures) summary.total_seconds;
   List.iter (fun (c, v) -> out "  FAILED: %s under %s" c v) summary.failures;
+  if summary.cancelled > 0 then
+    out "  INTERRUPTED: %d verification(s) cancelled — resume with the journal"
+      summary.cancelled;
   Buffer.contents buf

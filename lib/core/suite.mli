@@ -13,9 +13,22 @@ type case = {
   inits : (string * int list) list;  (** Initial memory contents. *)
 }
 
+(** One (case, variant) cell of the matrix. A freshly executed
+    verification carries its full {!Verify.t}; a result replayed from a
+    resume journal carries only what the journal recorded; a cancelled
+    cell ran into a shutdown before finishing and will be re-executed by
+    a resumed run. *)
+type verdict =
+  | Verified of Verify.t
+  | Replayed of { rp_passed : bool; rp_seconds : float }
+  | Cancelled_case
+
+val verdict_passed : verdict -> bool option
+(** [Some passed] for executed or replayed cells, [None] for cancelled. *)
+
 type case_result = {
   case_name_r : string;
-  outcomes : (string * Verify.t) list;  (** Per variant, in order. *)
+  outcomes : (string * verdict) list;  (** Per variant, in order. *)
   seconds : float;
 }
 
@@ -23,6 +36,7 @@ type summary = {
   cases : int;
   variants_run : int;  (** Total (case, variant) verifications. *)
   failures : (string * string) list;  (** [(case, variant)] that failed. *)
+  cancelled : int;  (** Verifications cancelled by a shutdown. *)
   total_seconds : float;
 }
 
@@ -42,6 +56,9 @@ val run :
   ?variants:(string * Compiler.Compile.options) list ->
   ?max_cycles:int ->
   ?jobs:int ->
+  ?cancel:Budget.token ->
+  ?journal_path:string ->
+  ?resume:bool ->
   case list ->
   case_result list * summary
 (** Verify every case under every variant. Compile or verification
@@ -49,7 +66,21 @@ val run :
     fans the independent (case, variant) verifications out over a
     {!Pool} of worker domains; the report is deterministic — identical
     ordering and content for any job count (per-case [seconds] and
-    [total_seconds] are wall-clock and naturally vary). *)
+    [total_seconds] are wall-clock and naturally vary).
+
+    Resilience controls, mirroring {!Faultcamp.run}:
+    - [cancel] is polled before each task and between simulation slices
+      (threaded into {!Verify} as a {!Budget}); once it fires, remaining
+      cells become {!Cancelled_case}. Pair with
+      {!Budget.install_sigint} for Ctrl-C.
+    - [journal_path] checkpoints each completed (case, variant) cell to
+      an append-only JSONL journal as it finishes (cancelled cells are
+      not recorded).
+    - [resume = true] (requires [journal_path]) reloads that journal,
+      validates it was written for the same cases x variants matrix,
+      replays completed cells as {!Replayed} and executes only the rest,
+      appending to the same journal. Raises [Failure] on an empty,
+      foreign or mismatched journal. *)
 
 val render : case_result list * summary -> string
 (** Per-case PASS/FAIL matrix plus totals. *)

@@ -64,7 +64,8 @@ let total_oob stores =
     (fun acc (_, store) -> acc + Memory.out_of_range_accesses store)
     0 stores
 
-let run ?options ?clock_period ?max_cycles ?(fail_on_oob = false) ~inits prog =
+let run ?options ?clock_period ?max_cycles ?(fail_on_oob = false) ?budget
+    ~inits prog =
   let compiled = Compiler.Compile.compile ?options prog in
   let golden_lookup, golden_stores = memory_env prog ~inits in
   let hw_lookup, hw_stores = memory_env prog ~inits in
@@ -73,7 +74,8 @@ let run ?options ?clock_period ?max_cycles ?(fail_on_oob = false) ~inits prog =
   let golden_seconds = Sys.time () -. golden_started in
   let golden_oob = total_oob golden_stores in
   let hw_run =
-    Simulate.run_compiled ?clock_period ?max_cycles ~memories:hw_lookup compiled
+    Simulate.run_compiled ?clock_period ?max_cycles ?budget
+      ~memories:hw_lookup compiled
   in
   let hw_oob = total_oob hw_stores in
   let memories = compare_memories golden_stores hw_stores in
@@ -113,6 +115,7 @@ let run ?options ?clock_period ?max_cycles ?(fail_on_oob = false) ~inits prog =
     oob_failed;
   }
 
-let run_source ?options ?clock_period ?max_cycles ?fail_on_oob ~inits source =
-  run ?options ?clock_period ?max_cycles ?fail_on_oob ~inits
+let run_source ?options ?clock_period ?max_cycles ?fail_on_oob ?budget ~inits
+    source =
+  run ?options ?clock_period ?max_cycles ?fail_on_oob ?budget ~inits
     (Lang.Parser.parse_string source)

@@ -39,6 +39,7 @@ val run :
   ?clock_period:int ->
   ?max_cycles:int ->
   ?fail_on_oob:bool ->
+  ?budget:Budget.t ->
   inits:(string * int list) list ->
   Lang.Ast.program ->
   t
@@ -56,13 +57,19 @@ val run :
     changed the compared memories. [hw_oob] also counts open-decode
     transients (an async read port briefly presenting an intermediate
     address while the datapath settles), so it is a warning by default
-    and only fails the verification with [~fail_on_oob:true]. *)
+    and only fails the verification with [~fail_on_oob:true].
+
+    [budget] is threaded to {!Simulate.run_compiled}: the hardware
+    simulation then runs in watchdog slices, so a verification of a
+    non-terminating design can be bounded by wall clock or cancelled
+    cooperatively ([hw_run.budget_failure] records which). *)
 
 val run_source :
   ?options:Compiler.Compile.options ->
   ?clock_period:int ->
   ?max_cycles:int ->
   ?fail_on_oob:bool ->
+  ?budget:Budget.t ->
   inits:(string * int list) list ->
   string ->
   t

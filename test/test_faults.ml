@@ -205,8 +205,9 @@ let test_campaign_stats_consistent () =
   List.iter
     (fun (s : Faultcamp.class_stats) ->
       check_int (s.Faultcamp.cls ^ " counts add up") s.Faultcamp.injected
-        (s.Faultcamp.killed + s.Faultcamp.survived + s.Faultcamp.timed_out
-       + s.Faultcamp.crashed))
+        (s.Faultcamp.killed + s.Faultcamp.survived
+       + s.Faultcamp.timed_out_cycles + s.Faultcamp.timed_out_wall
+       + s.Faultcamp.cancelled + s.Faultcamp.crashed))
     campaign.Faultcamp.by_class;
   let table = Testinfra.Metrics.campaign_table campaign in
   check_bool "table lists every class" true
@@ -249,10 +250,17 @@ let test_crash_isolated_per_mutant () =
     List.init 6 (fun id ->
         { Fault.id; kind = Fault.Mem_corrupt { mem = "m"; addr = id; xor = 1 } })
   in
-  let exec (f : Fault.t) =
+  let exec _i (f : Fault.t) =
     if f.Fault.id mod 2 = 0 then raise Division_by_zero
     else
-      { Faultcamp.fault = f; outcome = Faultcamp.Survived; mutant_cycles = 7 }
+      {
+        Faultcamp.fault = f;
+        outcome = Faultcamp.Survived;
+        mutant_cycles = 7;
+        retries = 0;
+        quarantined = false;
+        replayed = false;
+      }
   in
   List.iter
     (fun jobs ->
@@ -275,10 +283,17 @@ let test_crash_isolated_per_mutant () =
    its own table column, excluded from the cycle statistics. *)
 let test_crash_counted_as_detected () =
   let fault id = { Fault.id; kind = Fault.Mem_corrupt { mem = "m"; addr = id; xor = 1 } } in
-  let exec (f : Fault.t) =
+  let exec _i (f : Fault.t) =
     if f.Fault.id = 1 then failwith "synthetic simulator crash"
     else
-      { Faultcamp.fault = f; outcome = Faultcamp.Survived; mutant_cycles = 50 }
+      {
+        Faultcamp.fault = f;
+        outcome = Faultcamp.Survived;
+        mutant_cycles = 50;
+        retries = 0;
+        quarantined = false;
+        replayed = false;
+      }
   in
   let mutants = Faultcamp.run_mutants ~jobs:1 ~exec [ fault 0; fault 1; fault 2 ] in
   let campaign =
@@ -290,6 +305,11 @@ let test_crash_counted_as_detected () =
       clean_passed = true;
       clean_cycles = 50;
       clean_oob = 0;
+      cycle_budget = 1200;
+      deadline_seconds = Faultcamp.default_deadline_seconds;
+      slice_cycles = Faultcamp.default_slice_cycles;
+      max_retries = Faultcamp.default_max_retries;
+      backoff_seconds = Faultcamp.default_backoff_seconds;
       mutants;
       by_class =
         [
@@ -298,11 +318,17 @@ let test_crash_counted_as_detected () =
             injected = 3;
             killed = 0;
             survived = 2;
-            timed_out = 0;
+            timed_out_cycles = 0;
+            timed_out_wall = 0;
+            cancelled = 0;
             crashed = 1;
+            quarantined = 0;
+            retried = 0;
           };
         ];
       kill_rate = 1. /. 3.;
+      interrupted = false;
+      replayed = 0;
       wall_seconds = 0.5;
       total_mutant_cycles = 100;
       mutants_per_second = 6.;

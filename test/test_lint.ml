@@ -484,7 +484,7 @@ let test_suite_pooled_deterministic () =
         (fun (r : Testinfra.Suite.case_result) ->
           ( r.Testinfra.Suite.case_name_r,
             List.map
-              (fun (v, (o : Testinfra.Verify.t)) -> (v, o.Testinfra.Verify.passed))
+              (fun (v, verdict) -> (v, Testinfra.Suite.verdict_passed verdict))
               r.Testinfra.Suite.outcomes ))
         results,
       summary.Testinfra.Suite.failures )

@@ -22,5 +22,6 @@ let () =
       ("faults", Test_faults.suite);
       ("lint", Test_lint.suite);
       ("absint", Test_absint.suite);
+      ("resilience", Test_resilience.suite);
       ("integration", Test_integration.suite);
     ]
