@@ -1,65 +1,94 @@
 (* Mutation-campaign throughput benchmark.
 
-   Runs the acceptance campaign (gcd8, seed 1) once per worker count,
-   checks the parallel reports are byte-identical to the sequential one,
-   and emits a JSON record so the perf trajectory of the campaign hot
-   path stays measurable across PRs:
+   Runs the acceptance campaigns (gcd8 and vecadd, seed 1) over a
+   backend x worker-count matrix, checks every cell's report is
+   byte-identical to the interp/jobs=1 reference, and emits a JSON
+   record so the perf trajectory of the campaign hot path stays
+   measurable across PRs:
 
      dune build @bench-campaign        # writes BENCH_faultcamp.json
 
    The committed copy at the repo root is refreshed from that output.
 
-   Unless -n pins the count, the planned faults scale with the host:
-   [base_faults * host_cores], so a wide machine gets a campaign large
-   enough to keep its workers busy while a small one stays quick. The
-   JSON records base, cores and the resolved count so records from
-   different hosts remain comparable (normalize by [faults_requested] /
-   [faults_base]). *)
+   Unless -n pins the count, the planned faults scale with the host —
+   [base_faults * host_cores], floored at [faults_floor] so the
+   compiled backend's fixed per-campaign costs (levelization, clean-lane
+   validation) are amortized and the backend ratio is meaningful. The
+   JSON records base, floor, cores and the resolved count so records
+   from different hosts remain comparable.
+
+   Worker counts above the host's core count are tagged
+   ["oversubscribed": true] and excluded from the speedup rows: a
+   one-core CI box asking for -jobs 4 measures domain-scheduling
+   overhead, not the pool, and must not pollute the headline numbers.
+   The headline per workload is the compiled-over-interp mutants/s
+   ratio at jobs=1. *)
 
 module Faultcamp = Testinfra.Faultcamp
 module Report = Testinfra.Report
 
 let base_faults = 50
+let faults_floor = 1000
 let host_cores = Domain.recommended_domain_count ()
-let workload = ref "gcd8"
+let workloads = ref [ "gcd8"; "vecadd" ]
 let faults_arg = ref None
 let seed = ref 1
 let jobs_list = ref [ 1; 4 ]
+let backends = ref [ Faultcamp.Interp; Faultcamp.Compiled ]
 let out_path = ref "BENCH_faultcamp.json"
 
-let usage = "campaign [-w WORKLOAD] [-n FAULTS] [-seed N] [-jobs 1,4] [-o PATH]"
+let usage =
+  "campaign [-w W1,W2] [-n FAULTS] [-seed N] [-jobs 1,4] \
+   [-backends interp,compiled] [-o PATH]"
+
+let parse_workloads s = workloads := String.split_on_char ',' s
 
 let parse_jobs s =
   match List.map int_of_string (String.split_on_char ',' s) with
   | js when js <> [] && List.for_all (fun j -> j >= 1) js -> jobs_list := js
   | _ | (exception _) -> raise (Arg.Bad ("bad -jobs list: " ^ s))
 
+let parse_backends s =
+  let one l =
+    match Faultcamp.backend_of_label l with
+    | Some b -> b
+    | None -> raise (Arg.Bad ("bad -backends entry: " ^ l))
+  in
+  match String.split_on_char ',' s with
+  | [] -> raise (Arg.Bad "empty -backends list")
+  | ls -> backends := List.map one ls
+
 let spec =
   [
-    ("-w", Arg.Set_string workload, "NAME workload to mutate");
+    ("-w", Arg.String parse_workloads, "W1,W2,... workloads to mutate");
     ("-n", Arg.Int (fun n -> faults_arg := Some n),
-     "N faults to plan (default: 50 per host core)");
+     "N faults to plan (default: 50 per host core, min 1000)");
     ("-seed", Arg.Set_int seed, "N campaign seed");
     ("-jobs", Arg.String parse_jobs, "J1,J2,... worker counts to measure");
+    ("-backends", Arg.String parse_backends,
+     "B1,B2,... backends to measure (interp, compiled, auto)");
     ("-o", Arg.Set_string out_path, "PATH output JSON file");
   ]
 
 let faults () =
-  match !faults_arg with Some n -> n | None -> base_faults * host_cores
-
-let run_record case ~jobs =
-  let c = Faultcamp.run ~seed:!seed ~faults:(faults ()) ~jobs case in
-  let report = Report.campaign_to_string ~verbose:true c in
-  (c, report)
+  match !faults_arg with
+  | Some n -> n
+  | None -> max faults_floor (base_faults * host_cores)
 
 let json_of_run (c : Faultcamp.t) =
   Printf.sprintf
-    {|    { "jobs": %d, "wall_seconds": %.6f, "mutants": %d,
-      "mutants_per_second": %.3f, "kill_rate": %.4f,
-      "total_mutant_cycles": %d,
-      "retries": %d, "quarantined": %d, "wall_timeouts": %d,
-      "cancelled": %d }|}
-    c.Faultcamp.jobs c.Faultcamp.wall_seconds
+    {|      { "backend": "%s", "backend_used": "%s", "jobs": %d,
+        "oversubscribed": %b,
+        "wall_seconds": %.6f, "mutants": %d,
+        "mutants_per_second": %.3f, "kill_rate": %.4f,
+        "total_mutant_cycles": %d,
+        "retries": %d, "quarantined": %d, "wall_timeouts": %d,
+        "cancelled": %d }|}
+    (Faultcamp.backend_label c.Faultcamp.backend)
+    (Faultcamp.backend_label c.Faultcamp.backend_used)
+    c.Faultcamp.jobs
+    (c.Faultcamp.jobs > host_cores)
+    c.Faultcamp.wall_seconds
     (List.length c.Faultcamp.mutants)
     c.Faultcamp.mutants_per_second c.Faultcamp.kill_rate
     c.Faultcamp.total_mutant_cycles
@@ -68,80 +97,148 @@ let json_of_run (c : Faultcamp.t) =
     (List.length (Faultcamp.wall_timeouts c))
     (List.length (Faultcamp.cancelled c))
 
-let () =
-  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+let bench_workload name =
   let case =
-    match Faultcamp.find_workload !workload with
+    match Faultcamp.find_workload name with
     | Some c -> c
     | None ->
-        Printf.eprintf "error: unknown workload %S\n" !workload;
+        Printf.eprintf "error: unknown workload %S\n" name;
         exit 1
   in
-  let runs = List.map (fun jobs -> run_record case ~jobs) !jobs_list in
+  let cells =
+    List.concat_map
+      (fun backend -> List.map (fun jobs -> (backend, jobs)) !jobs_list)
+      !backends
+  in
+  let runs =
+    List.map
+      (fun (backend, jobs) ->
+        let c = Faultcamp.run ~seed:!seed ~faults:(faults ()) ~jobs ~backend case in
+        (c, Report.campaign_to_string ~verbose:true c))
+      cells
+  in
+  (* Every backend/jobs cell must reproduce the reference report byte
+     for byte — the benchmark doubles as the determinism check. *)
   (match runs with
   | [] -> ()
-  | (_, baseline_report) :: rest ->
+  | (ref_c, ref_report) :: rest ->
       List.iter
         (fun (c, report) ->
-          if report <> baseline_report then begin
+          if report <> ref_report then begin
             Printf.eprintf
-              "error: report at jobs=%d differs from jobs=%d — campaign \
-               execution is not deterministic\n"
-              c.Faultcamp.jobs (fst (List.hd runs)).Faultcamp.jobs;
+              "error: %s report at backend=%s jobs=%d differs from \
+               backend=%s jobs=%d — campaign execution is not deterministic\n"
+              name
+              (Faultcamp.backend_label c.Faultcamp.backend)
+              c.Faultcamp.jobs
+              (Faultcamp.backend_label ref_c.Faultcamp.backend)
+              ref_c.Faultcamp.jobs;
             exit 1
           end)
         rest);
-  let baseline_wall =
-    match runs with (c, _) :: _ -> c.Faultcamp.wall_seconds | [] -> 0.
+  (* Pool speedups, per backend, against that backend's jobs=1 run.
+     Oversubscribed cells are excluded: they measure scheduling noise. *)
+  let headlined =
+    List.filter (fun (c, _) -> c.Faultcamp.jobs <= host_cores) runs
   in
   let speedups =
-    List.map
+    List.filter_map
       (fun (c, _) ->
-        Printf.sprintf {|    { "jobs": %d, "speedup_vs_first": %.3f }|}
-          c.Faultcamp.jobs
-          (if c.Faultcamp.wall_seconds > 0. then
-             baseline_wall /. c.Faultcamp.wall_seconds
-           else 0.))
+        let base =
+          List.find_opt
+            (fun (b, _) ->
+              b.Faultcamp.backend = c.Faultcamp.backend && b.Faultcamp.jobs = 1)
+            runs
+        in
+        match base with
+        | Some (b, _) when c.Faultcamp.wall_seconds > 0. ->
+            Some
+              (Printf.sprintf
+                 {|      { "backend": "%s", "jobs": %d, "speedup_vs_jobs1": %.3f }|}
+                 (Faultcamp.backend_label c.Faultcamp.backend)
+                 c.Faultcamp.jobs
+                 (b.Faultcamp.wall_seconds /. c.Faultcamp.wall_seconds))
+        | _ -> None)
+      headlined
+  in
+  (* The headline: compiled-over-interp throughput at jobs=1, with the
+     kill rates asserted identical (they came from byte-identical
+     reports, but the JSON states it explicitly). *)
+  let at backend =
+    List.find_opt
+      (fun (c, _) ->
+        c.Faultcamp.backend = backend && c.Faultcamp.jobs = 1)
       runs
   in
+  let headline =
+    match (at Faultcamp.Interp, at Faultcamp.Compiled) with
+    | Some (i, _), Some (c, _) when i.Faultcamp.mutants_per_second > 0. ->
+        Printf.sprintf
+          {|,
+    "headline": { "compiled_speedup_vs_interp_jobs1": %.2f,
+      "kill_rates_identical": %b }|}
+          (c.Faultcamp.mutants_per_second /. i.Faultcamp.mutants_per_second)
+          (c.Faultcamp.kill_rate = i.Faultcamp.kill_rate)
+    | _ -> ""
+  in
+  let json =
+    Printf.sprintf
+      {|  { "workload": "%s",
+    "runs": [
+%s
+    ],
+    "speedups": [
+%s
+    ]%s
+  }|}
+      name
+      (String.concat ",\n" (List.map (fun (c, _) -> json_of_run c) runs))
+      (String.concat ",\n" speedups)
+      headline
+  in
+  List.iter
+    (fun (c, _) ->
+      Printf.printf "%s backend=%s jobs=%d: %.3fs, %.1f mutants/s, \
+                     kill rate %.1f%%%s\n"
+        name
+        (Faultcamp.backend_label c.Faultcamp.backend)
+        c.Faultcamp.jobs c.Faultcamp.wall_seconds c.Faultcamp.mutants_per_second
+        (100. *. c.Faultcamp.kill_rate)
+        (if c.Faultcamp.jobs > host_cores then " (oversubscribed)" else ""))
+    runs;
+  json
+
+let () =
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let per_workload = List.map bench_workload !workloads in
   let json =
     Printf.sprintf
       {|{
   "benchmark": "faultcamp-campaign",
-  "schema_version": 3,
-  "workload": "%s",
+  "schema_version": 4,
   "seed": %d,
   "faults_base": %d,
+  "faults_floor": %d,
   "faults_scaled_by_cores": %b,
   "faults_requested": %d,
   "host_cores": %d,
   "deadline_seconds": %g,
   "slice_cycles": %d,
   "max_retries": %d,
-  "deterministic_across_jobs": true,
-  "runs": [
-%s
-  ],
-  "speedups": [
+  "deterministic_across_jobs_and_backends": true,
+  "workloads": [
 %s
   ]
 }
 |}
-      !workload !seed base_faults
+      !seed base_faults faults_floor
       (!faults_arg = None)
       (faults ()) host_cores
       Faultcamp.default_deadline_seconds Faultcamp.default_slice_cycles
       Faultcamp.default_max_retries
-      (String.concat ",\n" (List.map (fun (c, _) -> json_of_run c) runs))
-      (String.concat ",\n" speedups)
+      (String.concat ",\n" per_workload)
   in
   let oc = open_out !out_path in
   output_string oc json;
   close_out oc;
-  List.iter
-    (fun (c, _) ->
-      Printf.printf "jobs=%d: %.3fs, %.1f mutants/s, kill rate %.1f%%\n"
-        c.Faultcamp.jobs c.Faultcamp.wall_seconds c.Faultcamp.mutants_per_second
-        (100. *. c.Faultcamp.kill_rate))
-    runs;
   Printf.printf "wrote %s\n" !out_path

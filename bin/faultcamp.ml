@@ -41,8 +41,8 @@ let report campaign verbose =
   Testinfra.Report.campaign ~verbose Format.std_formatter campaign;
   Printf.eprintf "%s\n" (Testinfra.Metrics.campaign_timing campaign)
 
-let run_campaign workload faults seed factor jobs deadline slice retries
-    backoff journal stop_after verbose =
+let run_campaign workload faults seed factor jobs backend deadline slice
+    retries backoff journal stop_after verbose =
   match Testinfra.Faultcamp.find_workload workload with
   | None ->
       Printf.eprintf
@@ -53,9 +53,9 @@ let run_campaign workload faults seed factor jobs deadline slice retries
       Testinfra.Budget.install_sigint cancel;
       let campaign =
         Testinfra.Faultcamp.run ~seed ~faults ~max_cycles_factor:factor ~jobs
-          ~deadline_seconds:deadline ~slice_cycles:slice ~max_retries:retries
-          ~backoff_seconds:backoff ~cancel ?journal_path:journal ?stop_after
-          case
+          ~backend ~deadline_seconds:deadline ~slice_cycles:slice
+          ~max_retries:retries ~backoff_seconds:backoff ~cancel
+          ?journal_path:journal ?stop_after case
       in
       report campaign verbose;
       campaign.Testinfra.Faultcamp.interrupted
@@ -67,8 +67,8 @@ let run_resume path jobs stop_after verbose =
   report campaign verbose;
   campaign.Testinfra.Faultcamp.interrupted
 
-let run workload faults seed factor jobs deadline slice retries backoff
-    journal resume stop_after verbose list =
+let run workload faults seed factor jobs backend deadline slice retries
+    backoff journal resume stop_after verbose list =
   try
     if list then list_workloads ()
     else begin
@@ -78,8 +78,8 @@ let run workload faults seed factor jobs deadline slice retries backoff
         match resume with
         | Some path -> run_resume path jobs stop_after verbose
         | None ->
-            run_campaign workload faults seed factor jobs deadline slice
-              retries backoff journal stop_after verbose
+            run_campaign workload faults seed factor jobs backend deadline
+              slice retries backoff journal stop_after verbose
       in
       (* A campaign cut short by Ctrl-C exits 130 (the shell convention
          for SIGINT); --stop-after is a deliberate, scripted interrupt
@@ -119,6 +119,27 @@ let jobs_arg =
        & info [ "j"; "jobs" ] ~docv:"JOBS"
            ~doc:"Worker domains executing mutants in parallel. The report \
                  is identical at any value; only wall-clock changes.")
+
+let backend_arg =
+  let backend_conv =
+    Arg.enum
+      [
+        ("auto", Testinfra.Faultcamp.Auto);
+        ("interp", Testinfra.Faultcamp.Interp);
+        ("compiled", Testinfra.Faultcamp.Compiled);
+      ]
+  in
+  Arg.(value & opt backend_conv Testinfra.Faultcamp.Auto
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Mutant evaluator: $(b,interp) runs one event-driven \
+                 simulation per mutant (the reference); $(b,compiled) packs \
+                 mutants into bit-lanes of a compiled evaluator (orders of \
+                 magnitude faster, requires the design's combinational \
+                 logic to be provably acyclic); $(b,auto) picks compiled \
+                 when admissible and validated against the reference, the \
+                 interpreter otherwise. The report is identical either \
+                 way; only throughput changes. Resumed campaigns take the \
+                 backend from the journal header.")
 
 let deadline_arg =
   Arg.(value & opt float Testinfra.Faultcamp.default_deadline_seconds
@@ -182,7 +203,8 @@ let cmd =
              report the verifier's kill rate per fault class.")
     Term.(
       const run $ workload_arg $ faults_arg $ seed_arg $ factor_arg
-      $ jobs_arg $ deadline_arg $ slice_arg $ retries_arg $ backoff_arg
-      $ journal_arg $ resume_arg $ stop_after_arg $ verbose_arg $ list_arg)
+      $ jobs_arg $ backend_arg $ deadline_arg $ slice_arg $ retries_arg
+      $ backoff_arg $ journal_arg $ resume_arg $ stop_after_arg $ verbose_arg
+      $ list_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1307,6 +1307,10 @@ let analyze ?(widen_after = 8) dp fsm =
 
 let diagnostics t = t.diags
 let cycle_findings t = t.findings
+
+let all_cycles_proved t =
+  t.findings <> []
+  && List.for_all (fun f -> f.cycle_verdict = Proved_acyclic) t.findings
 let reachable_states t = t.reachable
 
 let reg_interval t ~state ~reg =

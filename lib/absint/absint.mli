@@ -130,6 +130,14 @@ val cycle_findings : t -> cycle_finding list
     could break (the DP013-warning class; components cyclic without
     muxes are certain oscillations and keep their error elsewhere). *)
 
+val all_cycles_proved : t -> bool
+(** True when the design has structurally cyclic components and every
+    one carries a {!Proved_acyclic} verdict — the AI007 certificate the
+    compiled fault-simulation backend requires before it levelizes a
+    shared/mux-broken datapath. False when there are no findings (a
+    globally acyclic design needs no proof) or any component is
+    [Dynamic_cycle]/[Unresolved]. *)
+
 val reachable_states : t -> string list
 (** Abstractly reachable FSM states, document order. *)
 

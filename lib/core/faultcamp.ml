@@ -2,6 +2,19 @@ module Compile = Compiler.Compile
 module Memory = Operators.Memory
 module Fault = Faults.Fault
 
+type backend = Interp | Compiled | Auto
+
+let backend_label = function
+  | Interp -> "interp"
+  | Compiled -> "compiled"
+  | Auto -> "auto"
+
+let backend_of_label = function
+  | "interp" -> Some Interp
+  | "compiled" -> Some Compiled
+  | "auto" -> Some Auto
+  | _ -> None
+
 type outcome =
   | Killed of string
   | Survived
@@ -37,6 +50,8 @@ type t = {
   seed : int;
   requested : int;
   jobs : int;
+  backend : backend;
+  backend_used : backend;
   clean_passed : bool;
   clean_cycles : int;
   clean_oob : int;
@@ -116,16 +131,11 @@ let total_oob stores =
    final memory contents diverging from the golden model, assertion
    checks firing a different number of times, and the out-of-range
    access count departing from the clean hardware run's. *)
-let judge ~golden_stores ~golden_asserts ~clean_hw_oob hw_stores
-    (run : Simulate.rtg_run) =
-  match run.Simulate.budget_failure with
-  | Some Budget.Timeout_wall -> Timeout_wall
-  | Some Budget.Cancelled -> Cancelled
-  | Some _ -> Timeout_cycles
-  | None ->
-      if not run.Simulate.all_completed then Timeout_cycles
-      else
-        let mem_kill =
+let judge_values ~golden_stores ~golden_asserts ~clean_hw_oob ~all_completed
+    ~checks hw_stores =
+  if not all_completed then Timeout_cycles
+  else
+    let mem_kill =
           List.fold_left2
             (fun acc (name, g) (_, h) ->
               match acc with
@@ -142,7 +152,6 @@ let judge ~golden_stores ~golden_asserts ~clean_hw_oob hw_stores
         (match mem_kill with
         | Some reason -> Killed reason
         | None ->
-            let checks = count_check_failures run in
             if checks <> golden_asserts then
               Killed
                 (Printf.sprintf
@@ -155,6 +164,17 @@ let judge ~golden_stores ~golden_asserts ~clean_hw_oob hw_stores
                   (Printf.sprintf "oob divergence: clean=%d mutant=%d"
                      clean_hw_oob oob)
               else Survived)
+
+let judge ~golden_stores ~golden_asserts ~clean_hw_oob hw_stores
+    (run : Simulate.rtg_run) =
+  match run.Simulate.budget_failure with
+  | Some Budget.Timeout_wall -> Timeout_wall
+  | Some Budget.Cancelled -> Cancelled
+  | Some _ -> Timeout_cycles
+  | None ->
+      judge_values ~golden_stores ~golden_asserts ~clean_hw_oob
+        ~all_completed:run.Simulate.all_completed
+        ~checks:(count_check_failures run) hw_stores
 
 let class_breakdown mutants =
   List.map
@@ -241,6 +261,22 @@ let run_mutants ?(jobs = 1) ?on_result ~exec plan =
     (Pool.with_pool ~jobs (fun pool ->
          Pool.mapi ?on_result:pool_on_result pool exec plan))
 
+(* Split [xs] into consecutive chunks of at most [n] elements — the
+   bit-lane batches of the compiled backend. *)
+let chunk n xs =
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: tl -> take (k - 1) (x :: acc) tl
+  in
+  let rec go = function
+    | [] -> []
+    | xs ->
+        let batch, rest = take n [] xs in
+        batch :: go rest
+  in
+  go xs
+
 (* --- journal ------------------------------------------------------------ *)
 
 let journal_kind = "faultcamp"
@@ -296,6 +332,7 @@ type journal_header = {
   h_slice_cycles : int;
   h_max_retries : int;
   h_backoff_seconds : float;
+  h_backend : backend;
 }
 
 let header_obj h =
@@ -310,6 +347,7 @@ let header_obj h =
     ("slice_cycles", Journal.Int h.h_slice_cycles);
     ("max_retries", Journal.Int h.h_max_retries);
     ("backoff_seconds", Journal.Float h.h_backoff_seconds);
+    ("backend", Journal.String (backend_label h.h_backend));
   ]
 
 let header_of_obj obj =
@@ -340,6 +378,10 @@ let header_of_obj obj =
           h_backoff_seconds =
             Option.value ~default:default_backoff_seconds
               (Journal.find_float obj "backoff_seconds");
+          h_backend =
+            (* Journals predating the compiled backend ran the interpreter. *)
+            Option.value ~default:Interp
+              (Option.bind (Journal.find_string obj "backend") backend_of_label);
         }
   | _ -> None
 
@@ -358,6 +400,7 @@ let replay_table entries =
 (* --- the campaign driver ------------------------------------------------ *)
 
 let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
+    ?(backend = Interp)
     ?(deadline_seconds = default_deadline_seconds)
     ?(slice_cycles = default_slice_cycles)
     ?(max_retries = default_max_retries)
@@ -413,6 +456,57 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
   let budget_cycles =
     Budget.cycle_budget ~max_cycles_factor clean_run.Simulate.total_cycles
   in
+  (* Backend resolution. [Compiled]/[Auto] require the acyclicity
+     certificate ({!Fastsim.admissible}) and then prove the fidelity
+     contract on the clean design before any mutant trusts the compiled
+     evaluator: completion, cycle count, check failures, final memories
+     and OOB counters must all match the event-driven clean run. [Auto]
+     falls back to the interpreter on any failure; a forced [Compiled]
+     backend reports it instead of silently changing semantics. *)
+  let resolve_compiled () =
+    let fall msg =
+      match backend with
+      | Compiled ->
+          failwith (Printf.sprintf "Faultcamp.run: compiled backend: %s" msg)
+      | _ ->
+          Printf.eprintf "faultcamp: auto backend: %s; using the interpreter\n%!"
+            msg;
+          None
+    in
+    match Fastsim.admissible compiled with
+    | Error msg -> fall msg
+    | Ok () -> (
+        match Fastsim.compile compiled with
+        | exception e -> fall (Printexc.to_string e)
+        | fast -> (
+            let lookup, stores =
+              Verify.memory_env prog ~inits:case.Suite.inits
+            in
+            match
+              Fastsim.run ~max_cycles:budget_cycles fast
+                [| Fastsim.clean_lane lookup |]
+            with
+            | exception e -> fall (Printexc.to_string e)
+            | res ->
+                let r = res.(0) in
+                if
+                  r.Fastsim.completed
+                  && r.Fastsim.total_cycles = clean_run.Simulate.total_cycles
+                  && r.Fastsim.checks = golden_asserts
+                  && total_oob stores = clean_hw_oob
+                  && List.for_all2
+                       (fun (_, a) (_, b) -> Memory.diff a b = [])
+                       clean_stores stores
+                then Some fast
+                else
+                  fall
+                    "compiled backend diverges from the event-driven \
+                     reference on the clean design"))
+  in
+  let fast =
+    match backend with Interp -> None | Compiled | Auto -> resolve_compiled ()
+  in
+  let backend_used = match fast with None -> Interp | Some _ -> Compiled in
   (* Plan generation stays single-threaded (one RNG stream); only the
      independent mutant executions below fan out over the pool. *)
   let plan = Fault.plan ~seed ~n:faults compiled in
@@ -487,6 +581,7 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
               h_slice_cycles = slice_cycles;
               h_max_retries = max_retries;
               h_backoff_seconds = backoff_seconds;
+              h_backend = backend;
             }
         in
         Some
@@ -509,12 +604,9 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
           | Some k, Some tok when written >= k -> Budget.cancel tok
           | _ -> ())
   in
-  let exec i fault =
-    match replay i with
-    | Some m -> m
-    | None ->
-        with_retries ~max_retries ~backoff_seconds ?cancel ~fault
-          (fun ~attempt ->
+  let exec_interp fault =
+    with_retries ~max_retries ~backoff_seconds ?cancel ~fault
+      (fun ~attempt ->
             ignore attempt;
             (* Each attempt gets a fresh wall-clock deadline; the
                cancellation token is shared with the whole campaign. *)
@@ -567,9 +659,153 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
                   replayed = false;
                 })
   in
+  let exec i fault =
+    match replay i with Some m -> m | None -> exec_interp fault
+  in
+  (* The compiled path packs pending mutants into bit-lane batches of at
+     most {!Fastsim.max_mutants_per_batch}; lane 0 of every batch re-runs
+     the clean design as an in-band sanity check. Any failure inside a
+     batch — a compile gap, a wave-bound overflow, a clean-lane
+     divergence — re-runs that batch's mutants one by one through the
+     interpreter path, preserving its crash/retry/quarantine semantics. *)
+  let run_batched fast =
+    let plan_arr = Array.of_list plan in
+    let n = Array.length plan_arr in
+    let slots = Array.make n None in
+    let pending = ref [] in
+    for i = n - 1 downto 0 do
+      match replay i with
+      | Some m -> slots.(i) <- Some m
+      | None -> pending := (i, plan_arr.(i)) :: !pending
+    done;
+    let batches =
+      Array.of_list (chunk Fastsim.max_mutants_per_batch !pending)
+    in
+    let fresh_mutant fault outcome cycles =
+      {
+        fault;
+        outcome;
+        mutant_cycles = cycles;
+        retries = 0;
+        quarantined = false;
+        replayed = false;
+      }
+    in
+    let exec_batch _bi batch =
+      let interp_fallback msg =
+        Printf.eprintf
+          "faultcamp: compiled backend failed on a batch (%s); re-running \
+           %d mutant(s) on the interpreter\n%!"
+          msg (List.length batch);
+        List.map (fun (i, fault) -> (i, exec_interp fault)) batch
+      in
+      try
+        (* One wall-clock deadline per batch (the batch is the unit of
+           execution here, as the mutant is on the interpreter path);
+           the cancellation token is shared with the whole campaign. *)
+        let budget =
+          Budget.start ~wall_seconds:deadline_seconds ?token:cancel
+            ~slice_cycles ()
+        in
+        match Budget.check budget with
+        | Some Budget.Cancelled ->
+            List.map
+              (fun (i, fault) -> (i, fresh_mutant fault Cancelled 0))
+              batch
+        | _ ->
+            let lane_stores = Array.make (List.length batch + 1) [] in
+            let clean_lookup, clean_s =
+              Verify.memory_env prog ~inits:case.Suite.inits
+            in
+            lane_stores.(0) <- clean_s;
+            let specs =
+              Fastsim.clean_lane clean_lookup
+              :: List.mapi
+                   (fun k (_, fault) ->
+                     let lookup, stores =
+                       Verify.memory_env prog ~inits:case.Suite.inits
+                     in
+                     lane_stores.(k + 1) <- stores;
+                     Fault.apply_to_memories lookup fault;
+                     let injections =
+                       match Fault.perturbation fault with
+                       | Some (cfg, port, fn) -> [ (Some cfg, port, fn) ]
+                       | None -> []
+                     in
+                     {
+                       Fastsim.memories = lookup;
+                       injections;
+                       mutate_fsm = (fun fsm -> Fault.apply_to_fsm fsm fault);
+                     })
+                   batch
+            in
+            let res =
+              Fastsim.run ~max_cycles:budget_cycles ~slice_cycles
+                ~check:(fun () -> Budget.check budget <> None)
+                fast (Array.of_list specs)
+            in
+            let r0 = res.(0) in
+            if
+              (not r0.Fastsim.interrupted)
+              && not
+                   (r0.Fastsim.completed
+                   && r0.Fastsim.total_cycles
+                      = clean_run.Simulate.total_cycles
+                   && r0.Fastsim.checks = golden_asserts
+                   && total_oob lane_stores.(0) = clean_hw_oob
+                   && List.for_all2
+                        (fun (_, a) (_, b) -> Memory.diff a b = [])
+                        clean_stores lane_stores.(0))
+            then
+              failwith "clean lane diverged from the event-driven reference";
+            List.mapi
+              (fun k (i, fault) ->
+                let r = res.(k + 1) in
+                let outcome =
+                  if r.Fastsim.interrupted then
+                    match Budget.check budget with
+                    | Some Budget.Cancelled -> Cancelled
+                    | _ -> Timeout_wall
+                  else
+                    judge_values ~golden_stores ~golden_asserts ~clean_hw_oob
+                      ~all_completed:r.Fastsim.completed
+                      ~checks:r.Fastsim.checks
+                      lane_stores.(k + 1)
+                in
+                (i, fresh_mutant fault outcome r.Fastsim.total_cycles))
+              batch
+      with e -> interp_fallback (Printexc.to_string e)
+    in
+    let settle bi = function
+      | Ok results -> results
+      | Error e ->
+          (* Backstop, as in {!run_mutants}: [exec_batch] captures its own
+             failures; should it raise anyway, every mutant of the batch
+             becomes a plain [Crashed]. *)
+          let msg = Printexc.to_string e in
+          List.map
+            (fun (i, fault) -> (i, fresh_mutant fault (Crashed msg) 0))
+            batches.(bi)
+    in
+    let batch_done bi r =
+      List.iter (fun (i, m) -> journal_mutant i m) (settle bi r)
+    in
+    let batch_results =
+      Pool.with_pool ~jobs (fun pool ->
+          Pool.mapi ~on_result:batch_done pool exec_batch
+            (Array.to_list batches))
+    in
+    List.iteri
+      (fun bi r ->
+        List.iter (fun (i, m) -> slots.(i) <- Some m) (settle bi r))
+      batch_results;
+    Array.to_list
+      (Array.map (function Some m -> m | None -> assert false) slots)
+  in
   let mutants =
-    run_mutants ~jobs ~on_result:journal_mutant ~exec:(fun i f -> exec i f)
-      plan
+    match fast with
+    | None -> run_mutants ~jobs ~on_result:journal_mutant ~exec plan
+    | Some fast -> run_batched fast
   in
   let interrupted =
     (match cancel with Some tok -> Budget.cancel_requested tok | None -> false)
@@ -605,6 +841,8 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
     seed;
     requested = faults;
     jobs;
+    backend;
+    backend_used;
     clean_passed;
     clean_cycles = clean_run.Simulate.total_cycles;
     clean_oob = clean_hw_oob;
@@ -653,6 +891,7 @@ let resume ?(jobs = 1) ?cancel ?stop_after path =
           | Some case ->
               run ~seed:h.h_seed ~faults:h.h_faults
                 ~max_cycles_factor:h.h_max_cycles_factor ~jobs
+                ~backend:h.h_backend
                 ~deadline_seconds:h.h_deadline_seconds
                 ~slice_cycles:h.h_slice_cycles ~max_retries:h.h_max_retries
                 ~backoff_seconds:h.h_backoff_seconds ?cancel

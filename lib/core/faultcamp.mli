@@ -16,6 +16,28 @@
     with {!resume} — replaying the journal and executing only the
     remainder, with a final report identical to an uninterrupted run. *)
 
+type backend =
+  | Interp
+      (** The event-driven reference: one {!Testinfra.Simulate} run per
+          mutant. Always available; the semantic baseline. *)
+  | Compiled
+      (** The bit-parallel {!Fastsim} backend: mutants packed into the
+          bit-lanes of machine words, up to
+          {!Fastsim.max_mutants_per_batch} per batch plus a clean lane
+          that revalidates the fidelity contract in-band. Requires the
+          design to be admissible (globally acyclic, or every structural
+          cycle discharged by an AI007 proof); raises [Failure] when it
+          is not, or when the clean design diverges from the
+          event-driven reference. *)
+  | Auto
+      (** [Compiled] when the design is admissible and the clean run
+          validates, [Interp] otherwise (with a warning on stderr). *)
+
+val backend_label : backend -> string
+(** ["interp"] / ["compiled"] / ["auto"] — the journal/CLI spelling. *)
+
+val backend_of_label : string -> backend option
+
 type outcome =
   | Killed of string
       (** The verifier detected the fault; the string says how ("memory
@@ -69,6 +91,11 @@ type t = {
   seed : int;
   requested : int;  (** Faults asked for; fewer run if sites run out. *)
   jobs : int;  (** Worker domains used for mutant execution. *)
+  backend : backend;  (** The backend the caller requested. *)
+  backend_used : backend;
+      (** What the campaign resolved to: {!Interp} or {!Compiled}, never
+          {!Auto}. Differs from [backend] exactly when [Auto] fell back
+          to the interpreter. *)
   clean_passed : bool;
   clean_cycles : int;
   clean_oob : int;  (** Hardware OOB count of the clean run (baseline). *)
@@ -107,6 +134,7 @@ val run :
   ?faults:int ->
   ?max_cycles_factor:int ->
   ?jobs:int ->
+  ?backend:backend ->
   ?deadline_seconds:float ->
   ?slice_cycles:int ->
   ?max_retries:int ->
@@ -127,6 +155,15 @@ val run :
     statistics — is bit-identical for a given seed at any [jobs]. Only
     [wall_seconds] / [mutants_per_second] / [jobs] vary with the worker
     count.
+
+    [backend] (default {!Interp}) selects the mutant evaluator. The
+    verdict of every mutant is backend-independent: the compiled path is
+    validated against the event-driven reference on the clean design
+    before use (and once more inside every batch), and it falls back to
+    the interpreter per batch on any internal failure, so a report is
+    byte-identical across backends — only throughput changes. The
+    journal header records the {e requested} backend and {!resume}
+    re-resolves it, so [Auto] journals stay portable across hosts.
 
     Resilience controls:
     - [deadline_seconds] (default {!default_deadline_seconds}; [<= 0.]
@@ -192,6 +229,20 @@ val with_retries :
     [quarantined = true] without spending further retries. A successful
     attempt after [n] crashes returns with [retries = n]. Retrying stops
     early (recording the crash) once [cancel] fires. *)
+
+val judge_values :
+  golden_stores:(string * Operators.Memory.t) list ->
+  golden_asserts:int ->
+  clean_hw_oob:int ->
+  all_completed:bool ->
+  checks:int ->
+  (string * Operators.Memory.t) list ->
+  outcome
+(** The backend-independent core of {!judge}: the verdict from the
+    observables alone (completion, check-failure count, final memories),
+    with no budget information — callers classify budget stops
+    themselves. Shared by the interpreter and compiled paths so the two
+    backends cannot drift. *)
 
 val judge :
   golden_stores:(string * Operators.Memory.t) list ->

@@ -182,7 +182,17 @@ let campaign_timing (c : Faultcamp.t) =
       (List.length (Faultcamp.quarantined c))
       c.Faultcamp.replayed
   in
-  Printf.sprintf "wall %.3fs, %.1f mutants/s over %d job%s; %s; %s"
+  let backend =
+    (* "auto→interp" makes a silent fallback visible in the timing line
+       (stderr only — the report itself stays backend-independent). *)
+    if c.Faultcamp.backend = c.Faultcamp.backend_used then
+      Faultcamp.backend_label c.Faultcamp.backend_used
+    else
+      Printf.sprintf "%s→%s"
+        (Faultcamp.backend_label c.Faultcamp.backend)
+        (Faultcamp.backend_label c.Faultcamp.backend_used)
+  in
+  Printf.sprintf "wall %.3fs, %.1f mutants/s over %d job%s, %s backend; %s; %s"
     c.Faultcamp.wall_seconds c.Faultcamp.mutants_per_second c.Faultcamp.jobs
     (if c.Faultcamp.jobs = 1 then "" else "s")
-    cycles resilience
+    backend cycles resilience

@@ -63,8 +63,17 @@ let create ?(chunk = 1) ~jobs () =
       workers = [];
     }
   in
-  if jobs > 1 then
-    t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  (* Never spawn more domains than the host can run: OCaml 5 domains are
+     heavyweight (each participates in every minor-GC synchronization),
+     so oversubscribing turns the pool slower than sequential execution.
+     The requested [jobs] is still reported by {!jobs} — results are
+     deterministic in submission order, so the clamp is unobservable
+     except in wall-clock time. A clamp to one worker degrades to the
+     inline path: a single worker domain is pure overhead. *)
+  let spawned = min jobs (Domain.recommended_domain_count ()) in
+  if spawned > 1 then
+    t.workers <-
+      List.init spawned (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
 let shutdown t =
@@ -93,7 +102,7 @@ let mapi ?on_result t f xs =
     | Some g -> ( try g i r with _ -> ())
     | None -> ()
   in
-  if t.jobs = 1 then Array.iteri capture items
+  if t.workers = [] then Array.iteri capture items
   else begin
     Mutex.lock t.mutex;
     Array.iteri (fun i x -> Queue.add (fun () -> capture i x) t.queue) items;

@@ -28,12 +28,19 @@ type t
 
 val create : ?chunk:int -> jobs:int -> unit -> t
 (** Spawn a pool of [jobs] worker domains ([jobs = 1]: none — work runs
-    inline on the calling domain). Workers pop up to [chunk] (default 1)
-    queued tasks per critical section. Raises [Invalid_argument] when
-    [jobs < 1] or [chunk < 1]. *)
+    inline on the calling domain). The spawned count is clamped to
+    [Domain.recommended_domain_count ()]: OCaml 5 domains synchronize on
+    every minor collection, so oversubscribing the host turns the pool
+    {e slower} than sequential execution. A clamp down to one worker
+    also runs inline. Results are returned in submission order either
+    way, so the clamp only affects wall-clock time, never output.
+    Workers pop up to [chunk] (default 1) queued tasks per critical
+    section. Raises [Invalid_argument] when [jobs < 1] or [chunk < 1]. *)
 
 val jobs : t -> int
-(** The worker count the pool was created with. *)
+(** The worker count the pool was {e requested} with — the [jobs]
+    argument, not the clamped spawn count — so reports stay identical
+    across hosts with different core counts. *)
 
 val map :
   ?on_result:(int -> ('b, exn) result -> unit) ->

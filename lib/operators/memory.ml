@@ -24,6 +24,19 @@ let read m addr =
     Bitvec.zero m.mwidth
   end
 
+let read_int m addr =
+  if in_range m addr then m.data.(addr)
+  else begin
+    m.oob <- m.oob + 1;
+    0
+  end
+
+let write_int m addr v =
+  if in_range m addr then
+    m.data.(addr) <-
+      v land (if m.mwidth = Bitvec.max_width then -1 lsr 1 else (1 lsl m.mwidth) - 1)
+  else m.oob <- m.oob + 1
+
 let write m addr v =
   if Bitvec.width v <> m.mwidth then
     invalid_arg

@@ -22,6 +22,13 @@ val read : t -> int -> Bitvec.t
 val write : t -> int -> Bitvec.t -> unit
 (** Out-of-range writes are dropped and counted. Value width must match. *)
 
+val read_int : t -> int -> int
+(** {!read} without the box: the cell's raw (already masked) value, with
+    the same out-of-range accounting. For simulation hot paths. *)
+
+val write_int : t -> int -> int -> unit
+(** {!write} for a value already masked to the memory width. *)
+
 val out_of_range_accesses : t -> int
 
 val corrupt : t -> addr:int -> xor:int -> unit

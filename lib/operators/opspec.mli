@@ -53,3 +53,6 @@ val binary_alu_kinds : string list
 
 val comparison_kinds : string list
 (** Kinds with ports a,b -> y where y is 1 bit wide. *)
+
+val unary_kinds : string list
+(** Kinds with ports a -> y at the data width (not, neg, pass, abs). *)

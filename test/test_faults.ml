@@ -302,6 +302,8 @@ let test_crash_counted_as_detected () =
       seed = 0;
       requested = 3;
       jobs = 1;
+      backend = Faultcamp.Interp;
+      backend_used = Faultcamp.Interp;
       clean_passed = true;
       clean_cycles = 50;
       clean_oob = 0;

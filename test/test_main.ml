@@ -20,6 +20,7 @@ let () =
       ("pool", Test_pool.suite);
       ("workloads", Test_workloads.suite);
       ("faults", Test_faults.suite);
+      ("fastsim", Test_fastsim.suite);
       ("lint", Test_lint.suite);
       ("absint", Test_absint.suite);
       ("resilience", Test_resilience.suite);

@@ -98,6 +98,34 @@ let test_shutdown_idempotent () =
   Pool.shutdown pool;
   check_bool "double shutdown is a no-op" true true
 
+(* Regression: asking for more workers than the host has cores must
+   never make the pool materially slower than sequential execution. It
+   once ran at 0.2x with -j 4 on a one-core host — every spawned domain
+   participates in every minor-GC synchronization, so oversubscription
+   turned pure overhead. The pool now clamps spawned domains to
+   [Domain.recommended_domain_count]; the generous factor plus absolute
+   slack keeps the test stable on slow or noisy hosts. *)
+let test_oversubscription_not_slower () =
+  let case =
+    match Testinfra.Faultcamp.find_workload "gcd8" with
+    | Some c -> c
+    | None -> Alcotest.fail "gcd8 workload missing"
+  in
+  let time jobs =
+    let t0 = Unix.gettimeofday () in
+    let c = Testinfra.Faultcamp.run ~seed:1 ~faults:25 ~jobs case in
+    check_bool "campaign clean" true c.Testinfra.Faultcamp.clean_passed;
+    Unix.gettimeofday () -. t0
+  in
+  ignore (time 1);
+  (* warm-up: first run pays code loading *)
+  let t1 = time 1 in
+  let t8 = time 8 in
+  check_bool
+    (Printf.sprintf "-j8 (%.3fs) within 1.5x of -j1 (%.3fs)" t8 t1)
+    true
+    (t8 <= (1.5 *. t1) +. 0.2)
+
 (* qcheck: for arbitrary inputs, worker counts and chunk sizes, the pool
    is observationally a sequential map. *)
 let prop_pool_is_map =
@@ -131,6 +159,9 @@ let suite =
     ("mapi passes submission indices", `Quick, test_mapi_indices);
     ("invalid configuration rejected", `Quick, test_invalid_configuration);
     ("shutdown idempotent", `Quick, test_shutdown_idempotent);
+    ( "oversubscribed jobs never much slower than sequential",
+      `Slow,
+      test_oversubscription_not_slower );
     QCheck_alcotest.to_alcotest prop_pool_is_map;
     QCheck_alcotest.to_alcotest prop_exception_slots;
   ]
