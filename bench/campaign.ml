@@ -35,6 +35,7 @@ let faults_arg = ref None
 let seed = ref 1
 let jobs_list = ref [ 1; 4 ]
 let backends = ref [ Faultcamp.Interp; Faultcamp.Compiled ]
+let fuzz_n = ref 40
 let out_path = ref "BENCH_faultcamp.json"
 
 let usage =
@@ -67,6 +68,8 @@ let spec =
     ("-jobs", Arg.String parse_jobs, "J1,J2,... worker counts to measure");
     ("-backends", Arg.String parse_backends,
      "B1,B2,... backends to measure (interp, compiled, auto)");
+    ("-fuzz-n", Arg.Set_int fuzz_n,
+     "N programs for the differential-fuzzing throughput section");
     ("-o", Arg.Set_string out_path, "PATH output JSON file");
   ]
 
@@ -208,14 +211,38 @@ let bench_workload name =
     runs;
   json
 
+(* Differential-fuzzing throughput: how many generated programs per
+   second the four-way oracle sustains (every compilation variant through
+   golden + event + cyclesim + fastsim). Divergences should be zero on a
+   healthy tree; a nonzero count here is a red flag long before the
+   corpus replay fails. *)
+let bench_fuzz () =
+  let stats = Fuzz.Driver.run ~n:!fuzz_n ~seed:!seed () in
+  Printf.printf
+    "fuzz n=%d seed=%d: %.3fs, %.1f programs/s, %d agreed, %d rejected, %d \
+     divergent\n"
+    !fuzz_n !seed stats.Fuzz.Driver.wall_seconds
+    (Fuzz.Driver.programs_per_second stats)
+    stats.Fuzz.Driver.agreed stats.Fuzz.Driver.rejected
+    (List.length stats.Fuzz.Driver.divergences);
+  Printf.sprintf
+    {|  "fuzz": { "programs": %d, "seed": %d,
+    "wall_seconds": %.6f, "programs_per_second": %.3f,
+    "agreed": %d, "rejected": %d, "divergent": %d },|}
+    !fuzz_n !seed stats.Fuzz.Driver.wall_seconds
+    (Fuzz.Driver.programs_per_second stats)
+    stats.Fuzz.Driver.agreed stats.Fuzz.Driver.rejected
+    (List.length stats.Fuzz.Driver.divergences)
+
 let () =
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
   let per_workload = List.map bench_workload !workloads in
+  let fuzz_section = bench_fuzz () in
   let json =
     Printf.sprintf
       {|{
   "benchmark": "faultcamp-campaign",
-  "schema_version": 4,
+  "schema_version": 5,
   "seed": %d,
   "faults_base": %d,
   "faults_floor": %d,
@@ -226,6 +253,7 @@ let () =
   "slice_cycles": %d,
   "max_retries": %d,
   "deterministic_across_jobs_and_backends": true,
+%s
   "workloads": [
 %s
   ]
@@ -235,7 +263,7 @@ let () =
       (!faults_arg = None)
       (faults ()) host_cores
       Faultcamp.default_deadline_seconds Faultcamp.default_slice_cycles
-      Faultcamp.default_max_retries
+      Faultcamp.default_max_retries fuzz_section
       (String.concat ",\n" per_workload)
   in
   let oc = open_out !out_path in

@@ -42,8 +42,10 @@ let handle_errors f =
   | Rtg.Invalid errs ->
       List.iter (Printf.eprintf "error: %s\n") errs;
       exit 1
-  | Lang.Parser.Parse_error { line; message } ->
-      Printf.eprintf "parse error at line %d: %s\n" line message;
+  | Lang.Parser.Parse_error _ as e ->
+      Printf.eprintf "%s\n"
+        (Option.value ~default:"parse error"
+           (Lang.Parser.error_to_string e));
       exit 1
   | Testinfra.Memfile.Format_error { line; message } ->
       Printf.eprintf "memory file error at line %d: %s\n" line message;
@@ -51,8 +53,10 @@ let handle_errors f =
   | Lang.Interp.Runaway message ->
       Printf.eprintf "error: %s\n" message;
       exit 1
-  | Lang.Lexer.Lex_error { line; message } ->
-      Printf.eprintf "lexical error at line %d: %s\n" line message;
+  | Lang.Lexer.Lex_error _ as e ->
+      Printf.eprintf "%s\n"
+        (Option.value ~default:"lexical error"
+           (Lang.Parser.error_to_string e));
       exit 1
   | Xmlkit.Xml_parser.Parse_error _ as e ->
       Printf.eprintf "%s\n"
@@ -631,6 +635,146 @@ let cmd_lint =
       const run $ paths_arg $ builtin_arg $ json_arg $ deep_arg $ fix_arg
       $ in_place_arg $ guard_limit_arg $ no_timing_arg)
 
+(* --- fuzz ---------------------------------------------------------------- *)
+
+let cmd_fuzz =
+  let n_arg =
+    Arg.(value & opt int 200 & info [ "n" ] ~docv:"N"
+           ~doc:"Number of random programs to generate and cross-check.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Campaign seed; program $(i,i) is deterministic in \
+                 (SEED, $(i,i)) so any divergence is replayable.")
+  in
+  let backends_arg =
+    Arg.(value & opt string "event,cyclesim,fastsim"
+         & info [ "backends" ] ~docv:"LIST"
+             ~doc:"Comma-separated backends to cross-check: event, \
+                   cyclesim, fastsim. The event-driven simulator is the \
+                   hardware reference and must be included; the golden \
+                   interpreter always runs.")
+  in
+  let max_shrink_arg =
+    Arg.(value & opt int 1500 & info [ "max-shrink" ] ~docv:"N"
+           ~doc:"Bound on shrink candidates evaluated per divergence.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"DIR"
+           ~doc:"Write each minimized divergent program to DIR as a \
+                 commented .alg reproducer (created if missing).")
+  in
+  let replay_arg =
+    Arg.(value & opt (some dir) None & info [ "replay" ] ~docv:"DIR"
+           ~doc:"Instead of generating, re-run the oracle over every \
+                 .alg file in DIR (the committed corpus); exits non-zero \
+                 unless all entries agree.")
+  in
+  let fuzz_max_cycles_arg =
+    Arg.(value & opt int 200_000 & info [ "max-cycles" ] ~docv:"N"
+           ~doc:"Per-backend clock-cycle bound for each program.")
+  in
+  let run n seed backends max_shrink out replay max_cycles =
+    handle_errors (fun () ->
+        if n < 1 then begin
+          Printf.eprintf "error: -n must be >= 1 (got %d)\n" n;
+          exit 1
+        end;
+        if max_shrink < 0 then begin
+          Printf.eprintf "error: --max-shrink must be >= 0 (got %d)\n"
+            max_shrink;
+          exit 1
+        end;
+        if max_cycles < 1 then begin
+          Printf.eprintf "error: --max-cycles must be >= 1 (got %d)\n"
+            max_cycles;
+          exit 1
+        end;
+        let backends =
+          let names = String.split_on_char ',' backends in
+          let parsed =
+            List.map
+              (fun name ->
+                match Fuzz.Oracle.backend_of_string (String.trim name) with
+                | Some b -> b
+                | None ->
+                    Printf.eprintf
+                      "error: unknown backend %S (expected event, cyclesim \
+                       or fastsim)\n"
+                      name;
+                    exit 1)
+              names
+          in
+          if not (List.mem Fuzz.Oracle.Event parsed) then begin
+            Printf.eprintf
+              "error: --backends must include event (the hardware \
+               reference)\n";
+            exit 1
+          end;
+          parsed
+        in
+        match replay with
+        | Some dir ->
+            let results =
+              Fuzz.Driver.replay ~backends ~max_cycles ~dir ()
+            in
+            if results = [] then begin
+              Printf.eprintf "error: no .alg files in %s\n" dir;
+              exit 1
+            end;
+            let bad = ref 0 in
+            List.iter
+              (fun (file, verdict) ->
+                match verdict with
+                | Fuzz.Oracle.Agree ->
+                    Printf.printf "agree    %s\n" file
+                | Fuzz.Oracle.Rejected reason ->
+                    incr bad;
+                    Printf.printf "rejected %s: %s\n" file reason
+                | Fuzz.Oracle.Diverged ds ->
+                    incr bad;
+                    Printf.printf "DIVERGED %s: %s\n" file
+                      (String.concat ", "
+                         (Fuzz.Oracle.classes (Fuzz.Oracle.Diverged ds))))
+              results;
+            Printf.printf "%d corpus entries, %d disagree\n"
+              (List.length results) !bad;
+            exit (if !bad = 0 then 0 else 1)
+        | None ->
+            let progress line = Printf.eprintf "%s\n%!" line in
+            let stats =
+              Fuzz.Driver.run ~n ~seed ~backends ~max_shrink ~max_cycles
+                ?out_dir:out ~progress ()
+            in
+            Printf.printf
+              "fuzz: %d programs (seed %d): %d agreed, %d rejected, %d \
+               divergent (%.1f programs/s)\n"
+              stats.Fuzz.Driver.requested seed stats.Fuzz.Driver.agreed
+              stats.Fuzz.Driver.rejected
+              (List.length stats.Fuzz.Driver.divergences)
+              (Fuzz.Driver.programs_per_second stats);
+            List.iter
+              (fun (d : Fuzz.Driver.divergence_report) ->
+                Printf.printf "  program %d: %s (%s), %d -> %d nodes%s\n"
+                  d.Fuzz.Driver.index d.Fuzz.Driver.d_class
+                  d.Fuzz.Driver.detail d.Fuzz.Driver.original_size
+                  d.Fuzz.Driver.shrunk_size
+                  (match d.Fuzz.Driver.file with
+                  | Some f -> Printf.sprintf " -> %s" f
+                  | None -> ""))
+              stats.Fuzz.Driver.divergences;
+            exit (if stats.Fuzz.Driver.divergences = [] then 0 else 1))
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential compiler fuzzing: random programs through the \
+             golden interpreter and every admissible backend, diffing \
+             memories, cycles, checks and out-of-range counters; \
+             divergences are shrunk to minimal .alg reproducers.")
+    Term.(
+      const run $ n_arg $ seed_arg $ backends_arg $ max_shrink_arg $ out_arg
+      $ replay_arg $ fuzz_max_cycles_arg)
+
 (* --- fig1 ---------------------------------------------------------------- *)
 
 let cmd_fig1 =
@@ -652,5 +796,5 @@ let () =
           [
             cmd_compile; cmd_simulate; cmd_verify; cmd_run; cmd_lint;
             cmd_dot; cmd_verilog; cmd_vhdl; cmd_systemc; cmd_metrics;
-            cmd_suite; cmd_fig1;
+            cmd_suite; cmd_fuzz; cmd_fig1;
           ]))

@@ -1,0 +1,226 @@
+open Lang
+
+type profile = {
+  max_stmts : int;
+  max_expr_depth : int;
+  max_partitions : int;
+  oob_bias : float;
+}
+
+let default_profile =
+  { max_stmts = 8; max_expr_depth = 3; max_partitions = 3; oob_bias = 0.15 }
+
+type ctx = {
+  rng : Random.State.t;
+  width : int;
+  mems : (string * int) list;
+  data_vars : string list;
+  counters : string list;
+  profile : profile;
+}
+
+let pick st xs = List.nth xs (Random.State.int st (List.length xs))
+let chance st p = Random.State.float st 1.0 < p
+
+(* Largest [2^k - 1] that still addresses only valid cells of an [n]-cell
+   memory — the "safe" address mask. For non-power-of-two sizes this
+   under-covers the memory, which is fine for a fuzzer. *)
+let pow2_mask_below n =
+  let rec go k = if 1 lsl (k + 1) <= n then go (k + 1) else (1 lsl k) - 1 in
+  go 0
+
+let interesting_ints ctx =
+  [
+    0;
+    1;
+    2;
+    3;
+    ctx.width;
+    (1 lsl (ctx.width - 1)) - 1;
+    1 lsl (ctx.width - 1);
+    (1 lsl ctx.width) - 1;
+  ]
+
+let binops =
+  [|
+    Ast.Add;
+    Ast.Sub;
+    Ast.Mul;
+    Ast.Div;
+    Ast.Rem;
+    Ast.Band;
+    Ast.Bor;
+    Ast.Bxor;
+    Ast.Shl;
+    Ast.Shra;
+    Ast.Shrl;
+  |]
+
+let cmpops = [ Ast.Eq; Ast.Ne; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ]
+
+let rec gen_expr ctx ~mem_ok depth =
+  let st = ctx.rng in
+  if depth <= 0 || chance st 0.3 then gen_leaf ctx ~mem_ok
+  else
+    match Random.State.int st 10 with
+    | 0 ->
+        Ast.Unop
+          ((if chance st 0.5 then Ast.Neg else Ast.Bnot),
+           gen_expr ctx ~mem_ok (depth - 1))
+    | _ ->
+        Ast.Binop
+          ( binops.(Random.State.int st (Array.length binops)),
+            gen_expr ctx ~mem_ok (depth - 1),
+            gen_expr ctx ~mem_ok (depth - 1) )
+
+and gen_leaf ctx ~mem_ok =
+  let st = ctx.rng in
+  match Random.State.int st 10 with
+  | 0 | 1 | 2 ->
+      if chance st 0.5 then Ast.Int (pick st (interesting_ints ctx))
+      else Ast.Int (Random.State.int st 64)
+  | 3 | 4 | 5 | 6 -> Ast.Var (pick st (ctx.data_vars @ ctx.counters))
+  | _ ->
+      if mem_ok && ctx.mems <> [] then
+        let name, size = pick st ctx.mems in
+        Ast.Mem_read (name, gen_addr ctx ~mem_ok:false size)
+      else Ast.Var (pick st ctx.data_vars)
+
+(* Addresses are usually masked in bounds; with probability [oob_bias]
+   the mask is loosened (or dropped entirely) so the open-decode
+   out-of-range counters get exercised too. *)
+and gen_addr ctx ~mem_ok size =
+  let st = ctx.rng in
+  let e = gen_expr ctx ~mem_ok (min 2 ctx.profile.max_expr_depth) in
+  if chance st ctx.profile.oob_bias then
+    if chance st 0.5 then Ast.Binop (Ast.Band, e, Ast.Int ((2 * size) - 1))
+    else e
+  else Ast.Binop (Ast.Band, e, Ast.Int (pow2_mask_below size))
+
+(* Conditions never read memories: [Check.check] rejects that. *)
+let rec gen_cond ctx depth =
+  let st = ctx.rng in
+  if depth <= 0 || chance st 0.6 then
+    Ast.Cmp
+      ( pick st cmpops,
+        gen_expr ctx ~mem_ok:false 2,
+        gen_expr ctx ~mem_ok:false 2 )
+  else
+    match Random.State.int st 3 with
+    | 0 -> Ast.Cand (gen_cond ctx (depth - 1), gen_cond ctx (depth - 1))
+    | 1 -> Ast.Cor (gen_cond ctx (depth - 1), gen_cond ctx (depth - 1))
+    | _ -> Ast.Cnot (gen_cond ctx (depth - 1))
+
+(* Loops draw their counter from a reserved pool the body generator never
+   assigns, and always follow the shape
+   [c = 0; while (c < trip) { body; c = c + 1; }] — so every generated
+   program terminates by construction. *)
+let rec gen_stmt ctx ~counters_free depth =
+  let st = ctx.rng in
+  let roll = Random.State.int st 12 in
+  if roll < 5 then
+    [
+      Ast.Assign
+        ( pick st ctx.data_vars,
+          gen_expr ctx ~mem_ok:true ctx.profile.max_expr_depth );
+    ]
+  else if roll < 8 && ctx.mems <> [] then
+    let name, size = pick st ctx.mems in
+    [
+      Ast.Mem_write
+        ( name,
+          gen_addr ctx ~mem_ok:true size,
+          gen_expr ctx ~mem_ok:true ctx.profile.max_expr_depth );
+    ]
+  else if roll < 10 && depth < 2 then
+    let then_n = 1 + Random.State.int st 2 in
+    let else_n = Random.State.int st 2 in
+    [
+      Ast.If
+        ( gen_cond ctx 2,
+          gen_stmts ctx ~counters_free then_n (depth + 1),
+          gen_stmts ctx ~counters_free else_n (depth + 1) );
+    ]
+  else if roll < 11 && depth < 2 && counters_free <> [] then begin
+    let c = List.hd counters_free in
+    let trip = 1 + Random.State.int st 5 in
+    let body_n = 1 + Random.State.int st 2 in
+    let body = gen_stmts ctx ~counters_free:(List.tl counters_free) body_n (depth + 1) in
+    [
+      Ast.Assign (c, Ast.Int 0);
+      Ast.While
+        ( Ast.Cmp (Ast.Lt, Ast.Var c, Ast.Int trip),
+          body @ [ Ast.Assign (c, Ast.Binop (Ast.Add, Ast.Var c, Ast.Int 1)) ]
+        );
+    ]
+  end
+  else [ Ast.Assert (gen_cond ctx 1) ]
+
+and gen_stmts ctx ~counters_free n depth =
+  List.concat (List.init n (fun _ -> gen_stmt ctx ~counters_free depth))
+
+let strip_partitions body =
+  List.filter (fun s -> s <> Ast.Partition) body
+
+let program ?(profile = default_profile) ~seed ~index () =
+  let st = Random.State.make [| 0x5eed; seed; index |] in
+  let width = pick st [ 2; 3; 4; 6; 8; 10; 12; 16; 18; 20; 24; 31; 32 ] in
+  let n_mems = 1 + Random.State.int st 2 in
+  let mems =
+    List.init n_mems (fun i ->
+        (Printf.sprintf "m%d" i, pick st [ 4; 5; 6; 8; 16 ]))
+  in
+  let mem_decls =
+    List.map
+      (fun (mem_name, mem_size) ->
+        let init_len = Random.State.int st (mem_size + 1) in
+        let mem_init =
+          List.init init_len (fun _ -> Random.State.int st 256)
+        in
+        { Ast.mem_name; mem_size; mem_init })
+      mems
+  in
+  let n_vars = 2 + Random.State.int st 3 in
+  let data_vars = List.init n_vars (Printf.sprintf "v%d") in
+  let var_decls =
+    List.map
+      (fun var_name ->
+        let var_init =
+          if chance st 0.5 then 0 else Random.State.int st 32
+        in
+        { Ast.var_name; var_init })
+      data_vars
+  in
+  let counters = [ "i0"; "i1" ] in
+  let counter_decls =
+    List.map (fun var_name -> { Ast.var_name; var_init = 0 }) counters
+  in
+  let ctx = { rng = st; width; mems; data_vars; counters; profile } in
+  let n_parts = 1 + Random.State.int st profile.max_partitions in
+  let part _ =
+    let n = 2 + Random.State.int st (max 1 (profile.max_stmts - 2)) in
+    gen_stmts ctx ~counters_free:counters n 0
+  in
+  let parts = List.init n_parts part in
+  let body =
+    match parts with
+    | [] -> []
+    | first :: rest ->
+        first @ List.concat_map (fun p -> Ast.Partition :: p) rest
+  in
+  let probes = if chance st 0.25 then [ List.hd data_vars ] else [] in
+  let prog =
+    {
+      Ast.prog_name = Printf.sprintf "fz_s%d_i%d" seed index;
+      prog_width = width;
+      mems = mem_decls;
+      vars = var_decls @ counter_decls;
+      probes;
+      body;
+    }
+  in
+  (* Partition-flow violations are a static property the compiler rejects
+     up front; fuzzing wants runnable programs, so fall back to a single
+     partition when the random split happens to violate the rule. *)
+  if Compiler.Compile.check_partition_flow prog = [] then prog
+  else { prog with Ast.body = strip_partitions prog.Ast.body }

@@ -1,0 +1,31 @@
+(** Seeded random program generator for differential fuzzing.
+
+    Programs are valid by construction: they pass {!Lang.Check.check}
+    (declared names, memory-free conditions, top-level partitions) and
+    {!Compiler.Compile.check_partition_flow} (falling back to a single
+    partition when the random split violates cross-partition scalar
+    flow), and they terminate — every [while] loop counts a reserved
+    counter variable from 0 to a bounded trip count, and the body
+    generator never assigns counters.
+
+    Generated programs deliberately lean on the corners where backends
+    have historically disagreed: division/remainder (including by zero),
+    variable shift amounts, narrow widths with wrap-around, multi-array
+    kernels, occasionally out-of-bounds addresses (exercising the
+    open-decode counters), nested control flow and multi-partition (RTG)
+    designs. *)
+
+type profile = {
+  max_stmts : int;  (** Statement budget per partition. *)
+  max_expr_depth : int;
+  max_partitions : int;
+  oob_bias : float;
+      (** Probability that an address expression may go out of bounds. *)
+}
+
+val default_profile : profile
+
+val program :
+  ?profile:profile -> seed:int -> index:int -> unit -> Lang.Ast.program
+(** Deterministic in [(seed, index)]: the same pair always yields the
+    same program, independent of any other generator call. *)

@@ -1,0 +1,136 @@
+open Lang
+
+let rec pp_expr buf e =
+  match e with
+  | Ast.Int v ->
+      if v < 0 then Printf.bprintf buf "(-%d)" (-v)
+      else Buffer.add_string buf (string_of_int v)
+  | Ast.Var v -> Buffer.add_string buf v
+  | Ast.Mem_read (m, a) ->
+      Buffer.add_string buf m;
+      Buffer.add_char buf '[';
+      pp_expr buf a;
+      Buffer.add_char buf ']'
+  | Ast.Binop (op, a, b) ->
+      Buffer.add_char buf '(';
+      pp_expr buf a;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (Ast.binop_to_string op);
+      Buffer.add_char buf ' ';
+      pp_expr buf b;
+      Buffer.add_char buf ')'
+  | Ast.Unop (op, a) ->
+      Buffer.add_char buf '(';
+      Buffer.add_string buf (Ast.unop_to_string op);
+      pp_expr buf a;
+      Buffer.add_char buf ')'
+
+let expr_to_string e =
+  let buf = Buffer.create 32 in
+  pp_expr buf e;
+  Buffer.contents buf
+
+let rec pp_cond buf c =
+  match c with
+  | Ast.Cmp (op, a, b) ->
+      Buffer.add_char buf '(';
+      pp_expr buf a;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (Ast.cmpop_to_string op);
+      Buffer.add_char buf ' ';
+      pp_expr buf b;
+      Buffer.add_char buf ')'
+  | Ast.Cand (a, b) ->
+      Buffer.add_char buf '(';
+      pp_cond buf a;
+      Buffer.add_string buf " && ";
+      pp_cond buf b;
+      Buffer.add_char buf ')'
+  | Ast.Cor (a, b) ->
+      Buffer.add_char buf '(';
+      pp_cond buf a;
+      Buffer.add_string buf " || ";
+      pp_cond buf b;
+      Buffer.add_char buf ')'
+  | Ast.Cnot c ->
+      Buffer.add_string buf "(!";
+      pp_cond buf c;
+      Buffer.add_char buf ')'
+
+let cond_to_string c =
+  let buf = Buffer.create 32 in
+  pp_cond buf c;
+  Buffer.contents buf
+
+(* The grammar's [if (c)] form supplies its own parentheses, and
+   [pp_cond] always emits an outer pair, so printing [if ] followed by
+   the condition yields exactly one set. *)
+let rec pp_stmt buf indent s =
+  let pad () = Buffer.add_string buf (String.make indent ' ') in
+  match s with
+  | Ast.Assign (v, e) ->
+      pad ();
+      Buffer.add_string buf v;
+      Buffer.add_string buf " = ";
+      pp_expr buf e;
+      Buffer.add_string buf ";\n"
+  | Ast.Mem_write (m, a, v) ->
+      pad ();
+      Buffer.add_string buf m;
+      Buffer.add_char buf '[';
+      pp_expr buf a;
+      Buffer.add_string buf "] = ";
+      pp_expr buf v;
+      Buffer.add_string buf ";\n"
+  | Ast.If (c, t, e) ->
+      pad ();
+      Buffer.add_string buf "if ";
+      pp_cond buf c;
+      Buffer.add_string buf " {\n";
+      List.iter (pp_stmt buf (indent + 2)) t;
+      pad ();
+      Buffer.add_char buf '}';
+      if e <> [] then begin
+        Buffer.add_string buf " else {\n";
+        List.iter (pp_stmt buf (indent + 2)) e;
+        pad ();
+        Buffer.add_char buf '}'
+      end;
+      Buffer.add_char buf '\n'
+  | Ast.While (c, body) ->
+      pad ();
+      Buffer.add_string buf "while ";
+      pp_cond buf c;
+      Buffer.add_string buf " {\n";
+      List.iter (pp_stmt buf (indent + 2)) body;
+      pad ();
+      Buffer.add_string buf "}\n"
+  | Ast.Assert c ->
+      pad ();
+      Buffer.add_string buf "assert ";
+      pp_cond buf c;
+      Buffer.add_string buf ";\n"
+  | Ast.Partition ->
+      pad ();
+      Buffer.add_string buf "partition;\n"
+
+let program (p : Ast.program) =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "program %s width %d;\n" p.Ast.prog_name p.Ast.prog_width;
+  List.iter
+    (fun (m : Ast.mem_decl) ->
+      if m.Ast.mem_init = [] then
+        Printf.bprintf buf "mem %s[%d];\n" m.Ast.mem_name m.Ast.mem_size
+      else
+        Printf.bprintf buf "mem %s[%d] = { %s };\n" m.Ast.mem_name
+          m.Ast.mem_size
+          (String.concat ", " (List.map string_of_int m.Ast.mem_init)))
+    p.Ast.mems;
+  List.iter
+    (fun (v : Ast.var_decl) ->
+      if v.Ast.var_init = 0 then Printf.bprintf buf "var %s;\n" v.Ast.var_name
+      else Printf.bprintf buf "var %s = %d;\n" v.Ast.var_name v.Ast.var_init)
+    p.Ast.vars;
+  List.iter (fun name -> Printf.bprintf buf "probe %s;\n" name) p.Ast.probes;
+  List.iter (pp_stmt buf 0) p.Ast.body;
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Source printer: AST back to [.alg] text the parser accepts.
+
+    Round-trip law: for any program [p] in the parser's image (i.e.
+    [p = Parser.parse_string s] for some [s]),
+    [Parser.parse_string (program p) = p] structurally. Negative integer
+    literals — which the parser can only produce in declarations — print
+    as [(-n)] inside expressions, which reparses to [Unop (Neg, Int n)]:
+    semantically identical under the width's wrap-around arithmetic, so
+    replayed corpus entries behave exactly like the original AST. *)
+
+val program : Lang.Ast.program -> string
+val expr_to_string : Lang.Ast.expr -> string
+val cond_to_string : Lang.Ast.cond -> string

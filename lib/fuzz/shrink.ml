@@ -1,0 +1,271 @@
+open Lang
+
+(* Size is the well-founded measure the shrinker descends on: AST nodes
+   plus declarations, initializer cells and nonzero variable
+   initializers. Every candidate below is strictly smaller, so a greedy
+   first-improvement descent terminates without any fuel bookkeeping
+   (fuel only bounds *rejected* candidate evaluations). *)
+
+let rec expr_size = function
+  | Ast.Int _ | Ast.Var _ -> 1
+  | Ast.Mem_read (_, a) -> 1 + expr_size a
+  | Ast.Binop (_, a, b) -> 1 + expr_size a + expr_size b
+  | Ast.Unop (_, a) -> 1 + expr_size a
+
+let rec cond_size = function
+  | Ast.Cmp (_, a, b) -> 1 + expr_size a + expr_size b
+  | Ast.Cand (a, b) | Ast.Cor (a, b) -> 1 + cond_size a + cond_size b
+  | Ast.Cnot c -> 1 + cond_size c
+
+let rec stmt_size = function
+  | Ast.Assign (_, e) -> 1 + expr_size e
+  | Ast.Mem_write (_, a, v) -> 1 + expr_size a + expr_size v
+  | Ast.If (c, t, e) -> 1 + cond_size c + stmts_size t + stmts_size e
+  | Ast.While (c, b) -> 1 + cond_size c + stmts_size b
+  | Ast.Assert c -> 1 + cond_size c
+  | Ast.Partition -> 1
+
+and stmts_size stmts = List.fold_left (fun a s -> a + stmt_size s) 0 stmts
+
+let size (p : Ast.program) =
+  stmts_size p.Ast.body
+  + List.fold_left
+      (fun a (m : Ast.mem_decl) -> a + 1 + List.length m.Ast.mem_init)
+      0 p.Ast.mems
+  + List.fold_left
+      (fun a (v : Ast.var_decl) -> a + if v.Ast.var_init = 0 then 1 else 2)
+      0 p.Ast.vars
+  + List.length p.Ast.probes
+
+let rec stmt_count stmts =
+  List.fold_left
+    (fun acc s ->
+      acc
+      + match s with
+        | Ast.If (_, t, e) -> 1 + stmt_count t + stmt_count e
+        | Ast.While (_, b) -> 1 + stmt_count b
+        | _ -> 1)
+    0 stmts
+
+(* --- candidate enumeration ----------------------------------------- *)
+
+(* Strictly smaller replacements for an expression: any operand, or the
+   operand of a memory read (same type, one node fewer). *)
+let rec expr_variants = function
+  | Ast.Int _ | Ast.Var _ -> []
+  | Ast.Mem_read (m, a) ->
+      a :: List.map (fun a' -> Ast.Mem_read (m, a')) (expr_variants a)
+  | Ast.Binop (op, a, b) ->
+      a :: b
+      :: (List.map (fun a' -> Ast.Binop (op, a', b)) (expr_variants a)
+         @ List.map (fun b' -> Ast.Binop (op, a, b')) (expr_variants b))
+  | Ast.Unop (op, a) ->
+      a :: List.map (fun a' -> Ast.Unop (op, a')) (expr_variants a)
+
+let rec cond_variants = function
+  | Ast.Cmp (op, a, b) ->
+      List.map (fun a' -> Ast.Cmp (op, a', b)) (expr_variants a)
+      @ List.map (fun b' -> Ast.Cmp (op, a, b')) (expr_variants b)
+  | Ast.Cand (a, b) ->
+      a :: b
+      :: (List.map (fun a' -> Ast.Cand (a', b)) (cond_variants a)
+         @ List.map (fun b' -> Ast.Cand (a, b')) (cond_variants b))
+  | Ast.Cor (a, b) ->
+      a :: b
+      :: (List.map (fun a' -> Ast.Cor (a', b)) (cond_variants a)
+         @ List.map (fun b' -> Ast.Cor (a, b')) (cond_variants b))
+  | Ast.Cnot c -> c :: List.map (fun c' -> Ast.Cnot c') (cond_variants c)
+
+(* Each variant of a statement is a *replacement list* so a compound
+   statement can collapse into its branch or body. *)
+let rec stmt_variants = function
+  | Ast.Assign (v, e) ->
+      List.map (fun e' -> [ Ast.Assign (v, e') ]) (expr_variants e)
+  | Ast.Mem_write (m, a, v) ->
+      List.map (fun a' -> [ Ast.Mem_write (m, a', v) ]) (expr_variants a)
+      @ List.map (fun v' -> [ Ast.Mem_write (m, a, v') ]) (expr_variants v)
+  | Ast.If (c, t, e) ->
+      [ t; e ]
+      @ List.map (fun c' -> [ Ast.If (c', t, e) ]) (cond_variants c)
+      @ List.map (fun t' -> [ Ast.If (c, t', e) ]) (stmts_variants t)
+      @ List.map (fun e' -> [ Ast.If (c, t, e') ]) (stmts_variants e)
+  | Ast.While (c, b) ->
+      [ b ]
+      @ List.map (fun c' -> [ Ast.While (c', b) ]) (cond_variants c)
+      @ List.map (fun b' -> [ Ast.While (c, b') ]) (stmts_variants b)
+  | Ast.Assert c -> List.map (fun c' -> [ Ast.Assert c' ]) (cond_variants c)
+  | Ast.Partition -> []
+
+(* All strictly smaller rewrites of a statement list: drop one
+   statement, or rewrite one statement in place. Dropping comes first so
+   whole-statement removals are tried before fine-grained ones. *)
+and stmts_variants stmts =
+  let n = List.length stmts in
+  let drops =
+    List.init n (fun i -> List.filteri (fun j _ -> j <> i) stmts)
+  in
+  let rewrites =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           List.map
+             (fun repl ->
+               List.concat
+                 (List.mapi (fun j s' -> if j = i then repl else [ s' ]) stmts))
+             (stmt_variants s))
+         stmts)
+  in
+  drops @ rewrites
+
+let mems_used stmts =
+  let acc = ref [] in
+  let rec expr = function
+    | Ast.Int _ | Ast.Var _ -> ()
+    | Ast.Mem_read (m, a) ->
+        acc := m :: !acc;
+        expr a
+    | Ast.Binop (_, a, b) ->
+        expr a;
+        expr b
+    | Ast.Unop (_, a) -> expr a
+  in
+  let rec cond = function
+    | Ast.Cmp (_, a, b) ->
+        expr a;
+        expr b
+    | Ast.Cand (a, b) | Ast.Cor (a, b) ->
+        cond a;
+        cond b
+    | Ast.Cnot c -> cond c
+  in
+  let rec stmt = function
+    | Ast.Assign (_, e) -> expr e
+    | Ast.Mem_write (m, a, v) ->
+        acc := m :: !acc;
+        expr a;
+        expr v
+    | Ast.If (c, t, e) ->
+        cond c;
+        List.iter stmt t;
+        List.iter stmt e
+    | Ast.While (c, b) ->
+        cond c;
+        List.iter stmt b
+    | Ast.Assert c -> cond c
+    | Ast.Partition -> ()
+  in
+  List.iter stmt stmts;
+  List.sort_uniq compare !acc
+
+let program_variants (p : Ast.program) =
+  let body_variants =
+    List.map (fun b -> { p with Ast.body = b }) (stmts_variants p.Ast.body)
+  in
+  let used_mems = mems_used p.Ast.body in
+  let mem_removals =
+    List.filter_map
+      (fun (m : Ast.mem_decl) ->
+        if List.mem m.Ast.mem_name used_mems then None
+        else
+          Some
+            {
+              p with
+              Ast.mems =
+                List.filter
+                  (fun (m' : Ast.mem_decl) ->
+                    m'.Ast.mem_name <> m.Ast.mem_name)
+                  p.Ast.mems;
+            })
+      p.Ast.mems
+  in
+  let used_vars =
+    List.sort_uniq compare
+      (Ast.vars_read p.Ast.body @ Ast.vars_written p.Ast.body @ p.Ast.probes)
+  in
+  let var_removals =
+    List.filter_map
+      (fun (v : Ast.var_decl) ->
+        if List.mem v.Ast.var_name used_vars then None
+        else
+          Some
+            {
+              p with
+              Ast.vars =
+                List.filter
+                  (fun (v' : Ast.var_decl) ->
+                    v'.Ast.var_name <> v.Ast.var_name)
+                  p.Ast.vars;
+            })
+      p.Ast.vars
+  in
+  let init_shrinks =
+    List.concat_map
+      (fun (m : Ast.mem_decl) ->
+        if m.Ast.mem_init = [] then []
+        else
+          let set init =
+            {
+              p with
+              Ast.mems =
+                List.map
+                  (fun (m' : Ast.mem_decl) ->
+                    if m'.Ast.mem_name = m.Ast.mem_name then
+                      { m' with Ast.mem_init = init }
+                    else m')
+                  p.Ast.mems;
+            }
+          in
+          let half =
+            List.filteri
+              (fun i _ -> i < List.length m.Ast.mem_init / 2)
+              m.Ast.mem_init
+          in
+          if half = [] then [ set [] ] else [ set []; set half ])
+      p.Ast.mems
+  in
+  let var_init_zeros =
+    List.filter_map
+      (fun (v : Ast.var_decl) ->
+        if v.Ast.var_init = 0 then None
+        else
+          Some
+            {
+              p with
+              Ast.vars =
+                List.map
+                  (fun (v' : Ast.var_decl) ->
+                    if v'.Ast.var_name = v.Ast.var_name then
+                      { v' with Ast.var_init = 0 }
+                    else v')
+                  p.Ast.vars;
+            })
+      p.Ast.vars
+  in
+  let probe_drops =
+    if p.Ast.probes = [] then [] else [ { p with Ast.probes = [] } ]
+  in
+  body_variants @ mem_removals @ var_removals @ init_shrinks @ var_init_zeros
+  @ probe_drops
+
+type stats = { accepted : int; tried : int }
+
+let minimize ~keep ?(max_tries = 2000) p0 =
+  let tried = ref 0 and accepted = ref 0 in
+  let rec improve p =
+    let rec first = function
+      | [] -> p
+      | c :: rest ->
+          if !tried >= max_tries then p
+          else begin
+            incr tried;
+            if keep c then begin
+              incr accepted;
+              improve c
+            end
+            else first rest
+          end
+    in
+    first (program_variants p)
+  in
+  let out = improve p0 in
+  (out, { accepted = !accepted; tried = !tried })

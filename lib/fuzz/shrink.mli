@@ -1,0 +1,33 @@
+(** Delta-debugging shrinker for divergent programs.
+
+    Greedy first-improvement descent over a candidate enumeration in
+    which {e every} candidate is strictly smaller under {!size} —
+    statement drops first (whole-statement removals win the most), then
+    compound-statement collapses (an [if] into a branch, a [while] into
+    its body), expression/condition sub-term replacements, and finally
+    declaration cleanup (unused memories/variables, initializer
+    truncation, probes). Because the measure strictly decreases on every
+    accepted candidate, minimization always terminates; [max_tries]
+    additionally bounds the total number of [keep] evaluations. *)
+
+val size : Lang.Ast.program -> int
+(** The well-founded measure: AST nodes + declarations + initializer
+    cells (+1 per nonzero variable initializer). *)
+
+val stmt_count : Lang.Ast.stmt list -> int
+(** Statements, counting nested bodies. *)
+
+val program_variants : Lang.Ast.program -> Lang.Ast.program list
+(** All one-step shrink candidates, coarse to fine; each is strictly
+    smaller than the input under {!size}. *)
+
+type stats = { accepted : int; tried : int }
+
+val minimize :
+  keep:(Lang.Ast.program -> bool) ->
+  ?max_tries:int ->
+  Lang.Ast.program ->
+  Lang.Ast.program * stats
+(** Smallest reachable program for which [keep] stays true ([keep] is
+    assumed true of the input; it is re-checked on every candidate, so a
+    shrink step can never change the verdict being preserved). *)

@@ -12,7 +12,7 @@ type token =
   | And_op | Or_op | Not_op
   | Eof
 
-exception Lex_error of { line : int; message : string }
+exception Lex_error of { line : int; col : int; message : string }
 
 let keyword = function
   | "program" -> Some Kw_program
@@ -35,18 +35,23 @@ let is_digit c = c >= '0' && c <= '9'
 let tokenize src =
   let n = String.length src in
   let line = ref 1 in
+  (* Index of the current line's first character, so a token's column is
+     its start index minus [bol], 1-based. *)
+  let bol = ref 0 in
   let toks = ref [] in
-  let push t = toks := (t, !line) :: !toks in
+  let i = ref 0 in
+  let col_at pos = pos - !bol + 1 in
+  let push t = toks := (t, !line, col_at !i) :: !toks in
   let error fmt =
     Format.kasprintf
-      (fun message -> raise (Lex_error { line = !line; message }))
+      (fun message ->
+        raise (Lex_error { line = !line; col = col_at !i; message }))
       fmt
   in
-  let i = ref 0 in
   let peek k = if !i + k < n then src.[!i + k] else '\000' in
   while !i < n do
     let c = src.[!i] in
-    if c = '\n' then begin incr line; incr i end
+    if c = '\n' then begin incr line; incr i; bol := !i end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '/' && peek 1 = '/' then begin
       while !i < n && src.[!i] <> '\n' do incr i done
@@ -55,7 +60,7 @@ let tokenize src =
       i := !i + 2;
       let closed = ref false in
       while (not !closed) && !i < n do
-        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '\n' then begin incr line; bol := !i + 1 end;
         if src.[!i] = '*' && peek 1 = '/' then begin
           closed := true;
           i := !i + 2
@@ -66,6 +71,7 @@ let tokenize src =
     end
     else if is_digit c then begin
       let start = !i in
+      let push t = toks := (t, !line, col_at start) :: !toks in
       if c = '0' && (peek 1 = 'x' || peek 1 = 'X') then begin
         i := !i + 2;
         while !i < n && (is_digit src.[!i]
@@ -82,6 +88,7 @@ let tokenize src =
     end
     else if is_ident_start c then begin
       let start = !i in
+      let push t = toks := (t, !line, col_at start) :: !toks in
       while !i < n && is_ident_char src.[!i] do incr i done;
       let text = String.sub src start (!i - start) in
       push (match keyword text with Some kw -> kw | None -> Ident text)

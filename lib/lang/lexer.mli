@@ -14,10 +14,11 @@ type token =
   | And_op | Or_op | Not_op
   | Eof
 
-exception Lex_error of { line : int; message : string }
+exception Lex_error of { line : int; col : int; message : string }
 
-val tokenize : string -> (token * int) list
-(** Token stream with 1-based line numbers, ending with [Eof]. Comments
+val tokenize : string -> (token * int * int) list
+(** Token stream as [(token, line, column)] with 1-based positions (the
+    column is the token's first character), ending with [Eof]. Comments
     ([// ...] to end of line and [/* ... */]) are skipped. *)
 
 val token_to_string : token -> string

@@ -1,17 +1,26 @@
 open Lexer
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { line : int; col : int; message : string }
 
-type state = { mutable toks : (token * int) list }
+type state = { mutable toks : (token * int * int) list }
 
-let current st = match st.toks with (t, _) :: _ -> t | [] -> Eof
-let line st = match st.toks with (_, l) :: _ -> l | [] -> 0
+let current st = match st.toks with (t, _, _) :: _ -> t | [] -> Eof
+let line st = match st.toks with (_, l, _) :: _ -> l | [] -> 0
+let col st = match st.toks with (_, _, c) :: _ -> c | [] -> 0
 let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
 
 let error st fmt =
   Format.kasprintf
-    (fun message -> raise (Parse_error { line = line st; message }))
+    (fun message ->
+      raise (Parse_error { line = line st; col = col st; message }))
     fmt
+
+let error_to_string = function
+  | Parse_error { line; col; message } ->
+      Some (Printf.sprintf "parse error at line %d, column %d: %s" line col message)
+  | Lex_error { line; col; message } ->
+      Some (Printf.sprintf "lexical error at line %d, column %d: %s" line col message)
+  | _ -> None
 
 let expect st tok =
   if current st = tok then advance st

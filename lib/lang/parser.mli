@@ -23,7 +23,13 @@ atom    ::= number | ident | ident "[" expr "]" | "(" expr ")"
     v}
     The [for] form desugars to [init; while (cond) { body; update }]. *)
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { line : int; col : int; message : string }
+(** Positions are 1-based; [col] is the column of the offending token's
+    first character. *)
+
+val error_to_string : exn -> string option
+(** Human-readable rendering of {!Parse_error} and {!Lexer.Lex_error}
+    (with line and column); [None] on other exceptions. *)
 
 val parse_string : string -> Ast.program
 (** Raises {!Parse_error} or {!Lexer.Lex_error}. *)

@@ -1,0 +1,299 @@
+(* The differential fuzzing stack: printer round-trips, generator
+   validity and determinism, shrinker laws (every candidate strictly
+   smaller, minimization preserves the keep-predicate and terminates),
+   oracle policy on the known expected disagreements, and the committed
+   regression corpus replaying clean. *)
+
+open Lang
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- printer ------------------------------------------------------- *)
+
+let seed_index =
+  QCheck2.Gen.(pair (int_range 0 50) (int_range 0 200))
+
+let gen_of (seed, index) = Fuzz.Gen.program ~seed ~index ()
+
+let prop_pp_round_trip =
+  QCheck2.Test.make ~name:"pp round-trips through the parser" ~count:100
+    seed_index (fun si ->
+      let p = gen_of si in
+      Parser.parse_string (Fuzz.Pp.program p) = p)
+
+let test_pp_negative_literals () =
+  (* Negative literals only occur in declarations in the parser's image;
+     in expressions the printer emits [(-n)], which reparses to the
+     semantically identical [Unop (Neg, Int n)]. *)
+  let p =
+    {
+      Ast.prog_name = "neg";
+      prog_width = 8;
+      mems = [ { Ast.mem_name = "m"; mem_size = 4; mem_init = [ -3; 7 ] } ];
+      vars = [ { Ast.var_name = "v"; var_init = -1 } ];
+      probes = [];
+      body = [ Ast.Assign ("v", Ast.Int (-5)) ];
+    }
+  in
+  let q = Parser.parse_string (Fuzz.Pp.program p) in
+  check_bool "declaration negatives survive" true
+    (q.Ast.mems = p.Ast.mems && q.Ast.vars = p.Ast.vars);
+  check_bool "expression negative becomes Neg" true
+    (q.Ast.body = [ Ast.Assign ("v", Ast.Unop (Ast.Neg, Ast.Int 5)) ]);
+  (* and the second trip is a fixpoint *)
+  check_string "printer is idempotent after one trip"
+    (Fuzz.Pp.program q)
+    (Fuzz.Pp.program (Parser.parse_string (Fuzz.Pp.program q)))
+
+(* --- generator ----------------------------------------------------- *)
+
+let test_generator_deterministic () =
+  let a = Fuzz.Gen.program ~seed:3 ~index:7 () in
+  let b = Fuzz.Gen.program ~seed:3 ~index:7 () in
+  check_bool "same (seed, index) yields the same program" true (a = b);
+  let c = Fuzz.Gen.program ~seed:3 ~index:8 () in
+  check_bool "different index yields a different program" true (a <> c)
+
+let prop_generator_valid =
+  QCheck2.Test.make ~name:"generated programs are check- and flow-clean"
+    ~count:100 seed_index (fun si ->
+      let p = gen_of si in
+      Check.check p = [] && Compiler.Compile.check_partition_flow p = [])
+
+let prop_generator_terminates =
+  QCheck2.Test.make ~name:"generated programs terminate in the interpreter"
+    ~count:60 seed_index (fun si ->
+      let p = gen_of si in
+      let lookup, _ = Testinfra.Verify.memory_env p ~inits:[] in
+      match Interp.run ~max_statements:400_000 ~memories:lookup p with
+      | _ -> true
+      | exception Interp.Runaway _ -> false)
+
+(* --- shrinker ------------------------------------------------------ *)
+
+let prop_variants_strictly_smaller =
+  QCheck2.Test.make ~name:"every shrink candidate is strictly smaller"
+    ~count:60 seed_index (fun si ->
+      let p = gen_of si in
+      let n = Fuzz.Shrink.size p in
+      List.for_all
+        (fun v -> Fuzz.Shrink.size v < n)
+        (Fuzz.Shrink.program_variants p))
+
+let prop_minimize_preserves_keep =
+  (* Synthetic keep-predicate (real divergences disappear once fixed):
+     the program still writes some memory. Minimization must preserve
+     it, never grow the program, and stay within its fuel. *)
+  QCheck2.Test.make ~name:"minimize preserves keep and terminates" ~count:40
+    seed_index (fun si ->
+      let p = gen_of si in
+      let keep q =
+        let rec writes = function
+          | Ast.Mem_write _ -> true
+          | Ast.If (_, t, e) -> List.exists writes t || List.exists writes e
+          | Ast.While (_, b) -> List.exists writes b
+          | _ -> false
+        in
+        List.exists writes q.Ast.body
+      in
+      QCheck2.assume (keep p);
+      let q, stats = Fuzz.Shrink.minimize ~keep ~max_tries:600 p in
+      keep q
+      && Fuzz.Shrink.size q <= Fuzz.Shrink.size p
+      && stats.Fuzz.Shrink.tried <= 600)
+
+let test_shrink_below_statement_count () =
+  (* A hand-built 'divergent' program: the divergence stand-in is one
+     specific memory write; everything else is noise the shrinker must
+     strip. *)
+  let noise i =
+    [
+      Ast.Assign ("v0", Ast.Binop (Ast.Add, Ast.Var "v0", Ast.Int i));
+      Ast.If
+        ( Ast.Cmp (Ast.Lt, Ast.Var "v0", Ast.Int (i * 3)),
+          [ Ast.Assign ("v1", Ast.Binop (Ast.Mul, Ast.Var "v1", Ast.Int 2)) ],
+          [ Ast.Assign ("v1", Ast.Int i) ] );
+    ]
+  in
+  let p =
+    {
+      Ast.prog_name = "shrinkme";
+      prog_width = 12;
+      mems = [ { Ast.mem_name = "m0"; mem_size = 8; mem_init = [ 1; 2; 3 ] } ];
+      vars =
+        [
+          { Ast.var_name = "v0"; var_init = 5 };
+          { Ast.var_name = "v1"; var_init = 9 };
+        ];
+      probes = [ "v0" ];
+      body =
+        List.concat_map noise [ 1; 2; 3; 4; 5 ]
+        @ [ Ast.Mem_write ("m0", Ast.Int 2, Ast.Var "v1") ]
+        @ List.concat_map noise [ 6; 7 ];
+    }
+  in
+  let keep q =
+    let rec writes = function
+      | Ast.Mem_write ("m0", _, _) -> true
+      | Ast.If (_, t, e) -> List.exists writes t || List.exists writes e
+      | Ast.While (_, b) -> List.exists writes b
+      | _ -> false
+    in
+    List.exists writes q.Ast.body
+  in
+  check_int "noise-heavy program starts large" 29
+    (Fuzz.Shrink.stmt_count p.Ast.body);
+  let q, stats = Fuzz.Shrink.minimize ~keep ~max_tries:2000 p in
+  check_bool "keep survives minimization" true (keep q);
+  check_bool "shrinks below 3 statements" true
+    (Fuzz.Shrink.stmt_count q.Ast.body < 3);
+  check_bool "made progress" true (stats.Fuzz.Shrink.accepted > 0)
+
+(* --- oracle -------------------------------------------------------- *)
+
+let test_oracle_agrees_on_known_good () =
+  let src =
+    "program t width 16; mem m[4] = { 3, 1, 4, 1 }; var a; var b = 5;\n\
+     a = m[1] + b; m[2] = a * 3; if (a > b) { b = a - b; } assert (b < 100);"
+  in
+  match Fuzz.Oracle.run (Parser.parse_string src) with
+  | Fuzz.Oracle.Agree -> ()
+  | Fuzz.Oracle.Rejected r -> Alcotest.fail ("rejected: " ^ r)
+  | Fuzz.Oracle.Diverged ds ->
+      Alcotest.fail
+        ("diverged: "
+        ^ String.concat ", "
+            (Fuzz.Oracle.classes (Fuzz.Oracle.Diverged ds)))
+
+let test_oracle_oob_truncation_not_a_divergence () =
+  (* The classic expected disagreement: an out-of-bounds load reads 0 in
+     the golden model but hardware truncates the address to the SRAM's
+     physical width, so the loaded value — and the assert downstream —
+     differ. With golden_oob > 0 the oracle must not call this a
+     divergence. *)
+  let src =
+    "program t width 12; mem m0[4] = { 69 }; var v0 = 8; var v1;\n\
+     v1 = m0[v0]; assert (33 <= v1);"
+  in
+  match Fuzz.Oracle.run (Parser.parse_string src) with
+  | Fuzz.Oracle.Agree -> ()
+  | Fuzz.Oracle.Rejected r -> Alcotest.fail ("rejected: " ^ r)
+  | Fuzz.Oracle.Diverged ds ->
+      Alcotest.fail
+        ("diverged: "
+        ^ String.concat ", "
+            (Fuzz.Oracle.classes (Fuzz.Oracle.Diverged ds)))
+
+let test_oracle_rejects_invalid () =
+  let p =
+    Parser.parse_string "program t width 8; var a; while (a < 4) { a = a + 1; }"
+  in
+  let bad = { p with Ast.body = [ Ast.Assign ("nope", Ast.Int 1) ] } in
+  (match Fuzz.Oracle.run bad with
+  | Fuzz.Oracle.Rejected _ -> ()
+  | _ -> Alcotest.fail "undeclared variable must be Rejected");
+  (* an infinite loop must bounce off the golden interpreter's bound,
+     not hang the hardware backends *)
+  let spin =
+    {
+      p with
+      Ast.body =
+        [
+          Ast.While
+            (Ast.Cmp (Ast.Ge, Ast.Var "a", Ast.Int 0), [ Ast.Assign ("a", Ast.Int 1) ]);
+        ];
+    }
+  in
+  match Fuzz.Oracle.run spin with
+  | Fuzz.Oracle.Rejected r ->
+      check_bool "runaway is reported as such" true
+        (String.length r >= 6 && String.sub r 0 6 = "golden")
+  | _ -> Alcotest.fail "non-terminating program must be Rejected"
+
+let prop_oracle_agrees_on_generated =
+  (* The live tentpole invariant: generated programs produce zero
+     unexplained divergences across all four backends. A small sample
+     here; the @fuzz-smoke alias and `fpgatest fuzz` cover campaigns. *)
+  QCheck2.Test.make ~name:"oracle agrees on generated programs" ~count:15
+    QCheck2.Gen.(int_range 0 80)
+    (fun index ->
+      match Fuzz.Oracle.run (Fuzz.Gen.program ~seed:11 ~index ()) with
+      | Fuzz.Oracle.Agree | Fuzz.Oracle.Rejected _ -> true
+      | Fuzz.Oracle.Diverged _ -> false)
+
+(* --- corpus replay ------------------------------------------------- *)
+
+(* The committed corpus of minimized, once-divergent reproducers: every
+   entry must parse and come back Agree at any -j. The directory is a
+   source_tree dep, so it sits one level up from the test's cwd under
+   `dune runtest`; a plain `dune exec test/test_main.exe` runs from the
+   workspace root instead, where it is simply `corpus`. *)
+let corpus_dir =
+  if Sys.file_exists "../corpus" && Sys.is_directory "../corpus" then
+    "../corpus"
+  else "corpus"
+
+let test_corpus_replays_clean () =
+  if Sys.file_exists corpus_dir && Sys.is_directory corpus_dir then begin
+    let results = Fuzz.Driver.replay ~dir:corpus_dir () in
+    check_bool "corpus is not empty" true (results <> []);
+    List.iter
+      (fun (file, verdict) ->
+        match verdict with
+        | Fuzz.Oracle.Agree -> ()
+        | Fuzz.Oracle.Rejected r ->
+            Alcotest.fail (Printf.sprintf "%s rejected: %s" file r)
+        | Fuzz.Oracle.Diverged ds ->
+            Alcotest.fail
+              (Printf.sprintf "%s diverged: %s" file
+                 (String.concat ", "
+                    (Fuzz.Oracle.classes (Fuzz.Oracle.Diverged ds)))))
+      results
+  end
+  else Alcotest.fail "corpus directory missing"
+
+(* Corpus base names double as the reproducer's program name. The first
+   slug implementation kept the '-' of pair names like
+   "golden-vs-event", producing reproducers that failed to re-parse —
+   a written corpus entry must always survive the round trip. *)
+let test_corpus_names_reparse () =
+  let class_ = "fold/golden-vs-event/checks" in
+  check_string "slug lexes as an identifier"
+    "fold_golden_vs_event_checks" (Fuzz.Driver.slug class_);
+  let name = Fuzz.Driver.slug class_ ^ "_s1_i42" in
+  let p =
+    {
+      Ast.prog_name = name;
+      prog_width = 8;
+      mems = [];
+      vars = [ { Ast.var_name = "v"; var_init = 0 } ];
+      probes = [];
+      body = [ Ast.Assign ("v", Ast.Int 1) ];
+    }
+  in
+  let q = Parser.parse_string (Fuzz.Pp.program p) in
+  check_string "reproducer name survives the round trip" name q.Ast.prog_name
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_pp_round_trip;
+    ("negative literals round-trip semantically", `Quick, test_pp_negative_literals);
+    ("generator is deterministic", `Quick, test_generator_deterministic);
+    QCheck_alcotest.to_alcotest prop_generator_valid;
+    QCheck_alcotest.to_alcotest prop_generator_terminates;
+    QCheck_alcotest.to_alcotest prop_variants_strictly_smaller;
+    QCheck_alcotest.to_alcotest prop_minimize_preserves_keep;
+    ( "hand-built divergence shrinks below 3 statements",
+      `Quick,
+      test_shrink_below_statement_count );
+    ("oracle agrees on a known-good program", `Quick, test_oracle_agrees_on_known_good);
+    ( "golden OOB truncation is not a divergence",
+      `Quick,
+      test_oracle_oob_truncation_not_a_divergence );
+    ("oracle rejects invalid and runaway programs", `Quick, test_oracle_rejects_invalid);
+    QCheck_alcotest.to_alcotest prop_oracle_agrees_on_generated;
+    ("corpus names reparse", `Quick, test_corpus_names_reparse);
+    ("committed corpus replays clean", `Quick, test_corpus_replays_clean);
+  ]

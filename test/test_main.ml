@@ -21,6 +21,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("faults", Test_faults.suite);
       ("fastsim", Test_fastsim.suite);
+      ("fuzz", Test_fuzz.suite);
       ("lint", Test_lint.suite);
       ("absint", Test_absint.suite);
       ("resilience", Test_resilience.suite);
