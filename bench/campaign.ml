@@ -234,15 +234,68 @@ let bench_fuzz () =
     stats.Fuzz.Driver.agreed stats.Fuzz.Driver.rejected
     (List.length stats.Fuzz.Driver.divergences)
 
+(* Translation-validation throughput: certify every builtin kernel with
+   all three transforming passes enabled and aggregate validator wall
+   time per pass. The verdict counts double as a health check — a
+   refuted or inconclusive certificate on a builtin kernel is a
+   regression the tv test suite will also catch, but the benchmark
+   surfaces it in the perf record too. *)
+let bench_tv () =
+  let totals = Hashtbl.create 3 in
+  let bump pass seconds ok =
+    let t, n, bad =
+      Option.value ~default:(0., 0, 0) (Hashtbl.find_opt totals pass)
+    in
+    Hashtbl.replace totals pass
+      (t +. seconds, n + 1, bad + if ok then 0 else 1)
+  in
+  List.iter
+    (fun (case : Testinfra.Suite.case) ->
+      let compiled =
+        Compiler.Compile.compile
+          ~options:
+            {
+              Compiler.Compile.share_operators = true;
+              optimize = true;
+              fold_branches = true;
+            }
+          (Lang.Parser.parse_string case.Testinfra.Suite.source)
+      in
+      List.iter
+        (fun (r : Tv.report) ->
+          bump (Tv.pass_name r.Tv.pass) r.Tv.seconds
+            (r.Tv.cert = Tv.Validated))
+        (Compiler.Compile.certify compiled))
+    (Testinfra.Suite.builtin_cases ());
+  let rows =
+    List.filter_map
+      (fun pass ->
+        match Hashtbl.find_opt totals pass with
+        | None -> None
+        | Some (t, n, bad) ->
+            Printf.printf
+              "tv pass=%s: %d certificate(s), %.4fs total, %d not validated\n"
+              pass n t bad;
+            Some
+              (Printf.sprintf
+                 {|    { "pass": "%s", "certificates": %d,
+      "wall_seconds": %.6f, "not_validated": %d }|}
+                 pass n t bad))
+      [ "optimize"; "share"; "fold" ]
+  in
+  Printf.sprintf "  \"tv\": [\n%s\n  ],"
+    (String.concat ",\n" rows)
+
 let () =
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
   let per_workload = List.map bench_workload !workloads in
   let fuzz_section = bench_fuzz () in
+  let tv_section = bench_tv () in
   let json =
     Printf.sprintf
       {|{
   "benchmark": "faultcamp-campaign",
-  "schema_version": 5,
+  "schema_version": 6,
   "seed": %d,
   "faults_base": %d,
   "faults_floor": %d,
@@ -254,6 +307,7 @@ let () =
   "max_retries": %d,
   "deterministic_across_jobs_and_backends": true,
 %s
+%s
   "workloads": [
 %s
   ]
@@ -263,7 +317,7 @@ let () =
       (!faults_arg = None)
       (faults ()) host_cores
       Faultcamp.default_deadline_seconds Faultcamp.default_slice_cycles
-      Faultcamp.default_max_retries fuzz_section
+      Faultcamp.default_max_retries fuzz_section tv_section
       (String.concat ",\n" per_workload)
   in
   let oc = open_out !out_path in

@@ -775,6 +775,170 @@ let cmd_fuzz =
       const run $ n_arg $ seed_arg $ backends_arg $ max_shrink_arg $ out_arg
       $ replay_arg $ fuzz_max_cycles_arg)
 
+(* --- tv ------------------------------------------------------------------ *)
+
+let cmd_tv =
+  let paths_arg =
+    Arg.(value & pos_all file [] & info [] ~docv:"PROGRAM"
+           ~doc:"Source program files to certify.")
+  in
+  let builtin_arg =
+    Arg.(value & flag & info [ "builtin" ]
+           ~doc:"Certify every built-in workload kernel instead of files.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit certificates as JSON.")
+  in
+  let no_timing_arg =
+    Arg.(value & flag & info [ "no-timing" ]
+           ~doc:"Report validator wall times as 0 (deterministic output, \
+                 e.g. for golden snapshots).")
+  in
+  let max_pairs_arg =
+    Arg.(value & opt int Tv.default_bounds.Tv.max_pairs
+         & info [ "max-pairs" ] ~docv:"N"
+             ~doc:"Simulation-relation position pairs the source search \
+                   may explore before reporting inconclusive.")
+  in
+  let max_nodes_arg =
+    Arg.(value & opt int Tv.default_bounds.Tv.max_nodes
+         & info [ "max-nodes" ] ~docv:"N"
+             ~doc:"Symbolic cone nodes extracted per state before the \
+                   hardware check reports inconclusive.")
+  in
+  let samples_arg =
+    Arg.(value & opt int Tv.default_bounds.Tv.samples
+         & info [ "samples" ] ~docv:"N"
+             ~doc:"Concrete samples per semantic comparison.")
+  in
+  (* Each transforming pass must be certified at least once in isolation
+     and once composed with the others — "plain" has nothing to
+     validate, so it is not a variant here. *)
+  let tv_variants =
+    [
+      ("optimized", options_of false true false);
+      ("shared", options_of true false false);
+      ("folded", options_of false false true);
+      ("all", options_of true true true);
+    ]
+  in
+  let run paths builtin json no_timing max_pairs max_nodes samples =
+    handle_errors (fun () ->
+        if paths = [] && not builtin then
+          failwith "nothing to certify: pass program files or --builtin";
+        if max_pairs < 1 then
+          failwith
+            (Printf.sprintf "--max-pairs must be >= 1 (got %d)" max_pairs);
+        if max_nodes < 1 then
+          failwith
+            (Printf.sprintf "--max-nodes must be >= 1 (got %d)" max_nodes);
+        if samples < 1 then
+          failwith
+            (Printf.sprintf "--samples must be >= 1 (got %d)" samples);
+        let bounds = { Tv.max_pairs; max_nodes; samples } in
+        let sources =
+          List.map
+            (fun p ->
+              (Filename.remove_extension (Filename.basename p),
+               parse_program p))
+            paths
+          @ (if not builtin then []
+             else
+               List.map
+                 (fun (c : Testinfra.Suite.case) ->
+                   ( c.Testinfra.Suite.case_name,
+                     Lang.Parser.parse_string c.Testinfra.Suite.source ))
+                 (Testinfra.Suite.builtin_cases ()))
+        in
+        let reports =
+          List.concat_map
+            (fun (name, prog) ->
+              List.concat_map
+                (fun (vname, options) ->
+                  let compiled = Compiler.Compile.compile ~options prog in
+                  let label = Printf.sprintf "%s/%s" name vname in
+                  List.map
+                    (fun r -> (label, r))
+                    (Compiler.Compile.certify ~bounds compiled))
+                tv_variants)
+            sources
+        in
+        let reports =
+          if no_timing then
+            List.map
+              (fun (l, (r : Tv.report)) -> (l, { r with Tv.seconds = 0. }))
+              reports
+          else reports
+        in
+        let verdict (r : Tv.report) =
+          match r.Tv.cert with
+          | Tv.Validated -> "validated"
+          | Tv.Refuted _ -> "refuted"
+          | Tv.Inconclusive _ -> "inconclusive"
+        in
+        let detail (r : Tv.report) =
+          match r.Tv.cert with
+          | Tv.Validated -> None
+          | Tv.Refuted { witness } -> Some witness
+          | Tv.Inconclusive { bound } -> Some bound
+        in
+        if json then begin
+          print_string "[\n";
+          print_string
+            (String.concat ",\n"
+               (List.map
+                  (fun (label, (r : Tv.report)) ->
+                    Printf.sprintf
+                      "  { \"label\": %S, \"configuration\": %S, \"pass\": \
+                       %S, \"verdict\": %S%s, \"seconds\": %.6f }"
+                      label r.Tv.partition
+                      (Tv.pass_name r.Tv.pass)
+                      (verdict r)
+                      (match detail r with
+                      | None -> ""
+                      | Some d -> Printf.sprintf ", \"detail\": %S" d)
+                      r.Tv.seconds)
+                  reports));
+          print_string "\n]\n"
+        end
+        else begin
+          List.iter
+            (fun (label, (r : Tv.report)) ->
+              Printf.printf "%-12s %s / configuration %s / pass %s (%.4fs)%s\n"
+                (verdict r) label r.Tv.partition
+                (Tv.pass_name r.Tv.pass)
+                r.Tv.seconds
+                (match detail r with None -> "" | Some d -> ": " ^ d))
+            reports;
+          let count pred =
+            List.length (List.filter (fun (_, r) -> pred r) reports)
+          in
+          Printf.printf
+            "%d certificate(s): %d validated, %d refuted, %d inconclusive\n"
+            (List.length reports)
+            (count (fun r -> r.Tv.cert = Tv.Validated))
+            (count (fun r ->
+                 match r.Tv.cert with Tv.Refuted _ -> true | _ -> false))
+            (count (fun r ->
+                 match r.Tv.cert with Tv.Inconclusive _ -> true | _ -> false))
+        end;
+        exit
+          (if List.for_all (fun (_, r) -> r.Tv.cert = Tv.Validated) reports
+           then 0
+           else 1))
+  in
+  Cmd.v
+    (Cmd.info "tv"
+       ~doc:"Translation validation: compile each program under every \
+             transforming-pass variant and certify each enabled pass \
+             equivalent to its input (simulation relation at source \
+             level, lockstep or stuttering FSMD product at hardware \
+             level). Exits non-zero unless every certificate is \
+             validated.")
+    Term.(
+      const run $ paths_arg $ builtin_arg $ json_arg $ no_timing_arg
+      $ max_pairs_arg $ max_nodes_arg $ samples_arg)
+
 (* --- fig1 ---------------------------------------------------------------- *)
 
 let cmd_fig1 =
@@ -796,5 +960,5 @@ let () =
           [
             cmd_compile; cmd_simulate; cmd_verify; cmd_run; cmd_lint;
             cmd_dot; cmd_verilog; cmd_vhdl; cmd_systemc; cmd_metrics;
-            cmd_suite; cmd_fuzz; cmd_fig1;
+            cmd_suite; cmd_fuzz; cmd_tv; cmd_fig1;
           ]))

@@ -75,17 +75,41 @@ module Dom = struct
       }
 
   (* Interval widening: a bound still moving after the join budget jumps
-     straight to the domain bound. Known bits and taint only descend /
-     grow within finite lattices, so the plain join suffices there. *)
-  let widen ~prev ~next =
+     outward — to the next threshold in [thresholds] (sorted ascending)
+     when one exists, else straight to the domain bound. Thresholds are
+     harvested from the design's literal constants and memory sizes, so
+     a loop counter climbing toward [i < 9] lands on 9 instead of the
+     domain maximum. Known bits and taint only descend / grow within
+     finite lattices, so the plain join suffices there. *)
+  let widen ?(thresholds = []) ~prev ~next () =
     let j = join prev next in
-    let lo = if j.lo < prev.lo then 0 else j.lo in
-    let hi = if j.hi > prev.hi then umax prev.width else j.hi in
+    let m = umax prev.width in
+    let lo =
+      if j.lo < prev.lo then
+        List.fold_left
+          (fun acc t -> if t <= j.lo && t > acc then t else acc)
+          0 thresholds
+      else j.lo
+    in
+    let hi =
+      if j.hi > prev.hi then
+        List.fold_left
+          (fun acc t -> if t >= j.hi && t < acc then t else acc)
+          m thresholds
+      else j.hi
+    in
     norm { j with lo; hi }
 
   let equal a b =
     a.width = b.width && a.lo = b.lo && a.hi = b.hi && a.kmask = b.kmask
     && a.kval = b.kval && a.taint = b.taint
+
+  (* [meet_interval d lo hi] restricts [d] to the unsigned interval
+     [lo, hi]; [None] when the intersection is empty (the constraint is
+     unsatisfiable for any value of [d]). *)
+  let meet_interval d lo hi =
+    let lo = max d.lo lo and hi = min d.hi hi in
+    if lo > hi then None else Some (norm { d with lo; hi })
 
   type tri = Yes | No | Maybe
 
@@ -257,7 +281,37 @@ module Dom = struct
                 (if a.lo >= b.hi then Some true
                  else if a.hi < b.lo then Some false
                  else None)
-          | "lts" | "les" | "gts" | "ges" -> top ~width:1
+          | "lts" | "les" | "gts" | "ges" ->
+              (* Signed comparisons sharpen when both operands' sign bits
+                 are statically known: within one sign class the two's-
+                 complement order coincides with the unsigned order, and
+                 across classes the negative operand is the smaller one. *)
+              let half = if w = 1 then 1 else 1 lsl (w - 1) in
+              let nonneg d = d.hi < half and neg d = d.lo >= half in
+              let lt3 =
+                (* three-valued a < b (signed), when decidable *)
+                if (nonneg a && nonneg b) || (neg a && neg b) then
+                  if a.hi < b.lo then Some true
+                  else if a.lo >= b.hi then Some false
+                  else None
+                else if neg a && nonneg b then Some true
+                else if nonneg a && neg b then Some false
+                else None
+              and le3 =
+                if (nonneg a && nonneg b) || (neg a && neg b) then
+                  if a.hi <= b.lo then Some true
+                  else if a.lo > b.hi then Some false
+                  else None
+                else if neg a && nonneg b then Some true
+                else if nonneg a && neg b then Some false
+                else None
+              in
+              of_bool3
+                (match kind with
+                | "lts" -> lt3
+                | "les" -> le3
+                | "gts" -> Option.map not le3
+                | _ -> Option.map not lt3)
           | "minu" -> iv (min a.lo b.lo) (min a.hi b.hi)
           | "maxu" -> iv (max a.lo b.lo) (max a.hi b.hi)
           | "mins" | "maxs" -> join a b (* the result is one of the two *)
@@ -448,6 +502,10 @@ type prep = {
   eval_ops : Dp.operator list; (* combinational for evaluation (doc order) *)
   eval_ids : (string, unit) Hashtbl.t;
   seq_ops : Dp.operator list; (* reg + counter, doc order *)
+  mem_contents : (string, int array) Hashtbl.t;
+      (* op id -> initial words (zero-padded to size), for memory ports
+         proved read-only within this design whose initial contents the
+         caller declared via [analyze ?memories]. *)
 }
 
 (* The evaluation notion of "combinational" is the cycle simulator's:
@@ -458,7 +516,7 @@ let eval_comb (op : Dp.operator) =
   | "reg" | "counter" | "check" | "stop" | "probe" -> false
   | _ -> true
 
-let build_prep dp fsm =
+let build_prep ?(memories = []) dp fsm =
   let spec = Hashtbl.create 32 in
   List.iter
     (fun (op : Dp.operator) ->
@@ -486,7 +544,54 @@ let build_prep dp fsm =
       (fun (op : Dp.operator) -> op.Dp.kind = "reg" || op.Dp.kind = "counter")
       dp.Dp.operators
   in
-  { p_dp = dp; p_fsm = fsm; spec; driver; eval_ops; eval_ids; seq_ops }
+  (* Per-cell abstract memory: a memory port's reads can use the declared
+     initial contents only when nothing in this design can overwrite
+     them — the port is a rom, or an sram whose write enable is tied to
+     a literal constant zero (the generator wires never-written memories
+     that way). Any other sram on the same backing memory disqualifies
+     it too. The caller is responsible for only declaring [memories]
+     whose contents no other configuration (or host) mutates. *)
+  let mem_contents = Hashtbl.create 4 in
+  let we_tied_zero (op : Dp.operator) =
+    match Hashtbl.find_opt driver (op.Dp.id ^ ".we") with
+    | Some src when not (String.length src >= 4 && String.sub src 0 4 = "ctl.")
+      -> (
+        let ep = Dp.endpoint_of_string src in
+        match Dp.find_operator dp ep.Dp.inst with
+        | Some d ->
+            d.Dp.kind = "const"
+            && Opspec.param_int d.Dp.params "value" ~default:(-1) = 0
+        | None -> false)
+    | Some _ | None -> false
+  in
+  let mem_ports =
+    List.filter
+      (fun (op : Dp.operator) -> op.Dp.kind = "sram" || op.Dp.kind = "rom")
+      dp.Dp.operators
+  in
+  let never_written name =
+    List.for_all
+      (fun (op : Dp.operator) ->
+        Opspec.param_string op.Dp.params "memory" ~default:"?" <> name
+        || op.Dp.kind = "rom" || we_tied_zero op)
+      mem_ports
+  in
+  List.iter
+    (fun (op : Dp.operator) ->
+      let name = Opspec.param_string op.Dp.params "memory" ~default:"?" in
+      let size = Opspec.param_int op.Dp.params "size" ~default:0 in
+      match List.assoc_opt name memories with
+      | Some init when size > 0 && never_written name ->
+          let m = umax op.Dp.width in
+          let words =
+            Array.init size (fun i ->
+                if i < List.length init then List.nth init i land m else 0)
+          in
+          Hashtbl.replace mem_contents op.Dp.id words
+      | Some _ | None -> ())
+    mem_ports;
+  { p_dp = dp; p_fsm = fsm; spec; driver; eval_ops; eval_ids; seq_ops;
+    mem_contents }
 
 let out_port (op : Dp.operator) =
   match op.Dp.kind with "sram" | "rom" -> "dout" | _ -> "y"
@@ -662,9 +767,35 @@ let settle prep cells =
                   Dom.with_taint
                     (Dom.union_taint v.Dom.taint sel.Dom.taint)
                     v)
-          | "sram" | "rom" ->
-              (* Memory contents are not tracked; a read yields top. *)
-              Dom.top ~width:(out_width prep op)
+          | "sram" | "rom" -> (
+              (* Reads from a memory proved read-only (with declared
+                 initial contents) join the cells the abstract address
+                 can reach; out-of-range addresses read as 0, matching
+                 the open-decode convention. Other memories yield top. *)
+              match Hashtbl.find_opt prep.mem_contents op.Dp.id with
+              | None -> Dom.top ~width:(out_width prep op)
+              | Some contents ->
+                  let w = out_width prep op in
+                  let addr = input_dom prep cells op "addr" in
+                  let size = Array.length contents in
+                  if addr.Dom.hi - addr.Dom.lo > 1024 then Dom.top ~width:w
+                  else begin
+                    let acc = ref None in
+                    for a = addr.Dom.lo to addr.Dom.hi do
+                      if Dom.contains addr a then begin
+                        let v = if a < size then contents.(a) else 0 in
+                        let d = Dom.const ~width:w v in
+                        acc :=
+                          Some
+                            (match !acc with
+                            | None -> d
+                            | Some x -> Dom.join x d)
+                      end
+                    done;
+                    match !acc with
+                    | None -> Dom.top ~width:w
+                    | Some v -> Dom.with_taint addr.Dom.taint v
+                  end)
           | kind ->
               Dom.binary kind
                 (input_dom prep cells op "a")
@@ -721,22 +852,6 @@ let status_env prep cells name =
       | Some d -> d
       | None -> failwith ("absint: no value for status " ^ name))
   | None -> failwith ("absint: design has no status " ^ name)
-
-(* Feasible successors of a state under the settled abstract statuses:
-   transitions are tried in order, so exploration stops at the first
-   guard that definitely holds; when no guard definitely holds the
-   machine may stay put. *)
-let successors prep (st : Fsm.state) cells =
-  let env = status_env prep cells in
-  let rec go acc = function
-    | [] -> List.rev (st.Fsm.sname :: acc)
-    | (tr : Fsm.transition) :: rest -> (
-        match guard3 tr.Fsm.guard env with
-        | Dom.Yes -> List.rev (tr.Fsm.target :: acc)
-        | Dom.Maybe -> go (tr.Fsm.target :: acc) rest
-        | Dom.No -> go acc rest)
-  in
-  List.sort_uniq compare (go [] st.Fsm.transitions)
 
 (* Guards actually examined in a state (everything up to and including
    the first definitely-true one) — the observation set for AI003. *)
@@ -807,10 +922,301 @@ let init_store prep =
 
 let store_join = List.map2 (fun (k, a) (_, b) -> (k, Dom.join a b))
 
-let store_widen ~prev ~next =
-  List.map2 (fun (k, a) (_, b) -> (k, Dom.widen ~prev:a ~next:b)) prev next
+let store_widen ?thresholds ~prev ~next () =
+  List.map2
+    (fun (k, a) (_, b) -> (k, Dom.widen ?thresholds ~prev:a ~next:b ()))
+    prev next
 
 let store_equal a b = List.for_all2 (fun (_, x) (_, y) -> Dom.equal x y) a b
+
+(* --- per-edge guard refinement ------------------------------------- *)
+
+(* Taking a transition asserts facts about the current state's status
+   values: the taken guard holds and every earlier guard examined on the
+   way failed. Those facts refine the store flowing along that edge —
+   the relational step that lets a loop counter's exit test bound an
+   address computed from it (the sort/fir AI001 imprecision). The
+   refinement is conservative:
+
+   - guard literals are decomposed under polarity (conjunctions when the
+     guard must hold, disjunctions when it must fail; anything else is
+     skipped);
+   - each literal's allowed interval is pushed backward from the status
+     endpoint through resolved muxes, [pass], 1-bit and/or/not gates and
+     one comparison operator whose other operand's settled interval
+     bounds the refinement;
+   - only registers *not* written in the state are refined (their next
+     value is exactly the constrained current value); counters and
+     written registers are left alone;
+   - an empty meet anywhere proves the edge infeasible and drops it
+     (settled cells over-approximate the concrete values, so an empty
+     intersection is a genuine contradiction). *)
+
+exception Infeasible_edge
+
+let rec refine_endpoint prep cells resolved depth src (lo, hi) acc =
+  if depth > 64 then acc
+  else
+    match Hashtbl.find_opt cells src with
+    | None -> acc
+    | Some (d : Dom.t) ->
+        if lo > d.Dom.hi || hi < d.Dom.lo then raise Infeasible_edge;
+        if String.length src >= 4 && String.sub src 0 4 = "ctl." then acc
+        else
+          let ep = Dp.endpoint_of_string src in
+          let op =
+            match Dp.find_operator prep.p_dp ep.Dp.inst with
+            | Some op -> op
+            | None -> failwith ("absint: no operator " ^ ep.Dp.inst)
+          in
+          let follow port interval acc =
+            match Hashtbl.find_opt prep.driver (op.Dp.id ^ "." ^ port) with
+            | None -> acc
+            | Some src' ->
+                refine_endpoint prep cells resolved (depth + 1) src' interval
+                  acc
+          in
+          let input port =
+            match Hashtbl.find_opt prep.driver (op.Dp.id ^ "." ^ port) with
+            | None -> None
+            | Some src' -> Hashtbl.find_opt cells src'
+          in
+          let m w = umax w in
+          match op.Dp.kind with
+          | "reg" | "counter" when ep.Dp.port = "q" ->
+              (op.Dp.id, lo, hi) :: acc
+          | "pass" -> follow "a" (lo, hi) acc
+          | "mux" -> (
+              match Hashtbl.find_opt resolved op.Dp.id with
+              | Some i -> follow (Printf.sprintf "in%d" i) (lo, hi) acc
+              | None -> acc)
+          | "and" when op.Dp.width = 1 && lo >= 1 ->
+              follow "a" (1, 1) (follow "b" (1, 1) acc)
+          | "or" when op.Dp.width = 1 && hi = 0 ->
+              follow "a" (0, 0) (follow "b" (0, 0) acc)
+          | "not" when op.Dp.width = 1 && (hi = 0 || lo >= 1) ->
+              follow "a" ((if hi = 0 then 1 else 0), if hi = 0 then 1 else 0)
+                acc
+          | ("eq" | "ne" | "ltu" | "leu" | "gtu" | "geu" | "lts" | "les"
+            | "gts" | "ges") as kind
+            when lo >= 1 || hi = 0 -> (
+              let truth = lo >= 1 in
+              match (input "a", input "b") with
+              | Some da, Some db ->
+                  let w = da.Dom.width in
+                  (* Normalize to an unsigned relation [a R b]: signed
+                     comparisons refine only when both settled operands
+                     are provably non-negative, where the orders agree. *)
+                  let half = if w = 1 then 1 else 1 lsl (w - 1) in
+                  let signed =
+                    List.mem kind [ "lts"; "les"; "gts"; "ges" ]
+                  in
+                  if
+                    signed
+                    && not (da.Dom.hi < half && db.Dom.hi < half)
+                  then acc
+                  else
+                    let rel =
+                      match (kind, truth) with
+                      | ("eq" | "ne"), _ -> `Eq (truth = (kind = "eq"))
+                      | (("ltu" | "lts"), true) | (("geu" | "ges"), false) ->
+                          `Lt
+                      | (("leu" | "les"), true) | (("gtu" | "gts"), false) ->
+                          `Le
+                      | (("gtu" | "gts"), true) | (("leu" | "les"), false) ->
+                          `Gt
+                      | (("geu" | "ges"), true) | (("ltu" | "lts"), false) ->
+                          `Ge
+                      | _ -> `Eq true (* unreachable *)
+                    in
+                    (* Allowed interval for one operand given the settled
+                       interval of the other, under [a R b]. *)
+                    let bound_a other =
+                      match rel with
+                      | `Eq true -> Some (other.Dom.lo, other.Dom.hi)
+                      | `Eq false ->
+                          (* only a point can be excluded usefully *)
+                          (match Dom.is_const other with
+                          | Some 0 -> Some (1, m w)
+                          | Some v when v = m w -> Some (0, m w - 1)
+                          | _ -> None)
+                      | `Lt ->
+                          if other.Dom.hi = 0 then raise Infeasible_edge
+                          else Some (0, other.Dom.hi - 1)
+                      | `Le -> Some (0, other.Dom.hi)
+                      | `Gt ->
+                          if other.Dom.lo = m w then raise Infeasible_edge
+                          else Some (other.Dom.lo + 1, m w)
+                      | `Ge -> Some (other.Dom.lo, m w)
+                    and bound_b other =
+                      match rel with
+                      | `Eq true -> Some (other.Dom.lo, other.Dom.hi)
+                      | `Eq false ->
+                          (match Dom.is_const other with
+                          | Some 0 -> Some (1, m w)
+                          | Some v when v = m w -> Some (0, m w - 1)
+                          | _ -> None)
+                      | `Lt ->
+                          (* a < b: b > a >= a.lo *)
+                          if other.Dom.lo = m w then raise Infeasible_edge
+                          else Some (other.Dom.lo + 1, m w)
+                      | `Le -> Some (other.Dom.lo, m w)
+                      | `Gt ->
+                          if other.Dom.hi = 0 then raise Infeasible_edge
+                          else Some (0, other.Dom.hi - 1)
+                      | `Ge -> Some (0, other.Dom.hi)
+                    in
+                    let acc =
+                      match bound_a db with
+                      | Some iv -> follow "a" iv acc
+                      | None -> acc
+                    in
+                    (match bound_b da with
+                    | Some iv -> follow "b" iv acc
+                    | None -> acc)
+              | _ -> acc)
+          | _ -> acc
+
+(* Allowed unsigned interval for a status value under one guard literal,
+   [None] when the literal carries no interval information. Raises
+   {!Infeasible_edge} when the literal is unsatisfiable outright. *)
+let literal_interval ~width (op : Guard.cmp) value ~polarity =
+  let m = umax width in
+  let iv lo hi = if lo > hi then raise Infeasible_edge else Some (lo, hi) in
+  match (op, polarity) with
+  | Guard.Ceq, true | Guard.Cne, false ->
+      if value < 0 || value > m then raise Infeasible_edge
+      else iv value value
+  | Guard.Ceq, false | Guard.Cne, true ->
+      if value = 0 then iv 1 m
+      else if value = m then iv 0 (m - 1)
+      else if value < 0 || value > m then None (* always satisfied *)
+      else None
+  | Guard.Clt, true -> if value <= 0 then raise Infeasible_edge else iv 0 (min m (value - 1))
+  | Guard.Clt, false -> if value > m then raise Infeasible_edge else iv (max 0 value) m
+  | Guard.Cle, true -> if value < 0 then raise Infeasible_edge else iv 0 (min m value)
+  | Guard.Cle, false -> if value >= m then raise Infeasible_edge else iv (max 0 (value + 1)) m
+  | Guard.Cgt, true -> if value >= m then raise Infeasible_edge else iv (max 0 (value + 1)) m
+  | Guard.Cgt, false -> if value < 0 then raise Infeasible_edge else iv 0 (min m value)
+  | Guard.Cge, true -> if value > m then raise Infeasible_edge else iv (max 0 value) m
+  | Guard.Cge, false -> if value <= 0 then raise Infeasible_edge else iv 0 (min m (value - 1))
+
+(* Guard literals under a fixed polarity: conjunctions decompose when the
+   guard must hold, disjunctions when it must fail. *)
+let rec guard_literals polarity g acc =
+  match g with
+  | Guard.True -> acc
+  | Guard.Test { signal; op; value } -> (signal, op, value, polarity) :: acc
+  | Guard.Not g -> guard_literals (not polarity) g acc
+  | Guard.And (a, b) when polarity ->
+      guard_literals polarity a (guard_literals polarity b acc)
+  | Guard.Or (a, b) when not polarity ->
+      guard_literals polarity a (guard_literals polarity b acc)
+  | Guard.And _ | Guard.Or _ -> acc
+
+(* Register constraints implied by asserting [g = polarity] in a state. *)
+let guard_constraints prep (st : Fsm.state) cells resolved polarity g acc =
+  ignore st;
+  List.fold_left
+    (fun acc (signal, op, value, pol) ->
+      match
+        List.find_opt
+          (fun (s : Dp.status) -> s.Dp.st_name = signal)
+          prep.p_dp.Dp.statuses
+      with
+      | None -> acc
+      | Some s -> (
+          let src = Dp.endpoint_to_string s.Dp.st_source in
+          let width =
+            match Hashtbl.find_opt cells src with
+            | Some (d : Dom.t) -> d.Dom.width
+            | None -> 1
+          in
+          match literal_interval ~width op value ~polarity:pol with
+          | None -> acc
+          | Some iv -> refine_endpoint prep cells resolved 0 src iv acc))
+    acc
+    (guard_literals polarity g [])
+
+(* Feasible successors of a state under the settled abstract statuses,
+   with their per-edge refined next-stores. Transitions are tried in
+   order, so exploration stops at the first guard that definitely holds;
+   when no guard definitely holds the machine may stay put. Edges whose
+   constraints are contradictory are dropped, and several edges to the
+   same target join their refined stores. *)
+let successors_refined prep (st : Fsm.state) cells resolved next =
+  let env = status_env prep cells in
+  let edge falses taken target =
+    match
+      (try
+         let cs =
+           List.fold_left
+             (fun acc g -> guard_constraints prep st cells resolved false g acc)
+             (match taken with
+             | None -> []
+             | Some g -> guard_constraints prep st cells resolved true g [])
+             falses
+         in
+         Some cs
+       with Infeasible_edge -> None)
+    with
+    | None -> None
+    | Some constraints -> (
+        try
+          let refined =
+            List.map
+              (fun (id, q) ->
+                let op = Option.get (Dp.find_operator prep.p_dp id) in
+                let written =
+                  op.Dp.kind <> "reg"
+                  || Dom.truth (input_dom prep cells op "en") <> Dom.No
+                in
+                if written then (id, q)
+                else
+                  let q' =
+                    List.fold_left
+                      (fun q (rid, lo, hi) ->
+                        if rid <> id then q
+                        else
+                          match Dom.meet_interval q lo hi with
+                          | Some q' -> q'
+                          | None -> raise Infeasible_edge)
+                      q constraints
+                  in
+                  (id, q'))
+              next
+          in
+          Some (target, refined)
+        with Infeasible_edge -> None)
+  in
+  let rec go falses acc = function
+    | [] -> List.rev_append acc (Option.to_list (edge falses None st.Fsm.sname))
+    | (tr : Fsm.transition) :: rest -> (
+        match guard3 tr.Fsm.guard env with
+        | Dom.Yes ->
+            List.rev_append acc
+              (Option.to_list (edge falses (Some tr.Fsm.guard) tr.Fsm.target))
+        | Dom.Maybe ->
+            let acc =
+              match edge falses (Some tr.Fsm.guard) tr.Fsm.target with
+              | Some e -> e :: acc
+              | None -> acc
+            in
+            go (tr.Fsm.guard :: falses) acc rest
+        | Dom.No -> go (tr.Fsm.guard :: falses) acc rest)
+  in
+  let edges = go [] [] st.Fsm.transitions in
+  (* Join refined stores per target, preserving first-seen order. *)
+  let order = ref [] and by_target = Hashtbl.create 4 in
+  List.iter
+    (fun (target, store) ->
+      match Hashtbl.find_opt by_target target with
+      | None ->
+          Hashtbl.replace by_target target store;
+          order := target :: !order
+      | Some prev -> Hashtbl.replace by_target target (store_join prev store))
+    edges;
+  List.rev_map (fun t -> (t, Hashtbl.find by_target t)) !order
 
 (* ------------------------------------------------------------------ *)
 (* Structural mux-broken cycles (the DP013 warning class)              *)
@@ -981,6 +1387,92 @@ let dout_consumed prep id =
          s.Dp.st_source.Dp.inst = id && s.Dp.st_source.Dp.port = "dout")
        prep.p_dp.Dp.statuses
 
+(* Per-state value liveness: the operators whose output can reach an
+   effect the state actually performs — an enabled register or counter
+   update, a memory write, an armed check or stop, a probe, or a guard
+   the controller examines. The closure walks drivers backward from
+   those roots; a mux resolved by the state's control settings keeps
+   only its selected input alive, a memory read keeps its address alive
+   only when its data out is itself alive, and registers are a
+   sequential boundary (their stored value is the previous state's
+   business). AI005 consults this set: with threshold widening the
+   intervals in a loop's exit-test state are informative enough to
+   "overflow" on the default-routed address of a read nothing consumes
+   there, and such dead-cone facts are noise. *)
+let live_ops prep (st : Fsm.state) cells resolved =
+  let live = Hashtbl.create 32 in
+  let rec trace_sink key =
+    match Hashtbl.find_opt prep.driver key with
+    | None -> ()
+    | Some src -> trace_source src
+  and trace_source src =
+    if not (String.length src >= 4 && String.sub src 0 4 = "ctl.") then
+      let ep = Dp.endpoint_of_string src in
+      match Dp.find_operator prep.p_dp ep.Dp.inst with
+      | None -> ()
+      | Some op ->
+          if not (Hashtbl.mem live op.Dp.id) then begin
+            Hashtbl.replace live op.Dp.id ();
+            match op.Dp.kind with
+            | "reg" | "counter" -> ()
+            | "sram" | "rom" -> trace_sink (op.Dp.id ^ ".addr")
+            | "mux" -> (
+                trace_sink (op.Dp.id ^ ".sel");
+                match Hashtbl.find_opt resolved op.Dp.id with
+                | Some i -> trace_sink (Printf.sprintf "%s.in%d" op.Dp.id i)
+                | None ->
+                    for i = 0 to mux_inputs op - 1 do
+                      trace_sink (Printf.sprintf "%s.in%d" op.Dp.id i)
+                    done)
+            | _ ->
+                let s = Hashtbl.find prep.spec op.Dp.id in
+                List.iter
+                  (fun (p : Opspec.port) ->
+                    if p.Opspec.direction = Opspec.In then
+                      trace_sink (op.Dp.id ^ "." ^ p.Opspec.port_name))
+                  s.Opspec.ports
+          end
+  in
+  List.iter
+    (fun (op : Dp.operator) ->
+      let sink port = trace_sink (op.Dp.id ^ "." ^ port) in
+      let armed port = Dom.truth (input_dom prep cells op port) <> Dom.No in
+      match op.Dp.kind with
+      | "reg" ->
+          sink "en";
+          if armed "en" then sink "d"
+      | "counter" ->
+          sink "en";
+          sink "load";
+          if armed "load" then sink "d"
+      | "sram" ->
+          sink "we";
+          if armed "we" then begin
+            sink "addr";
+            sink "din"
+          end
+      | "check" ->
+          sink "en";
+          if armed "en" then sink "a"
+      | "stop" -> sink "en"
+      | "probe" -> sink "a"
+      | _ -> ())
+    prep.p_dp.Dp.operators;
+  List.iter
+    (fun g ->
+      List.iter
+        (fun signal ->
+          match
+            List.find_opt
+              (fun (s : Dp.status) -> s.Dp.st_name = signal)
+              prep.p_dp.Dp.statuses
+          with
+          | Some s -> trace_source (Dp.endpoint_to_string s.Dp.st_source)
+          | None -> ())
+        (Guard.signals g))
+    (examined_guards prep st cells);
+  live
+
 type facts = {
   (* op id -> first witness, upgraded partial->definite *)
   oob_write : (string, [ `Partial | `Definite ] * string * int * int) Hashtbl.t;
@@ -990,8 +1482,9 @@ type facts = {
   uninit : (string, string * string) Hashtbl.t; (* reg -> state, observable *)
 }
 
-let collect_facts prep facts (st : Fsm.state) cells =
+let collect_facts prep facts (st : Fsm.state) cells resolved =
   let sname = st.Fsm.sname in
+  let live = live_ops prep st cells resolved in
   List.iter
     (fun (op : Dp.operator) ->
       let id = op.Dp.id in
@@ -1053,6 +1546,7 @@ let collect_facts prep facts (st : Fsm.state) cells =
             op.Dp.width < a.Dom.width
             && a.Dom.hi > umax op.Dp.width
             && informed
+            && Hashtbl.mem live id
             && not (Hashtbl.mem facts.trunc id)
           then Hashtbl.replace facts.trunc id (sname, a.Dom.lo, a.Dom.hi)
       | _ -> ())
@@ -1191,7 +1685,48 @@ let fact_diags prep facts =
 
 let max_visits = 1_000_000
 
-let analyze ?(widen_after = 8) dp fsm =
+(* Widening thresholds harvested from the design itself: the literal
+   constants (and their neighbours, since loop exits compare with < or
+   <=) plus the memory sizes. A bound still moving at the widening
+   budget lands on the nearest threshold instead of the domain bound —
+   which is exactly where counters bounded by [i < N] stabilize. *)
+let widening_thresholds dp =
+  let base =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (op : Dp.operator) ->
+           match op.Dp.kind with
+           | "const" ->
+               let v = Opspec.param_int op.Dp.params "value" ~default:0 in
+               let v = v land umax op.Dp.width in
+               List.filter (fun t -> t >= 0) [ v - 1; v; v + 1 ]
+           | "sram" | "rom" ->
+               let s = Opspec.param_int op.Dp.params "size" ~default:0 in
+               if s > 0 then [ s - 1; s ] else []
+           | _ -> [])
+         dp.Dp.operators)
+  in
+  (* Array indexing derives bounds multiplicatively (base = row * W for
+     a row counter bounded by a constant), so a moving bound's true
+     resting place is often a product of two harvested constants.
+     Include the pairwise products (capped to keep the list small) so
+     the widening jump lands there instead of overshooting to an
+     unrelated larger literal that narrowing cannot always claw back
+     across a loop that merely carries the value. *)
+  let cap = 1 lsl 20 in
+  let products =
+    List.concat_map
+      (fun t1 ->
+        List.filter_map
+          (fun t2 ->
+            let p = t1 * t2 in
+            if t1 > 1 && t2 > 1 && p <= cap then Some p else None)
+          base)
+      base
+  in
+  List.sort_uniq compare (base @ products)
+
+let analyze ?(widen_after = 8) ?(memories = []) dp fsm =
   let t0 = Sys.time () in
   (try Dp.validate dp
    with Dp.Invalid msgs ->
@@ -1199,7 +1734,8 @@ let analyze ?(widen_after = 8) dp fsm =
   (try Fsm.validate fsm
    with Fsm.Invalid msgs ->
      failwith ("absint: invalid fsm: " ^ String.concat "; " msgs));
-  let prep = build_prep dp fsm in
+  let prep = build_prep ~memories dp fsm in
+  let thresholds = widening_thresholds dp in
   let state_of name =
     match Fsm.find_state fsm name with
     | Some st -> st
@@ -1226,10 +1762,10 @@ let analyze ?(widen_after = 8) dp fsm =
       failwith "absint: fixpoint failed to converge";
     let st = state_of name in
     let store = Hashtbl.find entry name in
-    let cells, _, _ = eval_state prep st store in
+    let cells, _, resolved = eval_state prep st store in
     let next = next_store prep cells store in
     List.iter
-      (fun target ->
+      (fun (target, next) ->
         match Hashtbl.find_opt entry target with
         | None ->
             Hashtbl.replace entry target next;
@@ -1239,14 +1775,111 @@ let analyze ?(widen_after = 8) dp fsm =
             let j = 1 + Option.value ~default:0 (Hashtbl.find_opt joins target) in
             Hashtbl.replace joins target j;
             let merged =
-              if j > widen_after then store_widen ~prev:old ~next:joined
+              if j > widen_after then
+                store_widen ~thresholds ~prev:old ~next:joined ()
               else joined
             in
             if not (store_equal old merged) then begin
               Hashtbl.replace entry target merged;
               enqueue target
             end)
-      (successors prep st cells)
+      (successors_refined prep st cells resolved next)
+  done;
+  (* Narrowing: a decreasing worklist iteration that recomputes every
+     entry store as the join over its predecessors' latest transfers,
+     without widening. Widening overshoots on derived registers
+     (base = row*16 lands on a harvested threshold above its true bound
+     when the joins exhaust the budget); starting from the converged
+     post-fixpoint, each recomputation is again a post-fixpoint of the
+     monotone transfer, so precision only improves and soundness is
+     preserved — including when the visit budget cuts the iteration
+     short. A state whose every incoming edge became infeasible under
+     the tighter stores is genuinely unreachable and is dropped. *)
+  let narrow_names =
+    List.filter_map
+      (fun (st : Fsm.state) ->
+        if Hashtbl.mem entry st.Fsm.sname then Some st.Fsm.sname else None)
+      fsm.Fsm.states
+  in
+  let narrow_budget = 16 * List.length narrow_names in
+  (* target -> (source -> that source's latest contribution) *)
+  let contrib_to : (string, (string, (string * Dom.t) list) Hashtbl.t) Hashtbl.t
+      =
+    Hashtbl.create 16
+  in
+  let contrib_tbl t =
+    match Hashtbl.find_opt contrib_to t with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 4 in
+        Hashtbl.replace contrib_to t h;
+        h
+  in
+  let prev_out : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  let apply name =
+    incr iterations;
+    let st = state_of name in
+    let store = Hashtbl.find entry name in
+    let cells, _, resolved = eval_state prep st store in
+    let next = next_store prep cells store in
+    let succs = successors_refined prep st cells resolved next in
+    let now = List.map fst succs in
+    let before = Option.value ~default:[] (Hashtbl.find_opt prev_out name) in
+    List.iter
+      (fun t -> if not (List.mem t now) then Hashtbl.remove (contrib_tbl t) name)
+      before;
+    Hashtbl.replace prev_out name now;
+    List.iter (fun (t, s) -> Hashtbl.replace (contrib_tbl t) name s) succs;
+    List.sort_uniq compare (before @ now)
+  in
+  let recompute_entry t =
+    let contribs = Hashtbl.fold (fun _ s acc -> s :: acc) (contrib_tbl t) [] in
+    let contribs =
+      if t = fsm.Fsm.initial then init_store prep :: contribs else contribs
+    in
+    match contribs with
+    | [] -> None
+    | s :: rest -> Some (List.fold_left store_join s rest)
+  in
+  let nqueue = Queue.create () in
+  let nqueued : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let nenqueue name =
+    if Hashtbl.mem entry name && not (Hashtbl.mem nqueued name) then begin
+      Hashtbl.replace nqueued name ();
+      Queue.add name nqueue
+    end
+  in
+  let rec drop_state t =
+    Hashtbl.remove entry t;
+    Hashtbl.remove nqueued t;
+    let out = Option.value ~default:[] (Hashtbl.find_opt prev_out t) in
+    Hashtbl.remove prev_out t;
+    List.iter
+      (fun tt ->
+        Hashtbl.remove (contrib_tbl tt) t;
+        settle_target tt)
+      out
+  and settle_target t =
+    if Hashtbl.mem entry t then
+      match recompute_entry t with
+      | None -> drop_state t
+      | Some e ->
+          if not (store_equal (Hashtbl.find entry t) e) then begin
+            Hashtbl.replace entry t e;
+            nenqueue t
+          end
+  in
+  List.iter (fun name -> ignore (apply name)) narrow_names;
+  List.iter settle_target narrow_names;
+  let visits = ref 0 in
+  while (not (Queue.is_empty nqueue)) && !visits < narrow_budget do
+    let name = Queue.pop nqueue in
+    Hashtbl.remove nqueued name;
+    if Hashtbl.mem entry name then begin
+      incr visits;
+      let affected = apply name in
+      List.iter settle_target affected
+    end
   done;
   (* Reporting sweep: reachable states in document order. *)
   let reachable =
@@ -1274,7 +1907,7 @@ let analyze ?(widen_after = 8) dp fsm =
     (fun name ->
       let st = state_of name in
       let cells, _, resolved = eval_state prep st (Hashtbl.find entry name) in
-      collect_facts prep facts st cells;
+      collect_facts prep facts st cells resolved;
       List.iter
         (fun (members, verdict) ->
           match !verdict with

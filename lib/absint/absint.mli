@@ -31,7 +31,12 @@
       width. Only fires when the analysis derived some information
       about the input (a nontrivial bound or known bits) — an entirely
       unknown input would flag every intentional index truncation
-      speculatively;
+      speculatively — {e and} the truncated value is live in the
+      witnessing state, i.e. it can reach an enabled register update, a
+      memory write, an armed check, a probe or an examined guard there
+      (a loop counter that just stepped past its bound feeding the
+      address of a read nothing consumes in the exit-test state is not
+      reported);
     - [AI006] {e error} — confirmed dynamic combinational cycle: in a
       reachable state every mux select on a structurally cyclic path is
       resolved to a constant by the state's control settings and the
@@ -71,11 +76,19 @@ module Dom : sig
   (** Interval and known-bits membership of an unsigned value. *)
 
   val join : t -> t -> t
-  val widen : prev:t -> next:t -> t
-  (** Interval widening to the domain bounds; known bits and taint join
-      (both lattices are finite, so they need no widening). *)
+
+  val widen : ?thresholds:int list -> prev:t -> next:t -> unit -> t
+  (** Interval widening: a bound still moving after the join budget
+      jumps outward to the nearest value in [thresholds] (a sorted list,
+      e.g. the design's literal constants and memory sizes) when one
+      exists, else to the domain bound. Known bits and taint join (both
+      lattices are finite, so they need no widening). *)
 
   val equal : t -> t -> bool
+
+  val meet_interval : t -> int -> int -> t option
+  (** [meet_interval d lo hi] restricts [d] to the unsigned interval
+      [lo, hi]; [None] when the intersection is empty. *)
 
   (** Three-valued truth of a 1-bit-style question. *)
   type tri = Yes | No | Maybe
@@ -111,13 +124,30 @@ type t
 
 val analyze :
   ?widen_after:int ->
+  ?memories:(string * int list) list ->
   Netlist.Datapath.t ->
   Fsmkit.Fsm.t ->
   t
 (** Runs the fixpoint. Both documents must be structurally clean and
     cross-linkable (the [Lint] gate runs the engine only then); raises
     [Failure] otherwise. [widen_after] (default 8) bounds the joins per
-    state before intervals widen, guaranteeing termination. *)
+    state before intervals widen, guaranteeing termination.
+
+    [memories] declares the initial contents of backing memories by name
+    (shorter lists are zero-padded to the port's [size]). Reads from a
+    memory the design itself never writes (a [rom], or an [sram] whose
+    write enable is tied to a constant 0) then evaluate per-cell instead
+    of to top, which discharges AI002 for in-range reads of initialized
+    data. Callers must only declare memories whose contents nothing
+    outside the design mutates either.
+
+    Two further precision notes: signed comparisons sharpen whenever the
+    operands' sign bits are statically known, and every explored FSM
+    edge refines the flowing store with the interval facts its guard
+    decision implies (the taken guard holds, every earlier examined
+    guard failed), pushed backward from status endpoints through
+    resolved muxes and one comparison level onto unwritten registers.
+    Contradictory edges are infeasible and are dropped. *)
 
 val diagnostics : t -> Diag.t list
 (** AI001–AI005, deterministic order (operators in document order, the

@@ -16,9 +16,11 @@ type partition = {
 
 type t = {
   program : Ast.program;
+  source : Ast.program;
   options : options;
   partitions : partition list;
   rtg : Rtg.t;
+  mutable tv : Tv.report list;
 }
 
 exception Error of string list
@@ -124,18 +126,140 @@ let lint t =
   let datapaths, fsms = bundle_docs t in
   Lint.run_bundle ~rtg:t.rtg ~datapaths ~fsms ()
 
-let lint_deep t =
-  let datapaths, fsms = bundle_docs t in
-  Lint.run_deep ~rtg:t.rtg ~datapaths ~fsms ()
-
-(* --- driver ---------------------------------------------------------- *)
+(* --- translation validation ------------------------------------------ *)
 
 let partition_name prog k total =
   if total = 1 then prog.Ast.prog_name
   else Printf.sprintf "%s_p%d" prog.Ast.prog_name (k + 1)
 
-let compile ?(options = default_options) ?(deep_gate = false) prog =
+let graph_of_cfg (cfg : Cfg.t) : Tv.graph =
+  {
+    Tv.entry = cfg.Cfg.entry;
+    blocks =
+      Array.map
+        (fun (b : Cfg.block) ->
+          {
+            Tv.events =
+              List.map
+                (function
+                  | Ir.Sassign (v, e) -> Tv.Eassign (v, e)
+                  | Ir.Sload (v, m, a) -> Tv.Eload (v, m, a)
+                  | Ir.Sstore (m, a, v) -> Tv.Estore (m, a, v)
+                  | Ir.Scheck (_, c) -> Tv.Echeck c)
+                b.Cfg.stmts;
+            term =
+              (match b.Cfg.term with
+              | Cfg.Jump t -> Tv.Tjump t
+              | Cfg.Branch (c, t, e) -> Tv.Tbranch (c, t, e)
+              | Cfg.Halt -> Tv.Thalt);
+          })
+        cfg.Cfg.blocks;
+  }
+
+let rec stmt_writes_mem m = function
+  | Ast.Mem_write (m', _, _) -> m' = m
+  | Ast.If (_, t, e) ->
+      List.exists (stmt_writes_mem m) t || List.exists (stmt_writes_mem m) e
+  | Ast.While (_, b) -> List.exists (stmt_writes_mem m) b
+  | Ast.Assign _ | Ast.Assert _ | Ast.Partition -> false
+
+(* Memories no partition ever writes keep their initializer contents for
+   the whole run — the only ones the abstract interpreter (and therefore
+   the invariant-preservation query) may assume contents for. *)
+let readonly_mem_inits prog =
+  List.filter_map
+    (fun (m : Ast.mem_decl) ->
+      if List.exists (stmt_writes_mem m.Ast.mem_name) prog.Ast.body then None
+      else Some (m.Ast.mem_name, m.Ast.mem_init))
+    prog.Ast.mems
+
+let certify ?bounds t =
+  if t.tv <> [] then t.tv
+  else
+    let prog = t.program in
+    let width = prog.Ast.prog_width in
+    let total = List.length t.partitions in
+    let source_parts = Ast.partitions t.source in
+    let memories =
+      List.map
+        (fun (m : Ast.mem_decl) ->
+          (m.Ast.mem_name, { Hwgen.size = m.Ast.mem_size }))
+        prog.Ast.mems
+    in
+    let var_inits =
+      List.map
+        (fun (v : Ast.var_decl) -> (v.Ast.var_name, v.Ast.var_init))
+        prog.Ast.vars
+    in
+    let mem_inits = readonly_mem_inits prog in
+    let timed f =
+      let t0 = Sys.time () in
+      let cert = f () in
+      (cert, Sys.time () -. t0)
+    in
+    let reports =
+      List.concat_map
+        (fun p ->
+          let name = partition_name prog p.index total in
+          let reps = ref [] in
+          let push pass (cert, seconds) =
+            reps := { Tv.partition = name; pass; cert; seconds } :: !reps
+          in
+          (* The per-partition reference hardware is regenerated from the
+             partition's own CFG with the pass under scrutiny switched
+             off — the pass input, reconstructed rather than stored. *)
+          let generate ~share ~fold =
+            let gen = if share then Share.generate else Hwgen.generate in
+            let r =
+              gen ~fold_branches:fold ~probes:prog.Ast.probes ~name ~width
+                ~memories ~var_inits p.cfg
+            in
+            (r.Hwgen.datapath, r.Hwgen.fsm)
+          in
+          if t.options.optimize then
+            push Tv.Optimize_pass
+              (timed (fun () ->
+                   Tv.validate_source ?bounds ~width
+                     ~pre:(graph_of_cfg (Cfg.build (List.nth source_parts p.index)))
+                     ~post:(graph_of_cfg p.cfg) ()));
+          if t.options.share_operators then
+            push Tv.Share_pass
+              (timed (fun () ->
+                   Tv.validate_hardware ?bounds ~memories:mem_inits
+                     ~pass:Tv.Share_pass
+                     ~reference:
+                       (generate ~share:false ~fold:t.options.fold_branches)
+                     ~candidate:(p.datapath, p.fsm) ()));
+          if t.options.fold_branches then
+            push Tv.Fold_pass
+              (timed (fun () ->
+                   Tv.validate_hardware ?bounds ~memories:mem_inits
+                     ~pass:Tv.Fold_pass
+                     ~reference:
+                       (generate ~share:t.options.share_operators ~fold:false)
+                     ~candidate:(p.datapath, p.fsm) ()));
+          List.rev !reps)
+        t.partitions
+    in
+    t.tv <- reports;
+    reports
+
+let lint_deep t =
+  let datapaths, fsms = bundle_docs t in
+  let deep =
+    Lint.run_deep
+      ~mem_inits:(readonly_mem_inits t.program)
+      ~rtg:t.rtg ~datapaths ~fsms ()
+  in
+  let tv_diags = List.map Tv.to_diag (certify t) in
+  { deep with Lint.deep_diags = deep.Lint.deep_diags @ tv_diags }
+
+(* --- driver ---------------------------------------------------------- *)
+
+let compile ?(options = default_options) ?(deep_gate = false)
+    ?(tv_gate = false) prog =
   Lang.Check.validate prog;
+  let source = prog in
   let prog = if options.optimize then Optimize.program prog else prog in
   (match check_partition_flow prog with
   | [] -> ()
@@ -204,13 +328,24 @@ let compile ?(options = default_options) ?(deep_gate = false) prog =
     }
   in
   Rtg.validate rtg;
-  let t = { program = prog; options; partitions; rtg } in
+  let t = { program = prog; source; options; partitions; rtg; tv = [] } in
   let gate_diags =
     if deep_gate then (lint_deep t).Lint.deep_diags else lint t
   in
   (match Diag.errors gate_diags with
   | [] -> ()
   | errs -> raise (Error (List.map Diag.to_string errs)));
+  if tv_gate then begin
+    let refuted =
+      List.filter
+        (fun (r : Tv.report) ->
+          match r.Tv.cert with Tv.Refuted _ -> true | _ -> false)
+        (certify t)
+    in
+    match refuted with
+    | [] -> ()
+    | rs -> raise (Error (List.map (fun r -> Diag.to_string (Tv.to_diag r)) rs))
+  end;
   t
 
 let datapath_ref t k =

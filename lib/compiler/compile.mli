@@ -35,14 +35,24 @@ type partition = {
 
 type t = {
   program : Lang.Ast.program;
+      (** The program the hardware implements (post-{!Optimize} when the
+          pass is enabled). *)
+  source : Lang.Ast.program;
+      (** The program as written, before any source pass — the reference
+          side of the {!Tv.Optimize_pass} certificate. *)
   options : options;
   partitions : partition list;
   rtg : Rtg.t;
+  mutable tv : Tv.report list;
+      (** Per-pass translation-validation certificates, filled by
+          {!certify} (empty until requested). *)
 }
 
 exception Error of string list
 
-val compile : ?options:options -> ?deep_gate:bool -> Lang.Ast.program -> t
+val compile :
+  ?options:options -> ?deep_gate:bool -> ?tv_gate:bool ->
+  Lang.Ast.program -> t
 (** Raises {!Lang.Check.Invalid} on source errors and {!Error} on
     partition-flow violations — or when {!lint} reports an error-severity
     diagnostic on the generated design (the post-generation gate: a
@@ -50,7 +60,22 @@ val compile : ?options:options -> ?deep_gate:bool -> Lang.Ast.program -> t
     [~deep_gate:true] gates on {!lint_deep} instead, additionally
     aborting when the abstract interpreter proves a defect (out-of-bounds
     store, dynamically closing combinational cycle, ...). Default
-    [false]: the deep analysis costs a fixpoint per configuration. *)
+    [false]: the deep analysis costs a fixpoint per configuration.
+    [~tv_gate:true] additionally runs {!certify} and raises {!Error}
+    when any enabled pass is {!Tv.Refuted} — translation validation as a
+    compile-time gate ({!Tv.Inconclusive} passes the gate; it is a
+    resource verdict, surfaced as a TV002 warning by {!lint_deep}). *)
+
+val certify : ?bounds:Tv.bounds -> t -> Tv.report list
+(** One certificate per enabled transforming pass per partition, in
+    pipeline order (optimize, share, fold): the {!Optimize} rewrite is
+    validated against the pre-pass CFG by {!Tv.validate_source}; the
+    {!Share} binding and the branch fold are validated against freshly
+    regenerated reference hardware (the same partition CFG with the pass
+    under scrutiny disabled) by {!Tv.validate_hardware}, including the
+    {!Absint} invariant-preservation query over the program's read-only
+    memories. Results are cached on [t.tv]; an empty list means no
+    transforming pass was enabled. *)
 
 val lint : t -> Diag.t list
 (** Whole-design lint of the generated bundle ({!Lint.run_bundle} over
@@ -60,7 +85,9 @@ val lint : t -> Diag.t list
 val lint_deep : t -> Lint.deep
 (** {!Lint.run_deep} over the generated bundle: {!lint} plus the
     {!Absint} abstract-interpretation provers (AI0xx diagnostics,
-    per-configuration analysis timings). *)
+    per-configuration analysis timings), with the program's read-only
+    memory initializers declared to the engine. The {!certify}
+    certificates are appended as TV001/TV002/TV003 diagnostics. *)
 
 val check_partition_flow : Lang.Ast.program -> string list
 (** Diagnostics for cross-partition scalar flow (empty = fine). *)

@@ -214,6 +214,23 @@ let run ?(backends = all_backends) ?(max_cycles = 200_000)
                   | exception e ->
                       add v_name "compile" "crash" (Printexc.to_string e)
                   | compiled -> (
+                      (* Translation validation rides along on every
+                         compilation: a refuted certificate on an
+                         otherwise-convergent program is a validator
+                         false alarm — or a genuine miscompile the data
+                         diff would also catch. Either way the program
+                         shrinks and lands in the corpus under its
+                         [variant/tv/pass] class. Inconclusive is a
+                         resource verdict, not a disagreement. *)
+                      List.iter
+                        (fun (r : Tv.report) ->
+                          match r.Tv.cert with
+                          | Tv.Refuted { witness } ->
+                              add v_name "tv" (Tv.pass_name r.Tv.pass)
+                                (Printf.sprintf "%s: %s" r.Tv.partition
+                                   witness)
+                          | Tv.Validated | Tv.Inconclusive _ -> ())
+                        (Compile.certify compiled);
                       match run_event ~max_cycles prog compiled with
                       | exception e ->
                           add v_name "event" "crash" (Printexc.to_string e)

@@ -6,7 +6,12 @@
     {!Fastsim} — across four compilation variants (plain, [optimize],
     [share_operators], [fold_branches]), and every observable is diffed:
     completion, cycle counts, check/assert counts, final memory images
-    and out-of-range access counters.
+    and out-of-range access counters. Every compilation is additionally
+    certified by translation validation ({!Tv}, via
+    {!Compiler.Compile.certify}): a {!Tv.Refuted} certificate is a
+    divergence of class [variant/tv/pass] — on an otherwise-convergent
+    program that is a validator false alarm, which shrinks and lands in
+    the corpus like any other disagreement.
 
     Expected, by-design disagreements are {e not} divergences:
     - Cyclesim refusing an operator-shared design

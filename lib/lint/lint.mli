@@ -137,6 +137,7 @@ type deep = {
 
 val run_deep :
   ?guard_limit:int ->
+  ?mem_inits:(string * int list) list ->
   rtg:Rtg.t ->
   datapaths:(string * Netlist.Datapath.t) list ->
   fsms:(string * Fsmkit.Fsm.t) list ->
@@ -148,7 +149,15 @@ val run_deep :
     returned unchanged. A DP013 warning is only discharged ([AI007])
     when every configuration sharing the datapath proves the loop
     acyclic; a single configuration closing it dynamically upgrades it
-    to an [AI006] error. *)
+    to an [AI006] error.
+
+    [mem_inits] declares initial memory contents by backing-memory name,
+    with the {!Absint.analyze} contract: only list memories nothing
+    outside the designs mutates (the compiler passes its read-only
+    memories). Callers layering translation validation on top of this
+    report (see [Compile.lint_deep]) append [TV001] (error, a pass
+    refuted), [TV002] (warning, a validation bound exhausted) and
+    [TV003] (note, a pass validated) diagnostics after these. *)
 
 val run_file : ?guard_limit:int -> string -> Diag.t list
 (** Lint one saved XML document (dialect chosen by the root tag). Load

@@ -1,0 +1,1020 @@
+module Ast = Lang.Ast
+module Dp = Netlist.Datapath
+module Fsm = Fsmkit.Fsm
+module Guard = Fsmkit.Guard
+module Opspec = Operators.Opspec
+
+type pass = Optimize_pass | Share_pass | Fold_pass
+
+let pass_name = function
+  | Optimize_pass -> "optimize"
+  | Share_pass -> "share"
+  | Fold_pass -> "fold"
+
+type cert =
+  | Validated
+  | Refuted of { witness : string }
+  | Inconclusive of { bound : string }
+
+type report = {
+  partition : string;
+  pass : pass;
+  cert : cert;
+  seconds : float;
+}
+
+let to_diag r =
+  let loc =
+    Printf.sprintf "configuration %s / pass %s" r.partition (pass_name r.pass)
+  in
+  match r.cert with
+  | Validated ->
+      (* No wall time in the message: the deep-lint report is snapshotted
+         as a golden file; timings live in the bench schema instead. *)
+      Diag.note ~code:"TV003" ~loc
+        "translation validated: pass output equivalent to its input"
+  | Refuted { witness } ->
+      Diag.error ~code:"TV001" ~loc
+        ~hint:
+          "the pass output is not equivalent to its input — a compiler \
+           defect, not a property of the source program"
+        "translation refuted: %s" witness
+  | Inconclusive { bound } ->
+      Diag.warning ~code:"TV002" ~loc
+        ~hint:"raise the validation bounds to retry with more budget"
+        "equivalence undecided: %s exceeded" bound
+
+type bounds = { max_pairs : int; max_nodes : int; samples : int }
+
+let default_bounds = { max_pairs = 20_000; max_nodes = 200_000; samples = 17 }
+
+exception Refute of string
+exception Bound of string
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic sampling                                               *)
+
+(* Free values (registers, source variables, deleted temporaries) and
+   memory contents are drawn from a deterministic hash of their name and
+   the sample index, so both sides of a comparison observe the same
+   world. The first samples are corner values shared by every name —
+   ties like [x - x] need the hash samples to break them, and overflow
+   corners need the all-ones/sign-bit worlds. *)
+let hash_mix h v =
+  let h = (h lxor v) * 0x100000001b3 in
+  h land max_int
+
+let hash_string seed s =
+  let h = ref (hash_mix 0x1403_5af3 seed) in
+  String.iter (fun c -> h := hash_mix !h (Char.code c)) s;
+  !h
+
+let sample_value ~width name k =
+  match k with
+  | 0 -> Bitvec.zero width
+  | 1 -> Bitvec.ones width
+  | 2 -> Bitvec.one width
+  | 3 -> Bitvec.shift_left (Bitvec.one width) (width - 1)
+  | _ -> Bitvec.create ~width (hash_string (k * 0x9e3779b9) name)
+
+let sample_mem ~width mem addr k =
+  Bitvec.create ~width (hash_mix (hash_string (k lxor 0x5ca1ab1e) mem) addr)
+
+(* ------------------------------------------------------------------ *)
+(* Pure source expressions: evaluation with Bitvec semantics            *)
+
+let eval_binop op a b =
+  match op with
+  | Ast.Add -> Bitvec.add a b
+  | Ast.Sub -> Bitvec.sub a b
+  | Ast.Mul -> Bitvec.mul a b
+  | Ast.Div -> Bitvec.sdiv a b
+  | Ast.Rem -> Bitvec.srem a b
+  | Ast.Band -> Bitvec.logand a b
+  | Ast.Bor -> Bitvec.logor a b
+  | Ast.Bxor -> Bitvec.logxor a b
+  | Ast.Shl -> Bitvec.shift_left a (Bitvec.to_int b)
+  | Ast.Shra -> Bitvec.shift_right_arith a (Bitvec.to_int b)
+  | Ast.Shrl -> Bitvec.shift_right_logical a (Bitvec.to_int b)
+
+let eval_cmpop op a b =
+  match op with
+  | Ast.Eq -> Bitvec.equal a b
+  | Ast.Ne -> not (Bitvec.equal a b)
+  | Ast.Lt -> not (Bitvec.is_zero (Bitvec.slt a b))
+  | Ast.Le -> not (Bitvec.is_zero (Bitvec.sle a b))
+  | Ast.Gt -> not (Bitvec.is_zero (Bitvec.sgt a b))
+  | Ast.Ge -> not (Bitvec.is_zero (Bitvec.sge a b))
+
+let rec eval_expr ~width env = function
+  | Ast.Int n -> Bitvec.create ~width n
+  | Ast.Var v -> env v
+  | Ast.Mem_read _ -> invalid_arg "Tv: expression not pure (lowering bug)"
+  | Ast.Binop (op, a, b) ->
+      eval_binop op (eval_expr ~width env a) (eval_expr ~width env b)
+  | Ast.Unop (Ast.Neg, a) -> Bitvec.neg (eval_expr ~width env a)
+  | Ast.Unop (Ast.Bnot, a) -> Bitvec.lognot (eval_expr ~width env a)
+
+let rec eval_cond ~width env = function
+  | Ast.Cmp (op, a, b) ->
+      eval_cmpop op (eval_expr ~width env a) (eval_expr ~width env b)
+  | Ast.Cand (a, b) -> eval_cond ~width env a && eval_cond ~width env b
+  | Ast.Cor (a, b) -> eval_cond ~width env a || eval_cond ~width env b
+  | Ast.Cnot a -> not (eval_cond ~width env a)
+
+(* ------------------------------------------------------------------ *)
+(* Source-level validation: simulation-relation search                  *)
+
+type event =
+  | Eassign of string * Ast.expr
+  | Eload of string * string * Ast.expr
+  | Estore of string * Ast.expr * Ast.expr
+  | Echeck of Ast.cond
+
+type term = Tjump of int | Tbranch of Ast.cond * int * int | Thalt
+type block = { events : event list; term : term }
+type graph = { blocks : block array; entry : int }
+
+let is_temp name = String.length name > 0 && name.[0] = '$'
+
+(* A temporary map entry of [Skipped] marks a load the pass deleted: the
+   temporary's value samples as an unconstrained fresh value, which is
+   sound because the pass only deletes a load when the loaded value
+   cannot reach an observable anymore (e.g. [m[e] * 0] rewritten to 0). *)
+type tbind = Mapped of string | Skipped
+
+let rec expr_to_string = function
+  | Ast.Int n -> string_of_int n
+  | Ast.Var v -> v
+  | Ast.Mem_read (m, e) -> Printf.sprintf "%s[%s]" m (expr_to_string e)
+  | Ast.Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (Ast.binop_to_string op)
+        (expr_to_string b)
+  | Ast.Unop (op, a) ->
+      Printf.sprintf "(%s%s)" (Ast.unop_to_string op) (expr_to_string a)
+
+let rec cond_to_string = function
+  | Ast.Cmp (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (Ast.cmpop_to_string op)
+        (expr_to_string b)
+  | Ast.Cand (a, b) ->
+      Printf.sprintf "(%s && %s)" (cond_to_string a) (cond_to_string b)
+  | Ast.Cor (a, b) ->
+      Printf.sprintf "(%s || %s)" (cond_to_string a) (cond_to_string b)
+  | Ast.Cnot a -> Printf.sprintf "(!%s)" (cond_to_string a)
+
+let event_to_string = function
+  | Eassign (v, e) -> Printf.sprintf "%s = %s" v (expr_to_string e)
+  | Eload (v, m, a) -> Printf.sprintf "%s = %s[%s]" v m (expr_to_string a)
+  | Estore (m, a, x) ->
+      Printf.sprintf "%s[%s] = %s" m (expr_to_string a) (expr_to_string x)
+  | Echeck c -> Printf.sprintf "assert %s" (cond_to_string c)
+
+let validate_source ?(bounds = default_bounds) ~width ~pre ~post () =
+  (* Environments: source variables share their name across the two
+     sides; pre-side temporaries are renamed through the map, and a
+     skipped (deleted-load) temporary samples as a fresh free value. *)
+  let env_post k name = sample_value ~width ("v:" ^ name) k in
+  let env_pre tmap k name =
+    if is_temp name then
+      match List.assoc_opt name tmap with
+      | Some (Mapped post_name) -> sample_value ~width ("v:" ^ post_name) k
+      | Some Skipped | None -> sample_value ~width ("free:" ^ name) k
+    else sample_value ~width ("v:" ^ name) k
+  in
+  let equiv_expr tmap e_pre e_post =
+    let rec go k =
+      if k >= bounds.samples then true
+      else
+        Bitvec.equal
+          (eval_expr ~width (env_pre tmap k) e_pre)
+          (eval_expr ~width (env_post k) e_post)
+        && go (k + 1)
+    in
+    go 0
+  in
+  let equiv_cond tmap c_pre c_post =
+    let rec go k =
+      if k >= bounds.samples then true
+      else
+        eval_cond ~width (env_pre tmap k) c_pre
+        = eval_cond ~width (env_post k) c_post
+        && go (k + 1)
+    in
+    go 0
+  in
+  (* [Some b] when the pre-side condition evaluates to [b] on every
+     sample — the license to follow a branch the pass folded away. *)
+  let cond_const tmap c =
+    let v0 = eval_cond ~width (env_pre tmap 0) c in
+    let rec go k =
+      if k >= bounds.samples then Some v0
+      else if eval_cond ~width (env_pre tmap k) c = v0 then go (k + 1)
+      else None
+    in
+    go 1
+  in
+  let norm (g : graph) (b, i) =
+    (* Fall through empty suffixes and jumps; a jump-only cycle cannot
+       occur (every loop carries a branch), but stay defensive. *)
+    let rec go steps (b, i) =
+      if steps > Array.length g.blocks then (b, i)
+      else
+        let blk = g.blocks.(b) in
+        if i >= List.length blk.events then
+          match blk.term with Tjump t -> go (steps + 1) (t, 0) | _ -> (b, i)
+        else (b, i)
+    in
+    go 0 (b, i)
+  in
+  let at (g : graph) (b, i) =
+    let blk = g.blocks.(b) in
+    let evs = blk.events in
+    if i < List.length evs then `Event (List.nth evs i) else `Term blk.term
+  in
+  let pairs = ref 0 in
+  let deepest = ref (-1, "the entry positions do not correspond") in
+  let fail depth msg =
+    if depth > fst !deepest then deepest := (depth, msg);
+    false
+  in
+  let proven : (int * int * (int * int) * (string * tbind) list, unit) Hashtbl.t
+      =
+    Hashtbl.create 256
+  in
+  let assumed = Hashtbl.create 64 in
+  let pos_desc side (b, i) = Printf.sprintf "%s b%d[%d]" side b i in
+  let rec sim depth ppre ppost tmap =
+    let ppre = norm pre ppre and ppost = norm post ppost in
+    let key = (fst ppre, snd ppre, ppost, tmap) in
+    if Hashtbl.mem proven key || Hashtbl.mem assumed key then true
+    else begin
+      incr pairs;
+      if !pairs > bounds.max_pairs then
+        raise (Bound (Printf.sprintf "max_pairs=%d" bounds.max_pairs));
+      Hashtbl.replace assumed key ();
+      let ok = attempt depth ppre ppost tmap in
+      Hashtbl.remove assumed key;
+      if ok then Hashtbl.replace proven key ();
+      ok
+    end
+  and advance (b, i) = (b, i + 1)
+  and attempt depth ppre ppost tmap =
+    match (at pre ppre, at post ppost) with
+    | `Event e1, `Event e2 when event_match depth ppre ppost tmap e1 e2 ->
+        true
+    | `Event e1, _ -> skip_pre depth ppre ppost tmap e1
+    | `Term t1, `Term t2 -> term_match depth ppre ppost tmap t1 t2
+    | `Term t1, `Event e2 ->
+        follow_const_branch depth ppre ppost tmap t1
+        || fail depth
+             (Printf.sprintf "%s ends its block but %s still has \"%s\""
+                (pos_desc "pre" ppre) (pos_desc "post" ppost)
+                (event_to_string e2))
+  and event_match depth ppre ppost tmap e1 e2 =
+    let next tmap = sim (depth + 1) (advance ppre) (advance ppost) tmap in
+    let mismatch what =
+      fail depth
+        (Printf.sprintf "%s at %s: \"%s\" does not match \"%s\" at %s" what
+           (pos_desc "pre" ppre) (event_to_string e1) (event_to_string e2)
+           (pos_desc "post" ppost))
+    in
+    match (e1, e2) with
+    | Eassign (v1, x1), Eassign (v2, x2) ->
+        if v1 <> v2 then mismatch "assignment target"
+        else if not (equiv_expr tmap x1 x2) then mismatch "assigned value"
+        else next tmap
+    | Eload (v1, m1, a1), Eload (v2, m2, a2) ->
+        if m1 <> m2 then mismatch "loaded memory"
+        else if not (equiv_expr tmap a1 a2) then mismatch "load address"
+        else if is_temp v1 && is_temp v2 then
+          next ((v1, Mapped v2) :: List.remove_assoc v1 tmap)
+        else if v1 = v2 then next tmap
+        else mismatch "load target"
+    | Estore (m1, a1, x1), Estore (m2, a2, x2) ->
+        if m1 <> m2 then mismatch "stored memory"
+        else if not (equiv_expr tmap a1 a2) then mismatch "store address"
+        else if not (equiv_expr tmap x1 x2) then mismatch "stored value"
+        else next tmap
+    | Echeck c1, Echeck c2 ->
+        if equiv_cond tmap c1 c2 then next tmap else mismatch "checked condition"
+    | _, _ -> mismatch "event kind"
+  and skip_pre depth ppre ppost tmap e1 =
+    (* The pass deleted a pre-side event: a memory read whose value
+       became irrelevant (the temporary is marked skipped — its uses
+       sample free), or a check it proved constantly true. *)
+    match e1 with
+    | Eload (v, _, _) when is_temp v ->
+        sim (depth + 1) (advance ppre) ppost
+          ((v, Skipped) :: List.remove_assoc v tmap)
+        || fail depth
+             (Printf.sprintf "deleting the load \"%s\" at %s does not help"
+                (event_to_string e1) (pos_desc "pre" ppre))
+    | Echeck c when cond_const tmap c = Some true ->
+        sim (depth + 1) (advance ppre) ppost tmap
+        || fail depth
+             (Printf.sprintf
+                "dropping the always-true check at %s does not help"
+                (pos_desc "pre" ppre))
+    | _ ->
+        fail depth
+          (Printf.sprintf "no pass rewrite explains \"%s\" at %s"
+             (event_to_string e1) (pos_desc "pre" ppre))
+  and follow_const_branch depth _ppre ppost tmap t1 =
+    match t1 with
+    | Tbranch (c, t, e) -> (
+        match cond_const tmap c with
+        | Some true -> sim (depth + 1) (t, 0) ppost tmap
+        | Some false -> sim (depth + 1) (e, 0) ppost tmap
+        | None -> false)
+    | _ -> false
+  and term_match depth ppre ppost tmap t1 t2 =
+    match (t1, t2) with
+    | Thalt, Thalt -> true
+    | Tbranch (c1, t1', e1'), Tbranch (c2, t2', e2') ->
+        if not (equiv_cond tmap c1 c2) then
+          follow_const_branch depth ppre ppost tmap t1
+          || fail depth
+               (Printf.sprintf
+                  "branch conditions at %s (\"%s\") and %s (\"%s\") differ"
+                  (pos_desc "pre" ppre) (cond_to_string c1)
+                  (pos_desc "post" ppost) (cond_to_string c2))
+        else
+          (sim (depth + 1) (t1', 0) (t2', 0) tmap
+          && sim (depth + 1) (e1', 0) (e2', 0) tmap)
+          || follow_const_branch depth ppre ppost tmap t1
+    | Tbranch _, _ ->
+        follow_const_branch depth ppre ppost tmap t1
+        || fail depth
+             (Printf.sprintf "%s branches where %s does not"
+                (pos_desc "pre" ppre) (pos_desc "post" ppost))
+    | _, _ ->
+        fail depth
+          (Printf.sprintf "terminators at %s and %s differ"
+             (pos_desc "pre" ppre) (pos_desc "post" ppost))
+  in
+  try
+    if sim 0 (pre.entry, 0) (post.entry, 0) [] then Validated
+    else Refuted { witness = snd !deepest }
+  with Bound b -> Inconclusive { bound = b }
+
+(* ------------------------------------------------------------------ *)
+(* Hardware-level validation: symbolic cones on the FSMD product        *)
+
+(* A symbolic cone: the expression a signal computes in one FSM state,
+   with control inputs resolved to that state's constant settings and
+   mux selects followed when constant. Functional-unit instance names
+   are erased — a pooled shared unit and a dedicated unit computing the
+   same function extract the same cone — while register and memory
+   {e names} are kept: they are the simulation relation's anchors. *)
+type sexp =
+  | Sconst of int * int  (** width, value *)
+  | Sreg of string * int
+      (** reg/counter q — the stored value at state entry *)
+  | Sread of string * int * sexp  (** memory name, width, address cone *)
+  | Sapp of string * int * sexp list  (** kind, width, argument cones *)
+  | Sfree of string * int  (** unconnected input: sink key, width *)
+
+let umax width = if width >= 62 then max_int else (1 lsl width) - 1
+
+type hw_ctx = {
+  dp : Dp.t;
+  fsm : Fsm.t;
+  st : Fsm.state;
+  driver : (string, Dp.source) Hashtbl.t;  (** "inst.port" -> net source *)
+  memo : (string, sexp) Hashtbl.t;
+  nodes : int ref;
+  max_nodes : int;
+}
+
+let build_driver (dp : Dp.t) =
+  let driver = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Dp.net) ->
+      List.iter
+        (fun ep ->
+          Hashtbl.replace driver (Dp.endpoint_to_string ep) n.Dp.source)
+        n.Dp.sinks)
+    dp.Dp.nets;
+  driver
+
+let ctl_width (dp : Dp.t) name =
+  match
+    List.find_opt (fun (c : Dp.control) -> c.Dp.ctl_name = name) dp.Dp.controls
+  with
+  | Some c -> c.Dp.ctl_width
+  | None -> 1
+
+let in_ports (op : Dp.operator) =
+  List.filter_map
+    (fun (p : Opspec.port) ->
+      if p.Opspec.direction = Opspec.In then
+        Some (p.Opspec.port_name, p.Opspec.port_width)
+      else None)
+    (Dp.operator_spec op).Opspec.ports
+
+let mux_inputs (op : Dp.operator) =
+  Opspec.param_int op.Dp.params "inputs" ~default:2
+
+let rec cone ctx sink_key =
+  match Hashtbl.find_opt ctx.memo sink_key with
+  | Some s -> s
+  | None ->
+      let s = cone_uncached ctx sink_key in
+      Hashtbl.replace ctx.memo sink_key s;
+      s
+
+and budget ctx =
+  incr ctx.nodes;
+  if !(ctx.nodes) > ctx.max_nodes then
+    raise (Bound (Printf.sprintf "max_nodes=%d" ctx.max_nodes))
+
+and cone_uncached ctx sink_key =
+  budget ctx;
+  match Hashtbl.find_opt ctx.driver sink_key with
+  | None ->
+      (* Validated datapaths have no unconnected inputs; keep the sink
+         key so an exotic document still gets a stable free value. *)
+      Sfree (sink_key, 1)
+  | Some (Dp.From_control name) ->
+      Sconst (ctl_width ctx.dp name, Fsm.output_in_state ctx.fsm ctx.st name)
+  | Some (Dp.From_op ep) -> (
+      match Dp.find_operator ctx.dp ep.Dp.inst with
+      | None -> Sfree (Dp.endpoint_to_string ep, 1)
+      | Some op -> op_cone ctx op)
+
+and op_cone ctx (op : Dp.operator) =
+  let sink port = cone ctx (op.Dp.id ^ "." ^ port) in
+  match op.Dp.kind with
+  | "const" ->
+      Sconst
+        ( op.Dp.width,
+          Opspec.param_int op.Dp.params "value" ~default:0 land umax op.Dp.width
+        )
+  | "reg" | "counter" -> Sreg (op.Dp.id, op.Dp.width)
+  | "sram" | "rom" ->
+      Sread
+        ( Opspec.param_string op.Dp.params "memory" ~default:op.Dp.id,
+          op.Dp.width,
+          sink "addr" )
+  | "mux" -> (
+      let n = mux_inputs op in
+      match sink "sel" with
+      | Sconst (_, v) -> sink (Printf.sprintf "in%d" (min v (n - 1)))
+      | sel ->
+          let ins = List.init n (fun i -> sink (Printf.sprintf "in%d" i)) in
+          Sapp ("mux", op.Dp.width, sel :: ins))
+  | kind ->
+      let args = List.map (fun (p, _) -> sink p) (in_ports op) in
+      Sapp (kind, op.Dp.width, args)
+
+(* Concrete evaluation of a cone under sample [k]. The dispatch mirrors
+   {!Operators.Models} exactly (same Bitvec primitives, same mux clamp,
+   same shift-amount convention), so agreeing cones agree with both
+   simulators too. *)
+let hw_binary_fn = function
+  | "add" -> Bitvec.add
+  | "sub" -> Bitvec.sub
+  | "mul" -> Bitvec.mul
+  | "divu" -> Bitvec.udiv
+  | "divs" -> Bitvec.sdiv
+  | "remu" -> Bitvec.urem
+  | "rems" -> Bitvec.srem
+  | "and" -> Bitvec.logand
+  | "or" -> Bitvec.logor
+  | "xor" -> Bitvec.logxor
+  | "shl" -> fun a b -> Bitvec.shift_left a (Bitvec.to_int b)
+  | "shrl" -> fun a b -> Bitvec.shift_right_logical a (Bitvec.to_int b)
+  | "shra" -> fun a b -> Bitvec.shift_right_arith a (Bitvec.to_int b)
+  | "minu" -> fun a b -> if Bitvec.to_int a <= Bitvec.to_int b then a else b
+  | "maxu" -> fun a b -> if Bitvec.to_int a >= Bitvec.to_int b then a else b
+  | "mins" ->
+      fun a b -> if Bitvec.to_signed a <= Bitvec.to_signed b then a else b
+  | "maxs" ->
+      fun a b -> if Bitvec.to_signed a >= Bitvec.to_signed b then a else b
+  | "eq" -> Bitvec.eq
+  | "ne" -> Bitvec.ne
+  | "ltu" -> Bitvec.ult
+  | "leu" -> Bitvec.ule
+  | "gtu" -> Bitvec.ugt
+  | "geu" -> Bitvec.uge
+  | "lts" -> Bitvec.slt
+  | "les" -> Bitvec.sle
+  | "gts" -> Bitvec.sgt
+  | "ges" -> Bitvec.sge
+  | kind -> raise (Refute (Printf.sprintf "cone has unknown binary kind %S" kind))
+
+let hw_unary_fn = function
+  | "not" -> Bitvec.lognot
+  | "neg" -> Bitvec.neg
+  | "pass" -> Fun.id
+  | "abs" -> fun a -> if Bitvec.msb a then Bitvec.neg a else a
+  | kind -> raise (Refute (Printf.sprintf "cone has unknown unary kind %S" kind))
+
+let rec eval_sexp k = function
+  | Sconst (w, v) -> Bitvec.create ~width:w v
+  | Sreg (name, w) -> sample_value ~width:w ("r:" ^ name) k
+  | Sread (mem, w, a) ->
+      let addr = Bitvec.to_int (eval_sexp k a) in
+      sample_mem ~width:w mem addr k
+  | Sfree (key, w) -> sample_value ~width:w ("f:" ^ key) k
+  | Sapp (kind, w, args) -> eval_app k kind w args
+
+and eval_app k kind w args =
+  match (kind, args) with
+  | "mux", sel :: ins ->
+      let s = Bitvec.to_int (eval_sexp k sel) in
+      eval_sexp k (List.nth ins (min s (List.length ins - 1)))
+  | ("zext" | "sext"), [ a ] ->
+      let a = eval_sexp k a in
+      if kind = "zext" then Bitvec.resize a w else Bitvec.sresize a w
+  | ("not" | "neg" | "pass" | "abs"), [ a ] -> (hw_unary_fn kind) (eval_sexp k a)
+  | _, [ a; b ] -> (hw_binary_fn kind) (eval_sexp k a) (eval_sexp k b)
+  | _ ->
+      raise
+        (Refute
+           (Printf.sprintf "cone has kind %S with %d arguments" kind
+              (List.length args)))
+
+(* Semantic cone comparison: structural equality is the fast path (it
+   covers identical sub-networks and erased instance names); otherwise
+   every deterministic sample must agree. *)
+let equiv_sexp ~samples a b =
+  if a = b then Ok ()
+  else
+    let rec go k =
+      if k >= samples then Ok ()
+      else
+        let va = eval_sexp k a and vb = eval_sexp k b in
+        if Bitvec.equal va vb then go (k + 1) else Error (k, va, vb)
+    in
+    go 0
+
+let is_zero_const = function Sconst (_, 0) -> true | _ -> false
+
+let check_equiv ~samples ~state ~what r c =
+  match equiv_sexp ~samples r c with
+  | Ok () -> ()
+  | Error (k, vr, vc) ->
+      raise
+        (Refute
+           (Printf.sprintf
+              "state %s: %s disagrees on sample %d (reference %s, candidate \
+               %s)"
+              state what k (Bitvec.to_string vr) (Bitvec.to_string vc)))
+
+(* ------------------------------------------------------------------ *)
+(* Per-state effect comparison (shared by lockstep and stuttering)      *)
+
+type side = { dp : Dp.t; fsm : Fsm.t; driver : (string, Dp.source) Hashtbl.t }
+
+let make_side (dp, fsm) = { dp; fsm; driver = build_driver dp }
+
+let state_ctx ~nodes ~max_nodes side st =
+  {
+    dp = side.dp;
+    fsm = side.fsm;
+    st;
+    driver = side.driver;
+    memo = Hashtbl.create 64;
+    nodes;
+    max_nodes;
+  }
+
+let ops_of dp kind =
+  List.filter (fun (o : Dp.operator) -> o.Dp.kind = kind) dp.Dp.operators
+
+let int_param op name =
+  Opspec.param_int op.Dp.params name ~default:0
+
+let mem_param (op : Dp.operator) =
+  Opspec.param_string op.Dp.params "memory" ~default:op.Dp.id
+
+(* Pair up the architectural elements of the two datapaths. Registers,
+   counters, checks, stops and probes keep their ids across the hardware
+   passes; SRAM ports are matched by the memory they address (the port
+   instance itself may be renamed or re-pooled). *)
+let match_by ~state ~what key ref_ops cand_ops f =
+  List.iter
+    (fun ro ->
+      match List.find_opt (fun co -> key co = key ro) cand_ops with
+      | Some co -> f ro co
+      | None ->
+          raise
+            (Refute
+               (Printf.sprintf "state %s: %s %s has no candidate counterpart"
+                  state what (key ro))))
+    ref_ops;
+  List.iter
+    (fun co ->
+      if not (List.exists (fun ro -> key ro = key co) ref_ops) then
+        raise
+          (Refute
+             (Printf.sprintf "state %s: %s %s exists only in the candidate"
+                state what (key co))))
+    cand_ops
+
+let compare_effects ~samples ~state (rc : hw_ctx) (cc : hw_ctx) =
+  let chk = check_equiv ~samples ~state in
+  let cone_r (op : Dp.operator) port = cone rc (op.Dp.id ^ "." ^ port)
+  and cone_c (op : Dp.operator) port = cone cc (op.Dp.id ^ "." ^ port) in
+  let pair = match_by ~state in
+  pair ~what:"register" (fun (o : Dp.operator) -> o.Dp.id) (ops_of rc.dp "reg")
+    (ops_of cc.dp "reg") (fun ro co ->
+      if int_param ro "init" <> int_param co "init" then
+        raise
+          (Refute
+             (Printf.sprintf "register %s: reset values differ (%d vs %d)"
+                ro.Dp.id (int_param ro "init") (int_param co "init")));
+      let ren = cone_r ro "en" and cen = cone_c co "en" in
+      let what p = Printf.sprintf "register %s %s" ro.Dp.id p in
+      chk ~what:(what "enable") ren cen;
+      (* When both sides provably keep the register, the data input is
+         unobservable — shared datapaths legitimately park their operand
+         muxes on defaults there. *)
+      if not (is_zero_const ren && is_zero_const cen) then
+        chk ~what:(what "data") (cone_r ro "d") (cone_c co "d"));
+  pair ~what:"counter" (fun (o : Dp.operator) -> o.Dp.id)
+    (ops_of rc.dp "counter") (ops_of cc.dp "counter") (fun ro co ->
+      if int_param ro "init" <> int_param co "init" then
+        raise
+          (Refute
+             (Printf.sprintf "counter %s: reset values differ" ro.Dp.id));
+      let what p = Printf.sprintf "counter %s %s" ro.Dp.id p in
+      chk ~what:(what "enable") (cone_r ro "en") (cone_c co "en");
+      let rload = cone_r ro "load" and cload = cone_c co "load" in
+      chk ~what:(what "load") rload cload;
+      if not (is_zero_const rload && is_zero_const cload) then
+        chk ~what:(what "data") (cone_r ro "d") (cone_c co "d"));
+  pair ~what:"memory port" mem_param (ops_of rc.dp "sram")
+    (ops_of cc.dp "sram") (fun ro co ->
+      let m = mem_param ro in
+      let what p = Printf.sprintf "memory %s %s" m p in
+      let rwe = cone_r ro "we" and cwe = cone_c co "we" in
+      chk ~what:(what "write enable") rwe cwe;
+      if not (is_zero_const rwe && is_zero_const cwe) then begin
+        chk ~what:(what "write address") (cone_r ro "addr") (cone_c co "addr");
+        chk ~what:(what "write data") (cone_r ro "din") (cone_c co "din")
+      end);
+  pair ~what:"check" (fun (o : Dp.operator) -> o.Dp.id) (ops_of rc.dp "check")
+    (ops_of cc.dp "check") (fun ro co ->
+      if int_param ro "value" <> int_param co "value" then
+        raise
+          (Refute
+             (Printf.sprintf "check %s: expected values differ" ro.Dp.id));
+      let what p = Printf.sprintf "check %s %s" ro.Dp.id p in
+      let ren = cone_r ro "en" and cen = cone_c co "en" in
+      chk ~what:(what "enable") ren cen;
+      if not (is_zero_const ren && is_zero_const cen) then
+        chk ~what:(what "value") (cone_r ro "a") (cone_c co "a"));
+  pair ~what:"stop" (fun (o : Dp.operator) -> o.Dp.id) (ops_of rc.dp "stop")
+    (ops_of cc.dp "stop") (fun ro co ->
+      chk
+        ~what:(Printf.sprintf "stop %s enable" ro.Dp.id)
+        (cone_r ro "en") (cone_c co "en"));
+  pair ~what:"probe" (fun (o : Dp.operator) -> o.Dp.id) (ops_of rc.dp "probe")
+    (ops_of cc.dp "probe") (fun ro co ->
+      chk
+        ~what:(Printf.sprintf "probe %s" ro.Dp.id)
+        (cone_r ro "a") (cone_c co "a"))
+
+let status_cone (ctx : hw_ctx) name =
+  match
+    List.find_opt (fun (s : Dp.status) -> s.Dp.st_name = name) ctx.dp.Dp.statuses
+  with
+  | None ->
+      raise (Refute (Printf.sprintf "guard references unknown status %S" name))
+  | Some s -> (
+      match Dp.find_operator ctx.dp s.Dp.st_source.Dp.inst with
+      | None ->
+          raise
+            (Refute
+               (Printf.sprintf "status %S taps a missing operator %S" name
+                  s.Dp.st_source.Dp.inst))
+      | Some op -> op_cone ctx op)
+
+(* Transition comparison: same decision structure (guards compared as
+   formulas over status names), same targets in the same priority order,
+   and semantically equivalent status cones. [subst_ref] post-processes
+   the reference cones — identity in lockstep, the fold witness's
+   register substitution in stuttering. [rename] maps reference targets
+   into the candidate's state space (identity except for fold). *)
+let compare_transitions ~samples ~state ?(subst_ref = fun s -> s)
+    ?(rename = fun t -> t) rc cc (rs : Fsm.state) (cs : Fsm.state) =
+  if List.length rs.Fsm.transitions <> List.length cs.Fsm.transitions then
+    raise
+      (Refute
+         (Printf.sprintf "state %s: transition counts differ (%d vs %d)" state
+            (List.length rs.Fsm.transitions)
+            (List.length cs.Fsm.transitions)));
+  List.iter2
+    (fun (rt : Fsm.transition) (ct : Fsm.transition) ->
+      if rename rt.Fsm.target <> ct.Fsm.target then
+        raise
+          (Refute
+             (Printf.sprintf "state %s: transition targets differ (%s vs %s)"
+                state rt.Fsm.target ct.Fsm.target));
+      if not (Guard.equal rt.Fsm.guard ct.Fsm.guard) then
+        raise
+          (Refute
+             (Printf.sprintf "state %s: guards differ (%S vs %S)" state
+                (Guard.to_string rt.Fsm.guard)
+                (Guard.to_string ct.Fsm.guard)));
+      List.iter
+        (fun sig_name ->
+          check_equiv ~samples ~state
+            ~what:(Printf.sprintf "status %s (guard %S)" sig_name
+                     (Guard.to_string rt.Fsm.guard))
+            (subst_ref (status_cone rc sig_name))
+            (status_cone cc sig_name))
+        (Guard.signals rt.Fsm.guard))
+    rs.Fsm.transitions cs.Fsm.transitions
+
+(* ------------------------------------------------------------------ *)
+(* Share pass: lockstep product                                         *)
+
+let lockstep ~bounds rside cside =
+  let nodes = ref 0 in
+  let samples = bounds.samples in
+  if rside.fsm.Fsm.initial <> cside.fsm.Fsm.initial then
+    raise
+      (Refute
+         (Printf.sprintf "initial states differ (%s vs %s)"
+            rside.fsm.Fsm.initial cside.fsm.Fsm.initial));
+  let names f = List.map (fun (s : Fsm.state) -> s.Fsm.sname) f.Fsm.states in
+  if
+    List.sort compare (names rside.fsm) <> List.sort compare (names cside.fsm)
+  then raise (Refute "the pass changed the FSM state set");
+  List.iter
+    (fun (rs : Fsm.state) ->
+      let cs =
+        match Fsm.find_state cside.fsm rs.Fsm.sname with
+        | Some s -> s
+        | None -> assert false
+      in
+      if rs.Fsm.is_done <> cs.Fsm.is_done then
+        raise
+          (Refute (Printf.sprintf "state %s: done flags differ" rs.Fsm.sname));
+      let rc = state_ctx ~nodes ~max_nodes:bounds.max_nodes rside rs
+      and cc = state_ctx ~nodes ~max_nodes:bounds.max_nodes cside cs in
+      compare_effects ~samples ~state:rs.Fsm.sname rc cc;
+      compare_transitions ~samples ~state:rs.Fsm.sname rc cc rs cs)
+    rside.fsm.Fsm.states
+
+(* ------------------------------------------------------------------ *)
+(* Fold pass: stuttering product with a state-map witness               *)
+
+let seq_effects (ctx : hw_ctx) =
+  (* (enable cone, substitution entry) of every architectural write in
+     one state: the basis of both the effect-free check and the fold
+     substitution. *)
+  let regs =
+    List.map
+      (fun (o : Dp.operator) ->
+        (o, cone ctx (o.Dp.id ^ ".en"), `Reg))
+      (ops_of ctx.dp "reg")
+  and counters =
+    List.map
+      (fun (o : Dp.operator) -> (o, cone ctx (o.Dp.id ^ ".en"), `Counter))
+      (ops_of ctx.dp "counter")
+  and srams =
+    List.map
+      (fun (o : Dp.operator) -> (o, cone ctx (o.Dp.id ^ ".we"), `Sram))
+      (ops_of ctx.dp "sram")
+  and checks =
+    List.map
+      (fun (o : Dp.operator) -> (o, cone ctx (o.Dp.id ^ ".en"), `Check))
+      (ops_of ctx.dp "check")
+  and stops =
+    List.map
+      (fun (o : Dp.operator) -> (o, cone ctx (o.Dp.id ^ ".en"), `Stop))
+      (ops_of ctx.dp "stop")
+  in
+  regs @ counters @ srams @ checks @ stops
+
+let assert_effect_free ctx state =
+  List.iter
+    (fun ((o : Dp.operator), en, _) ->
+      if not (is_zero_const en) then
+        raise
+          (Refute
+             (Printf.sprintf
+                "state %s was eliminated by the fold but arms %s %s there"
+                state o.Dp.kind o.Dp.id)))
+    (seq_effects ctx)
+
+(* The fold witness: folded state F absorbs its successor X's branch
+   decision. X's guards evaluate {e after} F's register writes commit,
+   so the reference status cones must be rebased onto F's entry state by
+   substituting every written register with the cone of the value it
+   receives. Conditional writes (non-constant enables) and memory reads
+   of a memory written in F have no sound rebase — refuted as an
+   unsupported witness rather than silently accepted. *)
+let fold_subst (ctx : hw_ctx) state =
+  let sigma = Hashtbl.create 8 in
+  let written_mems = ref [] in
+  List.iter
+    (fun ((o : Dp.operator), en, cls) ->
+      match cls with
+      | `Check | `Stop -> ()
+      | `Sram ->
+          if not (is_zero_const en) then
+            written_mems := mem_param o :: !written_mems
+      | `Reg -> (
+          match en with
+          | Sconst (_, 0) -> ()
+          | Sconst (_, _) ->
+              Hashtbl.replace sigma o.Dp.id (cone ctx (o.Dp.id ^ ".d"))
+          | _ ->
+              raise
+                (Refute
+                   (Printf.sprintf
+                      "state %s: register %s is conditionally written before \
+                       a folded branch — no sound fold witness"
+                      state o.Dp.id)))
+      | `Counter -> (
+          match en with
+          | Sconst (_, 0) -> ()
+          | Sconst (_, _) -> (
+              match cone ctx (o.Dp.id ^ ".load") with
+              | Sconst (_, 0) ->
+                  Hashtbl.replace sigma o.Dp.id
+                    (Sapp
+                       ( "add",
+                         o.Dp.width,
+                         [ Sreg (o.Dp.id, o.Dp.width); Sconst (o.Dp.width, 1) ]
+                       ))
+              | Sconst (_, _) ->
+                  Hashtbl.replace sigma o.Dp.id (cone ctx (o.Dp.id ^ ".d"))
+              | _ ->
+                  raise
+                    (Refute
+                       (Printf.sprintf
+                          "state %s: counter %s load is not resolved before a \
+                           folded branch — no sound fold witness"
+                          state o.Dp.id)))
+          | _ ->
+              raise
+                (Refute
+                   (Printf.sprintf
+                      "state %s: counter %s is conditionally stepped before a \
+                       folded branch — no sound fold witness"
+                      state o.Dp.id))))
+    (seq_effects ctx);
+  let rec apply = function
+    | Sconst _ as s -> s
+    | Sreg (id, _) as s -> (
+        match Hashtbl.find_opt sigma id with Some d -> d | None -> s)
+    | Sread (m, w, a) ->
+        if List.mem m !written_mems then
+          raise
+            (Refute
+               (Printf.sprintf
+                  "state %s: a folded guard reads memory %s written in the \
+                   same state — no sound fold witness"
+                  state m))
+        else Sread (m, w, apply a)
+    | Sapp (kind, w, args) -> Sapp (kind, w, List.map apply args)
+    | Sfree _ as s -> s
+  in
+  apply
+
+let stutter ~bounds rside cside =
+  let nodes = ref 0 in
+  let samples = bounds.samples in
+  let ctx side st = state_ctx ~nodes ~max_nodes:bounds.max_nodes side st in
+  if rside.fsm.Fsm.initial <> cside.fsm.Fsm.initial then
+    raise (Refute "the fold moved the initial state");
+  let consumed = Hashtbl.create 8 in
+  List.iter
+    (fun (fs : Fsm.state) ->
+      match Fsm.find_state rside.fsm fs.Fsm.sname with
+      | None ->
+          raise
+            (Refute
+               (Printf.sprintf "state %s exists only in the folded machine"
+                  fs.Fsm.sname))
+      | Some us -> (
+          if us.Fsm.is_done <> fs.Fsm.is_done then
+            raise
+              (Refute
+                 (Printf.sprintf "state %s: done flags differ" fs.Fsm.sname));
+          let rc = ctx rside us and cc = ctx cside fs in
+          compare_effects ~samples ~state:fs.Fsm.sname rc cc;
+          match us.Fsm.transitions with
+          | [ { Fsm.guard = Guard.True; target = x } ]
+            when Fsm.find_state cside.fsm x = None -> (
+              match Fsm.find_state rside.fsm x with
+              | None ->
+                  raise
+                    (Refute
+                       (Printf.sprintf
+                          "state %s jumps to %s which neither machine defines"
+                          us.Fsm.sname x))
+              | Some xs ->
+                  if xs.Fsm.is_done then
+                    raise
+                      (Refute
+                         (Printf.sprintf
+                            "the fold eliminated the done state %s" x));
+                  let rcx = ctx rside xs in
+                  assert_effect_free rcx x;
+                  Hashtbl.replace consumed x ();
+                  let subst_ref = fold_subst rc us.Fsm.sname in
+                  compare_transitions ~samples ~state:fs.Fsm.sname ~subst_ref
+                    rcx cc xs fs)
+          | _ -> compare_transitions ~samples ~state:fs.Fsm.sname rc cc us fs))
+    cside.fsm.Fsm.states;
+  List.iter
+    (fun (us : Fsm.state) ->
+      if
+        Fsm.find_state cside.fsm us.Fsm.sname = None
+        && not (Hashtbl.mem consumed us.Fsm.sname)
+      then
+        raise
+          (Refute
+             (Printf.sprintf
+                "state %s was eliminated without a stuttering witness"
+                us.Fsm.sname)))
+    rside.fsm.Fsm.states
+
+(* ------------------------------------------------------------------ *)
+(* Invariant preservation                                               *)
+
+let invariants_preserved ?memories rside cside =
+  let run side =
+    try Ok (Absint.analyze ?memories side.dp side.fsm)
+    with Failure m -> Error m
+  in
+  (* A lost proof is never a counterexample: the abstract interpreter
+     answers in may-warnings, and a pass may legitimately push a design
+     outside the abstraction's precision (pooled selection muxes widen
+     address cones, so a shared design can gain an AI002/AI004 finding
+     the dedicated design was free of — the fuzzer found exactly that
+     on its first certified campaign). Equivalence is then undecided at
+     this abstraction, i.e. [Inconclusive]; only the cone comparisons,
+     which exhibit concrete witnesses, may refute. *)
+  match (run rside, run cside) with
+  | Error _, _ ->
+      (* The reference design is not analyzable (it would not pass the
+         lint gate either); there is no invariant baseline to preserve. *)
+      ()
+  | Ok _, Error m ->
+      raise
+        (Bound
+           (Printf.sprintf
+              "invariant AI: the pass input is analyzable but the output \
+               is not (%s)" m))
+  | Ok ra, Ok ca ->
+      let codes a =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun (d : Diag.t) ->
+               if d.Diag.severity = Diag.Note then None else Some d.Diag.code)
+             (Absint.diagnostics a))
+      in
+      let rcodes = codes ra in
+      List.iter
+        (fun c ->
+          if not (List.mem c rcodes) then
+            raise
+              (Bound
+                 (Printf.sprintf
+                    "invariant %s: provable on the pass input but not \
+                     re-established on the output (abstraction precision)"
+                    c)))
+        (codes ca);
+      let unproved a =
+        List.length
+          (List.filter
+             (fun (f : Absint.cycle_finding) ->
+               match f.Absint.cycle_verdict with
+               | Absint.Proved_acyclic -> false
+               | Absint.Dynamic_cycle _ | Absint.Unresolved _ -> true)
+             (Absint.cycle_findings a))
+      in
+      if unproved ca > unproved ra then
+        raise
+          (Bound
+             "invariant AI007: a combinational-cycle proof on the pass \
+              input has no counterpart on the output")
+
+(* ------------------------------------------------------------------ *)
+
+let validate_hardware ?(bounds = default_bounds) ?memories ~pass
+    ~reference ~candidate () =
+  let rside = make_side reference and cside = make_side candidate in
+  try
+    (match pass with
+    | Optimize_pass ->
+        invalid_arg
+          "Tv.validate_hardware: Optimize_pass is validated at source level"
+    | Share_pass -> lockstep ~bounds rside cside
+    | Fold_pass -> stutter ~bounds rside cside);
+    invariants_preserved ?memories rside cside;
+    Validated
+  with
+  | Refute witness -> Refuted { witness }
+  | Bound bound -> Inconclusive { bound }
+  | Bitvec.Width_error m ->
+      Refuted { witness = "width mismatch while evaluating cones: " ^ m }
