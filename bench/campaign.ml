@@ -235,11 +235,13 @@ let bench_fuzz () =
     (List.length stats.Fuzz.Driver.divergences)
 
 (* Translation-validation throughput: certify every builtin kernel with
-   all three transforming passes enabled and aggregate validator wall
-   time per pass. The verdict counts double as a health check — a
-   refuted or inconclusive certificate on a builtin kernel is a
-   regression the tv test suite will also catch, but the benchmark
-   surfaces it in the perf record too. *)
+   all three transforming passes enabled (default decide engine) and
+   aggregate validator wall time per pass, plus the engine's per-stage
+   split — normalize / bit-blast / SAT-solve — from the {!Ec.Term.Stats}
+   accumulator. The verdict counts double as a health check — a refuted
+   or inconclusive certificate on a builtin kernel is a regression the
+   tv test suite will also catch, but the benchmark surfaces it in the
+   perf record too. *)
 let bench_tv () =
   let totals = Hashtbl.create 3 in
   let bump pass seconds ok =
@@ -249,6 +251,7 @@ let bench_tv () =
     Hashtbl.replace totals pass
       (t +. seconds, n + 1, bad + if ok then 0 else 1)
   in
+  Ec.Term.Stats.reset ();
   List.iter
     (fun (case : Testinfra.Suite.case) ->
       let compiled =
@@ -264,9 +267,10 @@ let bench_tv () =
       List.iter
         (fun (r : Tv.report) ->
           bump (Tv.pass_name r.Tv.pass) r.Tv.seconds
-            (r.Tv.cert = Tv.Validated))
+            (r.Tv.cert = Tv.Proved))
         (Compiler.Compile.certify compiled))
     (Testinfra.Suite.builtin_cases ());
+  let st = Ec.Term.Stats.get () in
   let rows =
     List.filter_map
       (fun pass ->
@@ -274,17 +278,32 @@ let bench_tv () =
         | None -> None
         | Some (t, n, bad) ->
             Printf.printf
-              "tv pass=%s: %d certificate(s), %.4fs total, %d not validated\n"
+              "tv pass=%s: %d certificate(s), %.4fs total, %d not proved\n"
               pass n t bad;
             Some
               (Printf.sprintf
                  {|    { "pass": "%s", "certificates": %d,
-      "wall_seconds": %.6f, "not_validated": %d }|}
+      "wall_seconds": %.6f, "not_proved": %d }|}
                  pass n t bad))
       [ "optimize"; "share"; "fold" ]
   in
-  Printf.sprintf "  \"tv\": [\n%s\n  ],"
+  Printf.printf
+    "tv decide stages: normalize %.4fs, blast %.4fs, solve %.4fs (%d SAT \
+     calls, %d conflicts)\n"
+    st.Ec.Term.Stats.normalize_s st.Ec.Term.Stats.blast_s
+    st.Ec.Term.Stats.solve_s st.Ec.Term.Stats.sat_calls
+    st.Ec.Term.Stats.conflicts;
+  Printf.sprintf
+    {|  "tv": [
+%s
+  ],
+  "tv_decide_stages": { "engine": "decide",
+    "normalize_seconds": %.6f, "blast_seconds": %.6f,
+    "solve_seconds": %.6f, "sat_calls": %d, "conflicts": %d },|}
     (String.concat ",\n" rows)
+    st.Ec.Term.Stats.normalize_s st.Ec.Term.Stats.blast_s
+    st.Ec.Term.Stats.solve_s st.Ec.Term.Stats.sat_calls
+    st.Ec.Term.Stats.conflicts
 
 let () =
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
@@ -295,7 +314,7 @@ let () =
     Printf.sprintf
       {|{
   "benchmark": "faultcamp-campaign",
-  "schema_version": 6,
+  "schema_version": 7,
   "seed": %d,
   "faults_base": %d,
   "faults_floor": %d,

@@ -674,7 +674,23 @@ let cmd_fuzz =
     Arg.(value & opt int 200_000 & info [ "max-cycles" ] ~docv:"N"
            ~doc:"Per-backend clock-cycle bound for each program.")
   in
-  let run n seed backends max_shrink out replay max_cycles =
+  let tv_engine_arg =
+    Arg.(value & opt string "decide"
+         & info [ "tv-engine" ] ~docv:"ENGINE"
+             ~doc:"Translation-validation engine the oracle certifies \
+                   with: $(b,decide) (default, SAT-backed) or \
+                   $(b,sample) (FNV sampling alone).")
+  in
+  let shrink_class_arg =
+    Arg.(value & opt (some string) None
+         & info [ "shrink-class" ] ~docv:"CLASS"
+             ~doc:"Divergence class the shrinker must preserve when a \
+                   program exhibits several (e.g. $(b,share/tv/share) to \
+                   minimize a validator alarm); default: the \
+                   lexicographically first class.")
+  in
+  let run n seed backends max_shrink out replay max_cycles tv_engine
+      shrink_class =
     handle_errors (fun () ->
         if n < 1 then begin
           Printf.eprintf "error: -n must be >= 1 (got %d)\n" n;
@@ -713,10 +729,20 @@ let cmd_fuzz =
           end;
           parsed
         in
+        let tv_engine =
+          match tv_engine with
+          | "decide" -> Tv.Decide
+          | "sample" -> Tv.Sample
+          | s ->
+              Printf.eprintf
+                "error: unknown --tv-engine %S (expected decide or sample)\n"
+                s;
+              exit 1
+        in
         match replay with
         | Some dir ->
             let results =
-              Fuzz.Driver.replay ~backends ~max_cycles ~dir ()
+              Fuzz.Driver.replay ~backends ~max_cycles ~tv_engine ~dir ()
             in
             if results = [] then begin
               Printf.eprintf "error: no .alg files in %s\n" dir;
@@ -744,7 +770,7 @@ let cmd_fuzz =
             let progress line = Printf.eprintf "%s\n%!" line in
             let stats =
               Fuzz.Driver.run ~n ~seed ~backends ~max_shrink ~max_cycles
-                ?out_dir:out ~progress ()
+                ~tv_engine ?shrink_class ?out_dir:out ~progress ()
             in
             Printf.printf
               "fuzz: %d programs (seed %d): %d agreed, %d rejected, %d \
@@ -773,7 +799,7 @@ let cmd_fuzz =
              divergences are shrunk to minimal .alg reproducers.")
     Term.(
       const run $ n_arg $ seed_arg $ backends_arg $ max_shrink_arg $ out_arg
-      $ replay_arg $ fuzz_max_cycles_arg)
+      $ replay_arg $ fuzz_max_cycles_arg $ tv_engine_arg $ shrink_class_arg)
 
 (* --- tv ------------------------------------------------------------------ *)
 
@@ -811,6 +837,29 @@ let cmd_tv =
          & info [ "samples" ] ~docv:"N"
              ~doc:"Concrete samples per semantic comparison.")
   in
+  let max_conflicts_arg =
+    Arg.(value & opt int Tv.default_bounds.Tv.max_conflicts
+         & info [ "max-conflicts" ] ~docv:"N"
+             ~doc:"SAT conflicts per decide-engine query before the \
+                   certificate reports inconclusive.")
+  in
+  let engine_arg =
+    let engine_conv =
+      Arg.conv
+        ( (fun s ->
+            match s with
+            | "sample" -> Ok Tv.Sample
+            | "decide" -> Ok Tv.Decide
+            | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))),
+          fun fmt e -> Format.pp_print_string fmt (Tv.engine_name e) )
+    in
+    Arg.(value & opt engine_conv Tv.Decide
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"Semantic-comparison engine: $(b,decide) (default) \
+                   settles every comparison with a bit-blasted SAT query \
+                   and certifies \"proved\"; $(b,sample) keeps the legacy \
+                   FNV sampler alone and certifies \"validated\".")
+  in
   (* Each transforming pass must be certified at least once in isolation
      and once composed with the others — "plain" has nothing to
      validate, so it is not a variant here. *)
@@ -822,7 +871,8 @@ let cmd_tv =
       ("all", options_of true true true);
     ]
   in
-  let run paths builtin json no_timing max_pairs max_nodes samples =
+  let run paths builtin json no_timing max_pairs max_nodes samples
+      max_conflicts engine =
     handle_errors (fun () ->
         if paths = [] && not builtin then
           failwith "nothing to certify: pass program files or --builtin";
@@ -835,7 +885,11 @@ let cmd_tv =
         if samples < 1 then
           failwith
             (Printf.sprintf "--samples must be >= 1 (got %d)" samples);
-        let bounds = { Tv.max_pairs; max_nodes; samples } in
+        if max_conflicts < 1 then
+          failwith
+            (Printf.sprintf "--max-conflicts must be >= 1 (got %d)"
+               max_conflicts);
+        let bounds = { Tv.max_pairs; max_nodes; samples; max_conflicts } in
         let sources =
           List.map
             (fun p ->
@@ -859,7 +913,7 @@ let cmd_tv =
                   let label = Printf.sprintf "%s/%s" name vname in
                   List.map
                     (fun r -> (label, r))
-                    (Compiler.Compile.certify ~bounds compiled))
+                    (Compiler.Compile.certify ~bounds ~engine compiled))
                 tv_variants)
             sources
         in
@@ -872,13 +926,14 @@ let cmd_tv =
         in
         let verdict (r : Tv.report) =
           match r.Tv.cert with
+          | Tv.Proved -> "proved"
           | Tv.Validated -> "validated"
           | Tv.Refuted _ -> "refuted"
           | Tv.Inconclusive _ -> "inconclusive"
         in
         let detail (r : Tv.report) =
           match r.Tv.cert with
-          | Tv.Validated -> None
+          | Tv.Proved | Tv.Validated -> None
           | Tv.Refuted { witness } -> Some witness
           | Tv.Inconclusive { bound } -> Some bound
         in
@@ -890,10 +945,11 @@ let cmd_tv =
                   (fun (label, (r : Tv.report)) ->
                     Printf.sprintf
                       "  { \"label\": %S, \"configuration\": %S, \"pass\": \
-                       %S, \"verdict\": %S%s, \"seconds\": %.6f }"
+                       %S, \"engine\": %S, \"verdict\": %S%s, \"seconds\": \
+                       %.6f }"
                       label r.Tv.partition
                       (Tv.pass_name r.Tv.pass)
-                      (verdict r)
+                      (Tv.engine_name engine) (verdict r)
                       (match detail r with
                       | None -> ""
                       | Some d -> Printf.sprintf ", \"detail\": %S" d)
@@ -914,8 +970,10 @@ let cmd_tv =
             List.length (List.filter (fun (_, r) -> pred r) reports)
           in
           Printf.printf
-            "%d certificate(s): %d validated, %d refuted, %d inconclusive\n"
+            "%d certificate(s): %d proved, %d validated, %d refuted, %d \
+             inconclusive\n"
             (List.length reports)
+            (count (fun r -> r.Tv.cert = Tv.Proved))
             (count (fun r -> r.Tv.cert = Tv.Validated))
             (count (fun r ->
                  match r.Tv.cert with Tv.Refuted _ -> true | _ -> false))
@@ -923,7 +981,13 @@ let cmd_tv =
                  match r.Tv.cert with Tv.Inconclusive _ -> true | _ -> false))
         end;
         exit
-          (if List.for_all (fun (_, r) -> r.Tv.cert = Tv.Validated) reports
+          (if
+             List.for_all
+               (fun (_, (r : Tv.report)) ->
+                 match r.Tv.cert with
+                 | Tv.Proved | Tv.Validated -> true
+                 | Tv.Refuted _ | Tv.Inconclusive _ -> false)
+               reports
            then 0
            else 1))
   in
@@ -933,11 +997,15 @@ let cmd_tv =
              transforming-pass variant and certify each enabled pass \
              equivalent to its input (simulation relation at source \
              level, lockstep or stuttering FSMD product at hardware \
-             level). Exits non-zero unless every certificate is \
+             level). The default $(b,decide) engine discharges every \
+             semantic comparison with a bit-blasted SAT query, so a \
+             certificate reads \"proved\", not merely \"validated\". \
+             Exits non-zero unless every certificate is proved or \
              validated.")
     Term.(
       const run $ paths_arg $ builtin_arg $ json_arg $ no_timing_arg
-      $ max_pairs_arg $ max_nodes_arg $ samples_arg)
+      $ max_pairs_arg $ max_nodes_arg $ samples_arg $ max_conflicts_arg
+      $ engine_arg)
 
 (* --- fig1 ---------------------------------------------------------------- *)
 

@@ -21,6 +21,7 @@ type t = {
   partitions : partition list;
   rtg : Rtg.t;
   mutable tv : Tv.report list;
+  mutable tv_engine : Tv.engine option;
 }
 
 exception Error of string list
@@ -173,8 +174,8 @@ let readonly_mem_inits prog =
       else Some (m.Ast.mem_name, m.Ast.mem_init))
     prog.Ast.mems
 
-let certify ?bounds t =
-  if t.tv <> [] then t.tv
+let certify ?bounds ?(engine = Tv.Decide) t =
+  if t.tv <> [] && t.tv_engine = Some engine then t.tv
   else
     let prog = t.program in
     let width = prog.Ast.prog_width in
@@ -219,13 +220,13 @@ let certify ?bounds t =
           if t.options.optimize then
             push Tv.Optimize_pass
               (timed (fun () ->
-                   Tv.validate_source ?bounds ~width
+                   Tv.validate_source ?bounds ~engine ~width
                      ~pre:(graph_of_cfg (Cfg.build (List.nth source_parts p.index)))
                      ~post:(graph_of_cfg p.cfg) ()));
           if t.options.share_operators then
             push Tv.Share_pass
               (timed (fun () ->
-                   Tv.validate_hardware ?bounds ~memories:mem_inits
+                   Tv.validate_hardware ?bounds ~engine ~memories:mem_inits
                      ~pass:Tv.Share_pass
                      ~reference:
                        (generate ~share:false ~fold:t.options.fold_branches)
@@ -233,7 +234,7 @@ let certify ?bounds t =
           if t.options.fold_branches then
             push Tv.Fold_pass
               (timed (fun () ->
-                   Tv.validate_hardware ?bounds ~memories:mem_inits
+                   Tv.validate_hardware ?bounds ~engine ~memories:mem_inits
                      ~pass:Tv.Fold_pass
                      ~reference:
                        (generate ~share:t.options.share_operators ~fold:false)
@@ -242,6 +243,7 @@ let certify ?bounds t =
         t.partitions
     in
     t.tv <- reports;
+    t.tv_engine <- Some engine;
     reports
 
 let lint_deep t =
@@ -328,7 +330,17 @@ let compile ?(options = default_options) ?(deep_gate = false)
     }
   in
   Rtg.validate rtg;
-  let t = { program = prog; source; options; partitions; rtg; tv = [] } in
+  let t =
+    {
+      program = prog;
+      source;
+      options;
+      partitions;
+      rtg;
+      tv = [];
+      tv_engine = None;
+    }
+  in
   let gate_diags =
     if deep_gate then (lint_deep t).Lint.deep_diags else lint t
   in

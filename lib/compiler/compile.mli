@@ -46,6 +46,8 @@ type t = {
   mutable tv : Tv.report list;
       (** Per-pass translation-validation certificates, filled by
           {!certify} (empty until requested). *)
+  mutable tv_engine : Tv.engine option;
+      (** Engine the cached certificates were produced with. *)
 }
 
 exception Error of string list
@@ -66,7 +68,7 @@ val compile :
     compile-time gate ({!Tv.Inconclusive} passes the gate; it is a
     resource verdict, surfaced as a TV002 warning by {!lint_deep}). *)
 
-val certify : ?bounds:Tv.bounds -> t -> Tv.report list
+val certify : ?bounds:Tv.bounds -> ?engine:Tv.engine -> t -> Tv.report list
 (** One certificate per enabled transforming pass per partition, in
     pipeline order (optimize, share, fold): the {!Optimize} rewrite is
     validated against the pre-pass CFG by {!Tv.validate_source}; the
@@ -74,8 +76,10 @@ val certify : ?bounds:Tv.bounds -> t -> Tv.report list
     regenerated reference hardware (the same partition CFG with the pass
     under scrutiny disabled) by {!Tv.validate_hardware}, including the
     {!Absint} invariant-preservation query over the program's read-only
-    memories. Results are cached on [t.tv]; an empty list means no
-    transforming pass was enabled. *)
+    memories. [engine] defaults to {!Tv.Decide} (SAT-backed {!Tv.Proved}
+    certificates); results are cached on [t.tv] keyed by the engine
+    that produced them — asking again with the other engine re-runs the
+    validators. An empty list means no transforming pass was enabled. *)
 
 val lint : t -> Diag.t list
 (** Whole-design lint of the generated bundle ({!Lint.run_bundle} over

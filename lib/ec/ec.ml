@@ -1,0 +1,9 @@
+(** The equivalence-checking engine: {!Sampler} (deterministic
+    concrete worlds), {!Term} (hash-consed normalizing terms), {!Sat}
+    (the CDCL core) and, included at the top level, the staged
+    {!Decide.decide} pipeline. *)
+
+module Sampler = Sampler
+module Sat = Sat
+module Term = Term
+include Decide

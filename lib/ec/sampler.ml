@@ -1,0 +1,19 @@
+let hash_mix h v =
+  let h = (h lxor v) * 0x100000001b3 in
+  h land max_int
+
+let hash_string seed s =
+  let h = ref (hash_mix 0x1403_5af3 seed) in
+  String.iter (fun c -> h := hash_mix !h (Char.code c)) s;
+  !h
+
+let value ~width name k =
+  match k with
+  | 0 -> Bitvec.zero width
+  | 1 -> Bitvec.ones width
+  | 2 -> Bitvec.one width
+  | 3 -> Bitvec.shift_left (Bitvec.one width) (width - 1)
+  | _ -> Bitvec.create ~width (hash_string (k * 0x9e3779b9) name)
+
+let mem ~width name addr k =
+  Bitvec.create ~width (hash_mix (hash_string (k lxor 0x5ca1ab1e) name) addr)

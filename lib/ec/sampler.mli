@@ -1,0 +1,27 @@
+(** Deterministic FNV-seeded sampling.
+
+    Free values (registers, source variables, deleted temporaries) and
+    memory contents are drawn from a deterministic hash of their name
+    and the sample index, so both sides of an equivalence comparison
+    observe the same world. The first samples are corner values shared
+    by every name — ties like [x - x] need the hash samples to break
+    them, and overflow corners need the all-ones/sign-bit worlds.
+
+    This is the single sampler of the infrastructure: {!Tv} uses it as
+    the pre-filter of its staged pipeline and {!Decide} uses it to hunt
+    counterexamples before bit-blasting, so a sample index means the
+    same concrete world everywhere. *)
+
+val hash_mix : int -> int -> int
+(** One FNV-1a style mixing step, kept non-negative. *)
+
+val hash_string : int -> string -> int
+(** [hash_string seed s] folds [s] into the seeded hash. *)
+
+val value : width:int -> string -> int -> Bitvec.t
+(** [value ~width name k] is the sample of free value [name] in world
+    [k]. Worlds 0–3 are the corners: zero, all-ones, one, sign bit. *)
+
+val mem : width:int -> string -> int -> int -> Bitvec.t
+(** [mem ~width name addr k] is the content of memory [name] at
+    concrete address [addr] in world [k]. *)

@@ -1,0 +1,300 @@
+(* CDCL with two watched literals, first-UIP learning, phase saving and
+   geometric restarts. Clauses are int arrays of internal literals:
+   variable v (1-based) is lit [2v], its negation [2v+1]. There is no
+   clause-database reduction — blasted equivalence queries are small and
+   short-lived, so every learnt clause is kept. *)
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : int array array;  (* growable; learnt appended *)
+  mutable nclauses : int;
+  mutable watches : int list array;  (* internal lit -> clause indices *)
+  mutable value : int array;  (* var -> 0 unassigned / 1 true / -1 false *)
+  mutable level : int array;
+  mutable reason : int array;  (* var -> clause index or -1 *)
+  mutable activity : float array;
+  mutable polarity : bool array;  (* saved phase *)
+  mutable seen : bool array;  (* analyze scratch *)
+  mutable trail : int array;  (* internal lits in assignment order *)
+  mutable trail_len : int;
+  mutable trail_lim : int list;  (* trail lengths at decision points *)
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable confl_count : int;
+  mutable unsat : bool;  (* an empty clause was added *)
+}
+
+let create () =
+  {
+    nvars = 0;
+    clauses = Array.make 64 [||];
+    nclauses = 0;
+    watches = Array.make 16 [];
+    value = Array.make 8 0;
+    level = Array.make 8 0;
+    reason = Array.make 8 (-1);
+    activity = Array.make 8 0.0;
+    polarity = Array.make 8 false;
+    seen = Array.make 8 false;
+    trail = Array.make 8 0;
+    trail_len = 0;
+    trail_lim = [];
+    qhead = 0;
+    var_inc = 1.0;
+    confl_count = 0;
+    unsat = false;
+  }
+
+let grow a n fill =
+  if Array.length a > n then a
+  else begin
+    let a' = Array.make (max (2 * Array.length a) (n + 1)) fill in
+    Array.blit a 0 a' 0 (Array.length a);
+    a'
+  end
+
+let new_var s =
+  s.nvars <- s.nvars + 1;
+  let v = s.nvars in
+  s.value <- grow s.value v 0;
+  s.level <- grow s.level v 0;
+  s.reason <- grow s.reason v (-1);
+  s.activity <- grow s.activity v 0.0;
+  s.polarity <- grow s.polarity v false;
+  s.seen <- grow s.seen v false;
+  s.trail <- grow s.trail v 0;
+  s.watches <- grow s.watches ((2 * v) + 1) [];
+  v
+
+let var l = l lsr 1
+let neg l = l lxor 1
+let of_dimacs l = if l > 0 then 2 * l else (2 * -l) + 1
+
+(* 0 unassigned, 1 true, -1 false *)
+let lit_value s l =
+  let v = s.value.(var l) in
+  if v = 0 then 0 else if l land 1 = 1 then -v else v
+
+let decision_level s = List.length s.trail_lim
+
+let enqueue s l reason =
+  s.value.(var l) <- (if l land 1 = 1 then -1 else 1);
+  s.level.(var l) <- decision_level s;
+  s.reason.(var l) <- reason;
+  s.trail.(s.trail_len) <- l;
+  s.trail_len <- s.trail_len + 1
+
+let push_clause s c =
+  if s.nclauses >= Array.length s.clauses then begin
+    let a = Array.make (2 * Array.length s.clauses) [||] in
+    Array.blit s.clauses 0 a 0 s.nclauses;
+    s.clauses <- a
+  end;
+  s.clauses.(s.nclauses) <- c;
+  s.nclauses <- s.nclauses + 1;
+  s.nclauses - 1
+
+let watch s l ci = s.watches.(l) <- ci :: s.watches.(l)
+
+let add_clause s lits =
+  if not s.unsat then begin
+    let lits = List.sort_uniq compare (List.map of_dimacs lits) in
+    let taut = List.exists (fun l -> List.mem (neg l) lits) lits in
+    (* Level-0 simplification: drop false literals, skip satisfied. *)
+    let lits = List.filter (fun l -> lit_value s l >= 0) lits in
+    let satisfied = List.exists (fun l -> lit_value s l = 1) lits in
+    if not (taut || satisfied) then
+      match lits with
+      | [] -> s.unsat <- true
+      | [ l ] -> if lit_value s l = 0 then enqueue s l (-1)
+      | l0 :: l1 :: _ ->
+          let c = Array.of_list lits in
+          let ci = push_clause s c in
+          watch s l0 ci;
+          watch s l1 ci
+  end
+
+(* Returns the index of a falsified clause, or -1. *)
+let propagate s =
+  let confl = ref (-1) in
+  while !confl < 0 && s.qhead < s.trail_len do
+    let p = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    let fl = neg p in
+    (* Clauses watching [fl], which just became false. *)
+    let ws = s.watches.(fl) in
+    s.watches.(fl) <- [];
+    let rec go = function
+      | [] -> ()
+      | ci :: rest -> (
+          let c = s.clauses.(ci) in
+          if c.(0) = fl then begin
+            c.(0) <- c.(1);
+            c.(1) <- fl
+          end;
+          if lit_value s c.(0) = 1 then begin
+            watch s fl ci;
+            go rest
+          end
+          else
+            let n = Array.length c in
+            let rec find i =
+              if i >= n then -1
+              else if lit_value s c.(i) >= 0 then i
+              else find (i + 1)
+            in
+            match find 2 with
+            | i when i >= 0 ->
+                c.(1) <- c.(i);
+                c.(i) <- fl;
+                watch s c.(1) ci;
+                go rest
+            | _ ->
+                watch s fl ci;
+                if lit_value s c.(0) = -1 then begin
+                  confl := ci;
+                  s.qhead <- s.trail_len;
+                  List.iter (fun ci' -> watch s fl ci') rest
+                end
+                else begin
+                  enqueue s c.(0) ci;
+                  go rest
+                end)
+    in
+    go ws
+  done;
+  !confl
+
+let bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 1 to s.nvars do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end
+
+let cancel_until s lvl =
+  let k = decision_level s in
+  if k > lvl then begin
+    (* trail_lim holds, most recent first, the trail length at each
+       decision point; dropping [k - lvl - 1] entries leaves the length
+       recorded when level [lvl + 1] was opened at the head. *)
+    let rec drop lims n = if n = 0 then lims else drop (List.tl lims) (n - 1) in
+    let lims = drop s.trail_lim (k - lvl - 1) in
+    let target = List.hd lims in
+    for i = s.trail_len - 1 downto target do
+      let v = var s.trail.(i) in
+      s.polarity.(v) <- s.value.(v) = 1;
+      s.value.(v) <- 0;
+      s.reason.(v) <- -1
+    done;
+    s.trail_len <- target;
+    s.qhead <- target;
+    s.trail_lim <- List.tl lims
+  end
+
+(* First-UIP conflict analysis: resolve backwards along the trail until
+   one literal of the current decision level remains. Returns the learnt
+   clause (asserting literal first) and the backjump level. *)
+let analyze s confl =
+  let out = ref [] in
+  let pathc = ref 0 in
+  let p = ref (-1) in
+  let idx = ref (s.trail_len - 1) in
+  let confl = ref confl in
+  let stop = ref false in
+  while not !stop do
+    let c = s.clauses.(!confl) in
+    Array.iter
+      (fun q ->
+        if q <> !p && (not s.seen.(var q)) && s.level.(var q) > 0 then begin
+          s.seen.(var q) <- true;
+          bump s (var q);
+          if s.level.(var q) >= decision_level s then incr pathc
+          else out := q :: !out
+        end)
+      c;
+    while not s.seen.(var s.trail.(!idx)) do
+      decr idx
+    done;
+    p := s.trail.(!idx);
+    decr idx;
+    s.seen.(var !p) <- false;
+    decr pathc;
+    if !pathc <= 0 then stop := true else confl := s.reason.(var !p)
+  done;
+  let learnt = neg !p :: !out in
+  List.iter (fun q -> s.seen.(var q) <- false) !out;
+  let blevel = List.fold_left (fun m q -> max m (s.level.(var q))) 0 !out in
+  (learnt, blevel)
+
+let record_learnt s learnt blevel =
+  cancel_until s blevel;
+  match learnt with
+  | [ l ] -> enqueue s l (-1)
+  | l :: _ ->
+      (* Watch the asserting literal and one literal of the backjump
+         level, which sits right after cancellation. *)
+      let rest =
+        List.sort
+          (fun a b -> compare s.level.(var b) s.level.(var a))
+          (List.tl learnt)
+      in
+      let c = Array.of_list (l :: rest) in
+      let ci = push_clause s c in
+      watch s c.(0) ci;
+      watch s c.(1) ci;
+      enqueue s l ci
+  | [] -> s.unsat <- true
+
+let pick_branch s =
+  let best = ref 0 and best_act = ref neg_infinity in
+  for v = 1 to s.nvars do
+    if s.value.(v) = 0 && s.activity.(v) > !best_act then begin
+      best := v;
+      best_act := s.activity.(v)
+    end
+  done;
+  !best
+
+type result = Sat of (int -> bool) | Unsat | Undecided of int
+
+let conflicts s = s.confl_count
+
+let solve ?(max_conflicts = max_int) s =
+  if s.unsat then Unsat
+  else begin
+    let result = ref None in
+    let restart_limit = ref 100 in
+    let since_restart = ref 0 in
+    while !result = None do
+      let confl = propagate s in
+      if confl >= 0 then begin
+        s.confl_count <- s.confl_count + 1;
+        incr since_restart;
+        if decision_level s = 0 then result := Some Unsat
+        else if s.confl_count >= max_conflicts then
+          result := Some (Undecided s.confl_count)
+        else begin
+          let learnt, blevel = analyze s confl in
+          record_learnt s learnt blevel;
+          s.var_inc <- s.var_inc /. 0.95
+        end
+      end
+      else if !since_restart >= !restart_limit then begin
+        since_restart := 0;
+        restart_limit := !restart_limit * 3 / 2;
+        cancel_until s 0
+      end
+      else
+        match pick_branch s with
+        | 0 ->
+            let value = Array.copy s.value in
+            result := Some (Sat (fun v -> value.(v) = 1))
+        | v ->
+            s.trail_lim <- s.trail_len :: s.trail_lim;
+            enqueue s (if s.polarity.(v) then 2 * v else (2 * v) + 1) (-1)
+    done;
+    match !result with Some r -> r | None -> assert false
+  end

@@ -1,0 +1,38 @@
+(** A small CDCL SAT solver.
+
+    Conflict-driven clause learning with two-watched-literal
+    propagation, first-UIP clause learning, activity-ordered decisions
+    and geometric restarts. No external dependencies; built for the
+    modest CNFs produced by bit-blasting equivalence queries, not for
+    competition instances.
+
+    Literals are non-zero integers in DIMACS convention: variable [v]
+    is the positive literal [v], its negation [-v]. Variables are
+    allocated with {!new_var} and clauses added with {!add_clause};
+    {!solve} may be called once per solver. *)
+
+type t
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocates the next variable (numbered from 1) and returns it. *)
+
+val add_clause : t -> int list -> unit
+(** Adds a clause over already-allocated variables. Tautologies are
+    dropped and duplicate literals merged. Adding the empty clause
+    makes the instance trivially unsatisfiable. *)
+
+type result =
+  | Sat of (int -> bool)
+      (** A model: maps each allocated variable to its value. *)
+  | Unsat
+  | Undecided of int
+      (** The conflict budget ran out; carries the conflicts spent. *)
+
+val solve : ?max_conflicts:int -> t -> result
+(** Decides the instance. [max_conflicts] bounds the total number of
+    conflicts before giving up (default: unlimited). *)
+
+val conflicts : t -> int
+(** Conflicts encountered so far (for budget reporting). *)

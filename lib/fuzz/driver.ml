@@ -35,8 +35,8 @@ let corpus_header ~seed ~index ~d_class ~detail ~original ~shrunk =
     d_class seed index detail original shrunk
 
 let run ?(n = 100) ?(seed = 0) ?(backends = Oracle.all_backends)
-    ?(max_shrink = 1500) ?(max_cycles = 200_000) ?out_dir
-    ?(progress = fun _ -> ()) () =
+    ?(max_shrink = 1500) ?(max_cycles = 200_000) ?(tv_engine = Tv.Decide)
+    ?shrink_class ?out_dir ?(progress = fun _ -> ()) () =
   let t0 = Unix.gettimeofday () in
   let agreed = ref 0 and rejected = ref 0 in
   let divergences = ref [] in
@@ -48,11 +48,19 @@ let run ?(n = 100) ?(seed = 0) ?(backends = Oracle.all_backends)
            i n !agreed !rejected
            (List.length !divergences));
     let prog = Gen.program ~seed ~index:i () in
-    match Oracle.run ~backends ~max_cycles prog with
+    match Oracle.run ~backends ~max_cycles ~tv_engine prog with
     | Oracle.Rejected _ -> incr rejected
     | Oracle.Agree -> incr agreed
     | Oracle.Diverged ds ->
-        let d_class = Oracle.primary_class ds in
+        (* The class the shrinker must preserve: the caller's choice
+           when that class is actually present (e.g. ["share/tv/share"]
+           to minimize a validator alarm rather than whatever data diff
+           sorts first), the deterministic representative otherwise. *)
+        let d_class =
+          match shrink_class with
+          | Some c when List.mem c (Oracle.classes (Oracle.Diverged ds)) -> c
+          | Some _ | None -> Oracle.primary_class ds
+        in
         let detail =
           match
             List.find_opt (fun d -> Oracle.class_of d = d_class) ds
@@ -64,7 +72,7 @@ let run ?(n = 100) ?(seed = 0) ?(backends = Oracle.all_backends)
           (Printf.sprintf "fuzz: divergence at program %d: %s (%s)" i d_class
              detail);
         let keep p =
-          match Oracle.run ~backends ~max_cycles p with
+          match Oracle.run ~backends ~max_cycles ~tv_engine p with
           | Oracle.Diverged ds' ->
               List.mem d_class (Oracle.classes (Oracle.Diverged ds'))
           | Oracle.Agree | Oracle.Rejected _ -> false
@@ -125,7 +133,8 @@ let run ?(n = 100) ?(seed = 0) ?(backends = Oracle.all_backends)
        (List.length s.divergences));
   s
 
-let replay ?(backends = Oracle.all_backends) ?(max_cycles = 200_000) ~dir () =
+let replay ?(backends = Oracle.all_backends) ?(max_cycles = 200_000)
+    ?(tv_engine = Tv.Decide) ~dir () =
   let files =
     Sys.readdir dir |> Array.to_list
     |> List.filter (fun f -> Filename.check_suffix f ".alg")
@@ -141,7 +150,7 @@ let replay ?(backends = Oracle.all_backends) ?(max_cycles = 200_000) ~dir () =
               (Option.value
                  ~default:(Printexc.to_string e)
                  (Lang.Parser.error_to_string e))
-        | prog -> Oracle.run ~backends ~max_cycles prog
+        | prog -> Oracle.run ~backends ~max_cycles ~tv_engine prog
       in
       (f, verdict))
     files

@@ -3,6 +3,7 @@ module Dp = Netlist.Datapath
 module Fsm = Fsmkit.Fsm
 module Guard = Fsmkit.Guard
 module Opspec = Operators.Opspec
+module Et = Ec.Term
 
 type pass = Optimize_pass | Share_pass | Fold_pass
 
@@ -13,8 +14,13 @@ let pass_name = function
 
 type cert =
   | Validated
+  | Proved
   | Refuted of { witness : string }
   | Inconclusive of { bound : string }
+
+type engine = Sample | Decide
+
+let engine_name = function Sample -> "sample" | Decide -> "decide"
 
 type report = {
   partition : string;
@@ -28,11 +34,16 @@ let to_diag r =
     Printf.sprintf "configuration %s / pass %s" r.partition (pass_name r.pass)
   in
   match r.cert with
-  | Validated ->
+  | Proved ->
       (* No wall time in the message: the deep-lint report is snapshotted
          as a golden file; timings live in the bench schema instead. *)
       Diag.note ~code:"TV003" ~loc
-        "translation validated: pass output equivalent to its input"
+        "translation proved: pass output equivalent to its input for \
+         every input"
+  | Validated ->
+      Diag.note ~code:"TV003" ~loc
+        "translation validated: pass output equivalent to its input on \
+         every sample"
   | Refuted { witness } ->
       Diag.error ~code:"TV001" ~loc
         ~hint:
@@ -44,83 +55,116 @@ let to_diag r =
         ~hint:"raise the validation bounds to retry with more budget"
         "equivalence undecided: %s exceeded" bound
 
-type bounds = { max_pairs : int; max_nodes : int; samples : int }
+type bounds = {
+  max_pairs : int;
+  max_nodes : int;
+  samples : int;
+  max_conflicts : int;
+}
 
-let default_bounds = { max_pairs = 20_000; max_nodes = 200_000; samples = 17 }
+let default_bounds =
+  { max_pairs = 20_000; max_nodes = 200_000; samples = 17;
+    max_conflicts = 100_000 }
 
 exception Refute of string
 exception Bound of string
 
 (* ------------------------------------------------------------------ *)
-(* Deterministic sampling                                               *)
+(* Equivalence primitives                                               *)
 
-(* Free values (registers, source variables, deleted temporaries) and
-   memory contents are drawn from a deterministic hash of their name and
-   the sample index, so both sides of a comparison observe the same
-   world. The first samples are corner values shared by every name —
-   ties like [x - x] need the hash samples to break them, and overflow
-   corners need the all-ones/sign-bit worlds. *)
-let hash_mix h v =
-  let h = (h lxor v) * 0x100000001b3 in
-  h land max_int
+(* Both the source expressions and the hardware cones are rebuilt as
+   {!Ec.Term}s — normalizing, hash-consed — and every semantic
+   comparison goes through one engine:
 
-let hash_string seed s =
-  let h = ref (hash_mix 0x1403_5af3 seed) in
-  String.iter (fun c -> h := hash_mix !h (Char.code c)) s;
-  !h
+   - [Sample]: structural equality then the deterministic FNV worlds of
+     {!Ec.Sampler}; agreement on every sample is evidence ([Validated]).
+   - [Decide]: the staged pipeline of {!Ec.decide} — structural,
+     sampling as a counterexample pre-filter, then bit-blasted SAT; a
+     verdict is a proof ([Proved]) or a replayed concrete witness. *)
 
-let sample_value ~width name k =
-  match k with
-  | 0 -> Bitvec.zero width
-  | 1 -> Bitvec.ones width
-  | 2 -> Bitvec.one width
-  | 3 -> Bitvec.shift_left (Bitvec.one width) (width - 1)
-  | _ -> Bitvec.create ~width (hash_string (k * 0x9e3779b9) name)
-
-let sample_mem ~width mem addr k =
-  Bitvec.create ~width (hash_mix (hash_string (k lxor 0x5ca1ab1e) mem) addr)
+(* [Some b] when the engine can settle the 1-bit term to the constant
+   [b] — the license to follow a branch the pass folded away. In
+   sampling mode this is "constant on every sample"; in decide mode it
+   is a proof. [unknown] collects solver give-ups so the caller can
+   turn a failed search into [Inconclusive] instead of [Refuted]. *)
+let term_const_bool ~engine ~bounds ~unknown t =
+  match engine with
+  | Sample ->
+      let v0 = Bitvec.to_bool (Et.eval (Et.sample_env 0) t) in
+      let rec go k =
+        if k >= max 1 bounds.samples then Some v0
+        else if Bitvec.to_bool (Et.eval (Et.sample_env k) t) = v0 then
+          go (k + 1)
+        else None
+      in
+      go 1
+  | Decide -> (
+      let decide v =
+        Ec.decide ~samples:bounds.samples ~max_conflicts:bounds.max_conflicts
+          t (Et.const ~width:1 (if v then 1 else 0))
+      in
+      match decide true with
+      | Ec.Proved _ -> Some true
+      | Ec.Refuted _ -> (
+          match decide false with
+          | Ec.Proved _ -> Some false
+          | Ec.Refuted _ -> None
+          | Ec.Unknown r ->
+              unknown := Some r;
+              None)
+      | Ec.Unknown r ->
+          unknown := Some r;
+          None)
 
 (* ------------------------------------------------------------------ *)
-(* Pure source expressions: evaluation with Bitvec semantics            *)
+(* Pure source expressions as terms                                     *)
 
-let eval_binop op a b =
-  match op with
-  | Ast.Add -> Bitvec.add a b
-  | Ast.Sub -> Bitvec.sub a b
-  | Ast.Mul -> Bitvec.mul a b
-  | Ast.Div -> Bitvec.sdiv a b
-  | Ast.Rem -> Bitvec.srem a b
-  | Ast.Band -> Bitvec.logand a b
-  | Ast.Bor -> Bitvec.logor a b
-  | Ast.Bxor -> Bitvec.logxor a b
-  | Ast.Shl -> Bitvec.shift_left a (Bitvec.to_int b)
-  | Ast.Shra -> Bitvec.shift_right_arith a (Bitvec.to_int b)
-  | Ast.Shrl -> Bitvec.shift_right_logical a (Bitvec.to_int b)
+let term_of_expr ~width name_of e =
+  let rec go = function
+    | Ast.Int n -> Et.const ~width n
+    | Ast.Var v -> Et.var ~width (name_of v)
+    | Ast.Mem_read _ -> invalid_arg "Tv: expression not pure (lowering bug)"
+    | Ast.Binop (op, a, b) -> binop op (go a) (go b)
+    | Ast.Unop (Ast.Neg, a) -> Et.app Et.Neg ~width [ go a ]
+    | Ast.Unop (Ast.Bnot, a) -> Et.app Et.Not ~width [ go a ]
+  and binop op a b =
+    let ap o = Et.app o ~width [ a; b ] in
+    match op with
+    | Ast.Add -> ap Et.Add
+    | Ast.Sub -> Et.app Et.Add ~width [ a; Et.app Et.Neg ~width [ b ] ]
+    | Ast.Mul -> ap Et.Mul
+    | Ast.Div -> ap Et.Divs
+    | Ast.Rem -> ap Et.Rems
+    | Ast.Band -> ap Et.And
+    | Ast.Bor -> ap Et.Or
+    | Ast.Bxor -> ap Et.Xor
+    | Ast.Shl -> ap Et.Shl
+    | Ast.Shra -> ap Et.Shra
+    | Ast.Shrl -> ap Et.Shrl
+  in
+  Et.Stats.time `Normalize (fun () -> go e)
 
-let eval_cmpop op a b =
-  match op with
-  | Ast.Eq -> Bitvec.equal a b
-  | Ast.Ne -> not (Bitvec.equal a b)
-  | Ast.Lt -> not (Bitvec.is_zero (Bitvec.slt a b))
-  | Ast.Le -> not (Bitvec.is_zero (Bitvec.sle a b))
-  | Ast.Gt -> not (Bitvec.is_zero (Bitvec.sgt a b))
-  | Ast.Ge -> not (Bitvec.is_zero (Bitvec.sge a b))
-
-let rec eval_expr ~width env = function
-  | Ast.Int n -> Bitvec.create ~width n
-  | Ast.Var v -> env v
-  | Ast.Mem_read _ -> invalid_arg "Tv: expression not pure (lowering bug)"
-  | Ast.Binop (op, a, b) ->
-      eval_binop op (eval_expr ~width env a) (eval_expr ~width env b)
-  | Ast.Unop (Ast.Neg, a) -> Bitvec.neg (eval_expr ~width env a)
-  | Ast.Unop (Ast.Bnot, a) -> Bitvec.lognot (eval_expr ~width env a)
-
-let rec eval_cond ~width env = function
-  | Ast.Cmp (op, a, b) ->
-      eval_cmpop op (eval_expr ~width env a) (eval_expr ~width env b)
-  | Ast.Cand (a, b) -> eval_cond ~width env a && eval_cond ~width env b
-  | Ast.Cor (a, b) -> eval_cond ~width env a || eval_cond ~width env b
-  | Ast.Cnot a -> not (eval_cond ~width env a)
+let term_of_cond ~width name_of c =
+  let rec go = function
+    | Ast.Cmp (op, a, b) ->
+        let ta = term_of_expr ~width name_of a
+        and tb = term_of_expr ~width name_of b in
+        let o =
+          (* Source comparisons are signed, like the interpreter. *)
+          match op with
+          | Ast.Eq -> Et.Eq
+          | Ast.Ne -> Et.Ne
+          | Ast.Lt -> Et.Lts
+          | Ast.Le -> Et.Les
+          | Ast.Gt -> Et.Gts
+          | Ast.Ge -> Et.Ges
+        in
+        Et.app o ~width:1 [ ta; tb ]
+    | Ast.Cand (a, b) -> Et.app Et.And ~width:1 [ go a; go b ]
+    | Ast.Cor (a, b) -> Et.app Et.Or ~width:1 [ go a; go b ]
+    | Ast.Cnot a -> Et.app Et.Not ~width:1 [ go a ]
+  in
+  Et.Stats.time `Normalize (fun () -> go c)
 
 (* ------------------------------------------------------------------ *)
 (* Source-level validation: simulation-relation search                  *)
@@ -170,49 +214,52 @@ let event_to_string = function
       Printf.sprintf "%s[%s] = %s" m (expr_to_string a) (expr_to_string x)
   | Echeck c -> Printf.sprintf "assert %s" (cond_to_string c)
 
-let validate_source ?(bounds = default_bounds) ~width ~pre ~post () =
-  (* Environments: source variables share their name across the two
-     sides; pre-side temporaries are renamed through the map, and a
-     skipped (deleted-load) temporary samples as a fresh free value. *)
-  let env_post k name = sample_value ~width ("v:" ^ name) k in
-  let env_pre tmap k name =
+let validate_source_in ~bounds ~engine ~width ~pre ~post () =
+  let unknown = ref None in
+  let note_unknown r = if !unknown = None then unknown := Some r in
+  (* Naming: source variables share their name across the two sides;
+     pre-side temporaries are renamed through the map, and a skipped
+     (deleted-load) temporary is an unconstrained free value. *)
+  let name_post name = "v:" ^ name in
+  let name_pre tmap name =
     if is_temp name then
       match List.assoc_opt name tmap with
-      | Some (Mapped post_name) -> sample_value ~width ("v:" ^ post_name) k
-      | Some Skipped | None -> sample_value ~width ("free:" ^ name) k
-    else sample_value ~width ("v:" ^ name) k
+      | Some (Mapped post_name) -> "v:" ^ post_name
+      | Some Skipped | None -> "free:" ^ name
+    else "v:" ^ name
+  in
+  let equiv_term t_pre t_post =
+    match engine with
+    | Sample -> Ec.sample_only ~samples:bounds.samples t_pre t_post = None
+    | Decide -> (
+        match
+          Ec.decide ~samples:bounds.samples
+            ~max_conflicts:bounds.max_conflicts t_pre t_post
+        with
+        | Ec.Proved _ -> true
+        | Ec.Refuted _ -> false
+        | Ec.Unknown r ->
+            note_unknown r;
+            false)
   in
   let equiv_expr tmap e_pre e_post =
-    let rec go k =
-      if k >= bounds.samples then true
-      else
-        Bitvec.equal
-          (eval_expr ~width (env_pre tmap k) e_pre)
-          (eval_expr ~width (env_post k) e_post)
-        && go (k + 1)
-    in
-    go 0
+    equiv_term
+      (term_of_expr ~width (name_pre tmap) e_pre)
+      (term_of_expr ~width name_post e_post)
   in
   let equiv_cond tmap c_pre c_post =
-    let rec go k =
-      if k >= bounds.samples then true
-      else
-        eval_cond ~width (env_pre tmap k) c_pre
-        = eval_cond ~width (env_post k) c_post
-        && go (k + 1)
-    in
-    go 0
+    equiv_term
+      (term_of_cond ~width (name_pre tmap) c_pre)
+      (term_of_cond ~width name_post c_post)
   in
-  (* [Some b] when the pre-side condition evaluates to [b] on every
-     sample — the license to follow a branch the pass folded away. *)
   let cond_const tmap c =
-    let v0 = eval_cond ~width (env_pre tmap 0) c in
-    let rec go k =
-      if k >= bounds.samples then Some v0
-      else if eval_cond ~width (env_pre tmap k) c = v0 then go (k + 1)
-      else None
+    let unk = ref None in
+    let r =
+      term_const_bool ~engine ~bounds ~unknown:unk
+        (term_of_cond ~width (name_pre tmap) c)
     in
-    go 1
+    (match !unk with Some u -> note_unknown u | None -> ());
+    r
   in
   let norm (g : graph) (b, i) =
     (* Fall through empty suffixes and jumps; a jump-only cycle cannot
@@ -251,7 +298,10 @@ let validate_source ?(bounds = default_bounds) ~width ~pre ~post () =
     else begin
       incr pairs;
       if !pairs > bounds.max_pairs then
-        raise (Bound (Printf.sprintf "max_pairs=%d" bounds.max_pairs));
+        raise
+          (Bound
+             (Printf.sprintf "max_pairs=%d at %s / %s" bounds.max_pairs
+                (pos_desc "pre" ppre) (pos_desc "post" ppost)));
       Hashtbl.replace assumed key ();
       let ok = attempt depth ppre ppost tmap in
       Hashtbl.remove assumed key;
@@ -353,10 +403,39 @@ let validate_source ?(bounds = default_bounds) ~width ~pre ~post () =
           (Printf.sprintf "terminators at %s and %s differ"
              (pos_desc "pre" ppre) (pos_desc "post" ppost))
   in
-  try
-    if sim 0 (pre.entry, 0) (post.entry, 0) [] then Validated
-    else Refuted { witness = snd !deepest }
-  with Bound b -> Inconclusive { bound = b }
+  if sim 0 (pre.entry, 0) (post.entry, 0) [] then
+    match engine with Decide -> Proved | Sample -> Validated
+  else
+    match !unknown with
+    | Some r ->
+        (* The search failed while at least one equivalence query ran
+           out of solver budget: undecided, not a counterexample. *)
+        Inconclusive
+          {
+            bound =
+              Printf.sprintf
+                "%s while deciding a source equivalence (%d solver \
+                 conflicts)"
+                r.Ec.cause r.Ec.conflicts;
+          }
+    | None -> Refuted { witness = snd !deepest }
+
+let validate_source ?(bounds = default_bounds) ?(engine = Decide) ~width ~pre
+    ~post () =
+  Et.set_node_limit (Some bounds.max_nodes);
+  Fun.protect
+    ~finally:(fun () -> Et.set_node_limit None)
+    (fun () ->
+      try validate_source_in ~bounds ~engine ~width ~pre ~post ()
+      with
+      | Bound b -> Inconclusive { bound = b }
+      | Et.Node_limit n ->
+          Inconclusive
+            {
+              bound =
+                Printf.sprintf "max_nodes=%d (normalization, %d term nodes)"
+                  bounds.max_nodes n;
+            })
 
 (* ------------------------------------------------------------------ *)
 (* Hardware-level validation: symbolic cones on the FSMD product        *)
@@ -468,100 +547,64 @@ and op_cone ctx (op : Dp.operator) =
       let args = List.map (fun (p, _) -> sink p) (in_ports op) in
       Sapp (kind, op.Dp.width, args)
 
-(* Concrete evaluation of a cone under sample [k]. The dispatch mirrors
-   {!Operators.Models} exactly (same Bitvec primitives, same mux clamp,
-   same shift-amount convention), so agreeing cones agree with both
-   simulators too. *)
-let hw_binary_fn = function
-  | "add" -> Bitvec.add
-  | "sub" -> Bitvec.sub
-  | "mul" -> Bitvec.mul
-  | "divu" -> Bitvec.udiv
-  | "divs" -> Bitvec.sdiv
-  | "remu" -> Bitvec.urem
-  | "rems" -> Bitvec.srem
-  | "and" -> Bitvec.logand
-  | "or" -> Bitvec.logor
-  | "xor" -> Bitvec.logxor
-  | "shl" -> fun a b -> Bitvec.shift_left a (Bitvec.to_int b)
-  | "shrl" -> fun a b -> Bitvec.shift_right_logical a (Bitvec.to_int b)
-  | "shra" -> fun a b -> Bitvec.shift_right_arith a (Bitvec.to_int b)
-  | "minu" -> fun a b -> if Bitvec.to_int a <= Bitvec.to_int b then a else b
-  | "maxu" -> fun a b -> if Bitvec.to_int a >= Bitvec.to_int b then a else b
-  | "mins" ->
-      fun a b -> if Bitvec.to_signed a <= Bitvec.to_signed b then a else b
-  | "maxs" ->
-      fun a b -> if Bitvec.to_signed a >= Bitvec.to_signed b then a else b
-  | "eq" -> Bitvec.eq
-  | "ne" -> Bitvec.ne
-  | "ltu" -> Bitvec.ult
-  | "leu" -> Bitvec.ule
-  | "gtu" -> Bitvec.ugt
-  | "geu" -> Bitvec.uge
-  | "lts" -> Bitvec.slt
-  | "les" -> Bitvec.sle
-  | "gts" -> Bitvec.sgt
-  | "ges" -> Bitvec.sge
-  | kind -> raise (Refute (Printf.sprintf "cone has unknown binary kind %S" kind))
-
-let hw_unary_fn = function
-  | "not" -> Bitvec.lognot
-  | "neg" -> Bitvec.neg
-  | "pass" -> Fun.id
-  | "abs" -> fun a -> if Bitvec.msb a then Bitvec.neg a else a
-  | kind -> raise (Refute (Printf.sprintf "cone has unknown unary kind %S" kind))
-
-let rec eval_sexp k = function
-  | Sconst (w, v) -> Bitvec.create ~width:w v
-  | Sreg (name, w) -> sample_value ~width:w ("r:" ^ name) k
-  | Sread (mem, w, a) ->
-      let addr = Bitvec.to_int (eval_sexp k a) in
-      sample_mem ~width:w mem addr k
-  | Sfree (key, w) -> sample_value ~width:w ("f:" ^ key) k
-  | Sapp (kind, w, args) -> eval_app k kind w args
-
-and eval_app k kind w args =
-  match (kind, args) with
-  | "mux", sel :: ins ->
-      let s = Bitvec.to_int (eval_sexp k sel) in
-      eval_sexp k (List.nth ins (min s (List.length ins - 1)))
-  | ("zext" | "sext"), [ a ] ->
-      let a = eval_sexp k a in
-      if kind = "zext" then Bitvec.resize a w else Bitvec.sresize a w
-  | ("not" | "neg" | "pass" | "abs"), [ a ] -> (hw_unary_fn kind) (eval_sexp k a)
-  | _, [ a; b ] -> (hw_binary_fn kind) (eval_sexp k a) (eval_sexp k b)
-  | _ ->
-      raise
-        (Refute
-           (Printf.sprintf "cone has kind %S with %d arguments" kind
-              (List.length args)))
-
-(* Semantic cone comparison: structural equality is the fast path (it
-   covers identical sub-networks and erased instance names); otherwise
-   every deterministic sample must agree. *)
-let equiv_sexp ~samples a b =
-  if a = b then Ok ()
-  else
-    let rec go k =
-      if k >= samples then Ok ()
-      else
-        let va = eval_sexp k a and vb = eval_sexp k b in
-        if Bitvec.equal va vb then go (k + 1) else Error (k, va, vb)
-    in
-    go 0
+(* Cones are rebuilt as {!Ec.Term}s. The operator dispatch and the
+   register/free/memory name prefixes match the legacy evaluator
+   exactly, so a sampled world means the same values it always has; the
+   normalizing constructors additionally collapse most semantically
+   equal cones to the same node on the way in. *)
+let term_of_sexp s =
+  let rec go = function
+    | Sconst (w, v) -> Et.const ~width:w v
+    | Sreg (name, w) -> Et.var ~width:w ("r:" ^ name)
+    | Sfree (key, w) -> Et.var ~width:w ("f:" ^ key)
+    | Sread (m, w, a) -> Et.read ~width:w m (go a)
+    | Sapp (kind, w, args) -> (
+        match (Et.op_of_kind kind, args) with
+        | Some op, _ -> Et.app op ~width:w (List.map go args)
+        | None, [ a ] when kind = "pass" -> go a
+        | None, [ a; b ] when kind = "sub" ->
+            Et.app Et.Add ~width:w [ go a; Et.app Et.Neg ~width:w [ go b ] ]
+        | None, _ ->
+            raise (Refute (Printf.sprintf "cone has unknown kind %S" kind)))
+  in
+  Et.Stats.time `Normalize (fun () -> go s)
 
 let is_zero_const = function Sconst (_, 0) -> true | _ -> false
 
-let check_equiv ~samples ~state ~what r c =
-  match equiv_sexp ~samples r c with
-  | Ok () -> ()
-  | Error (k, vr, vc) ->
-      raise
-        (Refute
-           (Printf.sprintf
-              "state %s: %s disagrees on sample %d (reference %s, candidate \
-               %s)"
-              state what k (Bitvec.to_string vr) (Bitvec.to_string vc)))
+(* The comparison engine and its budgets, threaded through the product
+   constructions. *)
+type cmp = { engine : engine; bounds : bounds }
+
+(* Semantic cone comparison. A disagreement raises [Refute] with the
+   concrete replayed witness; a solver give-up raises [Bound] naming
+   the budget, the element and the conflicts spent ([validate_hardware]
+   adds the pass and the cone-node count). *)
+let check_equiv ~cmp ~state ~what r c =
+  let tr = term_of_sexp r and tc = term_of_sexp c in
+  let refute w =
+    raise
+      (Refute
+         (Printf.sprintf "state %s: %s disagrees: %s" state what
+            (Ec.witness_to_string w)))
+  in
+  match cmp.engine with
+  | Sample -> (
+      match Ec.sample_only ~samples:cmp.bounds.samples tr tc with
+      | None -> ()
+      | Some w -> refute w)
+  | Decide -> (
+      match
+        Ec.decide ~samples:cmp.bounds.samples
+          ~max_conflicts:cmp.bounds.max_conflicts tr tc
+      with
+      | Ec.Proved _ -> ()
+      | Ec.Refuted w -> refute w
+      | Ec.Unknown re ->
+          raise
+            (Bound
+               (Printf.sprintf
+                  "%s deciding %s at state %s (%d solver conflicts)"
+                  re.Ec.cause what state re.Ec.conflicts)))
 
 (* ------------------------------------------------------------------ *)
 (* Per-state effect comparison (shared by lockstep and stuttering)      *)
@@ -614,8 +657,8 @@ let match_by ~state ~what key ref_ops cand_ops f =
                 state what (key co))))
     cand_ops
 
-let compare_effects ~samples ~state (rc : hw_ctx) (cc : hw_ctx) =
-  let chk = check_equiv ~samples ~state in
+let compare_effects ~cmp ~state (rc : hw_ctx) (cc : hw_ctx) =
+  let chk = check_equiv ~cmp ~state in
   let cone_r (op : Dp.operator) port = cone rc (op.Dp.id ^ "." ^ port)
   and cone_c (op : Dp.operator) port = cone cc (op.Dp.id ^ "." ^ port) in
   let pair = match_by ~state in
@@ -699,7 +742,7 @@ let status_cone (ctx : hw_ctx) name =
    the reference cones — identity in lockstep, the fold witness's
    register substitution in stuttering. [rename] maps reference targets
    into the candidate's state space (identity except for fold). *)
-let compare_transitions ~samples ~state ?(subst_ref = fun s -> s)
+let compare_transitions ~cmp ~state ?(subst_ref = fun s -> s)
     ?(rename = fun t -> t) rc cc (rs : Fsm.state) (cs : Fsm.state) =
   if List.length rs.Fsm.transitions <> List.length cs.Fsm.transitions then
     raise
@@ -722,7 +765,7 @@ let compare_transitions ~samples ~state ?(subst_ref = fun s -> s)
                 (Guard.to_string ct.Fsm.guard)));
       List.iter
         (fun sig_name ->
-          check_equiv ~samples ~state
+          check_equiv ~cmp ~state
             ~what:(Printf.sprintf "status %s (guard %S)" sig_name
                      (Guard.to_string rt.Fsm.guard))
             (subst_ref (status_cone rc sig_name))
@@ -733,9 +776,7 @@ let compare_transitions ~samples ~state ?(subst_ref = fun s -> s)
 (* ------------------------------------------------------------------ *)
 (* Share pass: lockstep product                                         *)
 
-let lockstep ~bounds rside cside =
-  let nodes = ref 0 in
-  let samples = bounds.samples in
+let lockstep ~cmp ~nodes rside cside =
   if rside.fsm.Fsm.initial <> cside.fsm.Fsm.initial then
     raise
       (Refute
@@ -755,10 +796,10 @@ let lockstep ~bounds rside cside =
       if rs.Fsm.is_done <> cs.Fsm.is_done then
         raise
           (Refute (Printf.sprintf "state %s: done flags differ" rs.Fsm.sname));
-      let rc = state_ctx ~nodes ~max_nodes:bounds.max_nodes rside rs
-      and cc = state_ctx ~nodes ~max_nodes:bounds.max_nodes cside cs in
-      compare_effects ~samples ~state:rs.Fsm.sname rc cc;
-      compare_transitions ~samples ~state:rs.Fsm.sname rc cc rs cs)
+      let rc = state_ctx ~nodes ~max_nodes:cmp.bounds.max_nodes rside rs
+      and cc = state_ctx ~nodes ~max_nodes:cmp.bounds.max_nodes cside cs in
+      compare_effects ~cmp ~state:rs.Fsm.sname rc cc;
+      compare_transitions ~cmp ~state:rs.Fsm.sname rc cc rs cs)
     rside.fsm.Fsm.states
 
 (* ------------------------------------------------------------------ *)
@@ -879,10 +920,8 @@ let fold_subst (ctx : hw_ctx) state =
   in
   apply
 
-let stutter ~bounds rside cside =
-  let nodes = ref 0 in
-  let samples = bounds.samples in
-  let ctx side st = state_ctx ~nodes ~max_nodes:bounds.max_nodes side st in
+let stutter ~cmp ~nodes rside cside =
+  let ctx side st = state_ctx ~nodes ~max_nodes:cmp.bounds.max_nodes side st in
   if rside.fsm.Fsm.initial <> cside.fsm.Fsm.initial then
     raise (Refute "the fold moved the initial state");
   let consumed = Hashtbl.create 8 in
@@ -900,7 +939,7 @@ let stutter ~bounds rside cside =
               (Refute
                  (Printf.sprintf "state %s: done flags differ" fs.Fsm.sname));
           let rc = ctx rside us and cc = ctx cside fs in
-          compare_effects ~samples ~state:fs.Fsm.sname rc cc;
+          compare_effects ~cmp ~state:fs.Fsm.sname rc cc;
           match us.Fsm.transitions with
           | [ { Fsm.guard = Guard.True; target = x } ]
             when Fsm.find_state cside.fsm x = None -> (
@@ -921,9 +960,11 @@ let stutter ~bounds rside cside =
                   assert_effect_free rcx x;
                   Hashtbl.replace consumed x ();
                   let subst_ref = fold_subst rc us.Fsm.sname in
-                  compare_transitions ~samples ~state:fs.Fsm.sname ~subst_ref
-                    rcx cc xs fs)
-          | _ -> compare_transitions ~samples ~state:fs.Fsm.sname rc cc us fs))
+                  compare_transitions ~cmp
+                    ~state:
+                      (Printf.sprintf "%s (absorbing %s)" fs.Fsm.sname x)
+                    ~subst_ref rcx cc xs fs)
+          | _ -> compare_transitions ~cmp ~state:fs.Fsm.sname rc cc us fs))
     cside.fsm.Fsm.states;
   List.iter
     (fun (us : Fsm.state) ->
@@ -1001,20 +1042,39 @@ let invariants_preserved ?memories rside cside =
 
 (* ------------------------------------------------------------------ *)
 
-let validate_hardware ?(bounds = default_bounds) ?memories ~pass
-    ~reference ~candidate () =
+let validate_hardware ?(bounds = default_bounds) ?(engine = Decide) ?memories
+    ~pass ~reference ~candidate () =
   let rside = make_side reference and cside = make_side candidate in
+  let cmp = { engine; bounds } in
+  let nodes = ref 0 in
+  Et.set_node_limit (Some bounds.max_nodes);
+  Fun.protect ~finally:(fun () -> Et.set_node_limit None) @@ fun () ->
   try
     (match pass with
     | Optimize_pass ->
         invalid_arg
           "Tv.validate_hardware: Optimize_pass is validated at source level"
-    | Share_pass -> lockstep ~bounds rside cside
-    | Fold_pass -> stutter ~bounds rside cside);
+    | Share_pass -> lockstep ~cmp ~nodes rside cside
+    | Fold_pass -> stutter ~cmp ~nodes rside cside);
     invariants_preserved ?memories rside cside;
-    Validated
+    match engine with Decide -> Proved | Sample -> Validated
   with
   | Refute witness -> Refuted { witness }
-  | Bound bound -> Inconclusive { bound }
+  | Bound bound ->
+      Inconclusive
+        {
+          bound =
+            Printf.sprintf "pass %s: %s (%d cone nodes extracted)"
+              (pass_name pass) bound !nodes;
+        }
+  | Et.Node_limit n ->
+      Inconclusive
+        {
+          bound =
+            Printf.sprintf
+              "pass %s: max_nodes=%d exhausted during normalization (%d term \
+               nodes)"
+              (pass_name pass) bounds.max_nodes n;
+        }
   | Bitvec.Width_error m ->
       Refuted { witness = "width mismatch while evaluating cones: " ^ m }

@@ -34,11 +34,16 @@
       muxes widen address cones), so a lost proof undecides
       equivalence without witnessing a disagreement.
 
-    Cone comparison tries structural equality first and falls back to
-    deterministic concrete sampling; a surviving disagreement is
-    reported as {!Refuted} with the witnessing state, element and
-    sample. Search and cone budgets turn into {!Inconclusive} — a
-    resource verdict, not a failure. *)
+    Semantic comparison is staged: structural equality on hash-consed
+    normalized terms first, then deterministic FNV sampling as a cheap
+    counterexample hunt, then — under the default {!Decide} engine — a
+    bit-blasted SAT query through {!Ec.decide} that settles the
+    equivalence for {e every} input. A disagreement is reported as
+    {!Refuted} with a concrete replayed witness; an exhausted search,
+    node or conflict budget turns into {!Inconclusive} — a resource
+    verdict naming the offending pass, state and budget, not a
+    failure. The legacy sampling-only behaviour remains available as
+    the {!Sample} engine. *)
 
 (** The three transforming stages of {!Compile.compile}. *)
 type pass = Optimize_pass | Share_pass | Fold_pass
@@ -48,14 +53,28 @@ val pass_name : pass -> string
 
 type cert =
   | Validated
-      (** Equivalence established (structurally, or on every sample at
-          the configured budget). *)
+      (** Equivalence established on every sample at the configured
+          budget ({!Sample} engine only — not a proof). *)
+  | Proved
+      (** Equivalence established for every input: each semantic
+          comparison was settled structurally or by an unsatisfiable
+          SAT query ({!Decide} engine). *)
   | Refuted of { witness : string }
       (** A concrete disagreement: the witnessing position/state,
-          element and differing values. *)
+          element and a replayed assignment with both values. *)
   | Inconclusive of { bound : string }
-      (** A search or cone budget was exhausted before a verdict; names
-          the exceeded bound. *)
+      (** A search, node or conflict budget was exhausted before a
+          verdict; names the exceeded bound, the offending pass/state
+          and the work done. *)
+
+(** The semantic-comparison engine: {!Sample} is the legacy FNV
+    sampler alone (cheap, refutation-only confidence); {!Decide} — the
+    default — additionally settles every comparison with a bit-blasted
+    SAT query, upgrading the verdict to {!Proved}. *)
+type engine = Sample | Decide
+
+val engine_name : engine -> string
+(** ["sample"], ["decide"]. *)
 
 type report = {
   partition : string;  (** Configuration name the certificate covers. *)
@@ -66,16 +85,21 @@ type report = {
 
 val to_diag : report -> Diag.t
 (** [TV001] error for {!Refuted}, [TV002] warning for {!Inconclusive},
-    [TV003] note for {!Validated}. *)
+    [TV003] note for {!Proved} and {!Validated}. *)
 
 type bounds = {
   max_pairs : int;
       (** Simulation-relation position pairs explored before the source
           search gives up. *)
   max_nodes : int;
-      (** Symbolic cone nodes extracted per state before the hardware
+      (** Symbolic cone/term nodes built per validation before the
           check gives up. *)
-  samples : int;  (** Concrete samples per semantic comparison. *)
+  samples : int;
+      (** Concrete samples per semantic comparison (the {!Decide}
+          engine uses them as a pre-filter). *)
+  max_conflicts : int;
+      (** SAT conflicts per {!Decide} query before it returns
+          {!Inconclusive}. *)
 }
 
 val default_bounds : bounds
@@ -103,15 +127,25 @@ type block = { events : event list; term : term }
 type graph = { blocks : block array; entry : int }
 
 val validate_source :
-  ?bounds:bounds -> width:int -> pre:graph -> post:graph -> unit -> cert
+  ?bounds:bounds ->
+  ?engine:engine ->
+  width:int ->
+  pre:graph ->
+  post:graph ->
+  unit ->
+  cert
 (** Simulation-relation search from both entries. Matched positions are
     assumed coinductively (loops close the relation); lowering
     temporaries are matched by a growing renaming, and a temporary
-    whose load the pass deleted samples as an unconstrained value —
-    sound because its value can no longer reach any observable. *)
+    whose load the pass deleted is treated as an unconstrained value —
+    sound because its value can no longer reach any observable.
+    [engine] defaults to {!Decide}: every expression equality the
+    relation relies on is then discharged by {!Ec.decide}, and a
+    successful search yields {!Proved}. *)
 
 val validate_hardware :
   ?bounds:bounds ->
+  ?engine:engine ->
   ?memories:(string * int list) list ->
   pass:pass ->
   reference:Netlist.Datapath.t * Fsmkit.Fsm.t ->

@@ -1,0 +1,323 @@
+(* The equivalence engine: normalization, the CDCL core, the blaster,
+   and the staged decision procedure cross-checked against brute-force
+   enumeration on small widths. *)
+
+module T = Ec.Term
+
+let bv ~width v = Bitvec.create ~width v
+let x_ w = T.var ~width:w "x"
+let y_ w = T.var ~width:w "y"
+
+let env_of assignment cells =
+  {
+    T.lookup =
+      (fun name ~width ->
+        match List.assoc_opt name assignment with
+        | Some v -> Bitvec.resize v width
+        | None -> Bitvec.zero width);
+    T.fetch =
+      (fun m ~addr ~width ->
+        match List.assoc_opt (m, Bitvec.to_int addr) cells with
+        | Some v -> Bitvec.resize v width
+        | None -> Bitvec.zero width);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Normalization *)
+
+let test_normalize () =
+  let w = 8 in
+  let x = x_ w in
+  (* x - x = 0 *)
+  Alcotest.(check bool)
+    "x + (-x) collapses to 0" true
+    (T.equal (T.app T.Add ~width:w [ x; T.app T.Neg ~width:w [ x ] ])
+       (T.const ~width:w 0));
+  (* shl-by-constant canonicalizes onto multiplication *)
+  Alcotest.(check bool)
+    "x << 2 = x * 4 structurally" true
+    (T.equal
+       (T.app T.Shl ~width:w [ x; T.const ~width:w 2 ])
+       (T.app T.Mul ~width:w [ x; T.const ~width:w 4 ]));
+  (* constant folding at width *)
+  Alcotest.(check bool)
+    "(200 + 100) folds modulo 2^8" true
+    (T.equal
+       (T.app T.Add ~width:w [ T.const ~width:w 200; T.const ~width:w 100 ])
+       (T.const ~width:w 44));
+  (* identities *)
+  Alcotest.(check bool)
+    "x * 1 = x" true
+    (T.equal (T.app T.Mul ~width:w [ x; T.const ~width:w 1 ]) x);
+  Alcotest.(check bool)
+    "x & 0 = 0" true
+    (T.equal
+       (T.app T.And ~width:w [ x; T.const ~width:w 0 ])
+       (T.const ~width:w 0));
+  Alcotest.(check bool)
+    "x ^ x = 0" true
+    (T.equal (T.app T.Xor ~width:w [ x; x ]) (T.const ~width:w 0));
+  (* AC flattening and sorting *)
+  Alcotest.(check bool)
+    "(x + y) + x = x + (x + y) structurally" true
+    (T.equal
+       (T.app T.Add ~width:w [ T.app T.Add ~width:w [ x; y_ w ]; x ])
+       (T.app T.Add ~width:w [ x; T.app T.Add ~width:w [ x; y_ w ] ]));
+  (* mux with a constant select folds to its arm, clamped *)
+  Alcotest.(check bool)
+    "mux const-select folds" true
+    (T.equal
+       (T.app T.Mux ~width:w [ T.const ~width:2 3; x; y_ w ])
+       (y_ w));
+  (* bounded mux pushdown against a constant operand *)
+  let m = T.app T.Mux ~width:w [ x_ 1; T.const ~width:w 3; T.const ~width:w 5 ] in
+  Alcotest.(check bool)
+    "mux pushdown folds constant arms" true
+    (T.equal
+       (T.app T.Shrl ~width:w [ m; x ])
+       (T.app T.Shrl ~width:w [ m; x ]))
+
+let test_node_limit () =
+  T.set_node_limit (Some 4);
+  let raised =
+    try
+      let rec grow t n =
+        if n = 0 then t
+        else grow (T.app T.Add ~width:8 [ t; T.var ~width:8 (string_of_int n) ]) (n - 1)
+      in
+      ignore (grow (x_ 8) 32);
+      false
+    with T.Node_limit _ -> true
+  in
+  T.set_node_limit None;
+  Alcotest.(check bool) "node budget raises" true raised
+
+(* ------------------------------------------------------------------ *)
+(* Pinned CNF instances *)
+
+let test_sat_unsat_pigeonhole () =
+  (* 4 pigeons in 3 holes: classically UNSAT, exercises learning. *)
+  let s = Ec.Sat.create () in
+  let v = Array.init 4 (fun _ -> Array.init 3 (fun _ -> Ec.Sat.new_var s)) in
+  Array.iter (fun row -> Ec.Sat.add_clause s (Array.to_list row)) v;
+  for h = 0 to 2 do
+    for p1 = 0 to 3 do
+      for p2 = p1 + 1 to 3 do
+        Ec.Sat.add_clause s [ -v.(p1).(h); -v.(p2).(h) ]
+      done
+    done
+  done;
+  match Ec.Sat.solve s with
+  | Ec.Sat.Unsat -> ()
+  | _ -> Alcotest.fail "pigeonhole must be UNSAT"
+
+let test_sat_model () =
+  let s = Ec.Sat.create () in
+  let x = Ec.Sat.new_var s
+  and y = Ec.Sat.new_var s
+  and z = Ec.Sat.new_var s in
+  let cnf = [ [ x; y ]; [ -x; y ]; [ -y; z ]; [ -z; -x ] ] in
+  List.iter (Ec.Sat.add_clause s) cnf;
+  match Ec.Sat.solve s with
+  | Ec.Sat.Sat model ->
+      List.iter
+        (fun clause ->
+          Alcotest.(check bool)
+            "model satisfies every clause" true
+            (List.exists
+               (fun l -> if l > 0 then model l else not (model (-l)))
+               clause))
+        cnf
+  | _ -> Alcotest.fail "instance is satisfiable"
+
+let test_sat_budget () =
+  (* A harder pigeonhole under a tiny conflict budget gives up. *)
+  let s = Ec.Sat.create () in
+  let n = 7 in
+  let v =
+    Array.init (n + 1) (fun _ -> Array.init n (fun _ -> Ec.Sat.new_var s))
+  in
+  Array.iter (fun row -> Ec.Sat.add_clause s (Array.to_list row)) v;
+  for h = 0 to n - 1 do
+    for p1 = 0 to n do
+      for p2 = p1 + 1 to n do
+        Ec.Sat.add_clause s [ -v.(p1).(h); -v.(p2).(h) ]
+      done
+    done
+  done;
+  match Ec.Sat.solve ~max_conflicts:5 s with
+  | Ec.Sat.Undecided c -> Alcotest.(check bool) "spent conflicts" true (c >= 5)
+  | Ec.Sat.Unsat -> Alcotest.fail "budget of 5 cannot finish PHP(8,7)"
+  | Ec.Sat.Sat _ -> Alcotest.fail "pigeonhole is UNSAT"
+
+(* ------------------------------------------------------------------ *)
+(* The decision procedure *)
+
+let test_decide_solver_proof () =
+  let w = 8 in
+  let x = x_ w in
+  (* a + a = 2 * a is not structural (different operators) but UNSAT. *)
+  let l = T.app T.Add ~width:w [ x; x ] in
+  let r = T.app T.Mul ~width:w [ T.const ~width:w 2; x ] in
+  (match Ec.decide l r with
+  | Ec.Proved `Solver -> ()
+  | Ec.Proved `Structural -> Alcotest.fail "expected a solver proof"
+  | _ -> Alcotest.fail "x + x = 2x must be proved");
+  (* the documented division convention: x / 0 = all-ones *)
+  match
+    Ec.decide
+      (T.app T.Divu ~width:w [ x; T.const ~width:w 0 ])
+      (T.const ~width:w 255)
+  with
+  | Ec.Proved _ -> ()
+  | _ -> Alcotest.fail "x / 0 = all-ones must be proved"
+
+let test_decide_ackermann () =
+  let w = 8 in
+  let x = x_ w and y = y_ w in
+  let rx = T.read ~width:w "m" x and ry = T.read ~width:w "m" y in
+  (* (x == y ? m[x] - m[y] : 0) = 0 needs read congruence. *)
+  let diff = T.app T.Add ~width:w [ rx; T.app T.Neg ~width:w [ ry ] ] in
+  let sel = T.app T.Eq ~width:1 [ x; y ] in
+  let l = T.app T.Mux ~width:w [ sel; T.const ~width:w 0; diff ] in
+  (match Ec.decide ~samples:0 l (T.const ~width:w 0) with
+  | Ec.Proved `Solver -> ()
+  | _ -> Alcotest.fail "read congruence must prove the guarded diff");
+  (* m[x] vs m[y]: refutable, and the witness must carry memory cells
+     that replay to the disagreement. *)
+  match Ec.decide ~samples:0 rx ry with
+  | Ec.Refuted wit ->
+      let env = env_of wit.Ec.assignment wit.Ec.cells in
+      let va = T.eval env rx and vb = T.eval env ry in
+      Alcotest.(check bool) "witness replays left" true (Bitvec.equal va wit.Ec.left);
+      Alcotest.(check bool) "witness replays right" true (Bitvec.equal vb wit.Ec.right);
+      Alcotest.(check bool) "replay disagrees" false (Bitvec.equal va vb)
+  | _ -> Alcotest.fail "m[x] and m[y] differ for some memory"
+
+let test_decide_budget () =
+  let w = 16 in
+  let x = x_ w and y = y_ w in
+  (* Distributivity is true but not structural, and proving it for a
+     16-bit multiplier needs far more than one conflict. *)
+  let l = T.app T.Mul ~width:w [ x; T.app T.Add ~width:w [ y; T.const ~width:w 1 ] ] in
+  let r = T.app T.Add ~width:w [ T.app T.Mul ~width:w [ x; y ]; x ] in
+  match Ec.decide ~samples:0 ~max_conflicts:1 l r with
+  | Ec.Unknown re -> Alcotest.(check bool) "conflicts reported" true (re.Ec.conflicts >= 1)
+  | Ec.Refuted _ -> Alcotest.fail "x*(y+1) = x*y + x cannot be refuted"
+  | Ec.Proved _ -> Alcotest.fail "budget of 1 conflict cannot prove distributivity"
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force cross-check *)
+
+let all_envs width =
+  let n = 1 lsl width in
+  List.concat
+    (List.init n (fun x ->
+         List.init n (fun y ->
+             env_of [ ("x", bv ~width x); ("y", bv ~width y) ] [])))
+
+let brute_equal ~width a b =
+  List.for_all
+    (fun env -> Bitvec.equal (T.eval env a) (T.eval env b))
+    (all_envs width)
+
+let gen_term ~width =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [
+        return (x_ width);
+        return (y_ width);
+        map (T.const ~width) (int_range 0 ((1 lsl width) - 1));
+      ]
+  in
+  fix
+    (fun self n ->
+      if n = 0 then leaf
+      else
+        let sub = self (n - 1) in
+        let bin op = map2 (fun a b -> T.app op ~width [ a; b ]) sub sub in
+        let una op = map (fun a -> T.app op ~width [ a ]) sub in
+        oneof
+          [
+            leaf;
+            bin T.Add;
+            bin T.Mul;
+            bin T.And;
+            bin T.Or;
+            bin T.Xor;
+            bin T.Divu;
+            bin T.Divs;
+            bin T.Remu;
+            bin T.Rems;
+            bin T.Shl;
+            bin T.Shrl;
+            bin T.Shra;
+            bin T.Minu;
+            bin T.Maxu;
+            bin T.Mins;
+            bin T.Maxs;
+            una T.Neg;
+            una T.Not;
+            una T.Abs;
+            map2
+              (fun a b ->
+                T.app T.Add ~width [ a; T.app T.Neg ~width [ b ] ])
+              sub sub;
+            map2
+              (fun a b ->
+                T.app T.Zext ~width [ T.app T.Ltu ~width:1 [ a; b ] ])
+              sub sub;
+            map3
+              (fun a b d ->
+                T.app T.Mux ~width [ T.app T.Eq ~width:1 [ a; b ]; d; a ])
+              sub sub sub;
+          ])
+    2
+
+let check_against_brute ~samples (width, a, b) =
+  match Ec.decide ~samples a b with
+  | Ec.Proved _ -> brute_equal ~width a b
+  | Ec.Refuted wit ->
+      let env = env_of wit.Ec.assignment wit.Ec.cells in
+      (not (brute_equal ~width a b))
+      && Bitvec.equal (T.eval env a) wit.Ec.left
+      && Bitvec.equal (T.eval env b) wit.Ec.right
+      && not (Bitvec.equal wit.Ec.left wit.Ec.right)
+  | Ec.Unknown _ -> false
+
+let gen_pair =
+  QCheck2.Gen.(
+    int_range 2 5 >>= fun width ->
+    map2 (fun a b -> (width, a, b)) (gen_term ~width) (gen_term ~width))
+
+let prop_decide_vs_brute =
+  QCheck2.Test.make ~name:"decide agrees with brute-force enumeration"
+    ~count:120 ~print:(fun (w, a, b) ->
+      Printf.sprintf "width %d: %s vs %s" w (T.to_string a) (T.to_string b))
+    gen_pair
+    (check_against_brute ~samples:17)
+
+let prop_decide_solver_vs_brute =
+  (* Sampling disabled: refutations must come from a replayed SAT
+     model, exercising the blaster end to end. *)
+  QCheck2.Test.make ~name:"solver-only decide agrees with brute force"
+    ~count:60 ~print:(fun (w, a, b) ->
+      Printf.sprintf "width %d: %s vs %s" w (T.to_string a) (T.to_string b))
+    gen_pair
+    (check_against_brute ~samples:0)
+
+let suite =
+  let qc = QCheck_alcotest.to_alcotest in
+  [
+    Alcotest.test_case "normalization rules" `Quick test_normalize;
+    Alcotest.test_case "node budget" `Quick test_node_limit;
+    Alcotest.test_case "pinned UNSAT: pigeonhole" `Quick test_sat_unsat_pigeonhole;
+    Alcotest.test_case "pinned SAT: model check" `Quick test_sat_model;
+    Alcotest.test_case "conflict budget gives up" `Quick test_sat_budget;
+    Alcotest.test_case "solver proofs" `Quick test_decide_solver_proof;
+    Alcotest.test_case "memory read congruence" `Quick test_decide_ackermann;
+    Alcotest.test_case "decide conflict budget" `Quick test_decide_budget;
+    qc prop_decide_vs_brute;
+    qc prop_decide_solver_vs_brute;
+  ]

@@ -24,6 +24,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("lint", Test_lint.suite);
       ("absint", Test_absint.suite);
+      ("ec", Test_ec.suite);
       ("tv", Test_tv.suite);
       ("resilience", Test_resilience.suite);
       ("integration", Test_integration.suite);

@@ -20,6 +20,7 @@ let checkb = Alcotest.check Alcotest.bool
 
 let cert_kind = function
   | Tv.Validated -> "validated"
+  | Tv.Proved -> "proved"
   | Tv.Refuted _ -> "refuted"
   | Tv.Inconclusive _ -> "inconclusive"
 
@@ -48,7 +49,7 @@ let enabled_passes (o : Compile.options) =
   + (if o.Compile.share_operators then 1 else 0)
   + if o.Compile.fold_branches then 1 else 0
 
-let test_builtins_all_validated () =
+let test_builtins_all_proved () =
   List.iter
     (fun (case : Testinfra.Suite.case) ->
       let prog = Lang.Parser.parse_string case.Testinfra.Suite.source in
@@ -69,7 +70,7 @@ let test_builtins_all_validated () =
                 (Printf.sprintf "%s/%s %s on %s"
                    case.Testinfra.Suite.case_name vname
                    (Tv.pass_name r.Tv.pass) r.Tv.partition)
-                "validated"
+                "proved"
                 (cert_kind r.Tv.cert))
             reports)
         tv_variants)
@@ -85,7 +86,21 @@ let test_certify_cached () =
   let a = Compile.certify compiled in
   let b = Compile.certify compiled in
   checkb "same list physically" true (a == b);
-  checkb "stored on t" true (compiled.Compile.tv == a)
+  checkb "stored on t" true (compiled.Compile.tv == a);
+  (* The cache is keyed by engine: asking with the other engine re-runs
+     the validators and downgrades the verdict to sampling confidence. *)
+  let c = Compile.certify ~engine:Tv.Sample compiled in
+  checkb "sample engine re-runs" true (not (c == a));
+  List.iter
+    (fun (r : Tv.report) ->
+      check Alcotest.string "sample engine validates" "validated"
+        (cert_kind r.Tv.cert))
+    c;
+  List.iter
+    (fun (r : Tv.report) ->
+      check Alcotest.string "decide engine proves" "proved"
+        (cert_kind r.Tv.cert))
+    a
 
 let test_tv_gate_passes () =
   let prog =
@@ -152,8 +167,11 @@ let test_source_legit_rewrites_validate () =
       ]
       0
   in
-  check Alcotest.string "validated" "validated"
-    (cert_kind (Tv.validate_source ~width:16 ~pre ~post ()))
+  check Alcotest.string "proved" "proved"
+    (cert_kind (Tv.validate_source ~width:16 ~pre ~post ()));
+  check Alcotest.string "sample engine validates" "validated"
+    (cert_kind
+       (Tv.validate_source ~engine:Tv.Sample ~width:16 ~pre ~post ()))
 
 let test_source_deleted_load_sound () =
   (* pre loads a temporary whose value the rewrite made irrelevant
@@ -170,7 +188,7 @@ let test_source_deleted_load_sound () =
       ]
       0
   and post = g [ b [ Tv.Eassign ("x", Ast.Int 0) ] Tv.Thalt ] 0 in
-  check Alcotest.string "validated" "validated"
+  check Alcotest.string "proved" "proved"
     (cert_kind (Tv.validate_source ~width:8 ~pre ~post ()));
   (* ...but deleting a load whose value still matters is refuted. *)
   let post_bad = g [ b [ Tv.Eassign ("x", Ast.Int 7) ] Tv.Thalt ] 0 in
@@ -367,6 +385,43 @@ let test_hw_const_mutation_refuted () =
   checkb "witness shows the differing values" true
     (contains ~affix:"sample" w)
 
+(* Every hand-mutated fixture's refutation must be a {e real} behavioral
+   divergence, not a solver artifact: the decide-engine witness is a
+   concrete assignment replayed through both cones ("env -> l vs r"),
+   and the sample engine — pure concrete evaluation, no SAT anywhere —
+   must independently exhibit a disagreement on the same mutant. *)
+let test_hw_refutations_replay () =
+  let reference = bundle Compile.default_options
+  and sd, sf =
+    bundle { Compile.default_options with share_operators = true }
+  in
+  let sub = find_binary_op sd "sub" in
+  let fixtures =
+    [
+      ( "swapped operands",
+        Tv.Share_pass,
+        (swap_sinks sd (sub ^ ".a") (sub ^ ".b"), sf) );
+    ]
+  in
+  List.iter
+    (fun (name, pass, candidate) ->
+      let w =
+        witness (Tv.validate_hardware ~pass ~reference ~candidate ())
+      in
+      checkb
+        (Printf.sprintf "%s: witness is a replayed concrete world" name)
+        true
+        (contains ~affix:" -> " w && contains ~affix:" vs " w);
+      match
+        Tv.validate_hardware ~engine:Tv.Sample ~pass ~reference ~candidate ()
+      with
+      | Tv.Refuted _ -> ()
+      | c ->
+          Alcotest.failf
+            "%s: concrete sampling does not reproduce the divergence (%s)"
+            name (cert_kind c))
+    fixtures
+
 let test_hw_inconclusive_bound () =
   let reference = bundle Compile.default_options
   and candidate =
@@ -399,6 +454,11 @@ let test_to_diag () =
   let d1 = Tv.to_diag (r Tv.Validated) in
   check Alcotest.string "validated code" "TV003" d1.Diag.code;
   checkb "validated is a note" true (d1.Diag.severity = Diag.Note);
+  let d1p = Tv.to_diag (r Tv.Proved) in
+  check Alcotest.string "proved code" "TV003" d1p.Diag.code;
+  checkb "proved is a note" true (d1p.Diag.severity = Diag.Note);
+  checkb "proved note says proved" true
+    (contains ~affix:"proved" d1p.Diag.message);
   let d2 = Tv.to_diag (r (Tv.Refuted { witness = "w" })) in
   check Alcotest.string "refuted code" "TV001" d2.Diag.code;
   checkb "refuted is an error" true (Diag.is_error d2);
@@ -422,8 +482,8 @@ let test_lint_deep_carries_tv () =
 
 let suite =
   [
-    Alcotest.test_case "builtin kernels x variants all validated" `Slow
-      test_builtins_all_validated;
+    Alcotest.test_case "builtin kernels x variants all proved" `Slow
+      test_builtins_all_proved;
     Alcotest.test_case "certificates are cached on the compile" `Quick
       test_certify_cached;
     Alcotest.test_case "tv gate passes on a correct compile" `Quick
@@ -446,6 +506,8 @@ let suite =
       test_hw_remapped_fold_state_refuted;
     Alcotest.test_case "hardware: constant mutation refuted" `Quick
       test_hw_const_mutation_refuted;
+    Alcotest.test_case "hardware: refutations replay concretely" `Quick
+      test_hw_refutations_replay;
     Alcotest.test_case "hardware: node budget turns inconclusive" `Quick
       test_hw_inconclusive_bound;
     Alcotest.test_case "hardware: optimize pass rejected" `Quick
