@@ -37,6 +37,10 @@ let jobs_list = ref [ 1; 4 ]
 let backends = ref [ Faultcamp.Interp; Faultcamp.Compiled ]
 let fuzz_n = ref 40
 let out_path = ref "BENCH_faultcamp.json"
+let faultcamp_exe = ref ""
+let shard_faults = 300
+let shard_counts = [ 1; 2; 3 ]
+let shard_chaos_seed = 2
 
 let usage =
   "campaign [-w W1,W2] [-n FAULTS] [-seed N] [-jobs 1,4] \
@@ -70,6 +74,9 @@ let spec =
      "B1,B2,... backends to measure (interp, compiled, auto)");
     ("-fuzz-n", Arg.Set_int fuzz_n,
      "N programs for the differential-fuzzing throughput section");
+    ("-faultcamp", Arg.Set_string faultcamp_exe,
+     "PATH faultcamp binary re-execed as shard workers (enables the \
+      shard-scaling section)");
     ("-o", Arg.Set_string out_path, "PATH output JSON file");
   ]
 
@@ -234,6 +241,133 @@ let bench_fuzz () =
     stats.Fuzz.Driver.agreed stats.Fuzz.Driver.rejected
     (List.length stats.Fuzz.Driver.divergences)
 
+(* Shard-scaling and chaos-recovery overhead: the coordinator's cost is
+   process spawns, journal polling and the final merge-replay, so wall
+   time per shard count against the in-process reference measures
+   exactly the coordination tax. The chaos row runs the pinned seed
+   (worker kills, a stall into the watchdog, journal-tail corruption at
+   3 shards) and reports the recovery overhead over the undisturbed
+   3-shard run. Every cell also re-asserts the headline contract: the
+   merged report is byte-identical to the single-process one. *)
+let bench_shards () =
+  if !faultcamp_exe = "" then begin
+    Printf.printf "shard section skipped (no -faultcamp PATH given)\n";
+    {|  "shard": null,|}
+  end
+  else begin
+    let name = "gcd8" in
+    let case =
+      match Faultcamp.find_workload name with
+      | Some c -> c
+      | None -> assert false
+    in
+    let reference = Faultcamp.run ~seed:!seed ~faults:shard_faults case in
+    let ref_report = Report.campaign_to_string ~verbose:true reference in
+    let dir_root =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "faultcamp-bench-shards-%d" (Unix.getpid ()))
+    in
+    let run_sharded ?chaos shards =
+      let sub =
+        Printf.sprintf "%s-%d%s" dir_root shards
+          (if chaos = None then "" else "-chaos")
+      in
+      let cfg =
+        {
+          (Testinfra.Shard.default_config ~case ~dir:sub
+             ~worker_exe:!faultcamp_exe)
+          with
+          seed = !seed;
+          faults = shard_faults;
+          shards;
+          chaos;
+          watchdog_seconds = 5.;
+          respawn_backoff_seconds = 0.05;
+        }
+      in
+      Testinfra.Shard.run cfg
+    in
+    let row ?chaos (r : Testinfra.Shard.result) shards =
+      let workers =
+        List.fold_left
+          (fun acc (s : Testinfra.Shard.shard_status) ->
+            acc + s.Testinfra.Shard.s_attempts)
+          0 r.Testinfra.Shard.statuses
+      in
+      let quarantined =
+        List.length
+          (List.filter
+             (fun (s : Testinfra.Shard.shard_status) ->
+               s.Testinfra.Shard.s_quarantined)
+             r.Testinfra.Shard.statuses)
+      in
+      let identical =
+        Report.campaign_to_string ~verbose:true r.Testinfra.Shard.campaign
+        = ref_report
+      in
+      if not identical then begin
+        Printf.eprintf
+          "error: sharded report (shards=%d%s) differs from the \
+           single-process reference\n"
+          shards
+          (match chaos with
+          | None -> ""
+          | Some c -> Printf.sprintf ", chaos=%d" c);
+        exit 1
+      end;
+      Printf.printf
+        "shard scaling shards=%d%s: %.3fs, %d workers (%d respawns), %d \
+         quarantined, identical=%b\n"
+        shards
+        (match chaos with
+        | None -> ""
+        | Some c -> Printf.sprintf " chaos=%d" c)
+        r.Testinfra.Shard.wall_seconds workers r.Testinfra.Shard.respawns
+        quarantined identical;
+      (r.Testinfra.Shard.wall_seconds, workers, r.Testinfra.Shard.respawns,
+       quarantined, identical)
+    in
+    let scaling =
+      List.map
+        (fun shards ->
+          let r = run_sharded shards in
+          let wall, workers, respawns, quarantined, identical =
+            row r shards
+          in
+          ( shards,
+            Printf.sprintf
+              {|      { "shards": %d, "wall_seconds": %.6f,
+        "workers_spawned": %d, "respawns": %d, "quarantined": %d,
+        "report_identical": %b }|}
+              shards wall workers respawns quarantined identical,
+            wall ))
+        shard_counts
+    in
+    let chaos_r = run_sharded ~chaos:shard_chaos_seed 3 in
+    let c_wall, c_workers, c_respawns, c_quarantined, c_identical =
+      row ~chaos:shard_chaos_seed chaos_r 3
+    in
+    let clean3_wall =
+      match List.find_opt (fun (s, _, _) -> s = 3) scaling with
+      | Some (_, _, w) when w > 0. -> w
+      | _ -> 0.
+    in
+    Printf.sprintf
+      {|  "shard": { "workload": "%s", "faults": %d,
+    "scaling": [
+%s
+    ],
+    "chaos_recovery": { "shards": 3, "chaos_seed": %d,
+      "wall_seconds": %.6f, "workers_spawned": %d, "respawns": %d,
+      "quarantined": %d, "report_identical": %b,
+      "recovery_overhead_vs_clean": %.3f } },|}
+      name shard_faults
+      (String.concat ",\n" (List.map (fun (_, j, _) -> j) scaling))
+      shard_chaos_seed c_wall c_workers c_respawns c_quarantined c_identical
+      (if clean3_wall > 0. then c_wall /. clean3_wall else 0.)
+  end
+
 (* Translation-validation throughput: certify every builtin kernel with
    all three transforming passes enabled (default decide engine) and
    aggregate validator wall time per pass, plus the engine's per-stage
@@ -309,12 +443,13 @@ let () =
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
   let per_workload = List.map bench_workload !workloads in
   let fuzz_section = bench_fuzz () in
+  let shard_section = bench_shards () in
   let tv_section = bench_tv () in
   let json =
     Printf.sprintf
       {|{
   "benchmark": "faultcamp-campaign",
-  "schema_version": 7,
+  "schema_version": 8,
   "seed": %d,
   "faults_base": %d,
   "faults_floor": %d,
@@ -327,6 +462,7 @@ let () =
   "deterministic_across_jobs_and_backends": true,
 %s
 %s
+%s
   "workloads": [
 %s
   ]
@@ -336,7 +472,7 @@ let () =
       (!faults_arg = None)
       (faults ()) host_cores
       Faultcamp.default_deadline_seconds Faultcamp.default_slice_cycles
-      Faultcamp.default_max_retries fuzz_section tv_section
+      Faultcamp.default_max_retries fuzz_section shard_section tv_section
       (String.concat ",\n" per_workload)
   in
   let oc = open_out !out_path in

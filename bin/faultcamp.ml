@@ -1,5 +1,15 @@
 (* Mutation-campaign driver: inject seeded faults into a compiled
-   workload and report which ones the verification flow kills. *)
+   workload and report which ones the verification flow kills.
+
+   Three personalities behind one flag surface:
+   - the classic single-process campaign (default);
+   - the sharded coordinator (--shards N): splits the plan, re-execs
+     this binary as worker processes, watches/respawns/quarantines
+     them, and merges their journal shards into a report byte-identical
+     to a single-process run — optionally under a deterministic chaos
+     schedule (--chaos SEED);
+   - a worker (--worker, spawned by the coordinator; not for direct
+     use): runs one shard's slice against its own journal. *)
 
 open Cmdliner
 
@@ -8,11 +18,19 @@ let list_workloads () =
     (fun (c : Testinfra.Suite.case) -> print_endline c.Testinfra.Suite.case_name)
     (Testinfra.Faultcamp.default_workloads ())
 
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1)
+    fmt
+
 (* Flag validation up front: a bad value must die with one readable line
    and a nonzero exit, never an [Invalid_argument] backtrace out of
    [Pool.create] half-way into the campaign. *)
 let validate_flags ~faults ~factor ~jobs ~deadline ~slice ~retries ~backoff
-    ~stop_after =
+    ~stop_after ~shards ~chaos ~watchdog ~respawn_backoff ~worker ~shard_index
+    ~shard_count ~chaos_exec ~resume =
   let fail fmt = Printf.ksprintf (fun msg -> Some msg) fmt in
   let problem =
     if jobs < 1 then fail "--jobs must be >= 1 (got %d)" jobs
@@ -22,43 +40,67 @@ let validate_flags ~faults ~factor ~jobs ~deadline ~slice ~retries ~backoff
     else if slice < 1 then fail "--slice must be >= 1 (got %d)" slice
     else if retries < 0 then fail "--retries must be >= 0 (got %d)" retries
     else if backoff < 0. then fail "--backoff must be >= 0 (got %g)" backoff
+    else if watchdog <= 0. then fail "--watchdog must be > 0 (got %g)" watchdog
+    else if respawn_backoff < 0. then
+      fail "--respawn-backoff must be >= 0 (got %g)" respawn_backoff
     else
-      match stop_after with
-      | Some k when k < 1 -> fail "--stop-after must be >= 1 (got %d)" k
-      | _ -> None
+      match (stop_after, shards, chaos) with
+      | Some k, _, _ when k < 1 -> fail "--stop-after must be >= 1 (got %d)" k
+      | _, Some n, _ when n < 1 -> fail "--shards must be >= 1 (got %d)" n
+      | _, None, Some _ ->
+          fail "--chaos requires --shards (the chaos schedule disrupts the \
+                coordinator's workers)"
+      | _, Some _, _ when resume <> None ->
+          fail "--resume cannot be combined with --shards (worker shards \
+                resume their own journals automatically)"
+      | _, Some _, _ when stop_after <> None ->
+          fail "--stop-after cannot be combined with --shards"
+      | _ ->
+          if worker && shard_count = None then
+            fail "--worker requires --shard-count (and --shard-index and \
+                  --journal): it is spawned by the coordinator, not run by \
+                  hand"
+          else if worker && shard_index = None then
+            fail "--worker requires --shard-index"
+          else if (not worker) && chaos_exec <> None then
+            fail "--chaos-exec is a worker-protocol flag (requires --worker)"
+          else None
   in
-  match problem with
-  | Some msg ->
-      Printf.eprintf "error: %s\n" msg;
-      exit 1
-  | None -> ()
+  match problem with Some msg -> die "%s" msg | None -> ()
+
+let parse_profile spec =
+  try
+    Testinfra.Budget.parse_deadline_profile
+      ~valid_classes:Faults.Fault.all_classes spec
+  with Invalid_argument msg -> die "%s" msg
 
 let report campaign verbose =
-  (* The report on stdout is deterministic (identical at any -j, and
-     identical whether the campaign ran straight through or was resumed
-     from a journal); machine-dependent timing goes to stderr so
-     `faultcamp > out` diffs clean across worker counts. *)
+  (* The report on stdout is deterministic (identical at any -j, at any
+     shard count, and identical whether the campaign ran straight
+     through or was resumed from a journal); machine-dependent timing
+     goes to stderr so `faultcamp > out` diffs clean across worker
+     counts. *)
   Testinfra.Report.campaign ~verbose Format.std_formatter campaign;
   Printf.eprintf "%s\n" (Testinfra.Metrics.campaign_timing campaign)
 
-let run_campaign workload faults seed factor jobs backend deadline slice
-    retries backoff journal stop_after verbose =
+let find_case workload =
   match Testinfra.Faultcamp.find_workload workload with
-  | None ->
-      Printf.eprintf
-        "error: unknown workload %S (try --list for the catalogue)\n" workload;
-      exit 1
-  | Some case ->
-      let cancel = Testinfra.Budget.token () in
-      Testinfra.Budget.install_sigint cancel;
-      let campaign =
-        Testinfra.Faultcamp.run ~seed ~faults ~max_cycles_factor:factor ~jobs
-          ~backend ~deadline_seconds:deadline ~slice_cycles:slice
-          ~max_retries:retries ~backoff_seconds:backoff ~cancel
-          ?journal_path:journal ?stop_after case
-      in
-      report campaign verbose;
-      campaign.Testinfra.Faultcamp.interrupted
+  | None -> die "unknown workload %S (try --list for the catalogue)" workload
+  | Some case -> case
+
+let run_campaign workload faults seed factor jobs backend deadline slice
+    retries backoff profile journal stop_after verbose =
+  let case = find_case workload in
+  let cancel = Testinfra.Budget.token () in
+  Testinfra.Budget.install_sigint cancel;
+  let campaign =
+    Testinfra.Faultcamp.run ~seed ~faults ~max_cycles_factor:factor ~jobs
+      ~backend ~deadline_seconds:deadline ~slice_cycles:slice
+      ~max_retries:retries ~backoff_seconds:backoff ~deadline_profile:profile
+      ~cancel ?journal_path:journal ?stop_after case
+  in
+  report campaign verbose;
+  campaign.Testinfra.Faultcamp.interrupted
 
 let run_resume path jobs stop_after verbose =
   let cancel = Testinfra.Budget.token () in
@@ -67,25 +109,132 @@ let run_resume path jobs stop_after verbose =
   report campaign verbose;
   campaign.Testinfra.Faultcamp.interrupted
 
+let run_worker workload faults seed factor jobs backend deadline slice retries
+    backoff profile journal shard_index shard_count chaos_exec baseline =
+  let journal_path =
+    match journal with
+    | Some p -> p
+    | None -> die "--worker requires --journal"
+  in
+  let chaos_exec =
+    Option.map
+      (fun label ->
+        match Testinfra.Chaos.disruption_of_label label with
+        | Some d -> d
+        | None -> die "unknown --chaos-exec disruption %S" label)
+      chaos_exec
+  in
+  let baseline =
+    Option.map
+      (fun s ->
+        match Testinfra.Faultcamp.baseline_of_string s with
+        | Some b -> b
+        | None -> die "malformed --baseline %S (expected cycles:oob:hash)" s)
+      baseline
+  in
+  exit
+    (Testinfra.Shard.worker ~workload ~seed ~faults ~max_cycles_factor:factor
+       ~jobs ~backend ~deadline_seconds:deadline ~slice_cycles:slice
+       ~max_retries:retries ~backoff_seconds:backoff ~deadline_profile:profile
+       ~shard_index ~shard_count ~journal_path ~baseline ~chaos_exec ())
+
+let run_sharded workload faults seed factor jobs backend deadline slice
+    retries backoff profile shards chaos watchdog respawn_backoff shard_dir
+    verbose =
+  let case = find_case workload in
+  let cancel = Testinfra.Budget.token () in
+  Testinfra.Budget.install_sigint cancel;
+  let cfg =
+    {
+      Testinfra.Shard.case;
+      seed;
+      faults;
+      max_cycles_factor = factor;
+      backend;
+      deadline_seconds = deadline;
+      slice_cycles = slice;
+      max_retries = retries;
+      backoff_seconds = backoff;
+      deadline_profile = profile;
+      shards;
+      worker_jobs = jobs;
+      dir = shard_dir;
+      worker_exe = Sys.executable_name;
+      worker_argv_prefix = [];
+      watchdog_seconds = watchdog;
+      respawn_backoff_seconds = respawn_backoff;
+      chaos;
+    }
+  in
+  match Testinfra.Shard.run ~cancel cfg with
+  | result ->
+      print_string (Testinfra.Shard.render ~verbose result);
+      let quarantined =
+        List.length
+          (List.filter
+             (fun (s : Testinfra.Shard.shard_status) -> s.Testinfra.Shard.s_quarantined)
+             result.Testinfra.Shard.statuses)
+      in
+      Printf.eprintf "%s\n"
+        (Testinfra.Metrics.shard_timing ~shards
+           ~workers_spawned:
+             (List.fold_left
+                (fun acc (s : Testinfra.Shard.shard_status) ->
+                  acc + s.Testinfra.Shard.s_attempts)
+                0 result.Testinfra.Shard.statuses)
+           ~respawns:result.Testinfra.Shard.respawns ~quarantined
+           ~wall_seconds:result.Testinfra.Shard.wall_seconds);
+      Printf.eprintf "%s\n"
+        (Testinfra.Metrics.campaign_timing result.Testinfra.Shard.campaign);
+      (* Exit 3: the campaign survived worker failures but had to
+         surrender quarantined slices — a partial (INCOMPLETE) report,
+         distinct from flag errors (1) and interrupts (130). *)
+      if quarantined > 0 then exit 3
+  | exception Failure msg when Testinfra.Budget.cancel_requested cancel ->
+      Printf.eprintf "%s\n" msg;
+      exit 130
+
 let run workload faults seed factor jobs backend deadline slice retries
-    backoff journal resume stop_after verbose list =
+    backoff profile journal resume stop_after shards chaos watchdog
+    respawn_backoff shard_dir worker shard_index shard_count chaos_exec
+    baseline compact verbose list =
   try
     if list then list_workloads ()
-    else begin
-      validate_flags ~faults ~factor ~jobs ~deadline ~slice ~retries ~backoff
-        ~stop_after;
-      let interrupted =
-        match resume with
-        | Some path -> run_resume path jobs stop_after verbose
-        | None ->
-            run_campaign workload faults seed factor jobs backend deadline
-              slice retries backoff journal stop_after verbose
-      in
-      (* A campaign cut short by Ctrl-C exits 130 (the shell convention
-         for SIGINT); --stop-after is a deliberate, scripted interrupt
-         and keeps exit 0 so the smoke tests can drive it. *)
-      if interrupted && stop_after = None then exit 130
-    end
+    else
+      match compact with
+      | Some path ->
+          let before, after = Testinfra.Faultcamp.compact path in
+          Printf.printf "compacted %s: %d line(s) -> %d\n" path before after
+      | None -> (
+          validate_flags ~faults ~factor ~jobs ~deadline ~slice ~retries
+            ~backoff ~stop_after ~shards ~chaos ~watchdog ~respawn_backoff
+            ~worker ~shard_index ~shard_count ~chaos_exec ~resume;
+          let profile = parse_profile profile in
+          if worker then
+            run_worker workload faults seed factor jobs backend deadline slice
+              retries backoff profile journal
+              (Option.get shard_index) (Option.get shard_count) chaos_exec
+              baseline
+          else
+            match shards with
+            | Some shards ->
+                run_sharded workload faults seed factor jobs backend deadline
+                  slice retries backoff profile shards chaos watchdog
+                  respawn_backoff shard_dir verbose
+            | None ->
+                let interrupted =
+                  match resume with
+                  | Some path -> run_resume path jobs stop_after verbose
+                  | None ->
+                      run_campaign workload faults seed factor jobs backend
+                        deadline slice retries backoff profile journal
+                        stop_after verbose
+                in
+                (* A campaign cut short by Ctrl-C exits 130 (the shell
+                   convention for SIGINT); --stop-after is a deliberate,
+                   scripted interrupt and keeps exit 0 so the smoke tests
+                   can drive it. *)
+                if interrupted && stop_after = None then exit 130)
   with
   | Failure msg | Sys_error msg | Invalid_argument msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -117,8 +266,9 @@ let factor_arg =
 let jobs_arg =
   Arg.(value & opt int 1
        & info [ "j"; "jobs" ] ~docv:"JOBS"
-           ~doc:"Worker domains executing mutants in parallel. The report \
-                 is identical at any value; only wall-clock changes.")
+           ~doc:"Worker domains executing mutants in parallel (per worker \
+                 process under --shards). The report is identical at any \
+                 value; only wall-clock changes.")
 
 let backend_arg =
   let backend_conv =
@@ -147,6 +297,15 @@ let deadline_arg =
            ~doc:"Wall-clock watchdog per mutant attempt; a hung mutant is \
                  classified as a wall timeout instead of simulating out \
                  its whole cycle budget. 0 disables the watchdog.")
+
+let profile_arg =
+  Arg.(value & opt string ""
+       & info [ "deadline-profile" ] ~docv:"CLASS=SECONDS,..."
+           ~doc:"Per-fault-class wall deadlines overriding --deadline, e.g. \
+                 $(b,fsm-retarget=5,mem-corrupt=0.5). 0 disables the \
+                 watchdog for that class. Classes not listed keep \
+                 --deadline. Validated up front; recorded in the journal \
+                 header and restored on --resume.")
 
 let slice_arg =
   Arg.(value & opt int Testinfra.Faultcamp.default_slice_cycles
@@ -180,7 +339,8 @@ let resume_arg =
                  (appending them to the same journal), and print a report \
                  identical to an uninterrupted run. Campaign parameters \
                  come from the journal header; workload/seed flags are \
-                 ignored.")
+                 ignored. The journal is compacted in place first when it \
+                 has accreted duplicates, heartbeats or stale footers.")
 
 let stop_after_arg =
   Arg.(value & opt (some int) None
@@ -188,6 +348,82 @@ let stop_after_arg =
            ~doc:"Testing hook: request a graceful shutdown after N journal \
                  entries have been written, exactly as SIGINT would, but \
                  with exit status 0.")
+
+let shards_arg =
+  Arg.(value & opt (some int) None
+       & info [ "shards" ] ~docv:"N"
+           ~doc:"Coordinator mode: split the plan into N contiguous slices, \
+                 run each in its own worker process with its own journal \
+                 shard (respawned on death, quarantined after two \
+                 no-progress deaths in a row), and merge the shards into a \
+                 report byte-identical to a single-process run. Exit 3 \
+                 when quarantined slices made the report partial.")
+
+let chaos_arg =
+  Arg.(value & opt (some int) None
+       & info [ "chaos" ] ~docv:"SEED"
+           ~doc:"Arm the deterministic chaos harness (requires --shards): \
+                 the seed expands into a reproducible schedule of worker \
+                 kills, stalls and journal-tail corruptions; the merged \
+                 report must still be byte-identical to an undisturbed \
+                 run. A testing/soak feature.")
+
+let watchdog_arg =
+  Arg.(value & opt float 10.
+       & info [ "watchdog" ] ~docv:"SECONDS"
+           ~doc:"Coordinator watchdog: a worker whose journal shard shows \
+                 no activity (heartbeats included) for this long is \
+                 declared dead and replaced.")
+
+let respawn_backoff_arg =
+  Arg.(value & opt float 0.25
+       & info [ "respawn-backoff" ] ~docv:"SECONDS"
+           ~doc:"Initial delay before respawning a dead worker; doubles \
+                 per consecutive death of the same shard.")
+
+let shard_dir_arg =
+  Arg.(value & opt string "faultcamp-shards"
+       & info [ "shard-dir" ] ~docv:"DIR"
+           ~doc:"Directory for the per-shard journals (created if \
+                 missing).")
+
+let worker_flag =
+  Arg.(value & flag
+       & info [ "worker" ]
+           ~doc:"Worker-protocol mode (spawned by the coordinator; not for \
+                 direct use): run one shard's slice against --journal, \
+                 resuming it if it exists.")
+
+let shard_index_arg =
+  Arg.(value & opt (some int) None
+       & info [ "shard-index" ] ~docv:"I"
+           ~doc:"Worker protocol: this worker's shard index.")
+
+let shard_count_arg =
+  Arg.(value & opt (some int) None
+       & info [ "shard-count" ] ~docv:"N"
+           ~doc:"Worker protocol: total shard count.")
+
+let chaos_exec_arg =
+  Arg.(value & opt (some string) None
+       & info [ "chaos-exec" ] ~docv:"DISRUPTION"
+           ~doc:"Worker protocol: self-inflicted disruption ($(b,kill:N) \
+                 or $(b,stall)) from the coordinator's chaos schedule.")
+
+let baseline_arg =
+  Arg.(value & opt (some string) None
+       & info [ "baseline" ] ~docv:"CYCLES:OOB:HASH"
+           ~doc:"Worker protocol: clean-run baseline checkpoint; a worker \
+                 holding a matching baseline skips re-simulating the clean \
+                 design, a mismatch is rejected with one line.")
+
+let compact_arg =
+  Arg.(value & opt (some string) None
+       & info [ "compact" ] ~docv:"FILE"
+           ~doc:"Compact the journal at FILE in place — header, one \
+                 last-wins entry per completed task in index order, one \
+                 footer — and exit. Atomic: a crash leaves the old or the \
+                 new journal, never a torn hybrid.")
 
 let verbose_arg =
   Arg.(value & flag
@@ -200,11 +436,14 @@ let cmd =
   Cmd.v
     (Cmd.info "faultcamp"
        ~doc:"Run a seeded fault-injection campaign against a workload and \
-             report the verifier's kill rate per fault class.")
+             report the verifier's kill rate per fault class — in one \
+             process, or sharded across self-healing worker processes.")
     Term.(
       const run $ workload_arg $ faults_arg $ seed_arg $ factor_arg
       $ jobs_arg $ backend_arg $ deadline_arg $ slice_arg $ retries_arg
-      $ backoff_arg $ journal_arg $ resume_arg $ stop_after_arg $ verbose_arg
-      $ list_arg)
+      $ backoff_arg $ profile_arg $ journal_arg $ resume_arg $ stop_after_arg
+      $ shards_arg $ chaos_arg $ watchdog_arg $ respawn_backoff_arg
+      $ shard_dir_arg $ worker_flag $ shard_index_arg $ shard_count_arg
+      $ chaos_exec_arg $ baseline_arg $ compact_arg $ verbose_arg $ list_arg)
 
 let () = exit (Cmd.eval cmd)

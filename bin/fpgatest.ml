@@ -1007,6 +1007,283 @@ let cmd_tv =
       $ max_pairs_arg $ max_nodes_arg $ samples_arg $ max_conflicts_arg
       $ engine_arg)
 
+(* --- campaign ------------------------------------------------------------ *)
+
+(* The mutation campaign as an fpgatest subcommand, including the
+   sharded coordinator. Workers are re-execed as
+   `fpgatest campaign --worker ...` — the [worker_argv_prefix] below —
+   so a sharded campaign works from either binary. The flag spellings
+   match faultcamp's; [Testinfra.Shard.worker_args] is the single
+   source of truth for the worker wire format. *)
+let cmd_campaign =
+  let workload_arg =
+    Arg.(value & opt string "gcd8"
+         & info [ "w"; "workload" ] ~docv:"NAME"
+             ~doc:"Workload to mutate (faultcamp --list for the catalogue).")
+  in
+  let faults_arg =
+    Arg.(value & opt int 25
+         & info [ "n"; "faults" ] ~docv:"N" ~doc:"Number of faults to plan.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed.")
+  in
+  let factor_arg =
+    Arg.(value & opt int 4
+         & info [ "max-cycles-factor" ] ~docv:"K"
+             ~doc:"Mutant cycle budget as a multiple of the clean run.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"JOBS"
+             ~doc:"Worker domains per process; the report is identical at \
+                   any value.")
+  in
+  let backend_arg =
+    let backend_conv =
+      Arg.enum
+        [
+          ("auto", Testinfra.Faultcamp.Auto);
+          ("interp", Testinfra.Faultcamp.Interp);
+          ("compiled", Testinfra.Faultcamp.Compiled);
+        ]
+    in
+    Arg.(value & opt backend_conv Testinfra.Faultcamp.Auto
+         & info [ "backend" ] ~docv:"BACKEND"
+             ~doc:"Mutant evaluator: interp, compiled or auto.")
+  in
+  let deadline_arg =
+    Arg.(value & opt float Testinfra.Faultcamp.default_deadline_seconds
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock watchdog per mutant attempt (0 disables).")
+  in
+  let profile_arg =
+    Arg.(value & opt string ""
+         & info [ "deadline-profile" ] ~docv:"CLASS=SECONDS,..."
+             ~doc:"Per-fault-class deadlines overriding --deadline.")
+  in
+  let slice_arg =
+    Arg.(value & opt int Testinfra.Faultcamp.default_slice_cycles
+         & info [ "slice" ] ~docv:"CYCLES" ~doc:"Watchdog granularity.")
+  in
+  let retries_arg =
+    Arg.(value & opt int Testinfra.Faultcamp.default_max_retries
+         & info [ "retries" ] ~docv:"N" ~doc:"Crash retries per mutant.")
+  in
+  let backoff_arg =
+    Arg.(value & opt float Testinfra.Faultcamp.default_backoff_seconds
+         & info [ "backoff" ] ~docv:"SECONDS" ~doc:"Initial retry backoff.")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Checkpoint completed mutants to a JSONL journal.")
+  in
+  let shards_arg =
+    Arg.(value & opt (some int) None
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Coordinator mode: N worker processes, one journal shard \
+                   each, merged into a report byte-identical to a \
+                   single-process run; exit 3 on a partial (quarantined) \
+                   report.")
+  in
+  let chaos_arg =
+    Arg.(value & opt (some int) None
+         & info [ "chaos" ] ~docv:"SEED"
+             ~doc:"Deterministic chaos schedule for the coordinator's \
+                   workers (requires --shards).")
+  in
+  let watchdog_arg =
+    Arg.(value & opt float 10.
+         & info [ "watchdog" ] ~docv:"SECONDS"
+             ~doc:"Silent-worker watchdog for the coordinator.")
+  in
+  let respawn_backoff_arg =
+    Arg.(value & opt float 0.25
+         & info [ "respawn-backoff" ] ~docv:"SECONDS"
+             ~doc:"Initial worker respawn delay; doubles per consecutive \
+                   death.")
+  in
+  let shard_dir_arg =
+    Arg.(value & opt string "faultcamp-shards"
+         & info [ "shard-dir" ] ~docv:"DIR"
+             ~doc:"Directory for per-shard journals.")
+  in
+  let worker_flag =
+    Arg.(value & flag
+         & info [ "worker" ]
+             ~doc:"Worker-protocol mode (spawned by the coordinator).")
+  in
+  let shard_index_arg =
+    Arg.(value & opt (some int) None
+         & info [ "shard-index" ] ~docv:"I"
+             ~doc:"Worker protocol: shard index.")
+  in
+  let shard_count_arg =
+    Arg.(value & opt (some int) None
+         & info [ "shard-count" ] ~docv:"N"
+             ~doc:"Worker protocol: total shard count.")
+  in
+  let chaos_exec_arg =
+    Arg.(value & opt (some string) None
+         & info [ "chaos-exec" ] ~docv:"DISRUPTION"
+             ~doc:"Worker protocol: kill:N or stall.")
+  in
+  let baseline_arg =
+    Arg.(value & opt (some string) None
+         & info [ "baseline" ] ~docv:"CYCLES:OOB:HASH"
+             ~doc:"Worker protocol: clean-run baseline checkpoint.")
+  in
+  let verbose_arg =
+    Arg.(value & flag
+         & info [ "v"; "verbose" ] ~doc:"Print every mutant's outcome.")
+  in
+  let die fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1)
+      fmt
+  in
+  let run workload faults seed factor jobs backend deadline profile slice
+      retries backoff journal shards chaos watchdog respawn_backoff shard_dir
+      worker shard_index shard_count chaos_exec baseline verbose =
+    handle_errors (fun () ->
+        try
+          if jobs < 1 then die "--jobs must be >= 1 (got %d)" jobs;
+          if faults < 0 then die "--faults must be >= 0 (got %d)" faults;
+          if watchdog <= 0. then die "--watchdog must be > 0 (got %g)" watchdog;
+          if respawn_backoff < 0. then
+            die "--respawn-backoff must be >= 0 (got %g)" respawn_backoff;
+          (match shards with
+          | Some n when n < 1 -> die "--shards must be >= 1 (got %d)" n
+          | None when chaos <> None -> die "--chaos requires --shards"
+          | _ -> ());
+          if worker && (shard_index = None || shard_count = None) then
+            die "--worker requires --shard-index and --shard-count";
+          let profile =
+            try
+              Testinfra.Budget.parse_deadline_profile
+                ~valid_classes:Faults.Fault.all_classes profile
+            with Invalid_argument msg -> die "%s" msg
+          in
+          if worker then begin
+            let journal_path =
+              match journal with
+              | Some p -> p
+              | None -> die "--worker requires --journal"
+            in
+            let chaos_exec =
+              Option.map
+                (fun label ->
+                  match Testinfra.Chaos.disruption_of_label label with
+                  | Some d -> d
+                  | None -> die "unknown --chaos-exec disruption %S" label)
+                chaos_exec
+            in
+            let baseline =
+              Option.map
+                (fun s ->
+                  match Testinfra.Faultcamp.baseline_of_string s with
+                  | Some b -> b
+                  | None -> die "malformed --baseline %S" s)
+                baseline
+            in
+            exit
+              (Testinfra.Shard.worker ~workload ~seed ~faults
+                 ~max_cycles_factor:factor ~jobs ~backend
+                 ~deadline_seconds:deadline ~slice_cycles:slice
+                 ~max_retries:retries ~backoff_seconds:backoff
+                 ~deadline_profile:profile
+                 ~shard_index:(Option.get shard_index)
+                 ~shard_count:(Option.get shard_count)
+                 ~journal_path ~baseline ~chaos_exec ())
+          end;
+          let case =
+            match Testinfra.Faultcamp.find_workload workload with
+            | None -> die "unknown workload %S" workload
+            | Some case -> case
+          in
+          let cancel = Testinfra.Budget.token () in
+          Testinfra.Budget.install_sigint cancel;
+          match shards with
+          | Some shards -> (
+              let cfg =
+                {
+                  Testinfra.Shard.case;
+                  seed;
+                  faults;
+                  max_cycles_factor = factor;
+                  backend;
+                  deadline_seconds = deadline;
+                  slice_cycles = slice;
+                  max_retries = retries;
+                  backoff_seconds = backoff;
+                  deadline_profile = profile;
+                  shards;
+                  worker_jobs = jobs;
+                  dir = shard_dir;
+                  worker_exe = Sys.executable_name;
+                  worker_argv_prefix = [ "campaign" ];
+                  watchdog_seconds = watchdog;
+                  respawn_backoff_seconds = respawn_backoff;
+                  chaos;
+                }
+              in
+              match Testinfra.Shard.run ~cancel cfg with
+              | result ->
+                  print_string (Testinfra.Shard.render ~verbose result);
+                  let quarantined =
+                    List.length
+                      (List.filter
+                         (fun (s : Testinfra.Shard.shard_status) ->
+                           s.Testinfra.Shard.s_quarantined)
+                         result.Testinfra.Shard.statuses)
+                  in
+                  Printf.eprintf "%s\n"
+                    (Testinfra.Metrics.shard_timing ~shards
+                       ~workers_spawned:
+                         (List.fold_left
+                            (fun acc (s : Testinfra.Shard.shard_status) ->
+                              acc + s.Testinfra.Shard.s_attempts)
+                            0 result.Testinfra.Shard.statuses)
+                       ~respawns:result.Testinfra.Shard.respawns ~quarantined
+                       ~wall_seconds:result.Testinfra.Shard.wall_seconds);
+                  Printf.eprintf "%s\n"
+                    (Testinfra.Metrics.campaign_timing
+                       result.Testinfra.Shard.campaign);
+                  if quarantined > 0 then exit 3
+              | exception Failure msg
+                when Testinfra.Budget.cancel_requested cancel ->
+                  Printf.eprintf "%s\n" msg;
+                  exit 130)
+          | None ->
+              let campaign =
+                Testinfra.Faultcamp.run ~seed ~faults ~max_cycles_factor:factor
+                  ~jobs ~backend ~deadline_seconds:deadline
+                  ~slice_cycles:slice ~max_retries:retries
+                  ~backoff_seconds:backoff ~deadline_profile:profile ~cancel
+                  ?journal_path:journal case
+              in
+              Testinfra.Report.campaign ~verbose Format.std_formatter campaign;
+              Printf.eprintf "%s\n"
+                (Testinfra.Metrics.campaign_timing campaign);
+              if campaign.Testinfra.Faultcamp.interrupted then exit 130
+        with Failure msg | Invalid_argument msg | Sys_error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run a mutation campaign (optionally sharded across \
+             self-healing worker processes) against a workload.")
+    Term.(
+      const run $ workload_arg $ faults_arg $ seed_arg $ factor_arg $ jobs_arg
+      $ backend_arg $ deadline_arg $ profile_arg $ slice_arg $ retries_arg
+      $ backoff_arg $ journal_arg $ shards_arg $ chaos_arg $ watchdog_arg
+      $ respawn_backoff_arg $ shard_dir_arg $ worker_flag $ shard_index_arg
+      $ shard_count_arg $ chaos_exec_arg $ baseline_arg $ verbose_arg)
+
 (* --- fig1 ---------------------------------------------------------------- *)
 
 let cmd_fig1 =
@@ -1028,5 +1305,5 @@ let () =
           [
             cmd_compile; cmd_simulate; cmd_verify; cmd_run; cmd_lint;
             cmd_dot; cmd_verilog; cmd_vhdl; cmd_systemc; cmd_metrics;
-            cmd_suite; cmd_fuzz; cmd_tv; cmd_fig1;
+            cmd_suite; cmd_fuzz; cmd_tv; cmd_campaign; cmd_fig1;
           ]))

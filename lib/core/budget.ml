@@ -67,3 +67,48 @@ let cycle_budget ?(headroom = 1_000) ~max_cycles_factor clean_cycles =
     invalid_arg "Budget.cycle_budget: max_cycles_factor must be >= 1";
   let scaled = saturating_mul clean_cycles max_cycles_factor in
   if scaled > max_int - headroom then max_int else scaled + headroom
+
+(* --- per-fault-class deadline profiles ---------------------------------- *)
+
+let parse_deadline_profile ~valid_classes s =
+  let entry part =
+    match String.index_opt part '=' with
+    | None ->
+        invalid_arg
+          (Printf.sprintf
+             "deadline profile entry %S is not of the form class=seconds" part)
+    | Some i ->
+        let cls = String.sub part 0 i in
+        let sec = String.sub part (i + 1) (String.length part - i - 1) in
+        if not (List.mem cls valid_classes) then
+          invalid_arg
+            (Printf.sprintf
+               "deadline profile names unknown fault class %S (known: %s)" cls
+               (String.concat ", " valid_classes));
+        (match float_of_string_opt sec with
+        | Some f when f >= 0. -> (cls, f)
+        | Some _ ->
+            invalid_arg
+              (Printf.sprintf
+                 "deadline profile for class %S must be >= 0 seconds" cls)
+        | None ->
+            invalid_arg
+              (Printf.sprintf "deadline profile entry %S: bad seconds %S" part
+                 sec))
+  in
+  match String.split_on_char ',' s with
+  | [ "" ] -> []
+  | parts ->
+      let profile = List.map entry parts in
+      List.iter
+        (fun (cls, _) ->
+          if List.length (List.filter (fun (c, _) -> c = cls) profile) > 1
+          then
+            invalid_arg
+              (Printf.sprintf "deadline profile lists class %S twice" cls))
+        profile;
+      profile
+
+let render_deadline_profile profile =
+  String.concat ","
+    (List.map (fun (cls, sec) -> Printf.sprintf "%s=%g" cls sec) profile)

@@ -80,3 +80,17 @@ val cycle_budget : ?headroom:int -> max_cycles_factor:int -> int -> int
     long clean run must get [max_int], never a negative wrapped budget
     that would kill every mutant at cycle 0. Raises [Invalid_argument]
     when [clean_cycles < 0] or [max_cycles_factor < 1]. *)
+
+(** {1 Per-fault-class deadline profiles} *)
+
+val parse_deadline_profile :
+  valid_classes:string list -> string -> (string * float) list
+(** Parse a ["class=seconds,class=seconds"] specification (the
+    [--deadline-profile] flag and its journal-header spelling) into an
+    association list. Every class must be a member of [valid_classes]
+    and listed at most once; seconds must be [>= 0] ([0] disables the
+    watchdog for that class). The empty string is the empty profile.
+    Raises [Invalid_argument] with a one-line message otherwise. *)
+
+val render_deadline_profile : (string * float) list -> string
+(** Inverse of {!parse_deadline_profile} (["%g"] seconds formatting). *)

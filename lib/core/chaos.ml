@@ -1,0 +1,131 @@
+(* Deterministic chaos schedules for the shard coordinator.
+
+   The resilience machinery (heartbeats, watchdog, respawn, journal
+   recovery) is only trustworthy if it is exercised under real failure —
+   so we inject failure into ourselves, deterministically. A seed
+   expands into a per-shard schedule of disruptions; the coordinator
+   applies them (passing kill/stall orders to workers, corrupting
+   journal tails after deaths) and the merged report must still come out
+   byte-identical to an undisturbed run.
+
+   Schedules are constructed so a healthy coordinator always converges:
+
+   - Kills fire only after at least one journal entry was written, so
+     every disrupted attempt makes progress and the two-deaths-in-a-row
+     quarantine rule never triggers from chaos alone.
+   - A stall (zero progress by construction: the worker never starts) is
+     only ever the *first* step of a shard's schedule, so it cannot form
+     the second zero-progress death of a streak.
+   - Schedules are finite (at most [max_steps] per shard); once a
+     shard's steps are exhausted its workers run undisturbed. *)
+
+type disruption =
+  | Kill_after of int
+  | Stall
+
+type step = { disrupt : disruption; corrupt_tail : bool }
+
+type t = {
+  chaos_seed : int;
+  schedule : step list array;  (* indexed by shard, then by attempt *)
+}
+
+let max_steps = 2
+
+let plan ~seed ~shards =
+  if shards < 1 then invalid_arg "Chaos.plan: shards must be >= 1";
+  let st = Random.State.make [| 0x5eed; seed; shards |] in
+  let kill () =
+    {
+      disrupt = Kill_after (1 + Random.State.int st 3);
+      corrupt_tail = Random.State.bool st;
+    }
+  in
+  let stall () = { disrupt = Stall; corrupt_tail = false } in
+  let shard_steps _ =
+    match Random.State.int st (max_steps + 1) with
+    | 0 -> []
+    | 1 -> [ (if Random.State.int st 3 = 0 then stall () else kill ()) ]
+    | _ ->
+        let first = if Random.State.int st 3 = 0 then stall () else kill () in
+        [ first; kill () ]
+  in
+  { chaos_seed = seed; schedule = Array.init shards shard_steps }
+
+let seed t = t.chaos_seed
+let shards t = Array.length t.schedule
+
+let step t ~shard ~attempt =
+  if shard < 0 || shard >= Array.length t.schedule then None
+  else List.nth_opt t.schedule.(shard) attempt
+
+let disruption_label = function
+  | Kill_after k -> Printf.sprintf "kill:%d" k
+  | Stall -> "stall"
+
+let disruption_of_label s =
+  match String.split_on_char ':' s with
+  | [ "stall" ] -> Some Stall
+  | [ "kill"; k ] -> (
+      (* Schedules only ever emit k >= 1 (kills fire after progress);
+         the wire parser enforces the same invariant. *)
+      match int_of_string_opt k with
+      | Some k when k >= 1 -> Some (Kill_after k)
+      | _ -> None)
+  | _ -> None
+
+let step_label s =
+  disruption_label s.disrupt ^ if s.corrupt_tail then "+corrupt" else ""
+
+let describe t =
+  String.concat "; "
+    (List.mapi
+       (fun i steps ->
+         Printf.sprintf "shard %d: %s" i
+           (if steps = [] then "-"
+            else String.concat "," (List.map step_label steps)))
+       (Array.to_list t.schedule))
+
+(* --- journal-tail corruption -------------------------------------------- *)
+
+let corrupt_journal_tail path =
+  match
+    (try
+       let ic = open_in_bin path in
+       Fun.protect
+         ~finally:(fun () -> close_in ic)
+         (fun () -> Some (really_input_string ic (in_channel_length ic)))
+     with Sys_error _ -> None)
+  with
+  | None | Some "" -> false
+  | Some contents ->
+      (* Find the start of the last line that carries a task record and
+         cut mid-way through it: the torn record must be dropped by
+         {!Journal.load} and its task re-executed by the next worker. *)
+      let lines = String.split_on_char '\n' contents in
+      let offsets, _ =
+        List.fold_left
+          (fun (acc, off) line ->
+            ((line, off) :: acc, off + String.length line + 1))
+          ([], 0) lines
+      in
+      let is_task line =
+        match Journal.of_line line with
+        | Some obj -> Journal.find_int obj "task" <> None
+        | None -> false
+      in
+      (match List.find_opt (fun (line, _) -> is_task line) offsets with
+      | None -> false
+      | Some (line, off) ->
+          let cut = off + max 1 (String.length line / 2) in
+          let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              seek_out oc cut;
+              (* Overwrite the record's tail with garbage and truncate:
+                 a torn *and* scribbled-on line, the worst realistic
+                 crash artifact. *)
+              output_string oc "\xde\xad";
+              Unix.ftruncate (Unix.descr_of_out_channel oc) (cut + 2));
+          true)

@@ -1,0 +1,65 @@
+(** Deterministic chaos harness for the shard coordinator.
+
+    Fault injection turned on ourselves: a seed expands into a
+    reproducible per-shard schedule of worker kills, stalls and journal
+    corruptions. {!Shard.run} applies the schedule while executing a
+    campaign; the acceptance criterion is that the merged report stays
+    byte-identical to an undisturbed single-process run — every recovery
+    path (respawn, journal replay, torn-tail re-execution) must be
+    semantics-preserving, and the chaos seed makes the proof replayable.
+
+    Schedules are constructed to be {e survivable} by a correct
+    coordinator: kills only fire after at least one journal entry
+    (progress resets the quarantine streak) and a stall — which makes no
+    progress by design — only ever opens a schedule, so chaos alone can
+    never legitimately quarantine a shard. A quarantine under chaos is a
+    coordinator bug, not an injected outcome. *)
+
+type disruption =
+  | Kill_after of int
+      (** SIGKILL the worker process immediately after it has written
+          this many task entries in this run — a crash mid-campaign,
+          possibly mid-journal-line. A worker whose remaining slice is
+          smaller simply completes; the order never fires. *)
+  | Stall
+      (** The worker sleeps without heartbeating instead of working —
+          a silent hang the coordinator's watchdog must detect and
+          kill. *)
+
+type step = {
+  disrupt : disruption;
+  corrupt_tail : bool;
+      (** After this attempt's worker dies, tear the last task record of
+          its journal shard (overwrite mid-line and truncate), forcing
+          the next worker to re-execute that task. *)
+}
+
+type t
+
+val plan : seed:int -> shards:int -> t
+(** Expand [seed] into one schedule per shard (each at most two steps;
+    deterministic: equal seeds and shard counts give equal schedules).
+    Raises [Invalid_argument] when [shards < 1]. *)
+
+val seed : t -> int
+val shards : t -> int
+
+val step : t -> shard:int -> attempt:int -> step option
+(** The disruption for [shard]'s [attempt]-th worker ([None] once the
+    schedule is exhausted: the worker runs undisturbed). *)
+
+val disruption_label : disruption -> string
+(** ["kill:3"] / ["stall"] — the [--chaos-exec] wire spelling the
+    coordinator hands to workers. *)
+
+val disruption_of_label : string -> disruption option
+
+val step_label : step -> string
+val describe : t -> string
+(** One line per shard, e.g. ["shard 0: kill:2+corrupt,kill:1; shard 1: -"]. *)
+
+val corrupt_journal_tail : string -> bool
+(** Apply a {!step.corrupt_tail} to the journal at the given path: find
+    the last task record, overwrite its tail with garbage and truncate
+    the file there. Returns [false] (and leaves the file alone) when
+    there is no task record to tear. *)

@@ -109,6 +109,51 @@ let find_workload name =
     (fun (c : Suite.case) -> c.Suite.case_name = name)
     (default_workloads ())
 
+(* --- clean-run baseline checkpoints ------------------------------------- *)
+
+type baseline = { b_clean_cycles : int; b_clean_oob : int; b_hash : string }
+
+(* FNV-1a over a canonical dump of everything the baseline vouches for:
+   the golden model's final memories and assertion count, plus the clean
+   hardware run's cycle count and OOB baseline. A resumed or sharded
+   worker that recomputes the (cheap) golden model and matches this hash
+   may skip re-simulating the clean hardware design. *)
+let baseline_hash ~golden_stores ~golden_asserts ~clean_cycles ~clean_oob =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, store) ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf ':';
+      List.iter
+        (fun v ->
+          Buffer.add_string buf (string_of_int v);
+          Buffer.add_char buf ',')
+        (Memory.to_list store);
+      Buffer.add_char buf ';')
+    golden_stores;
+  Buffer.add_string buf
+    (Printf.sprintf "asserts=%d;cycles=%d;oob=%d" golden_asserts clean_cycles
+       clean_oob);
+  let h = ref 0x3459df3cba21f365 (* FNV-style basis, truncated to fit *) in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    (Buffer.contents buf);
+  Printf.sprintf "%016Lx" (Int64.of_int !h)
+
+let baseline_to_string b =
+  Printf.sprintf "%d:%d:%s" b.b_clean_cycles b.b_clean_oob b.b_hash
+
+let baseline_of_string s =
+  match String.split_on_char ':' s with
+  | [ cycles; oob; hash ] -> (
+      match (int_of_string_opt cycles, int_of_string_opt oob) with
+      | Some c, Some o when c >= 0 && o >= 0 && hash <> "" ->
+          Some { b_clean_cycles = c; b_clean_oob = o; b_hash = hash }
+      | _ -> None)
+  | _ -> None
+
 let count_check_failures (run : Simulate.rtg_run) =
   List.fold_left
     (fun acc (r : Simulate.config_run) ->
@@ -333,6 +378,8 @@ type journal_header = {
   h_max_retries : int;
   h_backoff_seconds : float;
   h_backend : backend;
+  h_deadline_profile : (string * float) list;
+  h_baseline : baseline option;
 }
 
 let header_obj h =
@@ -349,6 +396,22 @@ let header_obj h =
     ("backoff_seconds", Journal.Float h.h_backoff_seconds);
     ("backend", Journal.String (backend_label h.h_backend));
   ]
+  @ (if h.h_deadline_profile = [] then []
+     else
+       [
+         ( "deadline_profile",
+           Journal.String
+             (Budget.render_deadline_profile h.h_deadline_profile) );
+       ])
+  @
+  match h.h_baseline with
+  | None -> []
+  | Some b ->
+      [
+        ("clean_cycles", Journal.Int b.b_clean_cycles);
+        ("clean_oob", Journal.Int b.b_clean_oob);
+        ("baseline", Journal.String b.b_hash);
+      ]
 
 let header_of_obj obj =
   match
@@ -382,8 +445,43 @@ let header_of_obj obj =
             (* Journals predating the compiled backend ran the interpreter. *)
             Option.value ~default:Interp
               (Option.bind (Journal.find_string obj "backend") backend_of_label);
+          h_deadline_profile =
+            (match Journal.find_string obj "deadline_profile" with
+            | None -> []
+            | Some s -> (
+                try
+                  Budget.parse_deadline_profile
+                    ~valid_classes:Fault.all_classes s
+                with Invalid_argument msg ->
+                  failwith
+                    (Printf.sprintf
+                       "journal header carries a bad deadline profile: %s" msg)
+                ));
+          h_baseline =
+            (match
+               ( Journal.find_int obj "clean_cycles",
+                 Journal.find_int obj "clean_oob",
+                 Journal.find_string obj "baseline" )
+             with
+            | Some c, Some o, Some hsh when c >= 0 && o >= 0 ->
+                Some { b_clean_cycles = c; b_clean_oob = o; b_hash = hsh }
+            | _ -> None);
         }
   | _ -> None
+
+(* Contiguous slice of a [plan]-task campaign owned by shard [i] of
+   [shards]: the classic balanced split, [i*plan/shards, (i+1)*plan/shards).
+   Laws the tests pin down: slices are disjoint, ordered, and their
+   union covers [0, plan) exactly for every shard count. *)
+let shard_slice ~shards ~plan i =
+  if shards < 1 then invalid_arg "Faultcamp.shard_slice: shards must be >= 1";
+  if plan < 0 then invalid_arg "Faultcamp.shard_slice: plan must be >= 0";
+  if i < 0 || i >= shards then
+    invalid_arg
+      (Printf.sprintf
+         "Faultcamp.shard_slice: shard index %d out of range for %d shard(s)" i
+         shards);
+  (i * plan / shards, (i + 1) * plan / shards)
 
 (* Completed-task entries of a loaded journal, keyed by plan index; a
    later entry for the same index wins (it came from a later resume). *)
@@ -404,7 +502,9 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
     ?(deadline_seconds = default_deadline_seconds)
     ?(slice_cycles = default_slice_cycles)
     ?(max_retries = default_max_retries)
-    ?(backoff_seconds = default_backoff_seconds) ?cancel ?journal_path
+    ?(backoff_seconds = default_backoff_seconds)
+    ?(deadline_profile = []) ?shard ?(replay_only = false) ?baseline
+    ?on_entry ?on_writer ?(header_extra = []) ?cancel ?journal_path
     ?resume_from ?stop_after (case : Suite.case) =
   if faults < 0 then invalid_arg "Faultcamp.run: faults must be >= 0";
   if max_cycles_factor < 1 then
@@ -414,6 +514,23 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
   if max_retries < 0 then invalid_arg "Faultcamp.run: max_retries must be >= 0";
   if backoff_seconds < 0. then
     invalid_arg "Faultcamp.run: backoff_seconds must be >= 0";
+  List.iter
+    (fun (cls, sec) ->
+      if not (List.mem cls Fault.all_classes) then
+        invalid_arg
+          (Printf.sprintf
+             "Faultcamp.run: deadline profile names unknown fault class %S" cls);
+      if sec < 0. then
+        invalid_arg
+          (Printf.sprintf
+             "Faultcamp.run: deadline profile for class %S must be >= 0" cls))
+    deadline_profile;
+  (match shard with
+  | Some (i, n) when n < 1 || i < 0 || i >= n ->
+      invalid_arg
+        (Printf.sprintf
+           "Faultcamp.run: shard index %d out of range for %d shard(s)" i n)
+  | _ -> ());
   (match stop_after with
   | Some k when k < 1 -> invalid_arg "Faultcamp.run: stop_after must be >= 1"
   | _ -> ());
@@ -431,30 +548,72 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
   in
   let _, golden_stats = Lang.Interp.run ~memories:golden_lookup prog in
   let golden_asserts = golden_stats.Lang.Interp.asserts_failed in
-  let clean_lookup, clean_stores =
-    Verify.memory_env prog ~inits:case.Suite.inits
+  (* The clean-run baseline. With a checkpoint from a journal header
+     (resume / sharded workers) the golden model is recomputed — it is
+     cheap and its stores are needed for judging anyway — and hashed
+     together with the checkpointed clean values; a match vouches for
+     the whole clean hardware run, which is then skipped. A mismatch
+     means the workload or its stimuli changed under the journal. *)
+  let clean_cycles, clean_hw_oob, clean_stores =
+    match baseline with
+    | Some b ->
+        let recomputed =
+          baseline_hash ~golden_stores ~golden_asserts
+            ~clean_cycles:b.b_clean_cycles ~clean_oob:b.b_clean_oob
+        in
+        if recomputed <> b.b_hash then
+          failwith
+            (Printf.sprintf
+               "Faultcamp.run: baseline hash mismatch for workload %S \
+                (checkpointed %s, recomputed %s) — the workload changed \
+                since the journal was written"
+               case.Suite.case_name b.b_hash recomputed);
+        (b.b_clean_cycles, b.b_clean_oob, golden_stores)
+    | None ->
+        let clean_lookup, clean_stores =
+          Verify.memory_env prog ~inits:case.Suite.inits
+        in
+        let clean_run = Simulate.run_compiled ~memories:clean_lookup compiled in
+        let clean_hw_oob = total_oob clean_stores in
+        let clean_passed =
+          clean_run.Simulate.all_completed
+          && List.for_all2
+               (fun (_, g) (_, h) -> Memory.diff g h = [])
+               golden_stores clean_stores
+          && count_check_failures clean_run = golden_asserts
+        in
+        if not clean_passed then
+          failwith
+            (Printf.sprintf
+               "Faultcamp.run: workload %S fails verification before any \
+                fault is injected"
+               case.Suite.case_name);
+        (clean_run.Simulate.total_cycles, clean_hw_oob, clean_stores)
   in
-  let clean_run = Simulate.run_compiled ~memories:clean_lookup compiled in
-  let clean_hw_oob = total_oob clean_stores in
-  let clean_passed =
-    clean_run.Simulate.all_completed
-    && List.for_all2
-         (fun (_, g) (_, h) -> Memory.diff g h = [])
-         golden_stores clean_stores
-    && count_check_failures clean_run = golden_asserts
+  let bline =
+    {
+      b_clean_cycles = clean_cycles;
+      b_clean_oob = clean_hw_oob;
+      b_hash =
+        (match baseline with
+        | Some b -> b.b_hash
+        | None ->
+            baseline_hash ~golden_stores ~golden_asserts ~clean_cycles
+              ~clean_oob:clean_hw_oob);
+    }
   in
-  if not clean_passed then
-    failwith
-      (Printf.sprintf
-         "Faultcamp.run: workload %S fails verification before any fault \
-          is injected"
-         case.Suite.case_name);
   (* A mutant that runs much longer than the clean design is detected by
      the watchdog rather than simulated forever; the product is clamped
      so a very long clean run yields max_int, never a wrapped negative
      budget. *)
-  let budget_cycles =
-    Budget.cycle_budget ~max_cycles_factor clean_run.Simulate.total_cycles
+  let budget_cycles = Budget.cycle_budget ~max_cycles_factor clean_cycles in
+  (* Per-fault-class wall deadlines: the profile overrides the global
+     deadline for the classes it names (0 disables the watchdog for
+     that class — see {!Budget.start}). *)
+  let deadline_for fault =
+    match List.assoc_opt (Fault.fault_class fault) deadline_profile with
+    | Some sec -> sec
+    | None -> deadline_seconds
   in
   (* Backend resolution. [Compiled]/[Auto] require the acyclicity
      certificate ({!Fastsim.admissible}) and then prove the fidelity
@@ -491,7 +650,7 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
                 let r = res.(0) in
                 if
                   r.Fastsim.completed
-                  && r.Fastsim.total_cycles = clean_run.Simulate.total_cycles
+                  && r.Fastsim.total_cycles = clean_cycles
                   && r.Fastsim.checks = golden_asserts
                   && total_oob stores = clean_hw_oob
                   && List.for_all2
@@ -510,6 +669,29 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
   (* Plan generation stays single-threaded (one RNG stream); only the
      independent mutant executions below fan out over the pool. *)
   let plan = Fault.plan ~seed ~n:faults compiled in
+  let plan_len = List.length plan in
+  (* Sharding: a worker owns a contiguous slice of the plan; every task
+     outside it (and, under [replay_only], every task the journals did
+     not cover) becomes a [Cancelled] placeholder — never executed,
+     never journaled (see {!journal_mutant}), and excluded from this
+     run's own [interrupted] verdict. *)
+  let in_shard =
+    match shard with
+    | None -> fun _ -> true
+    | Some (idx, n) ->
+        let lo, hi = shard_slice ~shards:n ~plan:plan_len idx in
+        fun i -> i >= lo && i < hi
+  in
+  let skipped fault =
+    {
+      fault;
+      outcome = Cancelled;
+      mutant_cycles = 0;
+      retries = 0;
+      quarantined = false;
+      replayed = false;
+    }
+  in
   let replay =
     match resume_from with
     | None -> fun _ -> None
@@ -582,12 +764,18 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
               h_max_retries = max_retries;
               h_backoff_seconds = backoff_seconds;
               h_backend = backend;
+              h_deadline_profile = deadline_profile;
+              h_baseline = Some bline;
             }
+          @ header_extra
         in
         Some
           (if resume_from = None then Journal.create ~path ~header
            else Journal.append_to ~path)
   in
+  (match (journal, on_writer) with
+  | Some w, Some f -> f w
+  | _ -> ());
   let journal_entries = Atomic.make 0 in
   let journal_mutant i (m : mutant) =
     (* Replayed results are already in the file; cancelled ones must not
@@ -600,6 +788,7 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
            with Sys_error msg ->
              Printf.eprintf "warning: journal write failed: %s\n%!" msg);
           let written = Atomic.fetch_and_add journal_entries 1 + 1 in
+          (match on_entry with Some f -> f written | None -> ());
           (match (stop_after, cancel) with
           | Some k, Some tok when written >= k -> Budget.cancel tok
           | _ -> ())
@@ -608,10 +797,11 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
     with_retries ~max_retries ~backoff_seconds ?cancel ~fault
       (fun ~attempt ->
             ignore attempt;
-            (* Each attempt gets a fresh wall-clock deadline; the
+            (* Each attempt gets a fresh wall-clock deadline (per-class
+               when the profile names this fault's class); the
                cancellation token is shared with the whole campaign. *)
             let budget =
-              Budget.start ~wall_seconds:deadline_seconds ?token:cancel
+              Budget.start ~wall_seconds:(deadline_for fault) ?token:cancel
                 ~slice_cycles ()
             in
             match Budget.check budget with
@@ -660,7 +850,11 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
                 })
   in
   let exec i fault =
-    match replay i with Some m -> m | None -> exec_interp fault
+    match replay i with
+    | Some m -> m
+    | None ->
+        if replay_only || not (in_shard i) then skipped fault
+        else exec_interp fault
   in
   (* The compiled path packs pending mutants into bit-lane batches of at
      most {!Fastsim.max_mutants_per_batch}; lane 0 of every batch re-runs
@@ -676,7 +870,10 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
     for i = n - 1 downto 0 do
       match replay i with
       | Some m -> slots.(i) <- Some m
-      | None -> pending := (i, plan_arr.(i)) :: !pending
+      | None ->
+          if replay_only || not (in_shard i) then
+            slots.(i) <- Some (skipped plan_arr.(i))
+          else pending := (i, plan_arr.(i)) :: !pending
     done;
     let batches =
       Array.of_list (chunk Fastsim.max_mutants_per_batch !pending)
@@ -701,10 +898,19 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
       in
       try
         (* One wall-clock deadline per batch (the batch is the unit of
-           execution here, as the mutant is on the interpreter path);
-           the cancellation token is shared with the whole campaign. *)
+           execution here, as the mutant is on the interpreter path):
+           the most permissive member deadline governs the whole batch —
+           and a single disabled-watchdog member (profile seconds 0)
+           disables it for the batch, since a shorter deadline would cut
+           that member short. The cancellation token is shared with the
+           whole campaign. *)
+        let batch_deadline =
+          let ds = List.map (fun (_, fault) -> deadline_for fault) batch in
+          if List.exists (fun d -> d <= 0.) ds then 0.
+          else List.fold_left Float.max 0. ds
+        in
         let budget =
-          Budget.start ~wall_seconds:deadline_seconds ?token:cancel
+          Budget.start ~wall_seconds:batch_deadline ?token:cancel
             ~slice_cycles ()
         in
         match Budget.check budget with
@@ -750,7 +956,7 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
               && not
                    (r0.Fastsim.completed
                    && r0.Fastsim.total_cycles
-                      = clean_run.Simulate.total_cycles
+                      = clean_cycles
                    && r0.Fastsim.checks = golden_asserts
                    && total_oob lane_stores.(0) = clean_hw_oob
                    && List.for_all2
@@ -808,8 +1014,13 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
     | Some fast -> run_batched fast
   in
   let interrupted =
+    (* Out-of-shard placeholders are someone else's work by design and
+       do not make *this* run interrupted; cancelled tasks inside the
+       shard (or, under [replay_only], anywhere) do. *)
     (match cancel with Some tok -> Budget.cancel_requested tok | None -> false)
-    || List.exists (fun m -> m.outcome = Cancelled) mutants
+    || List.exists
+         (fun (i, m) -> in_shard i && m.outcome = Cancelled)
+         (List.mapi (fun i m -> (i, m)) mutants)
   in
   (match journal with
   | None -> ()
@@ -843,8 +1054,10 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
     jobs;
     backend;
     backend_used;
-    clean_passed;
-    clean_cycles = clean_run.Simulate.total_cycles;
+    (* Reaching this point means the clean design verified (or its
+       checkpointed baseline hash matched, which vouches for the same). *)
+    clean_passed = true;
+    clean_cycles;
     clean_oob = clean_hw_oob;
     cycle_budget = budget_cycles;
     deadline_seconds;
@@ -868,34 +1081,152 @@ let run ?(seed = 1) ?(faults = 25) ?(max_cycles_factor = 4) ?(jobs = 1)
        else 0.);
   }
 
-(* --- resume ------------------------------------------------------------- *)
+(* --- journal loading / compaction --------------------------------------- *)
 
-let resume ?(jobs = 1) ?cancel ?stop_after path =
+let load_journal path =
   match Journal.load path with
-  | [] -> failwith (Printf.sprintf "Faultcamp.resume: %s is empty" path)
+  | [] -> failwith (Printf.sprintf "Faultcamp: journal %s is empty" path)
   | header_line :: entries -> (
       match header_of_obj header_line with
       | None ->
           failwith
             (Printf.sprintf
-               "Faultcamp.resume: %s does not start with a faultcamp journal \
-                header"
+               "Faultcamp: %s does not start with a faultcamp journal header"
                path)
-      | Some h -> (
-          match find_workload h.h_workload with
-          | None ->
-              failwith
-                (Printf.sprintf
-                   "Faultcamp.resume: journal names unknown workload %S"
-                   h.h_workload)
-          | Some case ->
-              run ~seed:h.h_seed ~faults:h.h_faults
-                ~max_cycles_factor:h.h_max_cycles_factor ~jobs
-                ~backend:h.h_backend
-                ~deadline_seconds:h.h_deadline_seconds
-                ~slice_cycles:h.h_slice_cycles ~max_retries:h.h_max_retries
-                ~backoff_seconds:h.h_backoff_seconds ?cancel
-                ~journal_path:path ~resume_from:entries ?stop_after case))
+      | Some h -> (h, entries))
+
+let is_task_entry obj = Journal.find_int obj "task" <> None
+let is_status_entry obj = Journal.find_string obj "status" <> None
+
+(* A long-lived journal accretes: duplicate entries for re-executed
+   tasks (resume after a torn tail), one status footer per run, worker
+   heartbeat lines. Compaction rewrites it to the minimal equivalent —
+   header, one last-wins entry per task in index order, one footer. *)
+let needs_compaction path =
+  match Journal.load path with
+  | [] | [ _ ] -> false
+  | _ :: entries ->
+      let statuses = List.length (List.filter is_status_entry entries) in
+      let foreign =
+        List.exists
+          (fun e -> (not (is_task_entry e)) && not (is_status_entry e))
+          entries
+      in
+      let seen = Hashtbl.create 64 in
+      let dup =
+        List.exists
+          (fun e ->
+            match Journal.find_int e "task" with
+            | Some i ->
+                if Hashtbl.mem seen i then true
+                else begin
+                  Hashtbl.add seen i ();
+                  false
+                end
+            | None -> false)
+          entries
+      in
+      foreign || dup || statuses > 1
+      (* A status line that is not the last line (a resumed run appended
+         entries after its predecessor's footer) also warrants a rewrite. *)
+      || statuses = 1
+         && (match List.rev entries with
+            | last :: _ -> not (is_status_entry last)
+            | [] -> false)
+
+let compact path =
+  let header_line, entries =
+    match Journal.load path with
+    | [] -> failwith (Printf.sprintf "Faultcamp.compact: %s is empty" path)
+    | header_line :: entries ->
+        (match header_of_obj header_line with
+        | None ->
+            failwith
+              (Printf.sprintf
+                 "Faultcamp.compact: %s does not start with a faultcamp \
+                  journal header"
+                 path)
+        | Some _ -> ());
+        (header_line, entries)
+  in
+  let table = replay_table entries in
+  let tasks =
+    List.sort compare (Hashtbl.fold (fun i _ acc -> i :: acc) table [])
+  in
+  let objs =
+    (header_line :: List.map (fun i -> Hashtbl.find table i) tasks)
+    @ [
+        [
+          ("status", Journal.String "compacted");
+          ("completed", Journal.Int (List.length tasks));
+        ];
+      ]
+  in
+  Journal.rewrite ~path objs;
+  (1 + List.length entries, List.length objs)
+
+(* --- prepare ------------------------------------------------------------- *)
+
+(* The coordinator's share of a campaign's setup: verify the clean
+   design once, and learn the plan length (for slicing) and the
+   baseline checkpoint (so workers skip the clean run). *)
+let prepare ?(seed = 1) ?(faults = 25) (case : Suite.case) =
+  if faults < 0 then invalid_arg "Faultcamp.prepare: faults must be >= 0";
+  let prog = Lang.Parser.parse_string case.Suite.source in
+  let compiled = Compile.compile prog in
+  let golden_lookup, golden_stores =
+    Verify.memory_env prog ~inits:case.Suite.inits
+  in
+  let _, golden_stats = Lang.Interp.run ~memories:golden_lookup prog in
+  let golden_asserts = golden_stats.Lang.Interp.asserts_failed in
+  let clean_lookup, clean_stores =
+    Verify.memory_env prog ~inits:case.Suite.inits
+  in
+  let clean_run = Simulate.run_compiled ~memories:clean_lookup compiled in
+  let clean_hw_oob = total_oob clean_stores in
+  let clean_passed =
+    clean_run.Simulate.all_completed
+    && List.for_all2
+         (fun (_, g) (_, h) -> Memory.diff g h = [])
+         golden_stores clean_stores
+    && count_check_failures clean_run = golden_asserts
+  in
+  if not clean_passed then
+    failwith
+      (Printf.sprintf
+         "Faultcamp.prepare: workload %S fails verification before any fault \
+          is injected"
+         case.Suite.case_name);
+  let clean_cycles = clean_run.Simulate.total_cycles in
+  ( List.length (Fault.plan ~seed ~n:faults compiled),
+    {
+      b_clean_cycles = clean_cycles;
+      b_clean_oob = clean_hw_oob;
+      b_hash =
+        baseline_hash ~golden_stores ~golden_asserts ~clean_cycles
+          ~clean_oob:clean_hw_oob;
+    } )
+
+(* --- resume ------------------------------------------------------------- *)
+
+let resume ?(jobs = 1) ?cancel ?stop_after path =
+  (* Auto-compaction: a resumed journal is about to grow another run's
+     worth of entries; fold what is already there down to one entry per
+     task first (also clearing worker heartbeats and stale footers). *)
+  if needs_compaction path then ignore (compact path);
+  let h, entries = load_journal path in
+  match find_workload h.h_workload with
+  | None ->
+      failwith
+        (Printf.sprintf "Faultcamp.resume: journal names unknown workload %S"
+           h.h_workload)
+  | Some case ->
+      run ~seed:h.h_seed ~faults:h.h_faults
+        ~max_cycles_factor:h.h_max_cycles_factor ~jobs ~backend:h.h_backend
+        ~deadline_seconds:h.h_deadline_seconds ~slice_cycles:h.h_slice_cycles
+        ~max_retries:h.h_max_retries ~backoff_seconds:h.h_backoff_seconds
+        ~deadline_profile:h.h_deadline_profile ?baseline:h.h_baseline ?cancel
+        ~journal_path:path ~resume_from:entries ?stop_after case
 
 (* --- selectors ---------------------------------------------------------- *)
 

@@ -129,6 +129,46 @@ val default_workloads : unit -> Suite.case list
 
 val find_workload : string -> Suite.case option
 
+(** {1 Clean-run baseline checkpoints} *)
+
+type baseline = {
+  b_clean_cycles : int;
+  b_clean_oob : int;
+  b_hash : string;
+      (** FNV-style digest over the golden model's observables plus the
+          clean run's cycle/OOB counts — see {!baseline_hash}. *)
+}
+(** A verified clean run, reduced to what a resumed or sharded worker
+    needs: the clean cycle count (for the cycle budget), the clean OOB
+    baseline (for judging), and a hash binding both to the golden
+    model. A worker holding a matching baseline skips re-simulating the
+    clean hardware design; a mismatch (the workload changed under the
+    journal) is rejected with a one-line [Failure]. *)
+
+val baseline_hash :
+  golden_stores:(string * Operators.Memory.t) list ->
+  golden_asserts:int ->
+  clean_cycles:int ->
+  clean_oob:int ->
+  string
+
+val baseline_to_string : baseline -> string
+(** ["cycles:oob:hash"] — the [--baseline] wire spelling. *)
+
+val baseline_of_string : string -> baseline option
+
+val prepare : ?seed:int -> ?faults:int -> Suite.case -> int * baseline
+(** Verify the clean design once and return the campaign's plan length
+    (for shard slicing) and its {!baseline} checkpoint (for workers to
+    skip the clean run). Raises [Failure] when the clean design fails
+    verification. *)
+
+val shard_slice : shards:int -> plan:int -> int -> int * int
+(** [shard_slice ~shards ~plan i] is the half-open task range
+    [\[lo, hi)] owned by shard [i] of [shards] over a [plan]-task
+    campaign: contiguous, disjoint, covering [\[0, plan)] exactly.
+    Raises [Invalid_argument] on an out-of-range index. *)
+
 val run :
   ?seed:int ->
   ?faults:int ->
@@ -139,6 +179,13 @@ val run :
   ?slice_cycles:int ->
   ?max_retries:int ->
   ?backoff_seconds:float ->
+  ?deadline_profile:(string * float) list ->
+  ?shard:int * int ->
+  ?replay_only:bool ->
+  ?baseline:baseline ->
+  ?on_entry:(int -> unit) ->
+  ?on_writer:(Journal.writer -> unit) ->
+  ?header_extra:Journal.obj ->
   ?cancel:Budget.token ->
   ?journal_path:string ->
   ?resume_from:Journal.obj list ->
@@ -188,6 +235,32 @@ val run :
       have been written by this process (testing hook for the
       interrupt/resume path).
 
+    Sharding / coordination controls (used by {!Shard}):
+    - [deadline_profile] overrides [deadline_seconds] per fault class
+      (see {!Budget.parse_deadline_profile}; [0] disables the watchdog
+      for that class). Validated up front; recorded in the journal
+      header and restored by {!resume}.
+    - [shard = (i, n)] executes only the tasks of {!shard_slice}
+      [~shards:n ~plan i]; every other task becomes a {!Cancelled}
+      placeholder that is never simulated, never journaled, and does not
+      mark this run [interrupted].
+    - [replay_only] executes {e nothing}: journaled entries from
+      [resume_from] are replayed and every task they do not cover
+      becomes a {!Cancelled} placeholder (these {e do} mark the run
+      [interrupted] — the merge of incomplete shards is a partial
+      report). This is the shard-merge primitive: with full coverage
+      the report is byte-identical to an uninterrupted single-process
+      run.
+    - [baseline] is a checkpoint from a previous {!prepare}/{!run}: the
+      clean hardware simulation is skipped when its hash matches the
+      recomputed golden observables, and rejected with a one-line
+      [Failure] otherwise.
+    - [on_entry n] fires after the [n]-th journal entry written by this
+      process (chaos kill hook); [on_writer] receives the journal writer
+      right after the header is written (worker heartbeat hook);
+      [header_extra] appends extra fields to the journal header (shard
+      identity).
+
     Raises [Failure] when the {e clean} design already fails
     verification — a campaign over a broken design measures nothing —
     and [Invalid_argument] on out-of-range parameters. *)
@@ -195,11 +268,55 @@ val run :
 val resume : ?jobs:int -> ?cancel:Budget.token -> ?stop_after:int -> string -> t
 (** [resume path] reloads the journal at [path] (tolerating a torn final
     line), re-runs {!run} with the campaign parameters recorded in the
-    journal header, replays every completed entry and executes only the
-    remaining mutants, appending their entries to the same journal. The
-    resulting report is identical to an uninterrupted run. Raises
-    [Failure] when the file is empty, has no faultcamp header, names an
-    unknown workload, or disagrees with the regenerated fault plan. *)
+    journal header — including its deadline profile and clean-run
+    {!baseline}, so the clean simulation is skipped — replays every
+    completed entry and executes only the remaining mutants, appending
+    their entries to the same journal. When the journal has accreted
+    duplicate entries, stale footers or heartbeat lines, it is
+    {!compact}ed in place first. The resulting report is identical to an
+    uninterrupted run. Raises [Failure] when the file is empty, has no
+    faultcamp header, names an unknown workload, disagrees with the
+    regenerated fault plan, or carries a baseline that no longer matches
+    the workload. *)
+
+(** {1 Journal maintenance} *)
+
+type journal_header = {
+  h_workload : string;
+  h_seed : int;
+  h_faults : int;
+  h_max_cycles_factor : int;
+  h_deadline_seconds : float;
+  h_slice_cycles : int;
+  h_max_retries : int;
+  h_backoff_seconds : float;
+  h_backend : backend;
+  h_deadline_profile : (string * float) list;
+  h_baseline : baseline option;
+}
+(** The campaign parameters a journal's first line records — everything
+    {!resume} needs to regenerate the identical plan, plus the optional
+    clean-run {!baseline} checkpoint and per-class deadline profile.
+    {!Shard} validates shard journals against the coordinator's own
+    header before merging. *)
+
+val load_journal : string -> journal_header * Journal.obj list
+(** Load and parse a campaign journal: its header and every entry after
+    it (heartbeats and status footers included; torn lines dropped).
+    Raises [Failure] when the file is empty or does not start with a
+    faultcamp journal header. *)
+
+val needs_compaction : string -> bool
+(** Whether {!compact} would change the journal: duplicate task entries,
+    more than one status footer, a footer that is not the last line, or
+    any non-task non-status line (worker heartbeats). *)
+
+val compact : string -> int * int
+(** Rewrite the journal at [path] to its minimal equivalent — header,
+    one last-wins entry per completed task in index order, one
+    [compacted] status footer — atomically (see {!Journal.rewrite}).
+    Returns [(lines_before, lines_after)]. Raises [Failure] on an empty
+    or headerless file. *)
 
 val run_mutants :
   ?jobs:int ->

@@ -203,6 +203,20 @@ let close w =
         close_out w.oc
       end)
 
+let rewrite ~path objs =
+  (* Compaction must never tear the journal it is repairing: write the
+     replacement next to it and rename atomically. *)
+  let tmp = path ^ ".compact.tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     List.iter (fun obj -> output_string oc (to_line obj ^ "\n")) objs;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
 (* --- reader ------------------------------------------------------------ *)
 
 let load path =

@@ -61,6 +61,12 @@ val append : writer -> obj -> unit
 val close : writer -> unit
 (** Idempotent. *)
 
+val rewrite : path:string -> obj list -> unit
+(** Replace the whole journal at [path] with [objs], one line each,
+    atomically (write-to-temp then rename) — the compaction primitive:
+    a crash mid-rewrite leaves either the old journal or the new one,
+    never a torn hybrid. *)
+
 (** {1 Reading} *)
 
 val load : string -> obj list

@@ -196,3 +196,15 @@ let campaign_timing (c : Faultcamp.t) =
     c.Faultcamp.wall_seconds c.Faultcamp.mutants_per_second c.Faultcamp.jobs
     (if c.Faultcamp.jobs = 1 then "" else "s")
     backend cycles resilience
+
+let shard_timing ~shards ~workers_spawned ~respawns ~quarantined ~wall_seconds =
+  Printf.sprintf
+    "coordinator: %d shard%s, %d worker%s spawned (%d respawn%s), %d \
+     quarantined, wall %.3fs"
+    shards
+    (if shards = 1 then "" else "s")
+    workers_spawned
+    (if workers_spawned = 1 then "" else "s")
+    respawns
+    (if respawns = 1 then "" else "s")
+    quarantined wall_seconds

@@ -69,3 +69,16 @@ val campaign_timing : Faultcamp.t -> string
     setting or the interrupt history — callers that promise
     deterministic output (the CLI's stdout) must keep it on a
     diagnostic stream. *)
+
+val shard_timing :
+  shards:int ->
+  workers_spawned:int ->
+  respawns:int ->
+  quarantined:int ->
+  wall_seconds:float ->
+  string
+(** One line of coordinator observability ({!Shard} campaigns): shard
+    and worker counts, respawns, quarantines and wall clock. Machine-
+    dependent — diagnostic stream only, like {!campaign_timing}. Takes
+    scalars (not {!Shard} types) to keep the dependency pointing the
+    right way. *)

@@ -122,6 +122,27 @@ let campaign ?(verbose = false) ppf (c : Faultcamp.t) =
 let campaign_to_string ?verbose c =
   Format.asprintf "%a" (fun ppf -> campaign ?verbose ppf) c
 
+(* Plain data in, text out — this must not depend on [Shard] (which
+   depends on this module); the coordinator passes each quarantined
+   shard as (index, (lo, hi), last-death diagnostic). *)
+let incomplete_section = function
+  | [] -> ""
+  | quarantined ->
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\nINCOMPLETE: %d shard%s quarantined after repeated worker \
+            deaths; the report above covers only the completed slices\n"
+           (List.length quarantined)
+           (if List.length quarantined = 1 then "" else "s"));
+      List.iter
+        (fun (index, (lo, hi), why) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  shard %d (tasks %d..%d): %s\n" index lo (hi - 1)
+               (if why = "" then "no worker survived" else why)))
+        quarantined;
+      Buffer.contents buf
+
 let one_line (v : Verify.t) =
   let prog = v.Verify.compiled.Compiler.Compile.program in
   if v.Verify.passed then

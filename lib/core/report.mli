@@ -23,3 +23,11 @@ val campaign : ?verbose:bool -> Format.formatter -> Faultcamp.t -> unit
     diagnostic stream via {!Metrics.campaign_timing}. *)
 
 val campaign_to_string : ?verbose:bool -> Faultcamp.t -> string
+
+val incomplete_section : (int * (int * int) * string) list -> string
+(** The partial-report trailer for a sharded campaign: one
+    ["INCOMPLETE"] banner plus a line per quarantined shard
+    [(index, (lo, hi), last_death)]. [""] for the empty list, so a
+    healthy sharded report stays byte-identical to a single-process
+    one. Takes plain data (not {!Shard} types) to keep the dependency
+    pointing the right way. *)

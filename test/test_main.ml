@@ -27,5 +27,6 @@ let () =
       ("ec", Test_ec.suite);
       ("tv", Test_tv.suite);
       ("resilience", Test_resilience.suite);
+      ("shard", Test_shard.suite);
       ("integration", Test_integration.suite);
     ]

@@ -405,6 +405,277 @@ let prop_truncated_journal_resumes_identically =
           let resumed = Faultcamp.resume ~jobs path in
           Report.campaign_to_string ~verbose:true resumed = fresh_report))
 
+(* --- sharded journals: torn-state recovery ------------------------------- *)
+
+module Shard = Testinfra.Shard
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "resilience-shard-%d-%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Unix.mkdir dir 0o755;
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* Shard journals built in-process: [Faultcamp.run ~shard] with the
+   worker's header fields is exactly what [Shard.worker] does, minus the
+   process, so merge tests don't need to spawn anything. *)
+let shard_config ~dir ~shards case =
+  {
+    (Shard.default_config ~case ~dir ~worker_exe:"/bin/true") with
+    Shard.seed = 4;
+    faults = 6;
+    shards;
+  }
+
+let write_shard_journals (cfg : Shard.config) ~baseline =
+  List.init cfg.Shard.shards (fun i ->
+      let path = Shard.journal_path cfg i in
+      ignore
+        (Faultcamp.run ~seed:cfg.Shard.seed ~faults:cfg.Shard.faults
+           ~journal_path:path
+           ~shard:(i, cfg.Shard.shards)
+           ~baseline
+           ~header_extra:
+             [
+               ("shard", Journal.Int i);
+               ("shards", Journal.Int cfg.Shard.shards);
+             ]
+           cfg.Shard.case);
+      path)
+
+let test_shard_merge_sigint_leaves_journals_intact () =
+  with_temp_dir (fun dir ->
+      let case = vecadd_case () in
+      let cfg = shard_config ~dir ~shards:2 case in
+      let plan, baseline = Faultcamp.prepare ~seed:4 ~faults:6 case in
+      let paths = write_shard_journals cfg ~baseline in
+      let before = List.map (fun p -> (p, Journal.load p)) paths in
+      let tok = Budget.token () in
+      Budget.cancel tok;
+      (* SIGINT raced into the merge: it must refuse before touching
+         anything, with the journals kept for a later resume. *)
+      check_bool "cancelled merge refuses with a named diagnostic" true
+        (try
+           ignore (Shard.merge_journals ~cancel:tok cfg ~baseline ~plan paths);
+           false
+         with Failure msg ->
+           contains "interrupted" msg
+           && contains "shard journals left intact" msg);
+      check_bool "journals untouched" true
+        (List.for_all (fun (p, l) -> Journal.load p = l) before);
+      (* The same journals merge fine once the interrupt is gone —
+         byte-identical to an uninterrupted run. *)
+      let merged = Shard.merge_journals cfg ~baseline ~plan paths in
+      check_string "post-interrupt merge is byte-identical"
+        (Report.campaign_to_string ~verbose:true
+           (Faultcamp.run ~seed:4 ~faults:6 case))
+        (Report.campaign_to_string ~verbose:true merged))
+
+let test_shard_merge_rejects_foreign_journal () =
+  with_temp_dir (fun dir ->
+      let case = vecadd_case () in
+      let cfg = shard_config ~dir ~shards:2 case in
+      let plan, baseline = Faultcamp.prepare ~seed:4 ~faults:6 case in
+      let paths = write_shard_journals cfg ~baseline in
+      (* A journal from a different campaign (other seed) in the merge
+         list: named rejection, not a silently mixed report. *)
+      let foreign = Filename.concat dir "foreign.jsonl" in
+      let _, foreign_baseline = Faultcamp.prepare ~seed:9 ~faults:6 case in
+      ignore
+        (Faultcamp.run ~seed:9 ~faults:6 ~journal_path:foreign ~shard:(0, 2)
+           ~baseline:foreign_baseline
+           ~header_extra:[ ("shard", Journal.Int 0); ("shards", Journal.Int 2) ]
+           case);
+      check_bool "foreign journal named in the diagnostic" true
+        (try
+           ignore
+             (Shard.merge_journals cfg ~baseline ~plan
+                [ foreign; List.nth paths 1 ]);
+           false
+         with Failure msg ->
+           contains "foreign shard journal" msg && contains foreign msg);
+      (* A valid journal presented as the wrong shard: identity check. *)
+      check_bool "swapped shards rejected" true
+        (try
+           ignore
+             (Shard.merge_journals cfg ~baseline ~plan (List.rev paths));
+           false
+         with Failure msg -> contains "does not identify as shard" msg))
+
+let test_shard_merge_truncated_journal_degrades () =
+  with_temp_dir (fun dir ->
+      let case = vecadd_case () in
+      let cfg = shard_config ~dir ~shards:2 case in
+      let plan, baseline = Faultcamp.prepare ~seed:4 ~faults:6 case in
+      let paths = write_shard_journals cfg ~baseline in
+      (* Tear shard 1's journal mid-record — the crash-mid-write shape.
+         The torn line drops, the lost tasks come back as cancelled, and
+         the merge degrades to a partial report instead of aborting. *)
+      let victim = List.nth paths 1 in
+      let contents =
+        let ic = open_in_bin victim in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let lines = String.split_on_char '\n' contents in
+      let is_task l =
+        match Journal.of_line l with
+        | Some obj -> Journal.find_int obj "task" <> None
+        | None -> false
+      in
+      let last_task =
+        List.fold_left
+          (fun (i, best) l -> (i + 1, if is_task l then i else best))
+          (0, -1) lines
+        |> snd
+      in
+      check_bool "journal has a task record to tear" true (last_task >= 0);
+      let oc = open_out_bin victim in
+      List.iteri
+        (fun i l ->
+          if i < last_task then (output_string oc l; output_char oc '\n')
+          else if i = last_task then
+            (* Half the record, no newline: the crash-mid-write shape. *)
+            output_string oc (String.sub l 0 (String.length l / 2)))
+        lines;
+      close_out oc;
+      let merged = Shard.merge_journals cfg ~baseline ~plan paths in
+      check_bool "merge survives the torn journal" true
+        merged.Faultcamp.interrupted;
+      check_bool "lost tasks come back as cancelled" true
+        (Faultcamp.cancelled merged <> []);
+      check_bool "report carries the INTERRUPTED notice" true
+        (contains "INTERRUPTED"
+           (Report.campaign_to_string ~verbose:true merged)))
+
+(* --- journal compaction -------------------------------------------------- *)
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let oc = open_out_bin dst in
+  output_string oc contents;
+  close_out oc
+
+let test_compaction_round_trip () =
+  with_temp_dir (fun dir ->
+      let case = vecadd_case () in
+      let path = Filename.concat dir "campaign.jsonl" in
+      ignore
+        (Faultcamp.run ~seed:4 ~faults:6 ~journal_path:path ~stop_after:2 case);
+      (* Worker leftovers: heartbeat lines and a re-executed (duplicate)
+         task entry, appended after the status footer. *)
+      let entries =
+        List.filter
+          (fun e -> Journal.find_int e "task" <> None)
+          (snd (Faultcamp.load_journal path))
+      in
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"hb\": 17}\n";
+      output_string oc (Journal.to_line (List.hd entries) ^ "\n");
+      output_string oc "{\"hb\": 18}\n";
+      close_out oc;
+      check_bool "dirty journal needs compaction" true
+        (Faultcamp.needs_compaction path);
+      let uncompacted = Filename.concat dir "uncompacted.jsonl" in
+      copy_file path uncompacted;
+      let before, after = Faultcamp.compact path in
+      check_bool "compaction shrinks the journal" true (after < before);
+      check_bool "compacted journal is a fixpoint" true
+        (not (Faultcamp.needs_compaction path));
+      (* The satellite contract: resuming the compacted journal and the
+         dirty one produce byte-identical reports — both equal to an
+         uninterrupted run. *)
+      let report p =
+        Report.campaign_to_string ~verbose:true (Faultcamp.resume p)
+      in
+      let fresh =
+        Report.campaign_to_string ~verbose:true
+          (Faultcamp.run ~seed:4 ~faults:6 case)
+      in
+      check_string "compacted resume equals uncompacted resume" (report path)
+        (report uncompacted);
+      check_string "both equal the uninterrupted run" fresh (report path))
+
+(* --- clean-run baseline checkpoints -------------------------------------- *)
+
+let test_baseline_checkpoint_accept_and_reject () =
+  let case = vecadd_case () in
+  let _, baseline = Faultcamp.prepare ~seed:4 ~faults:6 case in
+  check_bool "wire spelling round-trips" true
+    (Faultcamp.baseline_of_string (Faultcamp.baseline_to_string baseline)
+    = Some baseline);
+  check_bool "junk wire spelling rejected" true
+    (Faultcamp.baseline_of_string "not:a:baseline:at:all" = None);
+  (* A matching checkpoint skips the clean hardware run but must change
+     nothing about the report. *)
+  let with_baseline = Faultcamp.run ~seed:4 ~faults:6 ~baseline case in
+  let without = Faultcamp.run ~seed:4 ~faults:6 case in
+  check_string "baseline-checkpointed report identical"
+    (Report.campaign_to_string ~verbose:true without)
+    (Report.campaign_to_string ~verbose:true with_baseline);
+  (* A stale checkpoint (the workload changed under the journal): a
+     one-line rejection naming the hashes, not a mystery mismatch later. *)
+  let stale = { baseline with Faultcamp.b_hash = "deadbeef" } in
+  check_bool "mismatched hash rejected in one line" true
+    (try
+       ignore (Faultcamp.run ~seed:4 ~faults:6 ~baseline:stale case);
+       false
+     with Failure msg ->
+       contains "baseline hash mismatch" msg
+       && not (String.contains msg '\n'))
+
+(* --- per-class deadline profiles ----------------------------------------- *)
+
+let test_deadline_profile_validated_and_journaled () =
+  let case = vecadd_case () in
+  check_bool "unknown class rejected up front" true
+    (try
+       ignore
+         (Faultcamp.run ~seed:1 ~faults:2
+            ~deadline_profile:[ ("nosuch", 1.) ]
+            case);
+       false
+     with Invalid_argument msg -> contains "unknown fault class" msg);
+  check_bool "negative seconds rejected up front" true
+    (try
+       ignore
+         (Faultcamp.run ~seed:1 ~faults:2
+            ~deadline_profile:[ ("bit-flip", -1.) ]
+            case);
+       false
+     with Invalid_argument _ -> true);
+  (* The profile rides the journal header, so a resume enforces the same
+     per-class deadlines without re-passing the flag. *)
+  with_temp_file (fun path ->
+      let profile = [ ("bit-flip", 0.5); ("mem-corrupt", 2.) ] in
+      ignore
+        (Faultcamp.run ~seed:4 ~faults:6 ~deadline_profile:profile
+           ~journal_path:path case);
+      let header, _ = Faultcamp.load_journal path in
+      check_bool "profile round-trips through the header" true
+        (header.Faultcamp.h_deadline_profile = profile))
+
 (* --- suite resilience ---------------------------------------------------- *)
 
 let mini_cases () =
@@ -501,6 +772,18 @@ let suite =
     Alcotest.test_case "resume rejects foreign journal" `Quick
       test_resume_rejects_foreign_journal;
     QCheck_alcotest.to_alcotest prop_truncated_journal_resumes_identically;
+    Alcotest.test_case "shard merge interrupted by SIGINT" `Quick
+      test_shard_merge_sigint_leaves_journals_intact;
+    Alcotest.test_case "shard merge rejects foreign journal" `Quick
+      test_shard_merge_rejects_foreign_journal;
+    Alcotest.test_case "shard merge survives truncated journal" `Quick
+      test_shard_merge_truncated_journal_degrades;
+    Alcotest.test_case "compaction round trip" `Quick
+      test_compaction_round_trip;
+    Alcotest.test_case "baseline checkpoint accept and reject" `Quick
+      test_baseline_checkpoint_accept_and_reject;
+    Alcotest.test_case "deadline profile validated and journaled" `Quick
+      test_deadline_profile_validated_and_journaled;
     Alcotest.test_case "suite journal and resume" `Quick
       test_suite_journal_and_resume;
     Alcotest.test_case "suite precancelled renders CANC" `Quick
